@@ -1,0 +1,32 @@
+//! End-to-end Criterion benchmark of Ablation A: the scalable parallel
+//! commit protocol vs. the serialized-commit baseline on the same
+//! commit-intensive workload (smoke scale so the suite stays fast).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tcc_core::baseline::BaselineSimulator;
+use tcc_core::{Simulator, SystemConfig};
+use tcc_workloads::{apps, Scale};
+
+fn bench_protocols(c: &mut Criterion) {
+    let mut g = c.benchmark_group("commit_parallelism");
+    g.sample_size(10);
+    for n in [4usize, 16] {
+        let app = apps::volrend();
+        g.bench_with_input(BenchmarkId::new("scalable", n), &n, |b, &n| {
+            b.iter(|| {
+                let programs = app.generate_scaled(n, 7, Scale::Smoke);
+                Simulator::new(SystemConfig::with_procs(n), programs).run()
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("baseline_serialized", n), &n, |b, &n| {
+            b.iter(|| {
+                let programs = app.generate_scaled(n, 7, Scale::Smoke);
+                BaselineSimulator::new(SystemConfig::with_procs(n), programs).run()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(protocols, bench_protocols);
+criterion_main!(protocols);

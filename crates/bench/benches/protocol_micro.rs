@@ -1,0 +1,100 @@
+//! Criterion micro-benchmarks of the protocol hot paths: the skip
+//! vector, the directory commit flow, the speculative cache, and mesh
+//! routing.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use tcc_cache::{CacheConfig, HierCache};
+use tcc_directory::{DirConfig, Directory, SkipVector};
+use tcc_network::{Mesh2D, NetworkConfig};
+use tcc_types::{Cycle, DirId, LineAddr, LineValues, NodeId, Tid, WordMask};
+
+fn bench_skip_vector(c: &mut Criterion) {
+    c.bench_function("skip_vector/1024_out_of_order_skips", |b| {
+        b.iter_batched(
+            SkipVector::new,
+            |mut sv| {
+                // Buffer skips high-to-low, then release the run.
+                for t in (1..1024u64).rev() {
+                    sv.buffer_skip(Tid(t));
+                }
+                sv.buffer_skip(Tid(0));
+                assert_eq!(sv.now_serving(), Tid(1024));
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_directory_commit(c: &mut Criterion) {
+    c.bench_function("directory/mark_commit_ack_cycle", |b| {
+        b.iter_batched(
+            || {
+                let mut d = Directory::new(DirConfig { id: DirId(0), words_per_line: 8 });
+                for i in 0..64u64 {
+                    d.handle_load(LineAddr(i), NodeId(1), 0);
+                    d.handle_load(LineAddr(i), NodeId(2), 0);
+                }
+                d
+            },
+            |mut d| {
+                for tid in 0..32u64 {
+                    let line = LineAddr(tid % 64);
+                    d.handle_probe(Tid(tid), NodeId(1), true);
+                    d.handle_mark(Cycle(tid), Tid(tid), line, WordMask::single(0), NodeId(1));
+                    d.handle_commit(Cycle(tid), Tid(tid), NodeId(1), 1);
+                    // N2 shares every line: acknowledge its invalidation
+                    // (keeping it listed) so the NSTID advances.
+                    d.handle_inv_ack(Cycle(tid), Tid(tid), line, NodeId(2), true);
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_cache_ops(c: &mut Criterion) {
+    c.bench_function("cache/load_store_commit_1k_lines", |b| {
+        b.iter_batched(
+            || HierCache::new(CacheConfig::default()),
+            |mut cache| {
+                for l in 0..1024u64 {
+                    cache.fill(LineAddr(l), LineValues::fresh(8), false);
+                    cache.load(LineAddr(l), 0);
+                    cache.store(LineAddr(l), 1);
+                }
+                cache.commit_tx(Tid(1));
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    c.bench_function("cache/hit_path", |b| {
+        let mut cache = HierCache::new(CacheConfig::default());
+        cache.fill(LineAddr(7), LineValues::fresh(8), false);
+        b.iter(|| {
+            std::hint::black_box(cache.load(LineAddr(7), 3));
+        });
+    });
+}
+
+fn bench_mesh(c: &mut Criterion) {
+    c.bench_function("mesh/64_node_crossing_sends", |b| {
+        b.iter_batched(
+            || Mesh2D::new(64, NetworkConfig::default()),
+            |mut m| {
+                let mut t = Cycle(0);
+                for i in 0..64u16 {
+                    t = m.send(t, NodeId(i), NodeId(63 - i), 32);
+                }
+                std::hint::black_box(t);
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group! {
+    name = micro;
+    config = Criterion::default().sample_size(20);
+    targets = bench_skip_vector, bench_directory_commit, bench_cache_ops, bench_mesh
+}
+criterion_main!(micro);

@@ -1,0 +1,54 @@
+//! Regenerates Figure 8: the impact of interconnect latency
+//! (cycles per hop) on 64-processor execution time.
+
+use tcc_bench::{run_app, HarnessArgs, FIG8_LATENCIES};
+use tcc_stats::render::TextTable;
+use tcc_workloads::apps;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let mut csv: Vec<Vec<String>> = Vec::new();
+    let mut t = TextTable::new(vec![
+        "Application",
+        "1 cyc/hop",
+        "2 cyc/hop",
+        "4 cyc/hop",
+        "8 cyc/hop",
+        "slowdown 8 vs 1",
+    ]);
+    for app in apps::all() {
+        if !args.selects(app.name) {
+            continue;
+        }
+        let cycles: Vec<u64> = FIG8_LATENCIES
+            .iter()
+            .map(|&lat| {
+                let r = run_app(&app, 64, args.scale(), |c| c.network.link_latency = lat);
+                eprintln!("  {}: {lat} cyc/hop done", app.name);
+                r.total_cycles
+            })
+            .collect();
+        let base = cycles[0].max(1) as f64;
+        for (lat, c) in FIG8_LATENCIES.iter().zip(&cycles) {
+            csv.push(vec![
+                app.name.to_string(),
+                lat.to_string(),
+                c.to_string(),
+                format!("{:.4}", *c as f64 / base),
+            ]);
+        }
+        let mut row = vec![app.name.to_string()];
+        for c in &cycles {
+            row.push(format!("{:.2}", *c as f64 / base));
+        }
+        row.push(format!("{:.0}%", (cycles[3] as f64 / base - 1.0) * 100.0));
+        t.row(row);
+    }
+    println!("Figure 8: 64-CPU execution time vs. cycles per hop");
+    println!("(normalized to the 1-cycle-per-hop run)\n");
+    println!("{}", t.render());
+    args.write_csv("fig8", &["app", "cycles_per_hop", "cycles", "normalized"], &csv);
+    println!("Paper anchors: equake (remote-load bound) and volrend");
+    println!("(commit bound) degrade ~50% at 8 cycles/hop; SPECjbb2000 and");
+    println!("swim are nearly flat.");
+}

@@ -1,0 +1,57 @@
+//! Regenerates Table 2: parameters of the simulated architecture.
+
+use tcc_core::SystemConfig;
+use tcc_stats::render::TextTable;
+
+fn main() {
+    let c = SystemConfig::default();
+    let mut t = TextTable::new(vec!["Feature", "Description"]);
+    t.row(vec![
+        "CPU".into(),
+        format!("single-issue cores, CPI 1.0 ({} default)", c.n_procs),
+    ]);
+    t.row(vec![
+        "L1".into(),
+        format!(
+            "{}-KB, {}-byte cache line, {}-way associative, {}-cycle latency",
+            c.cache.l1_bytes / 1024,
+            c.cache.geometry.line_bytes(),
+            c.cache.l1_ways,
+            c.cache.l1_latency
+        ),
+    ]);
+    t.row(vec![
+        "L2".into(),
+        format!(
+            "{}-KB, {}-byte cache line, {}-way associative, {}-cycle latency",
+            c.cache.l2_bytes / 1024,
+            c.cache.geometry.line_bytes(),
+            c.cache.l2_ways,
+            c.cache.l2_latency
+        ),
+    ]);
+    t.row(vec![
+        "ICN".into(),
+        format!(
+            "2D grid topology, {}-cycle link latency (swept 1-8 in Figure 8), {} B/cycle links",
+            c.network.link_latency, c.network.bytes_per_cycle
+        ),
+    ]);
+    t.row(vec![
+        "Main memory".into(),
+        format!("{}-cycle latency", c.mem_latency),
+    ]);
+    t.row(vec![
+        "Directory".into(),
+        format!(
+            "full-bit-vector sharer list; {}-cycle directory cache, {}-cycle control ops",
+            c.dir_line_latency, c.dir_ctrl_latency
+        ),
+    ]);
+    t.row(vec![
+        "Placement".into(),
+        "line-interleaved homes (workloads encode first-touch placement into addresses)".into(),
+    ]);
+    println!("Table 2: parameters of the simulated architecture\n");
+    println!("{}", t.render());
+}

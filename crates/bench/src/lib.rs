@@ -1,0 +1,162 @@
+//! Shared harness code for the figure/table reproduction binaries.
+//!
+//! Every table and figure of the paper's evaluation has a binary in
+//! `src/bin/` (run with `--release`; each accepts an optional
+//! application-name filter and a `--smoke` flag for quick runs):
+//!
+//! | target | reproduces |
+//! |--------|------------|
+//! | `table2` | Table 2 — simulated architecture parameters |
+//! | `table3` | Table 3 — application transactional characteristics |
+//! | `fig6`   | Figure 6 — uniprocessor execution-time breakdown |
+//! | `fig7`   | Figure 7 — speedups & breakdowns, 2–64 CPUs |
+//! | `fig8`   | Figure 8 — link-latency sensitivity at 64 CPUs |
+//! | `fig9`   | Figure 9 — remote traffic per directory (bytes/instr) |
+//! | `ablation` | design-choice ablations (A: parallel vs. serialized commit; B: word vs. line conflict detection; C: write-back vs. write-through traffic) |
+//!
+//! Criterion micro-benchmarks of the protocol hot paths live in
+//! `benches/`.
+
+use tcc_core::{SimResult, Simulator, SystemConfig};
+use tcc_workloads::{AppProfile, Scale};
+
+/// Deterministic workload seed shared by all harness binaries, so every
+/// figure is regenerated from the identical programs.
+pub const HARNESS_SEED: u64 = 0x7cc_5eed;
+
+/// Command-line options shared by the harness binaries.
+#[derive(Debug, Clone, Default)]
+pub struct HarnessArgs {
+    /// Case-insensitive substring filter on application names.
+    pub filter: Option<String>,
+    /// Run at smoke scale (~1/8 the transactions) for a quick pass.
+    pub smoke: bool,
+    /// Directory to write machine-readable CSV outputs into
+    /// (`--csv <dir>`), alongside the text tables on stdout.
+    pub csv_dir: Option<String>,
+    /// Workload seed override (`--seed <n>`), for sensitivity studies;
+    /// defaults to [`HARNESS_SEED`].
+    pub seed: Option<u64>,
+}
+
+impl HarnessArgs {
+    /// Parses `std::env::args()`: any `--smoke` flag plus an optional
+    /// free-form filter string.
+    #[must_use]
+    pub fn parse() -> HarnessArgs {
+        let mut args = HarnessArgs::default();
+        let mut iter = std::env::args().skip(1);
+        while let Some(a) = iter.next() {
+            if a == "--smoke" {
+                args.smoke = true;
+            } else if a == "--csv" {
+                args.csv_dir = iter.next();
+            } else if a == "--seed" {
+                args.seed = iter.next().and_then(|v| v.parse().ok());
+            } else if !a.starts_with("--") {
+                args.filter = Some(a);
+            }
+        }
+        args
+    }
+
+    /// Writes `rows` (with `headers`) as `<csv_dir>/<name>.csv` if
+    /// `--csv` was given; silently does nothing otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file cannot be written.
+    pub fn write_csv(&self, name: &str, headers: &[&str], rows: &[Vec<String>]) {
+        let Some(dir) = &self.csv_dir else { return };
+        std::fs::create_dir_all(dir).expect("create csv dir");
+        let mut out = headers.join(",");
+        out.push('\n');
+        for r in rows {
+            out.push_str(&r.join(","));
+            out.push('\n');
+        }
+        let path = format!("{dir}/{name}.csv");
+        std::fs::write(&path, out).expect("write csv");
+        eprintln!("  wrote {path}");
+    }
+
+    /// The workload scale selected.
+    #[must_use]
+    pub fn scale(&self) -> Scale {
+        if self.smoke {
+            Scale::Smoke
+        } else {
+            Scale::Full
+        }
+    }
+
+    /// Whether `name` passes the filter.
+    #[must_use]
+    pub fn selects(&self, name: &str) -> bool {
+        match &self.filter {
+            None => true,
+            Some(f) => name.to_lowercase().contains(&f.to_lowercase()),
+        }
+    }
+}
+
+/// Runs one application on an `n`-processor machine, with `tweak`
+/// applied to the configuration (e.g. a link-latency override).
+#[must_use]
+pub fn run_app(
+    app: &AppProfile,
+    n: usize,
+    scale: Scale,
+    tweak: impl FnOnce(&mut SystemConfig),
+) -> SimResult {
+    run_app_seeded(app, n, scale, HARNESS_SEED, tweak)
+}
+
+/// As [`run_app`], with an explicit workload seed.
+#[must_use]
+pub fn run_app_seeded(
+    app: &AppProfile,
+    n: usize,
+    scale: Scale,
+    seed: u64,
+    tweak: impl FnOnce(&mut SystemConfig),
+) -> SimResult {
+    let mut cfg = SystemConfig::with_procs(n);
+    tweak(&mut cfg);
+    let programs = app.generate_scaled(n, seed, scale);
+    Simulator::new(cfg, programs).run()
+}
+
+/// The machine sizes Figure 7 sweeps.
+pub const FIG7_SIZES: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+/// The cycles-per-hop values Figure 8 sweeps.
+pub const FIG8_LATENCIES: [u64; 4] = [1, 2, 4, 8];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcc_workloads::apps;
+
+    #[test]
+    fn harness_args_default_select_everything() {
+        let a = HarnessArgs::default();
+        assert!(a.selects("swim"));
+        assert!(!a.smoke);
+    }
+
+    #[test]
+    fn filter_is_case_insensitive_substring() {
+        let a = HarnessArgs { filter: Some("JBB".into()), ..HarnessArgs::default() };
+        assert!(a.selects("SPECjbb2000"));
+        assert!(!a.selects("swim"));
+    }
+
+    #[test]
+    fn run_app_completes_at_smoke_scale() {
+        let app = apps::volrend();
+        let r = run_app(&app, 2, Scale::Smoke, |c| c.check_serializability = true);
+        assert!(r.commits > 0);
+        r.assert_serializable();
+    }
+}

@@ -1,0 +1,293 @@
+//! A generic set-associative array with true-LRU replacement.
+
+use tcc_types::LineAddr;
+
+/// One way of a set: a tag plus caller-defined payload, stamped for LRU.
+#[derive(Debug, Clone)]
+struct Way<T> {
+    line: LineAddr,
+    stamp: u64,
+    data: T,
+}
+
+/// A set-associative tag/data array with true-LRU replacement.
+///
+/// Used for both cache levels: the L2 stores full [`crate::LineState`]
+/// payloads, the L1 is a tag-only presence filter (`T = ()`) over the
+/// inclusive L2.
+#[derive(Debug, Clone)]
+pub struct SetArray<T> {
+    sets: Vec<Vec<Way<T>>>,
+    ways: usize,
+    tick: u64,
+}
+
+impl<T> SetArray<T> {
+    /// Creates an array of `sets` sets with `ways` ways each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn new(sets: usize, ways: usize) -> SetArray<T> {
+        assert!(sets > 0 && ways > 0, "cache dimensions must be nonzero");
+        SetArray {
+            sets: (0..sets).map(|_| Vec::with_capacity(ways)).collect(),
+            ways,
+            tick: 0,
+        }
+    }
+
+    /// Number of sets.
+    #[must_use]
+    pub fn n_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Associativity.
+    #[must_use]
+    pub fn n_ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Total lines currently resident.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// True if no lines are resident.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sets.iter().all(Vec::is_empty)
+    }
+
+    fn set_of(&self, line: LineAddr) -> usize {
+        // XOR-folded set hashing (as in many real cache designs):
+        // plain modulo indexing pathologically aliases address streams
+        // whose lines stride by a multiple of the set count — exactly
+        // what NUMA-interleaved home placement produces.
+        let h = line.0 ^ (line.0 >> 12);
+        (h % self.sets.len() as u64) as usize
+    }
+
+    fn bump(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Looks up `line`, refreshing its LRU position on a hit.
+    pub fn get_mut(&mut self, line: LineAddr) -> Option<&mut T> {
+        let stamp = self.bump();
+        let set = self.set_of(line);
+        let way = self.sets[set].iter_mut().find(|w| w.line == line)?;
+        way.stamp = stamp;
+        Some(&mut way.data)
+    }
+
+    /// Looks up `line` without disturbing LRU state.
+    #[must_use]
+    pub fn peek(&self, line: LineAddr) -> Option<&T> {
+        let set = self.set_of(line);
+        self.sets[set].iter().find(|w| w.line == line).map(|w| &w.data)
+    }
+
+    /// Whether `line` is resident (no LRU update).
+    #[must_use]
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.peek(line).is_some()
+    }
+
+    /// Inserts `line`; if its set is full, evicts a victim first.
+    ///
+    /// The victim is the least-recently-used way for which
+    /// `may_evict(&victim)` holds. Returns `Ok(evicted)` on success
+    /// (`evicted` is `None` if there was a free way) or `Err(data)` if
+    /// the set is full and no way may be evicted — the caller's
+    /// speculative-overflow case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line` is already resident; callers must update in
+    /// place via [`SetArray::get_mut`] instead of re-inserting.
+    pub fn insert(
+        &mut self,
+        line: LineAddr,
+        data: T,
+        may_evict: impl Fn(&T) -> bool,
+    ) -> Result<Option<(LineAddr, T)>, T> {
+        let stamp = self.bump();
+        let set_idx = self.set_of(line);
+        let ways = self.ways;
+        let set = &mut self.sets[set_idx];
+        assert!(
+            set.iter().all(|w| w.line != line),
+            "line {line} already resident; update in place"
+        );
+        if set.len() < ways {
+            set.push(Way { line, stamp, data });
+            return Ok(None);
+        }
+        // Full set: evict the LRU way that the caller permits.
+        let victim = set
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| may_evict(&w.data))
+            .min_by_key(|(_, w)| w.stamp)
+            .map(|(i, _)| i);
+        match victim {
+            Some(i) => {
+                let old = std::mem::replace(&mut set[i], Way { line, stamp, data });
+                Ok(Some((old.line, old.data)))
+            }
+            None => Err(data),
+        }
+    }
+
+    /// Removes `line`, returning its payload if present.
+    pub fn remove(&mut self, line: LineAddr) -> Option<T> {
+        let set = self.set_of(line);
+        let pos = self.sets[set].iter().position(|w| w.line == line)?;
+        Some(self.sets[set].swap_remove(pos).data)
+    }
+
+    /// Iterates over all resident lines (no LRU effect, arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = (LineAddr, &T)> {
+        self.sets.iter().flatten().map(|w| (w.line, &w.data))
+    }
+
+    /// Mutably iterates over all resident lines (no LRU effect).
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (LineAddr, &mut T)> {
+        self.sets.iter_mut().flatten().map(|w| (w.line, &mut w.data))
+    }
+
+    /// Removes every line for which `pred` holds, returning them.
+    pub fn drain_filter(&mut self, mut pred: impl FnMut(LineAddr, &T) -> bool) -> Vec<(LineAddr, T)> {
+        let mut out = Vec::new();
+        for set in &mut self.sets {
+            let mut i = 0;
+            while i < set.len() {
+                if pred(set[i].line, &set[i].data) {
+                    let w = set.swap_remove(i);
+                    out.push((w.line, w.data));
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut a: SetArray<u32> = SetArray::new(4, 2);
+        assert!(a.insert(LineAddr(0), 10, |_| true).unwrap().is_none());
+        assert!(a.insert(LineAddr(4), 20, |_| true).unwrap().is_none());
+        assert_eq!(a.peek(LineAddr(0)), Some(&10));
+        assert_eq!(a.get_mut(LineAddr(4)), Some(&mut 20));
+        assert!(a.contains(LineAddr(4)));
+        assert!(!a.contains(LineAddr(8)));
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn lru_eviction_prefers_least_recently_used() {
+        let mut a: SetArray<u32> = SetArray::new(1, 2);
+        a.insert(LineAddr(0), 0, |_| true).unwrap();
+        a.insert(LineAddr(1), 1, |_| true).unwrap();
+        // Touch line 0 so line 1 becomes LRU.
+        a.get_mut(LineAddr(0));
+        let evicted = a.insert(LineAddr(2), 2, |_| true).unwrap();
+        assert_eq!(evicted, Some((LineAddr(1), 1)));
+        assert!(a.contains(LineAddr(0)));
+        assert!(a.contains(LineAddr(2)));
+    }
+
+    #[test]
+    fn pinned_ways_are_skipped_for_eviction() {
+        let mut a: SetArray<u32> = SetArray::new(1, 2);
+        a.insert(LineAddr(0), 100, |_| true).unwrap(); // LRU but pinned
+        a.insert(LineAddr(1), 5, |_| true).unwrap();
+        let evicted = a.insert(LineAddr(2), 7, |&d| d < 50).unwrap();
+        assert_eq!(evicted, Some((LineAddr(1), 5)), "pinned LRU way must survive");
+    }
+
+    #[test]
+    fn full_set_of_pinned_ways_reports_overflow() {
+        let mut a: SetArray<u32> = SetArray::new(1, 2);
+        a.insert(LineAddr(0), 1, |_| true).unwrap();
+        a.insert(LineAddr(1), 2, |_| true).unwrap();
+        assert!(a.insert(LineAddr(2), 3, |_| false).is_err());
+        // The failed insert must not have displaced anything.
+        assert!(a.contains(LineAddr(0)) && a.contains(LineAddr(1)));
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn remove_and_drain() {
+        let mut a: SetArray<u32> = SetArray::new(2, 2);
+        for i in 0..4 {
+            a.insert(LineAddr(i), i as u32, |_| true).unwrap();
+        }
+        assert_eq!(a.remove(LineAddr(1)), Some(1));
+        assert_eq!(a.remove(LineAddr(1)), None);
+        let odd = a.drain_filter(|l, _| l.0 % 2 == 1);
+        assert_eq!(odd, vec![(LineAddr(3), 3)]);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already resident")]
+    fn double_insert_panics() {
+        let mut a: SetArray<u32> = SetArray::new(1, 2);
+        a.insert(LineAddr(0), 1, |_| true).unwrap();
+        a.insert(LineAddr(0), 2, |_| true).unwrap();
+    }
+
+    #[test]
+    fn lines_map_to_sets_by_modulo() {
+        let mut a: SetArray<u32> = SetArray::new(4, 1);
+        // Lines 0 and 4 collide; 1 does not.
+        a.insert(LineAddr(0), 0, |_| true).unwrap();
+        a.insert(LineAddr(1), 1, |_| true).unwrap();
+        let ev = a.insert(LineAddr(4), 4, |_| true).unwrap();
+        assert_eq!(ev, Some((LineAddr(0), 0)));
+        assert!(a.contains(LineAddr(1)));
+    }
+
+    proptest! {
+        /// Capacity is never exceeded and every resident line is findable.
+        #[test]
+        fn prop_capacity_respected(lines in proptest::collection::vec(0u64..64, 1..200)) {
+            let mut a: SetArray<u64> = SetArray::new(4, 2);
+            for &l in &lines {
+                if !a.contains(LineAddr(l)) {
+                    let _ = a.insert(LineAddr(l), l, |_| true);
+                }
+                prop_assert!(a.len() <= 8);
+                prop_assert_eq!(a.peek(LineAddr(l)).copied(), Some(l));
+            }
+        }
+
+        /// An element touched every step is never evicted by other traffic
+        /// in the same set (true LRU).
+        #[test]
+        fn prop_hot_line_survives(noise in proptest::collection::vec(0u64..32, 1..100)) {
+            let mut a: SetArray<u64> = SetArray::new(1, 4);
+            a.insert(LineAddr(1000), 1000, |_| true).unwrap();
+            for &l in &noise {
+                prop_assert!(a.get_mut(LineAddr(1000)).is_some(), "hot line evicted");
+                if !a.contains(LineAddr(l)) {
+                    let _ = a.insert(LineAddr(l), l, |_| true);
+                }
+            }
+            prop_assert!(a.contains(LineAddr(1000)));
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Cache hierarchy configuration.
+
+use tcc_types::{LineGeometry, WordMask};
+
+/// Which cache level serviced an access, with its latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Level {
+    /// First-level cache hit.
+    L1,
+    /// Second-level cache hit (L1 miss).
+    L2,
+}
+
+/// Granularity of speculative state tracking and conflict detection
+/// (§3.1 of the paper describes both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Granularity {
+    /// One SR/SM bit per word; `Mark`/`Invalidate` carry word flags, so
+    /// two transactions touching disjoint words of a line do not
+    /// conflict. The paper's default.
+    #[default]
+    Word,
+    /// One SR/SM bit per line; any overlap at line granularity
+    /// conflicts (exposes false sharing — Ablation B).
+    Line,
+}
+
+/// Geometry and timing of the two-level private cache hierarchy.
+///
+/// Defaults correspond to Table 2 of the paper: 32-KB 4-way L1 with
+/// 1-cycle latency and 512-KB 8-way L2 with 16-cycle latency, both with
+/// 32-byte lines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total L1 capacity in bytes.
+    pub l1_bytes: u32,
+    /// L1 associativity.
+    pub l1_ways: u32,
+    /// L1 hit latency in cycles.
+    pub l1_latency: u64,
+    /// Total L2 capacity in bytes.
+    pub l2_bytes: u32,
+    /// L2 associativity.
+    pub l2_ways: u32,
+    /// L2 hit latency in cycles.
+    pub l2_latency: u64,
+    /// Line/word geometry (shared with the directories).
+    pub geometry: LineGeometry,
+    /// Speculative-state tracking granularity.
+    pub granularity: Granularity,
+}
+
+impl CacheConfig {
+    /// Number of sets in the given level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity, associativity, and line size are
+    /// inconsistent (non-integral or zero set count).
+    #[must_use]
+    pub fn sets(&self, level: Level) -> usize {
+        let (bytes, ways) = match level {
+            Level::L1 => (self.l1_bytes, self.l1_ways),
+            Level::L2 => (self.l2_bytes, self.l2_ways),
+        };
+        let line = self.geometry.line_bytes();
+        assert!(ways > 0 && bytes % (line * ways) == 0, "inconsistent cache geometry");
+        let sets = bytes / (line * ways);
+        assert!(sets > 0, "cache must have at least one set");
+        sets as usize
+    }
+
+    /// Hit latency of the given level.
+    #[must_use]
+    pub fn latency(&self, level: Level) -> u64 {
+        match level {
+            Level::L1 => self.l1_latency,
+            Level::L2 => self.l2_latency,
+        }
+    }
+
+    /// Mask of all words in a line under this geometry.
+    #[must_use]
+    pub fn full_line_mask(&self) -> WordMask {
+        let n = self.geometry.words_per_line();
+        if n >= 64 {
+            WordMask::ALL
+        } else {
+            WordMask((1u64 << n) - 1)
+        }
+    }
+
+    /// The tracking mask for an access to word `word`: a single bit under
+    /// [`Granularity::Word`], the whole line under [`Granularity::Line`].
+    #[must_use]
+    pub fn track_mask(&self, word: usize) -> WordMask {
+        match self.granularity {
+            Granularity::Word => WordMask::single(word),
+            Granularity::Line => self.full_line_mask(),
+        }
+    }
+}
+
+impl Default for CacheConfig {
+    fn default() -> CacheConfig {
+        CacheConfig {
+            l1_bytes: 32 << 10,
+            l1_ways: 4,
+            l1_latency: 1,
+            l2_bytes: 512 << 10,
+            l2_ways: 8,
+            l2_latency: 16,
+            geometry: LineGeometry::default(),
+            granularity: Granularity::Word,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table_2() {
+        let c = CacheConfig::default();
+        assert_eq!(c.sets(Level::L1), 32 * 1024 / (32 * 4));
+        assert_eq!(c.sets(Level::L2), 512 * 1024 / (32 * 8));
+        assert_eq!(c.latency(Level::L1), 1);
+        assert_eq!(c.latency(Level::L2), 16);
+    }
+
+    #[test]
+    fn full_line_mask_covers_words_per_line() {
+        let c = CacheConfig::default();
+        assert_eq!(c.full_line_mask().count(), 8);
+        let wide = CacheConfig {
+            geometry: LineGeometry::new(256, 4),
+            l1_bytes: 32 << 10,
+            l1_ways: 4,
+            ..CacheConfig::default()
+        };
+        assert_eq!(wide.full_line_mask().count(), 64);
+    }
+
+    #[test]
+    fn track_mask_follows_granularity() {
+        let mut c = CacheConfig::default();
+        assert_eq!(c.track_mask(3).count(), 1);
+        assert!(c.track_mask(3).get(3));
+        c.granularity = Granularity::Line;
+        assert_eq!(c.track_mask(3).count(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent cache geometry")]
+    fn rejects_inconsistent_geometry() {
+        let c = CacheConfig { l1_bytes: 1000, ..CacheConfig::default() };
+        let _ = c.sets(Level::L1);
+    }
+}

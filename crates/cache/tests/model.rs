@@ -1,0 +1,297 @@
+//! Model-based property test of the speculative cache hierarchy.
+//!
+//! A plain-map reference model implements the *documented* semantics of
+//! every cache operation; proptest drives both the model and the real
+//! [`HierCache`] with random operation sequences and checks that every
+//! observable (presence, dirtiness, SR/SM masks, load outcomes, write
+//! sets) agrees. The hierarchy under test is configured large enough
+//! that capacity evictions cannot occur (capacity behaviour has its own
+//! tests in the unit suite); this test isolates the transactional state
+//! machine.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use tcc_cache::{CacheConfig, HierCache, LoadOutcome};
+use tcc_types::{LineAddr, LineGeometry, LineValues, Tid, WordMask};
+
+const WORDS: usize = 8;
+
+#[derive(Debug, Clone, Default)]
+struct ModelLine {
+    valid: u64,
+    sr: u64,
+    sm: u64,
+    dirty: bool,
+    values: Vec<Option<Tid>>,
+}
+
+#[derive(Debug, Default)]
+struct Model {
+    lines: HashMap<u64, ModelLine>,
+}
+
+impl Model {
+    fn fill(&mut self, line: u64, values: &LineValues) {
+        let entry = self.lines.entry(line).or_insert_with(|| ModelLine {
+            values: vec![None; WORDS],
+            ..ModelLine::default()
+        });
+        // Merge: only invalid, non-SM words take fill data.
+        for w in 0..WORDS {
+            let bit = 1u64 << w;
+            if entry.sm & bit == 0 && entry.valid & bit == 0 {
+                entry.values[w] = values.words[w];
+            }
+        }
+        entry.valid = (1 << WORDS) - 1;
+    }
+
+    fn load(&mut self, line: u64, word: usize) -> Option<(Option<Tid>, bool, bool)> {
+        let entry = self.lines.get_mut(&line)?;
+        let bit = 1u64 << word;
+        let own = entry.sm & bit != 0;
+        if !own && entry.valid & bit == 0 {
+            return None; // upgrade miss
+        }
+        let first = !own && entry.sr & bit == 0;
+        if !own {
+            entry.sr |= bit;
+        }
+        Some((entry.values[word], own, first))
+    }
+
+    fn store(&mut self, line: u64, word: usize) -> Option<bool> {
+        let entry = self.lines.get_mut(&line)?;
+        let pre_wb = entry.dirty && entry.sm == 0;
+        if pre_wb {
+            entry.dirty = false;
+        }
+        entry.sm |= 1 << word;
+        Some(pre_wb)
+    }
+
+    fn invalidate(&mut self, line: u64, words: u64) -> (bool, bool, bool) {
+        let Some(entry) = self.lines.get_mut(&line) else {
+            return (false, false, false);
+        };
+        let conflict = entry.sr & words != 0;
+        entry.valid = 0;
+        let retained = entry.sr != 0 || entry.sm != 0;
+        if !retained {
+            self.lines.remove(&line);
+        }
+        (true, conflict, retained)
+    }
+
+    fn commit(&mut self, tid: Tid) {
+        for entry in self.lines.values_mut() {
+            if entry.sm != 0 {
+                for w in 0..WORDS {
+                    if entry.sm & (1 << w) != 0 {
+                        entry.values[w] = Some(tid);
+                    }
+                }
+                entry.dirty = true;
+                entry.valid |= entry.sm;
+            }
+            entry.sr = 0;
+            entry.sm = 0;
+        }
+    }
+
+    fn abort(&mut self) {
+        self.lines.retain(|_, e| e.sm == 0);
+        for e in self.lines.values_mut() {
+            e.sr = 0;
+        }
+    }
+
+    fn flush(&mut self, line: u64, keep: bool) -> Option<(Vec<Option<Tid>>, u64)> {
+        let entry = self.lines.get_mut(&line)?;
+        entry.dirty = false;
+        let out = (entry.values.clone(), entry.valid);
+        if !keep {
+            self.lines.remove(&line);
+        }
+        Some(out)
+    }
+
+    fn write_set(&self) -> Vec<(u64, u64)> {
+        let mut ws: Vec<(u64, u64)> = self
+            .lines
+            .iter()
+            .filter(|(_, e)| e.sm != 0)
+            .map(|(&l, e)| (l, e.sm))
+            .collect();
+        ws.sort_unstable();
+        ws
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Fill { line: u64, stamp: Option<u64> },
+    Load { line: u64, word: usize },
+    Store { line: u64, word: usize },
+    Invalidate { line: u64, words: u64 },
+    Commit { tid: u64 },
+    Abort,
+    Flush { line: u64, keep: bool },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let line = 0u64..6;
+    let word = 0usize..WORDS;
+    prop_oneof![
+        (line.clone(), proptest::option::of(0u64..100))
+            .prop_map(|(line, stamp)| Op::Fill { line, stamp }),
+        (line.clone(), word.clone()).prop_map(|(line, word)| Op::Load { line, word }),
+        (line.clone(), word).prop_map(|(line, word)| Op::Store { line, word }),
+        (line.clone(), 1u64..(1 << WORDS)).prop_map(|(line, words)| Op::Invalidate { line, words }),
+        (100u64..200).prop_map(|tid| Op::Commit { tid }),
+        Just(Op::Abort),
+        (line, proptest::bool::ANY).prop_map(|(line, keep)| Op::Flush { line, keep }),
+    ]
+}
+
+fn big_cache() -> HierCache {
+    HierCache::new(CacheConfig {
+        l1_bytes: 4096,
+        l1_ways: 8,
+        l1_latency: 1,
+        l2_bytes: 64 * 1024,
+        l2_ways: 16,
+        l2_latency: 16,
+        geometry: LineGeometry::new(32, 4),
+        granularity: tcc_cache::Granularity::Word,
+    })
+}
+
+fn mk_values(stamp: Option<u64>) -> LineValues {
+    let mut v = LineValues::fresh(WORDS);
+    if let Some(s) = stamp {
+        v.apply_write(WordMask::ALL, Tid(s));
+    }
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The real hierarchy and the reference model agree on every
+    /// observable after every operation.
+    #[test]
+    fn cache_matches_reference_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let mut cache = big_cache();
+        let mut model = Model::default();
+        // Pending invalidation-flush state is checked via prepare_inv_flush
+        // equivalence: model dirty lines must flush before invalidate.
+        for op in ops {
+            match op {
+                Op::Fill { line, stamp } => {
+                    // Only fill when the line is absent or has invalid
+                    // words (as the protocol would).
+                    let values = mk_values(stamp);
+                    let r = cache.fill(LineAddr(line), values.clone(), false);
+                    prop_assert!(!r.overflow, "big cache must not overflow");
+                    model.fill(line, &values);
+                }
+                Op::Load { line, word } => {
+                    let real = cache.load(LineAddr(line), word);
+                    let want = model.load(line, word);
+                    match (real, want) {
+                        (LoadOutcome::Miss, None) => {}
+                        (
+                            LoadOutcome::Hit { value, own_speculative, first_read, .. },
+                            Some((mv, mown, mfirst)),
+                        ) => {
+                            prop_assert_eq!(value, mv, "load value diverged");
+                            prop_assert_eq!(own_speculative, mown);
+                            prop_assert_eq!(first_read, mfirst);
+                        }
+                        (real, want) => {
+                            return Err(TestCaseError::fail(format!(
+                                "load outcome diverged: real {real:?} vs model {want:?}"
+                            )))
+                        }
+                    }
+                }
+                Op::Store { line, word } => {
+                    use tcc_cache::StoreOutcome;
+                    let real = cache.store(LineAddr(line), word);
+                    let want = model.store(line, word);
+                    match (real, want) {
+                        (StoreOutcome::Miss, None) => {}
+                        (StoreOutcome::Hit { pre_writeback, .. }, Some(mpre)) => {
+                            prop_assert_eq!(pre_writeback.is_some(), mpre, "pre-writeback diverged");
+                        }
+                        (real, want) => {
+                            return Err(TestCaseError::fail(format!(
+                                "store outcome diverged: real {real:?} vs model {want:?}"
+                            )))
+                        }
+                    }
+                }
+                Op::Invalidate { line, words } => {
+                    // Protocol contract: flush dirty lines first.
+                    let mask = WordMask(words);
+                    let _ = cache.prepare_inv_flush(LineAddr(line), mask);
+                    if let Some(e) = model.lines.get_mut(&line) {
+                        e.dirty = false;
+                    }
+                    let real = cache.invalidate(LineAddr(line), mask);
+                    let (present, conflict, retained) = model.invalidate(line, words);
+                    prop_assert_eq!(real.was_present, present);
+                    prop_assert_eq!(real.conflict, conflict);
+                    if present {
+                        prop_assert_eq!(real.retained, retained);
+                    }
+                }
+                Op::Commit { tid } => {
+                    cache.commit_tx(Tid(tid));
+                    model.commit(Tid(tid));
+                }
+                Op::Abort => {
+                    cache.abort_tx();
+                    model.abort();
+                }
+                Op::Flush { line, keep } => {
+                    let real = cache.flush(LineAddr(line), keep);
+                    let want = model.flush(line, keep);
+                    match (&real, &want) {
+                        (None, None) => {}
+                        (Some((rv, rvalid, _gen)), Some((mv, mvalid))) => {
+                            prop_assert_eq!(&rv.words, mv, "flush values diverged");
+                            prop_assert_eq!(rvalid.0, *mvalid, "flush valid mask diverged");
+                        }
+                        _ => {
+                            return Err(TestCaseError::fail(format!(
+                                "flush outcome diverged: real {real:?} vs model {want:?}"
+                            )))
+                        }
+                    }
+                }
+            }
+            // Invariants after every step.
+            for (&l, e) in &model.lines {
+                prop_assert_eq!(
+                    cache.contains(LineAddr(l)),
+                    true,
+                    "model line {} missing from cache", l
+                );
+                prop_assert_eq!(cache.sr_mask(LineAddr(l)).0, e.sr);
+                prop_assert_eq!(cache.sm_mask(LineAddr(l)).0, e.sm);
+                prop_assert_eq!(cache.is_dirty(LineAddr(l)), e.dirty);
+                // Speculative lines are never dirty.
+                prop_assert!(!(e.dirty && e.sm != 0), "dirty+SM impossible");
+            }
+            let real_ws: Vec<(u64, u64)> = cache
+                .write_set()
+                .into_iter()
+                .map(|(l, m)| (l.0, m.0))
+                .collect();
+            prop_assert_eq!(real_ws, model.write_set(), "write sets diverged");
+        }
+    }
+}

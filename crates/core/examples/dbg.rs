@@ -1,0 +1,35 @@
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use tcc_core::{Simulator, SystemConfig, ThreadProgram, Transaction, TxOp, WorkItem};
+use tcc_types::Addr;
+
+fn main() {
+    let seed: u64 = std::env::args().nth(1).unwrap().parse().unwrap();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let programs: Vec<ThreadProgram> = (0..4)
+        .map(|_| {
+            let mut items = Vec::new();
+            for _ in 0..5 {
+                let n_ops = rng.gen_range(1..=8);
+                let mut ops = Vec::with_capacity(n_ops);
+                for _ in 0..n_ops {
+                    let line = rng.gen_range(0..6u64);
+                    let word = rng.gen_range(0..8u64);
+                    let addr = Addr(line * 32 + word * 4);
+                    if rng.gen_bool(0.5) { ops.push(TxOp::Store(addr)); } else { ops.push(TxOp::Load(addr)); }
+                    if rng.gen_bool(0.5) { ops.push(TxOp::Compute(rng.gen_range(1..200))); }
+                }
+                items.push(WorkItem::Tx(Transaction::new(ops)));
+            }
+            ThreadProgram::new(items)
+        })
+        .collect();
+    let mut cfg = SystemConfig::with_procs(4);
+    cfg.check_serializability = true;
+    cfg.owner_flush_keeps_line = false;
+    let r = Simulator::new(cfg, programs).run();
+    match r.serializability.unwrap() {
+        Ok(()) => println!("seed {seed} ok ({} commits)", r.commits),
+        Err(e) => println!("seed {seed} ERR: {e}"),
+    }
+}

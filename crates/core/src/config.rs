@@ -1,0 +1,118 @@
+//! Full-system configuration (Table 2 of the paper).
+
+use tcc_cache::CacheConfig;
+use tcc_network::NetworkConfig;
+use tcc_types::NodeId;
+
+/// Configuration of the simulated machine and protocol.
+///
+/// Defaults reproduce Table 2: single-issue cores with CPI 1.0, a
+/// 32-KB/4-way/1-cycle L1 and 512-KB/8-way/16-cycle L2 with 32-byte
+/// lines, a 2D grid with 4-cycle links, 100-cycle main memory, and a
+/// 10-cycle directory cache.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemConfig {
+    /// Number of processors (= nodes = directories).
+    pub n_procs: usize,
+    /// Private cache hierarchy of each processor.
+    pub cache: CacheConfig,
+    /// Interconnect parameters (Figure 8 varies `link_latency`).
+    pub network: NetworkConfig,
+    /// Directory-cache lookup latency for line-state operations
+    /// (loads, marks, commits, write-backs), in cycles.
+    pub dir_line_latency: u64,
+    /// Capacity of each node's directory cache, in entries. Line-state
+    /// operations that miss pay an extra main-memory access to fetch
+    /// the directory state. `None` models an unbounded cache (Table 3
+    /// shows every application's working set "fits comfortably" in a
+    /// 2-MB directory cache, so this is the paper-faithful default).
+    pub dir_cache_entries: Option<usize>,
+    /// Directory latency for control operations that do not touch line
+    /// state (skips, probes, aborts, invalidation acks), in cycles.
+    pub dir_ctrl_latency: u64,
+    /// Main-memory access latency, in cycles.
+    pub mem_latency: u64,
+    /// Maximum cycles of useful work a processor executes per simulator
+    /// event before rescheduling itself; bounds the timing skew between
+    /// execution and concurrently-delivered invalidations.
+    pub exec_chunk: u64,
+    /// After this many consecutive violations of one transaction, it
+    /// re-executes with an *early* TID (acquired at restart), making it
+    /// the oldest transaction in the system so it cannot be violated
+    /// again (§3.3 forward-progress guarantee).
+    pub starvation_threshold: u32,
+    /// `true`: an owner answering a `DataRequest` keeps a clean copy
+    /// (Table 1 `Flush`). `false`: it drops the line (Fig. 2f
+    /// write-back-and-invalidate behaviour).
+    pub owner_flush_keeps_line: bool,
+    /// Record TAPE-style profiling events (violations with their
+    /// locations and costs, starvation events); see
+    /// [`crate::ProfileReport`].
+    pub profile: bool,
+    /// Run the serializability checker alongside the simulation
+    /// (used pervasively in tests; costs memory proportional to the
+    /// committed read/write sets).
+    pub check_serializability: bool,
+    /// Safety limit: the simulation panics if the clock exceeds this,
+    /// which would indicate a protocol deadlock or livelock.
+    pub max_cycles: u64,
+}
+
+impl SystemConfig {
+    /// A configuration for `n_procs` processors with all other
+    /// parameters at their Table 2 defaults.
+    #[must_use]
+    pub fn with_procs(n_procs: usize) -> SystemConfig {
+        SystemConfig { n_procs, ..SystemConfig::default() }
+    }
+
+    /// The node hosting the global TID vendor.
+    #[must_use]
+    pub fn vendor_node(&self) -> NodeId {
+        NodeId(0)
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> SystemConfig {
+        SystemConfig {
+            n_procs: 32,
+            cache: CacheConfig::default(),
+            network: NetworkConfig::default(),
+            dir_line_latency: 10,
+            dir_cache_entries: None,
+            dir_ctrl_latency: 2,
+            mem_latency: 100,
+            exec_chunk: 200,
+            starvation_threshold: 8,
+            owner_flush_keeps_line: true,
+            profile: false,
+            check_serializability: false,
+            max_cycles: u64::MAX / 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_2() {
+        let c = SystemConfig::default();
+        assert_eq!(c.n_procs, 32);
+        assert_eq!(c.mem_latency, 100);
+        assert_eq!(c.dir_line_latency, 10);
+        assert_eq!(c.network.link_latency, 4);
+        assert_eq!(c.cache.l1_bytes, 32 << 10);
+        assert_eq!(c.cache.l2_bytes, 512 << 10);
+    }
+
+    #[test]
+    fn with_procs_overrides_only_the_count() {
+        let c = SystemConfig::with_procs(64);
+        assert_eq!(c.n_procs, 64);
+        assert_eq!(c.mem_latency, SystemConfig::default().mem_latency);
+        assert_eq!(c.vendor_node(), NodeId(0));
+    }
+}

@@ -1,0 +1,1657 @@
+//! The TCC processor model: transactional execution, the two-phase
+//! commit protocol, violations, and overflow handling.
+
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+
+use tcc_cache::{Eviction, HierCache, LineState, LoadOutcome, StoreOutcome};
+use tcc_types::{
+    Addr, Cycle, DirId, LineAddr, LineValues, Message, NodeId, Payload, Tid, WordMask,
+};
+
+use crate::breakdown::{Breakdown, TxCharacteristics};
+use crate::checker::TxRecord;
+use crate::profiling::{StarvationEvent, ViolationEvent};
+use crate::config::SystemConfig;
+use crate::program::{ThreadProgram, Transaction, TxOp, WorkItem};
+
+/// Everything a processor transition asks the simulation layer to do.
+#[derive(Debug, Default)]
+pub struct Effects {
+    /// Messages to inject, each after the given delay (cycles from now).
+    pub sends: Vec<(u64, Message)>,
+    /// Re-schedule this processor's execution after the given delay.
+    pub wake_in: Option<u64>,
+    /// The processor reached a barrier.
+    pub reached_barrier: bool,
+    /// The processor finished its program.
+    pub finished: bool,
+    /// A transaction committed (checker record + Table 3 characteristics).
+    pub committed: Option<(TxRecord, TxCharacteristics)>,
+}
+
+impl Effects {
+    fn send(&mut self, delay: u64, msg: Message) {
+        self.sends.push((delay, msg));
+    }
+
+    fn merge(&mut self, other: Effects) {
+        self.sends.extend(other.sends);
+        debug_assert!(self.wake_in.is_none() || other.wake_in.is_none());
+        self.wake_in = self.wake_in.take().or(other.wake_in);
+        self.reached_barrier |= other.reached_barrier;
+        self.finished |= other.finished;
+        debug_assert!(self.committed.is_none() || other.committed.is_none());
+        if other.committed.is_some() {
+            self.committed = other.committed;
+        }
+    }
+}
+
+/// Lifetime counters of one processor.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProcCounters {
+    /// Transactions committed.
+    pub commits: u64,
+    /// Transaction attempts violated.
+    pub violations: u64,
+    /// Violations caused by speculative-buffer overflow.
+    pub overflows: u64,
+    /// Committed instructions.
+    pub instructions: u64,
+    /// Re-executions performed in serialized (early-TID) mode.
+    pub serialized_retries: u64,
+    /// Cycles committed transactions spent waiting for the TID vendor.
+    pub tid_wait: u64,
+    /// Cycles committed transactions spent between announcing (skips +
+    /// probes out) and the last probe reply (NSTID waits).
+    pub probe_wait: u64,
+}
+
+/// An overflowed speculative line held in the processor's unbounded
+/// victim buffer (the VTM-style virtualization fallback; see DESIGN.md).
+///
+/// After its transaction commits, an entry with committed data stays
+/// here *dirty*: the buffer then carries the same obligations the cache
+/// does — answering `DataRequest`s, flushing before invalidations, and
+/// pre-write-back before re-writing — because writing the data back
+/// eagerly at commit would leave a window in which a subsequent commit
+/// to the line completes while this generation's data is still in
+/// flight.
+#[derive(Debug, Clone)]
+struct SpillEntry {
+    sr: WordMask,
+    sm: WordMask,
+    valid: WordMask,
+    /// Committed data newer than memory lives here (we are the line's
+    /// registered owner).
+    dirty: bool,
+    /// Ownership generation of the committed data.
+    generation: Option<Tid>,
+    values: LineValues,
+}
+
+/// Validation-phase state (§2.2 commit protocol).
+#[derive(Debug)]
+struct ValState {
+    tid: Option<Tid>,
+    write_set: Vec<(LineAddr, WordMask)>,
+    wdirs: BTreeSet<DirId>,
+    sdirs_only: BTreeSet<DirId>,
+    /// Directories whose probe reply is still outstanding.
+    pending: BTreeSet<DirId>,
+    marks_per_dir: BTreeMap<DirId, u32>,
+    /// True once Skip/Probe messages have gone out (they must be undone
+    /// with Abort/Skip on a violation).
+    announced: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    /// Not yet started.
+    Fresh,
+    /// Executing transaction operations.
+    Running,
+    /// Blocked on an outstanding cache-line fill; `req` identifies the
+    /// outstanding request (replies to superseded requests are dropped).
+    WaitFill { line: LineAddr, word: usize, is_store: bool, req: u64, stall_start: Cycle },
+    /// Waiting for the TID vendor during validation.
+    WaitTid,
+    /// Waiting for an early TID before re-executing (serialized mode).
+    WaitTidEarly,
+    /// Probing/marking/committing.
+    Validating,
+    /// Waiting at a barrier.
+    AtBarrier { since: Cycle },
+    /// Program complete.
+    Done,
+}
+
+/// One TCC processor: private cache hierarchy plus the protocol engine.
+#[derive(Debug)]
+pub struct Processor {
+    id: NodeId,
+    cfg: SystemConfig,
+    cache: HierCache,
+    program: ThreadProgram,
+    item: usize,
+    op: usize,
+    state: State,
+    val: Option<ValState>,
+
+    // Current-attempt bookkeeping.
+    tx_start: Cycle,
+    commit_start: Cycle,
+    /// When this attempt's skips/probes went out (commit sub-phase
+    /// attribution).
+    announce_at: Cycle,
+    attempt_useful: u64,
+    attempt_miss: u64,
+    attempt_commit_extra: u64,
+    tx_instr: u64,
+    read_lines: HashSet<LineAddr>,
+    reads_log: Vec<(LineAddr, usize, Option<Tid>)>,
+    sharing_dirs: BTreeSet<DirId>,
+    writing_dirs: BTreeSet<DirId>,
+    fill_epoch: u64,
+
+    // Forward-progress machinery.
+    violations_in_row: u32,
+    serialize_mode: bool,
+    early_tid: Option<Tid>,
+    spill: BTreeMap<LineAddr, SpillEntry>,
+
+    /// Most recent TID this processor acquired; tags write-backs (§3.3).
+    last_tid: Tid,
+    /// TID requests whose attempt was violated while the request was in
+    /// flight; the matching replies must be released with skips.
+    orphaned_tid_requests: u32,
+    /// Monotonic wake-up sequence; stale `ProcStep` events (scheduled
+    /// before a violation or state change) are discarded by comparing
+    /// against this.
+    wake_seq: u64,
+    /// Monotonic load-request id. Echoed in replies; only the reply to
+    /// the *latest* request is consumed (§3.3 "drop that load" race
+    /// elimination, generalized to rolled-back attempts).
+    req_seq: u64,
+
+    totals: Breakdown,
+    counters: ProcCounters,
+    done_at: Option<Cycle>,
+    /// TAPE profiling events (populated only when `cfg.profile`).
+    profile_violations: Vec<ViolationEvent>,
+    profile_starvation: Vec<StarvationEvent>,
+}
+
+impl Processor {
+    /// Creates a processor for node `id` running `program`.
+    #[must_use]
+    pub fn new(id: NodeId, cfg: SystemConfig, program: ThreadProgram) -> Processor {
+        let cache = HierCache::new(cfg.cache.clone());
+        Processor {
+            id,
+            cfg,
+            cache,
+            program,
+            item: 0,
+            op: 0,
+            state: State::Fresh,
+            val: None,
+            tx_start: Cycle::ZERO,
+            commit_start: Cycle::ZERO,
+            announce_at: Cycle::ZERO,
+            attempt_useful: 0,
+            attempt_miss: 0,
+            attempt_commit_extra: 0,
+            tx_instr: 0,
+            read_lines: HashSet::new(),
+            reads_log: Vec::new(),
+            sharing_dirs: BTreeSet::new(),
+            writing_dirs: BTreeSet::new(),
+            fill_epoch: 0,
+            violations_in_row: 0,
+            serialize_mode: false,
+            early_tid: None,
+            spill: BTreeMap::new(),
+            last_tid: Tid(0),
+            orphaned_tid_requests: 0,
+            wake_seq: 0,
+            req_seq: 0,
+            totals: Breakdown::default(),
+            counters: ProcCounters::default(),
+            done_at: None,
+            profile_violations: Vec::new(),
+            profile_starvation: Vec::new(),
+        }
+    }
+
+    /// Drains the TAPE profiling events recorded so far.
+    pub fn take_profile(&mut self) -> (Vec<ViolationEvent>, Vec<StarvationEvent>) {
+        (
+            std::mem::take(&mut self.profile_violations),
+            std::mem::take(&mut self.profile_starvation),
+        )
+    }
+
+    /// This processor's node.
+    #[must_use]
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Execution-time breakdown accumulated so far.
+    #[must_use]
+    pub fn breakdown(&self) -> Breakdown {
+        self.totals
+    }
+
+    /// Lifetime counters.
+    #[must_use]
+    pub fn counters(&self) -> ProcCounters {
+        self.counters
+    }
+
+    /// Cycle at which the program finished, if it has.
+    #[must_use]
+    pub fn done_at(&self) -> Option<Cycle> {
+        self.done_at
+    }
+
+    /// The cache hierarchy (for statistics and invariant checks).
+    #[must_use]
+    pub fn cache(&self) -> &HierCache {
+        &self.cache
+    }
+
+    /// Whether `line` is held dirty in the overflow victim buffer
+    /// (for the simulator's end-of-run ownership check).
+    #[must_use]
+    pub fn has_dirty_spill(&self, line: LineAddr) -> bool {
+        self.spill.get(&line).is_some_and(|e| e.dirty)
+    }
+
+    /// Whether the processor finished its program.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        matches!(self.state, State::Done)
+    }
+
+    /// Human-readable state tag for deadlock diagnostics.
+    #[must_use]
+    pub fn state_name(&self) -> &'static str {
+        match self.state {
+            State::Fresh => "fresh",
+            State::Running => "running",
+            State::WaitFill { .. } => "wait-fill",
+            State::WaitTid => "wait-tid",
+            State::WaitTidEarly => "wait-tid-early",
+            State::Validating => "validating",
+            State::AtBarrier { .. } => "at-barrier",
+            State::Done => "done",
+        }
+    }
+
+    /// Current wake-up sequence number; the scheduler tags `ProcStep`
+    /// events with this and discards events whose tag is stale.
+    #[must_use]
+    pub fn wake_seq(&self) -> u64 {
+        self.wake_seq
+    }
+
+    /// Arms a wake-up `delay` cycles from now, invalidating any
+    /// previously scheduled wake-up.
+    fn arm_wake(&mut self, fx: &mut Effects, delay: u64) {
+        self.wake_seq += 1;
+        fx.wake_in = Some(delay);
+    }
+
+    fn geometry(&self) -> tcc_types::LineGeometry {
+        self.cfg.cache.geometry
+    }
+
+    fn home_of(&self, line: LineAddr) -> DirId {
+        self.geometry().home_of(line, self.cfg.n_procs)
+    }
+
+    fn current_tx(&self) -> Option<&Transaction> {
+        match self.program.items.get(self.item) {
+            Some(WorkItem::Tx(t)) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The TID governing this attempt, if any (validation TID or early
+    /// TID).
+    fn attempt_tid(&self) -> Option<Tid> {
+        self.val.as_ref().and_then(|v| v.tid).or(self.early_tid)
+    }
+
+    // ------------------------------------------------------------------
+    // Program advancement
+    // ------------------------------------------------------------------
+
+    /// Begins execution (call once at simulation start).
+    pub fn start(&mut self, now: Cycle) -> Effects {
+        assert_eq!(self.state, State::Fresh, "start() called twice");
+        self.enter_item(now)
+    }
+
+    /// Enters the current work item: begins a transaction attempt,
+    /// reaches a barrier, or finishes.
+    fn enter_item(&mut self, now: Cycle) -> Effects {
+        let mut fx = Effects::default();
+        match self.program.items.get(self.item) {
+            Some(WorkItem::Tx(_)) => {
+                self.begin_attempt(now);
+                fx.merge(self.request_early_tid_or_run(now));
+            }
+            Some(WorkItem::Barrier) => {
+                self.state = State::AtBarrier { since: now };
+                fx.reached_barrier = true;
+            }
+            None => {
+                self.state = State::Done;
+                self.done_at = Some(now);
+                fx.finished = true;
+            }
+        }
+        fx
+    }
+
+    /// Resets per-attempt bookkeeping at the start of an attempt.
+    fn begin_attempt(&mut self, now: Cycle) {
+        self.op = 0;
+        self.tx_start = now;
+        self.attempt_useful = 0;
+        self.attempt_miss = 0;
+        self.attempt_commit_extra = 0;
+        self.tx_instr = 0;
+        self.read_lines.clear();
+        self.reads_log.clear();
+        self.sharing_dirs.clear();
+        self.writing_dirs.clear();
+        self.val = None;
+    }
+
+    /// In serialized mode the TID is acquired *before* execution so the
+    /// transaction ages into the oldest in the system.
+    fn request_early_tid_or_run(&mut self, _now: Cycle) -> Effects {
+        let mut fx = Effects::default();
+        if self.serialize_mode && self.early_tid.is_none() {
+            self.counters.serialized_retries += 1;
+            self.state = State::WaitTidEarly;
+            fx.send(
+                0,
+                Message::new(
+                    self.id,
+                    self.cfg.vendor_node(),
+                    Payload::TidRequest { requester: self.id },
+                ),
+            );
+        } else {
+            self.state = State::Running;
+            self.arm_wake(&mut fx, 0);
+        }
+        fx
+    }
+
+    // ------------------------------------------------------------------
+    // Execution
+    // ------------------------------------------------------------------
+
+    /// Executes operations of the current transaction until a blocking
+    /// point or the chunk limit. Invoked by the scheduler on each
+    /// `ProcStep` event.
+    pub fn step(&mut self, now: Cycle) -> Effects {
+        assert_eq!(self.state, State::Running, "step() while {}", self.state_name());
+        let mut fx = Effects::default();
+        let mut elapsed: u64 = 0;
+        loop {
+            if elapsed >= self.cfg.exec_chunk {
+                self.arm_wake(&mut fx, elapsed);
+                return fx;
+            }
+            let Some(tx) = self.current_tx() else {
+                unreachable!("Running state outside a transaction item")
+            };
+            let Some(&op) = tx.ops.get(self.op) else {
+                // Transaction body complete: begin validation.
+                fx.merge(self.begin_validation(now, elapsed));
+                return fx;
+            };
+            match op {
+                TxOp::Compute(n) => {
+                    elapsed += u64::from(n);
+                    self.attempt_useful += u64::from(n);
+                    self.tx_instr += u64::from(n);
+                    self.op += 1;
+                }
+                TxOp::Load(a) => {
+                    if let Some(done) = self.exec_load(now, &mut fx, &mut elapsed, a) {
+                        if !done {
+                            return fx; // blocked on a fill
+                        }
+                    }
+                }
+                TxOp::Store(a) => {
+                    if let Some(done) = self.exec_store(now, &mut fx, &mut elapsed, a) {
+                        if !done {
+                            return fx;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Executes one load; returns `Some(true)` if it completed,
+    /// `Some(false)` if the processor blocked on a fill.
+    fn exec_load(
+        &mut self,
+        now: Cycle,
+        fx: &mut Effects,
+        elapsed: &mut u64,
+        a: Addr,
+    ) -> Option<bool> {
+        let geom = self.geometry();
+        let line = geom.line_of(a);
+        let word = geom.word_index(a);
+        self.sharing_dirs.insert(self.home_of(line));
+        // Spilled lines (serialized mode and post-commit residue) are
+        // serviced from the victim buffer at L2 latency.
+        if let Some(entry) = self.spill.get_mut(&line) {
+            if entry.sm.get(word) || entry.valid.get(word) {
+                let first = !entry.sr.get(word) && !entry.sm.get(word);
+                if !entry.sm.get(word) {
+                    entry.sr.set(word);
+                    if first {
+                        let v = entry.values.words.get(word).copied().flatten();
+                        self.reads_log.push((line, word, v));
+                        self.read_lines.insert(line);
+                    }
+                }
+                let lat = self.cfg.cache.l2_latency;
+                *elapsed += lat;
+                self.attempt_useful += lat;
+                self.tx_instr += 1;
+                self.op += 1;
+                return Some(true);
+            }
+            // The wanted word is invalid in the buffered copy:
+            // re-install the entry into the cache (forced, possibly
+            // spilling a different victim) and take the ordinary
+            // upgrade-miss path — the fetch merges around the entry's
+            // SM words and valid data, keeping a single copy of truth.
+            let e = self.spill.remove(&line).expect("checked above");
+            let state = LineState {
+                sr: e.sr,
+                sm: e.sm,
+                dirty: e.dirty,
+                owner_tid: e.generation,
+                values: e.values,
+            };
+            let forced = self.cache.install_forced(line, state, e.valid);
+            for ev in forced.evictions {
+                self.send_writeback(fx, *elapsed, ev);
+            }
+            if let Some((vline, vstate, vvalid)) = forced.spilled {
+                debug_assert_ne!(vline, line, "just-installed line evicted");
+                if vstate.dirty {
+                    self.send_flush(
+                        fx,
+                        *elapsed,
+                        Eviction {
+                            line: vline,
+                            values: vstate.values.clone(),
+                            valid: vvalid,
+                            dirty: true,
+                            generation: vstate.owner_tid,
+                        },
+                    );
+                }
+                self.spill.insert(
+                    vline,
+                    SpillEntry {
+                        sr: vstate.sr,
+                        sm: vstate.sm,
+                        valid: vvalid,
+                        dirty: false,
+                        generation: vstate.owner_tid,
+                        values: vstate.values,
+                    },
+                );
+            }
+        }
+        match self.cache.load(line, word) {
+            LoadOutcome::Hit { level, value, own_speculative, first_read } => {
+                let lat = self.cfg.cache.latency(level);
+                *elapsed += lat;
+                self.attempt_useful += lat;
+                self.tx_instr += 1;
+                if !own_speculative {
+                    self.read_lines.insert(line);
+                    if first_read {
+                        self.reads_log.push((line, word, value));
+                    }
+                }
+                self.op += 1;
+                Some(true)
+            }
+            LoadOutcome::Miss => {
+                self.req_seq += 1;
+                self.state = State::WaitFill {
+                    line,
+                    word,
+                    is_store: false,
+                    req: self.req_seq,
+                    stall_start: now + *elapsed,
+                };
+                fx.send(
+                    *elapsed,
+                    Message::new(
+                        self.id,
+                        self.home_of(line).node(),
+                        Payload::LoadRequest { line, requester: self.id, req: self.req_seq },
+                    ),
+                );
+                Some(false)
+            }
+        }
+    }
+
+    /// Executes one store; returns as [`Processor::exec_load`].
+    fn exec_store(
+        &mut self,
+        now: Cycle,
+        fx: &mut Effects,
+        elapsed: &mut u64,
+        a: Addr,
+    ) -> Option<bool> {
+        let geom = self.geometry();
+        let line = geom.line_of(a);
+        let word = geom.word_index(a);
+        self.writing_dirs.insert(self.home_of(line));
+        if let Some(entry) = self.spill.get_mut(&line) {
+            // Dirty-bit rule (§3.1), spill edition: the first
+            // speculative write to buffered committed data flushes it
+            // home first so an abort cannot destroy it.
+            let pre = (entry.dirty && entry.sm.is_empty()).then(|| {
+                entry.dirty = false;
+                (entry.values.clone(), entry.valid, entry.generation)
+            });
+            entry.sm.set(word);
+            if let Some((values, valid, generation)) = pre {
+                self.send_flush(
+                    fx,
+                    *elapsed,
+                    Eviction { line, values, valid, dirty: true, generation },
+                );
+            }
+            let lat = self.cfg.cache.l2_latency;
+            *elapsed += lat;
+            self.attempt_useful += lat;
+            self.tx_instr += 1;
+            self.op += 1;
+            return Some(true);
+        }
+        match self.cache.store(line, word) {
+            StoreOutcome::Hit { level, pre_writeback } => {
+                if let Some(ev) = pre_writeback {
+                    // The line stays resident (it is about to receive the
+                    // speculative write), so this is a Flush — the
+                    // processor must remain on the sharers list to keep
+                    // receiving invalidations for it.
+                    //
+                    // Sent with delay 0, not `elapsed`: the cache's dirty
+                    // bit cleared *now* (execution is batched), and the
+                    // flush must not be overtaken by the ack of an
+                    // invalidation processed later in this batch window —
+                    // the directory relies on flush-before-ack ordering.
+                    self.send_flush(fx, 0, ev);
+                }
+                let lat = self.cfg.cache.latency(level);
+                *elapsed += lat;
+                self.attempt_useful += lat;
+                self.tx_instr += 1;
+                self.op += 1;
+                Some(true)
+            }
+            StoreOutcome::Miss => {
+                self.req_seq += 1;
+                self.state = State::WaitFill {
+                    line,
+                    word,
+                    is_store: true,
+                    req: self.req_seq,
+                    stall_start: now + *elapsed,
+                };
+                fx.send(
+                    *elapsed,
+                    Message::new(
+                        self.id,
+                        self.home_of(line).node(),
+                        Payload::LoadRequest { line, requester: self.id, req: self.req_seq },
+                    ),
+                );
+                Some(false)
+            }
+        }
+    }
+
+    /// The staleness tag for a write-back of committed data: the
+    /// ownership generation of the data itself (§3.3, refined — see
+    /// DESIGN.md: tagging with the processor's latest TID would defeat
+    /// the superseded-write-back check).
+    fn wb_tag(&self, generation: Option<Tid>) -> Tid {
+        debug_assert!(generation.is_some(), "dirty data without a generation");
+        generation.unwrap_or(self.last_tid)
+    }
+
+    /// Emits a `Flush` for a dirty line that stays resident (dirty-bit
+    /// pre-write-back, §3.1).
+    fn send_flush(&mut self, fx: &mut Effects, delay: u64, ev: Eviction) {
+        debug_assert!(ev.dirty);
+        let home = self.home_of(ev.line).node();
+        let tid = self.wb_tag(ev.generation);
+        fx.send(
+            delay,
+            Message::new(
+                self.id,
+                home,
+                Payload::Flush {
+                    line: ev.line,
+                    tid,
+                    values: ev.values,
+                    valid: ev.valid,
+                    writer: self.id,
+                    dropped: false,
+                },
+            ),
+        );
+    }
+
+    /// Emits a `WriteBack` (eviction) message for a dirty line leaving
+    /// the cache.
+    fn send_writeback(&mut self, fx: &mut Effects, delay: u64, ev: Eviction) {
+        debug_assert!(ev.dirty);
+        let home = self.home_of(ev.line).node();
+        let tid = self.wb_tag(ev.generation);
+        fx.send(
+            delay,
+            Message::new(
+                self.id,
+                home,
+                Payload::WriteBack {
+                    line: ev.line,
+                    tid,
+                    values: ev.values,
+                    valid: ev.valid,
+                    writer: self.id,
+                },
+            ),
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Validation & commit
+    // ------------------------------------------------------------------
+
+    /// Transaction body finished `elapsed` cycles into the current
+    /// event: capture the write-set and enter the commit protocol.
+    fn begin_validation(&mut self, now: Cycle, elapsed: u64) -> Effects {
+        let mut fx = Effects::default();
+        self.commit_start = now + elapsed;
+        self.announce_at = self.commit_start;
+        // Write-set = cached SM lines plus spilled SM lines.
+        let mut write_set = self.cache.write_set();
+        for (&line, e) in &self.spill {
+            if !e.sm.is_empty() {
+                write_set.push((line, e.sm));
+            }
+        }
+        write_set.sort_by_key(|(l, _)| l.0);
+        let wdirs: BTreeSet<DirId> = write_set.iter().map(|(l, _)| self.home_of(*l)).collect();
+        let sdirs_only: BTreeSet<DirId> =
+            self.sharing_dirs.difference(&wdirs).copied().collect();
+        self.val = Some(ValState {
+            tid: None,
+            write_set,
+            wdirs,
+            sdirs_only,
+            pending: BTreeSet::new(),
+            marks_per_dir: BTreeMap::new(),
+            announced: false,
+        });
+        if let Some(tid) = self.early_tid {
+            // Serialized mode already holds a TID.
+            self.val.as_mut().expect("just set").tid = Some(tid);
+            self.state = State::Validating;
+            fx.merge(self.announce_commit(now, elapsed));
+        } else {
+            self.state = State::WaitTid;
+            fx.send(
+                elapsed,
+                Message::new(
+                    self.id,
+                    self.cfg.vendor_node(),
+                    Payload::TidRequest { requester: self.id },
+                ),
+            );
+        }
+        fx
+    }
+
+    /// Sends the Skip multicast and the probes (phase 1 of the commit).
+    fn announce_commit(&mut self, now: Cycle, delay: u64) -> Effects {
+        let mut fx = Effects::default();
+        let val = self.val.as_mut().expect("announce without validation state");
+        let tid = val.tid.expect("announce without TID");
+        debug_assert!(!val.announced);
+        val.announced = true;
+        val.pending = val.wdirs.union(&val.sdirs_only).copied().collect();
+        let involved: BTreeSet<DirId> = val.pending.clone();
+        for d in 0..self.cfg.n_procs {
+            let dir = DirId(d as u16);
+            if involved.contains(&dir) {
+                let for_write = val.wdirs.contains(&dir);
+                fx.send(
+                    delay,
+                    Message::new(
+                        self.id,
+                        dir.node(),
+                        Payload::Probe { tid, requester: self.id, for_write },
+                    ),
+                );
+            } else {
+                fx.send(delay, Message::new(self.id, dir.node(), Payload::Skip { tid }));
+            }
+        }
+        if involved.is_empty() {
+            // A transaction with no memory footprint commits at once.
+            fx.merge(self.complete_commit(now + delay));
+        }
+        fx
+    }
+
+    /// Handles a `TidReply`.
+    ///
+    /// If the attempt that requested the TID was violated while the
+    /// request was in flight, the granted TID is *orphaned*: it must
+    /// still be released by skipping every directory, or the gap-free
+    /// sequence would stall the whole machine.
+    pub fn on_tid_reply(&mut self, now: Cycle, tid: Tid) -> Effects {
+        if self.orphaned_tid_requests > 0 {
+            self.orphaned_tid_requests -= 1;
+            self.last_tid = tid;
+            return self.skip_everywhere(tid);
+        }
+        self.last_tid = tid;
+        match self.state {
+            State::WaitTid => {
+                self.counters.tid_wait += now.since(self.commit_start);
+                self.announce_at = now;
+                self.val.as_mut().expect("WaitTid without val").tid = Some(tid);
+                self.state = State::Validating;
+                self.announce_commit(now, 0)
+            }
+            State::WaitTidEarly => {
+                self.early_tid = Some(tid);
+                self.state = State::Running;
+                let mut fx = Effects::default();
+                // The wait for the early TID is commit-protocol overhead.
+                self.attempt_commit_extra += now.since(self.tx_start);
+                self.arm_wake(&mut fx, 0);
+                fx
+            }
+            _ => panic!("TidReply while {}", self.state_name()),
+        }
+    }
+
+    /// Handles a `ProbeReply` from `dir`.
+    pub fn on_probe_reply(
+        &mut self,
+        now: Cycle,
+        dir: DirId,
+        now_serving: Tid,
+        probe_tid: Tid,
+        for_write: bool,
+    ) -> Effects {
+        let mut fx = Effects::default();
+        let State::Validating = self.state else {
+            return fx; // stale reply from an aborted attempt
+        };
+        let val = self.val.as_mut().expect("validating without val state");
+        let tid = val.tid.expect("validating without TID");
+        if probe_tid != tid || now_serving < tid || !val.pending.remove(&dir) {
+            return fx; // reply to a probe of an aborted earlier attempt
+        }
+        if for_write {
+            debug_assert_eq!(now_serving, tid, "write probe answered early");
+            let marks: Vec<(LineAddr, WordMask)> = val
+                .write_set
+                .iter()
+                .filter(|(l, _)| self.cfg.cache.geometry.home_of(*l, self.cfg.n_procs) == dir)
+                .copied()
+                .collect();
+            val.marks_per_dir.insert(dir, marks.len() as u32);
+            for (line, words) in marks {
+                fx.send(
+                    0,
+                    Message::new(
+                        self.id,
+                        dir.node(),
+                        Payload::Mark { tid, line, words, committer: self.id },
+                    ),
+                );
+            }
+        }
+        if self.val.as_ref().expect("still validating").pending.is_empty() {
+            fx.merge(self.complete_commit(now));
+        }
+        fx
+    }
+
+    /// Phase 2: all probes satisfied and all marks sent — multicast
+    /// `Commit`, apply the commit locally, and move to the next item.
+    fn complete_commit(&mut self, now: Cycle) -> Effects {
+        self.counters.probe_wait += now.since(self.announce_at.max(self.commit_start));
+        let mut fx = Effects::default();
+        let val = self.val.take().expect("commit without validation state");
+        let tid = val.tid.expect("commit without TID");
+        for &dir in val.wdirs.union(&val.sdirs_only) {
+            let marks = val.marks_per_dir.get(&dir).copied().unwrap_or(0);
+            fx.send(
+                0,
+                Message::new(
+                    self.id,
+                    dir.node(),
+                    Payload::Commit { tid, committer: self.id, marks },
+                ),
+            );
+        }
+        // Local commit: stamp speculative writes with the TID.
+        self.cache.commit_tx(tid);
+        // Spilled lines: commit locally, exactly like cached lines. The
+        // data stays in the buffer *dirty* — we are its registered
+        // owner — and is flushed on demand (DataRequest, invalidation,
+        // re-write, or retirement), never fire-and-forget: an eager
+        // write-back could still be in flight when a later commit to
+        // the line completes, leaving memory stale in the window.
+        let spilled: Vec<(LineAddr, SpillEntry)> = std::mem::take(&mut self.spill)
+            .into_iter()
+            .collect();
+        for (line, mut e) in spilled {
+            if !e.sm.is_empty() {
+                e.values.apply_write(e.sm, tid);
+                e.valid = e.valid.union(e.sm);
+                e.dirty = true;
+                e.generation = Some(tid);
+                e.sm = WordMask::EMPTY;
+            }
+            e.sr = WordMask::EMPTY;
+            if e.dirty {
+                self.spill.insert(line, e);
+            }
+            // Clean read-only spills are simply forgotten.
+        }
+        // Statistics and checker record.
+        let geom = self.geometry();
+        let line_bytes = u64::from(geom.line_bytes());
+        let words_written: u64 =
+            val.write_set.iter().map(|(_, m)| u64::from(m.count())).sum();
+        let chars = TxCharacteristics {
+            instructions: self.tx_instr,
+            read_set_bytes: self.read_lines.len() as u64 * line_bytes,
+            write_set_bytes: val.write_set.len() as u64 * line_bytes,
+            words_written,
+            dirs_written: val.wdirs.len() as u32,
+            dirs_touched: (val.wdirs.len() + val.sdirs_only.len()) as u32,
+        };
+        let record = TxRecord {
+            tid,
+            reads: std::mem::take(&mut self.reads_log),
+            writes: val.write_set.clone(),
+        };
+        debug_assert_eq!(
+            self.attempt_useful + self.attempt_miss + self.attempt_commit_extra,
+            self.commit_start.since(self.tx_start),
+            "{}: attempt segments do not tile: useful={} miss={} extra={} tx_start={} commit_start={}",
+            self.id,
+            self.attempt_useful,
+            self.attempt_miss,
+            self.attempt_commit_extra,
+            self.tx_start,
+            self.commit_start
+        );
+        fx.committed = Some((record, chars));
+        self.counters.commits += 1;
+        self.counters.instructions += self.tx_instr;
+        self.totals.useful += self.attempt_useful;
+        self.totals.cache_miss += self.attempt_miss;
+        self.totals.commit += now.since(self.commit_start) + self.attempt_commit_extra;
+        self.violations_in_row = 0;
+        self.serialize_mode = false;
+        self.early_tid = None;
+        self.item += 1;
+        fx.merge(self.enter_item(now));
+        fx
+    }
+
+    // ------------------------------------------------------------------
+    // Incoming coherence traffic
+    // ------------------------------------------------------------------
+
+    /// Handles a `LoadReply` (fill data).
+    ///
+    /// Only the reply matching the *latest* outstanding request id is
+    /// consumed; anything else — replies to requests from rolled-back
+    /// attempts, or requests superseded after an in-flight invalidation
+    /// — is dropped on the floor, per the paper's load/invalidate race
+    /// rule (§3.3).
+    pub fn on_load_reply(
+        &mut self,
+        now: Cycle,
+        line: LineAddr,
+        values: LineValues,
+        req: u64,
+    ) -> Effects {
+        let mut fx = Effects::default();
+        let resume = matches!(
+            self.state,
+            State::WaitFill { line: l, req: r, .. } if l == line && r == req
+        );
+        if !resume {
+            return fx; // stale reply: drop the data on the floor
+        }
+        let installed = if self.serialize_mode {
+            self.install_forced(&mut fx, line, values)
+        } else {
+            let r = self.cache.fill(line, values, false);
+            for ev in r.evictions {
+                self.send_writeback(&mut fx, 0, ev);
+            }
+            !r.overflow
+        };
+        if !installed {
+            // Overflow: this attempt cannot proceed on this hardware.
+            self.counters.overflows += 1;
+            fx.merge(self.violate(now, true));
+            return fx;
+        }
+        let State::WaitFill { stall_start, .. } = self.state else { unreachable!() };
+        debug_assert!(
+            now >= stall_start,
+            "fill resumed before its request's logical issue time"
+        );
+        self.attempt_miss += now.since(stall_start);
+        self.state = State::Running;
+        // Re-execute the blocked access (now a hit) and continue.
+        fx.merge(self.step(now));
+        fx
+    }
+
+    /// Serialized-mode fill: force the install, spilling any displaced
+    /// speculative line into the unbounded victim buffer.
+    fn install_forced(&mut self, fx: &mut Effects, line: LineAddr, values: LineValues) -> bool {
+        let r = self.cache.fill(line, values.clone(), false);
+        if !r.overflow {
+            for ev in r.evictions {
+                self.send_writeback(fx, 0, ev);
+            }
+            return true;
+        }
+        let forced = self.cache.fill_forced(line, values);
+        for ev in forced.evictions {
+            self.send_writeback(fx, 0, ev);
+        }
+        if let Some((vline, state, valid)) = forced.spilled {
+            if state.dirty {
+                // The spilled line carried committed data this processor
+                // owns: flush it home (keeping sharer status — the
+                // buffered SR/SM bits still need invalidations) so the
+                // directory's ownership record stays serviceable.
+                self.send_flush(
+                    fx,
+                    0,
+                    Eviction {
+                        line: vline,
+                        values: state.values.clone(),
+                        valid,
+                        dirty: true,
+                        generation: state.owner_tid,
+                    },
+                );
+            }
+            self.spill.insert(
+                vline,
+                SpillEntry {
+                    sr: state.sr,
+                    sm: state.sm,
+                    valid,
+                    dirty: false,
+                    generation: state.owner_tid,
+                    values: state.values,
+                },
+            );
+        }
+        true
+    }
+
+    /// Handles an `Invalidate` from a remote commit.
+    pub fn on_invalidate(
+        &mut self,
+        _now: Cycle,
+        line: LineAddr,
+        words: WordMask,
+        committer_tid: Tid,
+        dir: DirId,
+    ) -> Effects {
+        let mut fx = Effects::default();
+        if std::env::var_os("TCC_TRACE").is_some() {
+            eprintln!(
+                "{} INV@{} line={} words={:b} from={} state={} dirty={} sr={:b} sm={:b} contains={}",
+                _now, self.id, line, words.0, committer_tid, self.state_name(),
+                self.cache.is_dirty(line), self.cache.sr_mask(line).0,
+                self.cache.sm_mask(line).0, self.cache.contains(line)
+            );
+        }
+        // If a fill for this very line is in flight, the data it will
+        // return predates this commit: supersede the request with a
+        // fresh one (the old reply's id no longer matches and will be
+        // dropped — §3.3 "drop that load"). The replacement must not
+        // depart before the original request's logical issue time
+        // (`stall_start` can lie ahead of `_now` because execution is
+        // batched): a reply arriving before that point would resume the
+        // processor inside an already-accounted execution window.
+        if let State::WaitFill { line: l, req, stall_start, .. } = &mut self.state {
+            if *l == line {
+                self.req_seq += 1;
+                *req = self.req_seq;
+                let delay = stall_start.since(_now);
+                fx.send(
+                    delay,
+                    Message::new(
+                        self.id,
+                        self.home_of(line).node(),
+                        Payload::LoadRequest { line, requester: self.id, req: self.req_seq },
+                    ),
+                );
+            }
+        }
+        // A dirty copy being invalidated means another processor took
+        // over ownership of this line: our still-valid committed words
+        // must reach memory first, or they would be lost.
+        if let Some((values, valid, generation)) = self.cache.prepare_inv_flush(line, words) {
+            let tid = self.wb_tag(generation);
+            fx.send(
+                0,
+                Message::new(
+                    self.id,
+                    self.home_of(line).node(),
+                    Payload::Flush {
+                        line,
+                        tid,
+                        values,
+                        valid,
+                        writer: self.id,
+                        dropped: false,
+                    },
+                ),
+            );
+        }
+        let mut conflict = false;
+        let mut retained = false;
+        // Victim-buffer copy: whole-line data invalidation, word-granular
+        // conflict check (mirrors the cache path, including the
+        // flush-dirty-first obligation).
+        if let Some(e) = self.spill.get_mut(&line) {
+            if e.dirty {
+                e.dirty = false;
+                let valid = WordMask(e.valid.0 & !words.0);
+                let ev = Eviction {
+                    line,
+                    values: e.values.clone(),
+                    valid,
+                    dirty: true,
+                    generation: e.generation,
+                };
+                self.send_flush(&mut fx, 0, ev);
+            }
+            let e = self.spill.get_mut(&line).expect("still present");
+            conflict |= e.sr.intersects(words);
+            e.valid = WordMask::EMPTY;
+            if e.sr.is_empty() && e.sm.is_empty() {
+                self.spill.remove(&line);
+            } else {
+                retained = true;
+            }
+        }
+        let out = self.cache.invalidate(line, words);
+        conflict |= out.conflict;
+        retained |= out.retained;
+        // A superseded in-flight fill also keeps us interested.
+        retained |= matches!(self.state, State::WaitFill { line: l, .. } if l == line);
+        // Acknowledge (the directory counts acks and prunes inactive
+        // sharers).
+        fx.send(
+            1,
+            Message::new(
+                self.id,
+                dir.node(),
+                Payload::InvAck { tid: committer_tid, line, from: self.id, retained },
+            ),
+        );
+        if !conflict {
+            return fx;
+        }
+        if let Some(mine) = self.attempt_tid() {
+            if committer_tid > mine {
+                // The committer is logically later; the line was
+                // invalidated but our transaction is unaffected. Only
+                // possible once our execution phase is over.
+                debug_assert!(
+                    !matches!(self.state, State::Running | State::WaitFill { .. }),
+                    "a later transaction committed while an early-TID \
+                     transaction was still executing"
+                );
+                return fx;
+            }
+        }
+        if self.cfg.profile {
+            self.profile_violations.push(ViolationEvent {
+                victim: self.id,
+                line,
+                words,
+                committer_tid,
+                wasted_cycles: _now.since(self.tx_start),
+                at: _now,
+            });
+        }
+        fx.merge(self.violate(_now, false));
+        fx
+    }
+
+    /// Handles a `DataRequest`: flush the line so the directory can
+    /// serve a remote load.
+    pub fn on_data_request(&mut self, _now: Cycle, line: LineAddr) -> Effects {
+        let mut fx = Effects::default();
+        // A dirty spilled copy answers from the victim buffer.
+        if let Some(e) = self.spill.get_mut(&line) {
+            if e.dirty {
+                e.dirty = false;
+                let ev = Eviction {
+                    line,
+                    values: e.values.clone(),
+                    valid: e.valid,
+                    dirty: true,
+                    generation: e.generation,
+                };
+                if e.sr.is_empty() && e.sm.is_empty() {
+                    self.spill.remove(&line);
+                }
+                self.send_flush(&mut fx, self.cfg.cache.l2_latency, ev);
+            }
+            return fx;
+        }
+        // Only a *dirty* copy answers: if our copy is clean, the flush
+        // or write-back that cleaned it is already in flight to the
+        // directory (or processed) and carries everything memory needs;
+        // replying from a clean copy could push data from a superseded
+        // ownership generation over newer memory.
+        if !self.cache.is_dirty(line) {
+            return fx;
+        }
+        // Keep the line if configured to, and always keep it when it
+        // carries live speculative state (dropping it would lose SR/SM
+        // tracking) or when one of our own fills for it is in flight
+        // (the fill will merge around the line's valid words — but a
+        // *dropped* line would let it cold-install stale memory data
+        // over words only this owner held).
+        let speculative =
+            !self.cache.sr_mask(line).is_empty() || !self.cache.sm_mask(line).is_empty();
+        let fill_inflight =
+            matches!(self.state, State::WaitFill { line: l, .. } if l == line);
+        let keep = self.cfg.owner_flush_keeps_line || speculative || fill_inflight;
+        if let Some((values, valid, generation)) = self.cache.flush(line, keep) {
+            let tid = self.wb_tag(generation);
+            fx.send(
+                self.cfg.cache.l2_latency,
+                Message::new(
+                    self.id,
+                    self.home_of(line).node(),
+                    Payload::Flush {
+                        line,
+                        tid,
+                        values,
+                        valid,
+                        writer: self.id,
+                        dropped: !keep,
+                    },
+                ),
+            );
+        }
+        fx
+    }
+
+    // ------------------------------------------------------------------
+    // Violation & rollback
+    // ------------------------------------------------------------------
+
+    /// Rolls back the current attempt and restarts it. `overflow` marks
+    /// violations caused by speculative-buffer exhaustion, which force
+    /// the serialized retry mode immediately.
+    fn violate(&mut self, now: Cycle, overflow: bool) -> Effects {
+        let mut fx = Effects::default();
+        // Any wake-up scheduled by the doomed attempt is now stale.
+        self.wake_seq += 1;
+        self.counters.violations += 1;
+        self.violations_in_row += 1;
+        // A TID request in flight becomes orphaned: its reply will be
+        // released with skips when it arrives.
+        if matches!(self.state, State::WaitTid | State::WaitTidEarly) {
+            self.orphaned_tid_requests += 1;
+        }
+        // Undo any protocol announcements of this attempt.
+        if let Some(val) = self.val.take() {
+            if let Some(tid) = val.tid {
+                if val.announced {
+                    for &dir in &val.wdirs {
+                        fx.send(0, Message::new(self.id, dir.node(), Payload::Abort { tid }));
+                    }
+                    for &dir in &val.sdirs_only {
+                        fx.send(0, Message::new(self.id, dir.node(), Payload::Skip { tid }));
+                    }
+                } else {
+                    // TID acquired but nothing announced: release it by
+                    // skipping everywhere so the sequence stays gap-free.
+                    fx.merge(self.skip_everywhere(tid));
+                }
+            }
+        } else if let Some(tid) = self.early_tid.take() {
+            // Early TID held during execution: release it everywhere.
+            fx.merge(self.skip_everywhere(tid));
+        }
+        self.early_tid = None;
+        // Roll back speculative state. Committed (dirty) spill entries
+        // survive the abort — they are not speculative.
+        self.cache.abort_tx();
+        self.spill.retain(|_, e| {
+            debug_assert!(!e.dirty || e.sm.is_empty(), "dirty+SM spill impossible");
+            e.sr = WordMask::EMPTY;
+            e.dirty && e.sm.is_empty()
+        });
+        self.fill_epoch += 1;
+        self.totals.violation += now.since(self.tx_start);
+        let was_serialized = self.serialize_mode;
+        self.serialize_mode =
+            overflow || self.violations_in_row >= self.cfg.starvation_threshold;
+        if self.cfg.profile && self.serialize_mode && !was_serialized {
+            self.profile_starvation.push(StarvationEvent {
+                proc: self.id,
+                violations: self.violations_in_row,
+                overflow,
+                at: now,
+            });
+        }
+        self.begin_attempt(now);
+        fx.merge(self.request_early_tid_or_run(now));
+        fx
+    }
+
+    /// Releases `tid` by skipping every directory in the machine.
+    fn skip_everywhere(&self, tid: Tid) -> Effects {
+        let mut fx = Effects::default();
+        for d in 0..self.cfg.n_procs {
+            fx.send(
+                0,
+                Message::new(self.id, NodeId(d as u16), Payload::Skip { tid }),
+            );
+        }
+        fx
+    }
+
+    // ------------------------------------------------------------------
+    // Barriers
+    // ------------------------------------------------------------------
+
+    /// Releases the processor from a barrier.
+    pub fn release_barrier(&mut self, now: Cycle) -> Effects {
+        let State::AtBarrier { since } = self.state else {
+            panic!("release_barrier while {}", self.state_name());
+        };
+        self.totals.idle += now.since(since);
+        self.item += 1;
+        self.enter_item(now)
+    }
+
+    /// Adds terminal idle time (processors that finish before the
+    /// slowest one idle until the application completes).
+    pub fn pad_idle_to(&mut self, end: Cycle) {
+        if let Some(done) = self.done_at {
+            self.totals.idle += end.since(done);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_proc_cfg() -> SystemConfig {
+        SystemConfig {
+            n_procs: 1,
+            check_serializability: true,
+            ..SystemConfig::default()
+        }
+    }
+
+    fn tx(ops: Vec<TxOp>) -> WorkItem {
+        WorkItem::Tx(Transaction::new(ops))
+    }
+
+    /// Extracts (line, req) of the first LoadRequest in the effects.
+    fn load_req(fx: &Effects) -> (LineAddr, u64) {
+        fx.sends
+            .iter()
+            .find_map(|(_, m)| match m.payload {
+                Payload::LoadRequest { line, req, .. } => Some((line, req)),
+                _ => None,
+            })
+            .expect("expected a LoadRequest")
+    }
+
+    #[test]
+    fn empty_program_finishes_immediately() {
+        let mut p = Processor::new(NodeId(0), one_proc_cfg(), ThreadProgram::empty());
+        let fx = p.start(Cycle(0));
+        assert!(fx.finished);
+        assert!(p.is_done());
+        assert_eq!(p.done_at(), Some(Cycle(0)));
+    }
+
+    #[test]
+    fn compute_only_transaction_requests_a_tid() {
+        let prog = ThreadProgram::new(vec![tx(vec![TxOp::Compute(10)])]);
+        let mut p = Processor::new(NodeId(0), one_proc_cfg(), prog);
+        let fx = p.start(Cycle(0));
+        assert_eq!(fx.wake_in, Some(0));
+        let fx = p.step(Cycle(0));
+        // Body done at +10: a TidRequest goes to the vendor.
+        assert_eq!(fx.sends.len(), 1);
+        let (delay, msg) = &fx.sends[0];
+        assert_eq!(*delay, 10);
+        assert!(matches!(msg.payload, Payload::TidRequest { .. }));
+        assert_eq!(p.state_name(), "wait-tid");
+        // TID arrives: with no footprint, it skips its one directory and
+        // commits instantly.
+        let fx = p.on_tid_reply(Cycle(20), Tid(0));
+        assert!(fx.committed.is_some());
+        assert!(fx.sends.iter().any(|(_, m)| matches!(m.payload, Payload::Skip { tid: Tid(0) })));
+        assert!(fx.finished);
+        let b = p.breakdown();
+        assert_eq!(b.useful, 10);
+        assert_eq!(b.commit, 10); // cycles 10..20 waiting for the TID
+        assert_eq!(p.counters().commits, 1);
+        assert_eq!(p.counters().instructions, 10);
+    }
+
+    #[test]
+    fn load_miss_blocks_and_fill_resumes() {
+        let prog = ThreadProgram::new(vec![tx(vec![TxOp::Load(Addr(0x40))])]);
+        let mut p = Processor::new(NodeId(0), one_proc_cfg(), prog);
+        p.start(Cycle(0));
+        let fx = p.step(Cycle(0));
+        assert_eq!(p.state_name(), "wait-fill");
+        let (line, req) = load_req(&fx);
+        // Fill arrives 100 cycles later.
+        let fx = p.on_load_reply(Cycle(100), line, LineValues::fresh(8), req);
+        // The retry hits (1 cycle) and validation begins.
+        assert!(fx.sends.iter().any(|(_, m)| matches!(m.payload, Payload::TidRequest { .. })));
+        assert_eq!(p.breakdown().cache_miss, 0, "not folded until commit");
+        let fx = p.on_tid_reply(Cycle(120), Tid(0));
+        // One directory, in the sharing vector: a probe goes out.
+        assert!(fx.sends.iter().any(|(_, m)| matches!(
+            m.payload,
+            Payload::Probe { for_write: false, .. }
+        )));
+        let fx = p.on_probe_reply(Cycle(130), DirId(0), Tid(0), Tid(0), false);
+        assert!(fx.committed.is_some());
+        let (record, chars) = fx.committed.unwrap();
+        assert_eq!(record.reads.len(), 1);
+        assert_eq!(record.reads[0].2, None);
+        assert_eq!(chars.instructions, 1);
+        assert_eq!(chars.dirs_touched, 1);
+        assert_eq!(chars.dirs_written, 0);
+        let b = p.breakdown();
+        assert_eq!(b.cache_miss, 100);
+        assert_eq!(b.useful, 1);
+        assert_eq!(b.commit, Cycle(130).since(Cycle(101)));
+    }
+
+    #[test]
+    fn store_path_marks_and_commits() {
+        let prog = ThreadProgram::new(vec![tx(vec![TxOp::Store(Addr(0x40))])]);
+        let mut p = Processor::new(NodeId(0), one_proc_cfg(), prog);
+        p.start(Cycle(0));
+        let fx = p.step(Cycle(0));
+        let (line, req) = load_req(&fx);
+        p.on_load_reply(Cycle(50), line, LineValues::fresh(8), req);
+        p.on_tid_reply(Cycle(60), Tid(0));
+        let fx = p.on_probe_reply(Cycle(70), DirId(0), Tid(0), Tid(0), true);
+        // A mark for the stored line, then the commit.
+        assert!(fx.sends.iter().any(|(_, m)| matches!(m.payload, Payload::Mark { .. })));
+        assert!(fx
+            .sends
+            .iter()
+            .any(|(_, m)| matches!(m.payload, Payload::Commit { marks: 1, .. })));
+        let (_, chars) = fx.committed.unwrap();
+        assert_eq!(chars.words_written, 1);
+        assert_eq!(chars.dirs_written, 1);
+    }
+
+    #[test]
+    fn invalidation_conflict_restarts_the_transaction() {
+        let prog = ThreadProgram::new(vec![tx(vec![
+            TxOp::Load(Addr(0x40)),
+            TxOp::Compute(1000),
+        ])]);
+        let mut p = Processor::new(NodeId(0), one_proc_cfg(), prog);
+        p.start(Cycle(0));
+        let fx = p.step(Cycle(0));
+        let (line, req) = load_req(&fx);
+        p.on_load_reply(Cycle(10), line, LineValues::fresh(8), req);
+        // Executing Compute(1000) in chunks; now a conflicting
+        // invalidation lands.
+        let fx = p.on_invalidate(Cycle(50), line, WordMask::ALL, Tid(0), DirId(0));
+        assert!(fx.sends.iter().any(|(_, m)| matches!(m.payload, Payload::InvAck { .. })));
+        assert_eq!(p.counters().violations, 1);
+        assert_eq!(p.breakdown().violation, 50);
+        assert_eq!(p.state_name(), "running", "restart is immediate");
+    }
+
+    #[test]
+    fn non_conflicting_invalidation_is_acked_and_ignored() {
+        let prog = ThreadProgram::new(vec![tx(vec![TxOp::Load(Addr(0x40)), TxOp::Compute(500)])]);
+        let mut p = Processor::new(NodeId(0), one_proc_cfg(), prog);
+        p.start(Cycle(0));
+        let fx = p.step(Cycle(0));
+        let (line, req) = load_req(&fx);
+        p.on_load_reply(Cycle(10), line, LineValues::fresh(8), req);
+        // Invalidate a word we did not read (word 5; we read word 0).
+        let fx = p.on_invalidate(Cycle(20), line, WordMask::single(5), Tid(0), DirId(0));
+        assert!(fx.sends.iter().any(|(_, m)| matches!(m.payload, Payload::InvAck { .. })));
+        assert_eq!(p.counters().violations, 0);
+    }
+
+    #[test]
+    fn repeated_violations_trigger_serialized_mode() {
+        let cfg = SystemConfig { starvation_threshold: 2, ..one_proc_cfg() };
+        let prog = ThreadProgram::new(vec![tx(vec![TxOp::Load(Addr(0x40)), TxOp::Compute(100)])]);
+        let mut p = Processor::new(NodeId(0), cfg, prog);
+        p.start(Cycle(0));
+        let fx = p.step(Cycle(0));
+        let (line, req) = load_req(&fx);
+        p.on_load_reply(Cycle(10), line, LineValues::fresh(8), req);
+        p.on_invalidate(Cycle(20), line, WordMask::ALL, Tid(0), DirId(0));
+        // Second attempt: reload, violate again -> serialized mode.
+        let fx = p.step(Cycle(21));
+        let (line, req) = load_req(&fx);
+        p.on_load_reply(Cycle(30), line, LineValues::fresh(8), req);
+        let fx = p.on_invalidate(Cycle(40), line, WordMask::ALL, Tid(1), DirId(0));
+        assert_eq!(p.counters().violations, 2);
+        // Early TID requested before re-execution.
+        assert!(fx.sends.iter().any(|(_, m)| matches!(m.payload, Payload::TidRequest { .. })));
+        assert_eq!(p.state_name(), "wait-tid-early");
+        // Both violated attempts had TID requests in flight (they were
+        // violated in wait-tid); those replies are orphaned and must be
+        // released with Skip messages.
+        for orphan in [Tid(0), Tid(1)] {
+            let fx = p.on_tid_reply(Cycle(45), orphan);
+            assert!(fx.wake_in.is_none());
+            assert!(fx
+                .sends
+                .iter()
+                .all(|(_, m)| matches!(m.payload, Payload::Skip { tid } if tid == orphan)));
+            assert_eq!(fx.sends.len(), 1, "one skip per directory on a 1-node machine");
+        }
+        // The third reply is the early TID: execution resumes.
+        let fx = p.on_tid_reply(Cycle(50), Tid(5));
+        assert_eq!(fx.wake_in, Some(0));
+        assert_eq!(p.counters().serialized_retries, 1);
+    }
+
+    #[test]
+    fn barrier_waits_and_releases() {
+        let prog = ThreadProgram::new(vec![WorkItem::Barrier, tx(vec![TxOp::Compute(1)])]);
+        let mut p = Processor::new(NodeId(0), one_proc_cfg(), prog);
+        let fx = p.start(Cycle(0));
+        assert!(fx.reached_barrier);
+        assert_eq!(p.state_name(), "at-barrier");
+        let fx = p.release_barrier(Cycle(100));
+        assert_eq!(p.breakdown().idle, 100);
+        assert_eq!(fx.wake_in, Some(0));
+        assert_eq!(p.state_name(), "running");
+    }
+
+    #[test]
+    fn chunked_execution_reschedules() {
+        let cfg = SystemConfig { exec_chunk: 50, ..one_proc_cfg() };
+        let prog = ThreadProgram::new(vec![tx(vec![TxOp::Compute(200)])]);
+        let mut p = Processor::new(NodeId(0), cfg, prog);
+        p.start(Cycle(0));
+        let fx = p.step(Cycle(0));
+        assert_eq!(fx.wake_in, Some(200), "one big compute op is atomic");
+        // The op completed; next step begins validation.
+        let fx = p.step(Cycle(200));
+        assert!(fx.sends.iter().any(|(_, m)| matches!(m.payload, Payload::TidRequest { .. })));
+    }
+
+    #[test]
+    fn chunking_splits_many_small_ops() {
+        let cfg = SystemConfig { exec_chunk: 50, ..one_proc_cfg() };
+        let ops = vec![TxOp::Compute(30); 10];
+        let prog = ThreadProgram::new(vec![tx(ops)]);
+        let mut p = Processor::new(NodeId(0), cfg, prog);
+        p.start(Cycle(0));
+        let fx = p.step(Cycle(0));
+        // 30 + 30 = 60 >= 50: rescheduled after two ops.
+        assert_eq!(fx.wake_in, Some(60));
+    }
+
+    #[test]
+    fn stale_fill_is_dropped_entirely() {
+        // A fill whose request id has been superseded (the requesting
+        // attempt was violated) is dropped: installing it could
+        // revalidate words a concurrent commit just invalidated (the
+        // §3.3 load/invalidate race).
+        let prog = ThreadProgram::new(vec![tx(vec![TxOp::Load(Addr(0x40)), TxOp::Compute(10)])]);
+        let mut p = Processor::new(NodeId(0), one_proc_cfg(), prog);
+        p.start(Cycle(0));
+        let fx = p.step(Cycle(0));
+        let (line, req) = load_req(&fx);
+        let mut v = LineValues::fresh(8);
+        v.apply_write(WordMask::single(0), Tid(9));
+        // A reply carrying a stale request id is dropped.
+        let fx = p.on_load_reply(Cycle(30), line, v.clone(), req + 100);
+        assert!(!p.cache.contains(line), "stale fill must be dropped");
+        assert!(fx.sends.is_empty());
+        assert!(fx.wake_in.is_none());
+        // The genuine reply is consumed.
+        let fx = p.on_load_reply(Cycle(40), line, v, req);
+        assert!(p.cache.contains(line));
+        assert!(fx.sends.iter().any(|(_, m)| matches!(m.payload, Payload::TidRequest { .. })));
+    }
+
+    #[test]
+    fn invalidated_inflight_fill_is_superseded_and_rerequested() {
+        // An invalidation for the very line an outstanding fill targets
+        // supersedes the request: the old reply is dropped by its stale
+        // id and a fresh request goes out immediately.
+        let prog = ThreadProgram::new(vec![tx(vec![TxOp::Load(Addr(0x40)), TxOp::Compute(10)])]);
+        let mut p = Processor::new(NodeId(0), one_proc_cfg(), prog);
+        p.start(Cycle(0));
+        let fx = p.step(Cycle(0));
+        let (line, old_req) = load_req(&fx);
+        // A commit elsewhere invalidates the line mid-flight. No SR bits
+        // are set yet, so no violation — but a fresh request goes out.
+        let fx = p.on_invalidate(Cycle(5), line, WordMask::ALL, Tid(0), DirId(0));
+        assert!(fx.sends.iter().any(|(_, m)| matches!(m.payload, Payload::InvAck { .. })));
+        let (_, new_req) = load_req(&fx);
+        assert_ne!(new_req, old_req);
+        assert_eq!(p.counters().violations, 0);
+        // The stale fill arrives: dropped.
+        let fx = p.on_load_reply(Cycle(10), line, LineValues::fresh(8), old_req);
+        assert!(!p.cache.contains(line));
+        assert!(fx.sends.is_empty());
+        assert_eq!(p.state_name(), "wait-fill");
+        // The fresh fill resumes execution normally.
+        let mut v = LineValues::fresh(8);
+        v.apply_write(WordMask::single(0), Tid(0));
+        let fx = p.on_load_reply(Cycle(120), line, v, new_req);
+        assert!(p.cache.contains(line));
+        assert!(fx.sends.iter().any(|(_, m)| matches!(m.payload, Payload::TidRequest { .. })));
+    }
+
+    #[test]
+    fn data_request_flushes_committed_data() {
+        let prog = ThreadProgram::new(vec![tx(vec![TxOp::Store(Addr(0x40))])]);
+        let mut p = Processor::new(NodeId(0), one_proc_cfg(), prog);
+        p.start(Cycle(0));
+        let fx = p.step(Cycle(0));
+        let (line, req) = load_req(&fx);
+        p.on_load_reply(Cycle(10), line, LineValues::fresh(8), req);
+        p.on_tid_reply(Cycle(20), Tid(3));
+        p.on_probe_reply(Cycle(30), DirId(0), Tid(3), Tid(3), true);
+        assert!(p.cache.is_dirty(line));
+        let fx = p.on_data_request(Cycle(40), line);
+        let flush = fx
+            .sends
+            .iter()
+            .find_map(|(_, m)| match &m.payload {
+                Payload::Flush { values, tid, .. } => Some((values.clone(), *tid)),
+                _ => None,
+            })
+            .expect("flush sent");
+        assert_eq!(flush.0.words[0], Some(Tid(3)));
+        assert_eq!(flush.1, Tid(3));
+        assert!(!p.cache.is_dirty(line));
+        // A second data request finds the line clean: no reply — the
+        // first flush (already processed or in flight) carries
+        // everything memory needs, and a clean copy may belong to a
+        // superseded ownership generation.
+        let fx = p.on_data_request(Cycle(50), line);
+        assert!(fx.sends.is_empty());
+    }
+
+    #[test]
+    fn breakdown_totals_match_wall_clock_single_tx() {
+        let prog = ThreadProgram::new(vec![tx(vec![TxOp::Compute(40)])]);
+        let mut p = Processor::new(NodeId(0), one_proc_cfg(), prog);
+        p.start(Cycle(0));
+        p.step(Cycle(0));
+        let fx = p.on_tid_reply(Cycle(55), Tid(0));
+        assert!(fx.finished);
+        let b = p.breakdown();
+        assert_eq!(b.total(), 55);
+        assert_eq!(p.done_at(), Some(Cycle(55)));
+    }
+}

@@ -1,0 +1,150 @@
+//! The workload abstraction: per-thread programs of transactions.
+//!
+//! The paper converts its benchmarks to *continuous transactions*: all
+//! code between barriers runs inside transactions (§4.1). A
+//! [`ThreadProgram`] models one processor's share of such an
+//! application: a sequence of transactions and barriers. Transactions
+//! are replayable — on a violation the processor re-executes the same
+//! [`Transaction`] from its first operation.
+
+use tcc_types::Addr;
+
+/// One operation inside a transaction.
+///
+/// All non-memory instructions have CPI 1.0 (§4.1), so runs of them are
+/// batched into a single [`TxOp::Compute`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxOp {
+    /// Execute `n` non-memory instructions (n cycles at CPI 1.0).
+    Compute(u32),
+    /// A speculative word load.
+    Load(Addr),
+    /// A speculative word store.
+    Store(Addr),
+}
+
+/// A replayable transaction: the unit of atomicity, conflict detection,
+/// and rollback.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Transaction {
+    /// The operations, executed in order.
+    pub ops: Vec<TxOp>,
+}
+
+impl Transaction {
+    /// A transaction over the given operations.
+    #[must_use]
+    pub fn new(ops: Vec<TxOp>) -> Transaction {
+        Transaction { ops }
+    }
+
+    /// Instruction count: every op counts 1 instruction except
+    /// `Compute(n)`, which counts `n`.
+    #[must_use]
+    pub fn instructions(&self) -> u64 {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                TxOp::Compute(n) => u64::from(*n),
+                TxOp::Load(_) | TxOp::Store(_) => 1,
+            })
+            .sum()
+    }
+
+    /// Number of memory operations (loads + stores).
+    #[must_use]
+    pub fn memory_ops(&self) -> u64 {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, TxOp::Load(_) | TxOp::Store(_)))
+            .count() as u64
+    }
+}
+
+/// One element of a thread's program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkItem {
+    /// A transaction to execute (and re-execute until it commits).
+    Tx(Transaction),
+    /// A global synchronization barrier: the thread waits until every
+    /// thread in the machine reaches its matching barrier.
+    Barrier,
+}
+
+/// The full program of one processor.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ThreadProgram {
+    /// Work items, executed in order.
+    pub items: Vec<WorkItem>,
+}
+
+impl ThreadProgram {
+    /// A program over the given items.
+    #[must_use]
+    pub fn new(items: Vec<WorkItem>) -> ThreadProgram {
+        ThreadProgram { items }
+    }
+
+    /// An empty program (the thread finishes immediately, participating
+    /// in no barriers).
+    #[must_use]
+    pub fn empty() -> ThreadProgram {
+        ThreadProgram::default()
+    }
+
+    /// Total instructions across all transactions (one successful
+    /// execution of each).
+    #[must_use]
+    pub fn instructions(&self) -> u64 {
+        self.items
+            .iter()
+            .map(|i| match i {
+                WorkItem::Tx(t) => t.instructions(),
+                WorkItem::Barrier => 0,
+            })
+            .sum()
+    }
+
+    /// Number of transactions.
+    #[must_use]
+    pub fn transactions(&self) -> usize {
+        self.items.iter().filter(|i| matches!(i, WorkItem::Tx(_))).count()
+    }
+
+    /// Number of barriers.
+    #[must_use]
+    pub fn barriers(&self) -> usize {
+        self.items.iter().filter(|i| matches!(i, WorkItem::Barrier)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instruction_counting() {
+        let t = Transaction::new(vec![
+            TxOp::Compute(10),
+            TxOp::Load(Addr(0)),
+            TxOp::Store(Addr(4)),
+            TxOp::Compute(5),
+        ]);
+        assert_eq!(t.instructions(), 17);
+        assert_eq!(t.memory_ops(), 2);
+    }
+
+    #[test]
+    fn program_aggregates() {
+        let t = Transaction::new(vec![TxOp::Compute(3), TxOp::Load(Addr(0))]);
+        let p = ThreadProgram::new(vec![
+            WorkItem::Tx(t.clone()),
+            WorkItem::Barrier,
+            WorkItem::Tx(t),
+        ]);
+        assert_eq!(p.instructions(), 8);
+        assert_eq!(p.transactions(), 2);
+        assert_eq!(p.barriers(), 1);
+        assert_eq!(ThreadProgram::empty().instructions(), 0);
+    }
+}

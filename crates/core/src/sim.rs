@@ -1,0 +1,616 @@
+//! The full-system simulator: event loop, message routing, vendor,
+//! barriers, and result assembly.
+
+use std::collections::{HashSet, VecDeque};
+
+use tcc_directory::{DirAction, DirConfig, Directory};
+use tcc_engine::EventQueue;
+use tcc_network::{Network, TrafficStats};
+use tcc_types::{Cycle, DirId, LineAddr, Message, NodeId, Payload, Tid};
+
+use crate::breakdown::{Breakdown, TxCharacteristics};
+use crate::checker::{Checker, SerializabilityError};
+use crate::config::SystemConfig;
+use crate::processor::{Effects, ProcCounters, Processor};
+use crate::profiling::ProfileReport;
+use crate::program::ThreadProgram;
+
+/// Vendor service time per TID request, in cycles.
+const VENDOR_SERVICE: u64 = 2;
+
+/// A FIFO directory cache: tracks which lines' directory state is
+/// resident. Misses cost an extra memory access (the sharers vector and
+/// state bits live in a dedicated DRAM region when they spill).
+#[derive(Debug)]
+struct DirCache {
+    cap: usize,
+    resident: HashSet<LineAddr>,
+    fifo: VecDeque<LineAddr>,
+    /// Lines whose state has been evicted to memory at least once; only
+    /// these pay a fetch on re-reference (a never-seen line's entry is
+    /// synthesized empty, no memory read needed). Grows with the
+    /// evicted-line population — acceptable for simulation bookkeeping.
+    spilled: HashSet<LineAddr>,
+    hits: u64,
+    misses: u64,
+}
+
+impl DirCache {
+    fn new(cap: usize) -> DirCache {
+        DirCache {
+            cap: cap.max(1),
+            resident: HashSet::new(),
+            fifo: VecDeque::new(),
+            spilled: HashSet::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Touches `line`'s entry; returns true unless the state must be
+    /// fetched back from memory.
+    fn touch(&mut self, line: LineAddr) -> bool {
+        if self.resident.contains(&line) {
+            self.hits += 1;
+            return true;
+        }
+        let refetch = self.spilled.contains(&line);
+        if refetch {
+            self.misses += 1;
+        } else {
+            self.hits += 1; // cold allocate: entry synthesized, no fetch
+        }
+        if self.resident.len() >= self.cap {
+            if let Some(victim) = self.fifo.pop_front() {
+                self.resident.remove(&victim);
+                self.spilled.insert(victim);
+            }
+        }
+        self.resident.insert(line);
+        self.fifo.push_back(line);
+        !refetch
+    }
+}
+
+#[derive(Debug)]
+enum Event {
+    /// A message arrives at its destination node.
+    Deliver(Message),
+    /// A message is injected into the network now (used for sends that
+    /// a component issued with a delay).
+    Inject(Message),
+    /// A processor continues executing. The second field is the wake
+    /// sequence number at scheduling time; a mismatch with the
+    /// processor's current sequence marks the event stale (superseded by
+    /// a violation restart or another state change) and it is dropped.
+    ProcStep(NodeId, u64),
+}
+
+/// Results of one complete simulation.
+#[derive(Debug)]
+pub struct SimResult {
+    /// Application makespan: the cycle at which the last processor
+    /// finished.
+    pub total_cycles: u64,
+    /// Per-processor execution-time breakdown, idle-padded to the
+    /// makespan so each row sums to `total_cycles`.
+    pub breakdowns: Vec<Breakdown>,
+    /// Per-processor protocol counters.
+    pub proc_counters: Vec<ProcCounters>,
+    /// Committed transactions across the machine.
+    pub commits: u64,
+    /// Violated transaction attempts.
+    pub violations: u64,
+    /// Committed instructions (the Figure 9 normalizer).
+    pub instructions: u64,
+    /// Remote-traffic accounting by category and node.
+    pub traffic: TrafficStats,
+    /// Per-committed-transaction characteristics (Table 3).
+    pub tx_chars: Vec<TxCharacteristics>,
+    /// Directory occupancy samples across all directories (cycles per
+    /// commit; Table 3).
+    pub dir_occupancy: Vec<u64>,
+    /// Directory working-set size (entries with remote sharers) at end
+    /// of run, per directory (Table 3).
+    pub dir_working_set: Vec<usize>,
+    /// Simulator events processed (diagnostics).
+    pub events: u64,
+    /// Serializability verdict, when the checker was enabled.
+    pub serializability: Option<Result<(), SerializabilityError>>,
+    /// TAPE profiling report, when `cfg.profile` was enabled.
+    pub profile: Option<ProfileReport>,
+}
+
+impl SimResult {
+    /// Machine-wide breakdown (sum over processors).
+    #[must_use]
+    pub fn aggregate(&self) -> Breakdown {
+        self.breakdowns
+            .iter()
+            .fold(Breakdown::default(), |acc, b| acc.merged(b))
+    }
+
+    /// A human-readable one-screen summary of the run.
+    #[must_use]
+    pub fn render_summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let agg = self.aggregate();
+        let t = agg.total().max(1) as f64;
+        let _ = writeln!(s, "cycles           : {}", self.total_cycles);
+        let _ = writeln!(
+            s,
+            "commits          : {} ({} violated attempts)",
+            self.commits, self.violations
+        );
+        let _ = writeln!(s, "instructions     : {}", self.instructions);
+        let _ = writeln!(
+            s,
+            "breakdown        : useful {:.1}% | miss {:.1}% | idle {:.1}% | commit {:.1}% | violation {:.1}%",
+            100.0 * agg.useful as f64 / t,
+            100.0 * agg.cache_miss as f64 / t,
+            100.0 * agg.idle as f64 / t,
+            100.0 * agg.commit as f64 / t,
+            100.0 * agg.violation as f64 / t,
+        );
+        let _ = writeln!(
+            s,
+            "remote traffic   : {} bytes in {} messages",
+            self.traffic.total_bytes(),
+            self.traffic.total_messages()
+        );
+        let _ = writeln!(s, "simulator events : {}", self.events);
+        s
+    }
+
+    /// Asserts that the run was serializable (checker must be enabled).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checker was disabled or found a violation.
+    pub fn assert_serializable(&self) {
+        match &self.serializability {
+            Some(Ok(())) => {}
+            Some(Err(e)) => panic!("serializability violated: {e}"),
+            None => panic!("checker was not enabled"),
+        }
+    }
+}
+
+impl std::fmt::Display for SimResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render_summary())
+    }
+}
+
+/// The Scalable TCC full-system simulator.
+///
+/// # Example
+///
+/// ```
+/// use tcc_core::{Simulator, SystemConfig, ThreadProgram, Transaction, TxOp, WorkItem};
+/// use tcc_types::Addr;
+///
+/// let mut cfg = SystemConfig::with_procs(2);
+/// cfg.check_serializability = true;
+/// let tx = Transaction::new(vec![TxOp::Load(Addr(0)), TxOp::Compute(10)]);
+/// let programs = vec![
+///     ThreadProgram::new(vec![WorkItem::Tx(tx.clone())]),
+///     ThreadProgram::new(vec![WorkItem::Tx(tx)]),
+/// ];
+/// let result = Simulator::new(cfg, programs).run();
+/// assert_eq!(result.commits, 2);
+/// result.assert_serializable();
+/// ```
+#[derive(Debug)]
+pub struct Simulator {
+    cfg: SystemConfig,
+    queue: EventQueue<Event>,
+    procs: Vec<Processor>,
+    dirs: Vec<Directory>,
+    net: Network,
+    /// Earliest cycle each directory controller is free (occupancy).
+    dir_busy: Vec<Cycle>,
+    /// Per-node directory caches, when capacity-limited.
+    dir_caches: Vec<Option<DirCache>>,
+    vendor_next: u64,
+    barrier_waiting: Vec<NodeId>,
+    checker: Option<Checker>,
+    tx_chars: Vec<TxCharacteristics>,
+    active: usize,
+}
+
+impl Simulator {
+    /// Builds a simulator for `cfg.n_procs` processors, one program per
+    /// processor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program count differs from the processor count or
+    /// if the programs disagree on barrier counts (which would deadlock
+    /// the barrier protocol).
+    #[must_use]
+    pub fn new(cfg: SystemConfig, programs: Vec<ThreadProgram>) -> Simulator {
+        assert_eq!(
+            programs.len(),
+            cfg.n_procs,
+            "need exactly one program per processor"
+        );
+        let barrier_counts: Vec<usize> = programs.iter().map(ThreadProgram::barriers).collect();
+        assert!(
+            barrier_counts.windows(2).all(|w| w[0] == w[1]),
+            "programs disagree on barrier counts: {barrier_counts:?}"
+        );
+        let words = cfg.cache.geometry.words_per_line() as usize;
+        let procs: Vec<Processor> = programs
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| Processor::new(NodeId(i as u16), cfg.clone(), p))
+            .collect();
+        let dirs: Vec<Directory> = (0..cfg.n_procs)
+            .map(|i| Directory::new(DirConfig { id: DirId(i as u16), words_per_line: words }))
+            .collect();
+        let net = Network::new(cfg.n_procs, cfg.cache.geometry.line_bytes(), cfg.network.clone());
+        let checker = cfg.check_serializability.then(Checker::new);
+        let active = cfg.n_procs;
+        let dir_caches = (0..cfg.n_procs)
+            .map(|_| cfg.dir_cache_entries.map(DirCache::new))
+            .collect();
+        Simulator {
+            dir_busy: vec![Cycle::ZERO; cfg.n_procs],
+            dir_caches,
+            cfg,
+            queue: EventQueue::new(),
+            procs,
+            dirs,
+            net,
+            vendor_next: 0,
+            barrier_waiting: Vec::new(),
+            checker,
+            tx_chars: Vec::new(),
+            active,
+        }
+    }
+
+    /// Runs the simulation to completion and returns the results.
+    ///
+    /// # Panics
+    ///
+    /// Panics on protocol deadlock (events drained while processors are
+    /// still blocked) or when `cfg.max_cycles` is exceeded.
+    pub fn run(mut self) -> SimResult {
+        for i in 0..self.procs.len() {
+            let fx = self.procs[i].start(Cycle::ZERO);
+            self.apply(Cycle::ZERO, NodeId(i as u16), fx);
+        }
+        while let Some((now, ev)) = self.queue.pop() {
+            assert!(
+                now.0 <= self.cfg.max_cycles,
+                "simulation exceeded {} cycles: protocol livelock?",
+                self.cfg.max_cycles
+            );
+            match ev {
+                Event::ProcStep(n, seq) => {
+                    if self.procs[n.index()].wake_seq() == seq {
+                        let fx = self.procs[n.index()].step(now);
+                        self.apply(now, n, fx);
+                    }
+                }
+                Event::Inject(msg) => {
+                    let arrival = self.route(now, &msg);
+                    self.queue.schedule(arrival, Event::Deliver(msg));
+                }
+                Event::Deliver(msg) => self.deliver(now, msg),
+            }
+        }
+        if self.active > 0 {
+            let states: Vec<String> = self
+                .procs
+                .iter()
+                .map(|p| format!("{}={}", p.id(), p.state_name()))
+                .collect();
+            let nst: Vec<String> = self
+                .dirs
+                .iter()
+                .map(|d| format!("{}", d.now_serving()))
+                .collect();
+            panic!(
+                "protocol deadlock: {} processors never finished; \
+                 states: [{}], directory NSTIDs: [{}]",
+                self.active,
+                states.join(", "),
+                nst.join(", ")
+            );
+        }
+        self.finish()
+    }
+
+    /// Injects a message, choosing point-to-point or multicast timing by
+    /// payload type (Skip/Commit/Abort are fabric-replicated
+    /// multicasts, §2.2).
+    fn route(&mut self, now: Cycle, msg: &Message) -> Cycle {
+        match msg.payload {
+            Payload::Skip { .. } | Payload::Commit { .. } | Payload::Abort { .. } => {
+                self.net.send_multicast(now, msg)
+            }
+            _ => self.net.send(now, msg),
+        }
+    }
+
+    /// Applies a processor's [`Effects`].
+    fn apply(&mut self, now: Cycle, node: NodeId, fx: Effects) {
+        for (delay, msg) in fx.sends {
+            if delay == 0 {
+                let arrival = self.route(now, &msg);
+                self.queue.schedule(arrival, Event::Deliver(msg));
+            } else {
+                self.queue.schedule(now + delay, Event::Inject(msg));
+            }
+        }
+        if let Some(d) = fx.wake_in {
+            let seq = self.procs[node.index()].wake_seq();
+            self.queue.schedule(now + d, Event::ProcStep(node, seq));
+        }
+        if let Some((record, chars)) = fx.committed {
+            if let Some(c) = &mut self.checker {
+                c.record(record);
+            }
+            self.tx_chars.push(chars);
+        }
+        if fx.reached_barrier {
+            self.barrier_arrive(now, node);
+        }
+        if fx.finished {
+            self.active -= 1;
+        }
+    }
+
+    /// A processor reached a barrier; release everyone once all arrive.
+    fn barrier_arrive(&mut self, now: Cycle, node: NodeId) {
+        self.barrier_waiting.push(node);
+        if self.barrier_waiting.len() == self.cfg.n_procs {
+            let waiting = std::mem::take(&mut self.barrier_waiting);
+            for n in waiting {
+                let fx = self.procs[n.index()].release_barrier(now);
+                self.apply(now, n, fx);
+            }
+        }
+    }
+
+    /// Routes a delivered message to the right component model.
+    fn deliver(&mut self, now: Cycle, msg: Message) {
+        if std::env::var_os("TCC_TRACE").is_some() {
+            eprintln!("{} {} -> {}: {:?}", now, msg.src, msg.dst, msg.payload);
+        }
+        let dst = msg.dst;
+        match msg.payload {
+            // ---- directory-controller messages ----
+            Payload::LoadRequest { .. }
+            | Payload::Skip { .. }
+            | Payload::Probe { .. }
+            | Payload::Mark { .. }
+            | Payload::Commit { .. }
+            | Payload::Abort { .. }
+            | Payload::WriteBack { .. }
+            | Payload::Flush { .. }
+            | Payload::InvAck { .. } => self.deliver_to_dir(now, msg),
+            // ---- vendor ----
+            Payload::TidRequest { requester } => {
+                debug_assert_eq!(dst, self.cfg.vendor_node());
+                let tid = Tid(self.vendor_next);
+                self.vendor_next += 1;
+                let reply = Message::new(dst, requester, Payload::TidReply { tid });
+                self.queue.schedule(now + VENDOR_SERVICE, Event::Inject(reply));
+            }
+            // ---- processor messages ----
+            Payload::LoadReply { line, values, req, .. } => {
+                let fx = self.procs[dst.index()].on_load_reply(now, line, values, req);
+                self.apply(now, dst, fx);
+            }
+            Payload::TidReply { tid } => {
+                let fx = self.procs[dst.index()].on_tid_reply(now, tid);
+                self.apply(now, dst, fx);
+            }
+            Payload::ProbeReply { dir, now_serving, probe_tid, for_write } => {
+                let fx = self.procs[dst.index()]
+                    .on_probe_reply(now, dir, now_serving, probe_tid, for_write);
+                self.apply(now, dst, fx);
+            }
+            Payload::DataRequest { line } => {
+                let fx = self.procs[dst.index()].on_data_request(now, line);
+                self.apply(now, dst, fx);
+            }
+            Payload::Invalidate { line, words, committer_tid, dir } => {
+                let fx = self.procs[dst.index()]
+                    .on_invalidate(now, line, words, committer_tid, dir);
+                self.apply(now, dst, fx);
+            }
+            Payload::TokenRequest { .. }
+            | Payload::TokenGrant
+            | Payload::TokenRelease
+            | Payload::BaselineCommit { .. }
+            | Payload::BaselineAck { .. } => {
+                unreachable!("baseline-only message in the scalable protocol")
+            }
+        }
+    }
+
+    /// Directory-side delivery: models controller occupancy and
+    /// directory-cache/memory latency, then applies the state machine.
+    fn deliver_to_dir(&mut self, now: Cycle, msg: Message) {
+        let d = msg.dst.index();
+        let mut service = match msg.payload {
+            // Line-state operations walk the directory cache.
+            Payload::LoadRequest { .. }
+            | Payload::Mark { .. }
+            | Payload::WriteBack { .. }
+            | Payload::Flush { .. } => self.cfg.dir_line_latency,
+            Payload::Commit { .. } => self.cfg.dir_line_latency,
+            // Register-only operations are cheap.
+            _ => self.cfg.dir_ctrl_latency,
+        };
+        // Capacity-limited directory cache: a miss fetches the entry's
+        // state from memory first.
+        if let Some(cache) = &mut self.dir_caches[d] {
+            let line = match &msg.payload {
+                Payload::LoadRequest { line, .. }
+                | Payload::Mark { line, .. }
+                | Payload::WriteBack { line, .. }
+                | Payload::Flush { line, .. } => Some(*line),
+                _ => None,
+            };
+            if let Some(line) = line {
+                if !cache.touch(line) {
+                    service += self.cfg.mem_latency;
+                }
+            }
+        }
+        let start = now.max(self.dir_busy[d]);
+        let done = start + service;
+        self.dir_busy[d] = done;
+        let trace_wb_line = if std::env::var_os("TCC_TRACE").is_some() {
+            match &msg.payload {
+                Payload::WriteBack { line, .. } | Payload::Flush { line, .. } => Some(*line),
+                _ => None,
+            }
+        } else {
+            None
+        };
+        let dir = &mut self.dirs[d];
+        let actions: Vec<DirAction> = match msg.payload {
+            Payload::LoadRequest { line, requester, req } => dir.handle_load(line, requester, req),
+            Payload::Skip { tid } => dir.handle_skip(done, tid),
+            Payload::Probe { tid, requester, for_write } => {
+                dir.handle_probe(tid, requester, for_write)
+            }
+            Payload::Mark { tid, line, words, committer } => {
+                dir.handle_mark(done, tid, line, words, committer)
+            }
+            Payload::Commit { tid, committer, marks } => {
+                dir.handle_commit(done, tid, committer, marks)
+            }
+            Payload::Abort { tid } => dir.handle_abort(done, tid),
+            Payload::WriteBack { line, tid, values, valid, writer } => {
+                dir.handle_writeback(line, tid, values, valid, writer, false)
+            }
+            Payload::Flush { line, tid, values, valid, writer, dropped: _ } => {
+                // Flushes never prune the sharers list — even when the
+                // owner dropped its copy (Fig. 2f mode). A load reply
+                // for the same line may be in flight to the flusher, so
+                // eager pruning could leave it caching the line
+                // unlisted. Stale sharers are pruned self-healingly by
+                // the `retained = false` invalidation acks.
+                dir.handle_writeback(line, tid, values, valid, writer, true)
+            }
+            Payload::InvAck { tid, line, from, retained } => {
+                dir.handle_inv_ack(done, tid, line, from, retained)
+            }
+            _ => unreachable!("non-directory payload routed to directory"),
+        };
+        if let Some(line) = trace_wb_line {
+            let e = self.dirs[d].entry(line);
+            eprintln!(
+                "  DIRSTATE after wb {}: {:?}",
+                line,
+                e.map(|e| (e.owner, e.tid_tag, e.owner_words, e.memory.words.clone()))
+            );
+        }
+        let src = msg.dst;
+        for a in actions {
+            // Memory fills pay main-memory latency on top of the
+            // directory lookup; everything else leaves at `done`.
+            let extra = match &a.payload {
+                Payload::LoadReply { source: tcc_types::DataSource::Memory, .. } => {
+                    self.cfg.mem_latency
+                }
+                _ => 0,
+            };
+            let out = Message::new(src, a.to, a.payload);
+            self.queue.schedule(done + extra, Event::Inject(out));
+        }
+    }
+
+    /// End-of-run invariants: with the event queue drained, every
+    /// directory must be quiescent with its NSTID at the end of the
+    /// vended sequence, and every ownership record must point at a
+    /// processor actually holding the line dirty (no data can be lost
+    /// in flight once nothing is in flight).
+    fn assert_quiescent(&self) {
+        let expected = Tid(self.vendor_next);
+        for d in &self.dirs {
+            d.assert_quiescent(expected);
+            for (line, entry) in d.entries() {
+                if let Some(owner) = entry.owner {
+                    let p = &self.procs[owner.index()];
+                    assert!(
+                        p.cache().is_dirty(line) || p.has_dirty_spill(line),
+                        "{owner} is recorded as owner of {line} but holds no dirty copy"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Assembles the final [`SimResult`].
+    fn finish(mut self) -> SimResult {
+        self.assert_quiescent();
+        let end = self
+            .procs
+            .iter()
+            .filter_map(Processor::done_at)
+            .max()
+            .unwrap_or(Cycle::ZERO);
+        for p in &mut self.procs {
+            p.pad_idle_to(end);
+        }
+        let breakdowns: Vec<Breakdown> = self.procs.iter().map(|p| p.breakdown()).collect();
+        // Accounting invariant: every cycle of every processor is
+        // attributed to exactly one breakdown component, so each row
+        // sums to the makespan.
+        for (i, b) in breakdowns.iter().enumerate() {
+            debug_assert_eq!(
+                b.total(),
+                end.0,
+                "P{i}: breakdown {b:?} does not sum to the makespan {end}"
+            );
+        }
+        let proc_counters: Vec<ProcCounters> =
+            self.procs.iter().map(|p| p.counters()).collect();
+        let commits = proc_counters.iter().map(|c| c.commits).sum();
+        let violations = proc_counters.iter().map(|c| c.violations).sum();
+        let instructions = proc_counters.iter().map(|c| c.instructions).sum();
+        let mut dir_occupancy = Vec::new();
+        let mut dir_working_set = Vec::new();
+        for d in &self.dirs {
+            dir_occupancy.extend_from_slice(&d.stats().occupancy);
+            dir_working_set.push(d.working_set_entries());
+        }
+        let serializability = self.checker.as_ref().map(Checker::verify);
+        let profile = self.cfg.profile.then(|| {
+            let mut report = ProfileReport::default();
+            for p in &mut self.procs {
+                let (v, s) = p.take_profile();
+                report.violations.extend(v);
+                report.starvation.extend(s);
+            }
+            report.violations.sort_by_key(|v| v.at);
+            report.starvation.sort_by_key(|s| s.at);
+            report
+        });
+        SimResult {
+            total_cycles: end.0,
+            breakdowns,
+            proc_counters,
+            commits,
+            violations,
+            instructions,
+            traffic: self.net.stats().clone(),
+            tx_chars: self.tx_chars,
+            dir_occupancy,
+            dir_working_set,
+            events: self.queue.events_processed(),
+            serializability,
+            profile,
+        }
+    }
+}

@@ -1,0 +1,977 @@
+//! The directory state machine.
+
+use std::collections::HashMap;
+
+use tcc_types::{
+    Cycle, DataSource, DirId, LineAddr, LineValues, NodeId, Payload, Tid, WordMask,
+};
+
+use crate::entry::{DirEntry, MarkInfo};
+use crate::skip_vector::SkipVector;
+
+/// Directory configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DirConfig {
+    /// This directory's identity (determines the `dir` field of the
+    /// invalidations it sends and its co-located node).
+    pub id: DirId,
+    /// Words per cache line (for sizing fresh memory lines).
+    pub words_per_line: usize,
+}
+
+/// An outgoing message produced by a directory transition: the payload
+/// and its destination node. The simulation layer stamps source, timing,
+/// and routing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DirAction {
+    /// Destination node.
+    pub to: NodeId,
+    /// Message content.
+    pub payload: Payload,
+}
+
+impl DirAction {
+    fn new(to: NodeId, payload: Payload) -> DirAction {
+        DirAction { to, payload }
+    }
+}
+
+/// Event counters and occupancy samples for one directory.
+#[derive(Debug, Clone, Default)]
+pub struct DirStats {
+    /// Commits completed (gang-upgrades performed).
+    pub commits: u64,
+    /// Skip messages applied (including aborts treated as skips).
+    pub skips: u64,
+    /// Aborts that gang-cleared marks.
+    pub aborts: u64,
+    /// Mark messages accepted.
+    pub marks: u64,
+    /// Invalidations sent.
+    pub invalidations: u64,
+    /// Load requests serviced (including stalled ones, once).
+    pub loads: u64,
+    /// Loads that stalled against a marked line.
+    pub stalled_loads: u64,
+    /// Write-backs/flushes accepted into memory.
+    pub writebacks_accepted: u64,
+    /// Write-backs dropped by the TID-tag staleness check.
+    pub writebacks_dropped: u64,
+    /// Busy span of each completed commit, in cycles (first `Mark` — or
+    /// the `Commit` itself — until the NSTID advances). Feeds the
+    /// Table 3 "directory occupancy" column.
+    pub occupancy: Vec<u64>,
+}
+
+/// One in-flight commit awaiting invalidation acknowledgements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct AckWait {
+    tid: Tid,
+    acks_left: u32,
+    /// Lines whose sharers were invalidated: loads to them stall until
+    /// every ack (and therefore every superseded owner's flush, which
+    /// travels ahead of its ack on the same channel) has arrived —
+    /// otherwise a load could read memory before the previous owner's
+    /// data has been merged in.
+    locked: Vec<LineAddr>,
+}
+
+/// A `Commit` that arrived before all of its `Mark`s (unordered network).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PendingCommit {
+    tid: Tid,
+    committer: NodeId,
+    marks_expected: u32,
+}
+
+/// Loads queued behind an outstanding `DataRequest`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Waiters {
+    /// The owner the outstanding `DataRequest` targets.
+    target: NodeId,
+    /// Requesters to serve once the data is home, with their request ids.
+    queue: Vec<(NodeId, u64)>,
+}
+
+/// A deferred probe awaiting the right NSTID.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PendingProbe {
+    tid: Tid,
+    requester: NodeId,
+    for_write: bool,
+}
+
+/// The directory controller for one node's memory slice.
+///
+/// A pure state machine: each `handle_*` method applies one incoming
+/// message and returns the outgoing [`DirAction`]s. See the crate docs
+/// for the protocol role and [`DirEntry`] for per-line state.
+#[derive(Debug)]
+pub struct Directory {
+    cfg: DirConfig,
+    sv: SkipVector,
+    entries: HashMap<LineAddr, DirEntry>,
+    pending_probes: Vec<PendingProbe>,
+    /// Loads stalled against marked lines, FIFO: `(line, requester,
+    /// request id)`.
+    stalled_loads: Vec<(LineAddr, NodeId, u64)>,
+    /// Loads waiting for an owner flush, with the owner the outstanding
+    /// `DataRequest` was sent to. If ownership moves before the flush
+    /// lands, the request is re-targeted at the new owner.
+    data_req_waiters: HashMap<LineAddr, Waiters>,
+    /// Marks received from the currently-served transaction.
+    marks_received: u32,
+    pending_commit: Option<PendingCommit>,
+    ack_wait: Option<AckWait>,
+    commit_span_start: Option<Cycle>,
+    stats: DirStats,
+}
+
+impl Directory {
+    /// Creates an idle directory serving TID 0.
+    #[must_use]
+    pub fn new(cfg: DirConfig) -> Directory {
+        Directory {
+            cfg,
+            sv: SkipVector::new(),
+            entries: HashMap::new(),
+            pending_probes: Vec::new(),
+            stalled_loads: Vec::new(),
+            data_req_waiters: HashMap::new(),
+            marks_received: 0,
+            pending_commit: None,
+            ack_wait: None,
+            commit_span_start: None,
+            stats: DirStats::default(),
+        }
+    }
+
+    /// The Now Serving TID register.
+    #[must_use]
+    pub fn now_serving(&self) -> Tid {
+        self.sv.now_serving()
+    }
+
+    /// Event counters and occupancy samples.
+    #[must_use]
+    pub fn stats(&self) -> &DirStats {
+        &self.stats
+    }
+
+    /// Read access to a line's entry, if the directory has seen it.
+    #[must_use]
+    pub fn entry(&self, line: LineAddr) -> Option<&DirEntry> {
+        self.entries.get(&line)
+    }
+
+    /// Asserts the directory is quiescent: nothing deferred, stalled,
+    /// or half-committed. Called by the simulator once the event queue
+    /// drains — any leftover state means a request was silently
+    /// dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with a description) if any probe, load, data request, or
+    /// commit is still pending, and in particular if the Now Serving
+    /// TID has not reached `expected_nstid` (some TID was never skipped
+    /// or committed here — the gap-free sequence wedged).
+    pub fn assert_quiescent(&self, expected_nstid: Tid) {
+        assert!(
+            self.pending_probes.is_empty(),
+            "{}: {} probes left deferred",
+            self.cfg.id,
+            self.pending_probes.len()
+        );
+        assert!(
+            self.stalled_loads.is_empty(),
+            "{}: {} loads left stalled",
+            self.cfg.id,
+            self.stalled_loads.len()
+        );
+        assert!(
+            self.data_req_waiters.is_empty(),
+            "{}: {} data requests left outstanding",
+            self.cfg.id,
+            self.data_req_waiters.len()
+        );
+        assert!(self.pending_commit.is_none(), "{}: commit awaiting marks", self.cfg.id);
+        assert!(self.ack_wait.is_none(), "{}: commit awaiting inv acks", self.cfg.id);
+        assert!(
+            self.entries.values().all(|e| !e.is_marked()),
+            "{}: marked lines left behind",
+            self.cfg.id
+        );
+        assert_eq!(
+            self.now_serving(),
+            expected_nstid,
+            "{}: NSTID stopped short of the vended sequence",
+            self.cfg.id
+        );
+    }
+
+    /// Iterates over `(line, entry)` pairs (for end-of-run coherence
+    /// validation).
+    pub fn entries(&self) -> impl Iterator<Item = (LineAddr, &DirEntry)> {
+        self.entries.iter().map(|(&l, e)| (l, e))
+    }
+
+    /// Number of entries with at least one remote sharer — the Table 3
+    /// "directory cache working set".
+    #[must_use]
+    pub fn working_set_entries(&self) -> usize {
+        let home = self.cfg.id.node();
+        self.entries
+            .values()
+            .filter(|e| e.has_remote_sharer(home))
+            .count()
+    }
+
+    fn entry_mut(&mut self, line: LineAddr) -> &mut DirEntry {
+        self.entries
+            .entry(line)
+            .or_insert_with(|| DirEntry::new(self.cfg.words_per_line))
+    }
+
+    /// Processes a `LoadRequest` for `line` from `requester`.
+    ///
+    /// Loads to marked lines stall (the paper optimizes for commits
+    /// succeeding); loads to owned lines trigger a `DataRequest` to the
+    /// owner; everything else is served from memory and records the
+    /// requester as a sharer.
+    pub fn handle_load(&mut self, line: LineAddr, requester: NodeId, req: u64) -> Vec<DirAction> {
+        self.stats.loads += 1;
+        self.dispatch_load(line, requester, req)
+    }
+
+    /// Load path without the statistics bump, shared with re-dispatch of
+    /// stalled loads.
+    fn dispatch_load(&mut self, line: LineAddr, requester: NodeId, req: u64) -> Vec<DirAction> {
+        let commit_locked = self
+            .ack_wait
+            .as_ref()
+            .is_some_and(|w| w.locked.contains(&line));
+        if self.entry_mut(line).is_marked() || commit_locked {
+            self.stats.stalled_loads += 1;
+            self.stalled_loads.push((line, requester, req));
+            return Vec::new();
+        }
+        if let Some(w) = self.data_req_waiters.get_mut(&line) {
+            // A DataRequest is already in flight; piggyback.
+            w.queue.push((requester, req));
+            return Vec::new();
+        }
+        let entry = self.entry_mut(line);
+        match entry.owner {
+            Some(owner) if owner != requester => {
+                self.data_req_waiters
+                    .insert(line, Waiters { target: owner, queue: vec![(requester, req)] });
+                vec![DirAction::new(owner, Payload::DataRequest { line })]
+            }
+            _ => {
+                // No owner — or the owner itself re-reading words of its
+                // own line that other commits invalidated (its copy has
+                // holes; memory is current for exactly those words, and
+                // the cache's merge rule protects the words it owns).
+                entry.sharers.insert(requester);
+                let values = entry.memory.clone();
+                vec![DirAction::new(
+                    requester,
+                    Payload::LoadReply { line, source: DataSource::Memory, values, req },
+                )]
+            }
+        }
+    }
+
+    /// Processes a `Skip` for `tid`.
+    pub fn handle_skip(&mut self, now: Cycle, tid: Tid) -> Vec<DirAction> {
+        // Count only fresh skips (stale duplicates and re-sent future
+        // skips are ignored by the Skip Vector).
+        if tid >= self.now_serving() && !self.sv.is_buffered(tid) {
+            self.stats.skips += 1;
+        }
+        debug_assert!(
+            !(tid == self.now_serving() && self.ack_wait.is_some()),
+            "the transaction being committed cannot also skip"
+        );
+        if self.sv.buffer_skip(tid) {
+            self.post_advance(now)
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Processes a `Probe` from `requester` with TID `tid`.
+    ///
+    /// Implements the deferred-reply optimization: the reply is held
+    /// until the probe's condition is met (NSTID reaches `tid`), so the
+    /// processor never needs to re-probe.
+    pub fn handle_probe(
+        &mut self,
+        tid: Tid,
+        requester: NodeId,
+        for_write: bool,
+    ) -> Vec<DirAction> {
+        if self.now_serving() >= tid {
+            // Satisfied now (NSTID == tid in the common case; > tid only
+            // for stale probes racing an abort, which the processor
+            // ignores).
+            return vec![DirAction::new(
+                requester,
+                Payload::ProbeReply {
+                    dir: self.cfg.id,
+                    now_serving: self.now_serving(),
+                    probe_tid: tid,
+                    for_write,
+                },
+            )];
+        }
+        self.pending_probes.push(PendingProbe { tid, requester, for_write });
+        Vec::new()
+    }
+
+    /// Processes a `Mark` from the transaction the directory is serving.
+    ///
+    /// Marks for TIDs other than the NSTID are stale leftovers of an
+    /// abort race and are dropped.
+    pub fn handle_mark(
+        &mut self,
+        now: Cycle,
+        tid: Tid,
+        line: LineAddr,
+        words: WordMask,
+        committer: NodeId,
+    ) -> Vec<DirAction> {
+        if tid != self.now_serving() {
+            debug_assert!(tid < self.now_serving(), "mark from unserved future {tid}");
+            return Vec::new();
+        }
+        self.stats.marks += 1;
+        self.commit_span_start.get_or_insert(now);
+        self.marks_received += 1;
+        let entry = self.entry_mut(line);
+        match &mut entry.marked {
+            Some(info) => {
+                debug_assert_eq!(info.tid, tid, "line {line} marked by two TIDs");
+                info.words = info.words.union(words);
+            }
+            None => entry.marked = Some(MarkInfo { tid, by: committer, words }),
+        }
+        if let Some(pc) = self.pending_commit {
+            if pc.tid == tid && self.marks_received >= pc.marks_expected {
+                return self.do_commit(now, tid, pc.committer);
+            }
+        }
+        Vec::new()
+    }
+
+    /// Processes a `Commit` for `tid` expecting `marks` mark messages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` is not the currently served TID: the two-phase
+    /// protocol guarantees a transaction only commits at a directory
+    /// that is serving it.
+    pub fn handle_commit(
+        &mut self,
+        now: Cycle,
+        tid: Tid,
+        committer: NodeId,
+        marks: u32,
+    ) -> Vec<DirAction> {
+        assert_eq!(
+            tid,
+            self.now_serving(),
+            "commit for {tid} while serving {}",
+            self.now_serving()
+        );
+        self.commit_span_start.get_or_insert(now);
+        if self.marks_received < marks {
+            // Unordered network: the commit overtook some marks.
+            self.pending_commit = Some(PendingCommit { tid, committer, marks_expected: marks });
+            return Vec::new();
+        }
+        self.do_commit(now, tid, committer)
+    }
+
+    /// Gang-upgrades `tid`'s marked lines to owned, generating
+    /// invalidations, then completes or begins waiting for acks.
+    fn do_commit(&mut self, now: Cycle, tid: Tid, committer: NodeId) -> Vec<DirAction> {
+        self.pending_commit = None;
+        self.marks_received = 0;
+        self.stats.commits += 1;
+        let dir = self.cfg.id;
+        let mut actions = Vec::new();
+        let mut acks = 0u32;
+        let mut locked = Vec::new();
+        for (&line, entry) in &mut self.entries {
+            let Some(info) = entry.marked else { continue };
+            if info.tid != tid {
+                continue;
+            }
+            locked.push(line);
+            entry.marked = None;
+            entry.owner = Some(committer);
+            entry.tid_tag = Some(tid);
+            entry.owner_words = info.words;
+            entry.sharers.insert(committer);
+            // Invalidate every other sharer — but do NOT remove them
+            // from the sharers list. Under word-granularity tracking a
+            // non-conflicting sharer keeps the line's other words (and
+            // its SR bits) cached, so it must keep receiving
+            // invalidations for later commits; de-listing it here would
+            // open a window for missed conflicts. Sharers leave the
+            // list only by writing the line back. The cost is extra
+            // (harmless, acked) invalidations — the same trade the
+            // paper makes by not sending replacement hints (§3.3).
+            for sharer in entry.sharers.iter() {
+                if sharer == committer {
+                    continue;
+                }
+                actions.push(DirAction::new(
+                    sharer,
+                    Payload::Invalidate { line, words: info.words, committer_tid: tid, dir },
+                ));
+                acks += 1;
+            }
+        }
+        self.stats.invalidations += u64::from(acks);
+        if acks == 0 {
+            actions.extend(self.finish_current(now));
+        } else {
+            self.ack_wait = Some(AckWait { tid, acks_left: acks, locked });
+        }
+        actions
+    }
+
+    /// Processes an `InvAck` for commit `tid` from `from`.
+    ///
+    /// An ack with `retained == false` also prunes `from` from `line`'s
+    /// sharers list: the processor reported that it kept no
+    /// transactional interest in that line, so future commits need not
+    /// invalidate it (bounding invalidation fan-out to active sharers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no commit is awaiting acks or the TID mismatches.
+    pub fn handle_inv_ack(
+        &mut self,
+        now: Cycle,
+        tid: Tid,
+        line: LineAddr,
+        from: NodeId,
+        retained: bool,
+    ) -> Vec<DirAction> {
+        let wait = self.ack_wait.as_mut().expect("inv ack with no commit in flight");
+        assert_eq!(wait.tid, tid, "inv ack for {tid} while committing {}", wait.tid);
+        wait.acks_left -= 1;
+        let done = wait.acks_left == 0;
+        if !retained {
+            if let Some(entry) = self.entries.get_mut(&line) {
+                if entry.owner != Some(from) {
+                    entry.sharers.remove(from);
+                }
+            }
+        }
+        if done {
+            let locked = self.ack_wait.take().expect("checked above").locked;
+            let mut actions = self.finish_current(now);
+            // The window is closed: serve any waiters that were held
+            // back while flushes could still be in flight.
+            for line in locked {
+                actions.extend(self.service_waiters(line));
+            }
+            actions
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Processes an `Abort` for `tid`: gang-clears its marks if it was
+    /// being served (then advances), or records it as a skip for a
+    /// not-yet-served TID.
+    pub fn handle_abort(&mut self, now: Cycle, tid: Tid) -> Vec<DirAction> {
+        if tid < self.now_serving() {
+            return Vec::new(); // stale duplicate
+        }
+        // The aborting transaction is dead; any deferred probe reply
+        // would be ignored, so drop them.
+        self.pending_probes.retain(|p| p.tid != tid);
+        if tid > self.now_serving() {
+            self.stats.skips += 1;
+            let advanced = self.sv.buffer_skip(tid);
+            debug_assert!(!advanced);
+            return Vec::new();
+        }
+        // Serving this TID: clear its marks and move on.
+        self.stats.aborts += 1;
+        for entry in self.entries.values_mut() {
+            if entry.marked.is_some_and(|m| m.tid == tid) {
+                entry.marked = None;
+            }
+        }
+        self.pending_commit = None;
+        self.marks_received = 0;
+        debug_assert!(self.ack_wait.is_none(), "abort after commit began");
+        self.finish_current(now)
+    }
+
+    /// Processes a `WriteBack` (eviction; `keep_sharer == false`) or
+    /// `Flush` (owner keeps a clean copy; `keep_sharer == true`) of
+    /// `line` from `writer`, tagged with `tid`, merging the `valid`
+    /// words of `values` into memory.
+    ///
+    /// Write-backs from superseded owners (`tid` older than the entry's
+    /// TID tag) merge only words *outside* the current owner's committed
+    /// word mask — those words' sole authority is the current owner's
+    /// cache. This is the word-granularity generalization of the
+    /// paper's drop-stale-write-backs race-elimination rule (§3.3).
+    pub fn handle_writeback(
+        &mut self,
+        line: LineAddr,
+        tid: Tid,
+        values: LineValues,
+        valid: WordMask,
+        writer: NodeId,
+        keep_sharer: bool,
+    ) -> Vec<DirAction> {
+        let (superseded, merge_mask) = {
+            let entry = self.entry_mut(line);
+            let superseded = entry.tid_tag.is_some_and(|tag| tid < tag);
+            let merge_mask = if superseded {
+                WordMask(valid.0 & !entry.owner_words.0)
+            } else {
+                valid
+            };
+            (superseded, merge_mask)
+        };
+        if superseded && merge_mask.is_empty() {
+            // Fully shadowed by the newer commit: drop the data (§3.3) —
+            // but still service the waiter queue, which may need a
+            // re-targeted DataRequest at the new owner.
+            self.stats.writebacks_dropped += 1;
+            return self.service_waiters(line);
+        }
+        self.stats.writebacks_accepted += 1;
+        {
+            let entry = self.entry_mut(line);
+            entry.memory.merge_from(&values, merge_mask);
+            // Only a current-generation write-back relinquishes
+            // ownership.
+            if !superseded && entry.owner == Some(writer) {
+                entry.owner = None;
+            }
+            if !keep_sharer {
+                entry.sharers.remove(writer);
+            }
+        }
+        // Service any loads waiting on this line: if ownership is clear
+        // the merge has made memory current; if a *new* owner appeared
+        // while the DataRequest was in flight, re-target it.
+        self.service_waiters(line)
+    }
+
+    /// Serves or re-targets the queued loads of `line` after a
+    /// write-back has been merged.
+    fn service_waiters(&mut self, line: LineAddr) -> Vec<DirAction> {
+        // Inside a commit's ack window the line's data may still be in
+        // flight from the *previous* owner (its flush travels ahead of
+        // its ack); hold the waiters until the window closes — the
+        // ack-completion path re-services them.
+        if self
+            .ack_wait
+            .as_ref()
+            .is_some_and(|w| w.locked.contains(&line))
+        {
+            return Vec::new();
+        }
+        let Some(w) = self.data_req_waiters.get_mut(&line) else {
+            return Vec::new();
+        };
+        let mut actions = Vec::new();
+        let entry = self.entries.get_mut(&line).expect("waiters imply an entry");
+        match entry.owner {
+            None => {
+                let mem = entry.memory.clone();
+                let w = self.data_req_waiters.remove(&line).expect("checked above");
+                let entry = self.entry_mut(line);
+                for (r, req) in w.queue {
+                    entry.sharers.insert(r);
+                    actions.push(DirAction::new(
+                        r,
+                        Payload::LoadReply {
+                            line,
+                            source: DataSource::Owner,
+                            values: mem.clone(),
+                            req,
+                        },
+                    ));
+                }
+            }
+            Some(owner) if owner != w.target => {
+                // Ownership moved while the request was in flight.
+                w.target = owner;
+                actions.push(DirAction::new(owner, Payload::DataRequest { line }));
+            }
+            Some(_) => {} // flush from a stale generation; keep waiting
+        }
+        actions
+    }
+
+    /// Completes the currently-served TID: records occupancy, advances
+    /// the NSTID through buffered skips, then releases deferred probes
+    /// and stalled loads enabled by the new state.
+    fn finish_current(&mut self, now: Cycle) -> Vec<DirAction> {
+        if let Some(start) = self.commit_span_start.take() {
+            self.stats.occupancy.push(now.since(start));
+        }
+        self.sv.complete_current();
+        self.post_advance(now)
+    }
+
+    /// After any NSTID advance: answer newly-satisfied probes and
+    /// re-dispatch loads stalled on no-longer-marked lines.
+    fn post_advance(&mut self, _now: Cycle) -> Vec<DirAction> {
+        let nst = self.now_serving();
+        let dir = self.cfg.id;
+        let mut actions = Vec::new();
+        let mut i = 0;
+        while i < self.pending_probes.len() {
+            if self.pending_probes[i].tid <= nst {
+                let p = self.pending_probes.swap_remove(i);
+                actions.push(DirAction::new(
+                    p.requester,
+                    Payload::ProbeReply { dir, now_serving: nst, probe_tid: p.tid, for_write: p.for_write },
+                ));
+            } else {
+                i += 1;
+            }
+        }
+        let stalled = std::mem::take(&mut self.stalled_loads);
+        for (line, requester, req) in stalled {
+            actions.extend(self.dispatch_load(line, requester, req));
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N0: NodeId = NodeId(0);
+    const N1: NodeId = NodeId(1);
+    const N2: NodeId = NodeId(2);
+    const L: LineAddr = LineAddr(100);
+
+    fn dir() -> Directory {
+        Directory::new(DirConfig { id: DirId(0), words_per_line: 8 })
+    }
+
+    fn vals_with(word: usize, tid: Tid) -> LineValues {
+        let mut v = LineValues::fresh(8);
+        v.apply_write(WordMask::single(word), tid);
+        v
+    }
+
+    #[test]
+    fn load_from_memory_registers_sharer() {
+        let mut d = dir();
+        let acts = d.handle_load(L, N1, 0);
+        assert_eq!(acts.len(), 1);
+        assert_eq!(acts[0].to, N1);
+        assert!(matches!(
+            acts[0].payload,
+            Payload::LoadReply { source: DataSource::Memory, .. }
+        ));
+        assert!(d.entry(L).unwrap().sharers.contains(N1));
+    }
+
+    /// The full single-committer flow of Fig. 2: probe, mark, commit,
+    /// invalidation, ack, NSTID advance.
+    #[test]
+    fn commit_flow_invalidates_other_sharers() {
+        let mut d = dir();
+        d.handle_load(L, N1, 0);
+        d.handle_load(L, N2, 0);
+        // N1 commits TID 0 with a write to word 3 of L.
+        let probe = d.handle_probe(Tid(0), N1, true);
+        assert!(matches!(
+            probe[0].payload,
+            Payload::ProbeReply { now_serving: Tid(0), for_write: true, .. }
+        ));
+        d.handle_mark(Cycle(10), Tid(0), L, WordMask::single(3), N1);
+        let acts = d.handle_commit(Cycle(20), Tid(0), N1, 1);
+        // One invalidation, to N2 only.
+        assert_eq!(acts.len(), 1);
+        assert_eq!(acts[0].to, N2);
+        assert!(matches!(
+            acts[0].payload,
+            Payload::Invalidate { committer_tid: Tid(0), .. }
+        ));
+        // NSTID does not advance until the ack arrives (§3.3).
+        assert_eq!(d.now_serving(), Tid(0));
+        d.handle_inv_ack(Cycle(30), Tid(0), L, N2, false);
+        assert_eq!(d.now_serving(), Tid(1));
+        let e = d.entry(L).unwrap();
+        assert_eq!(e.owner, Some(N1));
+        assert_eq!(e.tid_tag, Some(Tid(0)));
+        // N2's ack reported `retained = false` (no transactional
+        // interest left), so it was pruned from the sharers list; the
+        // committer stays.
+        assert!(e.sharers.contains(N1) && !e.sharers.contains(N2));
+        assert_eq!(d.stats().commits, 1);
+        assert_eq!(d.stats().invalidations, 1);
+        assert_eq!(d.stats().occupancy, vec![20]); // cycles 10..30
+    }
+
+    #[test]
+    fn retained_ack_keeps_the_sharer_listed() {
+        let mut d = dir();
+        d.handle_load(L, N1, 0);
+        d.handle_load(L, N2, 0);
+        d.handle_probe(Tid(0), N1, true);
+        d.handle_mark(Cycle(0), Tid(0), L, WordMask::single(3), N1);
+        d.handle_commit(Cycle(0), Tid(0), N1, 1);
+        // N2 still holds transactional state on the line: stays listed.
+        d.handle_inv_ack(Cycle(1), Tid(0), L, N2, true);
+        let e = d.entry(L).unwrap();
+        assert!(e.sharers.contains(N2), "retained sharer must stay listed");
+    }
+
+    #[test]
+    fn commit_with_no_sharers_completes_immediately() {
+        let mut d = dir();
+        d.handle_load(L, N1, 0);
+        d.handle_probe(Tid(0), N1, true);
+        d.handle_mark(Cycle(0), Tid(0), L, WordMask::single(0), N1);
+        let acts = d.handle_commit(Cycle(5), Tid(0), N1, 1);
+        assert!(acts.is_empty());
+        assert_eq!(d.now_serving(), Tid(1));
+    }
+
+    #[test]
+    fn loads_to_owned_lines_are_forwarded_to_the_owner() {
+        let mut d = dir();
+        d.handle_load(L, N1, 0);
+        d.handle_probe(Tid(0), N1, true);
+        d.handle_mark(Cycle(0), Tid(0), L, WordMask::single(0), N1);
+        d.handle_commit(Cycle(0), Tid(0), N1, 1);
+        // N2 loads the owned line: DataRequest to N1, no reply yet.
+        let acts = d.handle_load(L, N2, 0);
+        assert_eq!(acts.len(), 1);
+        assert_eq!(acts[0].to, N1);
+        assert!(matches!(acts[0].payload, Payload::DataRequest { .. }));
+        // A second load piggybacks on the outstanding request.
+        let acts = d.handle_load(L, N0, 0);
+        assert!(acts.is_empty());
+        // The owner's flush serves both waiters with Owner-sourced data.
+        let flushed = vals_with(0, Tid(0));
+        let acts = d.handle_writeback(L, Tid(0), flushed, WordMask::ALL, N1, true);
+        assert_eq!(acts.len(), 2);
+        for a in &acts {
+            assert!(matches!(
+                a.payload,
+                Payload::LoadReply { source: DataSource::Owner, .. }
+            ));
+        }
+        let e = d.entry(L).unwrap();
+        assert_eq!(e.owner, None);
+        assert!(e.sharers.contains(N0) && e.sharers.contains(N1) && e.sharers.contains(N2));
+    }
+
+    #[test]
+    fn loads_to_marked_lines_stall_until_commit() {
+        let mut d = dir();
+        d.handle_load(L, N1, 0);
+        d.handle_probe(Tid(0), N1, true);
+        d.handle_mark(Cycle(0), Tid(0), L, WordMask::single(0), N1);
+        assert!(d.handle_load(L, N2, 0).is_empty(), "load must stall on marked line");
+        assert_eq!(d.stats().stalled_loads, 1);
+        // Commit completes; the stalled load re-dispatches and is
+        // forwarded to the new owner.
+        let acts = d.handle_commit(Cycle(0), Tid(0), N1, 1);
+        assert!(acts.iter().any(|a| {
+            a.to == N1 && matches!(a.payload, Payload::DataRequest { .. })
+        }));
+    }
+
+    #[test]
+    fn loads_stalled_on_aborted_marks_are_released() {
+        let mut d = dir();
+        d.handle_probe(Tid(0), N1, true);
+        d.handle_mark(Cycle(0), Tid(0), L, WordMask::single(0), N1);
+        assert!(d.handle_load(L, N2, 0).is_empty());
+        let acts = d.handle_abort(Cycle(1), Tid(0));
+        // The line is unmarked and unowned: served from memory.
+        assert!(acts.iter().any(|a| {
+            a.to == N2 && matches!(a.payload, Payload::LoadReply { source: DataSource::Memory, .. })
+        }));
+        assert_eq!(d.now_serving(), Tid(1));
+        assert_eq!(d.stats().aborts, 1);
+    }
+
+    #[test]
+    fn probes_defer_until_their_tid_is_served() {
+        let mut d = dir();
+        // TID 1 probes while TID 0 is outstanding: deferred.
+        assert!(d.handle_probe(Tid(1), N2, false).is_empty());
+        // TID 0 skips; the deferred probe is released.
+        let acts = d.handle_skip(Cycle(0), Tid(0));
+        assert_eq!(acts.len(), 1);
+        assert_eq!(acts[0].to, N2);
+        assert!(matches!(
+            acts[0].payload,
+            Payload::ProbeReply { now_serving: Tid(1), for_write: false, .. }
+        ));
+    }
+
+    #[test]
+    fn skips_buffer_out_of_order_and_advance_in_runs() {
+        let mut d = dir();
+        d.handle_skip(Cycle(0), Tid(2));
+        d.handle_skip(Cycle(0), Tid(1));
+        assert_eq!(d.now_serving(), Tid(0));
+        d.handle_skip(Cycle(0), Tid(0));
+        assert_eq!(d.now_serving(), Tid(3));
+        assert_eq!(d.stats().skips, 3);
+    }
+
+    #[test]
+    fn commit_waits_for_overtaken_marks() {
+        let mut d = dir();
+        d.handle_load(L, N1, 0);
+        d.handle_probe(Tid(0), N1, true);
+        // Commit arrives expecting 2 marks; only then do the marks land.
+        assert!(d.handle_commit(Cycle(0), Tid(0), N1, 2).is_empty());
+        assert_eq!(d.now_serving(), Tid(0), "must not commit before marks");
+        d.handle_mark(Cycle(1), Tid(0), L, WordMask::single(0), N1);
+        assert_eq!(d.now_serving(), Tid(0));
+        let acts = d.handle_mark(Cycle(2), Tid(0), LineAddr(101), WordMask::single(1), N1);
+        assert!(acts.is_empty()); // no sharers to invalidate
+        assert_eq!(d.now_serving(), Tid(1), "commit fires once marks complete");
+        assert_eq!(d.entry(LineAddr(101)).unwrap().owner, Some(N1));
+    }
+
+    #[test]
+    fn abort_for_future_tid_acts_as_skip() {
+        let mut d = dir();
+        assert!(d.handle_probe(Tid(1), N1, true).is_empty());
+        d.handle_abort(Cycle(0), Tid(1));
+        // TID 0 completes; NSTID jumps over the aborted TID 1 and the
+        // dead probe is not answered.
+        let acts = d.handle_skip(Cycle(0), Tid(0));
+        assert!(acts.is_empty());
+        assert_eq!(d.now_serving(), Tid(2));
+    }
+
+    #[test]
+    fn stale_marks_after_abort_are_dropped() {
+        let mut d = dir();
+        d.handle_abort(Cycle(0), Tid(0));
+        assert_eq!(d.now_serving(), Tid(1));
+        let acts = d.handle_mark(Cycle(1), Tid(0), L, WordMask::single(0), N1);
+        assert!(acts.is_empty());
+        assert!(d.entry(L).is_none() || !d.entry(L).unwrap().is_marked());
+    }
+
+    #[test]
+    fn stale_writebacks_are_dropped_by_tid_tag() {
+        let mut d = dir();
+        // N1 commits TID 0, then N2 commits TID 1 to the same line.
+        d.handle_probe(Tid(0), N1, true);
+        d.handle_mark(Cycle(0), Tid(0), L, WordMask::single(0), N1);
+        d.handle_commit(Cycle(0), Tid(0), N1, 1);
+        // N1 flushes so N2 can fetch, then N2 commits.
+        d.handle_writeback(L, Tid(0), vals_with(0, Tid(0)), WordMask::ALL, N1, true);
+        d.handle_load(L, N2, 0);
+        d.handle_probe(Tid(1), N2, true);
+        d.handle_mark(Cycle(1), Tid(1), L, WordMask::single(0), N2);
+        let acts = d.handle_commit(Cycle(1), Tid(1), N2, 1);
+        // Invalidation goes to N1; ack it so the NSTID advances.
+        assert_eq!(acts.len(), 1);
+        d.handle_inv_ack(Cycle(2), Tid(1), L, N2, false);
+        // A delayed write-back from N1 (tagged TID 0) covering only the
+        // superseded word now arrives: fully shadowed, dropped.
+        let stale = vals_with(0, Tid(0));
+        d.handle_writeback(L, Tid(0), stale, WordMask::single(0), N1, false);
+        assert_eq!(d.stats().writebacks_dropped, 1);
+        assert_eq!(d.entry(L).unwrap().owner, Some(N2), "stale WB must not clear owner");
+        // N2's own write-back (TID 1) is accepted and releases ownership.
+        d.handle_writeback(L, Tid(1), vals_with(0, Tid(1)), WordMask::ALL, N2, false);
+        assert_eq!(d.entry(L).unwrap().owner, None);
+        assert_eq!(d.entry(L).unwrap().memory.words[0], Some(Tid(1)));
+        // A full-line stale write-back arriving even later merges only
+        // its *non-shadowed* words: word 3 merges, but word 0 (written
+        // by the newer commit) must keep TID 1's value.
+        let mut wide = vals_with(0, Tid(0));
+        wide.apply_write(WordMask::single(3), Tid(0));
+        d.handle_writeback(L, Tid(0), wide, WordMask::ALL, N1, false);
+        let e = d.entry(L).unwrap();
+        assert_eq!(e.memory.words[3], Some(Tid(0)), "non-shadowed word merges");
+        assert_eq!(e.memory.words[0], Some(Tid(1)), "newer commit's word is protected");
+    }
+
+    #[test]
+    fn parallel_commit_scenario_of_figure_3() {
+        // Two directories; transactions 0 (at this dir) and 1 (elsewhere)
+        // commit concurrently. This dir only sees TID 0's commit and
+        // TID 1's skip.
+        let mut d = dir();
+        d.handle_load(L, N1, 0);
+        d.handle_probe(Tid(0), N1, true);
+        d.handle_skip(Cycle(0), Tid(1)); // TID 1 writes elsewhere
+        d.handle_mark(Cycle(0), Tid(0), L, WordMask::single(0), N1);
+        d.handle_commit(Cycle(0), Tid(0), N1, 1);
+        // Both TIDs complete here: 0 by commit, 1 by buffered skip.
+        assert_eq!(d.now_serving(), Tid(2));
+    }
+
+    #[test]
+    fn serialized_commit_scenario_of_figure_3_starred() {
+        // Fig. 3 b*/c*: T2 (TID 1, at N2) read line L from this
+        // directory, which T1 (TID 0, at N1) commits. T2's read-probe
+        // defers; T1's commit invalidates T2, which aborts.
+        let mut d = dir();
+        d.handle_load(L, N1, 0);
+        d.handle_load(L, N2, 0);
+        assert!(d.handle_probe(Tid(1), N2, false).is_empty(), "T2 defers behind T1");
+        d.handle_probe(Tid(0), N1, true);
+        d.handle_mark(Cycle(0), Tid(0), L, WordMask::single(0), N1);
+        let acts = d.handle_commit(Cycle(0), Tid(0), N1, 1);
+        // Invalidation to N2 — its read-set conflicts, so it will abort.
+        assert!(acts.iter().any(|a| a.to == N2
+            && matches!(a.payload, Payload::Invalidate { .. })));
+        let acts = d.handle_inv_ack(Cycle(1), Tid(0), L, N2, false);
+        // The deferred probe now answers with NSTID 1 == T2's TID; but
+        // T2 aborted, so an Abort(1) follows and advances the NSTID.
+        assert!(acts.iter().any(|a| a.to == N2
+            && matches!(a.payload, Payload::ProbeReply { now_serving: Tid(1), .. })));
+        d.handle_abort(Cycle(2), Tid(1));
+        assert_eq!(d.now_serving(), Tid(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "commit for")]
+    fn commit_for_unserved_tid_panics() {
+        let mut d = dir();
+        d.handle_commit(Cycle(0), Tid(3), N1, 0);
+    }
+
+    #[test]
+    fn working_set_counts_only_remote_sharers() {
+        let mut d = dir();
+        d.handle_load(LineAddr(1), N0, 0); // home node itself
+        d.handle_load(LineAddr(2), N1, 0);
+        d.handle_load(LineAddr(3), N2, 0);
+        assert_eq!(d.working_set_entries(), 2);
+    }
+
+    #[test]
+    fn duplicate_stale_abort_is_ignored() {
+        let mut d = dir();
+        d.handle_abort(Cycle(0), Tid(0));
+        assert_eq!(d.now_serving(), Tid(1));
+        assert!(d.handle_abort(Cycle(1), Tid(0)).is_empty());
+        assert_eq!(d.now_serving(), Tid(1));
+    }
+}

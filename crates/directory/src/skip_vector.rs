@@ -1,0 +1,285 @@
+//! The Skip Vector: out-of-order skip buffering for in-order TID service.
+
+use tcc_types::Tid;
+
+/// The directory's Skip Vector (Fig. 5 of the paper).
+///
+/// A directory serves transactions strictly in TID order through its
+/// *Now Serving TID* (NSTID) register, but skip messages from
+/// higher-TID transactions can arrive at any time. The Skip Vector
+/// buffers them: bit *j* (relative to the NSTID) records that TID
+/// `NSTID + j` has already skipped. When the directory finishes serving
+/// the current TID it shifts the vector past every buffered skip,
+/// advancing the NSTID by the length of the run.
+///
+/// # Example
+///
+/// ```
+/// use tcc_directory::SkipVector;
+/// use tcc_types::Tid;
+///
+/// let mut sv = SkipVector::new();
+/// assert_eq!(sv.now_serving(), Tid(0));
+/// // TIDs 1 and 2 skip early, while TID 0 is still being served.
+/// sv.buffer_skip(Tid(1));
+/// sv.buffer_skip(Tid(2));
+/// // TID 0 completes: the NSTID shifts straight to 3.
+/// sv.complete_current();
+/// assert_eq!(sv.now_serving(), Tid(3));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SkipVector {
+    now_serving: Tid,
+    /// Bit `j` of `bits[j / 64]` ⇔ TID `now_serving + j` has skipped.
+    /// Bit 0 (the current TID) is only set transiently inside
+    /// [`SkipVector::complete_current`].
+    bits: Vec<u64>,
+}
+
+impl SkipVector {
+    /// A fresh vector serving TID 0.
+    #[must_use]
+    pub fn new() -> SkipVector {
+        SkipVector::default()
+    }
+
+    /// The TID currently allowed to commit at this directory.
+    #[must_use]
+    pub fn now_serving(&self) -> Tid {
+        self.now_serving
+    }
+
+    /// Records that `tid` has nothing to do at this directory.
+    ///
+    /// Stale skips (`tid < now_serving`, e.g. duplicates after an abort
+    /// race) are ignored. Returns `true` if the NSTID advanced — which
+    /// happens when `tid` *is* the currently-served TID.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds on a duplicate skip for a future TID:
+    /// every transaction skips a directory at most once.
+    pub fn buffer_skip(&mut self, tid: Tid) -> bool {
+        if tid < self.now_serving {
+            return false;
+        }
+        if tid == self.now_serving {
+            self.complete_current();
+            return true;
+        }
+        let j = tid.since(self.now_serving) as usize;
+        let (word, bit) = (j / 64, j % 64);
+        if word >= self.bits.len() {
+            self.bits.resize(word + 1, 0);
+        }
+        debug_assert!(
+            self.bits[word] & (1 << bit) == 0,
+            "duplicate skip for future {tid}"
+        );
+        self.bits[word] |= 1 << bit;
+        false
+    }
+
+    /// Whether a skip is already buffered for `tid` (false for the
+    /// current and past TIDs).
+    #[must_use]
+    pub fn is_buffered(&self, tid: Tid) -> bool {
+        if tid <= self.now_serving {
+            return false;
+        }
+        let j = tid.since(self.now_serving) as usize;
+        let (word, bit) = (j / 64, j % 64);
+        word < self.bits.len() && self.bits[word] & (1 << bit) != 0
+    }
+
+    /// Marks the currently-served TID complete (commit finished, abort
+    /// processed, or skip received) and shifts past every consecutively
+    /// buffered skip. Returns the number of TIDs advanced (≥ 1).
+    pub fn complete_current(&mut self) -> u64 {
+        // Consume the current TID plus the run of buffered skips at
+        // offsets 1, 2, ….
+        let mut run = 1usize;
+        'scan: for (w, &word) in self.bits.iter().enumerate() {
+            for b in 0..64 {
+                let j = w * 64 + b;
+                if j == 0 {
+                    continue; // offset 0 is the completing TID itself
+                }
+                if j < run {
+                    continue;
+                }
+                if j > run {
+                    break 'scan;
+                }
+                if word & (1 << b) != 0 {
+                    run += 1;
+                } else {
+                    break 'scan;
+                }
+            }
+        }
+        self.shift(run);
+        self.now_serving = Tid(self.now_serving.0 + run as u64);
+        run as u64
+    }
+
+    /// Logically shifts the bit vector right by `n` positions.
+    fn shift(&mut self, n: usize) {
+        let words = n / 64;
+        let bits = n % 64;
+        if words >= self.bits.len() {
+            self.bits.clear();
+            return;
+        }
+        self.bits.drain(..words);
+        if bits > 0 {
+            let len = self.bits.len();
+            for i in 0..len {
+                let hi = if i + 1 < len { self.bits[i + 1] } else { 0 };
+                self.bits[i] = (self.bits[i] >> bits) | (hi << (64 - bits));
+            }
+        }
+        while self.bits.last() == Some(&0) {
+            self.bits.pop();
+        }
+    }
+
+    /// Number of skips currently buffered for future TIDs.
+    #[must_use]
+    pub fn buffered(&self) -> u32 {
+        self.bits.iter().map(|w| w.count_ones()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn serves_in_order_from_zero() {
+        let mut sv = SkipVector::new();
+        assert_eq!(sv.now_serving(), Tid(0));
+        assert_eq!(sv.complete_current(), 1);
+        assert_eq!(sv.now_serving(), Tid(1));
+    }
+
+    #[test]
+    fn paper_figure_5_scenario() {
+        // Fig. 5: while serving TID 0, skips from 1..=4 arrive, then
+        // 5..=8, then 9 and 10; completions jump over the buffered runs.
+        let mut sv = SkipVector::new();
+        for t in 1..=4 {
+            assert!(!sv.buffer_skip(Tid(t)));
+        }
+        for t in 5..=8 {
+            sv.buffer_skip(Tid(t));
+        }
+        // TID 0 commits: the vector shifts through 1..=8.
+        assert_eq!(sv.complete_current(), 9);
+        assert_eq!(sv.now_serving(), Tid(9));
+        sv.buffer_skip(Tid(10));
+        // TID 9 skips (arrives now): advance through 10 as well.
+        assert!(sv.buffer_skip(Tid(9)));
+        assert_eq!(sv.now_serving(), Tid(11));
+    }
+
+    #[test]
+    fn skip_for_current_tid_advances_immediately() {
+        let mut sv = SkipVector::new();
+        assert!(sv.buffer_skip(Tid(0)));
+        assert_eq!(sv.now_serving(), Tid(1));
+    }
+
+    #[test]
+    fn stale_skips_are_ignored() {
+        let mut sv = SkipVector::new();
+        sv.complete_current();
+        sv.complete_current();
+        assert_eq!(sv.now_serving(), Tid(2));
+        assert!(!sv.buffer_skip(Tid(0)));
+        assert_eq!(sv.now_serving(), Tid(2));
+    }
+
+    #[test]
+    fn gaps_stop_the_shift() {
+        let mut sv = SkipVector::new();
+        sv.buffer_skip(Tid(1));
+        sv.buffer_skip(Tid(3)); // gap at 2
+        sv.complete_current();
+        assert_eq!(sv.now_serving(), Tid(2));
+        assert!(sv.is_buffered(Tid(3)));
+        sv.complete_current();
+        assert_eq!(sv.now_serving(), Tid(4));
+        assert_eq!(sv.buffered(), 0);
+    }
+
+    #[test]
+    fn long_runs_cross_word_boundaries() {
+        let mut sv = SkipVector::new();
+        for t in 1..200 {
+            sv.buffer_skip(Tid(t));
+        }
+        assert_eq!(sv.complete_current(), 200);
+        assert_eq!(sv.now_serving(), Tid(200));
+        assert_eq!(sv.buffered(), 0);
+    }
+
+    #[test]
+    fn far_future_skips_are_retained_across_shifts() {
+        let mut sv = SkipVector::new();
+        sv.buffer_skip(Tid(130));
+        sv.complete_current(); // 0 -> 1
+        for t in 1..130 {
+            assert_eq!(sv.now_serving(), Tid(t));
+            let advanced = sv.buffer_skip(Tid(t));
+            assert!(advanced);
+        }
+        // TID 130 was buffered long ago; serving 129 jumps past it.
+        assert_eq!(sv.now_serving(), Tid(131));
+    }
+
+    proptest! {
+        /// Feeding a random permutation of skips for TIDs 0..n always
+        /// ends with the NSTID at exactly n, regardless of arrival
+        /// order — the gap-free guarantee.
+        #[test]
+        fn prop_any_arrival_order_reaches_n(n in 1u64..300, seed in 0u64..1000) {
+            let mut order: Vec<u64> = (0..n).collect();
+            // Deterministic pseudo-shuffle.
+            let mut s = seed.wrapping_mul(0x9e37_79b9).wrapping_add(1);
+            for i in (1..order.len()).rev() {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                order.swap(i, (s >> 33) as usize % (i + 1));
+            }
+            let mut sv = SkipVector::new();
+            for t in order {
+                sv.buffer_skip(Tid(t));
+            }
+            prop_assert_eq!(sv.now_serving(), Tid(n));
+            prop_assert_eq!(sv.buffered(), 0);
+        }
+
+        /// The NSTID never moves backwards and never jumps past a TID
+        /// that has not completed.
+        #[test]
+        fn prop_monotone_and_gapless(skips in proptest::collection::vec(0u64..64, 1..64)) {
+            let mut sv = SkipVector::new();
+            let mut completed = std::collections::HashSet::new();
+            for t in skips {
+                if completed.contains(&t) || sv.is_buffered(Tid(t)) || Tid(t) < sv.now_serving() {
+                    continue;
+                }
+                let before = sv.now_serving();
+                sv.buffer_skip(Tid(t));
+                completed.insert(t);
+                let after = sv.now_serving();
+                prop_assert!(after >= before);
+                // Every TID strictly below the NSTID must have completed.
+                for u in 0..after.0 {
+                    prop_assert!(completed.contains(&u), "TID {u} overtaken");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! Deterministic discrete-event simulation kernel.
+//!
+//! The Scalable TCC simulator is an event-driven, cycle-accurate model:
+//! processors, directories, and network links interact purely by
+//! scheduling events at future [`Cycle`]s. This crate provides the
+//! kernel: a time-ordered [`EventQueue`] with *deterministic* tie-breaking
+//! (events scheduled for the same cycle pop in scheduling order), so a
+//! given configuration and seed always produces bit-identical results —
+//! a property the test suite and the paper-reproduction harness both rely
+//! on.
+//!
+//! # Example
+//!
+//! ```
+//! use tcc_engine::EventQueue;
+//! use tcc_types::Cycle;
+//!
+//! let mut q: EventQueue<&str> = EventQueue::new();
+//! q.schedule(Cycle(10), "b");
+//! q.schedule(Cycle(5), "a");
+//! q.schedule(Cycle(10), "c");
+//!
+//! assert_eq!(q.pop(), Some((Cycle(5), "a")));
+//! assert_eq!(q.pop(), Some((Cycle(10), "b"))); // FIFO within a cycle
+//! assert_eq!(q.pop(), Some((Cycle(10), "c")));
+//! assert_eq!(q.pop(), None);
+//! ```
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use tcc_types::Cycle;
+
+/// Internal heap entry: ordered by time, then by insertion sequence.
+#[derive(Debug)]
+struct Entry<E> {
+    at: Cycle,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.at.cmp(&other.at).then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// A deterministic, time-ordered event queue.
+///
+/// `EventQueue` maintains the simulation clock: [`EventQueue::now`] is
+/// the timestamp of the most recently popped event. Scheduling an event
+/// in the past is a logic error and panics in debug builds.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+    now: Cycle,
+    popped: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at [`Cycle::ZERO`].
+    #[must_use]
+    pub fn new() -> EventQueue<E> {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: Cycle::ZERO,
+            popped: 0,
+        }
+    }
+
+    /// The current simulation time: the timestamp of the last popped
+    /// event.
+    #[must_use]
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events processed so far.
+    #[must_use]
+    pub fn events_processed(&self) -> u64 {
+        self.popped
+    }
+
+    /// Schedules `event` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `at` is before [`EventQueue::now`]:
+    /// scheduling into the past would silently reorder causality.
+    pub fn schedule(&mut self, at: Cycle, event: E) {
+        debug_assert!(
+            at >= self.now,
+            "event scheduled in the past: {at} < now {}",
+            self.now
+        );
+        let entry = Entry { at: at.max(self.now), seq: self.seq, event };
+        self.seq += 1;
+        self.heap.push(Reverse(entry));
+    }
+
+    /// Schedules `event` to fire `delay` cycles from now.
+    pub fn schedule_in(&mut self, delay: u64, event: E) {
+        self.schedule(self.now + delay, event);
+    }
+
+    /// Removes and returns the earliest event, advancing the clock to its
+    /// timestamp. Events at equal timestamps pop in scheduling order.
+    pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        let Reverse(e) = self.heap.pop()?;
+        self.now = e.at;
+        self.popped += 1;
+        Some((e.at, e.event))
+    }
+
+    /// The timestamp of the earliest pending event, if any.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<Cycle> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle(30), 3);
+        q.schedule(Cycle(10), 1);
+        q.schedule(Cycle(20), 2);
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(
+            order,
+            vec![(Cycle(10), 1), (Cycle(20), 2), (Cycle(30), 3)]
+        );
+    }
+
+    #[test]
+    fn fifo_within_same_cycle() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(Cycle(7), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), Cycle::ZERO);
+        q.schedule_in(5, ());
+        q.pop();
+        assert_eq!(q.now(), Cycle(5));
+        q.schedule_in(3, ());
+        assert_eq!(q.peek_time(), Some(Cycle(8)));
+        q.pop();
+        assert_eq!(q.now(), Cycle(8));
+        assert_eq!(q.events_processed(), 2);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle(10), ());
+        q.pop();
+        q.schedule(Cycle(5), ());
+    }
+
+    #[test]
+    fn empty_queue_behaviour() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.peek_time(), None);
+    }
+
+    proptest! {
+        /// Popped timestamps are non-decreasing, and ties preserve
+        /// insertion order, for arbitrary schedules.
+        #[test]
+        fn prop_time_order_with_stable_ties(delays in proptest::collection::vec(0u64..50, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, d) in delays.iter().enumerate() {
+                q.schedule(Cycle(*d), i);
+            }
+            let mut last: Option<(Cycle, usize)> = None;
+            while let Some((t, i)) = q.pop() {
+                if let Some((lt, li)) = last {
+                    prop_assert!(t >= lt);
+                    if t == lt {
+                        prop_assert!(i > li, "ties must pop in insertion order");
+                    }
+                }
+                last = Some((t, i));
+            }
+        }
+
+        /// Every scheduled event is popped exactly once.
+        #[test]
+        fn prop_no_event_lost(delays in proptest::collection::vec(0u64..1000, 0..300)) {
+            let mut q = EventQueue::new();
+            for (i, d) in delays.iter().enumerate() {
+                q.schedule(Cycle(*d), i);
+            }
+            let mut seen = vec![false; delays.len()];
+            while let Some((_, i)) = q.pop() {
+                prop_assert!(!seen[i], "event {i} popped twice");
+                seen[i] = true;
+            }
+            prop_assert!(seen.iter().all(|&b| b));
+            prop_assert_eq!(q.events_processed(), delays.len() as u64);
+        }
+    }
+}

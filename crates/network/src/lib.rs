@@ -1,0 +1,141 @@
+//! Interconnection-network model for the Scalable TCC simulator.
+//!
+//! The paper's machine (Table 2) connects nodes with a **2D grid** whose
+//! per-hop link latency is a key experimental parameter (Figure 8 sweeps
+//! it). This crate models that fabric:
+//!
+//! * [`Mesh2D`] — a near-square 2D mesh with dimension-order (XY)
+//!   routing, per-hop pipeline latency, and per-link serialization /
+//!   contention (each directed link is busy for `size / bandwidth`
+//!   cycles per message).
+//! * [`Network`] — the facade the protocol layer uses: it times a
+//!   [`Message`] across the mesh and records its bytes in the Figure 9
+//!   traffic accounts ([`TrafficStats`]).
+//!
+//! Messages between a processor and its *own* node's directory do not
+//! cross the network; they pay a small fixed local latency and are not
+//! counted as remote traffic.
+//!
+//! # Example
+//!
+//! ```
+//! use tcc_network::{Mesh2D, NetworkConfig};
+//! use tcc_types::{Cycle, NodeId};
+//!
+//! let mut mesh = Mesh2D::new(16, NetworkConfig::default());
+//! // A 16-node machine forms a 4x4 grid; corner-to-corner is 6 hops.
+//! assert_eq!(mesh.hops(NodeId(0), NodeId(15)), 6);
+//! let arrival = mesh.send(Cycle(0), NodeId(0), NodeId(15), 16);
+//! assert!(arrival > Cycle(0));
+//! ```
+
+mod mesh;
+mod stats;
+
+pub use mesh::{Mesh2D, NetworkConfig};
+pub use stats::TrafficStats;
+
+use tcc_types::{Cycle, Message, NodeId};
+
+/// The interconnect facade: routes [`Message`]s over a [`Mesh2D`] and
+/// accounts their traffic.
+#[derive(Debug)]
+pub struct Network {
+    mesh: Mesh2D,
+    stats: TrafficStats,
+    line_bytes: u32,
+}
+
+impl Network {
+    /// Creates a network for `n_nodes` nodes with cache lines of
+    /// `line_bytes` bytes (needed to size data messages).
+    #[must_use]
+    pub fn new(n_nodes: usize, line_bytes: u32, config: NetworkConfig) -> Network {
+        Network {
+            mesh: Mesh2D::new(n_nodes, config),
+            stats: TrafficStats::new(n_nodes),
+            line_bytes,
+        }
+    }
+
+    /// Times `msg` from its source to its destination starting at `now`,
+    /// updating link occupancy and traffic statistics. Returns the
+    /// delivery time.
+    pub fn send(&mut self, now: Cycle, msg: &Message) -> Cycle {
+        let size = msg.size_bytes(self.line_bytes);
+        if msg.src != msg.dst {
+            self.stats.record(msg.src, msg.dst, msg.payload.category(), size);
+            self.stats.record_kind(msg.payload.kind_name());
+        }
+        self.mesh.send(now, msg.src, msg.dst, size)
+    }
+
+    /// Times one copy of a *multicast* message (Skip/Commit/Abort
+    /// distribution). The paper relies on limited multicast being cheap
+    /// ("limited multicast messages are cheap in a high bandwidth
+    /// interconnect", §2.2): copies replicate in the fabric instead of
+    /// serializing at the source, so each copy pays only the
+    /// uncontended path latency. Traffic is still accounted per copy
+    /// delivered (the receive-side view Figure 9 reports).
+    pub fn send_multicast(&mut self, now: Cycle, msg: &Message) -> Cycle {
+        let size = msg.size_bytes(self.line_bytes);
+        if msg.src == msg.dst {
+            return self.mesh.send(now, msg.src, msg.dst, size);
+        }
+        self.stats.record(msg.src, msg.dst, msg.payload.category(), size);
+        self.stats.record_kind(msg.payload.kind_name());
+        let hops = self.mesh.hops(msg.src, msg.dst);
+        now + self.mesh.uncontended_latency(hops, size)
+    }
+
+    /// Number of mesh hops between two nodes.
+    #[must_use]
+    pub fn hops(&self, a: NodeId, b: NodeId) -> u64 {
+        self.mesh.hops(a, b)
+    }
+
+    /// Accumulated traffic statistics.
+    #[must_use]
+    pub fn stats(&self) -> &TrafficStats {
+        &self.stats
+    }
+
+    /// The network configuration in force.
+    #[must_use]
+    pub fn config(&self) -> &NetworkConfig {
+        self.mesh.config()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcc_types::{Payload, Tid, TrafficCategory};
+
+    #[test]
+    fn network_counts_remote_but_not_local_traffic() {
+        let mut net = Network::new(4, 32, NetworkConfig::default());
+        let remote = Message::new(NodeId(0), NodeId(3), Payload::Skip { tid: Tid(0) });
+        let local = Message::new(NodeId(1), NodeId(1), Payload::Skip { tid: Tid(0) });
+        net.send(Cycle(0), &remote);
+        net.send(Cycle(0), &local);
+        assert_eq!(
+            net.stats().total_bytes(),
+            u64::from(remote.size_bytes(32))
+        );
+        assert_eq!(
+            net.stats().bytes_in_category(TrafficCategory::Commit),
+            u64::from(remote.size_bytes(32))
+        );
+    }
+
+    #[test]
+    fn local_messages_are_fast() {
+        let mut net = Network::new(4, 32, NetworkConfig::default());
+        let local = Message::new(NodeId(1), NodeId(1), Payload::Skip { tid: Tid(0) });
+        let remote = Message::new(NodeId(0), NodeId(3), Payload::Skip { tid: Tid(0) });
+        let t_local = net.send(Cycle(0), &local);
+        let t_remote = net.send(Cycle(0), &remote);
+        assert!(t_local < t_remote);
+    }
+}

@@ -1,0 +1,154 @@
+//! Remote-traffic accounting in the categories of Figure 9.
+
+use std::collections::BTreeMap;
+
+use tcc_types::{NodeId, TrafficCategory};
+
+/// Number of traffic categories (see [`TrafficCategory::ALL`]).
+const N_CATS: usize = 5;
+
+fn cat_index(c: TrafficCategory) -> usize {
+    match c {
+        TrafficCategory::Overhead => 0,
+        TrafficCategory::Miss => 1,
+        TrafficCategory::WriteBack => 2,
+        TrafficCategory::Commit => 3,
+        TrafficCategory::Shared => 4,
+    }
+}
+
+/// Accumulated remote-traffic statistics.
+///
+/// Figure 9 of the paper reports "the traffic produced and consumed on
+/// average at each directory … in terms of bytes per instruction". We
+/// record, per node, the bytes it *received*, broken down by
+/// [`TrafficCategory`]; global totals and message counts are kept as
+/// well. Bytes-per-instruction normalization happens in `tcc-stats`,
+/// which knows the instruction counts.
+#[derive(Debug, Clone)]
+pub struct TrafficStats {
+    /// `received[node][category]` = bytes delivered to `node`.
+    received: Vec<[u64; N_CATS]>,
+    /// Global message count per category.
+    messages: [u64; N_CATS],
+    /// Census: remote message count per protocol message kind (the
+    /// Table 1 vocabulary plus replies/acks).
+    by_kind: BTreeMap<&'static str, u64>,
+    /// Total messages timed (including local ones is the caller's
+    /// choice; [`crate::Network`] only records remote messages here).
+    total_messages: u64,
+}
+
+impl TrafficStats {
+    /// Creates zeroed statistics for an `n_nodes` machine.
+    #[must_use]
+    pub fn new(n_nodes: usize) -> TrafficStats {
+        TrafficStats {
+            received: vec![[0; N_CATS]; n_nodes],
+            messages: [0; N_CATS],
+            by_kind: BTreeMap::new(),
+            total_messages: 0,
+        }
+    }
+
+    /// Records one `size`-byte message from `_src` delivered to `dst`.
+    pub fn record(&mut self, _src: NodeId, dst: NodeId, cat: TrafficCategory, size: u32) {
+        let i = cat_index(cat);
+        self.received[dst.index()][i] += u64::from(size);
+        self.messages[i] += 1;
+        self.total_messages += 1;
+    }
+
+    /// Records one message in the per-kind census (call alongside
+    /// [`TrafficStats::record`]).
+    pub fn record_kind(&mut self, kind: &'static str) {
+        *self.by_kind.entry(kind).or_default() += 1;
+    }
+
+    /// The remote-message census: `(message kind, count)` in
+    /// alphabetical order.
+    #[must_use]
+    pub fn message_census(&self) -> Vec<(&'static str, u64)> {
+        self.by_kind.iter().map(|(&k, &v)| (k, v)).collect()
+    }
+
+    /// Total bytes delivered across the whole machine.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.received.iter().flatten().sum()
+    }
+
+    /// Total bytes delivered in one category.
+    #[must_use]
+    pub fn bytes_in_category(&self, cat: TrafficCategory) -> u64 {
+        let i = cat_index(cat);
+        self.received.iter().map(|r| r[i]).sum()
+    }
+
+    /// Bytes delivered to one node in one category.
+    #[must_use]
+    pub fn bytes_at(&self, node: NodeId, cat: TrafficCategory) -> u64 {
+        self.received[node.index()][cat_index(cat)]
+    }
+
+    /// Number of remote messages in one category.
+    #[must_use]
+    pub fn messages_in_category(&self, cat: TrafficCategory) -> u64 {
+        self.messages[cat_index(cat)]
+    }
+
+    /// Total number of remote messages.
+    #[must_use]
+    pub fn total_messages(&self) -> u64 {
+        self.total_messages
+    }
+
+    /// Average bytes per node in one category (the Figure 9 y-axis
+    /// numerator).
+    #[must_use]
+    pub fn avg_bytes_per_node(&self, cat: TrafficCategory) -> f64 {
+        if self.received.is_empty() {
+            return 0.0;
+        }
+        self.bytes_in_category(cat) as f64 / self.received.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate_by_node_and_category() {
+        let mut s = TrafficStats::new(4);
+        s.record(NodeId(0), NodeId(1), TrafficCategory::Miss, 40);
+        s.record(NodeId(2), NodeId(1), TrafficCategory::Miss, 40);
+        s.record(NodeId(0), NodeId(3), TrafficCategory::Commit, 16);
+        assert_eq!(s.total_bytes(), 96);
+        assert_eq!(s.bytes_in_category(TrafficCategory::Miss), 80);
+        assert_eq!(s.bytes_at(NodeId(1), TrafficCategory::Miss), 80);
+        assert_eq!(s.bytes_at(NodeId(3), TrafficCategory::Commit), 16);
+        assert_eq!(s.bytes_at(NodeId(3), TrafficCategory::Miss), 0);
+        assert_eq!(s.messages_in_category(TrafficCategory::Miss), 2);
+        assert_eq!(s.total_messages(), 3);
+    }
+
+    #[test]
+    fn averages_divide_by_node_count() {
+        let mut s = TrafficStats::new(4);
+        s.record(NodeId(0), NodeId(1), TrafficCategory::Shared, 100);
+        assert_eq!(s.avg_bytes_per_node(TrafficCategory::Shared), 25.0);
+        assert_eq!(s.avg_bytes_per_node(TrafficCategory::Miss), 0.0);
+    }
+
+    #[test]
+    fn all_categories_are_distinct_buckets() {
+        let mut s = TrafficStats::new(1);
+        for (i, c) in TrafficCategory::ALL.iter().enumerate() {
+            s.record(NodeId(0), NodeId(0), *c, (i as u32 + 1) * 10);
+        }
+        for (i, c) in TrafficCategory::ALL.iter().enumerate() {
+            assert_eq!(s.bytes_in_category(*c), (i as u64 + 1) * 10);
+        }
+    }
+}

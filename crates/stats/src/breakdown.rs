@@ -1,0 +1,117 @@
+//! Execution-time breakdown normalization and speedups (Figures 6–8).
+
+use tcc_core::{Breakdown, SimResult};
+
+/// A machine-wide breakdown normalized to fractions of total execution
+/// time (the stacked bars of Figures 6–8).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakdownPct {
+    /// Useful execution fraction.
+    pub useful: f64,
+    /// Cache-miss stall fraction.
+    pub cache_miss: f64,
+    /// Commit-protocol fraction.
+    pub commit: f64,
+    /// Violated-work fraction.
+    pub violation: f64,
+    /// Barrier/idle fraction.
+    pub idle: f64,
+}
+
+impl BreakdownPct {
+    /// Normalizes an absolute breakdown.
+    #[must_use]
+    pub fn from_breakdown(b: &Breakdown) -> BreakdownPct {
+        let t = b.total().max(1) as f64;
+        BreakdownPct {
+            useful: b.useful as f64 / t,
+            cache_miss: b.cache_miss as f64 / t,
+            commit: b.commit as f64 / t,
+            violation: b.violation as f64 / t,
+            idle: b.idle as f64 / t,
+        }
+    }
+
+    /// Machine-wide normalized breakdown of a run.
+    #[must_use]
+    pub fn from_result(r: &SimResult) -> BreakdownPct {
+        BreakdownPct::from_breakdown(&r.aggregate())
+    }
+
+    /// The component fractions in Figure 6/7 legend order
+    /// (useful, cache miss, idle, commit, violation) with labels.
+    #[must_use]
+    pub fn components(&self) -> [(&'static str, f64); 5] {
+        [
+            ("Useful", self.useful),
+            ("Miss", self.cache_miss),
+            ("Idle", self.idle),
+            ("Commit", self.commit),
+            ("Violations", self.violation),
+        ]
+    }
+}
+
+/// One point of a Figure 7 scaling curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingPoint {
+    /// Machine size.
+    pub n_procs: usize,
+    /// Makespan in cycles.
+    pub cycles: u64,
+    /// Speedup over the 1-processor run.
+    pub speedup: f64,
+    /// Normalized breakdown at this size.
+    pub pct: BreakdownPct,
+    /// Violated attempts.
+    pub violations: u64,
+}
+
+/// Builds the Figure 7 curve from per-size results; `results[0]` must be
+/// the uniprocessor run (the normalization base).
+///
+/// # Panics
+///
+/// Panics if `results` is empty or the base run took zero cycles.
+#[must_use]
+pub fn scaling_curve(sizes: &[usize], results: &[SimResult]) -> Vec<ScalingPoint> {
+    assert_eq!(sizes.len(), results.len(), "one result per machine size");
+    assert!(!results.is_empty(), "need at least the uniprocessor run");
+    let base = results[0].total_cycles;
+    assert!(base > 0, "baseline run took zero cycles");
+    sizes
+        .iter()
+        .zip(results)
+        .map(|(&n, r)| ScalingPoint {
+            n_procs: n,
+            cycles: r.total_cycles,
+            speedup: base as f64 / r.total_cycles.max(1) as f64,
+            pct: BreakdownPct::from_result(r),
+            violations: r.violations,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(useful: u64, miss: u64, commit: u64, violation: u64, idle: u64) -> Breakdown {
+        Breakdown { useful, cache_miss: miss, commit, violation, idle }
+    }
+
+    #[test]
+    fn percentages_sum_to_one() {
+        let pct = BreakdownPct::from_breakdown(&b(50, 20, 10, 15, 5));
+        let sum: f64 = pct.components().iter().map(|(_, v)| v).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert_eq!(pct.useful, 0.5);
+        assert_eq!(pct.idle, 0.05);
+    }
+
+    #[test]
+    fn zero_breakdown_is_safe() {
+        let pct = BreakdownPct::from_breakdown(&Breakdown::default());
+        assert_eq!(pct.useful, 0.0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Measurement reduction and report rendering for the reproduction.
+//!
+//! The simulator (`tcc-core`) emits raw per-transaction, per-processor,
+//! and per-directory observations; this crate reduces them into exactly
+//! the quantities the paper reports and renders them as text tables:
+//!
+//! * [`percentile`] — the 90th-percentile reductions of Table 3.
+//! * [`table3`] — the full Table 3 row for one application run.
+//! * [`breakdown`] — normalized execution-time breakdowns
+//!   (Figures 6–8) and speedups (Figure 7).
+//! * [`traffic`] — bytes-per-instruction by category (Figure 9).
+//! * [`render`] — plain-text table and stacked-bar rendering.
+
+pub mod breakdown;
+pub mod render;
+pub mod table3;
+pub mod traffic;
+
+/// Returns the `p`-th percentile (0–100) of `values` using
+/// nearest-rank interpolation; 0.0 for an empty slice.
+///
+/// # Example
+///
+/// ```
+/// use tcc_stats::percentile;
+/// let v = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
+/// assert_eq!(percentile(&v, 90.0), 9.1);
+/// assert_eq!(percentile(&v, 50.0), 5.5);
+/// assert_eq!(percentile(&[], 90.0), 0.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 100]`.
+#[must_use]
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Convenience: 90th percentile of integer samples.
+#[must_use]
+pub fn p90(values: &[u64]) -> f64 {
+    let v: Vec<f64> = values.iter().map(|&x| x as f64).collect();
+    percentile(&v, 90.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_basics() {
+        assert_eq!(percentile(&[5.0], 90.0), 5.0);
+        assert_eq!(percentile(&[1.0, 3.0], 0.0), 1.0);
+        assert_eq!(percentile(&[1.0, 3.0], 100.0), 3.0);
+        assert_eq!(percentile(&[1.0, 3.0], 50.0), 2.0);
+    }
+
+    #[test]
+    fn percentile_is_order_insensitive() {
+        let a = percentile(&[9.0, 1.0, 5.0, 3.0, 7.0], 90.0);
+        let b = percentile(&[1.0, 3.0, 5.0, 7.0, 9.0], 90.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn p90_integers() {
+        let v: Vec<u64> = (1..=100).collect();
+        let x = p90(&v);
+        assert!((x - 90.1).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn percentile_rejects_bad_p() {
+        let _ = percentile(&[1.0], 150.0);
+    }
+}

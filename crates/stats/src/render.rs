@@ -1,0 +1,144 @@
+//! Plain-text rendering: aligned tables and stacked bars.
+
+/// A simple column-aligned text table builder.
+///
+/// # Example
+///
+/// ```
+/// use tcc_stats::render::TextTable;
+/// let mut t = TextTable::new(vec!["app", "speedup"]);
+/// t.row(vec!["swim".into(), "28.0".into()]);
+/// let s = t.render();
+/// assert!(s.contains("app"));
+/// assert!(s.contains("swim"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new(headers: Vec<&str>) -> TextTable {
+        TextTable {
+            headers: headers.into_iter().map(String::from).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns (first column
+    /// left-aligned, the rest right-aligned).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut s = String::new();
+            for i in 0..ncols {
+                if i > 0 {
+                    s.push_str("  ");
+                }
+                if i == 0 {
+                    s.push_str(&format!("{:<w$}", cells[i], w = widths[i]));
+                } else {
+                    s.push_str(&format!("{:>w$}", cells[i], w = widths[i]));
+                }
+            }
+            s
+        };
+        let mut out = fmt_row(&self.headers);
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Renders a horizontal stacked bar of labelled fractions, `width`
+/// characters wide, e.g. `UUUUUUMMMCC|`. Each segment uses the first
+/// letter of its label; fractions are clamped to sum ≤ 1.
+#[must_use]
+pub fn stacked_bar(components: &[(&str, f64)], width: usize) -> String {
+    let mut bar = String::with_capacity(width + 1);
+    let mut used = 0usize;
+    for (label, frac) in components {
+        let cells = (frac.max(0.0) * width as f64).round() as usize;
+        let cells = cells.min(width.saturating_sub(used));
+        let ch = label.chars().next().unwrap_or('?');
+        for _ in 0..cells {
+            bar.push(ch);
+        }
+        used += cells;
+    }
+    while used < width {
+        bar.push(' ');
+        used += 1;
+    }
+    bar.push('|');
+    bar
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = TextTable::new(vec!["name", "x"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["longer".into(), "12345".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines equal width.
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+        assert!(lines[3].starts_with("longer"));
+        assert!(lines[3].ends_with("12345"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn stacked_bar_proportions() {
+        let bar = stacked_bar(&[("Useful", 0.5), ("Miss", 0.25), ("Commit", 0.25)], 20);
+        assert_eq!(bar.len(), 21);
+        assert_eq!(bar.matches('U').count(), 10);
+        assert_eq!(bar.matches('M').count(), 5);
+        assert_eq!(bar.matches('C').count(), 5);
+        assert!(bar.ends_with('|'));
+    }
+
+    #[test]
+    fn stacked_bar_clamps_overflow() {
+        let bar = stacked_bar(&[("A", 0.9), ("B", 0.9)], 10);
+        assert_eq!(bar.len(), 11);
+        assert_eq!(bar.matches('A').count(), 9);
+        assert_eq!(bar.matches('B').count(), 1);
+    }
+}

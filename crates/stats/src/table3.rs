@@ -1,0 +1,82 @@
+//! Table 3 reduction: per-application transactional characteristics.
+
+use tcc_core::SimResult;
+
+use crate::p90;
+
+/// One row of Table 3, computed from a simulation at the paper's
+/// reference machine size (32 processors).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table3Row {
+    /// Application name.
+    pub name: String,
+    /// 90th-percentile committed-transaction size, in instructions.
+    pub tx_size_p90: f64,
+    /// 90th-percentile write-set size, in KB.
+    pub write_set_kb_p90: f64,
+    /// 90th-percentile read-set size, in KB.
+    pub read_set_kb_p90: f64,
+    /// 90th-percentile operations per word written.
+    pub ops_per_word_p90: f64,
+    /// 90th-percentile directories touched per commit (Writing ∪
+    /// Sharing vectors).
+    pub dirs_per_commit_p90: f64,
+    /// 90th-percentile directory working set, in entries with remote
+    /// sharers (measured across directories at end of run).
+    pub working_set_p90: f64,
+    /// 90th-percentile directory occupancy, in cycles per commit.
+    pub occupancy_p90: f64,
+}
+
+impl Table3Row {
+    /// Reduces one application run into its Table 3 row.
+    #[must_use]
+    pub fn from_result(name: &str, r: &SimResult) -> Table3Row {
+        let sizes: Vec<u64> = r.tx_chars.iter().map(|t| t.instructions).collect();
+        let wsets: Vec<u64> = r.tx_chars.iter().map(|t| t.write_set_bytes).collect();
+        let rsets: Vec<u64> = r.tx_chars.iter().map(|t| t.read_set_bytes).collect();
+        let opw: Vec<f64> = r.tx_chars.iter().map(|t| t.ops_per_word_written()).collect();
+        let dirs: Vec<u64> = r.tx_chars.iter().map(|t| u64::from(t.dirs_touched)).collect();
+        let ws: Vec<u64> = r.dir_working_set.iter().map(|&x| x as u64).collect();
+        Table3Row {
+            name: name.to_string(),
+            tx_size_p90: p90(&sizes),
+            write_set_kb_p90: p90(&wsets) / 1024.0,
+            read_set_kb_p90: p90(&rsets) / 1024.0,
+            ops_per_word_p90: crate::percentile(&opw, 90.0),
+            dirs_per_commit_p90: p90(&dirs),
+            working_set_p90: p90(&ws),
+            occupancy_p90: p90(&r.dir_occupancy),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcc_core::{Simulator, SystemConfig, ThreadProgram, Transaction, TxOp, WorkItem};
+    use tcc_types::Addr;
+
+    #[test]
+    fn row_from_a_tiny_run() {
+        let cfg = SystemConfig::with_procs(2);
+        let programs: Vec<ThreadProgram> = (0..2u64)
+            .map(|p| {
+                ThreadProgram::new(vec![WorkItem::Tx(Transaction::new(vec![
+                    TxOp::Load(Addr(p * 4096)),
+                    TxOp::Compute(100),
+                    TxOp::Store(Addr(p * 4096 + 4)),
+                ]))])
+            })
+            .collect();
+        let r = Simulator::new(cfg, programs).run();
+        let row = Table3Row::from_result("tiny", &r);
+        assert_eq!(row.name, "tiny");
+        assert_eq!(row.tx_size_p90, 102.0);
+        // One line read + one line written = 32 bytes each.
+        assert!((row.write_set_kb_p90 - 32.0 / 1024.0).abs() < 1e-9);
+        assert!((row.read_set_kb_p90 - 32.0 / 1024.0).abs() < 1e-9);
+        assert_eq!(row.ops_per_word_p90, 102.0);
+        assert!(row.dirs_per_commit_p90 >= 1.0);
+    }
+}

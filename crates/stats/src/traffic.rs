@@ -1,0 +1,92 @@
+//! Remote-traffic reduction: bytes per instruction by category
+//! (Figure 9).
+
+use tcc_core::SimResult;
+use tcc_types::TrafficCategory;
+
+/// The Figure 9 y-axis for one application run: average remote bytes
+/// delivered per directory, normalized by committed instructions,
+/// broken down by category.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficReport {
+    /// `(category, bytes per instruction)`, in Figure 9 legend order.
+    pub per_category: Vec<(TrafficCategory, f64)>,
+    /// Sum over all categories.
+    pub total: f64,
+    /// Total bandwidth in MB/s assuming the paper's 2-GHz clock
+    /// (Figure 9's accompanying discussion).
+    pub total_mbps_at_2ghz: f64,
+}
+
+impl TrafficReport {
+    /// Reduces a run's traffic statistics.
+    ///
+    /// Figure 9 reports "the traffic produced and consumed on average
+    /// at each directory … in terms of bytes per instruction": total
+    /// remote bytes divided by directories, normalized by the
+    /// per-directory share of committed instructions.
+    #[must_use]
+    pub fn from_result(r: &SimResult) -> TrafficReport {
+        let n_dirs = r.breakdowns.len().max(1) as f64;
+        let instr_per_dir = (r.instructions as f64 / n_dirs).max(1.0);
+        let per_category: Vec<(TrafficCategory, f64)> = TrafficCategory::ALL
+            .iter()
+            .map(|&c| {
+                let per_dir = r.traffic.bytes_in_category(c) as f64 / n_dirs;
+                (c, per_dir / instr_per_dir)
+            })
+            .collect();
+        let total: f64 = per_category.iter().map(|(_, v)| v).sum();
+        // bytes/instr × instr/s (1 instr per cycle at 2 GHz × utilization
+        // folded out, as in the paper's envelope estimate).
+        let cycles = r.total_cycles.max(1) as f64;
+        let bytes_per_dir_total = total * instr_per_dir;
+        let seconds = cycles / 2.0e9;
+        let total_mbps_at_2ghz = bytes_per_dir_total / seconds / 1.0e6;
+        TrafficReport { per_category, total, total_mbps_at_2ghz }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcc_core::{Simulator, SystemConfig, ThreadProgram, Transaction, TxOp, WorkItem};
+    use tcc_types::Addr;
+
+    #[test]
+    fn report_reflects_remote_fills() {
+        // P1 loads a line homed at node 0: remote Miss traffic exists.
+        let cfg = SystemConfig::with_procs(2);
+        let programs = vec![
+            ThreadProgram::new(vec![WorkItem::Tx(Transaction::new(vec![TxOp::Compute(
+                1000,
+            )]))]),
+            ThreadProgram::new(vec![WorkItem::Tx(Transaction::new(vec![
+                TxOp::Load(Addr(0)),
+                TxOp::Compute(1000),
+            ]))]),
+        ];
+        let r = Simulator::new(cfg, programs).run();
+        let t = TrafficReport::from_result(&r);
+        let miss = t
+            .per_category
+            .iter()
+            .find(|(c, _)| *c == TrafficCategory::Miss)
+            .unwrap()
+            .1;
+        assert!(miss > 0.0, "remote fill must appear as Miss traffic");
+        assert!(t.total >= miss);
+        assert!(t.total_mbps_at_2ghz > 0.0);
+    }
+
+    #[test]
+    fn uniprocessor_traffic_is_zero() {
+        let cfg = SystemConfig::with_procs(1);
+        let programs = vec![ThreadProgram::new(vec![WorkItem::Tx(Transaction::new(
+            vec![TxOp::Load(Addr(0)), TxOp::Store(Addr(64)), TxOp::Compute(50)],
+        ))])];
+        let r = Simulator::new(cfg, programs).run();
+        let t = TrafficReport::from_result(&r);
+        assert_eq!(t.total, 0.0);
+    }
+}

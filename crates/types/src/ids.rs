@@ -1,0 +1,226 @@
+//! Strongly-typed identifiers used across the simulator.
+//!
+//! All of these are transparent newtypes ([C-NEWTYPE]) so that a cycle
+//! count can never be confused with a transaction ID, and a node index can
+//! never be confused with a directory index, even though all four are
+//! plain integers on the wire.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, measured in processor clock cycles.
+///
+/// The simulation clock is global: every component (processor, cache,
+/// directory, network link) advances in units of `Cycle`.
+///
+/// # Example
+///
+/// ```
+/// use tcc_types::Cycle;
+/// let t = Cycle(100) + 16;
+/// assert_eq!(t, Cycle(116));
+/// assert_eq!(t - Cycle(100), 16);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycle(pub u64);
+
+impl Cycle {
+    /// The beginning of time.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// Returns the later of two instants.
+    #[must_use]
+    pub fn max(self, other: Cycle) -> Cycle {
+        Cycle(self.0.max(other.0))
+    }
+
+    /// Saturating distance from `earlier` to `self` in cycles.
+    ///
+    /// Returns zero when `earlier` is actually later; useful when
+    /// computing stall intervals that may race with other events.
+    #[must_use]
+    pub fn since(self, earlier: Cycle) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl Add<u64> for Cycle {
+    type Output = Cycle;
+    fn add(self, rhs: u64) -> Cycle {
+        Cycle(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Cycle {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Cycle> for Cycle {
+    type Output = u64;
+    /// Distance between two instants.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`.
+    fn sub(self, rhs: Cycle) -> u64 {
+        debug_assert!(rhs <= self, "negative cycle interval: {rhs} > {self}");
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+/// Identifies one node of the distributed shared-memory machine.
+///
+/// In the simulated system (Fig. 1a of the paper) each node contains a
+/// TCC processor with its private cache hierarchy, a communication
+/// assist, a slice of main memory, and the directory for that slice.
+/// Processors and directories are therefore both indexed by `NodeId`;
+/// [`DirId`] exists to keep the two roles apart in signatures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// The node index as a `usize`, for indexing component vectors.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// Identifies one directory (one contiguous region of physical memory).
+///
+/// There is exactly one directory per node; `DirId(i)` is co-located with
+/// `NodeId(i)`. The distinction is purely type-level: a message addressed
+/// to a directory is handled by the directory controller of that node,
+/// not its processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct DirId(pub u16);
+
+impl DirId {
+    /// The directory index as a `usize`, for indexing component vectors.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The node this directory lives on.
+    #[must_use]
+    pub fn node(self) -> NodeId {
+        NodeId(self.0)
+    }
+}
+
+impl From<NodeId> for DirId {
+    fn from(n: NodeId) -> DirId {
+        DirId(n.0)
+    }
+}
+
+impl fmt::Display for DirId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Dir{}", self.0)
+    }
+}
+
+/// A transaction identifier from the global gap-free TID vendor.
+///
+/// TIDs define the system-wide serial order of transactions (OCC
+/// condition 3 in §2.1 of the paper). The vendor hands them out as a
+/// *gap-free* sequence `0, 1, 2, …`: every TID is eventually either
+/// committed, aborted, or skipped at **every** directory, which is what
+/// lets each directory's `Now Serving TID` register advance.
+///
+/// Distributed timestamp schemes (as in TLR) are explicitly insufficient
+/// here because they are only unique and ordered, not gap-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Tid(pub u64);
+
+impl Tid {
+    /// The successor TID in the global serial order.
+    #[must_use]
+    pub fn next(self) -> Tid {
+        Tid(self.0 + 1)
+    }
+
+    /// Number of TIDs in the half-open interval `[earlier, self)`.
+    ///
+    /// Returns zero if `earlier >= self`.
+    #[must_use]
+    pub fn since(self, earlier: Tid) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl fmt::Display for Tid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_arithmetic() {
+        let t = Cycle(10) + 5;
+        assert_eq!(t, Cycle(15));
+        assert_eq!(t - Cycle(10), 5);
+        assert_eq!(t.since(Cycle(20)), 0);
+        assert_eq!(Cycle(20).since(t), 5);
+        let mut u = Cycle::ZERO;
+        u += 7;
+        assert_eq!(u, Cycle(7));
+    }
+
+    #[test]
+    fn cycle_max() {
+        assert_eq!(Cycle(3).max(Cycle(9)), Cycle(9));
+        assert_eq!(Cycle(9).max(Cycle(3)), Cycle(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "negative cycle interval")]
+    fn cycle_sub_underflow_panics_in_debug() {
+        let _ = Cycle(1) - Cycle(2);
+    }
+
+    #[test]
+    fn node_and_dir_interconvert() {
+        let n = NodeId(7);
+        let d: DirId = n.into();
+        assert_eq!(d, DirId(7));
+        assert_eq!(d.node(), n);
+        assert_eq!(d.index(), 7);
+        assert_eq!(n.index(), 7);
+    }
+
+    #[test]
+    fn tid_order_and_succ() {
+        assert!(Tid(3) < Tid(4));
+        assert_eq!(Tid(3).next(), Tid(4));
+        assert_eq!(Tid(10).since(Tid(4)), 6);
+        assert_eq!(Tid(4).since(Tid(10)), 0);
+    }
+
+    #[test]
+    fn display_formats_are_nonempty() {
+        assert_eq!(Cycle(5).to_string(), "@5");
+        assert_eq!(NodeId(2).to_string(), "P2");
+        assert_eq!(DirId(2).to_string(), "Dir2");
+        assert_eq!(Tid(2).to_string(), "T2");
+    }
+}

@@ -1,0 +1,28 @@
+use tcc_core::{Simulator, SystemConfig};
+use tcc_workloads::apps;
+
+fn main() {
+    for (label, swf, sf) in [("asis", -1.0, -1.0), ("no-wr-share", 0.0, -1.0), ("no-share", 0.0, 0.0)] {
+        let mut app = apps::volrend();
+        if swf >= 0.0 { app.shared_write_frac = swf; }
+        if sf >= 0.0 { app.shared_frac = sf; }
+        let base = Simulator::new(SystemConfig::with_procs(1), app.generate(1, 7)).run().total_cycles;
+        for n in [32usize, 64] {
+            let r = Simulator::new(SystemConfig::with_procs(n), app.generate(n, 7)).run();
+            let agg = r.aggregate();
+            println!("{label:12} p{n:<2} speedup={:5.1} viol={:4} useful%={:4.1} miss%={:4.1} commit%={:4.1} idle%={:4.1} vio%={:4.1}",
+                base as f64 / r.total_cycles as f64, r.violations,
+                100.0*agg.useful as f64/agg.total() as f64,
+                100.0*agg.cache_miss as f64/agg.total() as f64,
+                100.0*agg.commit as f64/agg.total() as f64,
+                100.0*agg.idle as f64/agg.total() as f64,
+                100.0*agg.violation as f64/agg.total() as f64);
+            let tid_wait: u64 = r.proc_counters.iter().map(|c| c.tid_wait).sum();
+            let probe_wait: u64 = r.proc_counters.iter().map(|c| c.probe_wait).sum();
+            println!("              tid_wait/commit={:6.0}  probe_wait/commit={:6.0}  commit_cy/commit={:6.0}",
+                tid_wait as f64 / r.commits as f64,
+                probe_wait as f64 / r.commits as f64,
+                agg.commit as f64 / r.commits as f64);
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Full-scale scaling sanity: run each app at several machine sizes and
+//! report speedups (normalized to 1 processor).
+use tcc_core::{Simulator, SystemConfig};
+use tcc_workloads::apps;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let filter = args.get(1).cloned();
+    for app in apps::all() {
+        if let Some(f) = &filter {
+            if !app.name.to_lowercase().contains(&f.to_lowercase()) {
+                continue;
+            }
+        }
+        let base = {
+            let cfg = SystemConfig::with_procs(1);
+            let r = Simulator::new(cfg, app.generate(1, 7)).run();
+            r.total_cycles
+        };
+        print!("{:16} base={:10}", app.name, base);
+        for n in [8usize, 32, 64] {
+            let cfg = SystemConfig::with_procs(n);
+            let r = Simulator::new(cfg, app.generate(n, 7)).run();
+            print!(
+                "  p{:<2} speedup={:5.1} viol={:4} commit%={:4.1}",
+                n,
+                base as f64 / r.total_cycles as f64,
+                r.violations,
+                100.0 * r.aggregate().commit as f64 / r.aggregate().total() as f64
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,64 @@
+//! Build your own application profile.
+//!
+//! The eleven profiles in `tcc_workloads::apps` are calibrated to the
+//! paper's Table 3, but [`AppProfile`] is a general tool: describe your
+//! workload's transaction shape, locality, and sharing, and measure how
+//! Scalable TCC runs it.
+//!
+//! ```sh
+//! cargo run --release --example custom_app
+//! ```
+
+use scalable_tcc::core::{Simulator, SystemConfig};
+use scalable_tcc::stats::table3::Table3Row;
+use scalable_tcc::workloads::AppProfile;
+
+fn main() {
+    // A hypothetical "key-value store" workload: medium transactions,
+    // reads dominated by a large shared table, writes mostly to
+    // per-shard private state, light cross-shard write sharing.
+    let kv = AppProfile {
+        name: "kv-store",
+        input: "synthetic",
+        tx_instr: 1_800,
+        reads: 220,
+        writes: 25,
+        shared_frac: 0.25,
+        shared_write_frac: 0.02,
+        shared_dirs_per_tx: 2,
+        private_lines: 40,
+        shared_lines: 2_048,
+        write_spread_all: false,
+        total_txs: 1_024,
+        phases: 2,
+        size_jitter: 0.4,
+    };
+
+    println!("custom application: {} ({})\n", kv.name, kv.input);
+    for n in [1usize, 8, 32] {
+        let mut cfg = SystemConfig::with_procs(n);
+        cfg.check_serializability = n <= 8; // oracle on where it is cheap
+        let result = Simulator::new(cfg, kv.generate(n, 1)).run();
+        if n <= 8 {
+            result.assert_serializable();
+        }
+        println!("--- {n} processors ---");
+        print!("{}", result.render_summary());
+        if n == 32 {
+            let row = Table3Row::from_result(kv.name, &result);
+            println!(
+                "Table-3 view     : tx {:.0} instr | rd {:.2} KB | wr {:.2} KB | \
+                 {:.0} ops/word | {:.0} dirs/commit",
+                row.tx_size_p90,
+                row.read_set_kb_p90,
+                row.write_set_kb_p90,
+                row.ops_per_word_p90,
+                row.dirs_per_commit_p90
+            );
+        }
+        println!();
+    }
+    println!("Knobs to explore: shared_write_frac (conflicts), tx_instr");
+    println!("(commit amortization), shared_dirs_per_tx (probe fan-out),");
+    println!("write_spread_all (radix-style all-directory commits).");
+}

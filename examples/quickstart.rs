@@ -1,0 +1,58 @@
+//! Quickstart: build a tiny transactional program by hand, run it on a
+//! 4-processor Scalable TCC machine, and inspect the results.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use scalable_tcc::core::{Simulator, SystemConfig, ThreadProgram, Transaction, TxOp, WorkItem};
+use scalable_tcc::stats::breakdown::BreakdownPct;
+use scalable_tcc::types::Addr;
+
+fn main() {
+    // Four processors repeatedly increment a shared counter (a
+    // read-modify-write transaction on the same word) and do some
+    // private work — the canonical transactional-memory kernel.
+    let counter = Addr(0x100);
+    let n = 4;
+    let programs: Vec<ThreadProgram> = (0..n as u64)
+        .map(|p| {
+            let items = (0..8)
+                .map(|i| {
+                    WorkItem::Tx(Transaction::new(vec![
+                        // Increment the shared counter...
+                        TxOp::Load(counter),
+                        TxOp::Compute(50),
+                        TxOp::Store(counter),
+                        // ...then do some private work.
+                        TxOp::Load(Addr(0x10_000 + p * 0x1000 + i * 32)),
+                        TxOp::Compute(200),
+                    ]))
+                })
+                .collect();
+            ThreadProgram::new(items)
+        })
+        .collect();
+
+    // Enable the serializability checker: the run is validated against
+    // a serial replay in TID order.
+    let mut cfg = SystemConfig::with_procs(n);
+    cfg.check_serializability = true;
+
+    let result = Simulator::new(cfg, programs).run();
+    result.assert_serializable();
+
+    println!("Scalable TCC quickstart — 4 processors, 1 contended counter");
+    println!("------------------------------------------------------------");
+    println!("total cycles      : {}", result.total_cycles);
+    println!("commits           : {}", result.commits);
+    println!("violated attempts : {} (conflicting increments re-executed)", result.violations);
+    println!("committed instr   : {}", result.instructions);
+    println!("simulator events  : {}", result.events);
+    let pct = BreakdownPct::from_result(&result);
+    println!("\nexecution-time breakdown (machine-wide):");
+    for (label, frac) in pct.components() {
+        println!("  {label:<12} {:5.1}%", frac * 100.0);
+    }
+    println!("\nThe committed history was verified serializable in TID order.");
+}

@@ -1,0 +1,58 @@
+//! Scaling study: sweep one of the paper's applications across machine
+//! sizes and print its Figure 7-style speedup curve.
+//!
+//! ```sh
+//! cargo run --release --example scaling_study [app-name] [--full]
+//! ```
+//!
+//! Defaults to `SPECjbb2000` at smoke scale; pass an application name
+//! (e.g. `volrend`, `swim`) to study another, and `--full` for the full
+//! calibrated run lengths.
+
+use scalable_tcc::core::{Simulator, SystemConfig};
+use scalable_tcc::stats::breakdown::scaling_curve;
+use scalable_tcc::stats::render::{stacked_bar, TextTable};
+use scalable_tcc::workloads::{apps, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let name = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "SPECjbb2000".to_string());
+    let app = apps::by_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown application {name:?}; known:");
+        for a in apps::all() {
+            eprintln!("  {}", a.name);
+        }
+        std::process::exit(1);
+    });
+    let scale = if full { Scale::Full } else { Scale::Smoke };
+
+    let sizes = [1usize, 2, 4, 8, 16, 32, 64];
+    let results: Vec<_> = sizes
+        .iter()
+        .map(|&n| {
+            let programs = app.generate_scaled(n, 42, scale);
+            let r = Simulator::new(SystemConfig::with_procs(n), programs).run();
+            eprintln!("  p={n}: {} cycles", r.total_cycles);
+            r
+        })
+        .collect();
+
+    let curve = scaling_curve(&sizes, &results);
+    println!("\n{} — speedup over 1 CPU ({:?} scale)\n", app.name, scale);
+    let mut t = TextTable::new(vec!["CPUs", "Speedup", "Violations", "breakdown"]);
+    for p in &curve {
+        t.row(vec![
+            p.n_procs.to_string(),
+            format!("{:.1}", p.speedup),
+            p.violations.to_string(),
+            stacked_bar(&p.pct.components(), 32),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("legend: U useful, M cache miss, I idle, C commit, V violations");
+}

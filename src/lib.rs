@@ -1,0 +1,44 @@
+//! # scalable-tcc — a reproduction of Scalable TCC (HPCA 2007)
+//!
+//! This workspace reproduces *"A Scalable, Non-blocking Approach to
+//! Transactional Memory"* (Chafi, Casper, Carlstrom, McDonald, Cao Minh,
+//! Baek, Kozyrakis, Olukotun — HPCA 2007): the first directory-based,
+//! livelock-free, lazy hardware transactional memory for distributed
+//! shared-memory machines.
+//!
+//! The umbrella crate re-exports the workspace libraries under one
+//! roof and hosts the runnable examples (`examples/`) and cross-crate
+//! integration tests (`tests/`):
+//!
+//! * [`core`] — the Scalable TCC protocol, full-system simulator,
+//!   serialized-commit baseline, and serializability checker.
+//! * [`workloads`] — the eleven synthetic applications of Table 3.
+//! * [`stats`] — figure/table reductions and text rendering.
+//! * [`cache`], [`directory`], [`network`], [`engine`], [`types`] — the
+//!   hardware substrates.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use scalable_tcc::core::{Simulator, SystemConfig};
+//! use scalable_tcc::workloads::{apps, Scale};
+//!
+//! let app = apps::specjbb();
+//! let cfg = SystemConfig::with_procs(8);
+//! let programs = app.generate_scaled(8, 42, Scale::Smoke);
+//! let result = Simulator::new(cfg, programs).run();
+//! assert!(result.commits > 0);
+//! println!("{} commits in {} cycles", result.commits, result.total_cycles);
+//! ```
+//!
+//! See `README.md` for the experiment index and `DESIGN.md` for the
+//! system inventory and the documented deviations from the paper.
+
+pub use tcc_cache as cache;
+pub use tcc_core as core;
+pub use tcc_directory as directory;
+pub use tcc_engine as engine;
+pub use tcc_network as network;
+pub use tcc_stats as stats;
+pub use tcc_types as types;
+pub use tcc_workloads as workloads;

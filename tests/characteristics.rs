@@ -1,0 +1,95 @@
+//! Live validation of the Table 3 characteristics: the published
+//! per-application properties must hold for what the simulator
+//! *measures*, not just for the generator parameters.
+
+use scalable_tcc::core::{SimResult, Simulator, SystemConfig};
+use scalable_tcc::stats::table3::Table3Row;
+use scalable_tcc::workloads::{apps, Scale};
+
+fn run(app: &scalable_tcc::workloads::AppProfile, n: usize) -> SimResult {
+    let programs = app.generate_scaled(n, 11, Scale::Smoke);
+    Simulator::new(SystemConfig::with_procs(n), programs).run()
+}
+
+fn rows(n: usize) -> Vec<Table3Row> {
+    apps::all()
+        .iter()
+        .map(|a| Table3Row::from_result(a.name, &run(a, n)))
+        .collect()
+}
+
+#[test]
+fn table3_shape_holds_in_measurement() {
+    let rows = rows(16);
+    let get = |name: &str| rows.iter().find(|r| r.name == name).unwrap();
+
+    // §4.1: "Transaction sizes range from two-hundred to forty-five
+    // thousand instructions."
+    let min_size = rows.iter().map(|r| r.tx_size_p90).fold(f64::MAX, f64::min);
+    let max_size = rows.iter().map(|r| r.tx_size_p90).fold(0.0, f64::max);
+    assert!(min_size < 500.0, "smallest tx p90 {min_size} should be ~300");
+    assert!(max_size > 40_000.0, "largest tx p90 {max_size} should be ~45k");
+    assert_eq!(get("volrend").tx_size_p90, min_size, "volrend is the smallest");
+    assert_eq!(get("swim").tx_size_p90, max_size, "swim is the largest");
+
+    // "The 90%-ile read-set size for all transactions is less than
+    // 16 KB, while the 90%-ile write-set never exceeds 8 KB."
+    for r in &rows {
+        assert!(r.read_set_kb_p90 < 16.0, "{}: read set {}", r.name, r.read_set_kb_p90);
+        assert!(r.write_set_kb_p90 <= 8.0, "{}: write set {}", r.name, r.write_set_kb_p90);
+    }
+
+    // Ops-per-word ordering: SPECjbb highest, volrend lowest,
+    // water-spatial > water-nsquared.
+    let jbb = get("SPECjbb2000").ops_per_word_p90;
+    let vol = get("volrend").ops_per_word_p90;
+    for r in &rows {
+        assert!(r.ops_per_word_p90 <= jbb, "{} exceeds SPECjbb ops/word", r.name);
+        assert!(r.ops_per_word_p90 >= vol, "{} is below volrend ops/word", r.name);
+    }
+    assert!(
+        get("water-spatial").ops_per_word_p90 > get("water-nsquared").ops_per_word_p90
+    );
+
+    // Directories per commit: radix touches all 16; everyone else is
+    // far more local.
+    assert_eq!(get("radix").dirs_per_commit_p90, 16.0);
+    for r in &rows {
+        if r.name != "radix" {
+            assert!(
+                r.dirs_per_commit_p90 <= 6.0,
+                "{}: {} dirs/commit too many",
+                r.name,
+                r.dirs_per_commit_p90
+            );
+        }
+    }
+}
+
+#[test]
+fn directory_occupancy_is_a_small_fraction_of_transaction_time() {
+    // Table 3's occupancy column: the directory is busy per commit for
+    // far less time than the transaction runs.
+    for app in [apps::swim(), apps::specjbb(), apps::barnes()] {
+        let r = run(&app, 16);
+        let row = Table3Row::from_result(app.name, &r);
+        assert!(
+            row.occupancy_p90 < row.tx_size_p90,
+            "{}: occupancy {} vs tx size {}",
+            app.name,
+            row.occupancy_p90,
+            row.tx_size_p90
+        );
+    }
+}
+
+#[test]
+fn commit_characteristics_scale_with_machine_size() {
+    // radix's dirs/commit tracks the machine size (it always touches
+    // every directory).
+    for n in [4usize, 8] {
+        let r = run(&apps::radix(), n);
+        let max_dirs = r.tx_chars.iter().map(|t| t.dirs_written).max().unwrap();
+        assert_eq!(max_dirs as usize, n);
+    }
+}
