@@ -1,100 +1,134 @@
-//! Criterion micro-benchmarks of the protocol hot paths: the skip
-//! vector, the directory commit flow, the speculative cache, and mesh
-//! routing.
+//! Micro-benchmarks of the protocol hot paths: the skip vector, the
+//! directory commit flow, the speculative cache, and mesh routing.
+//!
+//! Self-contained `std::time` harness (no external bench framework, so
+//! the suite builds offline). Run with `cargo bench -p tcc-bench`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::time::Instant;
+
 use tcc_cache::{CacheConfig, HierCache};
 use tcc_directory::{DirConfig, Directory, SkipVector};
 use tcc_network::{Mesh2D, NetworkConfig};
 use tcc_types::{Cycle, DirId, LineAddr, LineValues, NodeId, Tid, WordMask};
 
-fn bench_skip_vector(c: &mut Criterion) {
-    c.bench_function("skip_vector/1024_out_of_order_skips", |b| {
-        b.iter_batched(
-            SkipVector::new,
-            |mut sv| {
-                // Buffer skips high-to-low, then release the run.
-                for t in (1..1024u64).rev() {
-                    sv.buffer_skip(Tid(t));
-                }
-                sv.buffer_skip(Tid(0));
-                assert_eq!(sv.now_serving(), Tid(1024));
-            },
-            BatchSize::SmallInput,
-        );
-    });
+/// Time `iters` runs of `setup`+`routine` per sample and report the
+/// median across `samples` batches. Setup cost is kept out of the
+/// timed region by pre-building all inputs for a batch.
+fn bench<S, R, T>(name: &str, samples: usize, iters: usize, mut setup: S, mut routine: R)
+where
+    S: FnMut() -> T,
+    R: FnMut(T),
+{
+    let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let inputs: Vec<T> = (0..iters).map(|_| setup()).collect();
+        let start = Instant::now();
+        for input in inputs {
+            routine(input);
+        }
+        per_iter.push(start.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter[per_iter.len() / 2];
+    println!("{name:<45} {median:>12.0} ns/iter  ({samples} samples x {iters} iters)");
 }
 
-fn bench_directory_commit(c: &mut Criterion) {
-    c.bench_function("directory/mark_commit_ack_cycle", |b| {
-        b.iter_batched(
-            || {
-                let mut d = Directory::new(DirConfig { id: DirId(0), words_per_line: 8 });
-                for i in 0..64u64 {
-                    d.handle_load(LineAddr(i), NodeId(1), 0);
-                    d.handle_load(LineAddr(i), NodeId(2), 0);
-                }
-                d
-            },
-            |mut d| {
-                for tid in 0..32u64 {
-                    let line = LineAddr(tid % 64);
-                    d.handle_probe(Tid(tid), NodeId(1), true);
-                    d.handle_mark(Cycle(tid), Tid(tid), line, WordMask::single(0), NodeId(1));
-                    d.handle_commit(Cycle(tid), Tid(tid), NodeId(1), 1);
-                    // N2 shares every line: acknowledge its invalidation
-                    // (keeping it listed) so the NSTID advances.
-                    d.handle_inv_ack(Cycle(tid), Tid(tid), line, NodeId(2), true);
-                }
-            },
-            BatchSize::SmallInput,
-        );
-    });
+fn bench_skip_vector() {
+    bench(
+        "skip_vector/1024_out_of_order_skips",
+        20,
+        50,
+        SkipVector::new,
+        |mut sv| {
+            // Buffer skips high-to-low, then release the run.
+            for t in (1..1024u64).rev() {
+                sv.buffer_skip(Tid(t));
+            }
+            sv.buffer_skip(Tid(0));
+            assert_eq!(sv.now_serving(), Tid(1024));
+        },
+    );
 }
 
-fn bench_cache_ops(c: &mut Criterion) {
-    c.bench_function("cache/load_store_commit_1k_lines", |b| {
-        b.iter_batched(
-            || HierCache::new(CacheConfig::default()),
-            |mut cache| {
-                for l in 0..1024u64 {
-                    cache.fill(LineAddr(l), LineValues::fresh(8), false);
-                    cache.load(LineAddr(l), 0);
-                    cache.store(LineAddr(l), 1);
-                }
-                cache.commit_tx(Tid(1));
-            },
-            BatchSize::SmallInput,
-        );
-    });
-    c.bench_function("cache/hit_path", |b| {
-        let mut cache = HierCache::new(CacheConfig::default());
-        cache.fill(LineAddr(7), LineValues::fresh(8), false);
-        b.iter(|| {
-            std::hint::black_box(cache.load(LineAddr(7), 3));
-        });
-    });
+fn bench_directory_commit() {
+    bench(
+        "directory/mark_commit_ack_cycle",
+        20,
+        50,
+        || {
+            let mut d = Directory::new(DirConfig {
+                id: DirId(0),
+                words_per_line: 8,
+            });
+            for i in 0..64u64 {
+                d.handle_load(Cycle(0), LineAddr(i), NodeId(1), 0);
+                d.handle_load(Cycle(0), LineAddr(i), NodeId(2), 0);
+            }
+            d
+        },
+        |mut d| {
+            for tid in 0..32u64 {
+                let line = LineAddr(tid % 64);
+                d.handle_probe(Cycle(tid), Tid(tid), NodeId(1), true);
+                d.handle_mark(Cycle(tid), Tid(tid), line, WordMask::single(0), NodeId(1));
+                d.handle_commit(Cycle(tid), Tid(tid), NodeId(1), 1);
+                // N2 shares every line: acknowledge its invalidation
+                // (keeping it listed) so the NSTID advances.
+                d.handle_inv_ack(Cycle(tid), Tid(tid), line, NodeId(2), true);
+            }
+        },
+    );
 }
 
-fn bench_mesh(c: &mut Criterion) {
-    c.bench_function("mesh/64_node_crossing_sends", |b| {
-        b.iter_batched(
-            || Mesh2D::new(64, NetworkConfig::default()),
-            |mut m| {
-                let mut t = Cycle(0);
-                for i in 0..64u16 {
-                    t = m.send(t, NodeId(i), NodeId(63 - i), 32);
-                }
-                std::hint::black_box(t);
-            },
-            BatchSize::SmallInput,
-        );
-    });
+fn bench_cache_ops() {
+    bench(
+        "cache/load_store_commit_1k_lines",
+        20,
+        20,
+        || HierCache::new(CacheConfig::default()),
+        |mut cache| {
+            for l in 0..1024u64 {
+                cache.fill(LineAddr(l), LineValues::fresh(8), false);
+                cache.load(LineAddr(l), 0);
+                cache.store(LineAddr(l), 1);
+            }
+            cache.commit_tx(Tid(1));
+        },
+    );
+    let mut cache = HierCache::new(CacheConfig::default());
+    cache.fill(LineAddr(7), LineValues::fresh(8), false);
+    let start = Instant::now();
+    let iters = 1_000_000u64;
+    for _ in 0..iters {
+        std::hint::black_box(cache.load(LineAddr(7), 3));
+    }
+    let per = start.elapsed().as_nanos() as f64 / iters as f64;
+    println!(
+        "{:<45} {per:>12.1} ns/iter  ({iters} iters)",
+        "cache/hit_path"
+    );
 }
 
-criterion_group! {
-    name = micro;
-    config = Criterion::default().sample_size(20);
-    targets = bench_skip_vector, bench_directory_commit, bench_cache_ops, bench_mesh
+fn bench_mesh() {
+    bench(
+        "mesh/64_node_crossing_sends",
+        20,
+        200,
+        || Mesh2D::new(64, NetworkConfig::default()),
+        |mut m| {
+            let mut t = Cycle(0);
+            for i in 0..64u16 {
+                t = m.send(t, NodeId(i), NodeId(63 - i), 32);
+            }
+            std::hint::black_box(t);
+        },
+    );
 }
-criterion_main!(micro);
+
+fn main() {
+    println!("protocol_micro — medians, release profile recommended\n");
+    bench_skip_vector();
+    bench_directory_commit();
+    bench_cache_ops();
+    bench_mesh();
+}

@@ -1,13 +1,21 @@
 //! Regenerates Figure 6: normalized execution-time breakdown of every
 //! application on one processor.
 
-use tcc_bench::{run_app, HarnessArgs};
+use tcc_bench::report::{harness_json, maybe_write_chrome, result_json, write_report};
+use tcc_bench::{run_app, HarnessArgs, HARNESS_SEED};
 use tcc_stats::breakdown::BreakdownPct;
 use tcc_stats::render::{stacked_bar, TextTable};
+use tcc_trace::{Json, RunReport};
 use tcc_workloads::apps;
 
 fn main() {
     let args = HarnessArgs::parse();
+    let mut report = RunReport::new("fig6");
+    report.set(
+        "harness",
+        harness_json(&args, args.seed.unwrap_or(HARNESS_SEED)),
+    );
+    let mut apps_json: Vec<Json> = Vec::new();
     let mut t = TextTable::new(vec![
         "Application",
         "Useful %",
@@ -22,6 +30,11 @@ fn main() {
             continue;
         }
         let r = run_app(&app, 1, args.scale(), |_| {});
+        maybe_write_chrome(&r, &format!("fig6_{}", app.name));
+        apps_json.push(Json::obj(vec![
+            ("app", app.name.into()),
+            ("result", result_json(&r)),
+        ]));
         let pct = BreakdownPct::from_result(&r);
         t.row(vec![
             app.name.into(),
@@ -34,6 +47,8 @@ fn main() {
         ]);
         eprintln!("  done: {}", app.name);
     }
+    report.set("apps", Json::Arr(apps_json));
+    write_report(&report);
     println!("Figure 6: single-processor execution-time breakdown\n");
     println!("{}", t.render());
     println!("Paper anchor: with one processor the only TCC overhead is the");

@@ -14,8 +14,11 @@
 //! | `fig9`   | Figure 9 — remote traffic per directory (bytes/instr) |
 //! | `ablation` | design-choice ablations (A: parallel vs. serialized commit; B: word vs. line conflict detection; C: write-back vs. write-through traffic) |
 //!
-//! Criterion micro-benchmarks of the protocol hot paths live in
-//! `benches/`.
+//! Framework-free micro-benchmarks of the protocol hot paths live in
+//! `benches/` (plain `std::time` harnesses, so the suite builds with no
+//! network access).
+
+pub mod report;
 
 use tcc_core::{SimResult, Simulator, SystemConfig};
 use tcc_workloads::{AppProfile, Scale};
@@ -122,6 +125,7 @@ pub fn run_app_seeded(
     tweak: impl FnOnce(&mut SystemConfig),
 ) -> SimResult {
     let mut cfg = SystemConfig::with_procs(n);
+    cfg.trace = report::trace_config();
     tweak(&mut cfg);
     let programs = app.generate_scaled(n, seed, scale);
     Simulator::new(cfg, programs).run()
@@ -147,7 +151,10 @@ mod tests {
 
     #[test]
     fn filter_is_case_insensitive_substring() {
-        let a = HarnessArgs { filter: Some("JBB".into()), ..HarnessArgs::default() };
+        let a = HarnessArgs {
+            filter: Some("JBB".into()),
+            ..HarnessArgs::default()
+        };
         assert!(a.selects("SPECjbb2000"));
         assert!(!a.selects("swim"));
     }

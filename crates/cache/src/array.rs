@@ -89,7 +89,10 @@ impl<T> SetArray<T> {
     #[must_use]
     pub fn peek(&self, line: LineAddr) -> Option<&T> {
         let set = self.set_of(line);
-        self.sets[set].iter().find(|w| w.line == line).map(|w| &w.data)
+        self.sets[set]
+            .iter()
+            .find(|w| w.line == line)
+            .map(|w| &w.data)
     }
 
     /// Whether `line` is resident (no LRU update).
@@ -158,11 +161,17 @@ impl<T> SetArray<T> {
 
     /// Mutably iterates over all resident lines (no LRU effect).
     pub fn iter_mut(&mut self) -> impl Iterator<Item = (LineAddr, &mut T)> {
-        self.sets.iter_mut().flatten().map(|w| (w.line, &mut w.data))
+        self.sets
+            .iter_mut()
+            .flatten()
+            .map(|w| (w.line, &mut w.data))
     }
 
     /// Removes every line for which `pred` holds, returning them.
-    pub fn drain_filter(&mut self, mut pred: impl FnMut(LineAddr, &T) -> bool) -> Vec<(LineAddr, T)> {
+    pub fn drain_filter(
+        &mut self,
+        mut pred: impl FnMut(LineAddr, &T) -> bool,
+    ) -> Vec<(LineAddr, T)> {
         let mut out = Vec::new();
         for set in &mut self.sets {
             let mut i = 0;
@@ -182,7 +191,7 @@ impl<T> SetArray<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use tcc_types::rng::SmallRng;
 
     #[test]
     fn insert_and_lookup() {
@@ -215,7 +224,11 @@ mod tests {
         a.insert(LineAddr(0), 100, |_| true).unwrap(); // LRU but pinned
         a.insert(LineAddr(1), 5, |_| true).unwrap();
         let evicted = a.insert(LineAddr(2), 7, |&d| d < 50).unwrap();
-        assert_eq!(evicted, Some((LineAddr(1), 5)), "pinned LRU way must survive");
+        assert_eq!(
+            evicted,
+            Some((LineAddr(1), 5)),
+            "pinned LRU way must survive"
+        );
     }
 
     #[test]
@@ -261,33 +274,41 @@ mod tests {
         assert!(a.contains(LineAddr(1)));
     }
 
-    proptest! {
-        /// Capacity is never exceeded and every resident line is findable.
-        #[test]
-        fn prop_capacity_respected(lines in proptest::collection::vec(0u64..64, 1..200)) {
+    /// Capacity is never exceeded and every resident line is findable.
+    #[test]
+    fn prop_capacity_respected() {
+        let mut rng = SmallRng::seed_from_u64(0xa44a_0001);
+        for _ in 0..256 {
             let mut a: SetArray<u64> = SetArray::new(4, 2);
-            for &l in &lines {
+            let n = rng.gen_range(1usize..200);
+            for _ in 0..n {
+                let l = rng.gen_range(0u64..64);
                 if !a.contains(LineAddr(l)) {
                     let _ = a.insert(LineAddr(l), l, |_| true);
                 }
-                prop_assert!(a.len() <= 8);
-                prop_assert_eq!(a.peek(LineAddr(l)).copied(), Some(l));
+                assert!(a.len() <= 8);
+                assert_eq!(a.peek(LineAddr(l)).copied(), Some(l));
             }
         }
+    }
 
-        /// An element touched every step is never evicted by other traffic
-        /// in the same set (true LRU).
-        #[test]
-        fn prop_hot_line_survives(noise in proptest::collection::vec(0u64..32, 1..100)) {
+    /// An element touched every step is never evicted by other traffic
+    /// in the same set (true LRU).
+    #[test]
+    fn prop_hot_line_survives() {
+        let mut rng = SmallRng::seed_from_u64(0xa44a_0002);
+        for _ in 0..256 {
             let mut a: SetArray<u64> = SetArray::new(1, 4);
             a.insert(LineAddr(1000), 1000, |_| true).unwrap();
-            for &l in &noise {
-                prop_assert!(a.get_mut(LineAddr(1000)).is_some(), "hot line evicted");
+            let n = rng.gen_range(1usize..100);
+            for _ in 0..n {
+                let l = rng.gen_range(0u64..32);
+                assert!(a.get_mut(LineAddr(1000)).is_some(), "hot line evicted");
                 if !a.contains(LineAddr(l)) {
                     let _ = a.insert(LineAddr(l), l, |_| true);
                 }
             }
-            prop_assert!(a.contains(LineAddr(1000)));
+            assert!(a.contains(LineAddr(1000)));
         }
     }
 }

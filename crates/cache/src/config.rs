@@ -64,7 +64,10 @@ impl CacheConfig {
             Level::L2 => (self.l2_bytes, self.l2_ways),
         };
         let line = self.geometry.line_bytes();
-        assert!(ways > 0 && bytes % (line * ways) == 0, "inconsistent cache geometry");
+        assert!(
+            ways > 0 && bytes % (line * ways) == 0,
+            "inconsistent cache geometry"
+        );
         let sets = bytes / (line * ways);
         assert!(sets > 0, "cache must have at least one set");
         sets as usize
@@ -154,7 +157,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "inconsistent cache geometry")]
     fn rejects_inconsistent_geometry() {
-        let c = CacheConfig { l1_bytes: 1000, ..CacheConfig::default() };
+        let c = CacheConfig {
+            l1_bytes: 1000,
+            ..CacheConfig::default()
+        };
         let _ = c.sets(Level::L1);
     }
 }

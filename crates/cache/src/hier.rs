@@ -161,7 +161,12 @@ impl HierCache {
     pub fn new(config: CacheConfig) -> HierCache {
         let l1 = SetArray::new(config.sets(Level::L1), config.l1_ways as usize);
         let l2 = SetArray::new(config.sets(Level::L2), config.l2_ways as usize);
-        HierCache { config, l1, l2, stats: CacheStats::default() }
+        HierCache {
+            config,
+            l1,
+            l2,
+            stats: CacheStats::default(),
+        }
     }
 
     /// The configuration in force.
@@ -185,7 +190,10 @@ impl HierCache {
     /// Number of resident lines carrying speculative state.
     #[must_use]
     pub fn speculative_lines(&self) -> usize {
-        self.l2.iter().filter(|(_, e)| e.state.is_speculative()).count()
+        self.l2
+            .iter()
+            .filter(|(_, e)| e.state.is_speculative())
+            .count()
     }
 
     fn level_of(&self, line: LineAddr) -> Level {
@@ -235,7 +243,12 @@ impl HierCache {
             Level::L2 => self.stats.l2_load_hits += 1,
         }
         self.promote_to_l1(line);
-        LoadOutcome::Hit { level, value, own_speculative: own, first_read }
+        LoadOutcome::Hit {
+            level,
+            value,
+            own_speculative: own,
+            first_read,
+        }
     }
 
     /// Performs a speculative store to word `word` of `line`.
@@ -269,7 +282,10 @@ impl HierCache {
             Level::L2 => self.stats.l2_store_hits += 1,
         }
         self.promote_to_l1(line);
-        StoreOutcome::Hit { level, pre_writeback }
+        StoreOutcome::Hit {
+            level,
+            pre_writeback,
+        }
     }
 
     /// Installs fill data for `line` after a miss.
@@ -305,7 +321,10 @@ impl HierCache {
                 entry.state.owner_tid = Some(Tid(0));
             }
             self.promote_to_l1(line);
-            return FillResult { evictions: Vec::new(), overflow: false };
+            return FillResult {
+                evictions: Vec::new(),
+                overflow: false,
+            };
         }
         let entry = Entry {
             state: LineState {
@@ -335,11 +354,17 @@ impl HierCache {
                     }
                 }
                 self.promote_to_l1(line);
-                FillResult { evictions, overflow: false }
+                FillResult {
+                    evictions,
+                    overflow: false,
+                }
             }
             Err(_) => {
                 self.stats.overflows += 1;
-                FillResult { evictions: Vec::new(), overflow: true }
+                FillResult {
+                    evictions: Vec::new(),
+                    overflow: true,
+                }
             }
         }
     }
@@ -468,7 +493,11 @@ impl HierCache {
     /// no transactional state.
     pub fn invalidate(&mut self, line: LineAddr, words: WordMask) -> InvalidateOutcome {
         let Some(entry) = self.l2.get_mut(line) else {
-            return InvalidateOutcome { was_present: false, conflict: false, retained: false };
+            return InvalidateOutcome {
+                was_present: false,
+                conflict: false,
+                retained: false,
+            };
         };
         // A *dirty* line can be invalidated when another processor that
         // fetched the line before our commit now commits to it and takes
@@ -485,7 +514,11 @@ impl HierCache {
             self.l2.remove(line);
             self.l1.remove(line);
         }
-        InvalidateOutcome { was_present: true, conflict, retained }
+        InvalidateOutcome {
+            was_present: true,
+            conflict,
+            retained,
+        }
     }
 
     /// Services a directory `DataRequest`: returns the line's contents
@@ -493,7 +526,11 @@ impl HierCache {
     /// stays resident as a clean copy; otherwise it is removed (Fig. 2f
     /// write-back semantics). Returns `None` if the line is not
     /// resident (stale request after an eviction already wrote it back).
-    pub fn flush(&mut self, line: LineAddr, keep: bool) -> Option<(LineValues, WordMask, Option<Tid>)> {
+    pub fn flush(
+        &mut self,
+        line: LineAddr,
+        keep: bool,
+    ) -> Option<(LineValues, WordMask, Option<Tid>)> {
         let entry = self.l2.get_mut(line)?;
         entry.state.dirty = false;
         let values = entry.state.values.clone();
@@ -576,7 +613,12 @@ mod tests {
         let r = c.fill(LineAddr(0), vals(), false);
         assert!(!r.overflow && r.evictions.is_empty());
         match c.load(LineAddr(0), 0) {
-            LoadOutcome::Hit { level, value, own_speculative, first_read } => {
+            LoadOutcome::Hit {
+                level,
+                value,
+                own_speculative,
+                first_read,
+            } => {
                 assert_eq!(level, Level::L1);
                 assert_eq!(value, None);
                 assert!(!own_speculative);
@@ -619,10 +661,15 @@ mod tests {
         c.fill(LineAddr(0), vals(), false);
         c.store(LineAddr(0), 2);
         match c.load(LineAddr(0), 2) {
-            LoadOutcome::Hit { own_speculative, .. } => assert!(own_speculative),
+            LoadOutcome::Hit {
+                own_speculative, ..
+            } => assert!(own_speculative),
             other => panic!("expected hit, got {other:?}"),
         }
-        assert!(!c.sr_mask(LineAddr(0)).get(2), "own-write read must not set SR");
+        assert!(
+            !c.sr_mask(LineAddr(0)).get(2),
+            "own-write read must not set SR"
+        );
     }
 
     #[test]
@@ -654,7 +701,10 @@ mod tests {
         assert!(c.is_dirty(LineAddr(0)));
         // Next transaction stores to the dirty line.
         match c.store(LineAddr(0), 2) {
-            StoreOutcome::Hit { pre_writeback: Some(ev), .. } => {
+            StoreOutcome::Hit {
+                pre_writeback: Some(ev),
+                ..
+            } => {
                 assert_eq!(ev.line, LineAddr(0));
                 assert!(ev.dirty);
                 assert_eq!(ev.values.words[1], Some(Tid(7)));
@@ -725,7 +775,10 @@ mod tests {
         // Word 3 is our own speculative write: still readable.
         assert!(matches!(
             c.load(LineAddr(0), 3),
-            LoadOutcome::Hit { own_speculative: true, .. }
+            LoadOutcome::Hit {
+                own_speculative: true,
+                ..
+            }
         ));
         // A merge fill restores word 4 without touching word 3's SM.
         let mut newer = vals();

@@ -42,7 +42,7 @@ mod line;
 pub use array::SetArray;
 pub use config::{CacheConfig, Granularity, Level};
 pub use hier::{
-    CacheStats, Eviction, FillResult, ForcedFillResult, HierCache, InvalidateOutcome,
-    LoadOutcome, StoreOutcome,
+    CacheStats, Eviction, FillResult, ForcedFillResult, HierCache, InvalidateOutcome, LoadOutcome,
+    StoreOutcome,
 };
 pub use line::LineState;

@@ -1,18 +1,18 @@
 //! Model-based property test of the speculative cache hierarchy.
 //!
 //! A plain-map reference model implements the *documented* semantics of
-//! every cache operation; proptest drives both the model and the real
-//! [`HierCache`] with random operation sequences and checks that every
-//! observable (presence, dirtiness, SR/SM masks, load outcomes, write
-//! sets) agrees. The hierarchy under test is configured large enough
-//! that capacity evictions cannot occur (capacity behaviour has its own
-//! tests in the unit suite); this test isolates the transactional state
-//! machine.
+//! every cache operation; a seeded generator drives both the model and
+//! the real [`HierCache`] with random operation sequences and checks
+//! that every observable (presence, dirtiness, SR/SM masks, load
+//! outcomes, write sets) agrees. The hierarchy under test is configured
+//! large enough that capacity evictions cannot occur (capacity
+//! behaviour has its own tests in the unit suite); this test isolates
+//! the transactional state machine.
 
 use std::collections::HashMap;
 
-use proptest::prelude::*;
 use tcc_cache::{CacheConfig, HierCache, LoadOutcome};
+use tcc_types::rng::SmallRng;
 use tcc_types::{LineAddr, LineGeometry, LineValues, Tid, WordMask};
 
 const WORDS: usize = 8;
@@ -140,19 +140,38 @@ enum Op {
     Flush { line: u64, keep: bool },
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    let line = 0u64..6;
-    let word = 0usize..WORDS;
-    prop_oneof![
-        (line.clone(), proptest::option::of(0u64..100))
-            .prop_map(|(line, stamp)| Op::Fill { line, stamp }),
-        (line.clone(), word.clone()).prop_map(|(line, word)| Op::Load { line, word }),
-        (line.clone(), word).prop_map(|(line, word)| Op::Store { line, word }),
-        (line.clone(), 1u64..(1 << WORDS)).prop_map(|(line, words)| Op::Invalidate { line, words }),
-        (100u64..200).prop_map(|tid| Op::Commit { tid }),
-        Just(Op::Abort),
-        (line, proptest::bool::ANY).prop_map(|(line, keep)| Op::Flush { line, keep }),
-    ]
+fn random_op(rng: &mut SmallRng) -> Op {
+    let line = rng.gen_range(0u64..6);
+    match rng.gen_range(0u32..7) {
+        0 => Op::Fill {
+            line,
+            stamp: if rng.gen_bool(0.5) {
+                Some(rng.gen_range(0u64..100))
+            } else {
+                None
+            },
+        },
+        1 => Op::Load {
+            line,
+            word: rng.gen_range(0usize..WORDS),
+        },
+        2 => Op::Store {
+            line,
+            word: rng.gen_range(0usize..WORDS),
+        },
+        3 => Op::Invalidate {
+            line,
+            words: rng.gen_range(1u64..(1 << WORDS)),
+        },
+        4 => Op::Commit {
+            tid: rng.gen_range(100u64..200),
+        },
+        5 => Op::Abort,
+        _ => Op::Flush {
+            line,
+            keep: rng.gen::<bool>(),
+        },
+    }
 }
 
 fn big_cache() -> HierCache {
@@ -176,17 +195,24 @@ fn mk_values(stamp: Option<u64>) -> LineValues {
     v
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+/// The real hierarchy and the reference model agree on every
+/// observable after every operation, across 256 random sequences.
+#[test]
+fn cache_matches_reference_model() {
+    let mut rng = SmallRng::seed_from_u64(0xcac4_e001);
+    for _ in 0..256 {
+        let n_ops = rng.gen_range(1usize..120);
+        let ops: Vec<Op> = (0..n_ops).map(|_| random_op(&mut rng)).collect();
+        run_case(ops);
+    }
+}
 
-    /// The real hierarchy and the reference model agree on every
-    /// observable after every operation.
-    #[test]
-    fn cache_matches_reference_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
-        let mut cache = big_cache();
-        let mut model = Model::default();
-        // Pending invalidation-flush state is checked via prepare_inv_flush
-        // equivalence: model dirty lines must flush before invalidate.
+fn run_case(ops: Vec<Op>) {
+    let mut cache = big_cache();
+    let mut model = Model::default();
+    // Pending invalidation-flush state is checked via prepare_inv_flush
+    // equivalence: model dirty lines must flush before invalidate.
+    {
         for op in ops {
             match op {
                 Op::Fill { line, stamp } => {
@@ -194,7 +220,7 @@ proptest! {
                     // words (as the protocol would).
                     let values = mk_values(stamp);
                     let r = cache.fill(LineAddr(line), values.clone(), false);
-                    prop_assert!(!r.overflow, "big cache must not overflow");
+                    assert!(!r.overflow, "big cache must not overflow");
                     model.fill(line, &values);
                 }
                 Op::Load { line, word } => {
@@ -203,17 +229,20 @@ proptest! {
                     match (real, want) {
                         (LoadOutcome::Miss, None) => {}
                         (
-                            LoadOutcome::Hit { value, own_speculative, first_read, .. },
+                            LoadOutcome::Hit {
+                                value,
+                                own_speculative,
+                                first_read,
+                                ..
+                            },
                             Some((mv, mown, mfirst)),
                         ) => {
-                            prop_assert_eq!(value, mv, "load value diverged");
-                            prop_assert_eq!(own_speculative, mown);
-                            prop_assert_eq!(first_read, mfirst);
+                            assert_eq!(value, mv, "load value diverged");
+                            assert_eq!(own_speculative, mown);
+                            assert_eq!(first_read, mfirst);
                         }
                         (real, want) => {
-                            return Err(TestCaseError::fail(format!(
-                                "load outcome diverged: real {real:?} vs model {want:?}"
-                            )))
+                            panic!("load outcome diverged: real {real:?} vs model {want:?}")
                         }
                     }
                 }
@@ -224,12 +253,10 @@ proptest! {
                     match (real, want) {
                         (StoreOutcome::Miss, None) => {}
                         (StoreOutcome::Hit { pre_writeback, .. }, Some(mpre)) => {
-                            prop_assert_eq!(pre_writeback.is_some(), mpre, "pre-writeback diverged");
+                            assert_eq!(pre_writeback.is_some(), mpre, "pre-writeback diverged");
                         }
                         (real, want) => {
-                            return Err(TestCaseError::fail(format!(
-                                "store outcome diverged: real {real:?} vs model {want:?}"
-                            )))
+                            panic!("store outcome diverged: real {real:?} vs model {want:?}")
                         }
                     }
                 }
@@ -242,10 +269,10 @@ proptest! {
                     }
                     let real = cache.invalidate(LineAddr(line), mask);
                     let (present, conflict, retained) = model.invalidate(line, words);
-                    prop_assert_eq!(real.was_present, present);
-                    prop_assert_eq!(real.conflict, conflict);
+                    assert_eq!(real.was_present, present);
+                    assert_eq!(real.conflict, conflict);
                     if present {
-                        prop_assert_eq!(real.retained, retained);
+                        assert_eq!(real.retained, retained);
                     }
                 }
                 Op::Commit { tid } => {
@@ -262,36 +289,35 @@ proptest! {
                     match (&real, &want) {
                         (None, None) => {}
                         (Some((rv, rvalid, _gen)), Some((mv, mvalid))) => {
-                            prop_assert_eq!(&rv.words, mv, "flush values diverged");
-                            prop_assert_eq!(rvalid.0, *mvalid, "flush valid mask diverged");
+                            assert_eq!(&rv.words, mv, "flush values diverged");
+                            assert_eq!(rvalid.0, *mvalid, "flush valid mask diverged");
                         }
                         _ => {
-                            return Err(TestCaseError::fail(format!(
-                                "flush outcome diverged: real {real:?} vs model {want:?}"
-                            )))
+                            panic!("flush outcome diverged: real {real:?} vs model {want:?}")
                         }
                     }
                 }
             }
             // Invariants after every step.
             for (&l, e) in &model.lines {
-                prop_assert_eq!(
+                assert_eq!(
                     cache.contains(LineAddr(l)),
                     true,
-                    "model line {} missing from cache", l
+                    "model line {} missing from cache",
+                    l
                 );
-                prop_assert_eq!(cache.sr_mask(LineAddr(l)).0, e.sr);
-                prop_assert_eq!(cache.sm_mask(LineAddr(l)).0, e.sm);
-                prop_assert_eq!(cache.is_dirty(LineAddr(l)), e.dirty);
+                assert_eq!(cache.sr_mask(LineAddr(l)).0, e.sr);
+                assert_eq!(cache.sm_mask(LineAddr(l)).0, e.sm);
+                assert_eq!(cache.is_dirty(LineAddr(l)), e.dirty);
                 // Speculative lines are never dirty.
-                prop_assert!(!(e.dirty && e.sm != 0), "dirty+SM impossible");
+                assert!(!(e.dirty && e.sm != 0), "dirty+SM impossible");
             }
             let real_ws: Vec<(u64, u64)> = cache
                 .write_set()
                 .into_iter()
                 .map(|(l, m)| (l.0, m.0))
                 .collect();
-            prop_assert_eq!(real_ws, model.write_set(), "write sets diverged");
+            assert_eq!(real_ws, model.write_set(), "write sets diverged");
         }
     }
 }

@@ -1,6 +1,5 @@
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use tcc_core::{Simulator, SystemConfig, ThreadProgram, Transaction, TxOp, WorkItem};
+use tcc_types::rng::SmallRng;
 use tcc_types::Addr;
 
 fn main() {
@@ -16,8 +15,14 @@ fn main() {
                     let line = rng.gen_range(0..6u64);
                     let word = rng.gen_range(0..8u64);
                     let addr = Addr(line * 32 + word * 4);
-                    if rng.gen_bool(0.5) { ops.push(TxOp::Store(addr)); } else { ops.push(TxOp::Load(addr)); }
-                    if rng.gen_bool(0.5) { ops.push(TxOp::Compute(rng.gen_range(1..200))); }
+                    if rng.gen_bool(0.5) {
+                        ops.push(TxOp::Store(addr));
+                    } else {
+                        ops.push(TxOp::Load(addr));
+                    }
+                    if rng.gen_bool(0.5) {
+                        ops.push(TxOp::Compute(rng.gen_range(1..200)));
+                    }
                 }
                 items.push(WorkItem::Tx(Transaction::new(ops)));
             }

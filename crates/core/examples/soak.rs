@@ -1,14 +1,20 @@
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use tcc_core::{Simulator, SystemConfig, ThreadProgram, Transaction, TxOp, WorkItem};
+use tcc_types::rng::SmallRng;
 use tcc_types::Addr;
 
 fn main() {
     let only: Option<u64> = std::env::args().nth(1).and_then(|a| a.parse().ok());
-    let max: u64 = std::env::var("SOAK_SEEDS").ok().and_then(|v| v.parse().ok()).unwrap_or(400);
+    let max: u64 = std::env::var("SOAK_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(400);
     let mut bad = 0;
     for seed in 0..max {
-        if let Some(o) = only { if seed != o { continue; } }
+        if let Some(o) = only {
+            if seed != o {
+                continue;
+            }
+        }
         let mut rng = SmallRng::seed_from_u64(seed);
         let n = 2 + (seed % 7) as usize;
         let programs: Vec<ThreadProgram> = (0..n)
@@ -21,9 +27,14 @@ fn main() {
                         let line = rng.gen_range(0..5u64);
                         let word = rng.gen_range(0..8u64);
                         let addr = Addr(line * 32 + word * 4);
-                        if rng.gen_bool(0.5) { ops.push(TxOp::Store(addr)); }
-                        else { ops.push(TxOp::Load(addr)); }
-                        if rng.gen_bool(0.4) { ops.push(TxOp::Compute(rng.gen_range(1..250))); }
+                        if rng.gen_bool(0.5) {
+                            ops.push(TxOp::Store(addr));
+                        } else {
+                            ops.push(TxOp::Load(addr));
+                        }
+                        if rng.gen_bool(0.4) {
+                            ops.push(TxOp::Compute(rng.gen_range(1..250)));
+                        }
                     }
                     items.push(WorkItem::Tx(Transaction::new(ops)));
                 }
@@ -36,18 +47,32 @@ fn main() {
         cfg.network.link_latency = 1 + (seed % 16);
         cfg.starvation_threshold = 1 + (seed % 5) as u32;
         cfg.exec_chunk = 16 + (seed % 300);
-        if seed % 3 == 0 { cfg.cache.granularity = tcc_cache::Granularity::Line; }
-        if seed % 5 == 0 {
-            cfg.cache.l1_bytes = 64; cfg.cache.l1_ways = 1;
-            cfg.cache.l2_bytes = 256; cfg.cache.l2_ways = 2;
+        if seed % 3 == 0 {
+            cfg.cache.granularity = tcc_cache::Granularity::Line;
         }
-        if seed % 7 == 0 { cfg.dir_cache_entries = Some(4); }
-        if seed % 11 == 0 { cfg.network.torus = true; }
+        if seed % 5 == 0 {
+            cfg.cache.l1_bytes = 64;
+            cfg.cache.l1_ways = 1;
+            cfg.cache.l2_bytes = 256;
+            cfg.cache.l2_ways = 2;
+        }
+        if seed % 7 == 0 {
+            cfg.dir_cache_entries = Some(4);
+        }
+        if seed % 11 == 0 {
+            cfg.network.torus = true;
+        }
         let expected: u64 = programs.iter().map(|p| p.transactions() as u64).sum();
         let r = Simulator::new(cfg, programs).run();
         match r.serializability.as_ref().unwrap() {
-            Err(e) if r.commits == expected => { println!("seed {seed} BAD: {e}"); bad += 1; }
-            _ if r.commits != expected => { println!("seed {seed} BAD: commits {} != {expected}", r.commits); bad += 1; }
+            Err(e) if r.commits == expected => {
+                println!("seed {seed} BAD: {e}");
+                bad += 1;
+            }
+            _ if r.commits != expected => {
+                println!("seed {seed} BAD: commits {} != {expected}", r.commits);
+                bad += 1;
+            }
             _ => {}
         }
     }

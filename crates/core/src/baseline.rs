@@ -33,9 +33,7 @@ use std::collections::HashMap;
 use tcc_cache::{HierCache, LoadOutcome, StoreOutcome};
 use tcc_engine::EventQueue;
 use tcc_network::{Network, TrafficStats};
-use tcc_types::{
-    Cycle, DataSource, LineAddr, LineValues, Message, NodeId, Payload, Tid,
-};
+use tcc_types::{Cycle, DataSource, LineAddr, LineValues, Message, NodeId, Payload, Tid};
 
 use crate::breakdown::Breakdown;
 use crate::checker::{Checker, SerializabilityError, TxRecord};
@@ -68,12 +66,20 @@ pub enum OccCondition {
 enum State {
     Fresh,
     Running,
-    WaitFill { line: LineAddr, stall_start: Cycle, req: u64 },
+    WaitFill {
+        line: LineAddr,
+        stall_start: Cycle,
+        req: u64,
+    },
     /// Condition 1 only: waiting for the token before *starting*.
     WaitTokenStart,
     WaitToken,
-    Broadcasting { acks_left: u32 },
-    AtBarrier { since: Cycle },
+    Broadcasting {
+        acks_left: u32,
+    },
+    AtBarrier {
+        since: Cycle,
+    },
     Done,
 }
 
@@ -202,7 +208,10 @@ impl BaselineSimulator {
     ) -> BaselineSimulator {
         assert_eq!(programs.len(), cfg.n_procs, "one program per processor");
         let counts: Vec<usize> = programs.iter().map(ThreadProgram::barriers).collect();
-        assert!(counts.windows(2).all(|w| w[0] == w[1]), "barrier counts differ");
+        assert!(
+            counts.windows(2).all(|w| w[0] == w[1]),
+            "barrier counts differ"
+        );
         let procs: Vec<BaseProc> = programs
             .into_iter()
             .map(|p| BaseProc {
@@ -228,7 +237,11 @@ impl BaselineSimulator {
                 done_at: None,
             })
             .collect();
-        let net = Network::new(cfg.n_procs, cfg.cache.geometry.line_bytes(), cfg.network.clone());
+        let net = Network::new(
+            cfg.n_procs,
+            cfg.cache.geometry.line_bytes(),
+            cfg.network.clone(),
+        );
         let checker = cfg.check_serializability.then(Checker::new);
         let active = cfg.n_procs;
         BaselineSimulator {
@@ -272,7 +285,10 @@ impl BaselineSimulator {
                 Event::Deliver(msg) => self.deliver(now, msg),
             }
         }
-        assert_eq!(self.active, 0, "baseline deadlock: processors never finished");
+        assert_eq!(
+            self.active, 0,
+            "baseline deadlock: processors never finished"
+        );
         let end = self
             .procs
             .iter()
@@ -372,7 +388,9 @@ impl BaselineSimulator {
         if self.barrier_waiting.len() == self.cfg.n_procs {
             for n in std::mem::take(&mut self.barrier_waiting) {
                 let p = &mut self.procs[n.index()];
-                let State::AtBarrier { since } = p.state else { unreachable!() };
+                let State::AtBarrier { since } = p.state else {
+                    unreachable!()
+                };
                 p.totals.idle += now.since(since);
                 p.item += 1;
                 self.enter_item(now, n);
@@ -416,7 +434,12 @@ impl BaselineSimulator {
                     let line = geom.line_of(a);
                     let word = geom.word_index(a);
                     match p.cache.load(line, word) {
-                        LoadOutcome::Hit { level, value, own_speculative, first_read } => {
+                        LoadOutcome::Hit {
+                            level,
+                            value,
+                            own_speculative,
+                            first_read,
+                        } => {
                             let lat = self.cfg.cache.latency(level);
                             elapsed += lat;
                             p.attempt_useful += lat;
@@ -437,7 +460,11 @@ impl BaselineSimulator {
                             let msg = Message::new(
                                 n,
                                 self.home_node(line),
-                                Payload::LoadRequest { line, requester: n, req },
+                                Payload::LoadRequest {
+                                    line,
+                                    requester: n,
+                                    req,
+                                },
                             );
                             self.send(now, elapsed, msg);
                             return;
@@ -467,7 +494,11 @@ impl BaselineSimulator {
                             let msg = Message::new(
                                 n,
                                 self.home_node(line),
-                                Payload::LoadRequest { line, requester: n, req },
+                                Payload::LoadRequest {
+                                    line,
+                                    requester: n,
+                                    req,
+                                },
                             );
                             self.send(now, elapsed, msg);
                             return;
@@ -502,7 +533,7 @@ impl BaselineSimulator {
         // Stamp values locally (commit order = token order).
         p.cache.commit_tx(seq);
         p.cache.clear_dirty_bits(); // write-through: memory is current
-        // Record for the checker.
+                                    // Record for the checker.
         let record = TxRecord {
             tid: seq,
             reads: std::mem::take(&mut p.reads_log),
@@ -533,7 +564,9 @@ impl BaselineSimulator {
             self.finish_commit(now, n);
             return;
         }
-        p.state = State::Broadcasting { acks_left: n_others };
+        p.state = State::Broadcasting {
+            acks_left: n_others,
+        };
         for i in 0..self.cfg.n_procs {
             let dst = NodeId(i as u16);
             if dst == n {
@@ -542,7 +575,11 @@ impl BaselineSimulator {
             let msg = Message::new(
                 n,
                 dst,
-                Payload::BaselineCommit { writes: writes.clone(), committer: n, seq },
+                Payload::BaselineCommit {
+                    writes: writes.clone(),
+                    committer: n,
+                    seq,
+                },
             );
             self.send(now, 0, msg);
         }
@@ -585,7 +622,11 @@ impl BaselineSimulator {
     fn deliver(&mut self, now: Cycle, msg: Message) {
         let dst = msg.dst;
         match msg.payload {
-            Payload::LoadRequest { line, requester, req } => {
+            Payload::LoadRequest {
+                line,
+                requester,
+                req,
+            } => {
                 // Home node services the load from flat memory.
                 let d = dst.index();
                 let words = self.geometry().words_per_line() as usize;
@@ -599,14 +640,19 @@ impl BaselineSimulator {
                 let reply = Message::new(
                     dst,
                     requester,
-                    Payload::LoadReply { line, source: DataSource::Memory, values, req },
+                    Payload::LoadReply {
+                        line,
+                        source: DataSource::Memory,
+                        values,
+                        req,
+                    },
                 );
                 let at = start + HOME_SERVICE + self.cfg.mem_latency;
                 self.queue.schedule(at, Event::Inject(reply));
             }
-            Payload::LoadReply { line, values, req, .. } => {
-                self.on_fill(now, dst, line, values, req)
-            }
+            Payload::LoadReply {
+                line, values, req, ..
+            } => self.on_fill(now, dst, line, values, req),
             Payload::TokenRequest { requester } => {
                 debug_assert_eq!(dst, NodeId(0));
                 if self.token_holder.is_none() {
@@ -645,7 +691,9 @@ impl BaselineSimulator {
                     self.send(now, ARBITER_SERVICE, msg);
                 }
             }
-            Payload::BaselineCommit { writes, committer, .. } => {
+            Payload::BaselineCommit {
+                writes, committer, ..
+            } => {
                 let mut conflict = false;
                 let mut rerequests = Vec::new();
                 {
@@ -657,7 +705,12 @@ impl BaselineSimulator {
                         // replacement departs no earlier than the
                         // original request's logical issue time (see
                         // the scalable processor's on_invalidate).
-                        if let State::WaitFill { line: l, req, stall_start } = &mut p.state {
+                        if let State::WaitFill {
+                            line: l,
+                            req,
+                            stall_start,
+                        } = &mut p.state
+                        {
                             if l == line {
                                 p.req_seq += 1;
                                 *req = p.req_seq;
@@ -670,7 +723,11 @@ impl BaselineSimulator {
                     let m = Message::new(
                         dst,
                         self.home_node(line),
-                        Payload::LoadRequest { line, requester: dst, req },
+                        Payload::LoadRequest {
+                            line,
+                            requester: dst,
+                            req,
+                        },
                     );
                     self.send(now, delay, m);
                 }
@@ -696,7 +753,12 @@ impl BaselineSimulator {
 
     fn on_fill(&mut self, now: Cycle, n: NodeId, line: LineAddr, values: LineValues, req: u64) {
         let p = &mut self.procs[n.index()];
-        let State::WaitFill { line: expected, stall_start, req: want } = p.state else {
+        let State::WaitFill {
+            line: expected,
+            stall_start,
+            req: want,
+        } = p.state
+        else {
             return; // stale fill after a violation restart: drop it
         };
         if req != want {
@@ -725,7 +787,10 @@ mod tests {
     }
 
     fn cfg(n: usize) -> SystemConfig {
-        SystemConfig { check_serializability: true, ..SystemConfig::with_procs(n) }
+        SystemConfig {
+            check_serializability: true,
+            ..SystemConfig::with_procs(n)
+        }
     }
 
     #[test]
@@ -805,12 +870,8 @@ mod tests {
                 ])
             })
             .collect();
-        let r = BaselineSimulator::with_condition(
-            cfg(4),
-            programs,
-            OccCondition::SerialExecution,
-        )
-        .run();
+        let r = BaselineSimulator::with_condition(cfg(4), programs, OccCondition::SerialExecution)
+            .run();
         assert_eq!(r.commits, 8);
         assert_eq!(r.violations, 0, "serial execution cannot conflict");
         assert!(r.serializability.unwrap().is_ok());

@@ -80,7 +80,13 @@ mod tests {
 
     #[test]
     fn total_sums_components() {
-        let b = Breakdown { useful: 1, cache_miss: 2, commit: 3, violation: 4, idle: 5 };
+        let b = Breakdown {
+            useful: 1,
+            cache_miss: 2,
+            commit: 3,
+            violation: 4,
+            idle: 5,
+        };
         assert_eq!(b.total(), 15);
         let m = b.merged(&b);
         assert_eq!(m.total(), 30);
@@ -89,9 +95,16 @@ mod tests {
 
     #[test]
     fn ops_per_word() {
-        let t = TxCharacteristics { instructions: 100, words_written: 4, ..Default::default() };
+        let t = TxCharacteristics {
+            instructions: 100,
+            words_written: 4,
+            ..Default::default()
+        };
         assert_eq!(t.ops_per_word_written(), 25.0);
-        let none = TxCharacteristics { instructions: 100, ..Default::default() };
+        let none = TxCharacteristics {
+            instructions: 100,
+            ..Default::default()
+        };
         assert_eq!(none.ops_per_word_written(), 100.0);
     }
 }

@@ -2,6 +2,7 @@
 
 use tcc_cache::CacheConfig;
 use tcc_network::NetworkConfig;
+use tcc_trace::TraceConfig;
 use tcc_types::NodeId;
 
 /// Configuration of the simulated machine and protocol.
@@ -53,6 +54,10 @@ pub struct SystemConfig {
     /// (used pervasively in tests; costs memory proportional to the
     /// committed read/write sets).
     pub check_serializability: bool,
+    /// Protocol tracing and metrics collection (`tcc-trace`).
+    /// Observation-only: enabling it never changes cycle counts or
+    /// checker verdicts. Disabled by default.
+    pub trace: TraceConfig,
     /// Safety limit: the simulation panics if the clock exceeds this,
     /// which would indicate a protocol deadlock or livelock.
     pub max_cycles: u64,
@@ -63,7 +68,10 @@ impl SystemConfig {
     /// parameters at their Table 2 defaults.
     #[must_use]
     pub fn with_procs(n_procs: usize) -> SystemConfig {
-        SystemConfig { n_procs, ..SystemConfig::default() }
+        SystemConfig {
+            n_procs,
+            ..SystemConfig::default()
+        }
     }
 
     /// The node hosting the global TID vendor.
@@ -88,6 +96,7 @@ impl Default for SystemConfig {
             owner_flush_keeps_line: true,
             profile: false,
             check_serializability: false,
+            trace: TraceConfig::default(),
             max_cycles: u64::MAX / 4,
         }
     }

@@ -4,14 +4,15 @@
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 
 use tcc_cache::{Eviction, HierCache, LineState, LoadOutcome, StoreOutcome};
+use tcc_trace::{TraceEvent, Tracer, ViolationCause};
 use tcc_types::{
     Addr, Cycle, DirId, LineAddr, LineValues, Message, NodeId, Payload, Tid, WordMask,
 };
 
 use crate::breakdown::{Breakdown, TxCharacteristics};
 use crate::checker::TxRecord;
-use crate::profiling::{StarvationEvent, ViolationEvent};
 use crate::config::SystemConfig;
+use crate::profiling::{StarvationEvent, ViolationEvent};
 use crate::program::{ThreadProgram, Transaction, TxOp, WorkItem};
 
 /// Everything a processor transition asks the simulation layer to do.
@@ -113,7 +114,13 @@ enum State {
     Running,
     /// Blocked on an outstanding cache-line fill; `req` identifies the
     /// outstanding request (replies to superseded requests are dropped).
-    WaitFill { line: LineAddr, word: usize, is_store: bool, req: u64, stall_start: Cycle },
+    WaitFill {
+        line: LineAddr,
+        word: usize,
+        is_store: bool,
+        req: u64,
+        stall_start: Cycle,
+    },
     /// Waiting for the TID vendor during validation.
     WaitTid,
     /// Waiting for an early TID before re-executing (serialized mode).
@@ -176,6 +183,7 @@ pub struct Processor {
 
     totals: Breakdown,
     counters: ProcCounters,
+    tracer: Tracer,
     done_at: Option<Cycle>,
     /// TAPE profiling events (populated only when `cfg.profile`).
     profile_violations: Vec<ViolationEvent>,
@@ -218,10 +226,17 @@ impl Processor {
             req_seq: 0,
             totals: Breakdown::default(),
             counters: ProcCounters::default(),
+            tracer: Tracer::disabled(),
             done_at: None,
             profile_violations: Vec::new(),
             profile_starvation: Vec::new(),
         }
+    }
+
+    /// Attaches the shared tracing sink (observation-only; protocol
+    /// decisions never read it).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Drains the TAPE profiling events recorded so far.
@@ -402,7 +417,12 @@ impl Processor {
     /// point or the chunk limit. Invoked by the scheduler on each
     /// `ProcStep` event.
     pub fn step(&mut self, now: Cycle) -> Effects {
-        assert_eq!(self.state, State::Running, "step() while {}", self.state_name());
+        assert_eq!(
+            self.state,
+            State::Running,
+            "step() while {}",
+            self.state_name()
+        );
         let mut fx = Effects::default();
         let mut elapsed: u64 = 0;
         loop {
@@ -522,7 +542,12 @@ impl Processor {
             }
         }
         match self.cache.load(line, word) {
-            LoadOutcome::Hit { level, value, own_speculative, first_read } => {
+            LoadOutcome::Hit {
+                level,
+                value,
+                own_speculative,
+                first_read,
+            } => {
                 let lat = self.cfg.cache.latency(level);
                 *elapsed += lat;
                 self.attempt_useful += lat;
@@ -550,7 +575,11 @@ impl Processor {
                     Message::new(
                         self.id,
                         self.home_of(line).node(),
-                        Payload::LoadRequest { line, requester: self.id, req: self.req_seq },
+                        Payload::LoadRequest {
+                            line,
+                            requester: self.id,
+                            req: self.req_seq,
+                        },
                     ),
                 );
                 Some(false)
@@ -583,7 +612,13 @@ impl Processor {
                 self.send_flush(
                     fx,
                     *elapsed,
-                    Eviction { line, values, valid, dirty: true, generation },
+                    Eviction {
+                        line,
+                        values,
+                        valid,
+                        dirty: true,
+                        generation,
+                    },
                 );
             }
             let lat = self.cfg.cache.l2_latency;
@@ -594,7 +629,10 @@ impl Processor {
             return Some(true);
         }
         match self.cache.store(line, word) {
-            StoreOutcome::Hit { level, pre_writeback } => {
+            StoreOutcome::Hit {
+                level,
+                pre_writeback,
+            } => {
                 if let Some(ev) = pre_writeback {
                     // The line stays resident (it is about to receive the
                     // speculative write), so this is a Flush — the
@@ -629,7 +667,11 @@ impl Processor {
                     Message::new(
                         self.id,
                         self.home_of(line).node(),
-                        Payload::LoadRequest { line, requester: self.id, req: self.req_seq },
+                        Payload::LoadRequest {
+                            line,
+                            requester: self.id,
+                            req: self.req_seq,
+                        },
                     ),
                 );
                 Some(false)
@@ -710,8 +752,7 @@ impl Processor {
         }
         write_set.sort_by_key(|(l, _)| l.0);
         let wdirs: BTreeSet<DirId> = write_set.iter().map(|(l, _)| self.home_of(*l)).collect();
-        let sdirs_only: BTreeSet<DirId> =
-            self.sharing_dirs.difference(&wdirs).copied().collect();
+        let sdirs_only: BTreeSet<DirId> = self.sharing_dirs.difference(&wdirs).copied().collect();
         self.val = Some(ValState {
             tid: None,
             write_set,
@@ -728,6 +769,9 @@ impl Processor {
             fx.merge(self.announce_commit(now, elapsed));
         } else {
             self.state = State::WaitTid;
+            let node = self.id;
+            self.tracer
+                .record(self.commit_start, || TraceEvent::TidRequest { node });
             fx.send(
                 elapsed,
                 Message::new(
@@ -743,7 +787,10 @@ impl Processor {
     /// Sends the Skip multicast and the probes (phase 1 of the commit).
     fn announce_commit(&mut self, now: Cycle, delay: u64) -> Effects {
         let mut fx = Effects::default();
-        let val = self.val.as_mut().expect("announce without validation state");
+        let val = self
+            .val
+            .as_mut()
+            .expect("announce without validation state");
         let tid = val.tid.expect("announce without TID");
         debug_assert!(!val.announced);
         val.announced = true;
@@ -758,13 +805,30 @@ impl Processor {
                     Message::new(
                         self.id,
                         dir.node(),
-                        Payload::Probe { tid, requester: self.id, for_write },
+                        Payload::Probe {
+                            tid,
+                            requester: self.id,
+                            for_write,
+                        },
                     ),
                 );
             } else {
-                fx.send(delay, Message::new(self.id, dir.node(), Payload::Skip { tid }));
+                fx.send(
+                    delay,
+                    Message::new(self.id, dir.node(), Payload::Skip { tid }),
+                );
             }
         }
+        let node = self.id;
+        let probes = involved.len() as u32;
+        let skips = (self.cfg.n_procs - involved.len()) as u32;
+        self.tracer
+            .record(now + delay, || TraceEvent::CommitAnnounce {
+                node,
+                tid,
+                probes,
+                skips,
+            });
         if involved.is_empty() {
             // A transaction with no memory footprint commits at once.
             fx.merge(self.complete_commit(now + delay));
@@ -787,7 +851,12 @@ impl Processor {
         self.last_tid = tid;
         match self.state {
             State::WaitTid => {
-                self.counters.tid_wait += now.since(self.commit_start);
+                let waited = now.since(self.commit_start);
+                self.counters.tid_wait += waited;
+                let node = self.id;
+                self.tracer.observe("commit.tid_wait", waited);
+                self.tracer
+                    .record(now, || TraceEvent::TidAcquire { node, tid, waited });
                 self.announce_at = now;
                 self.val.as_mut().expect("WaitTid without val").tid = Some(tid);
                 self.state = State::Validating;
@@ -839,12 +908,23 @@ impl Processor {
                     Message::new(
                         self.id,
                         dir.node(),
-                        Payload::Mark { tid, line, words, committer: self.id },
+                        Payload::Mark {
+                            tid,
+                            line,
+                            words,
+                            committer: self.id,
+                        },
                     ),
                 );
             }
         }
-        if self.val.as_ref().expect("still validating").pending.is_empty() {
+        if self
+            .val
+            .as_ref()
+            .expect("still validating")
+            .pending
+            .is_empty()
+        {
             fx.merge(self.complete_commit(now));
         }
         fx
@@ -853,10 +933,27 @@ impl Processor {
     /// Phase 2: all probes satisfied and all marks sent — multicast
     /// `Commit`, apply the commit locally, and move to the next item.
     fn complete_commit(&mut self, now: Cycle) -> Effects {
-        self.counters.probe_wait += now.since(self.announce_at.max(self.commit_start));
+        let probe_wait = now.since(self.announce_at.max(self.commit_start));
+        self.counters.probe_wait += probe_wait;
+        self.tracer.observe("commit.probe_wait", probe_wait);
         let mut fx = Effects::default();
         let val = self.val.take().expect("commit without validation state");
         let tid = val.tid.expect("commit without TID");
+        {
+            let node = self.id;
+            let marks: u32 = val.marks_per_dir.values().sum();
+            // Latency of the whole commit phase: TID acquire (or phase
+            // entry, in serialized mode) to the Commit multicast.
+            let latency = now.since(self.announce_at);
+            self.tracer.count("commit.count", 1);
+            self.tracer.observe("commit.latency", latency);
+            self.tracer.record(now, || TraceEvent::CommitMulticast {
+                node,
+                tid,
+                marks,
+                latency,
+            });
+        }
         for &dir in val.wdirs.union(&val.sdirs_only) {
             let marks = val.marks_per_dir.get(&dir).copied().unwrap_or(0);
             fx.send(
@@ -864,7 +961,11 @@ impl Processor {
                 Message::new(
                     self.id,
                     dir.node(),
-                    Payload::Commit { tid, committer: self.id, marks },
+                    Payload::Commit {
+                        tid,
+                        committer: self.id,
+                        marks,
+                    },
                 ),
             );
         }
@@ -876,9 +977,8 @@ impl Processor {
         // re-write, or retirement), never fire-and-forget: an eager
         // write-back could still be in flight when a later commit to
         // the line completes, leaving memory stale in the window.
-        let spilled: Vec<(LineAddr, SpillEntry)> = std::mem::take(&mut self.spill)
-            .into_iter()
-            .collect();
+        let spilled: Vec<(LineAddr, SpillEntry)> =
+            std::mem::take(&mut self.spill).into_iter().collect();
         for (line, mut e) in spilled {
             if !e.sm.is_empty() {
                 e.values.apply_write(e.sm, tid);
@@ -896,8 +996,11 @@ impl Processor {
         // Statistics and checker record.
         let geom = self.geometry();
         let line_bytes = u64::from(geom.line_bytes());
-        let words_written: u64 =
-            val.write_set.iter().map(|(_, m)| u64::from(m.count())).sum();
+        let words_written: u64 = val
+            .write_set
+            .iter()
+            .map(|(_, m)| u64::from(m.count()))
+            .sum();
         let chars = TxCharacteristics {
             instructions: self.tx_instr,
             read_set_bytes: self.read_lines.len() as u64 * line_bytes,
@@ -977,12 +1080,24 @@ impl Processor {
             fx.merge(self.violate(now, true));
             return fx;
         }
-        let State::WaitFill { stall_start, .. } = self.state else { unreachable!() };
+        let State::WaitFill { stall_start, .. } = self.state else {
+            unreachable!()
+        };
         debug_assert!(
             now >= stall_start,
             "fill resumed before its request's logical issue time"
         );
-        self.attempt_miss += now.since(stall_start);
+        let stalled_for = now.since(stall_start);
+        {
+            let node = self.id;
+            self.tracer.observe("proc.miss_stall", stalled_for);
+            self.tracer.record(now, || TraceEvent::MissStallExit {
+                node,
+                line,
+                stalled_for,
+            });
+        }
+        self.attempt_miss += stalled_for;
         self.state = State::Running;
         // Re-execute the blocked access (now a hit) and continue.
         fx.merge(self.step(now));
@@ -1062,7 +1177,13 @@ impl Processor {
         // (`stall_start` can lie ahead of `_now` because execution is
         // batched): a reply arriving before that point would resume the
         // processor inside an already-accounted execution window.
-        if let State::WaitFill { line: l, req, stall_start, .. } = &mut self.state {
+        if let State::WaitFill {
+            line: l,
+            req,
+            stall_start,
+            ..
+        } = &mut self.state
+        {
             if *l == line {
                 self.req_seq += 1;
                 *req = self.req_seq;
@@ -1072,7 +1193,11 @@ impl Processor {
                     Message::new(
                         self.id,
                         self.home_of(line).node(),
-                        Payload::LoadRequest { line, requester: self.id, req: self.req_seq },
+                        Payload::LoadRequest {
+                            line,
+                            requester: self.id,
+                            req: self.req_seq,
+                        },
                     ),
                 );
             }
@@ -1137,7 +1262,12 @@ impl Processor {
             Message::new(
                 self.id,
                 dir.node(),
-                Payload::InvAck { tid: committer_tid, line, from: self.id, retained },
+                Payload::InvAck {
+                    tid: committer_tid,
+                    line,
+                    from: self.id,
+                    retained,
+                },
             ),
         );
         if !conflict {
@@ -1208,8 +1338,7 @@ impl Processor {
         // over words only this owner held).
         let speculative =
             !self.cache.sr_mask(line).is_empty() || !self.cache.sm_mask(line).is_empty();
-        let fill_inflight =
-            matches!(self.state, State::WaitFill { line: l, .. } if l == line);
+        let fill_inflight = matches!(self.state, State::WaitFill { line: l, .. } if l == line);
         let keep = self.cfg.owner_flush_keeps_line || speculative || fill_inflight;
         if let Some((values, valid, generation)) = self.cache.flush(line, keep) {
             let tid = self.wb_tag(generation);
@@ -1241,6 +1370,22 @@ impl Processor {
     /// the serialized retry mode immediately.
     fn violate(&mut self, now: Cycle, overflow: bool) -> Effects {
         let mut fx = Effects::default();
+        let node = self.id;
+        let cause = if overflow {
+            ViolationCause::Overflow
+        } else {
+            ViolationCause::Conflict
+        };
+        self.tracer.count(
+            if overflow {
+                "violations.overflow"
+            } else {
+                "violations.conflict"
+            },
+            1,
+        );
+        self.tracer
+            .record(now, || TraceEvent::Violation { node, cause });
         // Any wake-up scheduled by the doomed attempt is now stale.
         self.wake_seq += 1;
         self.counters.violations += 1;
@@ -1282,8 +1427,7 @@ impl Processor {
         self.fill_epoch += 1;
         self.totals.violation += now.since(self.tx_start);
         let was_serialized = self.serialize_mode;
-        self.serialize_mode =
-            overflow || self.violations_in_row >= self.cfg.starvation_threshold;
+        self.serialize_mode = overflow || self.violations_in_row >= self.cfg.starvation_threshold;
         if self.cfg.profile && self.serialize_mode && !was_serialized {
             self.profile_starvation.push(StarvationEvent {
                 proc: self.id,
@@ -1385,7 +1529,10 @@ mod tests {
         // commits instantly.
         let fx = p.on_tid_reply(Cycle(20), Tid(0));
         assert!(fx.committed.is_some());
-        assert!(fx.sends.iter().any(|(_, m)| matches!(m.payload, Payload::Skip { tid: Tid(0) })));
+        assert!(fx
+            .sends
+            .iter()
+            .any(|(_, m)| matches!(m.payload, Payload::Skip { tid: Tid(0) })));
         assert!(fx.finished);
         let b = p.breakdown();
         assert_eq!(b.useful, 10);
@@ -1405,13 +1552,19 @@ mod tests {
         // Fill arrives 100 cycles later.
         let fx = p.on_load_reply(Cycle(100), line, LineValues::fresh(8), req);
         // The retry hits (1 cycle) and validation begins.
-        assert!(fx.sends.iter().any(|(_, m)| matches!(m.payload, Payload::TidRequest { .. })));
+        assert!(fx
+            .sends
+            .iter()
+            .any(|(_, m)| matches!(m.payload, Payload::TidRequest { .. })));
         assert_eq!(p.breakdown().cache_miss, 0, "not folded until commit");
         let fx = p.on_tid_reply(Cycle(120), Tid(0));
         // One directory, in the sharing vector: a probe goes out.
         assert!(fx.sends.iter().any(|(_, m)| matches!(
             m.payload,
-            Payload::Probe { for_write: false, .. }
+            Payload::Probe {
+                for_write: false,
+                ..
+            }
         )));
         let fx = p.on_probe_reply(Cycle(130), DirId(0), Tid(0), Tid(0), false);
         assert!(fx.committed.is_some());
@@ -1438,7 +1591,10 @@ mod tests {
         p.on_tid_reply(Cycle(60), Tid(0));
         let fx = p.on_probe_reply(Cycle(70), DirId(0), Tid(0), Tid(0), true);
         // A mark for the stored line, then the commit.
-        assert!(fx.sends.iter().any(|(_, m)| matches!(m.payload, Payload::Mark { .. })));
+        assert!(fx
+            .sends
+            .iter()
+            .any(|(_, m)| matches!(m.payload, Payload::Mark { .. })));
         assert!(fx
             .sends
             .iter()
@@ -1450,10 +1606,7 @@ mod tests {
 
     #[test]
     fn invalidation_conflict_restarts_the_transaction() {
-        let prog = ThreadProgram::new(vec![tx(vec![
-            TxOp::Load(Addr(0x40)),
-            TxOp::Compute(1000),
-        ])]);
+        let prog = ThreadProgram::new(vec![tx(vec![TxOp::Load(Addr(0x40)), TxOp::Compute(1000)])]);
         let mut p = Processor::new(NodeId(0), one_proc_cfg(), prog);
         p.start(Cycle(0));
         let fx = p.step(Cycle(0));
@@ -1462,7 +1615,10 @@ mod tests {
         // Executing Compute(1000) in chunks; now a conflicting
         // invalidation lands.
         let fx = p.on_invalidate(Cycle(50), line, WordMask::ALL, Tid(0), DirId(0));
-        assert!(fx.sends.iter().any(|(_, m)| matches!(m.payload, Payload::InvAck { .. })));
+        assert!(fx
+            .sends
+            .iter()
+            .any(|(_, m)| matches!(m.payload, Payload::InvAck { .. })));
         assert_eq!(p.counters().violations, 1);
         assert_eq!(p.breakdown().violation, 50);
         assert_eq!(p.state_name(), "running", "restart is immediate");
@@ -1478,13 +1634,19 @@ mod tests {
         p.on_load_reply(Cycle(10), line, LineValues::fresh(8), req);
         // Invalidate a word we did not read (word 5; we read word 0).
         let fx = p.on_invalidate(Cycle(20), line, WordMask::single(5), Tid(0), DirId(0));
-        assert!(fx.sends.iter().any(|(_, m)| matches!(m.payload, Payload::InvAck { .. })));
+        assert!(fx
+            .sends
+            .iter()
+            .any(|(_, m)| matches!(m.payload, Payload::InvAck { .. })));
         assert_eq!(p.counters().violations, 0);
     }
 
     #[test]
     fn repeated_violations_trigger_serialized_mode() {
-        let cfg = SystemConfig { starvation_threshold: 2, ..one_proc_cfg() };
+        let cfg = SystemConfig {
+            starvation_threshold: 2,
+            ..one_proc_cfg()
+        };
         let prog = ThreadProgram::new(vec![tx(vec![TxOp::Load(Addr(0x40)), TxOp::Compute(100)])]);
         let mut p = Processor::new(NodeId(0), cfg, prog);
         p.start(Cycle(0));
@@ -1499,7 +1661,10 @@ mod tests {
         let fx = p.on_invalidate(Cycle(40), line, WordMask::ALL, Tid(1), DirId(0));
         assert_eq!(p.counters().violations, 2);
         // Early TID requested before re-execution.
-        assert!(fx.sends.iter().any(|(_, m)| matches!(m.payload, Payload::TidRequest { .. })));
+        assert!(fx
+            .sends
+            .iter()
+            .any(|(_, m)| matches!(m.payload, Payload::TidRequest { .. })));
         assert_eq!(p.state_name(), "wait-tid-early");
         // Both violated attempts had TID requests in flight (they were
         // violated in wait-tid); those replies are orphaned and must be
@@ -1511,7 +1676,11 @@ mod tests {
                 .sends
                 .iter()
                 .all(|(_, m)| matches!(m.payload, Payload::Skip { tid } if tid == orphan)));
-            assert_eq!(fx.sends.len(), 1, "one skip per directory on a 1-node machine");
+            assert_eq!(
+                fx.sends.len(),
+                1,
+                "one skip per directory on a 1-node machine"
+            );
         }
         // The third reply is the early TID: execution resumes.
         let fx = p.on_tid_reply(Cycle(50), Tid(5));
@@ -1534,7 +1703,10 @@ mod tests {
 
     #[test]
     fn chunked_execution_reschedules() {
-        let cfg = SystemConfig { exec_chunk: 50, ..one_proc_cfg() };
+        let cfg = SystemConfig {
+            exec_chunk: 50,
+            ..one_proc_cfg()
+        };
         let prog = ThreadProgram::new(vec![tx(vec![TxOp::Compute(200)])]);
         let mut p = Processor::new(NodeId(0), cfg, prog);
         p.start(Cycle(0));
@@ -1542,12 +1714,18 @@ mod tests {
         assert_eq!(fx.wake_in, Some(200), "one big compute op is atomic");
         // The op completed; next step begins validation.
         let fx = p.step(Cycle(200));
-        assert!(fx.sends.iter().any(|(_, m)| matches!(m.payload, Payload::TidRequest { .. })));
+        assert!(fx
+            .sends
+            .iter()
+            .any(|(_, m)| matches!(m.payload, Payload::TidRequest { .. })));
     }
 
     #[test]
     fn chunking_splits_many_small_ops() {
-        let cfg = SystemConfig { exec_chunk: 50, ..one_proc_cfg() };
+        let cfg = SystemConfig {
+            exec_chunk: 50,
+            ..one_proc_cfg()
+        };
         let ops = vec![TxOp::Compute(30); 10];
         let prog = ThreadProgram::new(vec![tx(ops)]);
         let mut p = Processor::new(NodeId(0), cfg, prog);
@@ -1578,7 +1756,10 @@ mod tests {
         // The genuine reply is consumed.
         let fx = p.on_load_reply(Cycle(40), line, v, req);
         assert!(p.cache.contains(line));
-        assert!(fx.sends.iter().any(|(_, m)| matches!(m.payload, Payload::TidRequest { .. })));
+        assert!(fx
+            .sends
+            .iter()
+            .any(|(_, m)| matches!(m.payload, Payload::TidRequest { .. })));
     }
 
     #[test]
@@ -1594,7 +1775,10 @@ mod tests {
         // A commit elsewhere invalidates the line mid-flight. No SR bits
         // are set yet, so no violation — but a fresh request goes out.
         let fx = p.on_invalidate(Cycle(5), line, WordMask::ALL, Tid(0), DirId(0));
-        assert!(fx.sends.iter().any(|(_, m)| matches!(m.payload, Payload::InvAck { .. })));
+        assert!(fx
+            .sends
+            .iter()
+            .any(|(_, m)| matches!(m.payload, Payload::InvAck { .. })));
         let (_, new_req) = load_req(&fx);
         assert_ne!(new_req, old_req);
         assert_eq!(p.counters().violations, 0);
@@ -1608,7 +1792,10 @@ mod tests {
         v.apply_write(WordMask::single(0), Tid(0));
         let fx = p.on_load_reply(Cycle(120), line, v, new_req);
         assert!(p.cache.contains(line));
-        assert!(fx.sends.iter().any(|(_, m)| matches!(m.payload, Payload::TidRequest { .. })));
+        assert!(fx
+            .sends
+            .iter()
+            .any(|(_, m)| matches!(m.payload, Payload::TidRequest { .. })));
     }
 
     #[test]

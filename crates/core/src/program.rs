@@ -108,13 +108,19 @@ impl ThreadProgram {
     /// Number of transactions.
     #[must_use]
     pub fn transactions(&self) -> usize {
-        self.items.iter().filter(|i| matches!(i, WorkItem::Tx(_))).count()
+        self.items
+            .iter()
+            .filter(|i| matches!(i, WorkItem::Tx(_)))
+            .count()
     }
 
     /// Number of barriers.
     #[must_use]
     pub fn barriers(&self) -> usize {
-        self.items.iter().filter(|i| matches!(i, WorkItem::Barrier)).count()
+        self.items
+            .iter()
+            .filter(|i| matches!(i, WorkItem::Barrier))
+            .count()
     }
 }
 

@@ -6,6 +6,7 @@ use std::collections::{HashSet, VecDeque};
 use tcc_directory::{DirAction, DirConfig, Directory};
 use tcc_engine::EventQueue;
 use tcc_network::{Network, TrafficStats};
+use tcc_trace::{TraceReport, Tracer};
 use tcc_types::{Cycle, DirId, LineAddr, Message, NodeId, Payload, Tid};
 
 use crate::breakdown::{Breakdown, TxCharacteristics};
@@ -119,6 +120,8 @@ pub struct SimResult {
     pub serializability: Option<Result<(), SerializabilityError>>,
     /// TAPE profiling report, when `cfg.profile` was enabled.
     pub profile: Option<ProfileReport>,
+    /// Protocol trace and metrics, when `cfg.trace` was enabled.
+    pub trace: Option<TraceReport>,
 }
 
 impl SimResult {
@@ -218,6 +221,7 @@ pub struct Simulator {
     checker: Option<Checker>,
     tx_chars: Vec<TxCharacteristics>,
     active: usize,
+    tracer: Tracer,
 }
 
 impl Simulator {
@@ -242,15 +246,34 @@ impl Simulator {
             "programs disagree on barrier counts: {barrier_counts:?}"
         );
         let words = cfg.cache.geometry.words_per_line() as usize;
+        let tracer = Tracer::new(&cfg.trace);
         let procs: Vec<Processor> = programs
             .into_iter()
             .enumerate()
-            .map(|(i, p)| Processor::new(NodeId(i as u16), cfg.clone(), p))
+            .map(|(i, p)| {
+                let mut proc = Processor::new(NodeId(i as u16), cfg.clone(), p);
+                proc.set_tracer(tracer.clone());
+                proc
+            })
             .collect();
         let dirs: Vec<Directory> = (0..cfg.n_procs)
-            .map(|i| Directory::new(DirConfig { id: DirId(i as u16), words_per_line: words }))
+            .map(|i| {
+                let mut d = Directory::new(DirConfig {
+                    id: DirId(i as u16),
+                    words_per_line: words,
+                });
+                d.set_tracer(tracer.clone());
+                d
+            })
             .collect();
-        let net = Network::new(cfg.n_procs, cfg.cache.geometry.line_bytes(), cfg.network.clone());
+        let mut net = Network::new(
+            cfg.n_procs,
+            cfg.cache.geometry.line_bytes(),
+            cfg.network.clone(),
+        );
+        net.set_tracer(tracer.clone());
+        let mut queue = EventQueue::new();
+        queue.set_tracer(tracer.clone());
         let checker = cfg.check_serializability.then(Checker::new);
         let active = cfg.n_procs;
         let dir_caches = (0..cfg.n_procs)
@@ -260,7 +283,7 @@ impl Simulator {
             dir_busy: vec![Cycle::ZERO; cfg.n_procs],
             dir_caches,
             cfg,
-            queue: EventQueue::new(),
+            queue,
             procs,
             dirs,
             net,
@@ -269,6 +292,7 @@ impl Simulator {
             checker,
             tx_chars: Vec::new(),
             active,
+            tracer,
         }
     }
 
@@ -397,13 +421,17 @@ impl Simulator {
             // ---- vendor ----
             Payload::TidRequest { requester } => {
                 debug_assert_eq!(dst, self.cfg.vendor_node());
+                self.tracer.count("vendor.tid_requests", 1);
                 let tid = Tid(self.vendor_next);
                 self.vendor_next += 1;
                 let reply = Message::new(dst, requester, Payload::TidReply { tid });
-                self.queue.schedule(now + VENDOR_SERVICE, Event::Inject(reply));
+                self.queue
+                    .schedule(now + VENDOR_SERVICE, Event::Inject(reply));
             }
             // ---- processor messages ----
-            Payload::LoadReply { line, values, req, .. } => {
+            Payload::LoadReply {
+                line, values, req, ..
+            } => {
                 let fx = self.procs[dst.index()].on_load_reply(now, line, values, req);
                 self.apply(now, dst, fx);
             }
@@ -411,18 +439,33 @@ impl Simulator {
                 let fx = self.procs[dst.index()].on_tid_reply(now, tid);
                 self.apply(now, dst, fx);
             }
-            Payload::ProbeReply { dir, now_serving, probe_tid, for_write } => {
-                let fx = self.procs[dst.index()]
-                    .on_probe_reply(now, dir, now_serving, probe_tid, for_write);
+            Payload::ProbeReply {
+                dir,
+                now_serving,
+                probe_tid,
+                for_write,
+            } => {
+                let fx = self.procs[dst.index()].on_probe_reply(
+                    now,
+                    dir,
+                    now_serving,
+                    probe_tid,
+                    for_write,
+                );
                 self.apply(now, dst, fx);
             }
             Payload::DataRequest { line } => {
                 let fx = self.procs[dst.index()].on_data_request(now, line);
                 self.apply(now, dst, fx);
             }
-            Payload::Invalidate { line, words, committer_tid, dir } => {
-                let fx = self.procs[dst.index()]
-                    .on_invalidate(now, line, words, committer_tid, dir);
+            Payload::Invalidate {
+                line,
+                words,
+                committer_tid,
+                dir,
+            } => {
+                let fx =
+                    self.procs[dst.index()].on_invalidate(now, line, words, committer_tid, dir);
                 self.apply(now, dst, fx);
             }
             Payload::TokenRequest { .. }
@@ -478,22 +521,44 @@ impl Simulator {
         };
         let dir = &mut self.dirs[d];
         let actions: Vec<DirAction> = match msg.payload {
-            Payload::LoadRequest { line, requester, req } => dir.handle_load(line, requester, req),
+            Payload::LoadRequest {
+                line,
+                requester,
+                req,
+            } => dir.handle_load(done, line, requester, req),
             Payload::Skip { tid } => dir.handle_skip(done, tid),
-            Payload::Probe { tid, requester, for_write } => {
-                dir.handle_probe(tid, requester, for_write)
-            }
-            Payload::Mark { tid, line, words, committer } => {
-                dir.handle_mark(done, tid, line, words, committer)
-            }
-            Payload::Commit { tid, committer, marks } => {
-                dir.handle_commit(done, tid, committer, marks)
-            }
+            Payload::Probe {
+                tid,
+                requester,
+                for_write,
+            } => dir.handle_probe(done, tid, requester, for_write),
+            Payload::Mark {
+                tid,
+                line,
+                words,
+                committer,
+            } => dir.handle_mark(done, tid, line, words, committer),
+            Payload::Commit {
+                tid,
+                committer,
+                marks,
+            } => dir.handle_commit(done, tid, committer, marks),
             Payload::Abort { tid } => dir.handle_abort(done, tid),
-            Payload::WriteBack { line, tid, values, valid, writer } => {
-                dir.handle_writeback(line, tid, values, valid, writer, false)
-            }
-            Payload::Flush { line, tid, values, valid, writer, dropped: _ } => {
+            Payload::WriteBack {
+                line,
+                tid,
+                values,
+                valid,
+                writer,
+            } => dir.handle_writeback(line, tid, values, valid, writer, false),
+            Payload::Flush {
+                line,
+                tid,
+                values,
+                valid,
+                writer,
+                dropped: _,
+            } => {
                 // Flushes never prune the sharers list — even when the
                 // owner dropped its copy (Fig. 2f mode). A load reply
                 // for the same line may be in flight to the flusher, so
@@ -502,9 +567,12 @@ impl Simulator {
                 // the `retained = false` invalidation acks.
                 dir.handle_writeback(line, tid, values, valid, writer, true)
             }
-            Payload::InvAck { tid, line, from, retained } => {
-                dir.handle_inv_ack(done, tid, line, from, retained)
-            }
+            Payload::InvAck {
+                tid,
+                line,
+                from,
+                retained,
+            } => dir.handle_inv_ack(done, tid, line, from, retained),
             _ => unreachable!("non-directory payload routed to directory"),
         };
         if let Some(line) = trace_wb_line {
@@ -520,9 +588,10 @@ impl Simulator {
             // Memory fills pay main-memory latency on top of the
             // directory lookup; everything else leaves at `done`.
             let extra = match &a.payload {
-                Payload::LoadReply { source: tcc_types::DataSource::Memory, .. } => {
-                    self.cfg.mem_latency
-                }
+                Payload::LoadReply {
+                    source: tcc_types::DataSource::Memory,
+                    ..
+                } => self.cfg.mem_latency,
                 _ => 0,
             };
             let out = Message::new(src, a.to, a.payload);
@@ -574,8 +643,7 @@ impl Simulator {
                 "P{i}: breakdown {b:?} does not sum to the makespan {end}"
             );
         }
-        let proc_counters: Vec<ProcCounters> =
-            self.procs.iter().map(|p| p.counters()).collect();
+        let proc_counters: Vec<ProcCounters> = self.procs.iter().map(|p| p.counters()).collect();
         let commits = proc_counters.iter().map(|c| c.commits).sum();
         let violations = proc_counters.iter().map(|c| c.violations).sum();
         let instructions = proc_counters.iter().map(|c| c.instructions).sum();
@@ -597,6 +665,7 @@ impl Simulator {
             report.starvation.sort_by_key(|s| s.at);
             report
         });
+        let trace = self.tracer.take_report();
         SimResult {
             total_cycles: end.0,
             breakdowns,
@@ -611,6 +680,7 @@ impl Simulator {
             events: self.queue.events_processed(),
             serializability,
             profile,
+            trace,
         }
     }
 }

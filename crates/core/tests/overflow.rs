@@ -61,8 +61,7 @@ fn spilled_committed_data_is_readable_by_other_processors() {
         WorkItem::Barrier,
         tx(vec![TxOp::Compute(1)]),
     ]);
-    let reader_ops: Vec<TxOp> =
-        (0..lines).map(|l| TxOp::Load(a(l, 1))).collect();
+    let reader_ops: Vec<TxOp> = (0..lines).map(|l| TxOp::Load(a(l, 1))).collect();
     let reader = ThreadProgram::new(vec![
         tx(vec![TxOp::Compute(1)]),
         WorkItem::Barrier,

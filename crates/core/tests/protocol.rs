@@ -8,7 +8,10 @@ use tcc_core::{SimResult, Simulator, SystemConfig, ThreadProgram, Transaction, T
 use tcc_types::Addr;
 
 fn cfg(n: usize) -> SystemConfig {
-    SystemConfig { check_serializability: true, ..SystemConfig::with_procs(n) }
+    SystemConfig {
+        check_serializability: true,
+        ..SystemConfig::with_procs(n)
+    }
 }
 
 fn tx(ops: Vec<TxOp>) -> WorkItem {
@@ -29,7 +32,11 @@ fn line_addr(line: u64, word: u64) -> Addr {
 #[test]
 fn uniprocessor_executes_all_transactions() {
     let programs = vec![ThreadProgram::new(vec![
-        tx(vec![TxOp::Load(line_addr(1, 0)), TxOp::Compute(100), TxOp::Store(line_addr(1, 0))]),
+        tx(vec![
+            TxOp::Load(line_addr(1, 0)),
+            TxOp::Compute(100),
+            TxOp::Store(line_addr(1, 0)),
+        ]),
         tx(vec![TxOp::Load(line_addr(2, 3)), TxOp::Compute(50)]),
         tx(vec![TxOp::Compute(10)]),
     ])];
@@ -90,8 +97,14 @@ fn word_granularity_avoids_false_sharing_violations() {
     // P0 reads word 0 of line X; P1 writes word 7 of line X. Disjoint
     // words: no violation under word-granularity tracking.
     let programs = vec![
-        ThreadProgram::new(vec![tx(vec![TxOp::Load(line_addr(6, 0)), TxOp::Compute(50_000)])]),
-        ThreadProgram::new(vec![tx(vec![TxOp::Store(line_addr(6, 7)), TxOp::Compute(10)])]),
+        ThreadProgram::new(vec![tx(vec![
+            TxOp::Load(line_addr(6, 0)),
+            TxOp::Compute(50_000),
+        ])]),
+        ThreadProgram::new(vec![tx(vec![
+            TxOp::Store(line_addr(6, 7)),
+            TxOp::Compute(10),
+        ])]),
     ];
     let r = run(cfg(2), programs);
     assert_eq!(r.commits, 2);
@@ -103,8 +116,14 @@ fn line_granularity_exposes_false_sharing() {
     let mut c = cfg(2);
     c.cache.granularity = tcc_cache::Granularity::Line;
     let programs = vec![
-        ThreadProgram::new(vec![tx(vec![TxOp::Load(line_addr(6, 0)), TxOp::Compute(50_000)])]),
-        ThreadProgram::new(vec![tx(vec![TxOp::Store(line_addr(6, 7)), TxOp::Compute(10)])]),
+        ThreadProgram::new(vec![tx(vec![
+            TxOp::Load(line_addr(6, 0)),
+            TxOp::Compute(50_000),
+        ])]),
+        ThreadProgram::new(vec![tx(vec![
+            TxOp::Store(line_addr(6, 7)),
+            TxOp::Compute(10),
+        ])]),
     ];
     let r = Simulator::new(c, programs).run();
     assert_eq!(r.commits, 2);
@@ -151,7 +170,9 @@ fn committed_data_is_forwarded_from_the_owner() {
     assert_eq!(r.violations, 0);
     // The forward shows up as Shared traffic (owner-sourced fill).
     assert!(
-        r.traffic.bytes_in_category(tcc_types::TrafficCategory::Shared) > 0,
+        r.traffic
+            .bytes_in_category(tcc_types::TrafficCategory::Shared)
+            > 0,
         "expected an owner-forwarded fill"
     );
 }
@@ -266,7 +287,11 @@ fn breakdowns_sum_to_makespan_with_barriers_and_conflicts() {
     let programs: Vec<ThreadProgram> = (0..4)
         .map(|p| {
             ThreadProgram::new(vec![
-                tx(vec![TxOp::Load(x), TxOp::Compute(500 * (p + 1) as u32), TxOp::Store(x)]),
+                tx(vec![
+                    TxOp::Load(x),
+                    TxOp::Compute(500 * (p + 1) as u32),
+                    TxOp::Store(x),
+                ]),
                 WorkItem::Barrier,
                 tx(vec![TxOp::Compute(100)]),
             ])
@@ -380,7 +405,11 @@ fn remote_traffic_is_zero_on_a_uniprocessor() {
         TxOp::Compute(100),
     ])])];
     let r = run(cfg(1), programs);
-    assert_eq!(r.traffic.total_bytes(), 0, "single node: nothing crosses the mesh");
+    assert_eq!(
+        r.traffic.total_bytes(),
+        0,
+        "single node: nothing crosses the mesh"
+    );
 }
 
 #[test]
@@ -397,12 +426,20 @@ fn fig2f_owner_drop_with_inflight_fill_regression() {
         tx(vec![TxOp::Load(a(2, 0)), TxOp::Store(a(0, 0))]),
     ]);
     let p1 = ThreadProgram::new(vec![
-        tx(vec![TxOp::Store(a(2, 6)), TxOp::Store(a(0, 1)), TxOp::Compute(199)]),
+        tx(vec![
+            TxOp::Store(a(2, 6)),
+            TxOp::Store(a(0, 1)),
+            TxOp::Compute(199),
+        ]),
         tx(vec![TxOp::Load(a(2, 0)), TxOp::Load(a(2, 6))]),
     ]);
     let p2 = ThreadProgram::new(vec![
         tx(vec![TxOp::Load(a(0, 1)), TxOp::Store(a(2, 0))]),
-        tx(vec![TxOp::Store(a(2, 0)), TxOp::Load(a(0, 1)), TxOp::Store(a(1, 0))]),
+        tx(vec![
+            TxOp::Store(a(2, 0)),
+            TxOp::Load(a(0, 1)),
+            TxOp::Store(a(1, 0)),
+        ]),
     ]);
     let mut c = cfg(3);
     c.owner_flush_keeps_line = false;

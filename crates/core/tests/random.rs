@@ -6,9 +6,8 @@
 //! that survives the targeted tests in `protocol.rs` has to get past
 //! hundreds of randomized schedules here.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use tcc_core::{Simulator, SystemConfig, ThreadProgram, Transaction, TxOp, WorkItem};
+use tcc_types::rng::SmallRng;
 use tcc_types::Addr;
 
 /// Builds a random program mix over a small, hot address space so that
@@ -59,12 +58,18 @@ fn random_programs(spec: &WorkloadSpec, seed: u64) -> Vec<ThreadProgram> {
 fn run_checked(cfg: SystemConfig, programs: Vec<ThreadProgram>) {
     let expected: u64 = programs.iter().map(|p| p.transactions() as u64).sum();
     let r = Simulator::new(cfg, programs).run();
-    assert_eq!(r.commits, expected, "every transaction must eventually commit");
+    assert_eq!(
+        r.commits, expected,
+        "every transaction must eventually commit"
+    );
     r.assert_serializable();
 }
 
 fn checked_cfg(n: usize) -> SystemConfig {
-    SystemConfig { check_serializability: true, ..SystemConfig::with_procs(n) }
+    SystemConfig {
+        check_serializability: true,
+        ..SystemConfig::with_procs(n)
+    }
 }
 
 #[test]
@@ -271,11 +276,9 @@ fn read_only_and_write_only_extremes() {
 }
 
 // ---------------------------------------------------------------------
-// Proptest-driven machine fuzzing: unlike the seeded sweeps above,
-// these shrink failures to minimal programs.
+// Seeded machine fuzzing over tiny hot regions; failures print the
+// full (small) program so a repro can be pasted into a unit test.
 // ---------------------------------------------------------------------
-
-use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 enum POp {
@@ -284,19 +287,28 @@ enum POp {
     Compute(u32),
 }
 
-fn pop_strategy(n_lines: u64) -> impl Strategy<Value = POp> {
-    prop_oneof![
-        (0..n_lines, 0usize..8).prop_map(|(l, w)| POp::Load(l, w)),
-        (0..n_lines, 0usize..8).prop_map(|(l, w)| POp::Store(l, w)),
-        (1u32..300).prop_map(POp::Compute),
-    ]
+fn random_pop(rng: &mut SmallRng, n_lines: u64) -> POp {
+    match rng.gen_range(0u32..3) {
+        0 => POp::Load(rng.gen_range(0..n_lines), rng.gen_range(0usize..8)),
+        1 => POp::Store(rng.gen_range(0..n_lines), rng.gen_range(0usize..8)),
+        _ => POp::Compute(rng.gen_range(1u32..300)),
+    }
 }
 
-fn program_strategy(n_lines: u64) -> impl Strategy<Value = Vec<Vec<POp>>> {
-    proptest::collection::vec(
-        proptest::collection::vec(pop_strategy(n_lines), 1..8),
-        1..5,
-    )
+/// A random machine-wide program: `n_threads` threads of 1..5
+/// transactions of 1..8 ops each over a hot `n_lines`-line region.
+fn random_raw(rng: &mut SmallRng, n_threads: usize, n_lines: u64) -> Vec<Vec<Vec<POp>>> {
+    (0..n_threads)
+        .map(|_| {
+            (0..rng.gen_range(1usize..5))
+                .map(|_| {
+                    (0..rng.gen_range(1usize..8))
+                        .map(|_| random_pop(rng, n_lines))
+                        .collect()
+                })
+                .collect()
+        })
+        .collect()
 }
 
 fn to_programs(raw: &[Vec<Vec<POp>>]) -> Vec<ThreadProgram> {
@@ -321,28 +333,28 @@ fn to_programs(raw: &[Vec<Vec<POp>>]) -> Vec<ThreadProgram> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Any 3-processor program over a hot 4-line region completes with
-    /// every transaction committed and a serializable history.
-    #[test]
-    fn prop_small_machines_are_serializable(
-        raw in proptest::collection::vec(program_strategy(4), 3..=3)
-    ) {
+/// Any 3-processor program over a hot 4-line region completes with
+/// every transaction committed and a serializable history.
+#[test]
+fn prop_small_machines_are_serializable() {
+    let mut rng = SmallRng::seed_from_u64(0x9209_0001);
+    for _ in 0..48 {
+        let raw = random_raw(&mut rng, 3, 4);
         let programs = to_programs(&raw);
         let expected: u64 = programs.iter().map(|p| p.transactions() as u64).sum();
         let r = Simulator::new(checked_cfg(3), programs).run();
-        prop_assert_eq!(r.commits, expected);
-        prop_assert!(r.serializability.unwrap().is_ok());
+        assert_eq!(r.commits, expected, "program: {raw:?}");
+        assert!(r.serializability.unwrap().is_ok(), "program: {raw:?}");
     }
+}
 
-    /// Same property under the Fig. 2f owner-drop variant and a slower
-    /// network (wider race windows).
-    #[test]
-    fn prop_small_machines_fig2f_slow_network(
-        raw in proptest::collection::vec(program_strategy(3), 3..=3)
-    ) {
+/// Same property under the Fig. 2f owner-drop variant and a slower
+/// network (wider race windows).
+#[test]
+fn prop_small_machines_fig2f_slow_network() {
+    let mut rng = SmallRng::seed_from_u64(0x9209_0002);
+    for _ in 0..48 {
+        let raw = random_raw(&mut rng, 3, 3);
         let programs = to_programs(&raw);
         let expected: u64 = programs.iter().map(|p| p.transactions() as u64).sum();
         let mut cfg = checked_cfg(3);
@@ -350,22 +362,24 @@ proptest! {
         cfg.network.link_latency = 12;
         cfg.starvation_threshold = 2;
         let r = Simulator::new(cfg, programs).run();
-        prop_assert_eq!(r.commits, expected);
-        prop_assert!(r.serializability.unwrap().is_ok());
+        assert_eq!(r.commits, expected, "program: {raw:?}");
+        assert!(r.serializability.unwrap().is_ok(), "program: {raw:?}");
     }
+}
 
-    /// The baseline (serialized commit) is serializable on the same
-    /// random programs.
-    #[test]
-    fn prop_baseline_is_serializable(
-        raw in proptest::collection::vec(program_strategy(4), 2..=2)
-    ) {
-        use tcc_core::baseline::BaselineSimulator;
+/// The baseline (serialized commit) is serializable on the same
+/// random programs.
+#[test]
+fn prop_baseline_is_serializable() {
+    use tcc_core::baseline::BaselineSimulator;
+    let mut rng = SmallRng::seed_from_u64(0x9209_0003);
+    for _ in 0..48 {
+        let raw = random_raw(&mut rng, 2, 4);
         let programs = to_programs(&raw);
         let expected: u64 = programs.iter().map(|p| p.transactions() as u64).sum();
         let r = BaselineSimulator::new(checked_cfg(2), programs).run();
-        prop_assert_eq!(r.commits, expected);
-        prop_assert!(r.serializability.unwrap().is_ok());
+        assert_eq!(r.commits, expected, "program: {raw:?}");
+        assert!(r.serializability.unwrap().is_ok(), "program: {raw:?}");
     }
 }
 

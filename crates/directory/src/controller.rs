@@ -1,10 +1,9 @@
 //! The directory state machine.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
-use tcc_types::{
-    Cycle, DataSource, DirId, LineAddr, LineValues, NodeId, Payload, Tid, WordMask,
-};
+use tcc_trace::{TraceEvent, Tracer};
+use tcc_types::{Cycle, DataSource, DirId, LineAddr, LineValues, NodeId, Payload, Tid, WordMask};
 
 use crate::entry::{DirEntry, MarkInfo};
 use crate::skip_vector::SkipVector;
@@ -68,6 +67,8 @@ pub struct DirStats {
 struct AckWait {
     tid: Tid,
     acks_left: u32,
+    /// When the invalidations fanned out (ack-window length metric).
+    opened_at: Cycle,
     /// Lines whose sharers were invalidated: loads to them stall until
     /// every ack (and therefore every superseded owner's flush, which
     /// travels ahead of its ack on the same channel) has arrived —
@@ -99,6 +100,8 @@ struct PendingProbe {
     tid: Tid,
     requester: NodeId,
     for_write: bool,
+    /// When the probe arrived (defer-duration metric).
+    since: Cycle,
 }
 
 /// The directory controller for one node's memory slice.
@@ -110,11 +113,14 @@ struct PendingProbe {
 pub struct Directory {
     cfg: DirConfig,
     sv: SkipVector,
-    entries: HashMap<LineAddr, DirEntry>,
+    // BTreeMap, not HashMap: `do_commit` iterates this map to fan out
+    // invalidations, so iteration order feeds message injection order
+    // and hence network timing — it must be deterministic.
+    entries: BTreeMap<LineAddr, DirEntry>,
     pending_probes: Vec<PendingProbe>,
     /// Loads stalled against marked lines, FIFO: `(line, requester,
-    /// request id)`.
-    stalled_loads: Vec<(LineAddr, NodeId, u64)>,
+    /// request id, stalled since)`.
+    stalled_loads: Vec<(LineAddr, NodeId, u64, Cycle)>,
     /// Loads waiting for an owner flush, with the owner the outstanding
     /// `DataRequest` was sent to. If ownership moves before the flush
     /// lands, the request is re-targeted at the new owner.
@@ -125,6 +131,7 @@ pub struct Directory {
     ack_wait: Option<AckWait>,
     commit_span_start: Option<Cycle>,
     stats: DirStats,
+    tracer: Tracer,
 }
 
 impl Directory {
@@ -134,7 +141,7 @@ impl Directory {
         Directory {
             cfg,
             sv: SkipVector::new(),
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             pending_probes: Vec::new(),
             stalled_loads: Vec::new(),
             data_req_waiters: HashMap::new(),
@@ -143,7 +150,14 @@ impl Directory {
             ack_wait: None,
             commit_span_start: None,
             stats: DirStats::default(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches the shared tracing sink (observation-only; never feeds
+    /// back into protocol decisions).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// The Now Serving TID register.
@@ -194,8 +208,16 @@ impl Directory {
             self.cfg.id,
             self.data_req_waiters.len()
         );
-        assert!(self.pending_commit.is_none(), "{}: commit awaiting marks", self.cfg.id);
-        assert!(self.ack_wait.is_none(), "{}: commit awaiting inv acks", self.cfg.id);
+        assert!(
+            self.pending_commit.is_none(),
+            "{}: commit awaiting marks",
+            self.cfg.id
+        );
+        assert!(
+            self.ack_wait.is_none(),
+            "{}: commit awaiting inv acks",
+            self.cfg.id
+        );
         assert!(
             self.entries.values().all(|e| !e.is_marked()),
             "{}: marked lines left behind",
@@ -238,22 +260,56 @@ impl Directory {
     /// succeeding); loads to owned lines trigger a `DataRequest` to the
     /// owner; everything else is served from memory and records the
     /// requester as a sharer.
-    pub fn handle_load(&mut self, line: LineAddr, requester: NodeId, req: u64) -> Vec<DirAction> {
+    pub fn handle_load(
+        &mut self,
+        now: Cycle,
+        line: LineAddr,
+        requester: NodeId,
+        req: u64,
+    ) -> Vec<DirAction> {
         self.stats.loads += 1;
-        self.dispatch_load(line, requester, req)
+        self.dispatch_load(now, line, requester, req, None)
     }
 
     /// Load path without the statistics bump, shared with re-dispatch of
-    /// stalled loads.
-    fn dispatch_load(&mut self, line: LineAddr, requester: NodeId, req: u64) -> Vec<DirAction> {
+    /// stalled loads (`stalled_since` carries the original stall time so
+    /// a load that re-stalls keeps one contiguous stall interval).
+    fn dispatch_load(
+        &mut self,
+        now: Cycle,
+        line: LineAddr,
+        requester: NodeId,
+        req: u64,
+        stalled_since: Option<Cycle>,
+    ) -> Vec<DirAction> {
+        let dir = self.cfg.id;
         let commit_locked = self
             .ack_wait
             .as_ref()
             .is_some_and(|w| w.locked.contains(&line));
         if self.entry_mut(line).is_marked() || commit_locked {
-            self.stats.stalled_loads += 1;
-            self.stalled_loads.push((line, requester, req));
+            if stalled_since.is_none() {
+                self.stats.stalled_loads += 1;
+                self.tracer.count("dir.loads_stalled", 1);
+                self.tracer.record(now, || TraceEvent::LoadStallEnter {
+                    dir,
+                    line,
+                    requester,
+                });
+            }
+            self.stalled_loads
+                .push((line, requester, req, stalled_since.unwrap_or(now)));
             return Vec::new();
+        }
+        if let Some(since) = stalled_since {
+            let stalled_for = now.since(since);
+            self.tracer.observe("dir.load_stall", stalled_for);
+            self.tracer.record(now, || TraceEvent::LoadStallExit {
+                dir,
+                line,
+                requester,
+                stalled_for,
+            });
         }
         if let Some(w) = self.data_req_waiters.get_mut(&line) {
             // A DataRequest is already in flight; piggyback.
@@ -263,8 +319,13 @@ impl Directory {
         let entry = self.entry_mut(line);
         match entry.owner {
             Some(owner) if owner != requester => {
-                self.data_req_waiters
-                    .insert(line, Waiters { target: owner, queue: vec![(requester, req)] });
+                self.data_req_waiters.insert(
+                    line,
+                    Waiters {
+                        target: owner,
+                        queue: vec![(requester, req)],
+                    },
+                );
                 vec![DirAction::new(owner, Payload::DataRequest { line })]
             }
             _ => {
@@ -276,7 +337,12 @@ impl Directory {
                 let values = entry.memory.clone();
                 vec![DirAction::new(
                     requester,
-                    Payload::LoadReply { line, source: DataSource::Memory, values, req },
+                    Payload::LoadReply {
+                        line,
+                        source: DataSource::Memory,
+                        values,
+                        req,
+                    },
                 )]
             }
         }
@@ -293,10 +359,31 @@ impl Directory {
             !(tid == self.now_serving() && self.ack_wait.is_some()),
             "the transaction being committed cannot also skip"
         );
+        let before = self.now_serving();
         if self.sv.buffer_skip(tid) {
+            self.note_advance(now, before);
             self.post_advance(now)
         } else {
+            let dir = self.cfg.id;
+            if tid > before {
+                self.tracer
+                    .record(now, || TraceEvent::SkipBuffered { dir, tid });
+            }
             Vec::new()
+        }
+    }
+
+    /// Records an NSTID advance (observation only).
+    fn note_advance(&mut self, now: Cycle, before: Tid) {
+        let after = self.now_serving();
+        if after != before {
+            let dir = self.cfg.id;
+            self.tracer.count("dir.nstid_advances", 1);
+            self.tracer.record(now, || TraceEvent::NstidAdvance {
+                dir,
+                from: before,
+                to: after,
+            });
         }
     }
 
@@ -307,6 +394,7 @@ impl Directory {
     /// processor never needs to re-probe.
     pub fn handle_probe(
         &mut self,
+        now: Cycle,
         tid: Tid,
         requester: NodeId,
         for_write: bool,
@@ -325,7 +413,19 @@ impl Directory {
                 },
             )];
         }
-        self.pending_probes.push(PendingProbe { tid, requester, for_write });
+        let dir = self.cfg.id;
+        self.tracer.count("dir.probes_deferred", 1);
+        self.tracer.record(now, || TraceEvent::ProbeDeferred {
+            dir,
+            tid,
+            requester,
+        });
+        self.pending_probes.push(PendingProbe {
+            tid,
+            requester,
+            for_write,
+            since: now,
+        });
         Vec::new()
     }
 
@@ -354,7 +454,13 @@ impl Directory {
                 debug_assert_eq!(info.tid, tid, "line {line} marked by two TIDs");
                 info.words = info.words.union(words);
             }
-            None => entry.marked = Some(MarkInfo { tid, by: committer, words }),
+            None => {
+                entry.marked = Some(MarkInfo {
+                    tid,
+                    by: committer,
+                    words,
+                })
+            }
         }
         if let Some(pc) = self.pending_commit {
             if pc.tid == tid && self.marks_received >= pc.marks_expected {
@@ -387,7 +493,11 @@ impl Directory {
         self.commit_span_start.get_or_insert(now);
         if self.marks_received < marks {
             // Unordered network: the commit overtook some marks.
-            self.pending_commit = Some(PendingCommit { tid, committer, marks_expected: marks });
+            self.pending_commit = Some(PendingCommit {
+                tid,
+                committer,
+                marks_expected: marks,
+            });
             return Vec::new();
         }
         self.do_commit(now, tid, committer)
@@ -429,7 +539,12 @@ impl Directory {
                 }
                 actions.push(DirAction::new(
                     sharer,
-                    Payload::Invalidate { line, words: info.words, committer_tid: tid, dir },
+                    Payload::Invalidate {
+                        line,
+                        words: info.words,
+                        committer_tid: tid,
+                        dir,
+                    },
                 ));
                 acks += 1;
             }
@@ -438,7 +553,12 @@ impl Directory {
         if acks == 0 {
             actions.extend(self.finish_current(now));
         } else {
-            self.ack_wait = Some(AckWait { tid, acks_left: acks, locked });
+            self.ack_wait = Some(AckWait {
+                tid,
+                acks_left: acks,
+                opened_at: now,
+                locked,
+            });
         }
         actions
     }
@@ -461,8 +581,15 @@ impl Directory {
         from: NodeId,
         retained: bool,
     ) -> Vec<DirAction> {
-        let wait = self.ack_wait.as_mut().expect("inv ack with no commit in flight");
-        assert_eq!(wait.tid, tid, "inv ack for {tid} while committing {}", wait.tid);
+        let wait = self
+            .ack_wait
+            .as_mut()
+            .expect("inv ack with no commit in flight");
+        assert_eq!(
+            wait.tid, tid,
+            "inv ack for {tid} while committing {}",
+            wait.tid
+        );
         wait.acks_left -= 1;
         let done = wait.acks_left == 0;
         if !retained {
@@ -473,7 +600,13 @@ impl Directory {
             }
         }
         if done {
-            let locked = self.ack_wait.take().expect("checked above").locked;
+            let wait = self.ack_wait.take().expect("checked above");
+            let locked = wait.locked;
+            let dir = self.cfg.id;
+            let window = now.since(wait.opened_at);
+            self.tracer.observe("dir.inv_ack_window", window);
+            self.tracer
+                .record(now, || TraceEvent::AckWindowClose { dir, tid, window });
             let mut actions = self.finish_current(now);
             // The window is closed: serve any waiters that were held
             // back while flushes could still be in flight.
@@ -498,6 +631,9 @@ impl Directory {
         self.pending_probes.retain(|p| p.tid != tid);
         if tid > self.now_serving() {
             self.stats.skips += 1;
+            let dir = self.cfg.id;
+            self.tracer
+                .record(now, || TraceEvent::SkipBuffered { dir, tid });
             let advanced = self.sv.buffer_skip(tid);
             debug_assert!(!advanced);
             return Vec::new();
@@ -621,16 +757,27 @@ impl Directory {
     /// the NSTID through buffered skips, then releases deferred probes
     /// and stalled loads enabled by the new state.
     fn finish_current(&mut self, now: Cycle) -> Vec<DirAction> {
+        let served = self.now_serving();
         if let Some(start) = self.commit_span_start.take() {
-            self.stats.occupancy.push(now.since(start));
+            let span = now.since(start);
+            self.stats.occupancy.push(span);
+            let dir = self.cfg.id;
+            self.tracer.observe("dir.occupancy", span);
+            self.tracer.record(now, || TraceEvent::CommitComplete {
+                dir,
+                tid: served,
+                span,
+            });
         }
+        let before = self.now_serving();
         self.sv.complete_current();
+        self.note_advance(now, before);
         self.post_advance(now)
     }
 
     /// After any NSTID advance: answer newly-satisfied probes and
     /// re-dispatch loads stalled on no-longer-marked lines.
-    fn post_advance(&mut self, _now: Cycle) -> Vec<DirAction> {
+    fn post_advance(&mut self, now: Cycle) -> Vec<DirAction> {
         let nst = self.now_serving();
         let dir = self.cfg.id;
         let mut actions = Vec::new();
@@ -638,17 +785,30 @@ impl Directory {
         while i < self.pending_probes.len() {
             if self.pending_probes[i].tid <= nst {
                 let p = self.pending_probes.swap_remove(i);
+                let deferred_for = now.since(p.since);
+                self.tracer.observe("dir.probe_defer", deferred_for);
+                self.tracer.record(now, || TraceEvent::ProbeReleased {
+                    dir,
+                    tid: p.tid,
+                    requester: p.requester,
+                    deferred_for,
+                });
                 actions.push(DirAction::new(
                     p.requester,
-                    Payload::ProbeReply { dir, now_serving: nst, probe_tid: p.tid, for_write: p.for_write },
+                    Payload::ProbeReply {
+                        dir,
+                        now_serving: nst,
+                        probe_tid: p.tid,
+                        for_write: p.for_write,
+                    },
                 ));
             } else {
                 i += 1;
             }
         }
         let stalled = std::mem::take(&mut self.stalled_loads);
-        for (line, requester, req) in stalled {
-            actions.extend(self.dispatch_load(line, requester, req));
+        for (line, requester, req, since) in stalled {
+            actions.extend(self.dispatch_load(now, line, requester, req, Some(since)));
         }
         actions
     }
@@ -664,7 +824,10 @@ mod tests {
     const L: LineAddr = LineAddr(100);
 
     fn dir() -> Directory {
-        Directory::new(DirConfig { id: DirId(0), words_per_line: 8 })
+        Directory::new(DirConfig {
+            id: DirId(0),
+            words_per_line: 8,
+        })
     }
 
     fn vals_with(word: usize, tid: Tid) -> LineValues {
@@ -676,12 +839,15 @@ mod tests {
     #[test]
     fn load_from_memory_registers_sharer() {
         let mut d = dir();
-        let acts = d.handle_load(L, N1, 0);
+        let acts = d.handle_load(Cycle(0), L, N1, 0);
         assert_eq!(acts.len(), 1);
         assert_eq!(acts[0].to, N1);
         assert!(matches!(
             acts[0].payload,
-            Payload::LoadReply { source: DataSource::Memory, .. }
+            Payload::LoadReply {
+                source: DataSource::Memory,
+                ..
+            }
         ));
         assert!(d.entry(L).unwrap().sharers.contains(N1));
     }
@@ -691,13 +857,17 @@ mod tests {
     #[test]
     fn commit_flow_invalidates_other_sharers() {
         let mut d = dir();
-        d.handle_load(L, N1, 0);
-        d.handle_load(L, N2, 0);
+        d.handle_load(Cycle(0), L, N1, 0);
+        d.handle_load(Cycle(0), L, N2, 0);
         // N1 commits TID 0 with a write to word 3 of L.
-        let probe = d.handle_probe(Tid(0), N1, true);
+        let probe = d.handle_probe(Cycle(0), Tid(0), N1, true);
         assert!(matches!(
             probe[0].payload,
-            Payload::ProbeReply { now_serving: Tid(0), for_write: true, .. }
+            Payload::ProbeReply {
+                now_serving: Tid(0),
+                for_write: true,
+                ..
+            }
         ));
         d.handle_mark(Cycle(10), Tid(0), L, WordMask::single(3), N1);
         let acts = d.handle_commit(Cycle(20), Tid(0), N1, 1);
@@ -706,7 +876,10 @@ mod tests {
         assert_eq!(acts[0].to, N2);
         assert!(matches!(
             acts[0].payload,
-            Payload::Invalidate { committer_tid: Tid(0), .. }
+            Payload::Invalidate {
+                committer_tid: Tid(0),
+                ..
+            }
         ));
         // NSTID does not advance until the ack arrives (§3.3).
         assert_eq!(d.now_serving(), Tid(0));
@@ -727,9 +900,9 @@ mod tests {
     #[test]
     fn retained_ack_keeps_the_sharer_listed() {
         let mut d = dir();
-        d.handle_load(L, N1, 0);
-        d.handle_load(L, N2, 0);
-        d.handle_probe(Tid(0), N1, true);
+        d.handle_load(Cycle(0), L, N1, 0);
+        d.handle_load(Cycle(0), L, N2, 0);
+        d.handle_probe(Cycle(0), Tid(0), N1, true);
         d.handle_mark(Cycle(0), Tid(0), L, WordMask::single(3), N1);
         d.handle_commit(Cycle(0), Tid(0), N1, 1);
         // N2 still holds transactional state on the line: stays listed.
@@ -741,8 +914,8 @@ mod tests {
     #[test]
     fn commit_with_no_sharers_completes_immediately() {
         let mut d = dir();
-        d.handle_load(L, N1, 0);
-        d.handle_probe(Tid(0), N1, true);
+        d.handle_load(Cycle(0), L, N1, 0);
+        d.handle_probe(Cycle(0), Tid(0), N1, true);
         d.handle_mark(Cycle(0), Tid(0), L, WordMask::single(0), N1);
         let acts = d.handle_commit(Cycle(5), Tid(0), N1, 1);
         assert!(acts.is_empty());
@@ -752,17 +925,17 @@ mod tests {
     #[test]
     fn loads_to_owned_lines_are_forwarded_to_the_owner() {
         let mut d = dir();
-        d.handle_load(L, N1, 0);
-        d.handle_probe(Tid(0), N1, true);
+        d.handle_load(Cycle(0), L, N1, 0);
+        d.handle_probe(Cycle(0), Tid(0), N1, true);
         d.handle_mark(Cycle(0), Tid(0), L, WordMask::single(0), N1);
         d.handle_commit(Cycle(0), Tid(0), N1, 1);
         // N2 loads the owned line: DataRequest to N1, no reply yet.
-        let acts = d.handle_load(L, N2, 0);
+        let acts = d.handle_load(Cycle(0), L, N2, 0);
         assert_eq!(acts.len(), 1);
         assert_eq!(acts[0].to, N1);
         assert!(matches!(acts[0].payload, Payload::DataRequest { .. }));
         // A second load piggybacks on the outstanding request.
-        let acts = d.handle_load(L, N0, 0);
+        let acts = d.handle_load(Cycle(0), L, N0, 0);
         assert!(acts.is_empty());
         // The owner's flush serves both waiters with Owner-sourced data.
         let flushed = vals_with(0, Tid(0));
@@ -771,7 +944,10 @@ mod tests {
         for a in &acts {
             assert!(matches!(
                 a.payload,
-                Payload::LoadReply { source: DataSource::Owner, .. }
+                Payload::LoadReply {
+                    source: DataSource::Owner,
+                    ..
+                }
             ));
         }
         let e = d.entry(L).unwrap();
@@ -782,29 +958,39 @@ mod tests {
     #[test]
     fn loads_to_marked_lines_stall_until_commit() {
         let mut d = dir();
-        d.handle_load(L, N1, 0);
-        d.handle_probe(Tid(0), N1, true);
+        d.handle_load(Cycle(0), L, N1, 0);
+        d.handle_probe(Cycle(0), Tid(0), N1, true);
         d.handle_mark(Cycle(0), Tid(0), L, WordMask::single(0), N1);
-        assert!(d.handle_load(L, N2, 0).is_empty(), "load must stall on marked line");
+        assert!(
+            d.handle_load(Cycle(0), L, N2, 0).is_empty(),
+            "load must stall on marked line"
+        );
         assert_eq!(d.stats().stalled_loads, 1);
         // Commit completes; the stalled load re-dispatches and is
         // forwarded to the new owner.
         let acts = d.handle_commit(Cycle(0), Tid(0), N1, 1);
-        assert!(acts.iter().any(|a| {
-            a.to == N1 && matches!(a.payload, Payload::DataRequest { .. })
-        }));
+        assert!(acts
+            .iter()
+            .any(|a| { a.to == N1 && matches!(a.payload, Payload::DataRequest { .. }) }));
     }
 
     #[test]
     fn loads_stalled_on_aborted_marks_are_released() {
         let mut d = dir();
-        d.handle_probe(Tid(0), N1, true);
+        d.handle_probe(Cycle(0), Tid(0), N1, true);
         d.handle_mark(Cycle(0), Tid(0), L, WordMask::single(0), N1);
-        assert!(d.handle_load(L, N2, 0).is_empty());
+        assert!(d.handle_load(Cycle(0), L, N2, 0).is_empty());
         let acts = d.handle_abort(Cycle(1), Tid(0));
         // The line is unmarked and unowned: served from memory.
         assert!(acts.iter().any(|a| {
-            a.to == N2 && matches!(a.payload, Payload::LoadReply { source: DataSource::Memory, .. })
+            a.to == N2
+                && matches!(
+                    a.payload,
+                    Payload::LoadReply {
+                        source: DataSource::Memory,
+                        ..
+                    }
+                )
         }));
         assert_eq!(d.now_serving(), Tid(1));
         assert_eq!(d.stats().aborts, 1);
@@ -814,14 +1000,18 @@ mod tests {
     fn probes_defer_until_their_tid_is_served() {
         let mut d = dir();
         // TID 1 probes while TID 0 is outstanding: deferred.
-        assert!(d.handle_probe(Tid(1), N2, false).is_empty());
+        assert!(d.handle_probe(Cycle(0), Tid(1), N2, false).is_empty());
         // TID 0 skips; the deferred probe is released.
         let acts = d.handle_skip(Cycle(0), Tid(0));
         assert_eq!(acts.len(), 1);
         assert_eq!(acts[0].to, N2);
         assert!(matches!(
             acts[0].payload,
-            Payload::ProbeReply { now_serving: Tid(1), for_write: false, .. }
+            Payload::ProbeReply {
+                now_serving: Tid(1),
+                for_write: false,
+                ..
+            }
         ));
     }
 
@@ -839,8 +1029,8 @@ mod tests {
     #[test]
     fn commit_waits_for_overtaken_marks() {
         let mut d = dir();
-        d.handle_load(L, N1, 0);
-        d.handle_probe(Tid(0), N1, true);
+        d.handle_load(Cycle(0), L, N1, 0);
+        d.handle_probe(Cycle(0), Tid(0), N1, true);
         // Commit arrives expecting 2 marks; only then do the marks land.
         assert!(d.handle_commit(Cycle(0), Tid(0), N1, 2).is_empty());
         assert_eq!(d.now_serving(), Tid(0), "must not commit before marks");
@@ -855,7 +1045,7 @@ mod tests {
     #[test]
     fn abort_for_future_tid_acts_as_skip() {
         let mut d = dir();
-        assert!(d.handle_probe(Tid(1), N1, true).is_empty());
+        assert!(d.handle_probe(Cycle(0), Tid(1), N1, true).is_empty());
         d.handle_abort(Cycle(0), Tid(1));
         // TID 0 completes; NSTID jumps over the aborted TID 1 and the
         // dead probe is not answered.
@@ -878,13 +1068,13 @@ mod tests {
     fn stale_writebacks_are_dropped_by_tid_tag() {
         let mut d = dir();
         // N1 commits TID 0, then N2 commits TID 1 to the same line.
-        d.handle_probe(Tid(0), N1, true);
+        d.handle_probe(Cycle(0), Tid(0), N1, true);
         d.handle_mark(Cycle(0), Tid(0), L, WordMask::single(0), N1);
         d.handle_commit(Cycle(0), Tid(0), N1, 1);
         // N1 flushes so N2 can fetch, then N2 commits.
         d.handle_writeback(L, Tid(0), vals_with(0, Tid(0)), WordMask::ALL, N1, true);
-        d.handle_load(L, N2, 0);
-        d.handle_probe(Tid(1), N2, true);
+        d.handle_load(Cycle(0), L, N2, 0);
+        d.handle_probe(Cycle(0), Tid(1), N2, true);
         d.handle_mark(Cycle(1), Tid(1), L, WordMask::single(0), N2);
         let acts = d.handle_commit(Cycle(1), Tid(1), N2, 1);
         // Invalidation goes to N1; ack it so the NSTID advances.
@@ -895,7 +1085,11 @@ mod tests {
         let stale = vals_with(0, Tid(0));
         d.handle_writeback(L, Tid(0), stale, WordMask::single(0), N1, false);
         assert_eq!(d.stats().writebacks_dropped, 1);
-        assert_eq!(d.entry(L).unwrap().owner, Some(N2), "stale WB must not clear owner");
+        assert_eq!(
+            d.entry(L).unwrap().owner,
+            Some(N2),
+            "stale WB must not clear owner"
+        );
         // N2's own write-back (TID 1) is accepted and releases ownership.
         d.handle_writeback(L, Tid(1), vals_with(0, Tid(1)), WordMask::ALL, N2, false);
         assert_eq!(d.entry(L).unwrap().owner, None);
@@ -908,7 +1102,11 @@ mod tests {
         d.handle_writeback(L, Tid(0), wide, WordMask::ALL, N1, false);
         let e = d.entry(L).unwrap();
         assert_eq!(e.memory.words[3], Some(Tid(0)), "non-shadowed word merges");
-        assert_eq!(e.memory.words[0], Some(Tid(1)), "newer commit's word is protected");
+        assert_eq!(
+            e.memory.words[0],
+            Some(Tid(1)),
+            "newer commit's word is protected"
+        );
     }
 
     #[test]
@@ -917,8 +1115,8 @@ mod tests {
         // commit concurrently. This dir only sees TID 0's commit and
         // TID 1's skip.
         let mut d = dir();
-        d.handle_load(L, N1, 0);
-        d.handle_probe(Tid(0), N1, true);
+        d.handle_load(Cycle(0), L, N1, 0);
+        d.handle_probe(Cycle(0), Tid(0), N1, true);
         d.handle_skip(Cycle(0), Tid(1)); // TID 1 writes elsewhere
         d.handle_mark(Cycle(0), Tid(0), L, WordMask::single(0), N1);
         d.handle_commit(Cycle(0), Tid(0), N1, 1);
@@ -932,20 +1130,30 @@ mod tests {
         // directory, which T1 (TID 0, at N1) commits. T2's read-probe
         // defers; T1's commit invalidates T2, which aborts.
         let mut d = dir();
-        d.handle_load(L, N1, 0);
-        d.handle_load(L, N2, 0);
-        assert!(d.handle_probe(Tid(1), N2, false).is_empty(), "T2 defers behind T1");
-        d.handle_probe(Tid(0), N1, true);
+        d.handle_load(Cycle(0), L, N1, 0);
+        d.handle_load(Cycle(0), L, N2, 0);
+        assert!(
+            d.handle_probe(Cycle(0), Tid(1), N2, false).is_empty(),
+            "T2 defers behind T1"
+        );
+        d.handle_probe(Cycle(0), Tid(0), N1, true);
         d.handle_mark(Cycle(0), Tid(0), L, WordMask::single(0), N1);
         let acts = d.handle_commit(Cycle(0), Tid(0), N1, 1);
         // Invalidation to N2 — its read-set conflicts, so it will abort.
-        assert!(acts.iter().any(|a| a.to == N2
-            && matches!(a.payload, Payload::Invalidate { .. })));
+        assert!(acts
+            .iter()
+            .any(|a| a.to == N2 && matches!(a.payload, Payload::Invalidate { .. })));
         let acts = d.handle_inv_ack(Cycle(1), Tid(0), L, N2, false);
         // The deferred probe now answers with NSTID 1 == T2's TID; but
         // T2 aborted, so an Abort(1) follows and advances the NSTID.
         assert!(acts.iter().any(|a| a.to == N2
-            && matches!(a.payload, Payload::ProbeReply { now_serving: Tid(1), .. })));
+            && matches!(
+                a.payload,
+                Payload::ProbeReply {
+                    now_serving: Tid(1),
+                    ..
+                }
+            )));
         d.handle_abort(Cycle(2), Tid(1));
         assert_eq!(d.now_serving(), Tid(2));
     }
@@ -960,9 +1168,9 @@ mod tests {
     #[test]
     fn working_set_counts_only_remote_sharers() {
         let mut d = dir();
-        d.handle_load(LineAddr(1), N0, 0); // home node itself
-        d.handle_load(LineAddr(2), N1, 0);
-        d.handle_load(LineAddr(3), N2, 0);
+        d.handle_load(Cycle(0), LineAddr(1), N0, 0); // home node itself
+        d.handle_load(Cycle(0), LineAddr(2), N1, 0);
+        d.handle_load(Cycle(0), LineAddr(3), N2, 0);
         assert_eq!(d.working_set_entries(), 2);
     }
 

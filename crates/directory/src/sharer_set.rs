@@ -139,7 +139,10 @@ mod tests {
     #[test]
     fn iter_ascends() {
         let s: SharerSet = [NodeId(9), NodeId(2), NodeId(40)].into_iter().collect();
-        assert_eq!(s.iter().collect::<Vec<_>>(), vec![NodeId(2), NodeId(9), NodeId(40)]);
+        assert_eq!(
+            s.iter().collect::<Vec<_>>(),
+            vec![NodeId(2), NodeId(9), NodeId(40)]
+        );
     }
 
     #[test]

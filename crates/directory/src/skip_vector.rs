@@ -154,7 +154,7 @@ impl SkipVector {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use tcc_types::rng::SmallRng;
 
     #[test]
     fn serves_in_order_from_zero() {
@@ -239,31 +239,36 @@ mod tests {
         assert_eq!(sv.now_serving(), Tid(131));
     }
 
-    proptest! {
-        /// Feeding a random permutation of skips for TIDs 0..n always
-        /// ends with the NSTID at exactly n, regardless of arrival
-        /// order — the gap-free guarantee.
-        #[test]
-        fn prop_any_arrival_order_reaches_n(n in 1u64..300, seed in 0u64..1000) {
+    /// Feeding a random permutation of skips for TIDs 0..n always
+    /// ends with the NSTID at exactly n, regardless of arrival
+    /// order — the gap-free guarantee.
+    #[test]
+    fn prop_any_arrival_order_reaches_n() {
+        let mut rng = SmallRng::seed_from_u64(0x5717_0001);
+        for _ in 0..256 {
+            let n = rng.gen_range(1u64..300);
             let mut order: Vec<u64> = (0..n).collect();
-            // Deterministic pseudo-shuffle.
-            let mut s = seed.wrapping_mul(0x9e37_79b9).wrapping_add(1);
             for i in (1..order.len()).rev() {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-                order.swap(i, (s >> 33) as usize % (i + 1));
+                let j = rng.gen_range(0usize..=i);
+                order.swap(i, j);
             }
             let mut sv = SkipVector::new();
             for t in order {
                 sv.buffer_skip(Tid(t));
             }
-            prop_assert_eq!(sv.now_serving(), Tid(n));
-            prop_assert_eq!(sv.buffered(), 0);
+            assert_eq!(sv.now_serving(), Tid(n));
+            assert_eq!(sv.buffered(), 0);
         }
+    }
 
-        /// The NSTID never moves backwards and never jumps past a TID
-        /// that has not completed.
-        #[test]
-        fn prop_monotone_and_gapless(skips in proptest::collection::vec(0u64..64, 1..64)) {
+    /// The NSTID never moves backwards and never jumps past a TID
+    /// that has not completed.
+    #[test]
+    fn prop_monotone_and_gapless() {
+        let mut rng = SmallRng::seed_from_u64(0x5717_0002);
+        for _ in 0..256 {
+            let len = rng.gen_range(1usize..64);
+            let skips: Vec<u64> = (0..len).map(|_| rng.gen_range(0u64..64)).collect();
             let mut sv = SkipVector::new();
             let mut completed = std::collections::HashSet::new();
             for t in skips {
@@ -274,10 +279,10 @@ mod tests {
                 sv.buffer_skip(Tid(t));
                 completed.insert(t);
                 let after = sv.now_serving();
-                prop_assert!(after >= before);
+                assert!(after >= before);
                 // Every TID strictly below the NSTID must have completed.
                 for u in 0..after.0 {
-                    prop_assert!(completed.contains(&u), "TID {u} overtaken");
+                    assert!(completed.contains(&u), "TID {u} overtaken");
                 }
             }
         }

@@ -35,6 +35,7 @@ mod stats;
 pub use mesh::{Mesh2D, NetworkConfig};
 pub use stats::TrafficStats;
 
+use tcc_trace::{TraceEvent, Tracer};
 use tcc_types::{Cycle, Message, NodeId};
 
 /// The interconnect facade: routes [`Message`]s over a [`Mesh2D`] and
@@ -44,6 +45,7 @@ pub struct Network {
     mesh: Mesh2D,
     stats: TrafficStats,
     line_bytes: u32,
+    tracer: Tracer,
 }
 
 impl Network {
@@ -55,7 +57,27 @@ impl Network {
             mesh: Mesh2D::new(n_nodes, config),
             stats: TrafficStats::new(n_nodes),
             line_bytes,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches the shared tracing sink (observation-only: tracing does
+    /// not alter timing or routing).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Records one message injection in the trace (all sends funnel
+    /// through here).
+    fn trace_send(&self, now: Cycle, msg: &Message, size: u32) {
+        self.tracer.count("net.messages", 1);
+        self.tracer.count("net.bytes", u64::from(size));
+        self.tracer.record(now, || TraceEvent::MsgSend {
+            kind: msg.payload.kind_name(),
+            src: msg.src,
+            dst: msg.dst,
+            bytes: u64::from(size),
+        });
     }
 
     /// Times `msg` from its source to its destination starting at `now`,
@@ -63,8 +85,10 @@ impl Network {
     /// delivery time.
     pub fn send(&mut self, now: Cycle, msg: &Message) -> Cycle {
         let size = msg.size_bytes(self.line_bytes);
+        self.trace_send(now, msg, size);
         if msg.src != msg.dst {
-            self.stats.record(msg.src, msg.dst, msg.payload.category(), size);
+            self.stats
+                .record(msg.src, msg.dst, msg.payload.category(), size);
             self.stats.record_kind(msg.payload.kind_name());
         }
         self.mesh.send(now, msg.src, msg.dst, size)
@@ -79,10 +103,12 @@ impl Network {
     /// delivered (the receive-side view Figure 9 reports).
     pub fn send_multicast(&mut self, now: Cycle, msg: &Message) -> Cycle {
         let size = msg.size_bytes(self.line_bytes);
+        self.trace_send(now, msg, size);
         if msg.src == msg.dst {
             return self.mesh.send(now, msg.src, msg.dst, size);
         }
-        self.stats.record(msg.src, msg.dst, msg.payload.category(), size);
+        self.stats
+            .record(msg.src, msg.dst, msg.payload.category(), size);
         self.stats.record_kind(msg.payload.kind_name());
         let hops = self.mesh.hops(msg.src, msg.dst);
         now + self.mesh.uncontended_latency(hops, size)
@@ -119,10 +145,7 @@ mod tests {
         let local = Message::new(NodeId(1), NodeId(1), Payload::Skip { tid: Tid(0) });
         net.send(Cycle(0), &remote);
         net.send(Cycle(0), &local);
-        assert_eq!(
-            net.stats().total_bytes(),
-            u64::from(remote.size_bytes(32))
-        );
+        assert_eq!(net.stats().total_bytes(), u64::from(remote.size_bytes(32)));
         assert_eq!(
             net.stats().bytes_in_category(TrafficCategory::Commit),
             u64::from(remote.size_bytes(32))

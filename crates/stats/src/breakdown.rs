@@ -97,7 +97,13 @@ mod tests {
     use super::*;
 
     fn b(useful: u64, miss: u64, commit: u64, violation: u64, idle: u64) -> Breakdown {
-        Breakdown { useful, cache_miss: miss, commit, violation, idle }
+        Breakdown {
+            useful,
+            cache_miss: miss,
+            commit,
+            violation,
+            idle,
+        }
     }
 
     #[test]

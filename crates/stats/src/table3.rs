@@ -35,8 +35,16 @@ impl Table3Row {
         let sizes: Vec<u64> = r.tx_chars.iter().map(|t| t.instructions).collect();
         let wsets: Vec<u64> = r.tx_chars.iter().map(|t| t.write_set_bytes).collect();
         let rsets: Vec<u64> = r.tx_chars.iter().map(|t| t.read_set_bytes).collect();
-        let opw: Vec<f64> = r.tx_chars.iter().map(|t| t.ops_per_word_written()).collect();
-        let dirs: Vec<u64> = r.tx_chars.iter().map(|t| u64::from(t.dirs_touched)).collect();
+        let opw: Vec<f64> = r
+            .tx_chars
+            .iter()
+            .map(|t| t.ops_per_word_written())
+            .collect();
+        let dirs: Vec<u64> = r
+            .tx_chars
+            .iter()
+            .map(|t| u64::from(t.dirs_touched))
+            .collect();
         let ws: Vec<u64> = r.dir_working_set.iter().map(|&x| x as u64).collect();
         Table3Row {
             name: name.to_string(),

@@ -43,7 +43,11 @@ impl TrafficReport {
         let bytes_per_dir_total = total * instr_per_dir;
         let seconds = cycles / 2.0e9;
         let total_mbps_at_2ghz = bytes_per_dir_total / seconds / 1.0e6;
-        TrafficReport { per_category, total, total_mbps_at_2ghz }
+        TrafficReport {
+            per_category,
+            total,
+            total_mbps_at_2ghz,
+        }
     }
 }
 
@@ -83,7 +87,11 @@ mod tests {
     fn uniprocessor_traffic_is_zero() {
         let cfg = SystemConfig::with_procs(1);
         let programs = vec![ThreadProgram::new(vec![WorkItem::Tx(Transaction::new(
-            vec![TxOp::Load(Addr(0)), TxOp::Store(Addr(64)), TxOp::Compute(50)],
+            vec![
+                TxOp::Load(Addr(0)),
+                TxOp::Store(Addr(64)),
+                TxOp::Compute(50),
+            ],
         ))])];
         let r = Simulator::new(cfg, programs).run();
         let t = TrafficReport::from_result(&r);

@@ -1,0 +1,137 @@
+//! Typed protocol events.
+//!
+//! Every observable protocol transition the simulator can report is a
+//! variant here, carrying cycle-accurate attribution: which node or
+//! directory it happened at, which TID it concerns, and — for the
+//! paired enter/exit style events — how long the interval lasted.
+//! Duration-carrying variants record the *exit* edge; the matching
+//! enter edge is `at - duration`, so a ring-buffer overflow can never
+//! split an interval.
+
+use tcc_types::{Cycle, DirId, LineAddr, NodeId, Tid};
+
+/// Why a transaction was violated (rolled back).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ViolationCause {
+    /// A committer's invalidation hit a word this transaction had read.
+    Conflict,
+    /// The speculative read/write set overflowed the cache hierarchy.
+    Overflow,
+}
+
+impl ViolationCause {
+    pub fn name(self) -> &'static str {
+        match self {
+            ViolationCause::Conflict => "conflict",
+            ViolationCause::Overflow => "overflow",
+        }
+    }
+}
+
+/// One structured protocol event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A processor entered commit and asked the vendor for a TID.
+    TidRequest { node: NodeId },
+    /// The gap-free TID arrived; `waited` cycles since the request.
+    TidAcquire { node: NodeId, tid: Tid, waited: u64 },
+    /// A message entered the interconnect (multicast copies report one
+    /// event per destination).
+    MsgSend {
+        kind: &'static str,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+    },
+    /// A directory's Now-Serving-TID register advanced.
+    NstidAdvance { dir: DirId, from: Tid, to: Tid },
+    /// A Skip landed in the directory's skip vector without advancing
+    /// the NSTID (out-of-order arrival).
+    SkipBuffered { dir: DirId, tid: Tid },
+    /// A Probe arrived ahead of the NSTID and was queued.
+    ProbeDeferred {
+        dir: DirId,
+        tid: Tid,
+        requester: NodeId,
+    },
+    /// A deferred Probe was answered once the NSTID caught up.
+    ProbeReleased {
+        dir: DirId,
+        tid: Tid,
+        requester: NodeId,
+        deferred_for: u64,
+    },
+    /// A load stalled at the directory behind a marked / commit-locked
+    /// line.
+    LoadStallEnter {
+        dir: DirId,
+        line: LineAddr,
+        requester: NodeId,
+    },
+    /// The stalled load was re-dispatched.
+    LoadStallExit {
+        dir: DirId,
+        line: LineAddr,
+        requester: NodeId,
+        stalled_for: u64,
+    },
+    /// A processor finished a miss stall (enter edge is `at - stalled_for`).
+    MissStallExit {
+        node: NodeId,
+        line: LineAddr,
+        stalled_for: u64,
+    },
+    /// Commit phase 1: Skip multicast + Probes fanned out.
+    CommitAnnounce {
+        node: NodeId,
+        tid: Tid,
+        probes: u32,
+        skips: u32,
+    },
+    /// Commit phase 2: Marks sent, Commit multicast issued. `latency`
+    /// is the full TID-acquire → Commit-multicast span.
+    CommitMulticast {
+        node: NodeId,
+        tid: Tid,
+        marks: u32,
+        latency: u64,
+    },
+    /// A directory finished serving a committing TID (its commit span
+    /// at that directory lasted `span` cycles).
+    CommitComplete { dir: DirId, tid: Tid, span: u64 },
+    /// The last invalidation ack for a commit arrived; the window ran
+    /// `window` cycles from the invalidation fan-out.
+    AckWindowClose { dir: DirId, tid: Tid, window: u64 },
+    /// A transaction rolled back.
+    Violation { node: NodeId, cause: ViolationCause },
+}
+
+impl TraceEvent {
+    /// Stable, machine-readable variant name.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::TidRequest { .. } => "tid_request",
+            TraceEvent::TidAcquire { .. } => "tid_acquire",
+            TraceEvent::MsgSend { .. } => "msg_send",
+            TraceEvent::NstidAdvance { .. } => "nstid_advance",
+            TraceEvent::SkipBuffered { .. } => "skip_buffered",
+            TraceEvent::ProbeDeferred { .. } => "probe_deferred",
+            TraceEvent::ProbeReleased { .. } => "probe_released",
+            TraceEvent::LoadStallEnter { .. } => "load_stall_enter",
+            TraceEvent::LoadStallExit { .. } => "load_stall_exit",
+            TraceEvent::MissStallExit { .. } => "miss_stall_exit",
+            TraceEvent::CommitAnnounce { .. } => "commit_announce",
+            TraceEvent::CommitMulticast { .. } => "commit_multicast",
+            TraceEvent::CommitComplete { .. } => "commit_complete",
+            TraceEvent::AckWindowClose { .. } => "ack_window_close",
+            TraceEvent::Violation { .. } => "violation",
+        }
+    }
+}
+
+/// A timestamped event as stored in the ring buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    pub at: Cycle,
+    pub event: TraceEvent,
+}

@@ -1,0 +1,221 @@
+//! Counter and histogram registry.
+//!
+//! Metrics are identified by static string names (e.g.
+//! `"commit.latency"`); histograms use power-of-two buckets, which is
+//! plenty of resolution for latency distributions spanning 1..10^6
+//! cycles and keeps recording allocation-free after the first touch.
+
+use std::collections::BTreeMap;
+
+/// Number of log2 buckets: bucket `i` holds values whose bit length is
+/// `i` (bucket 0 holds the value 0), so bucket i spans [2^(i-1), 2^i).
+pub const BUCKETS: usize = 65;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: Vec<u64>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: vec![0; BUCKETS],
+        }
+    }
+}
+
+impl Histogram {
+    #[inline]
+    fn bucket_of(v: u64) -> usize {
+        (64 - v.leading_zeros()) as usize
+    }
+
+    /// Inclusive upper bound of a bucket.
+    fn bucket_upper(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else if i >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    pub fn record(&mut self, v: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[Self::bucket_of(v)] += 1;
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate percentile (`p` in 0..=100): the upper bound of the
+    /// first bucket at which the cumulative count reaches `p`% — exact
+    /// to within the bucket's power-of-two resolution.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (p / 100.0 * self.count as f64).ceil().max(1.0) as u64;
+        let mut cum = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= target {
+                return Self::bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Non-empty buckets as `(inclusive_upper_bound, count)` pairs.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (Self::bucket_upper(i).min(self.max), n))
+            .collect()
+    }
+}
+
+/// Registry of named counters and histograms.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl MetricsRegistry {
+    pub fn inc(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+
+    pub fn observe(&mut self, name: &'static str, value: u64) {
+        self.histograms.entry(name).or_default().record(value);
+    }
+
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(&k, &v)| (k.to_string(), v))
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(&k, h)| (k.to_string(), h.clone()))
+                .collect(),
+        }
+    }
+}
+
+/// Owned, name-sorted copy of the registry for inclusion in results.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsSnapshot {
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_tracks_moments_and_buckets() {
+        let mut h = Histogram::default();
+        for v in [0u64, 1, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1106);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 1000);
+        assert!((h.mean() - 1106.0 / 6.0).abs() < 1e-9);
+        // 0 -> bucket 0; 1 -> b1; 2,3 -> b2; 100 -> b7; 1000 -> b10.
+        assert_eq!(
+            h.nonzero_buckets(),
+            vec![(0, 1), (1, 1), (3, 2), (127, 1), (1000, 1)]
+        );
+    }
+
+    #[test]
+    fn percentiles_are_bucket_bounded() {
+        let mut h = Histogram::default();
+        for _ in 0..99 {
+            h.record(10);
+        }
+        h.record(100_000);
+        assert_eq!(h.percentile(50.0), 15); // 10 lands in [8,15]
+        assert_eq!(h.percentile(100.0), 100_000);
+        let empty = Histogram::default();
+        assert_eq!(empty.percentile(99.0), 0);
+        assert_eq!(empty.min(), 0);
+    }
+
+    #[test]
+    fn registry_counts_and_snapshots() {
+        let mut m = MetricsRegistry::default();
+        m.inc("violations.conflict", 2);
+        m.inc("violations.conflict", 1);
+        m.observe("commit.latency", 40);
+        let snap = m.snapshot();
+        assert_eq!(snap.counter("violations.conflict"), 3);
+        assert_eq!(snap.counter("missing"), 0);
+        assert_eq!(snap.histogram("commit.latency").unwrap().count(), 1);
+    }
+}

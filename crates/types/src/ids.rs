@@ -193,6 +193,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(debug_assertions)]
     #[should_panic(expected = "negative cycle interval")]
     fn cycle_sub_underflow_panics_in_debug() {
         let _ = Cycle(1) - Cycle(2);

@@ -30,6 +30,7 @@
 pub mod addr;
 pub mod ids;
 pub mod msg;
+pub mod rng;
 
 pub use addr::{Addr, LineAddr, LineGeometry, WordMask};
 pub use ids::{Cycle, DirId, NodeId, Tid};

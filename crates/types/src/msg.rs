@@ -100,7 +100,9 @@ impl LineValues {
     /// A line of `n` never-written words.
     #[must_use]
     pub fn fresh(n: usize) -> LineValues {
-        LineValues { words: vec![None; n] }
+        LineValues {
+            words: vec![None; n],
+        }
     }
 
     /// Overwrites the words selected by `mask` with writer `tid`.
@@ -356,8 +358,7 @@ impl Payload {
                 HEADER_BYTES
             }
             Payload::BaselineCommit { writes, .. } => {
-                HEADER_BYTES
-                    + writes.len() as u32 * (ADDR_BYTES + MASK_BYTES + line_bytes)
+                HEADER_BYTES + writes.len() as u32 * (ADDR_BYTES + MASK_BYTES + line_bytes)
             }
             Payload::BaselineAck { .. } => HEADER_BYTES,
         }
@@ -367,9 +368,7 @@ impl Payload {
     #[must_use]
     pub fn category(&self) -> TrafficCategory {
         match self {
-            Payload::LoadRequest { .. } | Payload::DataRequest { .. } => {
-                TrafficCategory::Overhead
-            }
+            Payload::LoadRequest { .. } | Payload::DataRequest { .. } => TrafficCategory::Overhead,
             Payload::LoadReply { source, .. } => match source {
                 DataSource::Memory => TrafficCategory::Miss,
                 DataSource::Owner => TrafficCategory::Shared,
@@ -454,19 +453,66 @@ mod tests {
         let line = LineAddr(4);
         let vals = LineValues::fresh(8);
         vec![
-            Payload::LoadRequest { line, requester: NodeId(1), req: 0 },
-            Payload::LoadReply { line, source: DataSource::Memory, values: vals.clone(), req: 0 },
-            Payload::LoadReply { line, source: DataSource::Owner, values: vals.clone(), req: 0 },
-            Payload::TidRequest { requester: NodeId(1) },
+            Payload::LoadRequest {
+                line,
+                requester: NodeId(1),
+                req: 0,
+            },
+            Payload::LoadReply {
+                line,
+                source: DataSource::Memory,
+                values: vals.clone(),
+                req: 0,
+            },
+            Payload::LoadReply {
+                line,
+                source: DataSource::Owner,
+                values: vals.clone(),
+                req: 0,
+            },
+            Payload::TidRequest {
+                requester: NodeId(1),
+            },
             Payload::TidReply { tid: Tid(9) },
             Payload::Skip { tid: Tid(9) },
-            Payload::Probe { tid: Tid(9), requester: NodeId(1), for_write: true },
-            Payload::ProbeReply { dir: DirId(0), now_serving: Tid(9), probe_tid: Tid(9), for_write: true },
-            Payload::Mark { tid: Tid(9), line, words: WordMask::single(1), committer: NodeId(1) },
-            Payload::Commit { tid: Tid(9), committer: NodeId(1), marks: 1 },
+            Payload::Probe {
+                tid: Tid(9),
+                requester: NodeId(1),
+                for_write: true,
+            },
+            Payload::ProbeReply {
+                dir: DirId(0),
+                now_serving: Tid(9),
+                probe_tid: Tid(9),
+                for_write: true,
+            },
+            Payload::Mark {
+                tid: Tid(9),
+                line,
+                words: WordMask::single(1),
+                committer: NodeId(1),
+            },
+            Payload::Commit {
+                tid: Tid(9),
+                committer: NodeId(1),
+                marks: 1,
+            },
             Payload::Abort { tid: Tid(9) },
-            Payload::WriteBack { line, tid: Tid(9), values: vals.clone(), valid: WordMask::ALL, writer: NodeId(1) },
-            Payload::Flush { line, tid: Tid(9), values: vals, valid: WordMask::ALL, writer: NodeId(1), dropped: false },
+            Payload::WriteBack {
+                line,
+                tid: Tid(9),
+                values: vals.clone(),
+                valid: WordMask::ALL,
+                writer: NodeId(1),
+            },
+            Payload::Flush {
+                line,
+                tid: Tid(9),
+                values: vals,
+                valid: WordMask::ALL,
+                writer: NodeId(1),
+                dropped: false,
+            },
             Payload::DataRequest { line },
             Payload::Invalidate {
                 line,
@@ -474,7 +520,12 @@ mod tests {
                 committer_tid: Tid(9),
                 dir: DirId(0),
             },
-            Payload::InvAck { tid: Tid(9), line, from: NodeId(1), retained: false },
+            Payload::InvAck {
+                tid: Tid(9),
+                line,
+                from: NodeId(1),
+                retained: false,
+            },
         ]
     }
 
@@ -529,7 +580,13 @@ mod tests {
             WriteBack
         );
         assert_eq!(
-            Payload::InvAck { tid: Tid(0), line: LineAddr(0), from: NodeId(0), retained: false }.category(),
+            Payload::InvAck {
+                tid: Tid(0),
+                line: LineAddr(0),
+                from: NodeId(0),
+                retained: false
+            }
+            .category(),
             Overhead
         );
     }

@@ -2,11 +2,21 @@ use tcc_core::{Simulator, SystemConfig};
 use tcc_workloads::apps;
 
 fn main() {
-    for (label, swf, sf) in [("asis", -1.0, -1.0), ("no-wr-share", 0.0, -1.0), ("no-share", 0.0, 0.0)] {
+    for (label, swf, sf) in [
+        ("asis", -1.0, -1.0),
+        ("no-wr-share", 0.0, -1.0),
+        ("no-share", 0.0, 0.0),
+    ] {
         let mut app = apps::volrend();
-        if swf >= 0.0 { app.shared_write_frac = swf; }
-        if sf >= 0.0 { app.shared_frac = sf; }
-        let base = Simulator::new(SystemConfig::with_procs(1), app.generate(1, 7)).run().total_cycles;
+        if swf >= 0.0 {
+            app.shared_write_frac = swf;
+        }
+        if sf >= 0.0 {
+            app.shared_frac = sf;
+        }
+        let base = Simulator::new(SystemConfig::with_procs(1), app.generate(1, 7))
+            .run()
+            .total_cycles;
         for n in [32usize, 64] {
             let r = Simulator::new(SystemConfig::with_procs(n), app.generate(n, 7)).run();
             let agg = r.aggregate();

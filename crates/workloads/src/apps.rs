@@ -295,7 +295,9 @@ pub fn all() -> Vec<AppProfile> {
 /// Looks an application up by its Table 3 name (case-insensitive).
 #[must_use]
 pub fn by_name(name: &str) -> Option<AppProfile> {
-    all().into_iter().find(|a| a.name.eq_ignore_ascii_case(name))
+    all()
+        .into_iter()
+        .find(|a| a.name.eq_ignore_ascii_case(name))
 }
 
 #[cfg(test)]
@@ -352,7 +354,11 @@ mod tests {
             let read_kb = f64::from(a.reads) / 8.0 * 32.0 / 1024.0;
             let write_kb = f64::from(a.writes) / 8.0 * 32.0 / 1024.0;
             assert!(read_kb < 16.0, "{} read set {read_kb} KB too big", a.name);
-            assert!(write_kb <= 8.0, "{} write set {write_kb} KB too big", a.name);
+            assert!(
+                write_kb <= 8.0,
+                "{} write set {write_kb} KB too big",
+                a.name
+            );
         }
     }
 

@@ -44,12 +44,8 @@ pub fn contended_counter(n_procs: usize, txs: usize) -> Vec<ThreadProgram> {
 #[must_use]
 pub fn producer_consumer(n_procs: usize, lines: u64) -> Vec<ThreadProgram> {
     assert!(n_procs >= 2, "need a producer and at least one consumer");
-    let produce = Transaction::new(
-        (0..lines).map(|l| TxOp::Store(addr(1000 + l, l))).collect(),
-    );
-    let consume = Transaction::new(
-        (0..lines).map(|l| TxOp::Load(addr(1000 + l, l))).collect(),
-    );
+    let produce = Transaction::new((0..lines).map(|l| TxOp::Store(addr(1000 + l, l))).collect());
+    let consume = Transaction::new((0..lines).map(|l| TxOp::Load(addr(1000 + l, l))).collect());
     let idle = Transaction::new(vec![TxOp::Compute(1)]);
     (0..n_procs)
         .map(|p| {
@@ -116,7 +112,10 @@ mod tests {
     use tcc_core::{Simulator, SystemConfig};
 
     fn checked(n: usize) -> SystemConfig {
-        SystemConfig { check_serializability: true, ..SystemConfig::with_procs(n) }
+        SystemConfig {
+            check_serializability: true,
+            ..SystemConfig::with_procs(n)
+        }
     }
 
     #[test]

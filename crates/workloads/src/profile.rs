@@ -1,8 +1,7 @@
 //! The workload generation engine.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use tcc_core::{ThreadProgram, Transaction, TxOp, WorkItem};
+use tcc_types::rng::SmallRng;
 use tcc_types::Addr;
 
 /// Cache-line size assumed by the address layout (matches the Table 2
@@ -120,9 +119,8 @@ impl AppProfile {
         phases: u32,
         seed: u64,
     ) -> ThreadProgram {
-        let mut rng = SmallRng::seed_from_u64(
-            seed ^ (proc as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
-        );
+        let mut rng =
+            SmallRng::seed_from_u64(seed ^ (proc as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
         let mut items = Vec::new();
         for phase in 0..phases {
             for _ in 0..txs_per_phase {
@@ -314,8 +312,16 @@ mod tests {
 
     #[test]
     fn total_work_is_machine_size_independent() {
-        let t1: usize = sample().generate(1, 1).iter().map(ThreadProgram::transactions).sum();
-        let t8: usize = sample().generate(8, 1).iter().map(ThreadProgram::transactions).sum();
+        let t1: usize = sample()
+            .generate(1, 1)
+            .iter()
+            .map(ThreadProgram::transactions)
+            .sum();
+        let t8: usize = sample()
+            .generate(8, 1)
+            .iter()
+            .map(ThreadProgram::transactions)
+            .sum();
         assert_eq!(t1, 128);
         assert_eq!(t8, 128);
     }
@@ -335,7 +341,10 @@ mod tests {
 
     #[test]
     fn private_reads_are_homed_at_the_owning_node() {
-        let prof = AppProfile { shared_frac: 0.0, ..sample() };
+        let prof = AppProfile {
+            shared_frac: 0.0,
+            ..sample()
+        };
         let geom = LineGeometry::default();
         let n = 8;
         let programs = prof.generate(n, 3);
@@ -386,7 +395,10 @@ mod tests {
     fn instruction_budget_is_fully_spent() {
         // Compute + memory ops must sum to the sampled size: no silent
         // truncation of the instruction budget.
-        let prof = AppProfile { size_jitter: 0.0, ..sample() };
+        let prof = AppProfile {
+            size_jitter: 0.0,
+            ..sample()
+        };
         let programs = prof.generate(1, 9);
         if let WorkItem::Tx(t) = &programs[0].items[0] {
             assert_eq!(t.instructions(), 1000);

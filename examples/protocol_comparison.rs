@@ -17,7 +17,10 @@ fn main() {
     let scale = if full { Scale::Full } else { Scale::Smoke };
     let app = apps::volrend(); // tiny transactions: commits dominate
 
-    println!("Parallel vs. serialized commit on {} ({:?} scale)\n", app.name, scale);
+    println!(
+        "Parallel vs. serialized commit on {} ({:?} scale)\n",
+        app.name, scale
+    );
     let mut t = TextTable::new(vec![
         "CPUs",
         "Scalable (cycles)",

@@ -38,8 +38,14 @@ fn main() {
 
     println!("Figure 2 walkthrough — one committer, one violated reader");
     println!("----------------------------------------------------------");
-    println!("commits            : {} (both transactions eventually commit)", result.commits);
-    println!("violated attempts  : {} (the reader rolled back at least once)", result.violations);
+    println!(
+        "commits            : {} (both transactions eventually commit)",
+        result.commits
+    );
+    println!(
+        "violated attempts  : {} (the reader rolled back at least once)",
+        result.violations
+    );
     println!("P0 breakdown       : {:?}", result.breakdowns[0]);
     println!("P1 breakdown       : {:?}", result.breakdowns[1]);
     println!();
@@ -57,5 +63,8 @@ fn main() {
     println!("    commits with a TID ordered after P0's.");
     println!();
     println!("Run with TCC_TRACE=1 to watch the raw message stream.");
-    assert!(result.violations >= 1, "the reader should have been violated");
+    assert!(
+        result.violations >= 1,
+        "the reader should have been violated"
+    );
 }

@@ -46,7 +46,10 @@ fn main() {
     println!("------------------------------------------------------------");
     println!("total cycles      : {}", result.total_cycles);
     println!("commits           : {}", result.commits);
-    println!("violated attempts : {} (conflicting increments re-executed)", result.violations);
+    println!(
+        "violated attempts : {} (conflicting increments re-executed)",
+        result.violations
+    );
     println!("committed instr   : {}", result.instructions);
     println!("simulator events  : {}", result.events);
     let pct = BreakdownPct::from_result(&result);

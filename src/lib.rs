@@ -14,6 +14,8 @@
 //!   serialized-commit baseline, and serializability checker.
 //! * [`workloads`] — the eleven synthetic applications of Table 3.
 //! * [`stats`] — figure/table reductions and text rendering.
+//! * [`trace`] — protocol event tracing, metrics, and the
+//!   `BENCH_*.json` run-report / Chrome-trace exporters.
 //! * [`cache`], [`directory`], [`network`], [`engine`], [`types`] — the
 //!   hardware substrates.
 //!
@@ -40,5 +42,6 @@ pub use tcc_directory as directory;
 pub use tcc_engine as engine;
 pub use tcc_network as network;
 pub use tcc_stats as stats;
+pub use tcc_trace as trace;
 pub use tcc_types as types;
 pub use tcc_workloads as workloads;

@@ -27,16 +27,36 @@ fn table3_shape_holds_in_measurement() {
     // thousand instructions."
     let min_size = rows.iter().map(|r| r.tx_size_p90).fold(f64::MAX, f64::min);
     let max_size = rows.iter().map(|r| r.tx_size_p90).fold(0.0, f64::max);
-    assert!(min_size < 500.0, "smallest tx p90 {min_size} should be ~300");
-    assert!(max_size > 40_000.0, "largest tx p90 {max_size} should be ~45k");
-    assert_eq!(get("volrend").tx_size_p90, min_size, "volrend is the smallest");
+    assert!(
+        min_size < 500.0,
+        "smallest tx p90 {min_size} should be ~300"
+    );
+    assert!(
+        max_size > 40_000.0,
+        "largest tx p90 {max_size} should be ~45k"
+    );
+    assert_eq!(
+        get("volrend").tx_size_p90,
+        min_size,
+        "volrend is the smallest"
+    );
     assert_eq!(get("swim").tx_size_p90, max_size, "swim is the largest");
 
     // "The 90%-ile read-set size for all transactions is less than
     // 16 KB, while the 90%-ile write-set never exceeds 8 KB."
     for r in &rows {
-        assert!(r.read_set_kb_p90 < 16.0, "{}: read set {}", r.name, r.read_set_kb_p90);
-        assert!(r.write_set_kb_p90 <= 8.0, "{}: write set {}", r.name, r.write_set_kb_p90);
+        assert!(
+            r.read_set_kb_p90 < 16.0,
+            "{}: read set {}",
+            r.name,
+            r.read_set_kb_p90
+        );
+        assert!(
+            r.write_set_kb_p90 <= 8.0,
+            "{}: write set {}",
+            r.name,
+            r.write_set_kb_p90
+        );
     }
 
     // Ops-per-word ordering: SPECjbb highest, volrend lowest,
@@ -44,12 +64,18 @@ fn table3_shape_holds_in_measurement() {
     let jbb = get("SPECjbb2000").ops_per_word_p90;
     let vol = get("volrend").ops_per_word_p90;
     for r in &rows {
-        assert!(r.ops_per_word_p90 <= jbb, "{} exceeds SPECjbb ops/word", r.name);
-        assert!(r.ops_per_word_p90 >= vol, "{} is below volrend ops/word", r.name);
+        assert!(
+            r.ops_per_word_p90 <= jbb,
+            "{} exceeds SPECjbb ops/word",
+            r.name
+        );
+        assert!(
+            r.ops_per_word_p90 >= vol,
+            "{} is below volrend ops/word",
+            r.name
+        );
     }
-    assert!(
-        get("water-spatial").ops_per_word_p90 > get("water-nsquared").ops_per_word_p90
-    );
+    assert!(get("water-spatial").ops_per_word_p90 > get("water-nsquared").ops_per_word_p90);
 
     // Directories per commit: radix touches all 16; everyone else is
     // far more local.

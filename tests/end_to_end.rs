@@ -6,7 +6,10 @@ use scalable_tcc::core::{Simulator, SystemConfig};
 use scalable_tcc::workloads::{apps, Scale};
 
 fn checked(n: usize) -> SystemConfig {
-    SystemConfig { check_serializability: true, ..SystemConfig::with_procs(n) }
+    SystemConfig {
+        check_serializability: true,
+        ..SystemConfig::with_procs(n)
+    }
 }
 
 #[test]
@@ -61,6 +64,14 @@ fn application_runs_are_deterministic() {
     assert_eq!(a.violations, b.violations);
     assert_eq!(a.events, b.events);
     assert_eq!(a.traffic.total_bytes(), b.traffic.total_bytes());
+    // Per-processor attribution must also be bit-identical, not just
+    // the machine-wide totals (directories fan out invalidations in
+    // deterministic line order).
+    assert_eq!(format!("{:?}", a.breakdowns), format!("{:?}", b.breakdowns));
+    assert_eq!(
+        format!("{:?}", a.proc_counters),
+        format!("{:?}", b.proc_counters)
+    );
 }
 
 #[test]
@@ -94,7 +105,9 @@ fn speedup_improves_with_processors_for_scalable_apps() {
         .iter()
         .map(|&n| {
             let programs = app.generate_scaled(n, 5, Scale::Smoke);
-            Simulator::new(SystemConfig::with_procs(n), programs).run().total_cycles
+            Simulator::new(SystemConfig::with_procs(n), programs)
+                .run()
+                .total_cycles
         })
         .collect();
     assert!(cycles[1] < cycles[0], "4p should beat 1p: {cycles:?}");
@@ -133,7 +146,10 @@ fn radix_touches_every_directory_per_commit() {
     let r = Simulator::new(checked(n), programs).run();
     r.assert_serializable();
     let max_dirs = r.tx_chars.iter().map(|t| t.dirs_written).max().unwrap();
-    assert_eq!(max_dirs as usize, n, "radix must write lines homed everywhere");
+    assert_eq!(
+        max_dirs as usize, n,
+        "radix must write lines homed everywhere"
+    );
 }
 
 #[test]
