@@ -59,6 +59,7 @@ fn bench_directory_commit() {
             let mut d = Directory::new(DirConfig {
                 id: DirId(0),
                 words_per_line: 8,
+                bugs: Default::default(),
             });
             for i in 0..64u64 {
                 d.handle_load(Cycle(0), LineAddr(i), NodeId(1), 0);

@@ -4,7 +4,7 @@
 use tcc_bench::report::{
     breakdown_json, harness_json, histogram_of, maybe_write_chrome, write_report,
 };
-use tcc_bench::{run_app_seeded, HarnessArgs, FIG7_SIZES, HARNESS_SEED};
+use tcc_bench::{par_map, run_app_seeded, HarnessArgs, FIG7_SIZES, HARNESS_SEED};
 use tcc_stats::breakdown::scaling_curve;
 use tcc_stats::render::{stacked_bar, TextTable};
 use tcc_trace::{Json, RunReport};
@@ -26,15 +26,12 @@ fn main() {
         if !args.selects(app.name) {
             continue;
         }
-        let results: Vec<_> = FIG7_SIZES
-            .iter()
-            .map(|&n| {
-                let r = run_app_seeded(&app, n, args.scale(), seed, |_| {});
-                eprintln!("  {}: p={n} done ({} cycles)", app.name, r.total_cycles);
-                maybe_write_chrome(&r, &format!("fig7_{}_p{n}", app.name));
-                r
-            })
-            .collect();
+        let results = par_map(&FIG7_SIZES, args.jobs(), |&n| {
+            let r = run_app_seeded(&app, n, args.scale(), seed, |_| {});
+            eprintln!("  {}: p={n} done ({} cycles)", app.name, r.total_cycles);
+            maybe_write_chrome(&r, &format!("fig7_{}_p{n}", app.name));
+            r
+        });
         let curve = scaling_curve(&FIG7_SIZES, &results);
         println!("\n{} — Figure 7 panel", app.name);
         let mut t = TextTable::new(vec![

@@ -2,7 +2,7 @@
 //! (cycles per hop) on 64-processor execution time.
 
 use tcc_bench::report::{harness_json, write_report};
-use tcc_bench::{run_app, HarnessArgs, FIG8_LATENCIES, HARNESS_SEED};
+use tcc_bench::{par_map, run_app, HarnessArgs, FIG8_LATENCIES, HARNESS_SEED};
 use tcc_stats::render::TextTable;
 use tcc_trace::{Json, RunReport};
 use tcc_workloads::apps;
@@ -28,14 +28,11 @@ fn main() {
         if !args.selects(app.name) {
             continue;
         }
-        let cycles: Vec<u64> = FIG8_LATENCIES
-            .iter()
-            .map(|&lat| {
-                let r = run_app(&app, 64, args.scale(), |c| c.network.link_latency = lat);
-                eprintln!("  {}: {lat} cyc/hop done", app.name);
-                r.total_cycles
-            })
-            .collect();
+        let cycles: Vec<u64> = par_map(&FIG8_LATENCIES, args.jobs(), |&lat| {
+            let r = run_app(&app, 64, args.scale(), |c| c.network.link_latency = lat);
+            eprintln!("  {}: {lat} cyc/hop done", app.name);
+            r.total_cycles
+        });
         let base = cycles[0].max(1) as f64;
         apps_json.push(Json::obj(vec![
             ("app", app.name.into()),

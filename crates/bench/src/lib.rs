@@ -40,6 +40,11 @@ pub struct HarnessArgs {
     /// Workload seed override (`--seed <n>`), for sensitivity studies;
     /// defaults to [`HARNESS_SEED`].
     pub seed: Option<u64>,
+    /// Worker threads for embarrassingly parallel sweeps
+    /// (`--jobs <n>`). Each simulation is single-threaded and
+    /// deterministic, so the rendered output is byte-identical for any
+    /// job count; only wall-clock changes. Defaults to 1.
+    pub jobs: Option<usize>,
 }
 
 impl HarnessArgs {
@@ -56,6 +61,8 @@ impl HarnessArgs {
                 args.csv_dir = iter.next();
             } else if a == "--seed" {
                 args.seed = iter.next().and_then(|v| v.parse().ok());
+            } else if a == "--jobs" {
+                args.jobs = iter.next().and_then(|v| v.parse().ok());
             } else if !a.starts_with("--") {
                 args.filter = Some(a);
             }
@@ -93,6 +100,12 @@ impl HarnessArgs {
         }
     }
 
+    /// The worker-thread count for [`par_map`] sweeps.
+    #[must_use]
+    pub fn jobs(&self) -> usize {
+        self.jobs.unwrap_or(1).max(1)
+    }
+
     /// Whether `name` passes the filter.
     #[must_use]
     pub fn selects(&self, name: &str) -> bool {
@@ -101,6 +114,40 @@ impl HarnessArgs {
             Some(f) => name.to_lowercase().contains(&f.to_lowercase()),
         }
     }
+}
+
+/// Applies `f` to every item on `jobs` worker threads, returning the
+/// results in input order. With `jobs == 1` the items run sequentially
+/// on the calling thread, so single-job runs behave exactly as before
+/// `--jobs` existed. Each simulation is deterministic and isolated, so
+/// the result vector — and anything rendered from it — is identical for
+/// every job count.
+pub fn par_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if jobs <= 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(items.len()) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::SeqCst);
+                let Some(item) = items.get(i) else { break };
+                *slots[i].lock().unwrap() = Some(f(item));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().unwrap().expect("every item must have run"))
+        .collect()
 }
 
 /// Runs one application on an `n`-processor machine, with `tweak`
@@ -157,6 +204,41 @@ mod tests {
         };
         assert!(a.selects("SPECjbb2000"));
         assert!(!a.selects("swim"));
+    }
+
+    #[test]
+    fn par_map_preserves_order_for_any_job_count() {
+        let items: Vec<u64> = (0..37).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * 3).collect();
+        for jobs in [1, 2, 5, 64] {
+            assert_eq!(par_map(&items, jobs, |x| x * 3), expect);
+        }
+    }
+
+    #[test]
+    fn parallel_sweeps_render_byte_identical_output() {
+        // A miniature fig7-style sweep: the rendered rows must be
+        // byte-identical for --jobs 1 and --jobs 3, because each
+        // simulation is deterministic and par_map preserves order.
+        let app = apps::volrend();
+        let sizes = [1usize, 2, 4];
+        let rows = |jobs: usize| -> Vec<String> {
+            par_map(&sizes, jobs, |&n| {
+                let r = run_app(&app, n, Scale::Smoke, |_| {});
+                format!("{},{},{}", n, r.total_cycles, r.commits)
+            })
+        };
+        assert_eq!(rows(1), rows(3));
+    }
+
+    #[test]
+    fn jobs_flag_defaults_to_one() {
+        assert_eq!(HarnessArgs::default().jobs(), 1);
+        let a = HarnessArgs {
+            jobs: Some(8),
+            ..HarnessArgs::default()
+        };
+        assert_eq!(a.jobs(), 8);
     }
 
     #[test]

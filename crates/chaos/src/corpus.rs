@@ -1,0 +1,130 @@
+//! Regression corpora: shrunk failing cases (and historical regression
+//! seeds) checked in as JSON and replayed as permanent tests.
+//!
+//! Two formats are supported:
+//!
+//! * `tcc-chaos-scenario/v1` — full [`Scenario`] artifacts written by
+//!   the shrinker (one scenario per file, in `crates/chaos/corpus/`).
+//! * `tcc-regression-corpus/v1` — bare program lists (no chaos config),
+//!   the format `crates/core/tests/regression_corpus.json` uses for the
+//!   seeds converted from the old proptest regression file. The chaos
+//!   suite replays these both benignly and under a fixed set of chaos
+//!   profiles.
+
+use std::path::Path;
+
+use tcc_trace::Json;
+
+use crate::scenario::{POp, Scenario};
+
+/// The directory holding this crate's scenario corpus.
+#[must_use]
+pub fn corpus_dir() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus")
+}
+
+/// Loads every `*.json` scenario artifact in `dir`, sorted by file name
+/// so replay order is stable.
+pub fn load_scenarios(dir: &Path) -> Result<Vec<Scenario>, String> {
+    let mut paths: Vec<_> = std::fs::read_dir(dir)
+        .map_err(|e| format!("read corpus dir {}: {e}", dir.display()))?
+        .filter_map(|entry| {
+            let path = entry.ok()?.path();
+            (path.extension().is_some_and(|x| x == "json")).then_some(path)
+        })
+        .collect();
+    paths.sort();
+    let mut out = Vec::new();
+    for path in paths {
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        let scenario =
+            Scenario::from_json_str(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        out.push(scenario);
+    }
+    Ok(out)
+}
+
+/// One entry of a `tcc-regression-corpus/v1` file: a named machine-wide
+/// program (no chaos — the schedule axes are applied by the replayer).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegressionCase {
+    pub name: String,
+    pub threads: Vec<Vec<Vec<POp>>>,
+}
+
+/// Parses a `tcc-regression-corpus/v1` document.
+pub fn parse_regression_corpus(text: &str) -> Result<Vec<RegressionCase>, String> {
+    let json = Json::parse(text)?;
+    match json.get("schema").and_then(Json::as_str) {
+        Some("tcc-regression-corpus/v1") => {}
+        other => return Err(format!("unsupported corpus schema {other:?}")),
+    }
+    let mut out = Vec::new();
+    for case in json
+        .get("cases")
+        .and_then(Json::as_arr)
+        .ok_or("corpus missing cases")?
+    {
+        let name = case
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("case missing name")?
+            .to_string();
+        // Piggyback on the scenario parser by wrapping the threads in a
+        // minimal scenario document.
+        let threads_json = case.get("threads").ok_or("case missing threads")?;
+        let wrapper = Json::obj(vec![
+            ("schema", "tcc-chaos-scenario/v1".into()),
+            ("name", name.as_str().into()),
+            ("threads", threads_json.clone()),
+        ]);
+        let scenario = Scenario::from_json(&wrapper).map_err(|e| format!("{name}: {e}"))?;
+        out.push(RegressionCase {
+            name,
+            threads: scenario.threads,
+        });
+    }
+    Ok(out)
+}
+
+/// The shared regression-seed corpus converted from the old proptest
+/// artifact, also replayed by `crates/core/tests/random.rs`.
+pub fn load_core_regression_corpus() -> Result<Vec<RegressionCase>, String> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../core/tests/regression_corpus.json");
+    let text =
+        std::fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    parse_regression_corpus(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_regression_corpus_document() {
+        let text = r#"{
+            "schema": "tcc-regression-corpus/v1",
+            "cases": [
+                {
+                    "name": "one",
+                    "threads": [
+                        [[["store", 0, 0], ["load", 1, 0]]],
+                        [[["compute", 7]], [["store", 2, 6]]]
+                    ]
+                }
+            ]
+        }"#;
+        let cases = parse_regression_corpus(text).unwrap();
+        assert_eq!(cases.len(), 1);
+        assert_eq!(cases[0].name, "one");
+        assert_eq!(cases[0].threads.len(), 2);
+        assert_eq!(cases[0].threads[0][0][0], POp::Store(0, 0));
+        assert_eq!(cases[0].threads[1][1][0], POp::Store(2, 6));
+    }
+
+    #[test]
+    fn rejects_unknown_schema() {
+        assert!(parse_regression_corpus(r#"{"schema": "nope", "cases": []}"#).is_err());
+    }
+}

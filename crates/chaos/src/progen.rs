@@ -1,0 +1,201 @@
+//! Seeded generators for the exploration grid's two random axes:
+//! transactional programs and chaos schedules.
+
+use tcc_network::{ChaosConfig, HotSpot, KindDelay};
+use tcc_types::rng::SmallRng;
+use tcc_types::NodeId;
+
+use crate::scenario::POp;
+
+/// Shape of the random programs the explorer sweeps: a hot, small
+/// address region shared by every thread, so conflicts, owner
+/// transfers, and partial-word overlaps are frequent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProgramSpec {
+    pub n_procs: usize,
+    /// Transactions per thread are drawn from `1..=max_txs`.
+    pub max_txs: usize,
+    /// Operations per transaction are drawn from `1..=max_ops`.
+    pub max_ops: usize,
+    /// Size of the hot line region.
+    pub n_lines: u64,
+    /// Words per line in the generated address space.
+    pub words_per_line: u64,
+    /// Probability a memory op is a store.
+    pub store_fraction: f64,
+    /// Probability of a compute op (drawn before the load/store split).
+    pub compute_fraction: f64,
+}
+
+impl Default for ProgramSpec {
+    fn default() -> Self {
+        ProgramSpec {
+            n_procs: 4,
+            max_txs: 4,
+            max_ops: 7,
+            n_lines: 4,
+            words_per_line: 8,
+            store_fraction: 0.5,
+            compute_fraction: 0.25,
+        }
+    }
+}
+
+/// Generates the machine-wide program for one program seed.
+#[must_use]
+pub fn generate_programs(spec: &ProgramSpec, seed: u64) -> Vec<Vec<Vec<POp>>> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x9e02_a11b_07c5_u64);
+    (0..spec.n_procs)
+        .map(|_| {
+            (0..rng.gen_range(1..=spec.max_txs))
+                .map(|_| {
+                    (0..rng.gen_range(1..=spec.max_ops))
+                        .map(|_| {
+                            if rng.gen_bool(spec.compute_fraction) {
+                                POp::Compute(rng.gen_range(1u32..300))
+                            } else {
+                                let line = rng.gen_range(0..spec.n_lines);
+                                let word = rng.gen_range(0..spec.words_per_line);
+                                if rng.gen_bool(spec.store_fraction) {
+                                    POp::Store(line, word)
+                                } else {
+                                    POp::Load(line, word)
+                                }
+                            }
+                        })
+                        .collect()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Message kinds worth stalling: the commit pipeline (`Mark`, `Commit`,
+/// `Skip`, `ProbeReply`), the ack window (`InvAck`), and the data paths
+/// whose crossings the §3.3 rules police (`LoadReply`, `Flush`,
+/// `WriteBack`, `Invalidate`, `DataRequest`).
+const DELAY_TARGETS: [&str; 10] = [
+    "Mark",
+    "Commit",
+    "Skip",
+    "ProbeReply",
+    "InvAck",
+    "LoadReply",
+    "Flush",
+    "WriteBack",
+    "Invalidate",
+    "DataRequest",
+];
+
+/// Derives one adversarial schedule from a chaos seed: random jitter,
+/// up to three kind-targeted delay rules (possibly phase-windowed), and
+/// an optional destination hot spot. Per-channel FIFO stays on — the
+/// oracle's verdicts are only meaningful under it (see
+/// `tcc_network::chaos`).
+#[must_use]
+pub fn chaos_profile(seed: u64, n_procs: usize) -> ChaosConfig {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xc4a0_5eed_77d1_u64);
+    let mut cfg = ChaosConfig {
+        seed,
+        ..ChaosConfig::default()
+    };
+    cfg.jitter = rng.gen_range(0u64..=48);
+    cfg.jitter_prob = rng.gen_range(0.2..=1.0);
+    for _ in 0..rng.gen_range(0usize..=3) {
+        let kind = DELAY_TARGETS[rng.gen_range(0..DELAY_TARGETS.len())];
+        let (from, until) = if rng.gen_bool(0.3) {
+            // Phase-targeted: a window somewhere in the run's early life
+            // (commits cluster there for these tiny programs).
+            let from = rng.gen_range(0u64..5_000);
+            (from, from + rng.gen_range(500u64..=8_000))
+        } else {
+            (0, u64::MAX)
+        };
+        cfg.kind_delays.push(KindDelay {
+            kind: kind.to_string(),
+            extra: rng.gen_range(8u64..=200),
+            prob: rng.gen_range(0.3..=1.0),
+            from,
+            until,
+        });
+    }
+    if rng.gen_bool(0.5) {
+        let (from, until) = if rng.gen_bool(0.5) {
+            let from = rng.gen_range(0u64..5_000);
+            (from, from + rng.gen_range(1_000u64..=10_000))
+        } else {
+            (0, u64::MAX)
+        };
+        cfg.hotspots.push(HotSpot {
+            node: NodeId(rng.gen_range(0..n_procs as u16)),
+            extra: rng.gen_range(8u64..=96),
+            from,
+            until,
+        });
+    }
+    cfg
+}
+
+/// The tie-break salt paired with a chaos seed (half the schedules also
+/// permute same-cycle event ordering).
+#[must_use]
+pub fn tie_break_for(seed: u64) -> Option<u64> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x71eb_4a17_u64);
+    rng.gen_bool(0.5).then(|| rng.next_u64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        let spec = ProgramSpec::default();
+        assert_eq!(generate_programs(&spec, 7), generate_programs(&spec, 7));
+        assert_ne!(generate_programs(&spec, 7), generate_programs(&spec, 8));
+        assert_eq!(chaos_profile(3, 4), chaos_profile(3, 4));
+        assert_ne!(chaos_profile(3, 4), chaos_profile(4, 4));
+        assert_eq!(tie_break_for(5), tie_break_for(5));
+    }
+
+    #[test]
+    fn programs_respect_the_spec() {
+        let spec = ProgramSpec {
+            n_procs: 3,
+            max_txs: 5,
+            max_ops: 6,
+            n_lines: 2,
+            ..ProgramSpec::default()
+        };
+        for seed in 0..50 {
+            let threads = generate_programs(&spec, seed);
+            assert_eq!(threads.len(), 3);
+            for txs in &threads {
+                assert!((1..=5).contains(&txs.len()));
+                for ops in txs {
+                    assert!((1..=6).contains(&ops.len()));
+                    for op in ops {
+                        if let POp::Load(l, w) | POp::Store(l, w) = op {
+                            assert!(*l < 2);
+                            assert!(*w < 8);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chaos_profiles_stay_in_sane_ranges() {
+        for seed in 0..200 {
+            let cfg = chaos_profile(seed, 4);
+            assert!(cfg.jitter <= 48);
+            assert!(cfg.preserve_channel_fifo, "oracle runs require FIFO");
+            assert!(cfg.kind_delays.len() <= 3);
+            assert!(cfg.hotspots.len() <= 1);
+            for h in &cfg.hotspots {
+                assert!(h.node.0 < 4);
+            }
+        }
+    }
+}

@@ -1,0 +1,540 @@
+//! Self-contained, replayable test cases.
+//!
+//! A [`Scenario`] bundles everything one adversarial run needs: the
+//! transactional programs, the machine-configuration tweaks, the chaos
+//! schedule ([`ChaosConfig`]), the tie-break salt, and any mutation
+//! knobs — and it round-trips through JSON so a failing case becomes a
+//! checked-in artifact the corpus suite replays forever.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use tcc_core::{Simulator, SystemConfig, ThreadProgram, Transaction, TxOp, WorkItem};
+use tcc_network::ChaosConfig;
+use tcc_trace::Json;
+use tcc_types::{Addr, ProtocolBugs};
+
+/// One portable program operation. Addresses are `(line, word)` pairs
+/// over 32-byte lines of 4-byte words, matching the random stress tests
+/// in `tcc-core`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum POp {
+    Load(u64, u64),
+    Store(u64, u64),
+    Compute(u32),
+}
+
+impl POp {
+    fn to_json(self) -> Json {
+        match self {
+            POp::Load(l, w) => Json::Arr(vec!["load".into(), l.into(), w.into()]),
+            POp::Store(l, w) => Json::Arr(vec!["store".into(), l.into(), w.into()]),
+            POp::Compute(c) => Json::Arr(vec!["compute".into(), c.into()]),
+        }
+    }
+
+    fn from_json(json: &Json) -> Result<POp, String> {
+        let arr = json.as_arr().ok_or("op must be an array")?;
+        let kind = arr
+            .first()
+            .and_then(Json::as_str)
+            .ok_or("op missing kind")?;
+        let num = |i: usize| -> Result<u64, String> {
+            arr.get(i)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("op {kind} missing operand {i}"))
+        };
+        match kind {
+            "load" => Ok(POp::Load(num(1)?, num(2)?)),
+            "store" => Ok(POp::Store(num(1)?, num(2)?)),
+            "compute" => Ok(POp::Compute(num(1)? as u32)),
+            other => Err(format!("unknown op kind {other:?}")),
+        }
+    }
+
+    fn to_tx_op(self) -> TxOp {
+        match self {
+            POp::Load(l, w) => TxOp::Load(Addr(l * 32 + w * 4)),
+            POp::Store(l, w) => TxOp::Store(Addr(l * 32 + w * 4)),
+            POp::Compute(c) => TxOp::Compute(c),
+        }
+    }
+}
+
+/// Machine-configuration knobs a scenario can vary, as deltas against
+/// the Table 2 defaults.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigTweaks {
+    pub link_latency: u64,
+    pub torus: bool,
+    pub owner_flush_keeps_line: bool,
+    pub starvation_threshold: u32,
+    pub exec_chunk: u64,
+    pub line_granularity: bool,
+    /// Shrink the caches to a few lines so transactions overflow and
+    /// evictions (write-backs) are frequent.
+    pub small_caches: bool,
+    pub dir_cache_entries: Option<usize>,
+    /// Livelock guard: chaos scenarios are tiny, so a clock that runs
+    /// past this indicates the (possibly mutated) protocol stopped
+    /// making progress; the simulator panics, which the oracle records
+    /// as a failure.
+    pub max_cycles: u64,
+}
+
+impl Default for ConfigTweaks {
+    fn default() -> Self {
+        ConfigTweaks {
+            link_latency: 4,
+            torus: false,
+            owner_flush_keeps_line: true,
+            starvation_threshold: 8,
+            exec_chunk: 200,
+            line_granularity: false,
+            small_caches: false,
+            dir_cache_entries: None,
+            max_cycles: 20_000_000,
+        }
+    }
+}
+
+/// How one adversarial run ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Failure {
+    /// The serializability checker rejected the committed history.
+    NotSerializable(String),
+    /// The run finished but committed fewer transactions than the
+    /// programs contain (lost transactions).
+    CommitShortfall { expected: u64, got: u64 },
+    /// The simulator panicked: a protocol assert, a quiescence check,
+    /// deadlock detection, or the livelock guard.
+    Panic(String),
+}
+
+impl Failure {
+    /// Stable, machine-readable failure class.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Failure::NotSerializable(_) => "not_serializable",
+            Failure::CommitShortfall { .. } => "commit_shortfall",
+            Failure::Panic(_) => "panic",
+        }
+    }
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Failure::NotSerializable(e) => write!(f, "not serializable: {e}"),
+            Failure::CommitShortfall { expected, got } => {
+                write!(f, "commit shortfall: {got}/{expected} committed")
+            }
+            Failure::Panic(msg) => write!(f, "panic: {msg}"),
+        }
+    }
+}
+
+/// Result of running one scenario through the oracle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Transactions committed (0 if the run panicked).
+    pub commits: u64,
+    /// `None` means the run passed.
+    pub failure: Option<Failure>,
+}
+
+/// A complete, replayable adversarial test case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    pub name: String,
+    pub tweaks: ConfigTweaks,
+    /// Mutation knobs (all-default outside the mutation self-test).
+    pub bugs: ProtocolBugs,
+    /// Adversarial network schedule; `None` is the benign mesh.
+    pub chaos: Option<ChaosConfig>,
+    /// Same-cycle event-ordering salt; `None` is FIFO.
+    pub tie_break_seed: Option<u64>,
+    /// Per-thread transaction programs: `threads[t][tx]` is an op list.
+    pub threads: Vec<Vec<Vec<POp>>>,
+}
+
+impl Scenario {
+    /// A scenario over `threads` with everything else benign/default.
+    #[must_use]
+    pub fn new(name: impl Into<String>, threads: Vec<Vec<Vec<POp>>>) -> Scenario {
+        Scenario {
+            name: name.into(),
+            tweaks: ConfigTweaks::default(),
+            bugs: ProtocolBugs::default(),
+            chaos: None,
+            tie_break_seed: None,
+            threads,
+        }
+    }
+
+    /// Total transactions across all threads.
+    #[must_use]
+    pub fn transactions(&self) -> u64 {
+        self.threads.iter().map(|t| t.len() as u64).sum()
+    }
+
+    /// Total operations across all transactions.
+    #[must_use]
+    pub fn ops(&self) -> u64 {
+        self.threads
+            .iter()
+            .flat_map(|t| t.iter())
+            .map(|tx| tx.len() as u64)
+            .sum()
+    }
+
+    /// The full `SystemConfig` this scenario runs under (checker on).
+    #[must_use]
+    pub fn to_config(&self) -> SystemConfig {
+        let mut cfg = SystemConfig::with_procs(self.threads.len());
+        cfg.check_serializability = true;
+        cfg.network.link_latency = self.tweaks.link_latency;
+        cfg.network.torus = self.tweaks.torus;
+        cfg.owner_flush_keeps_line = self.tweaks.owner_flush_keeps_line;
+        cfg.starvation_threshold = self.tweaks.starvation_threshold;
+        cfg.exec_chunk = self.tweaks.exec_chunk;
+        cfg.dir_cache_entries = self.tweaks.dir_cache_entries;
+        cfg.max_cycles = self.tweaks.max_cycles;
+        if self.tweaks.line_granularity {
+            cfg.cache.granularity = tcc_cache::Granularity::Line;
+        }
+        if self.tweaks.small_caches {
+            cfg.cache.l1_bytes = 64;
+            cfg.cache.l1_ways = 1;
+            cfg.cache.l2_bytes = 256;
+            cfg.cache.l2_ways = 2;
+        }
+        cfg.bugs = self.bugs;
+        cfg.chaos = self.chaos.clone();
+        cfg.tie_break_seed = self.tie_break_seed;
+        cfg
+    }
+
+    fn to_programs(&self) -> Vec<ThreadProgram> {
+        self.threads
+            .iter()
+            .map(|txs| {
+                let items = txs
+                    .iter()
+                    .map(|ops| {
+                        WorkItem::Tx(Transaction::new(
+                            ops.iter().map(|op| op.to_tx_op()).collect(),
+                        ))
+                    })
+                    .collect();
+                ThreadProgram::new(items)
+            })
+            .collect()
+    }
+
+    /// Runs the scenario through the full simulator with the
+    /// serializability checker as oracle. Panics inside the simulator
+    /// (protocol asserts, deadlock/livelock detection) are caught and
+    /// classified as failures, not propagated.
+    #[must_use]
+    pub fn run(&self) -> RunOutcome {
+        let expected = self.transactions();
+        let cfg = self.to_config();
+        let programs = self.to_programs();
+        let result = catch_unwind(AssertUnwindSafe(move || {
+            let r = Simulator::new(cfg, programs).run();
+            let failure = match &r.serializability {
+                Some(Err(e)) => Some(Failure::NotSerializable(e.to_string())),
+                _ if r.commits != expected => Some(Failure::CommitShortfall {
+                    expected,
+                    got: r.commits,
+                }),
+                _ => None,
+            };
+            RunOutcome {
+                commits: r.commits,
+                failure,
+            }
+        }));
+        match result {
+            Ok(outcome) => outcome,
+            Err(payload) => {
+                let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "non-string panic payload".to_string()
+                };
+                RunOutcome {
+                    commits: 0,
+                    failure: Some(Failure::Panic(msg)),
+                }
+            }
+        }
+    }
+
+    pub fn to_json(&self) -> Json {
+        let d = ConfigTweaks::default();
+        let mut config = Vec::new();
+        // Only non-default tweaks are written, keeping artifacts small
+        // and forward-compatible.
+        if self.tweaks.link_latency != d.link_latency {
+            config.push(("link_latency", self.tweaks.link_latency.into()));
+        }
+        if self.tweaks.torus != d.torus {
+            config.push(("torus", self.tweaks.torus.into()));
+        }
+        if self.tweaks.owner_flush_keeps_line != d.owner_flush_keeps_line {
+            config.push((
+                "owner_flush_keeps_line",
+                self.tweaks.owner_flush_keeps_line.into(),
+            ));
+        }
+        if self.tweaks.starvation_threshold != d.starvation_threshold {
+            config.push((
+                "starvation_threshold",
+                u64::from(self.tweaks.starvation_threshold).into(),
+            ));
+        }
+        if self.tweaks.exec_chunk != d.exec_chunk {
+            config.push(("exec_chunk", self.tweaks.exec_chunk.into()));
+        }
+        if self.tweaks.line_granularity != d.line_granularity {
+            config.push(("line_granularity", self.tweaks.line_granularity.into()));
+        }
+        if self.tweaks.small_caches != d.small_caches {
+            config.push(("small_caches", self.tweaks.small_caches.into()));
+        }
+        if self.tweaks.dir_cache_entries != d.dir_cache_entries {
+            config.push((
+                "dir_cache_entries",
+                match self.tweaks.dir_cache_entries {
+                    Some(n) => n.into(),
+                    None => Json::Null,
+                },
+            ));
+        }
+        if self.tweaks.max_cycles != d.max_cycles {
+            config.push(("max_cycles", self.tweaks.max_cycles.into()));
+        }
+        Json::obj(vec![
+            ("schema", "tcc-chaos-scenario/v1".into()),
+            ("name", self.name.as_str().into()),
+            ("config", Json::obj(config)),
+            (
+                "bugs",
+                Json::Arr(
+                    self.bugs
+                        .enabled_names()
+                        .into_iter()
+                        .map(Json::from)
+                        .collect(),
+                ),
+            ),
+            (
+                "tie_break_seed",
+                match self.tie_break_seed {
+                    Some(s) => s.to_string().into(),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "chaos",
+                match &self.chaos {
+                    Some(c) => c.to_json(),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "threads",
+                Json::Arr(
+                    self.threads
+                        .iter()
+                        .map(|txs| {
+                            Json::Arr(
+                                txs.iter()
+                                    .map(|ops| {
+                                        Json::Arr(ops.iter().map(|op| op.to_json()).collect())
+                                    })
+                                    .collect(),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    pub fn from_json(json: &Json) -> Result<Scenario, String> {
+        match json.get("schema").and_then(Json::as_str) {
+            Some("tcc-chaos-scenario/v1") => {}
+            other => return Err(format!("unsupported scenario schema {other:?}")),
+        }
+        let name = json
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("scenario missing name")?
+            .to_string();
+        let mut tweaks = ConfigTweaks::default();
+        if let Some(cfg) = json.get("config") {
+            if let Some(v) = cfg.get("link_latency").and_then(Json::as_u64) {
+                tweaks.link_latency = v;
+            }
+            if let Some(Json::Bool(b)) = cfg.get("torus") {
+                tweaks.torus = *b;
+            }
+            if let Some(Json::Bool(b)) = cfg.get("owner_flush_keeps_line") {
+                tweaks.owner_flush_keeps_line = *b;
+            }
+            if let Some(v) = cfg.get("starvation_threshold").and_then(Json::as_u64) {
+                tweaks.starvation_threshold = v as u32;
+            }
+            if let Some(v) = cfg.get("exec_chunk").and_then(Json::as_u64) {
+                tweaks.exec_chunk = v;
+            }
+            if let Some(Json::Bool(b)) = cfg.get("line_granularity") {
+                tweaks.line_granularity = *b;
+            }
+            if let Some(Json::Bool(b)) = cfg.get("small_caches") {
+                tweaks.small_caches = *b;
+            }
+            if let Some(v) = cfg.get("dir_cache_entries").and_then(Json::as_u64) {
+                tweaks.dir_cache_entries = Some(v as usize);
+            }
+            if let Some(v) = cfg.get("max_cycles").and_then(Json::as_u64) {
+                tweaks.max_cycles = v;
+            }
+        }
+        let mut bugs = ProtocolBugs::default();
+        if let Some(arr) = json.get("bugs").and_then(Json::as_arr) {
+            for b in arr {
+                let n = b.as_str().ok_or("bug name must be a string")?;
+                if !bugs.set_by_name(n) {
+                    return Err(format!("unknown bug knob {n:?}"));
+                }
+            }
+        }
+        let tie_break_seed = match json.get("tie_break_seed") {
+            Some(Json::Str(s)) => Some(s.parse::<u64>().map_err(|e| format!("bad tie salt: {e}"))?),
+            _ => None,
+        };
+        let chaos = match json.get("chaos") {
+            Some(Json::Null) | None => None,
+            Some(c) => Some(ChaosConfig::from_json(c)?),
+        };
+        let mut threads = Vec::new();
+        for txs in json
+            .get("threads")
+            .and_then(Json::as_arr)
+            .ok_or("scenario missing threads")?
+        {
+            let mut thread = Vec::new();
+            for ops in txs.as_arr().ok_or("thread must be an array")? {
+                let mut tx = Vec::new();
+                for op in ops.as_arr().ok_or("transaction must be an array")? {
+                    tx.push(POp::from_json(op)?);
+                }
+                thread.push(tx);
+            }
+            threads.push(thread);
+        }
+        if threads.is_empty() {
+            return Err("scenario has no threads".to_string());
+        }
+        Ok(Scenario {
+            name,
+            tweaks,
+            bugs,
+            chaos,
+            tie_break_seed,
+            threads,
+        })
+    }
+
+    /// Pretty JSON artifact text.
+    #[must_use]
+    pub fn to_json_string(&self) -> String {
+        let mut s = self.to_json().to_pretty();
+        s.push('\n');
+        s
+    }
+
+    pub fn from_json_str(text: &str) -> Result<Scenario, String> {
+        Scenario::from_json(&Json::parse(text)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcc_network::{HotSpot, KindDelay};
+    use tcc_types::NodeId;
+
+    fn sample() -> Scenario {
+        let mut s = Scenario::new(
+            "sample",
+            vec![
+                vec![
+                    vec![POp::Store(0, 0), POp::Load(1, 2)],
+                    vec![POp::Compute(9)],
+                ],
+                vec![vec![POp::Load(0, 0), POp::Store(1, 2)]],
+            ],
+        );
+        s.tweaks.link_latency = 9;
+        s.tweaks.torus = true;
+        s.tweaks.small_caches = true;
+        s.bugs.skip_ack_wait = true;
+        s.tie_break_seed = Some(12345);
+        s.chaos = Some(ChaosConfig {
+            seed: 42,
+            jitter: 10,
+            jitter_prob: 0.5,
+            kind_delays: vec![KindDelay {
+                kind: "Mark".to_string(),
+                extra: 30,
+                prob: 1.0,
+                from: 0,
+                until: u64::MAX,
+            }],
+            hotspots: vec![HotSpot {
+                node: NodeId(1),
+                extra: 5,
+                from: 0,
+                until: 1000,
+            }],
+            preserve_channel_fifo: true,
+        });
+        s
+    }
+
+    #[test]
+    fn scenario_round_trips_through_json() {
+        let s = sample();
+        let text = s.to_json_string();
+        let back = Scenario::from_json_str(&text).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn benign_scenario_passes_the_oracle() {
+        let s = Scenario::new(
+            "benign",
+            vec![
+                vec![vec![POp::Store(0, 0)], vec![POp::Load(1, 0)]],
+                vec![vec![POp::Load(0, 0), POp::Store(1, 0)]],
+            ],
+        );
+        let out = s.run();
+        assert_eq!(out.failure, None);
+        assert_eq!(out.commits, 3);
+    }
+
+    #[test]
+    fn counts_transactions_and_ops() {
+        let s = sample();
+        assert_eq!(s.transactions(), 3);
+        assert_eq!(s.ops(), 5);
+    }
+}

@@ -1,0 +1,186 @@
+//! Failure-case minimization.
+//!
+//! Greedy delta-debugging over a failing [`Scenario`]'s two axes:
+//!
+//! * **Program axis** — drop whole threads, then whole transactions,
+//!   then individual operations.
+//! * **Perturbation axis** — remove the chaos config outright, then
+//!   individual delay rules and hot spots, then jitter, then the
+//!   tie-break salt.
+//!
+//! A candidate is accepted if it *still fails* (any failure class —
+//! the shrunk repro may fail differently from the original, which is
+//! fine: any failing case is a bug witness). Passes repeat until a
+//! fixpoint or the run budget is exhausted. Every candidate execution
+//! is a full simulator run, so the budget bounds shrinking time.
+
+use crate::scenario::Scenario;
+
+/// Accounting for one shrink session.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShrinkStats {
+    /// Candidate runs executed.
+    pub attempts: u64,
+    /// Candidates accepted (each one strictly shrank the scenario).
+    pub accepted: u64,
+}
+
+/// Minimizes `scenario` (which must fail) within `max_attempts`
+/// candidate runs. Returns the smallest still-failing scenario found
+/// and the session stats.
+#[must_use]
+pub fn shrink(scenario: &Scenario, max_attempts: u64) -> (Scenario, ShrinkStats) {
+    let mut best = scenario.clone();
+    let mut stats = ShrinkStats::default();
+    debug_assert!(
+        best.run().failure.is_some(),
+        "shrink requires a failing scenario"
+    );
+    loop {
+        let mut improved = false;
+        let candidates = candidate_passes(&best);
+        for candidate in candidates {
+            if stats.attempts >= max_attempts {
+                best.name = format!("{}-shrunk", scenario.name);
+                return (best, stats);
+            }
+            stats.attempts += 1;
+            if candidate.run().failure.is_some() {
+                stats.accepted += 1;
+                best = candidate;
+                improved = true;
+                break; // restart passes from the smaller scenario
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    best.name = format!("{}-shrunk", scenario.name);
+    (best, stats)
+}
+
+/// All one-step-smaller candidates of `s`, most aggressive first
+/// (whole-axis removals before single-item removals, so lucky accepts
+/// shrink fast).
+fn candidate_passes(s: &Scenario) -> Vec<Scenario> {
+    let mut out = Vec::new();
+    // Chaos axis, most aggressive first: no chaos at all.
+    if s.chaos.is_some() {
+        let mut c = s.clone();
+        c.chaos = None;
+        out.push(c);
+    }
+    if s.tie_break_seed.is_some() {
+        let mut c = s.clone();
+        c.tie_break_seed = None;
+        out.push(c);
+    }
+    // Program axis: drop a whole thread (keep at least one).
+    if s.threads.len() > 1 {
+        for t in 0..s.threads.len() {
+            let mut c = s.clone();
+            c.threads.remove(t);
+            out.push(c);
+        }
+    }
+    // Drop one transaction.
+    for t in 0..s.threads.len() {
+        for tx in 0..s.threads[t].len() {
+            let mut c = s.clone();
+            c.threads[t].remove(tx);
+            out.push(c);
+        }
+    }
+    // Drop one operation (empty transactions are legal: they commit
+    // trivially and often shrink away on the next pass).
+    for t in 0..s.threads.len() {
+        for tx in 0..s.threads[t].len() {
+            for op in 0..s.threads[t][tx].len() {
+                let mut c = s.clone();
+                c.threads[t][tx].remove(op);
+                out.push(c);
+            }
+        }
+    }
+    // Relax perturbations one rule at a time.
+    if let Some(chaos) = &s.chaos {
+        for k in 0..chaos.kind_delays.len() {
+            let mut c = s.clone();
+            c.chaos.as_mut().unwrap().kind_delays.remove(k);
+            out.push(c);
+        }
+        for h in 0..chaos.hotspots.len() {
+            let mut c = s.clone();
+            c.chaos.as_mut().unwrap().hotspots.remove(h);
+            out.push(c);
+        }
+        if chaos.jitter > 0 {
+            let mut c = s.clone();
+            c.chaos.as_mut().unwrap().jitter = 0;
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::POp;
+    use tcc_types::ProtocolBugs;
+
+    /// A mutated protocol failure shrinks while still failing, and the
+    /// shrunk scenario is no larger than the original.
+    #[test]
+    fn shrinks_a_mutated_failure() {
+        // Find a failing seed first (skip_ack_wait is the easiest knob
+        // to trip), then shrink it.
+        let bugs = ProtocolBugs {
+            skip_ack_wait: true,
+            ..ProtocolBugs::default()
+        };
+        let grid = crate::explorer::GridSpec::new(0..30, 0..4);
+        let mut scenarios = grid.scenarios();
+        for s in &mut scenarios {
+            s.bugs = bugs;
+        }
+        let Some((_, failure)) = crate::explorer::seeds_to_first_failure(&scenarios) else {
+            panic!("skip_ack_wait must produce a failure in a 120-run budget");
+        };
+        let original = failure.scenario;
+        let (small, stats) = shrink(&original, 400);
+        assert!(stats.attempts > 0);
+        assert!(
+            small.run().failure.is_some(),
+            "shrunk repro must still fail"
+        );
+        assert!(small.ops() <= original.ops());
+        assert!(small.transactions() <= original.transactions());
+        // The repro must replay from its JSON artifact.
+        let replayed = Scenario::from_json_str(&small.to_json_string()).unwrap();
+        assert_eq!(replayed, small);
+        assert!(replayed.run().failure.is_some());
+    }
+
+    #[test]
+    fn chaos_free_candidates_strictly_shrink_the_program() {
+        let s = Scenario::new(
+            "c",
+            vec![
+                vec![vec![POp::Load(0, 0), POp::Store(1, 1)]],
+                vec![vec![POp::Compute(5)]],
+            ],
+        );
+        let candidates = candidate_passes(&s);
+        assert!(!candidates.is_empty());
+        for c in candidates {
+            assert!(
+                c.ops() < s.ops()
+                    || c.transactions() < s.transactions()
+                    || c.threads.len() < s.threads.len(),
+                "without chaos, every candidate must shrink the program"
+            );
+        }
+    }
+}

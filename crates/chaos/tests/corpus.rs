@@ -1,0 +1,89 @@
+//! Regression-corpus replay: every checked-in artifact re-executes on
+//! each test run, so a once-found failure mode can never silently come
+//! back.
+
+use tcc_chaos::corpus::{corpus_dir, load_core_regression_corpus, load_scenarios};
+use tcc_chaos::progen::chaos_profile;
+use tcc_chaos::Scenario;
+
+/// Shrunk chaos repros: artifacts carrying a mutation knob are bug
+/// *witnesses* — they must still fail (proving the knob is still
+/// detectable, and detectable by this exact minimal schedule); benign
+/// artifacts must pass.
+#[test]
+fn chaos_corpus_replays_with_expected_outcomes() {
+    let scenarios = load_scenarios(&corpus_dir()).expect("corpus must load");
+    assert!(
+        scenarios.len() >= 4,
+        "corpus must hold at least one witness per mutation knob"
+    );
+    let mut names: Vec<_> = scenarios.iter().map(|s| s.name.clone()).collect();
+    names.sort();
+    names.dedup();
+    assert_eq!(names.len(), scenarios.len(), "corpus names must be unique");
+    for s in &scenarios {
+        let outcome = s.run();
+        if s.bugs.any() {
+            assert!(
+                outcome.failure.is_some(),
+                "witness {} no longer reproduces its bug",
+                s.name
+            );
+        } else {
+            assert!(
+                outcome.failure.is_none(),
+                "benign corpus case {} failed: {}",
+                s.name,
+                outcome.failure.unwrap()
+            );
+        }
+    }
+}
+
+/// Every mutation knob has at least one witness in the corpus.
+#[test]
+fn corpus_covers_every_mutation_knob() {
+    let scenarios = load_scenarios(&corpus_dir()).expect("corpus must load");
+    for (knob, _) in tcc_types::ProtocolBugs::catalog() {
+        assert!(
+            scenarios
+                .iter()
+                .any(|s| s.bugs.enabled_names() == vec![knob]),
+            "no corpus witness for knob {knob}"
+        );
+    }
+}
+
+/// The shared core regression corpus (converted from the retired
+/// proptest artifact) replays clean both benignly and under chaos
+/// perturbation.
+#[test]
+fn core_regression_corpus_replays_clean_under_chaos() {
+    let cases = load_core_regression_corpus().expect("core corpus must load");
+    assert_eq!(cases.len(), 3);
+    for case in &cases {
+        let n_procs = case.threads.len();
+        // Benign replay.
+        let s = Scenario::new(case.name.clone(), case.threads.clone());
+        let outcome = s.run();
+        assert!(
+            outcome.failure.is_none(),
+            "case {} failed benignly: {}",
+            case.name,
+            outcome.failure.unwrap()
+        );
+        // Chaos replay across a few fixed schedules.
+        for chaos_seed in 0..4 {
+            let mut s = Scenario::new(format!("{}-c{chaos_seed}", case.name), case.threads.clone());
+            s.chaos = Some(chaos_profile(chaos_seed, n_procs));
+            s.tie_break_seed = tcc_chaos::progen::tie_break_for(chaos_seed);
+            let outcome = s.run();
+            assert!(
+                outcome.failure.is_none(),
+                "case {} failed under chaos seed {chaos_seed}: {}",
+                case.name,
+                outcome.failure.unwrap()
+            );
+        }
+    }
+}

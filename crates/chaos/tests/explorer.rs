@@ -1,0 +1,110 @@
+//! Survival sweeps: the unmutated protocol must pass every point of an
+//! adversarial (program seed × chaos seed) grid, including the Fig. 2f
+//! owner-drop flush mode and the torus topology.
+//!
+//! Debug builds sweep a reduced grid to keep `cargo test` fast; release
+//! builds (and the CI `chaos-smoke` job, via `chaos-explore`) run the
+//! full 500-point acceptance grid.
+
+use tcc_chaos::explorer::{run_scenarios, GridSpec, Variant};
+use tcc_chaos::Scenario;
+
+fn grid_dims() -> (u64, u64) {
+    if cfg!(debug_assertions) {
+        (10, 12)
+    } else {
+        (25, 20)
+    }
+}
+
+fn report_failures(tag: &str, report: &tcc_chaos::ExploreReport) {
+    for f in &report.failures {
+        eprintln!(
+            "{tag}: scenario {} failed: {}\nrepro:\n{}",
+            f.scenario.name,
+            f.outcome.failure.as_ref().unwrap(),
+            f.scenario.to_json_string()
+        );
+    }
+}
+
+/// The headline acceptance sweep: zero oracle violations across the
+/// whole grid on the unmutated protocol.
+#[test]
+fn unmutated_protocol_survives_the_grid() {
+    let (p, c) = grid_dims();
+    let scenarios = GridSpec::new(0..p, 0..c).scenarios();
+    let report = run_scenarios(&scenarios, 4);
+    report_failures("baseline", &report);
+    assert!(report.passed(), "{} failures", report.failures.len());
+    assert_eq!(report.runs, (p * c) as usize);
+    assert!(report.commits > 0);
+}
+
+fn apply_fig2f(s: &mut Scenario) {
+    s.tweaks.owner_flush_keeps_line = false;
+}
+
+fn apply_torus(s: &mut Scenario) {
+    s.tweaks.torus = true;
+    s.tweaks.link_latency = 6;
+}
+
+fn apply_small_caches(s: &mut Scenario) {
+    s.tweaks.small_caches = true;
+}
+
+/// Config variants with historically distinct race surfaces survive
+/// chaos too: Fig. 2f (owner write-back-and-drop), torus wrap-around
+/// links, and overflow-heavy tiny caches.
+#[test]
+fn config_variants_survive_chaos() {
+    let (p, c) = if cfg!(debug_assertions) {
+        (5, 6)
+    } else {
+        (12, 10)
+    };
+    let mut grid = GridSpec::new(0..p, 0..c);
+    grid.variants = vec![
+        Variant {
+            name: "fig2f",
+            apply: apply_fig2f,
+        },
+        Variant {
+            name: "torus",
+            apply: apply_torus,
+        },
+        Variant {
+            name: "smallcache",
+            apply: apply_small_caches,
+        },
+    ];
+    let scenarios = grid.scenarios();
+    assert_eq!(scenarios.len(), (3 * p * c) as usize);
+    assert!(scenarios.iter().any(|s| s.name.starts_with("fig2f-")));
+    assert!(scenarios.iter().any(|s| s.name.starts_with("torus-")));
+    let report = run_scenarios(&scenarios, 4);
+    report_failures("variants", &report);
+    assert!(report.passed(), "{} failures", report.failures.len());
+}
+
+/// The report is identical for any worker count, including when the
+/// grid contains failures (mutated runs): same failing indices, same
+/// outcomes, same commit totals.
+#[test]
+fn reports_are_job_count_invariant_even_with_failures() {
+    let mut scenarios = GridSpec::new(0..6, 0..4).scenarios();
+    for s in &mut scenarios {
+        s.bugs.skip_ack_wait = true;
+    }
+    let serial = run_scenarios(&scenarios, 1);
+    let wide = run_scenarios(&scenarios, 5);
+    assert_eq!(serial.runs, wide.runs);
+    assert_eq!(serial.commits, wide.commits);
+    assert_eq!(serial.failures.len(), wide.failures.len());
+    for (a, b) in serial.failures.iter().zip(&wide.failures) {
+        assert_eq!(a.index, b.index);
+        assert_eq!(a.outcome, b.outcome);
+        assert_eq!(a.scenario, b.scenario);
+    }
+}

@@ -1,9 +1,9 @@
 //! Full-system configuration (Table 2 of the paper).
 
 use tcc_cache::CacheConfig;
-use tcc_network::NetworkConfig;
+use tcc_network::{ChaosConfig, NetworkConfig};
 use tcc_trace::TraceConfig;
-use tcc_types::NodeId;
+use tcc_types::{NodeId, ProtocolBugs};
 
 /// Configuration of the simulated machine and protocol.
 ///
@@ -58,6 +58,22 @@ pub struct SystemConfig {
     /// Observation-only: enabling it never changes cycle counts or
     /// checker verdicts. Disabled by default.
     pub trace: TraceConfig,
+    /// Adversarial fault injection on the interconnect (`tcc-chaos`).
+    /// `None` (the default) is the benign mesh; `Some` attaches a
+    /// seeded [`tcc_network::SeededInjector`] that stretches message
+    /// latencies deterministically.
+    pub chaos: Option<ChaosConfig>,
+    /// How same-cycle events are ordered. `None` is the stable FIFO
+    /// baseline; `Some(salt)` permutes same-cycle ordering
+    /// deterministically (an extra schedule axis for the chaos
+    /// explorer).
+    pub tie_break_seed: Option<u64>,
+    /// Debug-only mutation knobs that disable individual §3.3
+    /// race-elimination rules, used by the chaos mutation self-test to
+    /// prove the explorer detects seeded protocol bugs. Always
+    /// `ProtocolBugs::default()` (all rules enforced) outside that
+    /// suite.
+    pub bugs: ProtocolBugs,
     /// Safety limit: the simulation panics if the clock exceeds this,
     /// which would indicate a protocol deadlock or livelock.
     pub max_cycles: u64,
@@ -97,6 +113,9 @@ impl Default for SystemConfig {
             profile: false,
             check_serializability: false,
             trace: TraceConfig::default(),
+            chaos: None,
+            tie_break_seed: None,
+            bugs: ProtocolBugs::default(),
             max_cycles: u64::MAX / 4,
         }
     }

@@ -685,6 +685,13 @@ impl Processor {
     /// the superseded-write-back check).
     fn wb_tag(&self, generation: Option<Tid>) -> Tid {
         debug_assert!(generation.is_some(), "dirty data without a generation");
+        if self.cfg.bugs.writeback_latest_tid {
+            // Mutation knob: tagging with the newest TID this processor
+            // has seen (instead of the generation that claimed the
+            // line) defeats the directory's §3.3 staleness check — a
+            // superseded owner's write-back can clobber newer data.
+            return self.last_tid;
+        }
         generation.unwrap_or(self.last_tid)
     }
 
@@ -1058,10 +1065,17 @@ impl Processor {
         req: u64,
     ) -> Effects {
         let mut fx = Effects::default();
-        let resume = matches!(
-            self.state,
-            State::WaitFill { line: l, req: r, .. } if l == line && r == req
-        );
+        // Mutation knob: ignoring the request id accepts fills an
+        // invalidation superseded while they were in flight — the §3.3
+        // load/invalidate race the re-request rule eliminates.
+        let resume = if self.cfg.bugs.accept_stale_fills {
+            matches!(self.state, State::WaitFill { line: l, .. } if l == line)
+        } else {
+            matches!(
+                self.state,
+                State::WaitFill { line: l, req: r, .. } if l == line && r == req
+            )
+        };
         if !resume {
             return fx; // stale reply: drop the data on the floor
         }

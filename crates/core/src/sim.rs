@@ -4,8 +4,8 @@
 use std::collections::{HashSet, VecDeque};
 
 use tcc_directory::{DirAction, DirConfig, Directory};
-use tcc_engine::EventQueue;
-use tcc_network::{Network, TrafficStats};
+use tcc_engine::{EventQueue, TieBreak};
+use tcc_network::{Network, SeededInjector, TrafficStats};
 use tcc_trace::{TraceReport, Tracer};
 use tcc_types::{Cycle, DirId, LineAddr, Message, NodeId, Payload, Tid};
 
@@ -261,6 +261,7 @@ impl Simulator {
                 let mut d = Directory::new(DirConfig {
                     id: DirId(i as u16),
                     words_per_line: words,
+                    bugs: cfg.bugs,
                 });
                 d.set_tracer(tracer.clone());
                 d
@@ -272,7 +273,14 @@ impl Simulator {
             cfg.network.clone(),
         );
         net.set_tracer(tracer.clone());
-        let mut queue = EventQueue::new();
+        if let Some(chaos) = &cfg.chaos {
+            net.set_injector(Box::new(SeededInjector::new(chaos.clone())));
+        }
+        let tie_break = match cfg.tie_break_seed {
+            Some(salt) => TieBreak::Seeded(salt),
+            None => TieBreak::Fifo,
+        };
+        let mut queue = EventQueue::with_tie_break(tie_break);
         queue.set_tracer(tracer.clone());
         let checker = cfg.check_serializability.then(Checker::new);
         let active = cfg.n_procs;

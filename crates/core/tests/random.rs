@@ -383,6 +383,87 @@ fn prop_baseline_is_serializable() {
     }
 }
 
+/// Parses `regression_corpus.json` (schema `tcc-regression-corpus/v1`):
+/// shrunk failure cases from historical fuzzing runs, checked in so
+/// they are re-run forever. The tcc-chaos suite replays the same file
+/// under chaos perturbation.
+fn regression_corpus() -> Vec<(String, Vec<Vec<Vec<POp>>>)> {
+    use tcc_trace::Json;
+    let text = include_str!("regression_corpus.json");
+    let json = Json::parse(text).expect("corpus must parse");
+    assert_eq!(
+        json.get("schema").and_then(Json::as_str),
+        Some("tcc-regression-corpus/v1")
+    );
+    let mut out = Vec::new();
+    for case in json.get("cases").and_then(Json::as_arr).unwrap() {
+        let name = case.get("name").and_then(Json::as_str).unwrap().to_string();
+        let threads = case
+            .get("threads")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .map(|txs| {
+                txs.as_arr()
+                    .unwrap()
+                    .iter()
+                    .map(|ops| {
+                        ops.as_arr()
+                            .unwrap()
+                            .iter()
+                            .map(|op| {
+                                let op = op.as_arr().unwrap();
+                                let kind = op[0].as_str().unwrap();
+                                let a = op[1].as_u64().unwrap();
+                                match kind {
+                                    "load" => POp::Load(a, op[2].as_u64().unwrap() as usize),
+                                    "store" => POp::Store(a, op[2].as_u64().unwrap() as usize),
+                                    "compute" => POp::Compute(a as u32),
+                                    other => panic!("unknown op kind {other}"),
+                                }
+                            })
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        out.push((name, threads));
+    }
+    out
+}
+
+/// Every corpus case replays clean under the default checked config.
+#[test]
+fn regression_corpus_replays_clean() {
+    let corpus = regression_corpus();
+    assert!(!corpus.is_empty());
+    for (name, raw) in &corpus {
+        let programs = to_programs(raw);
+        let expected: u64 = programs.iter().map(|p| p.transactions() as u64).sum();
+        let r = Simulator::new(checked_cfg(raw.len()), programs).run();
+        assert_eq!(r.commits, expected, "case {name}");
+        assert!(r.serializability.unwrap().is_ok(), "case {name}");
+    }
+}
+
+/// The corpus also replays clean under the Fig. 2f owner-drop variant
+/// with a slow network — the configuration the original failures were
+/// most sensitive to.
+#[test]
+fn regression_corpus_replays_clean_fig2f_slow_network() {
+    for (name, raw) in &regression_corpus() {
+        let programs = to_programs(raw);
+        let expected: u64 = programs.iter().map(|p| p.transactions() as u64).sum();
+        let mut cfg = checked_cfg(raw.len());
+        cfg.owner_flush_keeps_line = false;
+        cfg.network.link_latency = 12;
+        cfg.starvation_threshold = 2;
+        let r = Simulator::new(cfg, programs).run();
+        assert_eq!(r.commits, expected, "case {name}");
+        assert!(r.serializability.unwrap().is_ok(), "case {name}");
+    }
+}
+
 #[test]
 fn cross_config_soak() {
     // A reduced version of examples/soak.rs: random programs across a

@@ -3,7 +3,9 @@
 use std::collections::{BTreeMap, HashMap};
 
 use tcc_trace::{TraceEvent, Tracer};
-use tcc_types::{Cycle, DataSource, DirId, LineAddr, LineValues, NodeId, Payload, Tid, WordMask};
+use tcc_types::{
+    Cycle, DataSource, DirId, LineAddr, LineValues, NodeId, Payload, ProtocolBugs, Tid, WordMask,
+};
 
 use crate::entry::{DirEntry, MarkInfo};
 use crate::skip_vector::SkipVector;
@@ -16,6 +18,9 @@ pub struct DirConfig {
     pub id: DirId,
     /// Words per cache line (for sizing fresh memory lines).
     pub words_per_line: usize,
+    /// Debug-only knobs disabling individual race-elimination rules
+    /// (chaos mutation self-test); all-default in real configurations.
+    pub bugs: ProtocolBugs,
 }
 
 /// An outgoing message produced by a directory transition: the payload
@@ -283,10 +288,13 @@ impl Directory {
         stalled_since: Option<Cycle>,
     ) -> Vec<DirAction> {
         let dir = self.cfg.id;
-        let commit_locked = self
-            .ack_wait
-            .as_ref()
-            .is_some_and(|w| w.locked.contains(&line));
+        // Mutation knob: serving loads inside the ack window is the race
+        // the window exists to close (§3.3).
+        let commit_locked = !self.cfg.bugs.unlocked_window_loads
+            && self
+                .ack_wait
+                .as_ref()
+                .is_some_and(|w| w.locked.contains(&line));
         if self.entry_mut(line).is_marked() || commit_locked {
             if stalled_since.is_none() {
                 self.stats.stalled_loads += 1;
@@ -550,7 +558,12 @@ impl Directory {
             }
         }
         self.stats.invalidations += u64::from(acks);
-        if acks == 0 {
+        if acks == 0 || self.cfg.bugs.skip_ack_wait {
+            // Mutation knob: advancing the NSTID before the
+            // invalidation acks return re-opens the §3.3 race the ack
+            // window closes — later transactions can read lines whose
+            // invalidations (and superseded-owner flushes) are still in
+            // flight. The straggler acks are ignored on arrival.
             actions.extend(self.finish_current(now));
         } else {
             self.ack_wait = Some(AckWait {
@@ -581,6 +594,19 @@ impl Directory {
         from: NodeId,
         retained: bool,
     ) -> Vec<DirAction> {
+        if self.cfg.bugs.skip_ack_wait && self.ack_wait.is_none() {
+            // The mutated commit path never opened a window; the ack is
+            // a straggler. Still prune the sharer so fan-out bookkeeping
+            // stays consistent — the *race* is the point of the knob.
+            if !retained {
+                if let Some(entry) = self.entries.get_mut(&line) {
+                    if entry.owner != Some(from) {
+                        entry.sharers.remove(from);
+                    }
+                }
+            }
+            return Vec::new();
+        }
         let wait = self
             .ack_wait
             .as_mut()
@@ -712,11 +738,13 @@ impl Directory {
         // Inside a commit's ack window the line's data may still be in
         // flight from the *previous* owner (its flush travels ahead of
         // its ack); hold the waiters until the window closes — the
-        // ack-completion path re-services them.
-        if self
-            .ack_wait
-            .as_ref()
-            .is_some_and(|w| w.locked.contains(&line))
+        // ack-completion path re-services them. The mutation knob drops
+        // that hold along with the dispatch-side stall.
+        if !self.cfg.bugs.unlocked_window_loads
+            && self
+                .ack_wait
+                .as_ref()
+                .is_some_and(|w| w.locked.contains(&line))
         {
             return Vec::new();
         }
@@ -827,6 +855,7 @@ mod tests {
         Directory::new(DirConfig {
             id: DirId(0),
             words_per_line: 8,
+            bugs: ProtocolBugs::default(),
         })
     }
 

@@ -3,7 +3,9 @@
 //! sharer pruning, and occupancy accounting.
 
 use tcc_directory::{DirAction, DirConfig, Directory};
-use tcc_types::{Cycle, DataSource, DirId, LineAddr, LineValues, NodeId, Payload, Tid, WordMask};
+use tcc_types::{
+    Cycle, DataSource, DirId, LineAddr, LineValues, NodeId, Payload, ProtocolBugs, Tid, WordMask,
+};
 
 const N1: NodeId = NodeId(1);
 const N2: NodeId = NodeId(2);
@@ -14,6 +16,7 @@ fn dir() -> Directory {
     Directory::new(DirConfig {
         id: DirId(0),
         words_per_line: 8,
+        bugs: ProtocolBugs::default(),
     })
 }
 

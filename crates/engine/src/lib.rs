@@ -32,10 +32,39 @@ use std::collections::BinaryHeap;
 use tcc_trace::Tracer;
 use tcc_types::Cycle;
 
-/// Internal heap entry: ordered by time, then by insertion sequence.
+/// How events scheduled for the *same* cycle are ordered.
+///
+/// The default ([`TieBreak::Fifo`]) pops same-cycle events in scheduling
+/// order — the stable baseline every determinism test fingerprints.
+/// [`TieBreak::Seeded`] permutes same-cycle order by hashing the
+/// insertion sequence with a salt: still fully deterministic for a given
+/// salt, but each salt explores a *different* legal interleaving of
+/// simultaneous events. The chaos explorer uses this as an extra
+/// schedule axis on top of message-latency perturbation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TieBreak {
+    /// Same-cycle events pop in scheduling order.
+    #[default]
+    Fifo,
+    /// Same-cycle events pop in salted-hash order (deterministic per
+    /// salt; insertion order still breaks hash collisions).
+    Seeded(u64),
+}
+
+/// SplitMix64 finalizer: cheap, well-mixed 64-bit hash for tie keys.
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Internal heap entry: ordered by time, then tie key, then insertion
+/// sequence (`key == seq` under FIFO tie-breaking).
 #[derive(Debug)]
 struct Entry<E> {
     at: Cycle,
+    key: u64,
     seq: u64,
     event: E,
 }
@@ -53,7 +82,10 @@ impl<E> PartialOrd for Entry<E> {
 }
 impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.at.cmp(&other.at).then(self.seq.cmp(&other.seq))
+        self.at
+            .cmp(&other.at)
+            .then(self.key.cmp(&other.key))
+            .then(self.seq.cmp(&other.seq))
     }
 }
 
@@ -68,6 +100,7 @@ pub struct EventQueue<E> {
     seq: u64,
     now: Cycle,
     popped: u64,
+    tie_break: TieBreak,
     tracer: Tracer,
 }
 
@@ -80,8 +113,17 @@ impl<E> EventQueue<E> {
             seq: 0,
             now: Cycle::ZERO,
             popped: 0,
+            tie_break: TieBreak::Fifo,
             tracer: Tracer::disabled(),
         }
+    }
+
+    /// Creates an empty queue with the given same-cycle ordering policy.
+    #[must_use]
+    pub fn with_tie_break(tie_break: TieBreak) -> EventQueue<E> {
+        let mut q = EventQueue::new();
+        q.tie_break = tie_break;
+        q
     }
 
     /// Attaches the shared tracing sink; the kernel contributes only
@@ -127,8 +169,13 @@ impl<E> EventQueue<E> {
             "event scheduled in the past: {at} < now {}",
             self.now
         );
+        let key = match self.tie_break {
+            TieBreak::Fifo => self.seq,
+            TieBreak::Seeded(salt) => mix64(self.seq ^ salt),
+        };
         let entry = Entry {
             at: at.max(self.now),
+            key,
             seq: self.seq,
             event,
         };
@@ -246,6 +293,49 @@ mod tests {
                 }
                 last = Some((t, i));
             }
+        }
+    }
+
+    #[test]
+    fn seeded_tie_break_is_deterministic_and_permutes() {
+        let run = |tb: TieBreak| {
+            let mut q = EventQueue::with_tie_break(tb);
+            for i in 0..64 {
+                q.schedule(Cycle(3), i);
+            }
+            std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect::<Vec<i32>>()
+        };
+        let fifo = run(TieBreak::Fifo);
+        let a1 = run(TieBreak::Seeded(0xabcd));
+        let a2 = run(TieBreak::Seeded(0xabcd));
+        let b = run(TieBreak::Seeded(0x1234));
+        assert_eq!(a1, a2, "same salt must replay the same order");
+        assert_ne!(a1, fifo, "a salt should permute same-cycle order");
+        assert_ne!(a1, b, "different salts should explore different orders");
+        // No event lost or duplicated, and FIFO is 0..64 in order.
+        let mut sorted = a1.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, fifo);
+    }
+
+    #[test]
+    fn seeded_tie_break_still_respects_time_order() {
+        let mut rng = SmallRng::seed_from_u64(0xe191_0003);
+        for salt in 0..32 {
+            let mut q = EventQueue::with_tie_break(TieBreak::Seeded(salt));
+            let n = rng.gen_range(1usize..200);
+            for i in 0..n {
+                q.schedule(Cycle(rng.gen_range(0u64..20)), i);
+            }
+            let mut seen = vec![false; n];
+            let mut last = Cycle::ZERO;
+            while let Some((t, i)) = q.pop() {
+                assert!(t >= last);
+                last = t;
+                assert!(!seen[i]);
+                seen[i] = true;
+            }
+            assert!(seen.iter().all(|&b| b));
         }
     }
 

@@ -1,0 +1,463 @@
+//! Adversarial fault injection for the interconnect.
+//!
+//! The Scalable TCC protocol is designed for *unordered* networks: its
+//! §3.3 race-elimination rules (invalidation-ack windows, TID-tagged
+//! write-backs, request-id supersede on load/invalidate races) only
+//! earn their keep when messages are delayed and reordered badly. The
+//! mesh model itself is benign — latencies vary only with hop count and
+//! contention — so this module wraps it with a [`FaultInjector`] that
+//! stretches message latencies adversarially:
+//!
+//! * **Per-message jitter** — each message independently gains up to
+//!   `jitter` extra cycles with probability `jitter_prob`.
+//! * **Kind-targeted, phase-windowed delays** ([`KindDelay`]) — e.g.
+//!   stall every `Mark` injected during cycles 0..5000 by 200 cycles
+//!   while racing `Commit`s run ahead, or hold `InvAck`s to stretch the
+//!   NSTID ack window.
+//! * **Hot spots** ([`HotSpot`]) — all traffic *into* one node slows
+//!   down for a cycle window, modeling a congested link or a transient
+//!   directory slowdown.
+//!
+//! Everything is driven by one [`SmallRng`] stream seeded from a single
+//! `u64`, and the simulator consumes messages in a deterministic order,
+//! so a (program seed × chaos seed × config) triple replays the exact
+//! failing schedule.
+//!
+//! # The one ordering rule chaos must respect
+//!
+//! Injection only ever *adds* latency, and by default it keeps each
+//! directed `(src, dst)` channel FIFO (strictly monotone delivery
+//! times). Cross-channel reordering is unbounded — that is where the
+//! protocol's races live — but the simulator's node model assumes
+//! point-to-point order on two paths: a superseded owner's
+//! `Flush`/`WriteBack` must reach the home directory *before* the same
+//! processor's subsequent `InvAck` (the directory merges the flush data
+//! under the ack window), and an eviction `WriteBack` must not be
+//! overtaken by the same node's next `LoadRequest` for that line.
+//! Violating per-channel FIFO therefore produces spurious
+//! lost-update reports that no real unordered fabric with per-channel
+//! ordering would exhibit. `preserve_channel_fifo: false` is available
+//! for experiments but is excluded from the correctness oracle.
+
+use std::collections::HashMap;
+
+use tcc_trace::Json;
+use tcc_types::rng::SmallRng;
+use tcc_types::{Cycle, Message, NodeId};
+
+/// Hook the [`Network`](crate::Network) calls for every message send.
+///
+/// Implementations return the (possibly later) delivery time; returning
+/// a time earlier than `arrival` is a contract violation (the engine
+/// cannot schedule into the past).
+pub trait FaultInjector: std::fmt::Debug {
+    /// Perturb one message injected at `now` whose natural delivery
+    /// time is `arrival`.
+    fn perturb(&mut self, now: Cycle, msg: &Message, arrival: Cycle) -> Cycle;
+}
+
+/// Extra latency for one message kind inside a cycle window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KindDelay {
+    /// Message kind name as reported by `Payload::kind_name()`
+    /// (e.g. `"Mark"`, `"InvAck"`, `"Commit"`).
+    pub kind: String,
+    /// Extra cycles added when the rule fires.
+    pub extra: u64,
+    /// Probability the rule fires for a matching message.
+    pub prob: f64,
+    /// Window start (message injection cycle), inclusive.
+    pub from: u64,
+    /// Window end, exclusive. `u64::MAX` leaves the window open.
+    pub until: u64,
+}
+
+/// Slow down all traffic *into* one node for a cycle window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HotSpot {
+    /// Destination node whose incoming links congest.
+    pub node: NodeId,
+    /// Extra cycles per message while the window is open.
+    pub extra: u64,
+    /// Window start (inclusive) and end (exclusive) in cycles.
+    pub from: u64,
+    pub until: u64,
+}
+
+/// Full description of one adversarial schedule, deterministic from
+/// `seed`. JSON round-trips via [`ChaosConfig::to_json`] /
+/// [`ChaosConfig::from_json`] so failing schedules are replayable
+/// artifacts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosConfig {
+    /// Seed for the injector's private RNG stream.
+    pub seed: u64,
+    /// Max per-message jitter in cycles (0 disables).
+    pub jitter: u64,
+    /// Probability a message receives jitter.
+    pub jitter_prob: f64,
+    /// Kind-targeted delay rules.
+    pub kind_delays: Vec<KindDelay>,
+    /// Destination hot spots.
+    pub hotspots: Vec<HotSpot>,
+    /// Keep each directed `(src, dst)` channel FIFO (see module docs).
+    /// Leave `true` for correctness-oracle runs.
+    pub preserve_channel_fifo: bool,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 0,
+            jitter: 0,
+            jitter_prob: 1.0,
+            kind_delays: Vec::new(),
+            hotspots: Vec::new(),
+            preserve_channel_fifo: true,
+        }
+    }
+}
+
+impl ChaosConfig {
+    /// `true` when no rule can ever add latency (the FIFO clamp may
+    /// still serialize same-cycle same-channel deliveries).
+    #[must_use]
+    pub fn is_benign(&self) -> bool {
+        self.jitter == 0 && self.kind_delays.is_empty() && self.hotspots.is_empty()
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("seed", self.seed.to_string().into()),
+            ("jitter", self.jitter.into()),
+            ("jitter_prob", self.jitter_prob.into()),
+            (
+                "kind_delays",
+                Json::Arr(
+                    self.kind_delays
+                        .iter()
+                        .map(|kd| {
+                            Json::obj(vec![
+                                ("kind", kd.kind.as_str().into()),
+                                ("extra", kd.extra.into()),
+                                ("prob", kd.prob.into()),
+                                ("from", kd.from.into()),
+                                ("until", window_end_json(kd.until)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "hotspots",
+                Json::Arr(
+                    self.hotspots
+                        .iter()
+                        .map(|h| {
+                            Json::obj(vec![
+                                ("node", u64::from(h.node.0).into()),
+                                ("extra", h.extra.into()),
+                                ("from", h.from.into()),
+                                ("until", window_end_json(h.until)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("preserve_channel_fifo", self.preserve_channel_fifo.into()),
+        ])
+    }
+
+    pub fn from_json(json: &Json) -> Result<ChaosConfig, String> {
+        let seed = json
+            .get("seed")
+            .and_then(Json::as_str)
+            .ok_or("chaos: missing seed")?
+            .parse::<u64>()
+            .map_err(|e| format!("chaos: bad seed: {e}"))?;
+        let jitter = field_u64(json, "jitter")?;
+        let jitter_prob = json
+            .get("jitter_prob")
+            .and_then(Json::as_f64)
+            .ok_or("chaos: missing jitter_prob")?;
+        let mut kind_delays = Vec::new();
+        for kd in json
+            .get("kind_delays")
+            .and_then(Json::as_arr)
+            .ok_or("chaos: missing kind_delays")?
+        {
+            kind_delays.push(KindDelay {
+                kind: kd
+                    .get("kind")
+                    .and_then(Json::as_str)
+                    .ok_or("chaos: kind_delay missing kind")?
+                    .to_string(),
+                extra: field_u64(kd, "extra")?,
+                prob: kd
+                    .get("prob")
+                    .and_then(Json::as_f64)
+                    .ok_or("chaos: kind_delay missing prob")?,
+                from: field_u64(kd, "from")?,
+                until: window_end_from_json(kd.get("until")),
+            });
+        }
+        let mut hotspots = Vec::new();
+        for h in json
+            .get("hotspots")
+            .and_then(Json::as_arr)
+            .ok_or("chaos: missing hotspots")?
+        {
+            hotspots.push(HotSpot {
+                node: NodeId(field_u64(h, "node")? as u16),
+                extra: field_u64(h, "extra")?,
+                from: field_u64(h, "from")?,
+                until: window_end_from_json(h.get("until")),
+            });
+        }
+        let preserve_channel_fifo = match json.get("preserve_channel_fifo") {
+            Some(Json::Bool(b)) => *b,
+            _ => true,
+        };
+        Ok(ChaosConfig {
+            seed,
+            jitter,
+            jitter_prob,
+            kind_delays,
+            hotspots,
+            preserve_channel_fifo,
+        })
+    }
+}
+
+/// Open-ended windows serialize as `null` (f64 cannot hold `u64::MAX`).
+fn window_end_json(until: u64) -> Json {
+    if until == u64::MAX {
+        Json::Null
+    } else {
+        until.into()
+    }
+}
+
+fn window_end_from_json(v: Option<&Json>) -> u64 {
+    v.and_then(Json::as_u64).unwrap_or(u64::MAX)
+}
+
+fn field_u64(json: &Json, key: &str) -> Result<u64, String> {
+    json.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("chaos: missing {key}"))
+}
+
+/// Counters the injector keeps about its own activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosStats {
+    /// Messages that passed through the injector.
+    pub messages: u64,
+    /// Messages whose delivery moved later than natural arrival.
+    pub perturbed: u64,
+    /// Total extra cycles injected.
+    pub extra_cycles: u64,
+}
+
+/// The deterministic [`FaultInjector`] driven by a [`ChaosConfig`].
+#[derive(Debug)]
+pub struct SeededInjector {
+    cfg: ChaosConfig,
+    rng: SmallRng,
+    /// Last delivery time per directed channel, for the FIFO clamp.
+    last_arrival: HashMap<(NodeId, NodeId), u64>,
+    stats: ChaosStats,
+}
+
+impl SeededInjector {
+    #[must_use]
+    pub fn new(cfg: ChaosConfig) -> Self {
+        let rng = SmallRng::seed_from_u64(cfg.seed);
+        SeededInjector {
+            cfg,
+            rng,
+            last_arrival: HashMap::new(),
+            stats: ChaosStats::default(),
+        }
+    }
+
+    #[must_use]
+    pub fn stats(&self) -> ChaosStats {
+        self.stats
+    }
+
+    fn extra_for(&mut self, now: Cycle, msg: &Message) -> u64 {
+        let mut extra = 0;
+        if self.cfg.jitter > 0 && self.rng.gen_bool(self.cfg.jitter_prob) {
+            extra += self.rng.gen_range(0..=self.cfg.jitter);
+        }
+        let kind = msg.payload.kind_name();
+        for kd in &self.cfg.kind_delays {
+            if kd.kind == kind && now.0 >= kd.from && now.0 < kd.until {
+                // Draw even when extra == 0 so adding/removing a rule's
+                // delay does not shift later draws (shrinking stays
+                // more local); the probability gate itself consumes
+                // from the stream deterministically per message.
+                if self.rng.gen_bool(kd.prob) {
+                    extra += kd.extra;
+                }
+            }
+        }
+        for h in &self.cfg.hotspots {
+            if msg.dst == h.node && now.0 >= h.from && now.0 < h.until {
+                extra += h.extra;
+            }
+        }
+        extra
+    }
+}
+
+impl FaultInjector for SeededInjector {
+    fn perturb(&mut self, now: Cycle, msg: &Message, arrival: Cycle) -> Cycle {
+        self.stats.messages += 1;
+        let extra = self.extra_for(now, msg);
+        let mut t = arrival.0 + extra;
+        if self.cfg.preserve_channel_fifo {
+            let key = (msg.src, msg.dst);
+            if let Some(&last) = self.last_arrival.get(&key) {
+                if t <= last {
+                    t = last + 1;
+                }
+            }
+            self.last_arrival.insert(key, t);
+        }
+        if t > arrival.0 {
+            self.stats.perturbed += 1;
+            self.stats.extra_cycles += t - arrival.0;
+        }
+        Cycle(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcc_types::{Payload, Tid};
+
+    fn msg(src: u16, dst: u16) -> Message {
+        Message::new(NodeId(src), NodeId(dst), Payload::Skip { tid: Tid(1) })
+    }
+
+    fn probe(src: u16, dst: u16) -> Message {
+        Message::new(
+            NodeId(src),
+            NodeId(dst),
+            Payload::Probe {
+                tid: Tid(1),
+                requester: NodeId(src),
+                for_write: true,
+            },
+        )
+    }
+
+    #[test]
+    fn same_seed_same_perturbation() {
+        let cfg = ChaosConfig {
+            seed: 99,
+            jitter: 50,
+            jitter_prob: 0.7,
+            ..ChaosConfig::default()
+        };
+        let mut a = SeededInjector::new(cfg.clone());
+        let mut b = SeededInjector::new(cfg);
+        for i in 0..500 {
+            let m = msg((i % 4) as u16, ((i + 1) % 4) as u16);
+            let at = Cycle(i * 3);
+            let natural = Cycle(i * 3 + 10);
+            assert_eq!(a.perturb(at, &m, natural), b.perturb(at, &m, natural));
+        }
+    }
+
+    #[test]
+    fn never_delivers_early_and_keeps_channel_fifo() {
+        let cfg = ChaosConfig {
+            seed: 7,
+            jitter: 200,
+            jitter_prob: 0.9,
+            ..ChaosConfig::default()
+        };
+        let mut inj = SeededInjector::new(cfg);
+        let mut last = 0;
+        for i in 0..200 {
+            let natural = Cycle(i + 10);
+            let t = inj.perturb(Cycle(i), &msg(0, 1), natural);
+            assert!(t >= natural, "chaos must only add latency");
+            assert!(t.0 > last, "same-channel deliveries must stay FIFO");
+            last = t.0;
+        }
+    }
+
+    #[test]
+    fn kind_delay_hits_only_its_kind_and_window() {
+        let cfg = ChaosConfig {
+            seed: 1,
+            kind_delays: vec![KindDelay {
+                kind: "Probe".to_string(),
+                extra: 100,
+                prob: 1.0,
+                from: 0,
+                until: 50,
+            }],
+            preserve_channel_fifo: false,
+            ..ChaosConfig::default()
+        };
+        let mut inj = SeededInjector::new(cfg);
+        assert_eq!(inj.perturb(Cycle(10), &probe(0, 1), Cycle(20)), Cycle(120));
+        // Other kinds untouched.
+        assert_eq!(inj.perturb(Cycle(10), &msg(0, 1), Cycle(20)), Cycle(20));
+        // Outside the window untouched.
+        assert_eq!(inj.perturb(Cycle(60), &probe(0, 1), Cycle(70)), Cycle(70));
+    }
+
+    #[test]
+    fn hotspot_slows_traffic_into_one_node() {
+        let cfg = ChaosConfig {
+            seed: 2,
+            hotspots: vec![HotSpot {
+                node: NodeId(3),
+                extra: 40,
+                from: 100,
+                until: 200,
+            }],
+            preserve_channel_fifo: false,
+            ..ChaosConfig::default()
+        };
+        let mut inj = SeededInjector::new(cfg);
+        assert_eq!(inj.perturb(Cycle(150), &msg(0, 3), Cycle(160)), Cycle(200));
+        assert_eq!(inj.perturb(Cycle(150), &msg(0, 2), Cycle(160)), Cycle(160));
+        assert_eq!(inj.perturb(Cycle(250), &msg(0, 3), Cycle(260)), Cycle(260));
+        assert_eq!(inj.stats().perturbed, 1);
+        assert_eq!(inj.stats().extra_cycles, 40);
+    }
+
+    #[test]
+    fn config_round_trips_through_json() {
+        let cfg = ChaosConfig {
+            seed: u64::MAX - 12345,
+            jitter: 32,
+            jitter_prob: 0.25,
+            kind_delays: vec![KindDelay {
+                kind: "InvAck".to_string(),
+                extra: 64,
+                prob: 0.5,
+                from: 0,
+                until: u64::MAX,
+            }],
+            hotspots: vec![HotSpot {
+                node: NodeId(5),
+                extra: 16,
+                from: 10,
+                until: 90,
+            }],
+            preserve_channel_fifo: true,
+        };
+        let json = cfg.to_json();
+        let parsed = Json::parse(&json.to_pretty()).unwrap();
+        assert_eq!(ChaosConfig::from_json(&parsed).unwrap(), cfg);
+    }
+}

@@ -29,9 +29,11 @@
 //! assert!(arrival > Cycle(0));
 //! ```
 
+pub mod chaos;
 mod mesh;
 mod stats;
 
+pub use chaos::{ChaosConfig, ChaosStats, FaultInjector, HotSpot, KindDelay, SeededInjector};
 pub use mesh::{Mesh2D, NetworkConfig};
 pub use stats::TrafficStats;
 
@@ -46,6 +48,7 @@ pub struct Network {
     stats: TrafficStats,
     line_bytes: u32,
     tracer: Tracer,
+    injector: Option<Box<dyn FaultInjector>>,
 }
 
 impl Network {
@@ -58,6 +61,7 @@ impl Network {
             stats: TrafficStats::new(n_nodes),
             line_bytes,
             tracer: Tracer::disabled(),
+            injector: None,
         }
     }
 
@@ -65,6 +69,34 @@ impl Network {
     /// not alter timing or routing).
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    /// Attaches an adversarial [`FaultInjector`]; every subsequent send
+    /// (unicast and multicast, local and remote) is routed through it.
+    pub fn set_injector(&mut self, injector: Box<dyn FaultInjector>) {
+        self.injector = Some(injector);
+    }
+
+    /// Runs `arrival` through the attached injector, if any, recording
+    /// the perturbation in the trace.
+    fn apply_chaos(&mut self, now: Cycle, msg: &Message, arrival: Cycle) -> Cycle {
+        let Some(injector) = self.injector.as_mut() else {
+            return arrival;
+        };
+        let perturbed = injector.perturb(now, msg, arrival);
+        debug_assert!(perturbed >= arrival, "fault injector must only add latency");
+        let delay = perturbed.0.saturating_sub(arrival.0);
+        if delay > 0 {
+            self.tracer.count("chaos.perturbed_messages", 1);
+            self.tracer.count("chaos.extra_cycles", delay);
+            self.tracer.record(now, || TraceEvent::ChaosPerturb {
+                kind: msg.payload.kind_name(),
+                src: msg.src,
+                dst: msg.dst,
+                delay,
+            });
+        }
+        perturbed
     }
 
     /// Records one message injection in the trace (all sends funnel
@@ -91,7 +123,8 @@ impl Network {
                 .record(msg.src, msg.dst, msg.payload.category(), size);
             self.stats.record_kind(msg.payload.kind_name());
         }
-        self.mesh.send(now, msg.src, msg.dst, size)
+        let arrival = self.mesh.send(now, msg.src, msg.dst, size);
+        self.apply_chaos(now, msg, arrival)
     }
 
     /// Times one copy of a *multicast* message (Skip/Commit/Abort
@@ -105,13 +138,15 @@ impl Network {
         let size = msg.size_bytes(self.line_bytes);
         self.trace_send(now, msg, size);
         if msg.src == msg.dst {
-            return self.mesh.send(now, msg.src, msg.dst, size);
+            let arrival = self.mesh.send(now, msg.src, msg.dst, size);
+            return self.apply_chaos(now, msg, arrival);
         }
         self.stats
             .record(msg.src, msg.dst, msg.payload.category(), size);
         self.stats.record_kind(msg.payload.kind_name());
         let hops = self.mesh.hops(msg.src, msg.dst);
-        now + self.mesh.uncontended_latency(hops, size)
+        let arrival = now + self.mesh.uncontended_latency(hops, size);
+        self.apply_chaos(now, msg, arrival)
     }
 
     /// Number of mesh hops between two nodes.

@@ -190,7 +190,8 @@ pub fn chrome_trace(records: &[TraceRecord]) -> Json {
             | TraceEvent::SkipBuffered { .. }
             | TraceEvent::ProbeDeferred { .. }
             | TraceEvent::LoadStallEnter { .. }
-            | TraceEvent::CommitAnnounce { .. } => {}
+            | TraceEvent::CommitAnnounce { .. }
+            | TraceEvent::ChaosPerturb { .. } => {}
         }
     }
     Json::Arr(out)

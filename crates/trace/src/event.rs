@@ -104,6 +104,14 @@ pub enum TraceEvent {
     AckWindowClose { dir: DirId, tid: Tid, window: u64 },
     /// A transaction rolled back.
     Violation { node: NodeId, cause: ViolationCause },
+    /// The chaos fault injector delayed a message by `delay` cycles
+    /// past its natural arrival (adversarial-schedule exploration).
+    ChaosPerturb {
+        kind: &'static str,
+        src: NodeId,
+        dst: NodeId,
+        delay: u64,
+    },
 }
 
 impl TraceEvent {
@@ -125,6 +133,7 @@ impl TraceEvent {
             TraceEvent::CommitComplete { .. } => "commit_complete",
             TraceEvent::AckWindowClose { .. } => "ack_window_close",
             TraceEvent::Violation { .. } => "violation",
+            TraceEvent::ChaosPerturb { .. } => "chaos_perturb",
         }
     }
 }

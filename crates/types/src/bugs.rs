@@ -1,0 +1,148 @@
+//! Debug-only protocol mutation knobs.
+//!
+//! Each flag here *disables one race-elimination rule* the Scalable TCC
+//! protocol needs on an unordered interconnect (§3.3 of the paper).
+//! They exist solely so the chaos subsystem (`tcc-chaos`) can prove it
+//! has teeth: with any knob set, the schedule explorer must find a
+//! serializability violation (or a crash/lost-update) within a bounded
+//! seed budget. Production configurations always use
+//! [`ProtocolBugs::default()`] — all rules enforced.
+
+/// Switches that individually disable known race-elimination rules.
+///
+/// All `false` (the default) means the protocol is correct. Setting any
+/// flag re-introduces a race the paper's design closes; the simulator
+/// still *runs*, but the serializability checker (or a quiescence
+/// assert) should eventually catch the fallout under an adversarial
+/// schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProtocolBugs {
+    /// Advance the NSTID / finish the commit immediately after fanning
+    /// out invalidations, without waiting for the invalidation acks.
+    /// Breaks the §3.3 rule that the next transaction must not read a
+    /// line whose invalidations are still in flight.
+    pub skip_ack_wait: bool,
+
+    /// Tag write-backs with the *latest* TID the processor has seen
+    /// instead of the generation (`owner_tid`) recorded when the line
+    /// was claimed. Breaks the TID-tagged write-back rule that lets the
+    /// directory drop superseded flushes from stale owners.
+    pub writeback_latest_tid: bool,
+
+    /// Serve loads for a line even while it sits inside a committer's
+    /// invalidation-ack window (the "commit-locked" stall in the
+    /// directory). Breaks the load/invalidate race elimination: a
+    /// reader can fetch pre-commit data after the commit serialized.
+    pub unlocked_window_loads: bool,
+
+    /// Accept any load reply that matches the requested *line*, even if
+    /// its request id shows it was superseded by an invalidation while
+    /// in flight. Breaks the request-id supersede rule; the processor
+    /// can install (and read) stale pre-commit data.
+    pub accept_stale_fills: bool,
+}
+
+impl ProtocolBugs {
+    /// `true` when any mutation knob is set.
+    #[must_use]
+    pub fn any(&self) -> bool {
+        self.skip_ack_wait
+            || self.writeback_latest_tid
+            || self.unlocked_window_loads
+            || self.accept_stale_fills
+    }
+
+    /// Every single-knob mutant, with a stable machine-readable name.
+    /// The chaos mutation self-test iterates this catalog.
+    #[must_use]
+    pub fn catalog() -> Vec<(&'static str, ProtocolBugs)> {
+        vec![
+            (
+                "skip_ack_wait",
+                ProtocolBugs {
+                    skip_ack_wait: true,
+                    ..ProtocolBugs::default()
+                },
+            ),
+            (
+                "writeback_latest_tid",
+                ProtocolBugs {
+                    writeback_latest_tid: true,
+                    ..ProtocolBugs::default()
+                },
+            ),
+            (
+                "unlocked_window_loads",
+                ProtocolBugs {
+                    unlocked_window_loads: true,
+                    ..ProtocolBugs::default()
+                },
+            ),
+            (
+                "accept_stale_fills",
+                ProtocolBugs {
+                    accept_stale_fills: true,
+                    ..ProtocolBugs::default()
+                },
+            ),
+        ]
+    }
+
+    /// Set the knob with the given catalog name. Returns `false` for an
+    /// unknown name (the caller decides whether that is an error).
+    pub fn set_by_name(&mut self, name: &str) -> bool {
+        match name {
+            "skip_ack_wait" => self.skip_ack_wait = true,
+            "writeback_latest_tid" => self.writeback_latest_tid = true,
+            "unlocked_window_loads" => self.unlocked_window_loads = true,
+            "accept_stale_fills" => self.accept_stale_fills = true,
+            _ => return false,
+        }
+        true
+    }
+
+    /// Names of the knobs that are set, in catalog order.
+    #[must_use]
+    pub fn enabled_names(&self) -> Vec<&'static str> {
+        let mut names = Vec::new();
+        if self.skip_ack_wait {
+            names.push("skip_ack_wait");
+        }
+        if self.writeback_latest_tid {
+            names.push("writeback_latest_tid");
+        }
+        if self.unlocked_window_loads {
+            names.push("unlocked_window_loads");
+        }
+        if self.accept_stale_fills {
+            names.push("accept_stale_fills");
+        }
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_clean() {
+        let bugs = ProtocolBugs::default();
+        assert!(!bugs.any());
+        assert!(bugs.enabled_names().is_empty());
+    }
+
+    #[test]
+    fn catalog_names_round_trip() {
+        for (name, bugs) in ProtocolBugs::catalog() {
+            assert!(bugs.any());
+            assert_eq!(bugs.enabled_names(), vec![name]);
+            let mut rebuilt = ProtocolBugs::default();
+            assert!(rebuilt.set_by_name(name));
+            assert_eq!(rebuilt, bugs);
+        }
+        let mut b = ProtocolBugs::default();
+        assert!(!b.set_by_name("no_such_knob"));
+        assert!(!b.any());
+    }
+}

@@ -28,11 +28,13 @@
 //! ```
 
 pub mod addr;
+pub mod bugs;
 pub mod ids;
 pub mod msg;
 pub mod rng;
 
 pub use addr::{Addr, LineAddr, LineGeometry, WordMask};
+pub use bugs::ProtocolBugs;
 pub use ids::{Cycle, DirId, NodeId, Tid};
 pub use msg::{
     DataSource, LineValues, Message, Payload, TrafficCategory, ADDR_BYTES, HEADER_BYTES,
