@@ -2,7 +2,7 @@
 //! every application as the machine scales from 1 to 64 processors.
 
 use tcc_bench::report::{
-    breakdown_json, harness_json, histogram_of, maybe_write_chrome, write_report,
+    breakdown_json, harness_json, histogram_of, maybe_write_chrome, write_report, TransportTotals,
 };
 use tcc_bench::{par_map, run_app_seeded, HarnessArgs, FIG7_SIZES, HARNESS_SEED};
 use tcc_stats::breakdown::scaling_curve;
@@ -22,6 +22,7 @@ fn main() {
         Json::Arr(FIG7_SIZES.iter().map(|&n| n.into()).collect()),
     );
     let mut apps_json: Vec<Json> = Vec::new();
+    let mut transport = TransportTotals::default();
     for app in apps::all() {
         if !args.selects(app.name) {
             continue;
@@ -32,6 +33,9 @@ fn main() {
             maybe_write_chrome(&r, &format!("fig7_{}_p{n}", app.name));
             r
         });
+        for r in &results {
+            transport.add(r);
+        }
         let curve = scaling_curve(&FIG7_SIZES, &results);
         println!("\n{} — Figure 7 panel", app.name);
         let mut t = TextTable::new(vec![
@@ -147,6 +151,7 @@ fn main() {
         &csv,
     );
     report.set("apps", Json::Arr(apps_json));
+    report.set("transport", transport.to_json());
     write_report(&report);
     println!("Paper anchors: 32-CPU speedups ~11..32; 64-CPU speedups ~16..57;");
     println!("SPECjbb2000 ~linear; SVM Classify best; equake/volrend worst");

@@ -13,6 +13,7 @@
 //! | `fig8`   | Figure 8 — link-latency sensitivity at 64 CPUs |
 //! | `fig9`   | Figure 9 — remote traffic per directory (bytes/instr) |
 //! | `ablation` | design-choice ablations (A: parallel vs. serialized commit; B: word vs. line conflict detection; C: write-back vs. write-through traffic) |
+//! | `loss`   | reliable-transport loss sweep — completion & recovery cost at 0–10% frame drop |
 //!
 //! Framework-free micro-benchmarks of the protocol hot paths live in
 //! `benches/` (plain `std::time` harnesses, so the suite builds with no

@@ -2,7 +2,9 @@
 //! harness. Three jobs:
 //!
 //! * sweep an unmutated (program × chaos) grid and demand zero oracle
-//!   violations (`--programs/--chaos`);
+//!   violations (`--programs/--chaos`), then repeat over lossy wires
+//!   (frame drops/duplicates/reordering recovered by the reliable
+//!   transport; `--loss` sets the chaos-seed count, 0 skips);
 //! * with `--mutations`, additionally prove each `ProtocolBugs` knob is
 //!   caught within the grid's seed budget (the mutation self-test);
 //! * replay the checked-in regression corpora (`--corpus`).
@@ -22,6 +24,7 @@ use tcc_types::ProtocolBugs;
 struct Args {
     programs: u64,
     chaos: u64,
+    loss: u64,
     jobs: usize,
     mutations: bool,
     replay_corpus: bool,
@@ -35,6 +38,7 @@ impl Default for Args {
         Args {
             programs: 25,
             chaos: 20,
+            loss: 20,
             jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
             mutations: false,
             replay_corpus: false,
@@ -57,6 +61,9 @@ fn parse_args() -> Result<Args, String> {
             "--chaos" => {
                 args.chaos = value("--chaos")?.parse().map_err(|e| format!("{e}"))?;
             }
+            "--loss" => {
+                args.loss = value("--loss")?.parse().map_err(|e| format!("{e}"))?;
+            }
             "--jobs" => {
                 args.jobs = value("--jobs")?.parse().map_err(|e| format!("{e}"))?;
             }
@@ -71,9 +78,9 @@ fn parse_args() -> Result<Args, String> {
             "--write-repros" => args.write_repros = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: chaos-explore [--programs N] [--chaos N] [--jobs N] \
-                     [--mutations] [--corpus] [--write-repros] [--out DIR] \
-                     [--shrink-budget N]"
+                    "usage: chaos-explore [--programs N] [--chaos N] [--loss N] \
+                     [--jobs N] [--mutations] [--corpus] [--write-repros] \
+                     [--out DIR] [--shrink-budget N]"
                 );
                 std::process::exit(0);
             }
@@ -128,6 +135,46 @@ fn main() -> ExitCode {
             );
             if let Err(e) = std::fs::write(&path, small.to_json_string()) {
                 eprintln!("  write {}: {e}", path.display());
+            }
+        }
+    }
+
+    // 1b. Loss sweep: the unmutated protocol over lossy wires — drops,
+    // duplicates, cross-channel reordering — must still pass every
+    // point (the reliable transport recovers; zero stalls tolerated).
+    if args.loss > 0 {
+        let grid = GridSpec::lossy(0..args.programs, 0..args.loss);
+        let scenarios = grid.scenarios();
+        println!(
+            "loss sweep: {} scenarios ({} program seeds x {} lossy chaos seeds) on {} jobs",
+            scenarios.len(),
+            args.programs,
+            args.loss,
+            args.jobs
+        );
+        let report = run_scenarios(&scenarios, args.jobs);
+        println!(
+            "  {} runs, {} commits, {} failures",
+            report.runs,
+            report.commits,
+            report.failures.len()
+        );
+        if !report.passed() {
+            ok = false;
+            std::fs::create_dir_all(&args.out).ok();
+            for failure in &report.failures {
+                let (small, stats) = shrink(&failure.scenario, args.shrink_budget);
+                let path = args.out.join(format!("{}.json", small.name));
+                println!(
+                    "  FAIL {}: {} (shrunk in {} attempts -> {})",
+                    failure.scenario.name,
+                    failure.outcome.failure.as_ref().unwrap(),
+                    stats.attempts,
+                    path.display()
+                );
+                if let Err(e) = std::fs::write(&path, small.to_json_string()) {
+                    eprintln!("  write {}: {e}", path.display());
+                }
             }
         }
     }

@@ -9,8 +9,9 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, Once};
 
-use crate::progen::{chaos_profile, generate_programs, tie_break_for, ProgramSpec};
+use crate::progen::{chaos_profile, generate_programs, loss_profile, tie_break_for, ProgramSpec};
 use crate::scenario::{RunOutcome, Scenario};
+use tcc_network::{DropRule, DupRule};
 
 /// A named configuration variant applied on top of each generated
 /// scenario (e.g. torus topology, Fig. 2f flush mode).
@@ -35,6 +36,10 @@ pub struct GridSpec {
     pub program_seeds: std::ops::Range<u64>,
     pub chaos_seeds: std::ops::Range<u64>,
     pub variants: Vec<Variant>,
+    /// Draw chaos schedules from [`loss_profile`] (drop/dup/reorder wire
+    /// faults, reliable transport on) instead of the latency-only
+    /// [`chaos_profile`].
+    pub lossy: bool,
 }
 
 impl GridSpec {
@@ -47,7 +52,22 @@ impl GridSpec {
             program_seeds,
             chaos_seeds,
             variants: vec![BASELINE],
+            lossy: false,
         }
+    }
+
+    /// A grid whose chaos axis sweeps lossy wires: frame drops (≤10%),
+    /// duplicates, and cross-channel reordering, recovered by the
+    /// reliable transport. The oracle expects every run to complete
+    /// with zero violations and zero stalls.
+    #[must_use]
+    pub fn lossy(
+        program_seeds: std::ops::Range<u64>,
+        chaos_seeds: std::ops::Range<u64>,
+    ) -> GridSpec {
+        let mut g = GridSpec::new(program_seeds, chaos_seeds);
+        g.lossy = true;
+        g
     }
 
     /// Materializes every scenario in the grid, in deterministic order
@@ -61,7 +81,12 @@ impl GridSpec {
                 for cs in self.chaos_seeds.clone() {
                     let mut s =
                         Scenario::new(format!("{}-p{ps}-c{cs}", variant.name), threads.clone());
-                    s.chaos = Some(chaos_profile(cs, self.program.n_procs));
+                    if self.lossy {
+                        s.chaos = Some(loss_profile(cs, self.program.n_procs));
+                        s.tweaks.transport = true;
+                    } else {
+                        s.chaos = Some(chaos_profile(cs, self.program.n_procs));
+                    }
                     s.tie_break_seed = tie_break_for(cs);
                     (variant.apply)(&mut s);
                     out.push(s);
@@ -82,6 +107,42 @@ fn apply_unlocked_window_loads(s: &mut Scenario) {
 
 fn apply_accept_stale_fills(s: &mut Scenario) {
     s.bugs.accept_stale_fills = true;
+}
+
+fn apply_transport_no_dedup(s: &mut Scenario) {
+    s.bugs.transport_no_dedup = true;
+    s.tweaks.transport = true;
+    // Guarantee duplicates exist for the broken receiver to leak:
+    // heavy blanket duplication plus enough delay that the copy lands
+    // after protocol state has moved on.
+    if let Some(chaos) = &mut s.chaos {
+        chaos.dups.push(DupRule {
+            kind: "*".to_string(),
+            prob: 0.35,
+            delay: 9,
+            from: 0,
+            until: u64::MAX,
+        });
+    }
+}
+
+fn apply_transport_no_reorder(s: &mut Scenario) {
+    s.bugs.transport_no_reorder = true;
+    s.tweaks.transport = true;
+    // Out-of-order arrivals are what the broken receiver mishandles:
+    // force cross-channel reorder jitter, and add drops so retransmitted
+    // frames arrive far behind newer traffic (the mutated receiver then
+    // skips the gap and discards the late original as a duplicate).
+    if let Some(chaos) = &mut s.chaos {
+        chaos.drops.push(DropRule {
+            kind: "*".to_string(),
+            prob: 0.08,
+            from: 0,
+            until: u64::MAX,
+        });
+        chaos.reorder = chaos.reorder.max(60);
+        chaos.reorder_prob = 0.5;
+    }
 }
 
 fn apply_writeback_latest_tid(s: &mut Scenario) {
@@ -127,6 +188,17 @@ pub fn mutation_grid(
                 ..ProgramSpec::default()
             };
             apply_writeback_latest_tid
+        }
+        // The transport knobs break under *wire* faults, so they hunt
+        // on the lossy grid (varied drop/dup/reorder shapes per chaos
+        // seed) with the fault class they mishandle forced on.
+        "transport_no_dedup" => {
+            grid.lossy = true;
+            apply_transport_no_dedup
+        }
+        "transport_no_reorder" => {
+            grid.lossy = true;
+            apply_transport_no_reorder
         }
         other => panic!("unknown mutation knob {other}"),
     };

@@ -1,7 +1,7 @@
 //! Seeded generators for the exploration grid's two random axes:
 //! transactional programs and chaos schedules.
 
-use tcc_network::{ChaosConfig, HotSpot, KindDelay};
+use tcc_network::{ChaosConfig, DropRule, DupRule, HotSpot, KindDelay};
 use tcc_types::rng::SmallRng;
 use tcc_types::NodeId;
 
@@ -136,6 +136,53 @@ pub fn chaos_profile(seed: u64, n_procs: usize) -> ChaosConfig {
     cfg
 }
 
+/// Derives one *lossy-wire* schedule from a chaos seed: everything
+/// [`chaos_profile`] produces, plus drop rules (up to 10% per-frame
+/// loss, possibly kind-targeted and phase-windowed), duplicate rules,
+/// and cross-channel reorder jitter. Scenarios carrying these faults
+/// must run with the reliable transport — [`crate::Scenario::to_config`]
+/// enables it automatically.
+#[must_use]
+pub fn loss_profile(seed: u64, n_procs: usize) -> ChaosConfig {
+    let mut cfg = chaos_profile(seed, n_procs);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x1055_f417_ab3e_u64);
+    // Always at least one drop rule: a loss profile without loss is
+    // just chaos_profile.
+    for _ in 0..rng.gen_range(1usize..=2) {
+        let kind = if rng.gen_bool(0.5) {
+            "*".to_string()
+        } else {
+            DELAY_TARGETS[rng.gen_range(0..DELAY_TARGETS.len())].to_string()
+        };
+        let (from, until) = if rng.gen_bool(0.3) {
+            let from = rng.gen_range(0u64..5_000);
+            (from, from + rng.gen_range(1_000u64..=20_000))
+        } else {
+            (0, u64::MAX)
+        };
+        cfg.drops.push(DropRule {
+            kind,
+            prob: rng.gen_range(0.01..=0.10),
+            from,
+            until,
+        });
+    }
+    if rng.gen_bool(0.7) {
+        cfg.dups.push(DupRule {
+            kind: "*".to_string(),
+            prob: rng.gen_range(0.02..=0.25),
+            delay: rng.gen_range(1u64..=64),
+            from: 0,
+            until: u64::MAX,
+        });
+    }
+    if rng.gen_bool(0.7) {
+        cfg.reorder = rng.gen_range(8u64..=120);
+        cfg.reorder_prob = rng.gen_range(0.1..=0.6);
+    }
+    cfg
+}
+
 /// The tie-break salt paired with a chaos seed (half the schedules also
 /// permute same-cycle event ordering).
 #[must_use]
@@ -181,6 +228,22 @@ mod tests {
                         }
                     }
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn loss_profiles_always_carry_wire_faults_within_bounds() {
+        for seed in 0..200 {
+            let cfg = loss_profile(seed, 4);
+            assert_eq!(cfg, loss_profile(seed, 4));
+            assert!(cfg.has_wire_faults());
+            assert!(!cfg.drops.is_empty());
+            for d in &cfg.drops {
+                assert!(d.prob <= 0.10, "loss capped at 10%: {}", d.prob);
+            }
+            for d in &cfg.dups {
+                assert!(d.delay >= 1);
             }
         }
     }

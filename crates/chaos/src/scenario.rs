@@ -8,7 +8,10 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-use tcc_core::{Simulator, SystemConfig, ThreadProgram, Transaction, TxOp, WorkItem};
+use tcc_core::{
+    RunError, Simulator, SystemConfig, ThreadProgram, Transaction, TransportConfig, TxOp,
+    WatchdogConfig, WorkItem,
+};
 use tcc_network::ChaosConfig;
 use tcc_trace::Json;
 use tcc_types::{Addr, ProtocolBugs};
@@ -79,6 +82,10 @@ pub struct ConfigTweaks {
     /// making progress; the simulator panics, which the oracle records
     /// as a failure.
     pub max_cycles: u64,
+    /// Run with the reliable transport (and the commit-progress
+    /// watchdog) enabled. Implied whenever the chaos schedule contains
+    /// drop/dup/reorder wire faults, which are meaningless without it.
+    pub transport: bool,
 }
 
 impl Default for ConfigTweaks {
@@ -93,6 +100,7 @@ impl Default for ConfigTweaks {
             small_caches: false,
             dir_cache_entries: None,
             max_cycles: 20_000_000,
+            transport: false,
         }
     }
 }
@@ -105,9 +113,15 @@ pub enum Failure {
     /// The run finished but committed fewer transactions than the
     /// programs contain (lost transactions).
     CommitShortfall { expected: u64, got: u64 },
-    /// The simulator panicked: a protocol assert, a quiescence check,
-    /// deadlock detection, or the livelock guard.
+    /// The simulator panicked: a protocol assert or a quiescence
+    /// check (genuine bugs, not outcomes).
     Panic(String),
+    /// The run stopped making progress and returned a typed
+    /// [`tcc_core::RunError::Stalled`]: livelock guard, watchdog,
+    /// transport retry-budget exhaustion, or deadlock. `reason` is the
+    /// stable [`tcc_core::StallReason::kind`] tag; `detail` is the
+    /// rendered diagnostic.
+    Stalled { reason: String, detail: String },
 }
 
 impl Failure {
@@ -118,6 +132,7 @@ impl Failure {
             Failure::NotSerializable(_) => "not_serializable",
             Failure::CommitShortfall { .. } => "commit_shortfall",
             Failure::Panic(_) => "panic",
+            Failure::Stalled { .. } => "stalled",
         }
     }
 }
@@ -130,6 +145,7 @@ impl std::fmt::Display for Failure {
                 write!(f, "commit shortfall: {got}/{expected} committed")
             }
             Failure::Panic(msg) => write!(f, "panic: {msg}"),
+            Failure::Stalled { reason, detail } => write!(f, "stalled ({reason}): {detail}"),
         }
     }
 }
@@ -212,6 +228,14 @@ impl Scenario {
         cfg.bugs = self.bugs;
         cfg.chaos = self.chaos.clone();
         cfg.tie_break_seed = self.tie_break_seed;
+        let wire_faults = self
+            .chaos
+            .as_ref()
+            .is_some_and(tcc_network::ChaosConfig::has_wire_faults);
+        if self.tweaks.transport || wire_faults {
+            cfg.transport = Some(TransportConfig::default());
+            cfg.watchdog = Some(WatchdogConfig::default());
+        }
         cfg
     }
 
@@ -233,27 +257,38 @@ impl Scenario {
     }
 
     /// Runs the scenario through the full simulator with the
-    /// serializability checker as oracle. Panics inside the simulator
-    /// (protocol asserts, deadlock/livelock detection) are caught and
-    /// classified as failures, not propagated.
+    /// serializability checker as oracle. Stalls come back as typed
+    /// [`RunError::Stalled`] values; panics inside the simulator
+    /// (protocol asserts) are caught and classified as failures, not
+    /// propagated.
     #[must_use]
     pub fn run(&self) -> RunOutcome {
         let expected = self.transactions();
         let cfg = self.to_config();
         let programs = self.to_programs();
         let result = catch_unwind(AssertUnwindSafe(move || {
-            let r = Simulator::new(cfg, programs).run();
-            let failure = match &r.serializability {
-                Some(Err(e)) => Some(Failure::NotSerializable(e.to_string())),
-                _ if r.commits != expected => Some(Failure::CommitShortfall {
-                    expected,
-                    got: r.commits,
-                }),
-                _ => None,
-            };
-            RunOutcome {
-                commits: r.commits,
-                failure,
+            match Simulator::new(cfg, programs).try_run() {
+                Ok(r) => {
+                    let failure = match &r.serializability {
+                        Some(Err(e)) => Some(Failure::NotSerializable(e.to_string())),
+                        _ if r.commits != expected => Some(Failure::CommitShortfall {
+                            expected,
+                            got: r.commits,
+                        }),
+                        _ => None,
+                    };
+                    RunOutcome {
+                        commits: r.commits,
+                        failure,
+                    }
+                }
+                Err(RunError::Stalled(d)) => RunOutcome {
+                    commits: d.commits,
+                    failure: Some(Failure::Stalled {
+                        reason: d.reason.kind().to_string(),
+                        detail: d.to_string(),
+                    }),
+                },
             }
         }));
         match result {
@@ -317,6 +352,9 @@ impl Scenario {
         }
         if self.tweaks.max_cycles != d.max_cycles {
             config.push(("max_cycles", self.tweaks.max_cycles.into()));
+        }
+        if self.tweaks.transport != d.transport {
+            config.push(("transport", self.tweaks.transport.into()));
         }
         Json::obj(vec![
             ("schema", "tcc-chaos-scenario/v1".into()),
@@ -405,6 +443,9 @@ impl Scenario {
             if let Some(v) = cfg.get("max_cycles").and_then(Json::as_u64) {
                 tweaks.max_cycles = v;
             }
+            if let Some(Json::Bool(b)) = cfg.get("transport") {
+                tweaks.transport = *b;
+            }
         }
         let mut bugs = ProtocolBugs::default();
         if let Some(arr) = json.get("bugs").and_then(Json::as_arr) {
@@ -468,7 +509,7 @@ impl Scenario {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tcc_network::{HotSpot, KindDelay};
+    use tcc_network::{DropRule, DupRule, HotSpot, KindDelay};
     use tcc_types::NodeId;
 
     fn sample() -> Scenario {
@@ -505,6 +546,21 @@ mod tests {
                 until: 1000,
             }],
             preserve_channel_fifo: true,
+            drops: vec![DropRule {
+                kind: "Mark".to_string(),
+                prob: 0.05,
+                from: 100,
+                until: 5000,
+            }],
+            dups: vec![DupRule {
+                kind: "*".to_string(),
+                prob: 0.1,
+                delay: 7,
+                from: 0,
+                until: u64::MAX,
+            }],
+            reorder: 40,
+            reorder_prob: 0.25,
         });
         s
     }

@@ -5,8 +5,8 @@
 //! * **Program axis** — drop whole threads, then whole transactions,
 //!   then individual operations.
 //! * **Perturbation axis** — remove the chaos config outright, then
-//!   individual delay rules and hot spots, then jitter, then the
-//!   tie-break salt.
+//!   individual delay/drop/duplicate rules and hot spots, then reorder
+//!   and latency jitter, then the tie-break salt.
 //!
 //! A candidate is accepted if it *still fails* (any failure class —
 //! the shrunk repro may fail differently from the original, which is
@@ -113,6 +113,22 @@ fn candidate_passes(s: &Scenario) -> Vec<Scenario> {
         for h in 0..chaos.hotspots.len() {
             let mut c = s.clone();
             c.chaos.as_mut().unwrap().hotspots.remove(h);
+            out.push(c);
+        }
+        // Wire faults shrink rule by rule, like the latency rules.
+        for i in 0..chaos.drops.len() {
+            let mut c = s.clone();
+            c.chaos.as_mut().unwrap().drops.remove(i);
+            out.push(c);
+        }
+        for i in 0..chaos.dups.len() {
+            let mut c = s.clone();
+            c.chaos.as_mut().unwrap().dups.remove(i);
+            out.push(c);
+        }
+        if chaos.reorder > 0 {
+            let mut c = s.clone();
+            c.chaos.as_mut().unwrap().reorder = 0;
             out.push(c);
         }
         if chaos.jitter > 0 {

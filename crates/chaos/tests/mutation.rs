@@ -14,12 +14,17 @@ use tcc_types::ProtocolBugs;
 
 /// (knob, scenario budget). Measured first detections on the current
 /// generators: skip_ack_wait 88, writeback_latest_tid 79,
-/// unlocked_window_loads 121, accept_stale_fills 4.
-const BUDGETS: [(&str, usize); 4] = [
+/// unlocked_window_loads 121, accept_stale_fills 4,
+/// transport_no_dedup 1, transport_no_reorder 1 (the transport knobs
+/// hunt on the lossy grid with their fault class forced, so nearly
+/// every scenario trips them).
+const BUDGETS: [(&str, usize); 6] = [
     ("skip_ack_wait", 150),
     ("writeback_latest_tid", 150),
     ("unlocked_window_loads", 200),
     ("accept_stale_fills", 25),
+    ("transport_no_dedup", 15),
+    ("transport_no_reorder", 15),
 ];
 
 fn budget_for(knob: &str) -> usize {

@@ -1,7 +1,8 @@
 //! Full-system configuration (Table 2 of the paper).
 
 use tcc_cache::CacheConfig;
-use tcc_network::{ChaosConfig, NetworkConfig};
+use tcc_engine::WatchdogConfig;
+use tcc_network::{ChaosConfig, NetworkConfig, TransportConfig};
 use tcc_trace::TraceConfig;
 use tcc_types::{NodeId, ProtocolBugs};
 
@@ -74,9 +75,26 @@ pub struct SystemConfig {
     /// `ProtocolBugs::default()` (all rules enforced) outside that
     /// suite.
     pub bugs: ProtocolBugs,
-    /// Safety limit: the simulation panics if the clock exceeds this,
-    /// which would indicate a protocol deadlock or livelock.
+    /// Safety limit: the simulation stops with
+    /// [`crate::RunError::Stalled`] (a panic via [`crate::Simulator::run`])
+    /// if the clock exceeds this, which would indicate a protocol
+    /// deadlock or livelock.
     pub max_cycles: u64,
+    /// Reliable transport over an unreliable wire. `None` (the
+    /// default) keeps the mesh's native exactly-once in-order delivery
+    /// and is completely untouched on the message path — byte-identical
+    /// to pre-transport behavior. `Some` wraps every remote message in
+    /// a sequenced [`tcc_types::Frame`] with dedup, reorder windows,
+    /// cumulative acks, and timeout-driven retransmission
+    /// ([`tcc_network::Transport`]), and is *required* whenever
+    /// `chaos` contains drop/dup/reorder wire faults.
+    pub transport: Option<TransportConfig>,
+    /// Commit-progress watchdog: sample the global progress signature
+    /// every `interval` cycles and declare a structured stall after
+    /// `grace` unchanged samples. `None` (the default) detects stalls
+    /// only via `max_cycles`/deadlock; the watchdog is observation-only
+    /// and never perturbs results.
+    pub watchdog: Option<WatchdogConfig>,
 }
 
 impl SystemConfig {
@@ -117,6 +135,8 @@ impl Default for SystemConfig {
             tie_break_seed: None,
             bugs: ProtocolBugs::default(),
             max_cycles: u64::MAX / 4,
+            transport: None,
+            watchdog: None,
         }
     }
 }

@@ -57,6 +57,7 @@ mod processor;
 mod profiling;
 mod program;
 mod sim;
+mod stall;
 
 pub use breakdown::{Breakdown, TxCharacteristics};
 pub use checker::{Checker, SerializabilityError, TxRecord};
@@ -65,3 +66,9 @@ pub use processor::{Effects, ProcCounters, Processor};
 pub use profiling::{LineConflicts, ProfileReport, StarvationEvent, ViolationEvent};
 pub use program::{ThreadProgram, Transaction, TxOp, WorkItem};
 pub use sim::{SimResult, Simulator};
+pub use stall::{RunError, StallDiagnostic, StallReason};
+// Re-exported so downstream crates can enable the reliable transport
+// and the watchdog without depending on tcc-network/tcc-engine
+// directly.
+pub use tcc_engine::WatchdogConfig;
+pub use tcc_network::TransportConfig;

@@ -849,6 +849,11 @@ impl Processor {
     /// request was in flight, the granted TID is *orphaned*: it must
     /// still be released by skipping every directory, or the gap-free
     /// sequence would stall the whole machine.
+    ///
+    /// Idempotence: relies on transport dedup. TID vending is an
+    /// allocation, not a query — a duplicate `TidRequest` mints an
+    /// orphan TID nobody releases, and a duplicate `TidReply` trips the
+    /// state panic below (kept as an exactly-once-violation detector).
     pub fn on_tid_reply(&mut self, now: Cycle, tid: Tid) -> Effects {
         if self.orphaned_tid_requests > 0 {
             self.orphaned_tid_requests -= 1;
@@ -883,6 +888,11 @@ impl Processor {
     }
 
     /// Handles a `ProbeReply` from `dir`.
+    ///
+    /// Idempotence: naturally idempotent — replies are consumed by
+    /// removing `dir` from the attempt's pending set (and stale-attempt
+    /// replies fail the `probe_tid` echo check), so a duplicate is
+    /// dropped without re-sending Marks.
     pub fn on_probe_reply(
         &mut self,
         now: Cycle,
@@ -1056,7 +1066,9 @@ impl Processor {
     /// consumed; anything else — replies to requests from rolled-back
     /// attempts, or requests superseded after an in-flight invalidation
     /// — is dropped on the floor, per the paper's load/invalidate race
-    /// rule (§3.3).
+    /// rule (§3.3). The same check makes the handler naturally
+    /// idempotent: a duplicate fill finds no matching outstanding
+    /// request and is discarded.
     pub fn on_load_reply(
         &mut self,
         now: Cycle,
@@ -1166,6 +1178,11 @@ impl Processor {
     }
 
     /// Handles an `Invalidate` from a remote commit.
+    ///
+    /// Idempotence: relies on transport dedup. Every delivery answers
+    /// with an `InvAck`, and the directory's ack window is a countdown —
+    /// a duplicate invalidation produces a surplus ack that underflows
+    /// it ("inv ack with no commit in flight").
     pub fn on_invalidate(
         &mut self,
         _now: Cycle,
@@ -1442,13 +1459,16 @@ impl Processor {
         self.totals.violation += now.since(self.tx_start);
         let was_serialized = self.serialize_mode;
         self.serialize_mode = overflow || self.violations_in_row >= self.cfg.starvation_threshold;
-        if self.cfg.profile && self.serialize_mode && !was_serialized {
-            self.profile_starvation.push(StarvationEvent {
-                proc: self.id,
-                violations: self.violations_in_row,
-                overflow,
-                at: now,
-            });
+        if self.serialize_mode && !was_serialized {
+            self.tracer.count("proc.starvation_entries", 1);
+            if self.cfg.profile {
+                self.profile_starvation.push(StarvationEvent {
+                    proc: self.id,
+                    violations: self.violations_in_row,
+                    overflow,
+                    at: now,
+                });
+            }
         }
         self.begin_attempt(now);
         fx.merge(self.request_early_tid_or_run(now));

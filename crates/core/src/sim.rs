@@ -4,10 +4,12 @@
 use std::collections::{HashSet, VecDeque};
 
 use tcc_directory::{DirAction, DirConfig, Directory};
-use tcc_engine::{EventQueue, TieBreak};
-use tcc_network::{Network, SeededInjector, TrafficStats};
+use tcc_engine::{progress_signature, EventQueue, ProgressWatchdog, TieBreak};
+use tcc_network::{
+    Network, SeededInjector, TrafficStats, Transport, TransportAction, TransportStats,
+};
 use tcc_trace::{TraceReport, Tracer};
-use tcc_types::{Cycle, DirId, LineAddr, Message, NodeId, Payload, Tid};
+use tcc_types::{Cycle, DirId, Frame, LineAddr, Message, NodeId, Payload, Tid};
 
 use crate::breakdown::{Breakdown, TxCharacteristics};
 use crate::checker::{Checker, SerializabilityError};
@@ -15,6 +17,7 @@ use crate::config::SystemConfig;
 use crate::processor::{Effects, ProcCounters, Processor};
 use crate::profiling::ProfileReport;
 use crate::program::ThreadProgram;
+use crate::stall::{RunError, StallDiagnostic, StallReason};
 
 /// Vendor service time per TID request, in cycles.
 const VENDOR_SERVICE: u64 = 2;
@@ -85,6 +88,23 @@ enum Event {
     /// processor's current sequence marks the event stale (superseded by
     /// a violation restart or another state change) and it is dropped.
     ProcStep(NodeId, u64),
+    /// A transport frame arrives off the (possibly faulty) wire
+    /// (reliable-transport runs only).
+    Wire(Frame),
+    /// A transport retransmission timer fires for channel `src → dst`.
+    /// A stale `epoch` marks a cancelled timer (dropped).
+    RetxTimer {
+        src: NodeId,
+        dst: NodeId,
+        epoch: u64,
+    },
+    /// A transport standalone-ack timer fires for data channel
+    /// `src → dst`.
+    AckTimer {
+        src: NodeId,
+        dst: NodeId,
+        epoch: u64,
+    },
 }
 
 /// Results of one complete simulation.
@@ -122,6 +142,8 @@ pub struct SimResult {
     pub profile: Option<ProfileReport>,
     /// Protocol trace and metrics, when `cfg.trace` was enabled.
     pub trace: Option<TraceReport>,
+    /// Reliable-transport counters, when `cfg.transport` was enabled.
+    pub transport: Option<TransportStats>,
 }
 
 impl SimResult {
@@ -222,6 +244,11 @@ pub struct Simulator {
     tx_chars: Vec<TxCharacteristics>,
     active: usize,
     tracer: Tracer,
+    /// Reliable transport over the unreliable wire; `None` keeps the
+    /// mesh's native delivery guarantees (the pre-transport fast path).
+    transport: Option<Transport>,
+    /// Commit-progress watchdog (observation-only).
+    watchdog: Option<ProgressWatchdog>,
 }
 
 impl Simulator {
@@ -274,8 +301,20 @@ impl Simulator {
         );
         net.set_tracer(tracer.clone());
         if let Some(chaos) = &cfg.chaos {
+            assert!(
+                !chaos.has_wire_faults() || cfg.transport.is_some(),
+                "chaos drop/dup/reorder wire faults require cfg.transport \
+                 (losing messages with no retransmission layer is not a \
+                 schedule, it is a different machine)"
+            );
             net.set_injector(Box::new(SeededInjector::new(chaos.clone())));
         }
+        let transport = cfg.transport.map(|tc| {
+            let mut t = Transport::new(tc, cfg.bugs);
+            t.set_tracer(tracer.clone());
+            t
+        });
+        let watchdog = cfg.watchdog.map(ProgressWatchdog::new);
         let tie_break = match cfg.tie_break_seed {
             Some(salt) => TieBreak::Seeded(salt),
             None => TieBreak::Fifo,
@@ -301,6 +340,8 @@ impl Simulator {
             tx_chars: Vec::new(),
             active,
             tracer,
+            transport,
+            watchdog,
         }
     }
 
@@ -308,19 +349,41 @@ impl Simulator {
     ///
     /// # Panics
     ///
-    /// Panics on protocol deadlock (events drained while processors are
-    /// still blocked) or when `cfg.max_cycles` is exceeded.
-    pub fn run(mut self) -> SimResult {
+    /// Panics (with the full [`StallDiagnostic`]) on protocol deadlock
+    /// (events drained while processors are still blocked), when
+    /// `cfg.max_cycles` is exceeded, when the commit-progress watchdog
+    /// trips, or when a transport retry budget is exhausted. Callers
+    /// that want the stall as data use [`Simulator::try_run`].
+    pub fn run(self) -> SimResult {
+        match self.try_run() {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Runs the simulation to completion, surfacing stalls as typed
+    /// [`RunError::Stalled`] values (with a populated
+    /// [`StallDiagnostic`]) instead of panicking. Protocol-invariant
+    /// violations (broken asserts) still panic — those are bugs, not
+    /// outcomes.
+    pub fn try_run(mut self) -> Result<SimResult, RunError> {
         for i in 0..self.procs.len() {
             let fx = self.procs[i].start(Cycle::ZERO);
             self.apply(Cycle::ZERO, NodeId(i as u16), fx);
         }
         while let Some((now, ev)) = self.queue.pop() {
-            assert!(
-                now.0 <= self.cfg.max_cycles,
-                "simulation exceeded {} cycles: protocol livelock?",
-                self.cfg.max_cycles
-            );
+            if now.0 > self.cfg.max_cycles {
+                let limit = self.cfg.max_cycles;
+                return Err(self.stalled(now, StallReason::CycleLimit { limit }));
+            }
+            if self.watchdog.as_ref().is_some_and(|w| w.due(now)) {
+                let sig = self.progress_signature();
+                let wd = self.watchdog.as_mut().expect("checked above");
+                if wd.observe(now, sig) {
+                    let window = wd.window();
+                    return Err(self.stalled(now, StallReason::NoProgress { window }));
+                }
+            }
             match ev {
                 Event::ProcStep(n, seq) => {
                     if self.procs[n.index()].wake_seq() == seq {
@@ -328,33 +391,163 @@ impl Simulator {
                         self.apply(now, n, fx);
                     }
                 }
-                Event::Inject(msg) => {
-                    let arrival = self.route(now, &msg);
-                    self.queue.schedule(arrival, Event::Deliver(msg));
-                }
+                Event::Inject(msg) => self.dispatch_send(now, msg),
                 Event::Deliver(msg) => self.deliver(now, msg),
+                Event::Wire(frame) => {
+                    let t = self
+                        .transport
+                        .as_mut()
+                        .expect("wire event without transport");
+                    let (delivered, actions) = t.on_frame(frame);
+                    self.apply_transport_actions(now, actions);
+                    for m in delivered {
+                        self.deliver(now, m);
+                    }
+                }
+                Event::RetxTimer { src, dst, epoch } => {
+                    let t = self
+                        .transport
+                        .as_mut()
+                        .expect("retx timer without transport");
+                    match t.on_retx_timer(now, src, dst, epoch) {
+                        Ok(actions) => self.apply_transport_actions(now, actions),
+                        Err(ex) => {
+                            let reason = StallReason::RetryExhausted {
+                                src: ex.src,
+                                dst: ex.dst,
+                                seq: ex.seq,
+                                kind: ex.kind,
+                                retries: ex.retries,
+                            };
+                            return Err(self.stalled(now, reason));
+                        }
+                    }
+                }
+                Event::AckTimer { src, dst, epoch } => {
+                    let t = self
+                        .transport
+                        .as_mut()
+                        .expect("ack timer without transport");
+                    let actions = t.on_ack_timer(src, dst, epoch);
+                    self.apply_transport_actions(now, actions);
+                }
             }
         }
         if self.active > 0 {
-            let states: Vec<String> = self
+            let now = self.queue.now();
+            return Err(self.stalled(now, StallReason::Deadlock));
+        }
+        Ok(self.finish())
+    }
+
+    /// Assembles the stall diagnostic for a run that stopped making
+    /// progress.
+    fn stalled(&self, now: Cycle, reason: StallReason) -> RunError {
+        let diag = StallDiagnostic {
+            reason,
+            at: now.0,
+            commits: self.procs.iter().map(|p| p.counters().commits).sum(),
+            active_procs: self.active,
+            proc_states: self
                 .procs
                 .iter()
-                .map(|p| format!("{}={}", p.id(), p.state_name()))
-                .collect();
-            let nst: Vec<String> = self
-                .dirs
-                .iter()
-                .map(|d| format!("{}", d.now_serving()))
-                .collect();
-            panic!(
-                "protocol deadlock: {} processors never finished; \
-                 states: [{}], directory NSTIDs: [{}]",
-                self.active,
-                states.join(", "),
-                nst.join(", ")
-            );
+                .map(|p| (p.id(), p.state_name().to_string()))
+                .collect(),
+            dir_nstids: self.dirs.iter().map(Directory::now_serving).collect(),
+            queued_events: self.queue.len(),
+            in_flight_frames: self.transport.as_ref().map_or(0, Transport::in_flight),
+            reorder_buffered: self
+                .transport
+                .as_ref()
+                .map_or(0, Transport::reorder_buffered),
+            in_flight_channels: self
+                .transport
+                .as_ref()
+                .map_or_else(Vec::new, Transport::in_flight_channels),
+            transport: self.transport.as_ref().map(Transport::stats),
+        };
+        self.tracer.count("sim.stalls", 1);
+        RunError::Stalled(Box::new(diag))
+    }
+
+    /// Folds the progress-relevant state into one signature word for
+    /// the watchdog: commits, per-directory NSTIDs, vended TIDs, active
+    /// processors, barrier arrivals, and in-order transport deliveries.
+    /// Churn counters (violations, retransmits, dup drops) are
+    /// deliberately excluded — they advance even while the system spins
+    /// in place.
+    fn progress_signature(&self) -> u64 {
+        let words = self
+            .procs
+            .iter()
+            .map(|p| p.counters().commits)
+            .chain(self.dirs.iter().map(|d| d.now_serving().0))
+            .chain([
+                self.vendor_next,
+                self.active as u64,
+                self.barrier_waiting.len() as u64,
+                self.transport.as_ref().map_or(0, |t| t.stats().delivered),
+            ]);
+        progress_signature(words)
+    }
+
+    /// The single choke point for putting a message in flight: with the
+    /// reliable transport on, every remote message is sequenced into a
+    /// frame and subjected to the chaos wire; without it (or for
+    /// node-local messages) the mesh's native exactly-once path is used
+    /// unchanged.
+    fn dispatch_send(&mut self, now: Cycle, msg: Message) {
+        if self.transport.is_some() && msg.src != msg.dst {
+            let actions = self.transport.as_mut().expect("checked above").send(msg);
+            self.apply_transport_actions(now, actions);
+        } else {
+            let arrival = self.route(now, &msg);
+            self.queue.schedule(arrival, Event::Deliver(msg));
         }
-        self.finish()
+    }
+
+    /// Turns transport actions into scheduled events: frames go through
+    /// the chaos wire (which may drop, duplicate, or reorder them),
+    /// timers arm directly.
+    fn apply_transport_actions(&mut self, now: Cycle, actions: Vec<TransportAction>) {
+        for a in actions {
+            match a {
+                TransportAction::Wire(frame) => {
+                    // Skip/Commit/Abort keep their fabric-multicast
+                    // timing (§2.2) even when enveloped; everything
+                    // else pays point-to-point contention, including
+                    // retransmissions.
+                    let multicast = matches!(
+                        &frame,
+                        Frame::Data { msg, .. } if matches!(
+                            msg.payload,
+                            Payload::Skip { .. } | Payload::Commit { .. } | Payload::Abort { .. }
+                        )
+                    );
+                    for at in self.net.send_frame(now, &frame, multicast) {
+                        self.queue.schedule(at, Event::Wire(frame.clone()));
+                    }
+                }
+                TransportAction::RetxTimer {
+                    src,
+                    dst,
+                    delay,
+                    epoch,
+                } => {
+                    self.queue
+                        .schedule(now + delay, Event::RetxTimer { src, dst, epoch });
+                }
+                TransportAction::AckTimer {
+                    src,
+                    dst,
+                    delay,
+                    epoch,
+                } => {
+                    self.queue
+                        .schedule(now + delay, Event::AckTimer { src, dst, epoch });
+                }
+            }
+        }
     }
 
     /// Injects a message, choosing point-to-point or multicast timing by
@@ -373,8 +566,7 @@ impl Simulator {
     fn apply(&mut self, now: Cycle, node: NodeId, fx: Effects) {
         for (delay, msg) in fx.sends {
             if delay == 0 {
-                let arrival = self.route(now, &msg);
-                self.queue.schedule(arrival, Event::Deliver(msg));
+                self.dispatch_send(now, msg);
             } else {
                 self.queue.schedule(now + delay, Event::Inject(msg));
             }
@@ -613,6 +805,15 @@ impl Simulator {
     /// processor actually holding the line dirty (no data can be lost
     /// in flight once nothing is in flight).
     fn assert_quiescent(&self) {
+        if let Some(t) = &self.transport {
+            assert!(
+                t.is_quiescent(),
+                "run finished with transport state in flight: \
+                 {} unacked frames, {} buffered out of order",
+                t.in_flight(),
+                t.reorder_buffered()
+            );
+        }
         let expected = Tid(self.vendor_next);
         for d in &self.dirs {
             d.assert_quiescent(expected);
@@ -674,6 +875,7 @@ impl Simulator {
             report
         });
         let trace = self.tracer.take_report();
+        let transport = self.transport.as_ref().map(Transport::stats);
         SimResult {
             total_cycles: end.0,
             breakdowns,
@@ -689,6 +891,7 @@ impl Simulator {
             serializability,
             profile,
             trace,
+            transport,
         }
     }
 }

@@ -1,0 +1,163 @@
+//! End-to-end tests of the reliable transport under a lossy
+//! interconnect, and of the typed stall reporting that replaces the
+//! old opaque panics.
+
+use tcc_core::{
+    RunError, Simulator, StallReason, SystemConfig, ThreadProgram, Transaction, TransportConfig,
+    TxOp, WatchdogConfig, WorkItem,
+};
+use tcc_network::{ChaosConfig, DropRule, DupRule};
+use tcc_types::Addr;
+
+fn line_addr(line: u64, word: u64) -> Addr {
+    Addr(line * 32 + word * 4)
+}
+
+fn tx(ops: Vec<TxOp>) -> WorkItem {
+    WorkItem::Tx(Transaction::new(ops))
+}
+
+/// Four threads hammering a four-line region: plenty of remote traffic
+/// on every protocol path (loads, probes, marks, commits, acks).
+fn contended_programs() -> Vec<ThreadProgram> {
+    (0..4u64)
+        .map(|p| {
+            let items = (0..6)
+                .map(|i| {
+                    tx(vec![
+                        TxOp::Load(line_addr((p + i) % 4, 0)),
+                        TxOp::Store(line_addr((p + i + 1) % 4, 1)),
+                        TxOp::Compute(40),
+                    ])
+                })
+                .collect();
+            ThreadProgram::new(items)
+        })
+        .collect()
+}
+
+fn lossy_chaos(seed: u64, drop_prob: f64) -> ChaosConfig {
+    ChaosConfig {
+        seed,
+        drops: vec![DropRule {
+            kind: "*".to_string(),
+            prob: drop_prob,
+            from: 0,
+            until: u64::MAX,
+        }],
+        dups: vec![DupRule {
+            kind: "*".to_string(),
+            prob: 0.2,
+            delay: 11,
+            from: 0,
+            until: u64::MAX,
+        }],
+        reorder: 40,
+        reorder_prob: 0.4,
+        ..ChaosConfig::default()
+    }
+}
+
+#[test]
+fn lossy_wire_run_completes_exactly_once() {
+    for seed in 0..5 {
+        let mut cfg = SystemConfig::with_procs(4);
+        cfg.check_serializability = true;
+        cfg.chaos = Some(lossy_chaos(seed, 0.10));
+        cfg.transport = Some(TransportConfig::default());
+        cfg.watchdog = Some(WatchdogConfig::default());
+        let r = Simulator::new(cfg, contended_programs()).run();
+        assert_eq!(r.commits, 24, "seed {seed}: all transactions must commit");
+        r.assert_serializable();
+        let t = r.transport.as_ref().unwrap();
+        assert!(
+            t.retransmits > 0,
+            "seed {seed}: 10% loss must force retransmissions"
+        );
+        assert!(
+            t.dup_drops > 0,
+            "seed {seed}: duplicates and retransmissions must be deduped"
+        );
+        assert_eq!(
+            t.delivered, t.data_frames as u64,
+            "seed {seed}: exactly-once — every distinct frame delivered once"
+        );
+    }
+}
+
+#[test]
+fn lossy_runs_are_deterministic() {
+    let run = || {
+        let mut cfg = SystemConfig::with_procs(4);
+        cfg.check_serializability = true;
+        cfg.chaos = Some(lossy_chaos(7, 0.08));
+        cfg.transport = Some(TransportConfig::default());
+        let r = Simulator::new(cfg, contended_programs()).run();
+        (r.total_cycles, r.commits, r.violations, r.transport)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn exhausted_retry_budget_returns_typed_stall() {
+    let mut cfg = SystemConfig::with_procs(4);
+    cfg.chaos = Some(lossy_chaos(1, 1.0)); // every frame dropped
+    cfg.transport = Some(TransportConfig {
+        max_retries: 3,
+        ..TransportConfig::default()
+    });
+    cfg.watchdog = Some(WatchdogConfig::default());
+    let err = Simulator::new(cfg, contended_programs())
+        .try_run()
+        .expect_err("a fully lossy wire must stall, not hang");
+    let RunError::Stalled(diag) = err;
+    let StallReason::RetryExhausted { retries, .. } = diag.reason else {
+        panic!("expected RetryExhausted, got {:?}", diag.reason);
+    };
+    assert_eq!(retries, 3);
+    // The diagnostic must be populated, not a bare error code.
+    assert_eq!(diag.proc_states.len(), 4);
+    assert_eq!(diag.dir_nstids.len(), 4);
+    assert!(diag.active_procs > 0);
+    assert!(diag.in_flight_frames > 0, "unacked frames must be reported");
+    assert!(!diag.in_flight_channels.is_empty());
+    let t = diag.transport.as_ref().unwrap();
+    assert!(t.timeout_fires > 0);
+    assert!(t.retransmits > 0);
+    // The rendered form carries the reason and the channel detail.
+    let text = diag.to_string();
+    assert!(text.contains("retry budget exhausted"), "{text}");
+    assert!(text.contains("channel"), "{text}");
+    assert_eq!(diag.reason.kind(), "retry_exhausted");
+}
+
+#[test]
+fn cycle_limit_returns_typed_stall_with_snapshot() {
+    let mut cfg = SystemConfig::with_procs(4);
+    cfg.max_cycles = 100; // far below the contended makespan
+    let err = Simulator::new(cfg, contended_programs())
+        .try_run()
+        .expect_err("the cycle limit must trip");
+    let RunError::Stalled(diag) = err;
+    assert_eq!(diag.reason, StallReason::CycleLimit { limit: 100 });
+    assert_eq!(diag.reason.kind(), "cycle_limit");
+    assert_eq!(diag.proc_states.len(), 4);
+    assert!(diag.at > 100);
+    // No transport configured: the transport section is absent.
+    assert!(diag.transport.is_none());
+}
+
+#[test]
+fn clean_wire_with_transport_still_completes_exactly_once() {
+    // No chaos at all: the transport's sequencing, acks, and (spurious)
+    // retransmissions must be invisible to the protocol outcome.
+    let mut cfg = SystemConfig::with_procs(4);
+    cfg.check_serializability = true;
+    cfg.transport = Some(TransportConfig::default());
+    cfg.watchdog = Some(WatchdogConfig::default());
+    let r = Simulator::new(cfg, contended_programs()).run();
+    assert_eq!(r.commits, 24);
+    r.assert_serializable();
+    let t = r.transport.as_ref().unwrap();
+    assert_eq!(t.delivered, t.data_frames as u64);
+}

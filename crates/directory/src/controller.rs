@@ -1,4 +1,47 @@
 //! The directory state machine.
+//!
+//! # Idempotence audit (duplicate / reordered delivery)
+//!
+//! The handlers below assume the interconnect delivers each message
+//! exactly once and in per-channel order — the guarantee the mesh gives
+//! natively and the reliable transport (`tcc-network::transport`)
+//! restores over a lossy wire. Per handler, what a duplicate delivery
+//! would do:
+//!
+//! * **Naturally idempotent** — safe even without transport dedup:
+//!   - [`DirectoryController::handle_skip`] / [`DirectoryController::handle_abort`]:
+//!     the Skip Vector ignores TIDs below the NSTID and re-buffering an
+//!     already-buffered skip is a no-op.
+//!   - [`DirectoryController::handle_writeback`]: merging the same
+//!     word values into memory twice converges; the superseded-owner
+//!     mask depends only on entry state, not delivery count.
+//!   - [`DirectoryController::handle_load`]: a duplicate request yields
+//!     a duplicate reply, but the processor consumes fills by
+//!     outstanding request id (`req` echo), so the extra reply is
+//!     dropped there.
+//!   - [`DirectoryController::handle_probe`]: a duplicate probe yields
+//!     a duplicate reply, but the processor consumes probe replies by
+//!     removing the directory from its pending set, so the extra reply
+//!     is dropped there.
+//! * **Relies on transport dedup** — a duplicate corrupts protocol
+//!   state, and the handler's assert is deliberately kept as an
+//!   exactly-once-violation *detector* rather than being weakened to
+//!   tolerate duplicates:
+//!   - [`DirectoryController::handle_mark`]: `marks_received` counts
+//!     deliveries, so a duplicate Mark can satisfy `marks_expected`
+//!     early and commit with a real mark still in flight (the straggler
+//!     is then dropped as stale — a lost write).
+//!   - [`DirectoryController::handle_commit`]: asserts
+//!     `tid == now_serving`; a duplicate arriving after the NSTID
+//!     advanced panics ("commit for X while serving Y").
+//!   - [`DirectoryController::handle_inv_ack`]: `acks_left` is a
+//!     countdown; a duplicate ack underflows it or arrives after the
+//!     window closed ("inv ack with no commit in flight" — the exact
+//!     failure the `transport_no_dedup` mutation witness replays).
+//!
+//! The TID vendor (in `tcc-core`) also relies on dedup: `TidRequest` is
+//! a fresh-TID allocation, so a duplicate vends an orphan TID that no
+//! one will ever skip or commit, wedging every directory's NSTID.
 
 use std::collections::{BTreeMap, HashMap};
 

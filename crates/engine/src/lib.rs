@@ -32,6 +32,10 @@ use std::collections::BinaryHeap;
 use tcc_trace::Tracer;
 use tcc_types::Cycle;
 
+pub mod watchdog;
+
+pub use watchdog::{progress_signature, ProgressWatchdog, WatchdogConfig};
+
 /// How events scheduled for the *same* cycle are ordered.
 ///
 /// The default ([`TieBreak::Fifo`]) pops same-cycle events in scheduling
@@ -53,7 +57,7 @@ pub enum TieBreak {
 
 /// SplitMix64 finalizer: cheap, well-mixed 64-bit hash for tie keys.
 #[inline]
-fn mix64(mut z: u64) -> u64 {
+pub(crate) fn mix64(mut z: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^ (z >> 31)

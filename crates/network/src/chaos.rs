@@ -38,6 +38,22 @@
 //! lost-update reports that no real unordered fabric with per-channel
 //! ordering would exhibit. `preserve_channel_fifo: false` is available
 //! for experiments but is excluded from the correctness oracle.
+//!
+//! # Wire faults (loss, duplication, cross-channel reorder)
+//!
+//! When the simulator runs with the reliable transport enabled
+//! (`crates/network/src/transport.rs`), every remote message travels as
+//! a sequenced [`Frame`](tcc_types::Frame) and the FIFO clamp above no
+//! longer applies — the transport restores per-channel order itself.
+//! On that path the injector is consulted through [`FaultInjector::wire_fate`],
+//! which may *drop* a frame ([`DropRule`]), *duplicate* it
+//! ([`DupRule`]), or scatter its delivery time without any clamp
+//! (`reorder`/`reorder_prob`), on top of the latency rules. Rules are
+//! kind- and phase-windowed exactly like [`KindDelay`]; `"*"` matches
+//! every frame kind (standalone acks are kind `"Ack"`). The simulator
+//! refuses wire faults unless the transport is on — losing a message
+//! with no retransmission layer is not a schedule, it is a different
+//! machine.
 
 use std::collections::HashMap;
 
@@ -54,6 +70,25 @@ pub trait FaultInjector: std::fmt::Debug {
     /// Perturb one message injected at `now` whose natural delivery
     /// time is `arrival`.
     fn perturb(&mut self, now: Cycle, msg: &Message, arrival: Cycle) -> Cycle;
+
+    /// Decide the fate of one *transport frame* injected at `now` with
+    /// natural delivery time `arrival`: the returned vector holds the
+    /// delivery time of every copy put on the wire — empty means the
+    /// frame was dropped, two entries mean it was duplicated. Unlike
+    /// [`perturb`](FaultInjector::perturb) there is **no** per-channel
+    /// FIFO clamp (the reliable transport restores ordering), so
+    /// implementations may reorder freely; they still must not deliver
+    /// before `arrival`. The default is a faithful wire.
+    fn wire_fate(
+        &mut self,
+        _now: Cycle,
+        _kind: &str,
+        _src: NodeId,
+        _dst: NodeId,
+        arrival: Cycle,
+    ) -> Vec<Cycle> {
+        vec![arrival]
+    }
 }
 
 /// Extra latency for one message kind inside a cycle window.
@@ -70,6 +105,43 @@ pub struct KindDelay {
     pub from: u64,
     /// Window end, exclusive. `u64::MAX` leaves the window open.
     pub until: u64,
+}
+
+/// Drop matching transport frames with some probability inside a cycle
+/// window. Only consulted on the reliable-transport wire path
+/// ([`FaultInjector::wire_fate`]); `kind == "*"` matches every frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DropRule {
+    /// Frame kind name (`Frame::kind_name()`), or `"*"` for all.
+    pub kind: String,
+    /// Probability a matching frame is dropped.
+    pub prob: f64,
+    /// Window start (frame injection cycle), inclusive.
+    pub from: u64,
+    /// Window end, exclusive. `u64::MAX` leaves the window open.
+    pub until: u64,
+}
+
+/// Duplicate matching transport frames with some probability inside a
+/// cycle window; the copy arrives `delay` cycles after the original.
+/// Only consulted on the reliable-transport wire path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DupRule {
+    /// Frame kind name (`Frame::kind_name()`), or `"*"` for all.
+    pub kind: String,
+    /// Probability a matching frame is duplicated.
+    pub prob: f64,
+    /// Extra cycles the duplicate copy lags the original (min 1).
+    pub delay: u64,
+    /// Window start (frame injection cycle), inclusive.
+    pub from: u64,
+    /// Window end, exclusive. `u64::MAX` leaves the window open.
+    pub until: u64,
+}
+
+/// `true` when `rule` (possibly the `"*"` wildcard) matches `kind`.
+fn kind_matches(rule: &str, kind: &str) -> bool {
+    rule == "*" || rule == kind
 }
 
 /// Slow down all traffic *into* one node for a cycle window.
@@ -103,6 +175,15 @@ pub struct ChaosConfig {
     /// Keep each directed `(src, dst)` channel FIFO (see module docs).
     /// Leave `true` for correctness-oracle runs.
     pub preserve_channel_fifo: bool,
+    /// Frame-drop rules (transport wire path only).
+    pub drops: Vec<DropRule>,
+    /// Frame-duplication rules (transport wire path only).
+    pub dups: Vec<DupRule>,
+    /// Max extra cross-channel reorder jitter on the transport wire
+    /// path, applied with **no** FIFO clamp (0 disables).
+    pub reorder: u64,
+    /// Probability a frame receives reorder jitter.
+    pub reorder_prob: f64,
 }
 
 impl Default for ChaosConfig {
@@ -114,6 +195,10 @@ impl Default for ChaosConfig {
             kind_delays: Vec::new(),
             hotspots: Vec::new(),
             preserve_channel_fifo: true,
+            drops: Vec::new(),
+            dups: Vec::new(),
+            reorder: 0,
+            reorder_prob: 1.0,
         }
     }
 }
@@ -123,7 +208,18 @@ impl ChaosConfig {
     /// still serialize same-cycle same-channel deliveries).
     #[must_use]
     pub fn is_benign(&self) -> bool {
-        self.jitter == 0 && self.kind_delays.is_empty() && self.hotspots.is_empty()
+        self.jitter == 0
+            && self.kind_delays.is_empty()
+            && self.hotspots.is_empty()
+            && !self.has_wire_faults()
+    }
+
+    /// `true` when any rule needs the unreliable wire path: dropping,
+    /// duplicating, or unclamped reordering. The simulator requires the
+    /// reliable transport to be enabled before honoring these.
+    #[must_use]
+    pub fn has_wire_faults(&self) -> bool {
+        !self.drops.is_empty() || !self.dups.is_empty() || self.reorder > 0
     }
 
     pub fn to_json(&self) -> Json {
@@ -165,6 +261,41 @@ impl ChaosConfig {
                 ),
             ),
             ("preserve_channel_fifo", self.preserve_channel_fifo.into()),
+            (
+                "drops",
+                Json::Arr(
+                    self.drops
+                        .iter()
+                        .map(|d| {
+                            Json::obj(vec![
+                                ("kind", d.kind.as_str().into()),
+                                ("prob", d.prob.into()),
+                                ("from", d.from.into()),
+                                ("until", window_end_json(d.until)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "dups",
+                Json::Arr(
+                    self.dups
+                        .iter()
+                        .map(|d| {
+                            Json::obj(vec![
+                                ("kind", d.kind.as_str().into()),
+                                ("prob", d.prob.into()),
+                                ("delay", d.delay.into()),
+                                ("from", d.from.into()),
+                                ("until", window_end_json(d.until)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("reorder", self.reorder.into()),
+            ("reorder_prob", self.reorder_prob.into()),
         ])
     }
 
@@ -218,6 +349,50 @@ impl ChaosConfig {
             Some(Json::Bool(b)) => *b,
             _ => true,
         };
+        // Wire-fault fields are additive: artifacts written before the
+        // reliable transport existed simply lack them.
+        let mut drops = Vec::new();
+        if let Some(arr) = json.get("drops").and_then(Json::as_arr) {
+            for d in arr {
+                drops.push(DropRule {
+                    kind: d
+                        .get("kind")
+                        .and_then(Json::as_str)
+                        .ok_or("chaos: drop rule missing kind")?
+                        .to_string(),
+                    prob: d
+                        .get("prob")
+                        .and_then(Json::as_f64)
+                        .ok_or("chaos: drop rule missing prob")?,
+                    from: field_u64(d, "from")?,
+                    until: window_end_from_json(d.get("until")),
+                });
+            }
+        }
+        let mut dups = Vec::new();
+        if let Some(arr) = json.get("dups").and_then(Json::as_arr) {
+            for d in arr {
+                dups.push(DupRule {
+                    kind: d
+                        .get("kind")
+                        .and_then(Json::as_str)
+                        .ok_or("chaos: dup rule missing kind")?
+                        .to_string(),
+                    prob: d
+                        .get("prob")
+                        .and_then(Json::as_f64)
+                        .ok_or("chaos: dup rule missing prob")?,
+                    delay: field_u64(d, "delay")?,
+                    from: field_u64(d, "from")?,
+                    until: window_end_from_json(d.get("until")),
+                });
+            }
+        }
+        let reorder = json.get("reorder").and_then(Json::as_u64).unwrap_or(0);
+        let reorder_prob = json
+            .get("reorder_prob")
+            .and_then(Json::as_f64)
+            .unwrap_or(1.0);
         Ok(ChaosConfig {
             seed,
             jitter,
@@ -225,6 +400,10 @@ impl ChaosConfig {
             kind_delays,
             hotspots,
             preserve_channel_fifo,
+            drops,
+            dups,
+            reorder,
+            reorder_prob,
         })
     }
 }
@@ -257,6 +436,10 @@ pub struct ChaosStats {
     pub perturbed: u64,
     /// Total extra cycles injected.
     pub extra_cycles: u64,
+    /// Transport frames dropped on the wire.
+    pub dropped: u64,
+    /// Extra transport-frame copies created by duplication rules.
+    pub duplicated: u64,
 }
 
 /// The deterministic [`FaultInjector`] driven by a [`ChaosConfig`].
@@ -286,12 +469,11 @@ impl SeededInjector {
         self.stats
     }
 
-    fn extra_for(&mut self, now: Cycle, msg: &Message) -> u64 {
+    fn extra_for(&mut self, now: Cycle, kind: &str, dst: NodeId) -> u64 {
         let mut extra = 0;
         if self.cfg.jitter > 0 && self.rng.gen_bool(self.cfg.jitter_prob) {
             extra += self.rng.gen_range(0..=self.cfg.jitter);
         }
-        let kind = msg.payload.kind_name();
         for kd in &self.cfg.kind_delays {
             if kd.kind == kind && now.0 >= kd.from && now.0 < kd.until {
                 // Draw even when extra == 0 so adding/removing a rule's
@@ -304,7 +486,7 @@ impl SeededInjector {
             }
         }
         for h in &self.cfg.hotspots {
-            if msg.dst == h.node && now.0 >= h.from && now.0 < h.until {
+            if dst == h.node && now.0 >= h.from && now.0 < h.until {
                 extra += h.extra;
             }
         }
@@ -315,7 +497,7 @@ impl SeededInjector {
 impl FaultInjector for SeededInjector {
     fn perturb(&mut self, now: Cycle, msg: &Message, arrival: Cycle) -> Cycle {
         self.stats.messages += 1;
-        let extra = self.extra_for(now, msg);
+        let extra = self.extra_for(now, msg.payload.kind_name(), msg.dst);
         let mut t = arrival.0 + extra;
         if self.cfg.preserve_channel_fifo {
             let key = (msg.src, msg.dst);
@@ -331,6 +513,50 @@ impl FaultInjector for SeededInjector {
             self.stats.extra_cycles += t - arrival.0;
         }
         Cycle(t)
+    }
+
+    fn wire_fate(
+        &mut self,
+        now: Cycle,
+        kind: &str,
+        _src: NodeId,
+        dst: NodeId,
+        arrival: Cycle,
+    ) -> Vec<Cycle> {
+        self.stats.messages += 1;
+        let mut extra = self.extra_for(now, kind, dst);
+        if self.cfg.reorder > 0 && self.rng.gen_bool(self.cfg.reorder_prob) {
+            extra += self.rng.gen_range(0..=self.cfg.reorder);
+        }
+        let t = arrival.0 + extra;
+        // Draw every in-window rule even once the outcome is decided so
+        // removing one rule (shrinking) keeps later draws stable.
+        let mut dropped = false;
+        for d in &self.cfg.drops {
+            if kind_matches(&d.kind, kind) && now.0 >= d.from && now.0 < d.until {
+                dropped |= self.rng.gen_bool(d.prob);
+            }
+        }
+        let mut copies = Vec::new();
+        for d in &self.cfg.dups {
+            if kind_matches(&d.kind, kind) && now.0 >= d.from && now.0 < d.until {
+                if self.rng.gen_bool(d.prob) {
+                    copies.push(Cycle(t + d.delay.max(1)));
+                }
+            }
+        }
+        if dropped {
+            self.stats.dropped += 1;
+            return Vec::new();
+        }
+        if t > arrival.0 {
+            self.stats.perturbed += 1;
+            self.stats.extra_cycles += t - arrival.0;
+        }
+        self.stats.duplicated += copies.len() as u64;
+        let mut fates = vec![Cycle(t)];
+        fates.extend(copies);
+        fates
     }
 }
 
@@ -455,9 +681,121 @@ mod tests {
                 until: 90,
             }],
             preserve_channel_fifo: true,
+            drops: vec![DropRule {
+                kind: "*".to_string(),
+                prob: 0.05,
+                from: 0,
+                until: u64::MAX,
+            }],
+            dups: vec![DupRule {
+                kind: "Mark".to_string(),
+                prob: 0.2,
+                delay: 40,
+                from: 100,
+                until: 5000,
+            }],
+            reorder: 120,
+            reorder_prob: 0.5,
         };
         let json = cfg.to_json();
         let parsed = Json::parse(&json.to_pretty()).unwrap();
         assert_eq!(ChaosConfig::from_json(&parsed).unwrap(), cfg);
+    }
+
+    #[test]
+    fn artifacts_without_wire_fault_fields_still_parse() {
+        // A pre-transport chaos artifact: no drops/dups/reorder keys.
+        let old = ChaosConfig {
+            seed: 3,
+            jitter: 8,
+            ..ChaosConfig::default()
+        };
+        let mut json = old.to_json();
+        if let Json::Obj(fields) = &mut json {
+            fields.retain(|(k, _)| {
+                !matches!(k.as_str(), "drops" | "dups" | "reorder" | "reorder_prob")
+            });
+        }
+        let parsed = Json::parse(&json.to_pretty()).unwrap();
+        let cfg = ChaosConfig::from_json(&parsed).unwrap();
+        assert_eq!(cfg, old);
+        assert!(!cfg.has_wire_faults());
+    }
+
+    #[test]
+    fn drop_rule_drops_matching_frames_in_window_only() {
+        let cfg = ChaosConfig {
+            seed: 11,
+            drops: vec![DropRule {
+                kind: "Probe".to_string(),
+                prob: 1.0,
+                from: 0,
+                until: 100,
+            }],
+            ..ChaosConfig::default()
+        };
+        let mut inj = SeededInjector::new(cfg);
+        assert!(inj
+            .wire_fate(Cycle(10), "Probe", NodeId(0), NodeId(1), Cycle(20))
+            .is_empty());
+        // Other kinds and out-of-window frames pass through on time.
+        assert_eq!(
+            inj.wire_fate(Cycle(10), "Skip", NodeId(0), NodeId(1), Cycle(20)),
+            vec![Cycle(20)]
+        );
+        assert_eq!(
+            inj.wire_fate(Cycle(150), "Probe", NodeId(0), NodeId(1), Cycle(160)),
+            vec![Cycle(160)]
+        );
+        assert_eq!(inj.stats().dropped, 1);
+    }
+
+    #[test]
+    fn dup_rule_emits_a_delayed_copy() {
+        let cfg = ChaosConfig {
+            seed: 12,
+            dups: vec![DupRule {
+                kind: "*".to_string(),
+                prob: 1.0,
+                delay: 30,
+                from: 0,
+                until: u64::MAX,
+            }],
+            ..ChaosConfig::default()
+        };
+        let mut inj = SeededInjector::new(cfg);
+        assert_eq!(
+            inj.wire_fate(Cycle(0), "Ack", NodeId(0), NodeId(1), Cycle(15)),
+            vec![Cycle(15), Cycle(45)]
+        );
+        assert_eq!(inj.stats().duplicated, 1);
+    }
+
+    #[test]
+    fn reorder_jitter_has_no_fifo_clamp_and_same_seed_replays() {
+        let cfg = ChaosConfig {
+            seed: 13,
+            reorder: 100,
+            reorder_prob: 1.0,
+            ..ChaosConfig::default()
+        };
+        let mut a = SeededInjector::new(cfg.clone());
+        let mut b = SeededInjector::new(cfg);
+        let mut saw_out_of_order = false;
+        let mut last = 0;
+        for i in 0..200 {
+            let fa = a.wire_fate(Cycle(i), "Mark", NodeId(0), NodeId(1), Cycle(i + 10));
+            let fb = b.wire_fate(Cycle(i), "Mark", NodeId(0), NodeId(1), Cycle(i + 10));
+            assert_eq!(fa, fb, "wire fate must be seed-deterministic");
+            assert!(fa[0] >= Cycle(i + 10), "wire faults must not deliver early");
+            if fa[0].0 < last {
+                saw_out_of_order = true;
+            }
+            last = fa[0].0;
+        }
+        assert!(
+            saw_out_of_order,
+            "unclamped reorder jitter should invert same-channel delivery order"
+        );
     }
 }

@@ -32,13 +32,17 @@
 pub mod chaos;
 mod mesh;
 mod stats;
+pub mod transport;
 
-pub use chaos::{ChaosConfig, ChaosStats, FaultInjector, HotSpot, KindDelay, SeededInjector};
+pub use chaos::{
+    ChaosConfig, ChaosStats, DropRule, DupRule, FaultInjector, HotSpot, KindDelay, SeededInjector,
+};
 pub use mesh::{Mesh2D, NetworkConfig};
 pub use stats::TrafficStats;
+pub use transport::{RetryExhausted, Transport, TransportAction, TransportConfig, TransportStats};
 
 use tcc_trace::{TraceEvent, Tracer};
-use tcc_types::{Cycle, Message, NodeId};
+use tcc_types::{Cycle, Frame, Message, NodeId};
 
 /// The interconnect facade: routes [`Message`]s over a [`Mesh2D`] and
 /// accounts their traffic.
@@ -147,6 +151,64 @@ impl Network {
         let hops = self.mesh.hops(msg.src, msg.dst);
         let arrival = now + self.mesh.uncontended_latency(hops, size);
         self.apply_chaos(now, msg, arrival)
+    }
+
+    /// Times one transport [`Frame`] across the mesh and asks the
+    /// attached injector (if any) for its **wire fate**: the returned
+    /// vector holds one delivery time per copy that survives the wire
+    /// (empty = dropped, two = duplicated). Unlike [`Network::send`],
+    /// no per-channel FIFO clamp applies — the reliable transport layer
+    /// restores ordering itself — so this is the only path on which the
+    /// chaos drop/dup/reorder rules take effect.
+    ///
+    /// `multicast` selects the uncontended-path timing model used for
+    /// Skip/Commit/Abort fan-out (see [`Network::send_multicast`]);
+    /// traffic is still accounted per copy put on the wire, including
+    /// retransmissions — resending costs real bytes.
+    pub fn send_frame(&mut self, now: Cycle, frame: &Frame, multicast: bool) -> Vec<Cycle> {
+        let size = frame.size_bytes(self.line_bytes);
+        let (src, dst) = (frame.src(), frame.dst());
+        let kind = frame.kind_name();
+        self.tracer.count("net.messages", 1);
+        self.tracer.count("net.bytes", u64::from(size));
+        self.tracer.record(now, || TraceEvent::MsgSend {
+            kind,
+            src,
+            dst,
+            bytes: u64::from(size),
+        });
+        debug_assert_ne!(src, dst, "local messages bypass the transport");
+        self.stats.record(src, dst, frame.category(), size);
+        self.stats.record_kind(kind);
+        let arrival = if multicast {
+            let hops = self.mesh.hops(src, dst);
+            now + self.mesh.uncontended_latency(hops, size)
+        } else {
+            self.mesh.send(now, src, dst, size)
+        };
+        let fates = match self.injector.as_mut() {
+            None => vec![arrival],
+            Some(injector) => injector.wire_fate(now, kind, src, dst, arrival),
+        };
+        debug_assert!(
+            fates.iter().all(|&t| t >= arrival),
+            "wire faults must not deliver early"
+        );
+        if fates.is_empty() {
+            self.tracer.count("chaos.dropped_frames", 1);
+            self.tracer
+                .record(now, || TraceEvent::FrameDropped { kind, src, dst });
+        } else if fates.len() > 1 {
+            let copies = fates.len() as u64 - 1;
+            self.tracer.count("chaos.duplicated_frames", copies);
+            self.tracer.record(now, || TraceEvent::FrameDuplicated {
+                kind,
+                src,
+                dst,
+                copies,
+            });
+        }
+        fates
     }
 
     /// Number of mesh hops between two nodes.

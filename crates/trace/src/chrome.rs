@@ -191,7 +191,10 @@ pub fn chrome_trace(records: &[TraceRecord]) -> Json {
             | TraceEvent::ProbeDeferred { .. }
             | TraceEvent::LoadStallEnter { .. }
             | TraceEvent::CommitAnnounce { .. }
-            | TraceEvent::ChaosPerturb { .. } => {}
+            | TraceEvent::ChaosPerturb { .. }
+            | TraceEvent::FrameDropped { .. }
+            | TraceEvent::FrameDuplicated { .. }
+            | TraceEvent::RetxFired { .. } => {}
         }
     }
     Json::Arr(out)

@@ -112,6 +112,29 @@ pub enum TraceEvent {
         dst: NodeId,
         delay: u64,
     },
+    /// The chaos wire dropped a transport frame (reliable-transport
+    /// runs only; the sender's retransmission timer recovers it).
+    FrameDropped {
+        kind: &'static str,
+        src: NodeId,
+        dst: NodeId,
+    },
+    /// The chaos wire duplicated a transport frame into `copies` extra
+    /// deliveries (the receiver's dedup filter absorbs them).
+    FrameDuplicated {
+        kind: &'static str,
+        src: NodeId,
+        dst: NodeId,
+        copies: u64,
+    },
+    /// A retransmission timer fired and re-sent every unacked frame on
+    /// one channel (`count` frames, `retries` consecutive fires so far).
+    RetxFired {
+        src: NodeId,
+        dst: NodeId,
+        count: u64,
+        retries: u32,
+    },
 }
 
 impl TraceEvent {
@@ -134,6 +157,9 @@ impl TraceEvent {
             TraceEvent::AckWindowClose { .. } => "ack_window_close",
             TraceEvent::Violation { .. } => "violation",
             TraceEvent::ChaosPerturb { .. } => "chaos_perturb",
+            TraceEvent::FrameDropped { .. } => "frame_dropped",
+            TraceEvent::FrameDuplicated { .. } => "frame_duplicated",
+            TraceEvent::RetxFired { .. } => "retx_fired",
         }
     }
 }

@@ -40,6 +40,20 @@ pub struct ProtocolBugs {
     /// in flight. Breaks the request-id supersede rule; the processor
     /// can install (and read) stale pre-commit data.
     pub accept_stale_fills: bool,
+
+    /// Disable the reliable transport's receiver-side duplicate filter:
+    /// frames whose sequence number was already delivered are handed to
+    /// the protocol again instead of being dropped and re-acked. Under
+    /// a duplicating wire, exactly-once delivery is lost — duplicated
+    /// Mark/InvAck/Commit messages double-count at the directory.
+    pub transport_no_dedup: bool,
+
+    /// Disable the reliable transport's receiver-side reorder window:
+    /// out-of-order frames are delivered immediately (and the gap they
+    /// skipped is cumulatively acked away, so the sender stops
+    /// retransmitting it). Under a lossy/reordering wire, per-channel
+    /// FIFO delivery is lost and skipped-over messages vanish.
+    pub transport_no_reorder: bool,
 }
 
 impl ProtocolBugs {
@@ -50,6 +64,8 @@ impl ProtocolBugs {
             || self.writeback_latest_tid
             || self.unlocked_window_loads
             || self.accept_stale_fills
+            || self.transport_no_dedup
+            || self.transport_no_reorder
     }
 
     /// Every single-knob mutant, with a stable machine-readable name.
@@ -85,6 +101,20 @@ impl ProtocolBugs {
                     ..ProtocolBugs::default()
                 },
             ),
+            (
+                "transport_no_dedup",
+                ProtocolBugs {
+                    transport_no_dedup: true,
+                    ..ProtocolBugs::default()
+                },
+            ),
+            (
+                "transport_no_reorder",
+                ProtocolBugs {
+                    transport_no_reorder: true,
+                    ..ProtocolBugs::default()
+                },
+            ),
         ]
     }
 
@@ -96,6 +126,8 @@ impl ProtocolBugs {
             "writeback_latest_tid" => self.writeback_latest_tid = true,
             "unlocked_window_loads" => self.unlocked_window_loads = true,
             "accept_stale_fills" => self.accept_stale_fills = true,
+            "transport_no_dedup" => self.transport_no_dedup = true,
+            "transport_no_reorder" => self.transport_no_reorder = true,
             _ => return false,
         }
         true
@@ -116,6 +148,12 @@ impl ProtocolBugs {
         }
         if self.accept_stale_fills {
             names.push("accept_stale_fills");
+        }
+        if self.transport_no_dedup {
+            names.push("transport_no_dedup");
+        }
+        if self.transport_no_reorder {
+            names.push("transport_no_reorder");
         }
         names
     }

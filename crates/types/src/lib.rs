@@ -32,6 +32,7 @@ pub mod bugs;
 pub mod ids;
 pub mod msg;
 pub mod rng;
+pub mod wire;
 
 pub use addr::{Addr, LineAddr, LineGeometry, WordMask};
 pub use bugs::ProtocolBugs;
@@ -39,3 +40,4 @@ pub use ids::{Cycle, DirId, NodeId, Tid};
 pub use msg::{
     DataSource, LineValues, Message, Payload, TrafficCategory, ADDR_BYTES, HEADER_BYTES,
 };
+pub use wire::{Frame, ACK_BYTES, SEQ_BYTES};
