@@ -7,7 +7,6 @@
 
 use std::time::Instant;
 
-use tcc_core::baseline::BaselineSimulator;
 use tcc_core::{Simulator, SystemConfig};
 use tcc_workloads::{apps, Scale};
 
@@ -32,12 +31,22 @@ fn main() {
         let app = apps::volrend();
         time_runs(&format!("scalable/{n}"), 10, || {
             let programs = app.generate_scaled(n, 7, Scale::Smoke);
-            std::hint::black_box(Simulator::new(SystemConfig::with_procs(n), programs).run());
+            std::hint::black_box(
+                Simulator::builder(SystemConfig::with_procs(n))
+                    .programs(programs)
+                    .build()
+                    .expect("valid config")
+                    .run(),
+            );
         });
         time_runs(&format!("baseline_serialized/{n}"), 10, || {
             let programs = app.generate_scaled(n, 7, Scale::Smoke);
             std::hint::black_box(
-                BaselineSimulator::new(SystemConfig::with_procs(n), programs).run(),
+                Simulator::builder(SystemConfig::with_procs(n))
+                    .programs(programs)
+                    .build_baseline()
+                    .expect("valid config")
+                    .run(),
             );
         });
     }

@@ -14,7 +14,8 @@
 
 use tcc_bench::report::{harness_json, write_report};
 use tcc_bench::{run_app, HarnessArgs, HARNESS_SEED};
-use tcc_core::baseline::{BaselineSimulator, OccCondition};
+use tcc_core::baseline::OccCondition;
+use tcc_core::Simulator;
 use tcc_core::SystemConfig;
 use tcc_stats::render::TextTable;
 use tcc_trace::{Json, RunReport};
@@ -53,16 +54,19 @@ fn ablation_a(args: &HarnessArgs, report: &mut RunReport) {
     for n in [1usize, 4, 16, 32] {
         let scalable = run_app(&app, n, args.scale(), |_| {}).total_cycles;
         let programs = app.generate_scaled(n, HARNESS_SEED, args.scale());
-        let cond2 = BaselineSimulator::new(SystemConfig::with_procs(n), programs.clone())
+        let cond2 = Simulator::builder(SystemConfig::with_procs(n))
+            .programs(programs.clone())
+            .build_baseline()
+            .expect("valid config")
             .run()
             .total_cycles;
-        let cond1 = BaselineSimulator::with_condition(
-            SystemConfig::with_procs(n),
-            programs,
-            OccCondition::SerialExecution,
-        )
-        .run()
-        .total_cycles;
+        let cond1 = Simulator::builder(SystemConfig::with_procs(n))
+            .programs(programs)
+            .baseline(OccCondition::SerialExecution)
+            .build_baseline()
+            .expect("valid config")
+            .run()
+            .total_cycles;
         t.row(vec![
             n.to_string(),
             scalable.to_string(),
@@ -149,7 +153,11 @@ fn ablation_c(args: &HarnessArgs, report: &mut RunReport) {
         let n = 16;
         let wb = run_app(&app, n, args.scale(), |_| {});
         let programs = app.generate_scaled(n, HARNESS_SEED, args.scale());
-        let wt = BaselineSimulator::new(SystemConfig::with_procs(n), programs).run();
+        let wt = Simulator::builder(SystemConfig::with_procs(n))
+            .programs(programs)
+            .build_baseline()
+            .expect("valid config")
+            .run();
         t.row(vec![
             app.name.to_string(),
             wb.traffic.total_bytes().to_string(),

@@ -1,0 +1,354 @@
+//! Hermetic scheduler/hot-path performance harness (`BENCH_perf.json`).
+//!
+//! Runs a fixed set of Figure 7 cells and reports, per cell:
+//!
+//! * wall-clock (best of `--reps`, default 3),
+//! * simulator events per second,
+//! * heap allocations (count and bytes) via a counting global
+//!   allocator — compiled into *this binary only*, so the tracked
+//!   numbers cannot perturb any other build artifact,
+//! * the deterministic result fingerprint
+//!   ([`tcc_core::SimResult::fingerprint`]).
+//!
+//! Modes:
+//!
+//! * `perf` — the full tracked cells (radix across the Figure 7 sweep
+//!   plus three 64-CPU apps); writes `BENCH_perf.json`.
+//! * `perf --smoke` — small fixed cells for CI.
+//! * `perf --smoke --check <golden.json>` — assert fingerprint identity
+//!   and allocation counts within tolerance against a checked-in
+//!   golden; exits non-zero on any regression.
+//! * `perf --smoke --write-golden <golden.json>` — regenerate the
+//!   golden after an intentional behaviour change.
+//!
+//! If `results/BENCH_perf_seed.json` (the committed pre-overhaul
+//! reference, measured on the same machine class) is readable, each
+//! cell also reports `speedup_vs_seed`.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use tcc_bench::report::write_report;
+use tcc_bench::{HarnessArgs, HARNESS_SEED};
+use tcc_core::{SimResult, Simulator, SystemConfig};
+use tcc_trace::{Json, RunReport};
+use tcc_workloads::{apps, AppProfile, Scale};
+
+/// Counting allocator: defers to the system allocator, tallying every
+/// allocation. Lives only in this binary.
+struct CountingAlloc;
+
+static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> (u64, u64) {
+    (
+        ALLOC_COUNT.load(Ordering::Relaxed),
+        ALLOC_BYTES.load(Ordering::Relaxed),
+    )
+}
+
+/// One tracked cell: an application at a CPU count and scale.
+struct Cell {
+    app: AppProfile,
+    cpus: usize,
+    scale: Scale,
+}
+
+impl Cell {
+    fn label(&self) -> String {
+        let s = match self.scale {
+            Scale::Smoke => "smoke",
+            Scale::Full => "full",
+        };
+        format!("{}@{}/{s}", self.app.name, self.cpus)
+    }
+}
+
+fn tracked_cells(smoke: bool) -> Vec<Cell> {
+    let mk = |app: AppProfile, cpus: usize, scale: Scale| Cell { app, cpus, scale };
+    if smoke {
+        vec![
+            mk(apps::radix(), 4, Scale::Smoke),
+            mk(apps::radix(), 16, Scale::Smoke),
+            mk(apps::specjbb(), 8, Scale::Smoke),
+            mk(apps::volrend(), 8, Scale::Smoke),
+        ]
+    } else {
+        vec![
+            mk(apps::radix(), 1, Scale::Full),
+            mk(apps::radix(), 8, Scale::Full),
+            mk(apps::radix(), 16, Scale::Full),
+            mk(apps::radix(), 32, Scale::Full),
+            mk(apps::radix(), 64, Scale::Full),
+            mk(apps::specjbb(), 64, Scale::Full),
+            mk(apps::volrend(), 64, Scale::Full),
+            mk(apps::equake(), 64, Scale::Full),
+        ]
+    }
+}
+
+struct Measurement {
+    label: String,
+    wall_ms: f64,
+    events: u64,
+    events_per_sec: f64,
+    alloc_count: u64,
+    alloc_bytes: u64,
+    fingerprint: String,
+    total_cycles: u64,
+    commits: u64,
+}
+
+fn run_cell(cell: &Cell, reps: usize) -> Measurement {
+    let run_once = || -> (SimResult, f64, u64, u64) {
+        let cfg = SystemConfig::with_procs(cell.cpus);
+        let programs = cell
+            .app
+            .generate_scaled(cell.cpus, HARNESS_SEED, cell.scale);
+        let sim = Simulator::builder(cfg)
+            .programs(programs)
+            .build()
+            .expect("valid config");
+        let (a0, b0) = allocs();
+        let t0 = Instant::now();
+        let r = sim.run();
+        let wall = t0.elapsed().as_secs_f64() * 1e3;
+        let (a1, b1) = allocs();
+        (r, wall, a1 - a0, b1 - b0)
+    };
+    let mut best: Option<(SimResult, f64, u64, u64)> = None;
+    for _ in 0..reps.max(1) {
+        let m = run_once();
+        let better = best.as_ref().is_none_or(|b| m.1 < b.1);
+        if better {
+            best = Some(m);
+        }
+    }
+    let (r, wall_ms, alloc_count, alloc_bytes) = best.expect("at least one rep");
+    Measurement {
+        label: cell.label(),
+        wall_ms,
+        events: r.events,
+        events_per_sec: r.events as f64 / (wall_ms / 1e3),
+        alloc_count,
+        alloc_bytes,
+        fingerprint: r.fingerprint(),
+        total_cycles: r.total_cycles,
+        commits: r.commits,
+    }
+}
+
+fn measurement_json(m: &Measurement, seed_ref: Option<&Json>) -> Json {
+    let mut fields = vec![
+        ("cell", Json::from(m.label.clone())),
+        ("wall_ms", Json::Num(m.wall_ms)),
+        ("events", m.events.into()),
+        ("events_per_sec", Json::Num(m.events_per_sec)),
+        ("alloc_count", m.alloc_count.into()),
+        ("alloc_bytes", m.alloc_bytes.into()),
+        ("fingerprint", m.fingerprint.clone().into()),
+        ("total_cycles", m.total_cycles.into()),
+        ("commits", m.commits.into()),
+    ];
+    if let Some(seed) = seed_ref.and_then(|s| seed_cell_wall(s, &m.label)) {
+        fields.push(("seed_wall_ms", Json::Num(seed)));
+        fields.push(("speedup_vs_seed", Json::Num(seed / m.wall_ms)));
+    }
+    Json::obj(fields)
+}
+
+/// Looks up a cell's wall-clock in the committed seed reference report.
+fn seed_cell_wall(seed: &Json, label: &str) -> Option<f64> {
+    let cells = seed.get("cells")?;
+    let Json::Arr(arr) = cells else { return None };
+    arr.iter()
+        .find(|c| c.get("cell").and_then(Json::as_str) == Some(label))
+        .and_then(|c| c.get("wall_ms"))
+        .and_then(Json::as_f64)
+}
+
+fn load_seed_reference() -> Option<Json> {
+    let text = std::fs::read_to_string("results/BENCH_perf_seed.json").ok()?;
+    Json::parse(&text).ok()
+}
+
+/// Allowed relative allocation-count growth before `--check` fails.
+const ALLOC_TOLERANCE: f64 = 0.10;
+
+fn check_golden(path: &str, cells: &[Measurement]) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let golden = Json::parse(&text).map_err(|e| format!("parse {path}: {e}"))?;
+    let Some(Json::Arr(want)) = golden.get("cells") else {
+        return Err(format!("{path}: no cells array"));
+    };
+    if want.len() != cells.len() {
+        return Err(format!(
+            "{path}: golden has {} cells, run produced {}",
+            want.len(),
+            cells.len()
+        ));
+    }
+    for (w, got) in want.iter().zip(cells) {
+        let cell = w.get("cell").and_then(Json::as_str).unwrap_or("?");
+        if cell != got.label {
+            return Err(format!(
+                "cell order mismatch: golden {cell}, run {}",
+                got.label
+            ));
+        }
+        let want_fp = w.get("fingerprint").and_then(Json::as_str).unwrap_or("?");
+        if want_fp != got.fingerprint {
+            return Err(format!(
+                "{cell}: result fingerprint changed: golden {want_fp}, run {} \
+                 (simulation results must be byte-identical)",
+                got.fingerprint
+            ));
+        }
+        let want_allocs = w
+            .get("alloc_count")
+            .and_then(Json::as_f64)
+            .unwrap_or(f64::MAX);
+        let limit = want_allocs * (1.0 + ALLOC_TOLERANCE);
+        if got.alloc_count as f64 > limit {
+            return Err(format!(
+                "{cell}: allocation regression: {} allocs > {:.0} \
+                 (golden {want_allocs:.0} + {:.0}% tolerance)",
+                got.alloc_count,
+                limit,
+                ALLOC_TOLERANCE * 100.0
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn golden_json(cells: &[Measurement]) -> Json {
+    Json::obj(vec![
+        ("schema", "tcc-perf-golden/v1".into()),
+        (
+            "cells",
+            Json::Arr(
+                cells
+                    .iter()
+                    .map(|m| {
+                        Json::obj(vec![
+                            ("cell", Json::from(m.label.clone())),
+                            ("fingerprint", m.fingerprint.clone().into()),
+                            ("alloc_count", m.alloc_count.into()),
+                            ("total_cycles", m.total_cycles.into()),
+                            ("commits", m.commits.into()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn main() {
+    // One parse loop for everything: the shared `HarnessArgs` grammar
+    // treats any free token as the app filter, which would swallow the
+    // value of `--check`/`--write-golden`/`--reps`.
+    let mut check: Option<String> = None;
+    let mut write_golden: Option<String> = None;
+    let mut reps = 3usize;
+    let mut smoke = false;
+    let mut filter: Option<String> = None;
+    let mut iter = std::env::args().skip(1);
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--check" => check = iter.next(),
+            "--write-golden" => write_golden = iter.next(),
+            "--reps" => reps = iter.next().and_then(|v| v.parse().ok()).unwrap_or(3),
+            "--smoke" => smoke = true,
+            other if !other.starts_with("--") => filter = Some(other.to_string()),
+            _ => {}
+        }
+    }
+    let args = HarnessArgs {
+        filter,
+        smoke,
+        ..HarnessArgs::default()
+    };
+
+    let cells = tracked_cells(args.smoke);
+    let seed_ref = load_seed_reference();
+    let mut measured = Vec::new();
+    println!(
+        "{:<18} {:>10} {:>12} {:>12} {:>12}  {}",
+        "cell", "wall ms", "events/s", "allocs", "alloc MB", "fingerprint"
+    );
+    for cell in &cells {
+        if !args.selects(cell.app.name) {
+            continue;
+        }
+        let m = run_cell(cell, reps);
+        println!(
+            "{:<18} {:>10.1} {:>12.0} {:>12} {:>12.1}  {}",
+            m.label,
+            m.wall_ms,
+            m.events_per_sec,
+            m.alloc_count,
+            m.alloc_bytes as f64 / 1e6,
+            m.fingerprint
+        );
+        measured.push(m);
+    }
+
+    let mut report = RunReport::new("perf");
+    report.set(
+        "harness",
+        Json::obj(vec![
+            ("seed", HARNESS_SEED.into()),
+            ("scale", if args.smoke { "smoke" } else { "full" }.into()),
+            ("reps", (reps as u64).into()),
+        ]),
+    );
+    report.set(
+        "cells",
+        Json::Arr(
+            measured
+                .iter()
+                .map(|m| measurement_json(m, seed_ref.as_ref()))
+                .collect(),
+        ),
+    );
+    write_report(&report);
+
+    if let Some(path) = write_golden {
+        std::fs::write(&path, golden_json(&measured).to_pretty()).expect("write golden");
+        eprintln!("  wrote {path}");
+    }
+    if let Some(path) = check {
+        match check_golden(&path, &measured) {
+            Ok(()) => println!("perf-smoke: OK ({} cells match {path})", measured.len()),
+            Err(e) => {
+                eprintln!("perf-smoke FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

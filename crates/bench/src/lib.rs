@@ -176,7 +176,11 @@ pub fn run_app_seeded(
     cfg.trace = report::trace_config();
     tweak(&mut cfg);
     let programs = app.generate_scaled(n, seed, scale);
-    Simulator::new(cfg, programs).run()
+    Simulator::builder(cfg)
+        .programs(programs)
+        .build()
+        .expect("valid config")
+        .run()
 }
 
 /// The machine sizes Figure 7 sweeps.

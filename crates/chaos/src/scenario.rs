@@ -267,7 +267,12 @@ impl Scenario {
         let cfg = self.to_config();
         let programs = self.to_programs();
         let result = catch_unwind(AssertUnwindSafe(move || {
-            match Simulator::new(cfg, programs).try_run() {
+            match Simulator::builder(cfg)
+                .programs(programs)
+                .build()
+                .expect("valid config")
+                .try_run()
+            {
                 Ok(r) => {
                     let failure = match &r.serializability {
                         Some(Err(e)) => Some(Failure::NotSerializable(e.to_string())),

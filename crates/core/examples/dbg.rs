@@ -32,7 +32,11 @@ fn main() {
     let mut cfg = SystemConfig::with_procs(4);
     cfg.check_serializability = true;
     cfg.owner_flush_keeps_line = false;
-    let r = Simulator::new(cfg, programs).run();
+    let r = Simulator::builder(cfg)
+        .programs(programs)
+        .build()
+        .expect("valid config")
+        .run();
     match r.serializability.unwrap() {
         Ok(()) => println!("seed {seed} ok ({} commits)", r.commits),
         Err(e) => println!("seed {seed} ERR: {e}"),

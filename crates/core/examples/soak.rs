@@ -63,7 +63,11 @@ fn main() {
             cfg.network.torus = true;
         }
         let expected: u64 = programs.iter().map(|p| p.transactions() as u64).sum();
-        let r = Simulator::new(cfg, programs).run();
+        let r = Simulator::builder(cfg)
+            .programs(programs)
+            .build()
+            .expect("valid config")
+            .run();
         match r.serializability.as_ref().unwrap() {
             Err(e) if r.commits == expected => {
                 println!("seed {seed} BAD: {e}");

@@ -97,6 +97,44 @@ pub struct SystemConfig {
     pub watchdog: Option<WatchdogConfig>,
 }
 
+/// A rejected [`SystemConfig`] (or builder input), naming the offending
+/// field and how to fix it.
+///
+/// Produced by [`SystemConfig::validate`] and
+/// [`crate::SimulatorBuilder::build`]. The `Display` rendering includes
+/// all three parts, so `?`-propagated errors are actionable as-is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// Dotted path of the offending field (e.g. `"network.bytes_per_cycle"`).
+    pub field: &'static str,
+    /// What is wrong with the current value.
+    pub problem: String,
+    /// How to fix it.
+    pub hint: &'static str,
+}
+
+impl ConfigError {
+    fn new(field: &'static str, problem: impl Into<String>, hint: &'static str) -> ConfigError {
+        ConfigError {
+            field,
+            problem: problem.into(),
+            hint,
+        }
+    }
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid config `{}`: {} (fix: {})",
+            self.field, self.problem, self.hint
+        )
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 impl SystemConfig {
     /// A configuration for `n_procs` processors with all other
     /// parameters at their Table 2 defaults.
@@ -112,6 +150,83 @@ impl SystemConfig {
     #[must_use]
     pub fn vendor_node(&self) -> NodeId {
         NodeId(0)
+    }
+
+    /// Checks the configuration for values the machine cannot run with,
+    /// centralizing refusals that used to live as scattered asserts in
+    /// the constructors. Called by [`crate::Simulator::builder`]; call
+    /// it directly to vet externally-sourced configs (e.g. decoded
+    /// chaos scenarios) before spending cycles on construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] naming the offending field and a fix
+    /// hint for: a zero-processor machine, degenerate interconnect
+    /// parameters (zero link bandwidth), a zero execution chunk (the
+    /// processor could never advance), a zero cycle limit (every run
+    /// would be declared stalled at cycle 0), a zero-entry directory
+    /// cache (every operation would miss forever), a line geometry
+    /// wider than the 64-bit word masks, and chaos wire faults
+    /// (drop/dup/reorder) configured without the reliable transport
+    /// that makes lost messages a schedule rather than a different
+    /// machine.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.n_procs == 0 {
+            return Err(ConfigError::new(
+                "n_procs",
+                "a machine needs at least one processor",
+                "use SystemConfig::with_procs(n) with n >= 1",
+            ));
+        }
+        if self.network.bytes_per_cycle == 0 {
+            return Err(ConfigError::new(
+                "network.bytes_per_cycle",
+                "zero link bandwidth: messages would never cross a link",
+                "set bytes_per_cycle >= 1 (Table 2 uses 8)",
+            ));
+        }
+        if self.exec_chunk == 0 {
+            return Err(ConfigError::new(
+                "exec_chunk",
+                "a processor executing 0 cycles per event never advances",
+                "set exec_chunk >= 1 (default 200)",
+            ));
+        }
+        if self.max_cycles == 0 {
+            return Err(ConfigError::new(
+                "max_cycles",
+                "every run would be declared stalled at cycle 0",
+                "set a generous cycle budget (the default is u64::MAX / 4)",
+            ));
+        }
+        if self.dir_cache_entries == Some(0) {
+            return Err(ConfigError::new(
+                "dir_cache_entries",
+                "a zero-entry directory cache misses on every operation",
+                "use None for an unbounded cache, or Some(n) with n >= 1",
+            ));
+        }
+        let words = self.cache.geometry.words_per_line();
+        if words == 0 || words > 64 {
+            return Err(ConfigError::new(
+                "cache.geometry",
+                format!("{words} words per line; word masks are 64-bit"),
+                "choose line_bytes/word_bytes with 1..=64 words per line",
+            ));
+        }
+        if let Some(chaos) = &self.chaos {
+            if chaos.has_wire_faults() && self.transport.is_none() {
+                return Err(ConfigError::new(
+                    "transport",
+                    "chaos drop/dup/reorder wire faults without a \
+                     retransmission layer lose messages outright — that \
+                     is a different machine, not a schedule",
+                    "set cfg.transport = Some(TransportConfig::default()) \
+                     or drop the wire faults from the chaos config",
+                ));
+            }
+        }
+        Ok(())
     }
 }
 

@@ -43,11 +43,20 @@
 //!         ThreadProgram::new(vec![WorkItem::Tx(tx)])
 //!     })
 //!     .collect();
-//! let result = Simulator::new(cfg, programs).run();
+//! let result = Simulator::builder(cfg)
+//!     .programs(programs)
+//!     .build()?
+//!     .try_run()?;
 //! assert_eq!(result.commits, 2);
 //! assert_eq!(result.violations, 0);
 //! result.assert_serializable();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! [`Simulator::try_run`] is the default path: stalls (deadlock, cycle
+//! limit, watchdog, transport retry exhaustion) come back as typed
+//! [`RunError`] values. The panicking [`Simulator::run`] remains as a
+//! convenience for tests and examples that treat a stall as a bug.
 
 pub mod baseline;
 mod breakdown;
@@ -59,13 +68,24 @@ mod program;
 mod sim;
 mod stall;
 
+/// Cached check of the `TCC_TRACE` debug env var.
+///
+/// The raw `env::var_os` lookup is a linear scan of the process
+/// environment — far too slow for once-per-event use on the simulation
+/// hot path, so the result is read once per process and memoized.
+pub(crate) fn tcc_trace_enabled() -> bool {
+    use std::sync::OnceLock;
+    static ON: OnceLock<bool> = OnceLock::new();
+    *ON.get_or_init(|| std::env::var_os("TCC_TRACE").is_some())
+}
+
 pub use breakdown::{Breakdown, TxCharacteristics};
 pub use checker::{Checker, SerializabilityError, TxRecord};
-pub use config::SystemConfig;
+pub use config::{ConfigError, SystemConfig};
 pub use processor::{Effects, ProcCounters, Processor};
 pub use profiling::{LineConflicts, ProfileReport, StarvationEvent, ViolationEvent};
 pub use program::{ThreadProgram, Transaction, TxOp, WorkItem};
-pub use sim::{SimResult, Simulator};
+pub use sim::{SimResult, Simulator, SimulatorBuilder};
 pub use stall::{RunError, StallDiagnostic, StallReason};
 // Re-exported so downstream crates can enable the reliable transport
 // and the watchdog without depending on tcc-network/tcc-engine

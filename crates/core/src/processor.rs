@@ -1,7 +1,8 @@
 //! The TCC processor model: transactional execution, the two-phase
 //! commit protocol, violations, and overflow handling.
 
-use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
+use tcc_types::hash::FxHashSet;
 
 use tcc_cache::{Eviction, HierCache, LineState, LoadOutcome, StoreOutcome};
 use tcc_trace::{TraceEvent, Tracer, ViolationCause};
@@ -155,7 +156,7 @@ pub struct Processor {
     attempt_miss: u64,
     attempt_commit_extra: u64,
     tx_instr: u64,
-    read_lines: HashSet<LineAddr>,
+    read_lines: FxHashSet<LineAddr>,
     reads_log: Vec<(LineAddr, usize, Option<Tid>)>,
     sharing_dirs: BTreeSet<DirId>,
     writing_dirs: BTreeSet<DirId>,
@@ -211,7 +212,7 @@ impl Processor {
             attempt_miss: 0,
             attempt_commit_extra: 0,
             tx_instr: 0,
-            read_lines: HashSet::new(),
+            read_lines: FxHashSet::default(),
             reads_log: Vec::new(),
             sharing_dirs: BTreeSet::new(),
             writing_dirs: BTreeSet::new(),
@@ -1192,7 +1193,7 @@ impl Processor {
         dir: DirId,
     ) -> Effects {
         let mut fx = Effects::default();
-        if std::env::var_os("TCC_TRACE").is_some() {
+        if crate::tcc_trace_enabled() {
             eprintln!(
                 "{} INV@{} line={} words={:b} from={} state={} dirty={} sr={:b} sm={:b} contains={}",
                 _now, self.id, line, words.0, committer_tid, self.state_name(),

@@ -1,7 +1,8 @@
 //! The full-system simulator: event loop, message routing, vendor,
 //! barriers, and result assembly.
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::VecDeque;
+use tcc_types::hash::FxHashSet;
 
 use tcc_directory::{DirAction, DirConfig, Directory};
 use tcc_engine::{progress_signature, EventQueue, ProgressWatchdog, TieBreak};
@@ -11,9 +12,10 @@ use tcc_network::{
 use tcc_trace::{TraceReport, Tracer};
 use tcc_types::{Cycle, DirId, Frame, LineAddr, Message, NodeId, Payload, Tid};
 
+use crate::baseline::BaselineSimulator;
 use crate::breakdown::{Breakdown, TxCharacteristics};
 use crate::checker::{Checker, SerializabilityError};
-use crate::config::SystemConfig;
+use crate::config::{ConfigError, SystemConfig};
 use crate::processor::{Effects, ProcCounters, Processor};
 use crate::profiling::ProfileReport;
 use crate::program::ThreadProgram;
@@ -28,13 +30,13 @@ const VENDOR_SERVICE: u64 = 2;
 #[derive(Debug)]
 struct DirCache {
     cap: usize,
-    resident: HashSet<LineAddr>,
+    resident: FxHashSet<LineAddr>,
     fifo: VecDeque<LineAddr>,
     /// Lines whose state has been evicted to memory at least once; only
     /// these pay a fetch on re-reference (a never-seen line's entry is
     /// synthesized empty, no memory read needed). Grows with the
     /// evicted-line population — acceptable for simulation bookkeeping.
-    spilled: HashSet<LineAddr>,
+    spilled: FxHashSet<LineAddr>,
     hits: u64,
     misses: u64,
 }
@@ -43,9 +45,9 @@ impl DirCache {
     fn new(cap: usize) -> DirCache {
         DirCache {
             cap: cap.max(1),
-            resident: HashSet::new(),
+            resident: FxHashSet::default(),
             fifo: VecDeque::new(),
-            spilled: HashSet::new(),
+            spilled: FxHashSet::default(),
             hits: 0,
             misses: 0,
         }
@@ -188,6 +190,35 @@ impl SimResult {
         s
     }
 
+    /// Deterministic digest of the run's plain-data outputs: FNV-1a
+    /// over the debug rendering of the cycle count, breakdowns,
+    /// counters, commit/violation/instruction totals, traffic, and
+    /// event count. Contains no wall-clock or host metadata, so equal
+    /// fingerprints mean equal simulation results across machines and
+    /// scheduler implementations — the identity the perf harness and
+    /// CI golden checks rely on.
+    #[must_use]
+    pub fn fingerprint(&self) -> String {
+        let s = format!(
+            "{} {:?} {:?} {} {} {} {} {} {}",
+            self.total_cycles,
+            self.breakdowns,
+            self.proc_counters,
+            self.commits,
+            self.violations,
+            self.instructions,
+            self.traffic.total_bytes(),
+            self.traffic.total_messages(),
+            self.events,
+        );
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in s.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        format!("{h:016x}")
+    }
+
     /// Asserts that the run was serializable (checker must be enabled).
     ///
     /// # Panics
@@ -251,29 +282,174 @@ pub struct Simulator {
     watchdog: Option<ProgressWatchdog>,
 }
 
+/// Fluent, validating constructor for [`Simulator`] (and the
+/// small-scale TCC [`BaselineSimulator`] used for Figure 6
+/// comparisons). Obtained from [`Simulator::builder`].
+///
+/// Construction goes through [`SystemConfig::validate`] plus
+/// program-shape checks, so every refusal is a typed [`ConfigError`]
+/// naming the offending field instead of a panic buried in a
+/// constructor:
+///
+/// ```
+/// use tcc_core::{Simulator, SystemConfig, ThreadProgram, Transaction, TxOp, WorkItem};
+/// use tcc_types::Addr;
+///
+/// let cfg = SystemConfig::with_procs(2);
+/// let programs = (0..2u64)
+///     .map(|p| {
+///         let tx = Transaction::new(vec![TxOp::Store(Addr(p * 256))]);
+///         ThreadProgram::new(vec![WorkItem::Tx(tx)])
+///     })
+///     .collect();
+/// let result = Simulator::builder(cfg)
+///     .programs(programs)
+///     .build()?
+///     .try_run()?;
+/// assert_eq!(result.commits, 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+#[must_use = "a builder does nothing until .build() is called"]
+pub struct SimulatorBuilder {
+    cfg: SystemConfig,
+    programs: Vec<ThreadProgram>,
+    tracer: Option<Tracer>,
+    baseline: Option<crate::baseline::OccCondition>,
+}
+
+impl SimulatorBuilder {
+    /// One [`ThreadProgram`] per processor (`cfg.n_procs` of them).
+    pub fn programs(mut self, programs: Vec<ThreadProgram>) -> SimulatorBuilder {
+        self.programs = programs;
+        self
+    }
+
+    /// Use an externally-created [`Tracer`] instead of the one derived
+    /// from `cfg.trace` — e.g. to share one metrics registry across
+    /// several runs, or to keep a handle for inspection after `run`.
+    pub fn tracer(mut self, tracer: Tracer) -> SimulatorBuilder {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// Target the small-scale TCC baseline machine implementing the
+    /// given OCC overlap condition; finish with
+    /// [`build_baseline`](Self::build_baseline) instead of
+    /// [`build`](Self::build).
+    pub fn baseline(mut self, condition: crate::baseline::OccCondition) -> SimulatorBuilder {
+        self.baseline = Some(condition);
+        self
+    }
+
+    /// Validates the config and program shape.
+    fn check(&self) -> Result<(), ConfigError> {
+        self.cfg.validate()?;
+        if self.programs.len() != self.cfg.n_procs {
+            return Err(ConfigError {
+                field: "programs",
+                problem: format!(
+                    "{} programs for {} processors",
+                    self.programs.len(),
+                    self.cfg.n_procs
+                ),
+                hint: "pass exactly one ThreadProgram per processor",
+            });
+        }
+        let counts: Vec<usize> = self.programs.iter().map(ThreadProgram::barriers).collect();
+        if !counts.windows(2).all(|w| w[0] == w[1]) {
+            return Err(ConfigError {
+                field: "programs",
+                problem: format!("programs disagree on barrier counts: {counts:?}"),
+                hint: "give every thread the same number of barriers, \
+                       or the barrier protocol deadlocks",
+            });
+        }
+        Ok(())
+    }
+
+    /// Builds the scalable-protocol [`Simulator`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`SystemConfig::validate`] refusal; a program count that
+    /// differs from the processor count; programs that disagree on
+    /// barrier counts; or a builder already pointed at the baseline
+    /// machine via [`baseline`](Self::baseline).
+    pub fn build(self) -> Result<Simulator, ConfigError> {
+        self.check()?;
+        if self.baseline.is_some() {
+            return Err(ConfigError {
+                field: "baseline",
+                problem: "builder was pointed at the baseline machine".into(),
+                hint: "finish with .build_baseline(), or drop .baseline(..)",
+            });
+        }
+        let SimulatorBuilder {
+            cfg,
+            programs,
+            tracer,
+            baseline: _,
+        } = self;
+        Ok(Simulator::construct(cfg, programs, tracer))
+    }
+
+    /// Builds the small-scale TCC [`BaselineSimulator`] (defaults to
+    /// [`OccCondition::SerializedCommit`](crate::baseline::OccCondition)
+    /// if [`baseline`](Self::baseline) was not called).
+    ///
+    /// # Errors
+    ///
+    /// The same config/program refusals as [`build`](Self::build).
+    pub fn build_baseline(self) -> Result<BaselineSimulator, ConfigError> {
+        self.check()?;
+        let condition = self.baseline.unwrap_or_default();
+        Ok(BaselineSimulator::with_condition(
+            self.cfg,
+            self.programs,
+            condition,
+        ))
+    }
+}
+
 impl Simulator {
+    /// Starts a [`SimulatorBuilder`] for the given machine
+    /// configuration. This is the front door for constructing
+    /// simulators; see the [`SimulatorBuilder`] docs for an example.
+    pub fn builder(cfg: SystemConfig) -> SimulatorBuilder {
+        SimulatorBuilder {
+            cfg,
+            programs: Vec::new(),
+            tracer: None,
+            baseline: None,
+        }
+    }
+
     /// Builds a simulator for `cfg.n_procs` processors, one program per
     /// processor.
     ///
     /// # Panics
     ///
-    /// Panics if the program count differs from the processor count or
-    /// if the programs disagree on barrier counts (which would deadlock
-    /// the barrier protocol).
+    /// Panics on any input [`Simulator::builder`] would refuse with a
+    /// typed [`ConfigError`] (program/processor count mismatch,
+    /// mismatched barrier counts, invalid config).
+    #[deprecated(note = "use Simulator::builder(cfg).programs(p).build()")]
     #[must_use]
     pub fn new(cfg: SystemConfig, programs: Vec<ThreadProgram>) -> Simulator {
-        assert_eq!(
-            programs.len(),
-            cfg.n_procs,
-            "need exactly one program per processor"
-        );
-        let barrier_counts: Vec<usize> = programs.iter().map(ThreadProgram::barriers).collect();
-        assert!(
-            barrier_counts.windows(2).all(|w| w[0] == w[1]),
-            "programs disagree on barrier counts: {barrier_counts:?}"
-        );
+        match Simulator::builder(cfg).programs(programs).build() {
+            Ok(sim) => sim,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// The validated construction path shared by the builder.
+    fn construct(
+        cfg: SystemConfig,
+        programs: Vec<ThreadProgram>,
+        tracer: Option<Tracer>,
+    ) -> Simulator {
         let words = cfg.cache.geometry.words_per_line() as usize;
-        let tracer = Tracer::new(&cfg.trace);
+        let tracer = tracer.unwrap_or_else(|| Tracer::new(&cfg.trace));
         let procs: Vec<Processor> = programs
             .into_iter()
             .enumerate()
@@ -300,13 +476,9 @@ impl Simulator {
             cfg.network.clone(),
         );
         net.set_tracer(tracer.clone());
+        // Wire faults without a transport are refused up front by
+        // `SystemConfig::validate`.
         if let Some(chaos) = &cfg.chaos {
-            assert!(
-                !chaos.has_wire_faults() || cfg.transport.is_some(),
-                "chaos drop/dup/reorder wire faults require cfg.transport \
-                 (losing messages with no retransmission layer is not a \
-                 schedule, it is a different machine)"
-            );
             net.set_injector(Box::new(SeededInjector::new(chaos.clone())));
         }
         let transport = cfg.transport.map(|tc| {
@@ -603,7 +775,7 @@ impl Simulator {
 
     /// Routes a delivered message to the right component model.
     fn deliver(&mut self, now: Cycle, msg: Message) {
-        if std::env::var_os("TCC_TRACE").is_some() {
+        if crate::tcc_trace_enabled() {
             eprintln!("{} {} -> {}: {:?}", now, msg.src, msg.dst, msg.payload);
         }
         let dst = msg.dst;
@@ -711,7 +883,7 @@ impl Simulator {
         let start = now.max(self.dir_busy[d]);
         let done = start + service;
         self.dir_busy[d] = done;
-        let trace_wb_line = if std::env::var_os("TCC_TRACE").is_some() {
+        let trace_wb_line = if crate::tcc_trace_enabled() {
             match &msg.payload {
                 Payload::WriteBack { line, .. } | Payload::Flush { line, .. } => Some(*line),
                 _ => None,
@@ -784,7 +956,8 @@ impl Simulator {
             );
         }
         let src = msg.dst;
-        for a in actions {
+        let mut actions = actions;
+        for a in actions.drain(..) {
             // Memory fills pay main-memory latency on top of the
             // directory lookup; everything else leaves at `done`.
             let extra = match &a.payload {
@@ -797,6 +970,9 @@ impl Simulator {
             let out = Message::new(src, a.to, a.payload);
             self.queue.schedule(done + extra, Event::Inject(out));
         }
+        // Hand the buffer back so the next handler call reuses it
+        // instead of allocating a fresh `Vec`.
+        self.dirs[d].recycle_actions(actions);
     }
 
     /// End-of-run invariants: with the event queue drained, every

@@ -42,7 +42,11 @@ fn big_tx(base: u64, lines: u64) -> WorkItem {
 fn oversized_transaction_commits_through_the_spill() {
     // 40 lines >> 8-line L2: guaranteed overflow, serialized retry.
     let programs = vec![ThreadProgram::new(vec![big_tx(0, 40)])];
-    let r = Simulator::new(tiny_cfg(1), programs).run();
+    let r = Simulator::builder(tiny_cfg(1))
+        .programs(programs)
+        .build()
+        .expect("valid config")
+        .run();
     assert_eq!(r.commits, 1);
     assert!(r.proc_counters[0].overflows >= 1);
     assert!(r.proc_counters[0].serialized_retries >= 1);
@@ -69,7 +73,11 @@ fn spilled_committed_data_is_readable_by_other_processors() {
         // overflows and exercises spill reads.
         WorkItem::Tx(Transaction::new(reader_ops)),
     ]);
-    let r = Simulator::new(tiny_cfg(2), vec![writer, reader]).run();
+    let r = Simulator::builder(tiny_cfg(2))
+        .programs(vec![writer, reader])
+        .build()
+        .expect("valid config")
+        .run();
     assert_eq!(r.commits, 4);
     r.assert_serializable();
 }
@@ -88,7 +96,11 @@ fn spilled_data_survives_a_subsequent_abort() {
         tx(vec![TxOp::Compute(200)]),
         tx(vec![TxOp::Store(x), TxOp::Compute(10)]),
     ]);
-    let r = Simulator::new(tiny_cfg(2), vec![p0, p1]).run();
+    let r = Simulator::builder(tiny_cfg(2))
+        .programs(vec![p0, p1])
+        .build()
+        .expect("valid config")
+        .run();
     assert_eq!(r.commits, 4);
     r.assert_serializable();
 }
@@ -100,7 +112,11 @@ fn rewriting_spilled_lines_generates_pre_writebacks() {
     // spilled dirty line must flush the committed generation home
     // first (the §3.1 dirty-bit rule, spill edition).
     let programs = vec![ThreadProgram::new(vec![big_tx(0, 40), big_tx(0, 40)])];
-    let r = Simulator::new(tiny_cfg(1), programs).run();
+    let r = Simulator::builder(tiny_cfg(1))
+        .programs(programs)
+        .build()
+        .expect("valid config")
+        .run();
     assert_eq!(r.commits, 2);
     r.assert_serializable();
 }
@@ -113,7 +129,11 @@ fn overflowing_writers_contend_correctly() {
         ThreadProgram::new(vec![big_tx(0, 30), big_tx(10, 30)]),
         ThreadProgram::new(vec![big_tx(15, 30), big_tx(5, 30)]),
     ];
-    let r = Simulator::new(tiny_cfg(2), programs).run();
+    let r = Simulator::builder(tiny_cfg(2))
+        .programs(programs)
+        .build()
+        .expect("valid config")
+        .run();
     assert_eq!(r.commits, 4);
     r.assert_serializable();
 }
@@ -126,7 +146,11 @@ fn overflow_in_fig2f_mode() {
         ThreadProgram::new(vec![big_tx(0, 30)]),
         ThreadProgram::new(vec![big_tx(10, 30)]),
     ];
-    let r = Simulator::new(cfg, programs).run();
+    let r = Simulator::builder(cfg)
+        .programs(programs)
+        .build()
+        .expect("valid config")
+        .run();
     assert_eq!(r.commits, 2);
     r.assert_serializable();
 }
@@ -139,7 +163,11 @@ fn line_granularity_overflow() {
         ThreadProgram::new(vec![big_tx(0, 30)]),
         ThreadProgram::new(vec![big_tx(10, 30)]),
     ];
-    let r = Simulator::new(cfg, programs).run();
+    let r = Simulator::builder(cfg)
+        .programs(programs)
+        .build()
+        .expect("valid config")
+        .run();
     assert_eq!(r.commits, 2);
     r.assert_serializable();
 }

@@ -19,7 +19,11 @@ fn tx(ops: Vec<TxOp>) -> WorkItem {
 }
 
 fn run(cfg: SystemConfig, programs: Vec<ThreadProgram>) -> SimResult {
-    let r = Simulator::new(cfg, programs).run();
+    let r = Simulator::builder(cfg)
+        .programs(programs)
+        .build()
+        .expect("valid config")
+        .run();
     r.assert_serializable();
     r
 }
@@ -125,7 +129,11 @@ fn line_granularity_exposes_false_sharing() {
             TxOp::Compute(10),
         ])]),
     ];
-    let r = Simulator::new(c, programs).run();
+    let r = Simulator::builder(c)
+        .programs(programs)
+        .build()
+        .expect("valid config")
+        .run();
     assert_eq!(r.commits, 2);
     assert!(r.violations >= 1, "line granularity must see false sharing");
 }
@@ -326,8 +334,16 @@ fn deterministic_across_runs() {
             })
             .collect()
     };
-    let a = Simulator::new(cfg(4), mk()).run();
-    let b = Simulator::new(cfg(4), mk()).run();
+    let a = Simulator::builder(cfg(4))
+        .programs(mk())
+        .build()
+        .expect("valid config")
+        .run();
+    let b = Simulator::builder(cfg(4))
+        .programs(mk())
+        .build()
+        .expect("valid config")
+        .run();
     assert_eq!(a.total_cycles, b.total_cycles);
     assert_eq!(a.commits, b.commits);
     assert_eq!(a.violations, b.violations);
@@ -445,7 +461,11 @@ fn fig2f_owner_drop_with_inflight_fill_regression() {
     c.owner_flush_keeps_line = false;
     c.network.link_latency = 12;
     c.starvation_threshold = 2;
-    let r = Simulator::new(c, vec![p0, p1, p2]).run();
+    let r = Simulator::builder(c)
+        .programs(vec![p0, p1, p2])
+        .build()
+        .expect("valid config")
+        .run();
     assert_eq!(r.commits, 6);
     r.assert_serializable();
 }
@@ -458,7 +478,7 @@ fn parallel_commits_overlap_in_time() {
     // against its own home directory) and compare against the
     // serialized-commit baseline on the same programs: if commits
     // serialized, the makespan would grow with the machine size.
-    use tcc_core::baseline::BaselineSimulator;
+
     let n = 16;
     let mk = || -> Vec<ThreadProgram> {
         (0..n as u64)
@@ -475,8 +495,16 @@ fn parallel_commits_overlap_in_time() {
             })
             .collect()
     };
-    let scalable = Simulator::new(SystemConfig::with_procs(n), mk()).run();
-    let serialized = BaselineSimulator::new(SystemConfig::with_procs(n), mk()).run();
+    let scalable = Simulator::builder(SystemConfig::with_procs(n))
+        .programs(mk())
+        .build()
+        .expect("valid config")
+        .run();
+    let serialized = Simulator::builder(SystemConfig::with_procs(n))
+        .programs(mk())
+        .build_baseline()
+        .expect("valid config")
+        .run();
     assert_eq!(scalable.commits, 16 * 12);
     assert_eq!(scalable.violations, 0);
     // The serialized baseline must be far slower: its commit token

@@ -57,7 +57,11 @@ fn random_programs(spec: &WorkloadSpec, seed: u64) -> Vec<ThreadProgram> {
 
 fn run_checked(cfg: SystemConfig, programs: Vec<ThreadProgram>) {
     let expected: u64 = programs.iter().map(|p| p.transactions() as u64).sum();
-    let r = Simulator::new(cfg, programs).run();
+    let r = Simulator::builder(cfg)
+        .programs(programs)
+        .build()
+        .expect("valid config")
+        .run();
     assert_eq!(
         r.commits, expected,
         "every transaction must eventually commit"
@@ -342,7 +346,11 @@ fn prop_small_machines_are_serializable() {
         let raw = random_raw(&mut rng, 3, 4);
         let programs = to_programs(&raw);
         let expected: u64 = programs.iter().map(|p| p.transactions() as u64).sum();
-        let r = Simulator::new(checked_cfg(3), programs).run();
+        let r = Simulator::builder(checked_cfg(3))
+            .programs(programs)
+            .build()
+            .expect("valid config")
+            .run();
         assert_eq!(r.commits, expected, "program: {raw:?}");
         assert!(r.serializability.unwrap().is_ok(), "program: {raw:?}");
     }
@@ -361,7 +369,11 @@ fn prop_small_machines_fig2f_slow_network() {
         cfg.owner_flush_keeps_line = false;
         cfg.network.link_latency = 12;
         cfg.starvation_threshold = 2;
-        let r = Simulator::new(cfg, programs).run();
+        let r = Simulator::builder(cfg)
+            .programs(programs)
+            .build()
+            .expect("valid config")
+            .run();
         assert_eq!(r.commits, expected, "program: {raw:?}");
         assert!(r.serializability.unwrap().is_ok(), "program: {raw:?}");
     }
@@ -371,13 +383,16 @@ fn prop_small_machines_fig2f_slow_network() {
 /// random programs.
 #[test]
 fn prop_baseline_is_serializable() {
-    use tcc_core::baseline::BaselineSimulator;
     let mut rng = SmallRng::seed_from_u64(0x9209_0003);
     for _ in 0..48 {
         let raw = random_raw(&mut rng, 2, 4);
         let programs = to_programs(&raw);
         let expected: u64 = programs.iter().map(|p| p.transactions() as u64).sum();
-        let r = BaselineSimulator::new(checked_cfg(2), programs).run();
+        let r = Simulator::builder(checked_cfg(2))
+            .programs(programs)
+            .build_baseline()
+            .expect("valid config")
+            .run();
         assert_eq!(r.commits, expected, "program: {raw:?}");
         assert!(r.serializability.unwrap().is_ok(), "program: {raw:?}");
     }
@@ -440,7 +455,11 @@ fn regression_corpus_replays_clean() {
     for (name, raw) in &corpus {
         let programs = to_programs(raw);
         let expected: u64 = programs.iter().map(|p| p.transactions() as u64).sum();
-        let r = Simulator::new(checked_cfg(raw.len()), programs).run();
+        let r = Simulator::builder(checked_cfg(raw.len()))
+            .programs(programs)
+            .build()
+            .expect("valid config")
+            .run();
         assert_eq!(r.commits, expected, "case {name}");
         assert!(r.serializability.unwrap().is_ok(), "case {name}");
     }
@@ -458,7 +477,11 @@ fn regression_corpus_replays_clean_fig2f_slow_network() {
         cfg.owner_flush_keeps_line = false;
         cfg.network.link_latency = 12;
         cfg.starvation_threshold = 2;
-        let r = Simulator::new(cfg, programs).run();
+        let r = Simulator::builder(cfg)
+            .programs(programs)
+            .build()
+            .expect("valid config")
+            .run();
         assert_eq!(r.commits, expected, "case {name}");
         assert!(r.serializability.unwrap().is_ok(), "case {name}");
     }

@@ -25,7 +25,11 @@ fn cfg(n: usize) -> SystemConfig {
 }
 
 fn run(c: SystemConfig, programs: Vec<ThreadProgram>) -> SimResult {
-    Simulator::new(c, programs).run()
+    Simulator::builder(c)
+        .programs(programs)
+        .build()
+        .expect("valid config")
+        .run()
 }
 
 /// One long reader whose read-set is hammered by three fast writers:

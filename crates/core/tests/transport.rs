@@ -66,7 +66,11 @@ fn lossy_wire_run_completes_exactly_once() {
         cfg.chaos = Some(lossy_chaos(seed, 0.10));
         cfg.transport = Some(TransportConfig::default());
         cfg.watchdog = Some(WatchdogConfig::default());
-        let r = Simulator::new(cfg, contended_programs()).run();
+        let r = Simulator::builder(cfg)
+            .programs(contended_programs())
+            .build()
+            .expect("valid config")
+            .run();
         assert_eq!(r.commits, 24, "seed {seed}: all transactions must commit");
         r.assert_serializable();
         let t = r.transport.as_ref().unwrap();
@@ -92,7 +96,11 @@ fn lossy_runs_are_deterministic() {
         cfg.check_serializability = true;
         cfg.chaos = Some(lossy_chaos(7, 0.08));
         cfg.transport = Some(TransportConfig::default());
-        let r = Simulator::new(cfg, contended_programs()).run();
+        let r = Simulator::builder(cfg)
+            .programs(contended_programs())
+            .build()
+            .expect("valid config")
+            .run();
         (r.total_cycles, r.commits, r.violations, r.transport)
     };
     assert_eq!(run(), run());
@@ -107,7 +115,10 @@ fn exhausted_retry_budget_returns_typed_stall() {
         ..TransportConfig::default()
     });
     cfg.watchdog = Some(WatchdogConfig::default());
-    let err = Simulator::new(cfg, contended_programs())
+    let err = Simulator::builder(cfg)
+        .programs(contended_programs())
+        .build()
+        .expect("valid config")
         .try_run()
         .expect_err("a fully lossy wire must stall, not hang");
     let RunError::Stalled(diag) = err;
@@ -135,7 +146,10 @@ fn exhausted_retry_budget_returns_typed_stall() {
 fn cycle_limit_returns_typed_stall_with_snapshot() {
     let mut cfg = SystemConfig::with_procs(4);
     cfg.max_cycles = 100; // far below the contended makespan
-    let err = Simulator::new(cfg, contended_programs())
+    let err = Simulator::builder(cfg)
+        .programs(contended_programs())
+        .build()
+        .expect("valid config")
         .try_run()
         .expect_err("the cycle limit must trip");
     let RunError::Stalled(diag) = err;
@@ -155,7 +169,11 @@ fn clean_wire_with_transport_still_completes_exactly_once() {
     cfg.check_serializability = true;
     cfg.transport = Some(TransportConfig::default());
     cfg.watchdog = Some(WatchdogConfig::default());
-    let r = Simulator::new(cfg, contended_programs()).run();
+    let r = Simulator::builder(cfg)
+        .programs(contended_programs())
+        .build()
+        .expect("valid config")
+        .run();
     assert_eq!(r.commits, 24);
     r.assert_serializable();
     let t = r.transport.as_ref().unwrap();

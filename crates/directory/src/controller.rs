@@ -43,9 +43,10 @@
 //! a fresh-TID allocation, so a duplicate vends an orphan TID that no
 //! one will ever skip or commit, wedging every directory's NSTID.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use tcc_trace::{TraceEvent, Tracer};
+use tcc_types::hash::FxHashMap;
 use tcc_types::{
     Cycle, DataSource, DirId, LineAddr, LineValues, NodeId, Payload, ProtocolBugs, Tid, WordMask,
 };
@@ -172,7 +173,11 @@ pub struct Directory {
     /// Loads waiting for an owner flush, with the owner the outstanding
     /// `DataRequest` was sent to. If ownership moves before the flush
     /// lands, the request is re-targeted at the new owner.
-    data_req_waiters: HashMap<LineAddr, Waiters>,
+    data_req_waiters: FxHashMap<LineAddr, Waiters>,
+    /// Lines marked by the currently-served transaction, in mark-arrival
+    /// order. Lets `do_commit`/`handle_abort` visit exactly the marked
+    /// lines instead of scanning the whole line table per commit.
+    marked_lines: Vec<LineAddr>,
     /// Marks received from the currently-served transaction.
     marks_received: u32,
     pending_commit: Option<PendingCommit>,
@@ -180,6 +185,12 @@ pub struct Directory {
     commit_span_start: Option<Cycle>,
     stats: DirStats,
     tracer: Tracer,
+    /// Reusable output buffer: internal transition helpers push into
+    /// this, and the public `handle_*` wrappers hand it out by value
+    /// (`mem::take`). The simulation layer returns it via
+    /// [`Directory::recycle_actions`], so the steady-state message loop
+    /// allocates nothing for actions.
+    out: Vec<DirAction>,
 }
 
 impl Directory {
@@ -192,13 +203,15 @@ impl Directory {
             entries: BTreeMap::new(),
             pending_probes: Vec::new(),
             stalled_loads: Vec::new(),
-            data_req_waiters: HashMap::new(),
+            data_req_waiters: FxHashMap::default(),
+            marked_lines: Vec::new(),
             marks_received: 0,
             pending_commit: None,
             ack_wait: None,
             commit_span_start: None,
             stats: DirStats::default(),
             tracer: Tracer::disabled(),
+            out: Vec::new(),
         }
     }
 
@@ -315,8 +328,10 @@ impl Directory {
         requester: NodeId,
         req: u64,
     ) -> Vec<DirAction> {
+        self.out.clear();
         self.stats.loads += 1;
-        self.dispatch_load(now, line, requester, req, None)
+        self.dispatch_load(now, line, requester, req, None);
+        std::mem::take(&mut self.out)
     }
 
     /// Load path without the statistics bump, shared with re-dispatch of
@@ -329,7 +344,7 @@ impl Directory {
         requester: NodeId,
         req: u64,
         stalled_since: Option<Cycle>,
-    ) -> Vec<DirAction> {
+    ) {
         let dir = self.cfg.id;
         // Mutation knob: serving loads inside the ack window is the race
         // the window exists to close (§3.3).
@@ -350,7 +365,7 @@ impl Directory {
             }
             self.stalled_loads
                 .push((line, requester, req, stalled_since.unwrap_or(now)));
-            return Vec::new();
+            return;
         }
         if let Some(since) = stalled_since {
             let stalled_for = now.since(since);
@@ -365,7 +380,7 @@ impl Directory {
         if let Some(w) = self.data_req_waiters.get_mut(&line) {
             // A DataRequest is already in flight; piggyback.
             w.queue.push((requester, req));
-            return Vec::new();
+            return;
         }
         let entry = self.entry_mut(line);
         match entry.owner {
@@ -377,7 +392,8 @@ impl Directory {
                         queue: vec![(requester, req)],
                     },
                 );
-                vec![DirAction::new(owner, Payload::DataRequest { line })]
+                self.out
+                    .push(DirAction::new(owner, Payload::DataRequest { line }));
             }
             _ => {
                 // No owner — or the owner itself re-reading words of its
@@ -386,7 +402,7 @@ impl Directory {
                 // the cache's merge rule protects the words it owns).
                 entry.sharers.insert(requester);
                 let values = entry.memory.clone();
-                vec![DirAction::new(
+                self.out.push(DirAction::new(
                     requester,
                     Payload::LoadReply {
                         line,
@@ -394,7 +410,7 @@ impl Directory {
                         values,
                         req,
                     },
-                )]
+                ));
             }
         }
     }
@@ -410,18 +426,19 @@ impl Directory {
             !(tid == self.now_serving() && self.ack_wait.is_some()),
             "the transaction being committed cannot also skip"
         );
+        self.out.clear();
         let before = self.now_serving();
         if self.sv.buffer_skip(tid) {
             self.note_advance(now, before);
-            self.post_advance(now)
+            self.post_advance(now);
         } else {
             let dir = self.cfg.id;
             if tid > before {
                 self.tracer
                     .record(now, || TraceEvent::SkipBuffered { dir, tid });
             }
-            Vec::new()
         }
+        std::mem::take(&mut self.out)
     }
 
     /// Records an NSTID advance (observation only).
@@ -464,6 +481,7 @@ impl Directory {
                 },
             )];
         }
+        debug_assert!(self.out.is_empty());
         let dir = self.cfg.id;
         self.tracer.count("dir.probes_deferred", 1);
         self.tracer.record(now, || TraceEvent::ProbeDeferred {
@@ -510,12 +528,15 @@ impl Directory {
                     tid,
                     by: committer,
                     words,
-                })
+                });
+                self.marked_lines.push(line);
             }
         }
         if let Some(pc) = self.pending_commit {
             if pc.tid == tid && self.marks_received >= pc.marks_expected {
-                return self.do_commit(now, tid, pc.committer);
+                self.out.clear();
+                self.do_commit(now, tid, pc.committer);
+                return std::mem::take(&mut self.out);
             }
         }
         Vec::new()
@@ -551,20 +572,30 @@ impl Directory {
             });
             return Vec::new();
         }
-        self.do_commit(now, tid, committer)
+        self.out.clear();
+        self.do_commit(now, tid, committer);
+        std::mem::take(&mut self.out)
     }
 
     /// Gang-upgrades `tid`'s marked lines to owned, generating
     /// invalidations, then completes or begins waiting for acks.
-    fn do_commit(&mut self, now: Cycle, tid: Tid, committer: NodeId) -> Vec<DirAction> {
+    fn do_commit(&mut self, now: Cycle, tid: Tid, committer: NodeId) {
         self.pending_commit = None;
         self.marks_received = 0;
         self.stats.commits += 1;
         let dir = self.cfg.id;
-        let mut actions = Vec::new();
         let mut acks = 0u32;
-        let mut locked = Vec::new();
-        for (&line, entry) in &mut self.entries {
+        // Visit exactly the lines this transaction marked, in ascending
+        // line order — the same order the old whole-table `BTreeMap`
+        // scan produced, so the action stream (and thus every
+        // downstream timing decision) is unchanged.
+        let mut marked = std::mem::take(&mut self.marked_lines);
+        marked.sort_unstable();
+        let mut locked = Vec::with_capacity(marked.len());
+        for line in marked {
+            let Some(entry) = self.entries.get_mut(&line) else {
+                continue;
+            };
             let Some(info) = entry.marked else { continue };
             if info.tid != tid {
                 continue;
@@ -588,7 +619,7 @@ impl Directory {
                 if sharer == committer {
                     continue;
                 }
-                actions.push(DirAction::new(
+                self.out.push(DirAction::new(
                     sharer,
                     Payload::Invalidate {
                         line,
@@ -607,7 +638,7 @@ impl Directory {
             // window closes — later transactions can read lines whose
             // invalidations (and superseded-owner flushes) are still in
             // flight. The straggler acks are ignored on arrival.
-            actions.extend(self.finish_current(now));
+            self.finish_current(now);
         } else {
             self.ack_wait = Some(AckWait {
                 tid,
@@ -616,7 +647,6 @@ impl Directory {
                 locked,
             });
         }
-        actions
     }
 
     /// Processes an `InvAck` for commit `tid` from `from`.
@@ -676,13 +706,14 @@ impl Directory {
             self.tracer.observe("dir.inv_ack_window", window);
             self.tracer
                 .record(now, || TraceEvent::AckWindowClose { dir, tid, window });
-            let mut actions = self.finish_current(now);
+            self.out.clear();
+            self.finish_current(now);
             // The window is closed: serve any waiters that were held
             // back while flushes could still be in flight.
             for line in locked {
-                actions.extend(self.service_waiters(line));
+                self.service_waiters(line);
             }
-            actions
+            std::mem::take(&mut self.out)
         } else {
             Vec::new()
         }
@@ -707,17 +738,23 @@ impl Directory {
             debug_assert!(!advanced);
             return Vec::new();
         }
-        // Serving this TID: clear its marks and move on.
+        // Serving this TID: clear its marks and move on. Every mark set
+        // while `tid` was being served is recorded in `marked_lines`, so
+        // this visits exactly the marked entries.
         self.stats.aborts += 1;
-        for entry in self.entries.values_mut() {
-            if entry.marked.is_some_and(|m| m.tid == tid) {
-                entry.marked = None;
+        for line in std::mem::take(&mut self.marked_lines) {
+            if let Some(entry) = self.entries.get_mut(&line) {
+                if entry.marked.is_some_and(|m| m.tid == tid) {
+                    entry.marked = None;
+                }
             }
         }
         self.pending_commit = None;
         self.marks_received = 0;
         debug_assert!(self.ack_wait.is_none(), "abort after commit began");
-        self.finish_current(now)
+        self.out.clear();
+        self.finish_current(now);
+        std::mem::take(&mut self.out)
     }
 
     /// Processes a `WriteBack` (eviction; `keep_sharer == false`) or
@@ -754,7 +791,9 @@ impl Directory {
             // but still service the waiter queue, which may need a
             // re-targeted DataRequest at the new owner.
             self.stats.writebacks_dropped += 1;
-            return self.service_waiters(line);
+            self.out.clear();
+            self.service_waiters(line);
+            return std::mem::take(&mut self.out);
         }
         self.stats.writebacks_accepted += 1;
         {
@@ -772,12 +811,14 @@ impl Directory {
         // Service any loads waiting on this line: if ownership is clear
         // the merge has made memory current; if a *new* owner appeared
         // while the DataRequest was in flight, re-target it.
-        self.service_waiters(line)
+        self.out.clear();
+        self.service_waiters(line);
+        std::mem::take(&mut self.out)
     }
 
     /// Serves or re-targets the queued loads of `line` after a
     /// write-back has been merged.
-    fn service_waiters(&mut self, line: LineAddr) -> Vec<DirAction> {
+    fn service_waiters(&mut self, line: LineAddr) {
         // Inside a commit's ack window the line's data may still be in
         // flight from the *previous* owner (its flush travels ahead of
         // its ack); hold the waiters until the window closes — the
@@ -789,21 +830,19 @@ impl Directory {
                 .as_ref()
                 .is_some_and(|w| w.locked.contains(&line))
         {
-            return Vec::new();
+            return;
         }
         let Some(w) = self.data_req_waiters.get_mut(&line) else {
-            return Vec::new();
+            return;
         };
-        let mut actions = Vec::new();
         let entry = self.entries.get_mut(&line).expect("waiters imply an entry");
         match entry.owner {
             None => {
                 let mem = entry.memory.clone();
                 let w = self.data_req_waiters.remove(&line).expect("checked above");
-                let entry = self.entry_mut(line);
                 for (r, req) in w.queue {
-                    entry.sharers.insert(r);
-                    actions.push(DirAction::new(
+                    self.entry_mut(line).sharers.insert(r);
+                    self.out.push(DirAction::new(
                         r,
                         Payload::LoadReply {
                             line,
@@ -817,17 +856,17 @@ impl Directory {
             Some(owner) if owner != w.target => {
                 // Ownership moved while the request was in flight.
                 w.target = owner;
-                actions.push(DirAction::new(owner, Payload::DataRequest { line }));
+                self.out
+                    .push(DirAction::new(owner, Payload::DataRequest { line }));
             }
             Some(_) => {} // flush from a stale generation; keep waiting
         }
-        actions
     }
 
     /// Completes the currently-served TID: records occupancy, advances
     /// the NSTID through buffered skips, then releases deferred probes
     /// and stalled loads enabled by the new state.
-    fn finish_current(&mut self, now: Cycle) -> Vec<DirAction> {
+    fn finish_current(&mut self, now: Cycle) {
         let served = self.now_serving();
         if let Some(start) = self.commit_span_start.take() {
             let span = now.since(start);
@@ -843,15 +882,14 @@ impl Directory {
         let before = self.now_serving();
         self.sv.complete_current();
         self.note_advance(now, before);
-        self.post_advance(now)
+        self.post_advance(now);
     }
 
     /// After any NSTID advance: answer newly-satisfied probes and
     /// re-dispatch loads stalled on no-longer-marked lines.
-    fn post_advance(&mut self, now: Cycle) -> Vec<DirAction> {
+    fn post_advance(&mut self, now: Cycle) {
         let nst = self.now_serving();
         let dir = self.cfg.id;
-        let mut actions = Vec::new();
         let mut i = 0;
         while i < self.pending_probes.len() {
             if self.pending_probes[i].tid <= nst {
@@ -864,7 +902,7 @@ impl Directory {
                     requester: p.requester,
                     deferred_for,
                 });
-                actions.push(DirAction::new(
+                self.out.push(DirAction::new(
                     p.requester,
                     Payload::ProbeReply {
                         dir,
@@ -879,9 +917,18 @@ impl Directory {
         }
         let stalled = std::mem::take(&mut self.stalled_loads);
         for (line, requester, req, since) in stalled {
-            actions.extend(self.dispatch_load(now, line, requester, req, Some(since)));
+            self.dispatch_load(now, line, requester, req, Some(since));
         }
-        actions
+    }
+
+    /// Returns a drained action buffer for reuse, so the steady-state
+    /// deliver path allocates nothing: the simulation layer hands the
+    /// `Vec` from the last `handle_*` call back after dispatching it.
+    pub fn recycle_actions(&mut self, mut buf: Vec<DirAction>) {
+        buf.clear();
+        if buf.capacity() > self.out.capacity() {
+            self.out = buf;
+        }
     }
 }
 

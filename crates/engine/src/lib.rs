@@ -9,6 +9,32 @@
 //! a property the test suite and the paper-reproduction harness both rely
 //! on.
 //!
+//! # Scheduler structure
+//!
+//! Nearly every event in the simulator fires within a few hundred cycles
+//! of when it is scheduled (link latency, directory occupancy, memory
+//! fills); only rare timers (retransmission timeouts, watchdog horizons)
+//! look further ahead. [`EventQueue`] exploits that shape with a
+//! *hierarchical timing wheel*:
+//!
+//! * a **near wheel** of [`WHEEL_SLOTS`] single-cycle slots covers the
+//!   window `[now, now + WHEEL_SLOTS)`; the slot for time `t` is
+//!   `t % WHEEL_SLOTS`, and an occupancy bitmap makes "next non-empty
+//!   slot" a couple of `trailing_zeros` scans;
+//! * a **far heap** (plain binary heap) holds the rare events beyond the
+//!   window; they are *promoted* onto the wheel as the window advances.
+//!
+//! Because all wheel-resident events lie in one half-open window of
+//! length `WHEEL_SLOTS`, each slot holds events of exactly one timestamp,
+//! so per-slot ordering only needs the tie-break key. Event payloads are
+//! interned in a generational [`Slab`](tcc_types::slab::Slab) and the
+//! wheel/heap move 24-byte `(key, seq, id)` entries instead of full
+//! events — steady-state scheduling performs no heap allocation.
+//!
+//! The original `BinaryHeap` scheduler is retained verbatim as
+//! [`ReferenceQueue`] and the property tests replay random schedules
+//! through both in lockstep.
+//!
 //! # Example
 //!
 //! ```
@@ -30,10 +56,13 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use tcc_trace::Tracer;
+use tcc_types::slab::{Slab, SlabKey};
 use tcc_types::Cycle;
 
+pub mod reference;
 pub mod watchdog;
 
+pub use reference::ReferenceQueue;
 pub use watchdog::{progress_signature, ProgressWatchdog, WatchdogConfig};
 
 /// How events scheduled for the *same* cycle are ordered.
@@ -63,28 +92,88 @@ pub(crate) fn mix64(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Internal heap entry: ordered by time, then tie key, then insertion
-/// sequence (`key == seq` under FIFO tie-breaking).
-#[derive(Debug)]
-struct Entry<E> {
+/// Number of single-cycle slots in the near wheel (must be a power of
+/// two). Events within `WHEEL_SLOTS` cycles of `now` go straight onto
+/// the wheel; later ones wait in the far heap.
+pub const WHEEL_SLOTS: usize = 1 << 10;
+const WHEEL_MASK: u64 = WHEEL_SLOTS as u64 - 1;
+const OCC_WORDS: usize = WHEEL_SLOTS / 64;
+
+/// A wheel-slot entry. All entries in one slot share the same timestamp
+/// (see module docs), so ordering within a slot is `(key, seq)` only;
+/// the payload lives in the queue's slab behind `id`.
+#[derive(Debug, Clone, Copy)]
+struct SlotEntry {
+    key: u64,
+    seq: u64,
+    id: SlabKey,
+}
+
+#[inline]
+fn slot_lt(a: &SlotEntry, b: &SlotEntry) -> bool {
+    (a.key, a.seq) < (b.key, b.seq)
+}
+
+/// Pushes onto a slot's implicit binary min-heap. Under FIFO
+/// tie-breaking keys arrive in increasing order, so the sift-up loop
+/// exits immediately and pushes are O(1).
+fn slot_push(slot: &mut Vec<SlotEntry>, e: SlotEntry) {
+    slot.push(e);
+    let mut i = slot.len() - 1;
+    while i > 0 {
+        let p = (i - 1) / 2;
+        if slot_lt(&slot[i], &slot[p]) {
+            slot.swap(i, p);
+            i = p;
+        } else {
+            break;
+        }
+    }
+}
+
+/// Pops the minimum `(key, seq)` entry from a non-empty slot heap.
+fn slot_pop(slot: &mut Vec<SlotEntry>) -> SlotEntry {
+    let last = slot.len() - 1;
+    slot.swap(0, last);
+    let e = slot.pop().expect("slot_pop on empty slot");
+    let n = slot.len();
+    let mut i = 0;
+    loop {
+        let l = 2 * i + 1;
+        if l >= n {
+            break;
+        }
+        let r = l + 1;
+        let c = if r < n && slot_lt(&slot[r], &slot[l]) {
+            r
+        } else {
+            l
+        };
+        if slot_lt(&slot[c], &slot[i]) {
+            slot.swap(i, c);
+            i = c;
+        } else {
+            break;
+        }
+    }
+    e
+}
+
+/// Far-heap entry: full `(at, key, seq)` ordering, payload in the slab.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct FarEntry {
     at: Cycle,
     key: u64,
     seq: u64,
-    event: E,
+    id: SlabKey,
 }
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
+impl PartialOrd for FarEntry {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<E> Ord for Entry<E> {
+impl Ord for FarEntry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         self.at
             .cmp(&other.at)
@@ -93,14 +182,27 @@ impl<E> Ord for Entry<E> {
     }
 }
 
-/// A deterministic, time-ordered event queue.
+/// A deterministic, time-ordered event queue (hierarchical timing wheel;
+/// see the module docs for the structure).
 ///
 /// `EventQueue` maintains the simulation clock: [`EventQueue::now`] is
 /// the timestamp of the most recently popped event. Scheduling an event
 /// in the past is a logic error and panics in debug builds.
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<Entry<E>>>,
+    /// `WHEEL_SLOTS` per-slot min-heaps; slot `t & WHEEL_MASK` holds the
+    /// wheel-resident events with timestamp `t`. Slot capacity is
+    /// retained across reuse, so steady state allocates nothing.
+    slots: Box<[Vec<SlotEntry>]>,
+    /// One bit per slot: set iff the slot is non-empty.
+    occupancy: [u64; OCC_WORDS],
+    /// Events at or beyond `now + WHEEL_SLOTS`, promoted as the window
+    /// advances.
+    far: BinaryHeap<Reverse<FarEntry>>,
+    /// Interned payloads; wheel and far heap carry only `SlabKey`s.
+    events: Slab<E>,
+    /// Number of wheel-resident events (`len() == wheel_len + far.len()`).
+    wheel_len: usize,
     seq: u64,
     now: Cycle,
     popped: u64,
@@ -113,7 +215,11 @@ impl<E> EventQueue<E> {
     #[must_use]
     pub fn new() -> EventQueue<E> {
         EventQueue {
-            heap: BinaryHeap::new(),
+            slots: (0..WHEEL_SLOTS).map(|_| Vec::new()).collect(),
+            occupancy: [0; OCC_WORDS],
+            far: BinaryHeap::new(),
+            events: Slab::new(),
+            wheel_len: 0,
             seq: 0,
             now: Cycle::ZERO,
             popped: 0,
@@ -146,13 +252,13 @@ impl<E> EventQueue<E> {
     /// Number of pending events.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.wheel_len + self.far.len()
     }
 
     /// True if no events are pending.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// Total number of events processed so far.
@@ -173,18 +279,19 @@ impl<E> EventQueue<E> {
             "event scheduled in the past: {at} < now {}",
             self.now
         );
+        let at = at.max(self.now);
         let key = match self.tie_break {
             TieBreak::Fifo => self.seq,
             TieBreak::Seeded(salt) => mix64(self.seq ^ salt),
         };
-        let entry = Entry {
-            at: at.max(self.now),
-            key,
-            seq: self.seq,
-            event,
-        };
+        let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Reverse(entry));
+        let id = self.events.insert(event);
+        if at.0 - self.now.0 < WHEEL_SLOTS as u64 {
+            self.wheel_insert(at, SlotEntry { key, seq, id });
+        } else {
+            self.far.push(Reverse(FarEntry { at, key, seq, id }));
+        }
     }
 
     /// Schedules `event` to fire `delay` cycles from now.
@@ -192,20 +299,109 @@ impl<E> EventQueue<E> {
         self.schedule(self.now + delay, event);
     }
 
+    #[inline]
+    fn wheel_insert(&mut self, at: Cycle, entry: SlotEntry) {
+        let slot = (at.0 & WHEEL_MASK) as usize;
+        slot_push(&mut self.slots[slot], entry);
+        self.occupancy[slot / 64] |= 1u64 << (slot % 64);
+        self.wheel_len += 1;
+    }
+
+    /// Moves every far-heap event inside the window `[base, base +
+    /// WHEEL_SLOTS)` onto the wheel. Called with `base == now` (or, when
+    /// the wheel is empty, `base == ` the far minimum) at the top of
+    /// every pop: as the window advances, a far event's deadline can
+    /// undercut everything wheel-resident, so promotion cannot wait for
+    /// the wheel to drain.
+    fn promote(&mut self, base: Cycle) {
+        while let Some(&Reverse(e)) = self.far.peek() {
+            if e.at.0 - base.0 >= WHEEL_SLOTS as u64 {
+                break;
+            }
+            self.far.pop();
+            self.wheel_insert(
+                e.at,
+                SlotEntry {
+                    key: e.key,
+                    seq: e.seq,
+                    id: e.id,
+                },
+            );
+        }
+    }
+
+    /// First occupied slot at circular distance >= `start`'s position,
+    /// scanning the occupancy bitmap. Caller guarantees the wheel is
+    /// non-empty.
+    #[inline]
+    fn scan_from(&self, start: usize) -> usize {
+        let w0 = start / 64;
+        let masked = self.occupancy[w0] & (!0u64 << (start % 64));
+        if masked != 0 {
+            return w0 * 64 + masked.trailing_zeros() as usize;
+        }
+        for i in 1..=OCC_WORDS {
+            let w = (w0 + i) % OCC_WORDS;
+            let bits = self.occupancy[w];
+            if bits != 0 {
+                return w * 64 + bits.trailing_zeros() as usize;
+            }
+        }
+        unreachable!("scan_from on an empty wheel");
+    }
+
     /// Removes and returns the earliest event, advancing the clock to its
-    /// timestamp. Events at equal timestamps pop in scheduling order.
+    /// timestamp. Events at equal timestamps pop in scheduling order
+    /// (FIFO) or salted order (seeded) — identical to [`ReferenceQueue`].
     pub fn pop(&mut self) -> Option<(Cycle, E)> {
-        let Reverse(e) = self.heap.pop()?;
-        self.now = e.at;
+        // Window anchor: the wheel covers [base, base + WHEEL_SLOTS).
+        // Normally base == now; if the wheel is empty, jump straight to
+        // the earliest far event.
+        let base = if self.wheel_len == 0 {
+            match self.far.peek() {
+                Some(&Reverse(e)) => e.at,
+                None => return None,
+            }
+        } else {
+            self.now
+        };
+        if !self.far.is_empty() {
+            self.promote(base);
+        }
+        debug_assert!(self.wheel_len > 0);
+        let slot = self.scan_from((base.0 & WHEEL_MASK) as usize);
+        let dt = (slot as u64).wrapping_sub(base.0) & WHEEL_MASK;
+        let at = Cycle(base.0 + dt);
+        let entry = slot_pop(&mut self.slots[slot]);
+        if self.slots[slot].is_empty() {
+            self.occupancy[slot / 64] &= !(1u64 << (slot % 64));
+        }
+        self.wheel_len -= 1;
+        let event = self
+            .events
+            .remove(entry.id)
+            .expect("wheel entry without interned payload");
+        self.now = at;
         self.popped += 1;
         self.tracer.count("engine.events_dispatched", 1);
-        Some((e.at, e.event))
+        Some((at, event))
     }
 
     /// The timestamp of the earliest pending event, if any.
     #[must_use]
     pub fn peek_time(&self) -> Option<Cycle> {
-        self.heap.peek().map(|Reverse(e)| e.at)
+        let wheel = if self.wheel_len > 0 {
+            let slot = self.scan_from((self.now.0 & WHEEL_MASK) as usize);
+            let dt = (slot as u64).wrapping_sub(self.now.0) & WHEEL_MASK;
+            Some(Cycle(self.now.0 + dt))
+        } else {
+            None
+        };
+        let far = self.far.peek().map(|&Reverse(e)| e.at);
+        match (wheel, far) {
+            (Some(w), Some(f)) => Some(w.min(f)),
+            (w, f) => w.or(f),
+        }
     }
 }
 
@@ -361,5 +557,47 @@ mod tests {
             assert!(seen.iter().all(|&b| b));
             assert_eq!(q.events_processed(), n as u64);
         }
+    }
+
+    /// Events past the wheel horizon live in the far heap and still pop
+    /// in global order, including when the wheel is completely empty and
+    /// the window has to jump forward.
+    #[test]
+    fn far_heap_promotion_and_window_jump() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle(5), "near");
+        q.schedule(Cycle(500_000), "far");
+        q.schedule(Cycle(WHEEL_SLOTS as u64 + 3), "just-past-horizon");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.peek_time(), Some(Cycle(5)));
+        assert_eq!(q.pop(), Some((Cycle(5), "near")));
+        assert_eq!(
+            q.pop(),
+            Some((Cycle(WHEEL_SLOTS as u64 + 3), "just-past-horizon"))
+        );
+        // Wheel empty, far event half a million cycles out: pop jumps.
+        assert_eq!(q.peek_time(), Some(Cycle(500_000)));
+        assert_eq!(q.pop(), Some((Cycle(500_000), "far")));
+        assert_eq!(q.now(), Cycle(500_000));
+        assert!(q.is_empty());
+    }
+
+    /// A far event whose deadline comes to undercut wheel-resident
+    /// events must be promoted before they pop.
+    #[test]
+    fn far_event_undercuts_wheel_entries() {
+        let mut q = EventQueue::new();
+        // Far event at WHEEL_SLOTS + 10 (beyond horizon at t=0).
+        q.schedule(Cycle(WHEEL_SLOTS as u64 + 10), "far");
+        // March time forward with filler events.
+        q.schedule(Cycle(100), "a");
+        assert_eq!(q.pop(), Some((Cycle(100), "a")));
+        // Now schedule a wheel event *after* the far deadline.
+        q.schedule(Cycle(WHEEL_SLOTS as u64 + 50), "wheel-late");
+        assert_eq!(q.pop(), Some((Cycle(WHEEL_SLOTS as u64 + 10), "far")));
+        assert_eq!(
+            q.pop(),
+            Some((Cycle(WHEEL_SLOTS as u64 + 50), "wheel-late"))
+        );
     }
 }

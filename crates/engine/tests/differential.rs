@@ -1,0 +1,161 @@
+//! Differential tests: the timing-wheel [`EventQueue`] must pop the
+//! exact same `(cycle, event)` stream as the retained binary-heap
+//! [`ReferenceQueue`], for arbitrary interleavings of schedules and
+//! pops, under both tie-break modes.
+//!
+//! The schedules are adversarial for wheel implementations: delays
+//! clustered just below/at/above the wheel horizon (`WHEEL_SLOTS`),
+//! wrap-around boundaries, heavy same-cycle contention, and rare huge
+//! delays that must sit in the far heap and be promoted as the window
+//! advances.
+
+use tcc_engine::{EventQueue, ReferenceQueue, TieBreak, WHEEL_SLOTS};
+use tcc_types::rng::SmallRng;
+use tcc_types::Cycle;
+
+/// Drives both queues through an identical random schedule/pop script
+/// and asserts lockstep-identical observable behaviour.
+fn lockstep(seed: u64, tie_break: TieBreak, delays: &dyn Fn(&mut SmallRng) -> u64) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut wheel = EventQueue::with_tie_break(tie_break);
+    let mut oracle = ReferenceQueue::with_tie_break(tie_break);
+    let ops = rng.gen_range(50usize..600);
+    let mut next_id: u32 = 0;
+    for _ in 0..ops {
+        // Mixed bursts: schedule a few, pop a few, so the window keeps
+        // moving while events are in flight.
+        let burst = rng.gen_range(1usize..8);
+        for _ in 0..burst {
+            let d = delays(&mut rng);
+            // Same-cycle contention: occasionally duplicate the delay
+            // several times.
+            let copies = if rng.gen_range(0u32..4) == 0 {
+                rng.gen_range(1usize..6)
+            } else {
+                1
+            };
+            for _ in 0..copies {
+                let at = Cycle(wheel.now().0 + d);
+                wheel.schedule(at, next_id);
+                oracle.schedule(at, next_id);
+                next_id += 1;
+            }
+        }
+        assert_eq!(wheel.len(), oracle.len());
+        assert_eq!(wheel.peek_time(), oracle.peek_time());
+        let pops = rng.gen_range(0usize..10);
+        for _ in 0..pops {
+            let w = wheel.pop();
+            let o = oracle.pop();
+            assert_eq!(w, o, "pop stream diverged (tie_break {tie_break:?})");
+            assert_eq!(wheel.now(), oracle.now());
+            if w.is_none() {
+                break;
+            }
+        }
+    }
+    // Drain both to the end.
+    loop {
+        let w = wheel.pop();
+        let o = oracle.pop();
+        assert_eq!(w, o, "drain diverged (tie_break {tie_break:?})");
+        if w.is_none() {
+            break;
+        }
+    }
+    assert_eq!(wheel.events_processed(), oracle.events_processed());
+    assert_eq!(wheel.now(), oracle.now());
+}
+
+const MODES: [TieBreak; 3] = [
+    TieBreak::Fifo,
+    TieBreak::Seeded(0x5eed_cafe),
+    TieBreak::Seeded(0x0123_4567_89ab_cdef),
+];
+
+#[test]
+fn short_delays_like_the_simulator() {
+    // Link/controller-latency-shaped delays: the common case.
+    for (i, tb) in MODES.iter().enumerate() {
+        for round in 0..80 {
+            lockstep(0xd1ff_0000 + round + 1000 * i as u64, *tb, &|rng| {
+                rng.gen_range(0u64..64)
+            });
+        }
+    }
+}
+
+#[test]
+fn delays_straddling_the_wheel_horizon() {
+    // Cluster just below / at / above WHEEL_SLOTS so events land on both
+    // sides of the near/far split and exercise promotion.
+    let span = WHEEL_SLOTS as u64;
+    for (i, tb) in MODES.iter().enumerate() {
+        for round in 0..60 {
+            lockstep(0xd1ff_1000 + round + 1000 * i as u64, *tb, &|rng| {
+                span - 3 + rng.gen_range(0u64..6)
+            });
+        }
+    }
+}
+
+#[test]
+fn wheel_wrap_boundaries() {
+    // Delays near multiples of the wheel size hit the same slots
+    // repeatedly as time wraps the wheel.
+    let span = WHEEL_SLOTS as u64;
+    for (i, tb) in MODES.iter().enumerate() {
+        for round in 0..60 {
+            lockstep(0xd1ff_2000 + round + 1000 * i as u64, *tb, &|rng| {
+                let k = rng.gen_range(0u64..3);
+                k * span + rng.gen_range(0u64..4)
+            });
+        }
+    }
+}
+
+#[test]
+fn rare_long_timers_in_the_far_heap() {
+    // Mostly short delays with occasional RTO/watchdog-scale timers.
+    for (i, tb) in MODES.iter().enumerate() {
+        for round in 0..60 {
+            lockstep(0xd1ff_3000 + round + 1000 * i as u64, *tb, &|rng| {
+                if rng.gen_range(0u32..10) == 0 {
+                    rng.gen_range(0u64..200_000)
+                } else {
+                    rng.gen_range(0u64..32)
+                }
+            });
+        }
+    }
+}
+
+#[test]
+fn zero_delay_storms() {
+    // Everything at `now`: pure tie-break ordering under both modes.
+    for (i, tb) in MODES.iter().enumerate() {
+        for round in 0..40 {
+            lockstep(0xd1ff_4000 + round + 1000 * i as u64, *tb, &|rng| {
+                if rng.gen_range(0u32..5) == 0 {
+                    rng.gen_range(0u64..3)
+                } else {
+                    0
+                }
+            });
+        }
+    }
+}
+
+#[test]
+fn uniform_delays_across_three_windows() {
+    // Uniform up to 3x the wheel span: a mix of near and far events with
+    // constant promotion churn.
+    let span = WHEEL_SLOTS as u64;
+    for (i, tb) in MODES.iter().enumerate() {
+        for round in 0..60 {
+            lockstep(0xd1ff_5000 + round + 1000 * i as u64, *tb, &|rng| {
+                rng.gen_range(0u64..3 * span)
+            });
+        }
+    }
+}

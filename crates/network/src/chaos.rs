@@ -55,7 +55,7 @@
 //! with no retransmission layer is not a schedule, it is a different
 //! machine.
 
-use std::collections::HashMap;
+use tcc_types::hash::FxHashMap;
 
 use tcc_trace::Json;
 use tcc_types::rng::SmallRng;
@@ -448,7 +448,7 @@ pub struct SeededInjector {
     cfg: ChaosConfig,
     rng: SmallRng,
     /// Last delivery time per directed channel, for the FIFO clamp.
-    last_arrival: HashMap<(NodeId, NodeId), u64>,
+    last_arrival: FxHashMap<(NodeId, NodeId), u64>,
     stats: ChaosStats,
 }
 
@@ -459,7 +459,7 @@ impl SeededInjector {
         SeededInjector {
             cfg,
             rng,
-            last_arrival: HashMap::new(),
+            last_arrival: FxHashMap::default(),
             stats: ChaosStats::default(),
         }
     }

@@ -77,7 +77,11 @@ mod tests {
                 ]))])
             })
             .collect();
-        let r = Simulator::new(cfg, programs).run();
+        let r = Simulator::builder(cfg)
+            .programs(programs)
+            .build()
+            .expect("valid config")
+            .run();
         let row = Table3Row::from_result("tiny", &r);
         assert_eq!(row.name, "tiny");
         assert_eq!(row.tx_size_p90, 102.0);

@@ -70,7 +70,11 @@ mod tests {
                 TxOp::Compute(1000),
             ]))]),
         ];
-        let r = Simulator::new(cfg, programs).run();
+        let r = Simulator::builder(cfg)
+            .programs(programs)
+            .build()
+            .expect("valid config")
+            .run();
         let t = TrafficReport::from_result(&r);
         let miss = t
             .per_category
@@ -93,7 +97,11 @@ mod tests {
                 TxOp::Compute(50),
             ],
         ))])];
-        let r = Simulator::new(cfg, programs).run();
+        let r = Simulator::builder(cfg)
+            .programs(programs)
+            .build()
+            .expect("valid config")
+            .run();
         let t = TrafficReport::from_result(&r);
         assert_eq!(t.total, 0.0);
     }

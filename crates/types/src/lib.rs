@@ -29,9 +29,11 @@
 
 pub mod addr;
 pub mod bugs;
+pub mod hash;
 pub mod ids;
 pub mod msg;
 pub mod rng;
+pub mod slab;
 pub mod wire;
 
 pub use addr::{Addr, LineAddr, LineGeometry, WordMask};

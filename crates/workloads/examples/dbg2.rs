@@ -14,11 +14,18 @@ fn main() {
         if sf >= 0.0 {
             app.shared_frac = sf;
         }
-        let base = Simulator::new(SystemConfig::with_procs(1), app.generate(1, 7))
+        let base = Simulator::builder(SystemConfig::with_procs(1))
+            .programs(app.generate(1, 7))
+            .build()
+            .expect("valid config")
             .run()
             .total_cycles;
         for n in [32usize, 64] {
-            let r = Simulator::new(SystemConfig::with_procs(n), app.generate(n, 7)).run();
+            let r = Simulator::builder(SystemConfig::with_procs(n))
+                .programs(app.generate(n, 7))
+                .build()
+                .expect("valid config")
+                .run();
             let agg = r.aggregate();
             println!("{label:12} p{n:<2} speedup={:5.1} viol={:4} useful%={:4.1} miss%={:4.1} commit%={:4.1} idle%={:4.1} vio%={:4.1}",
                 base as f64 / r.total_cycles as f64, r.violations,

@@ -14,13 +14,21 @@ fn main() {
         }
         let base = {
             let cfg = SystemConfig::with_procs(1);
-            let r = Simulator::new(cfg, app.generate(1, 7)).run();
+            let r = Simulator::builder(cfg)
+                .programs(app.generate(1, 7))
+                .build()
+                .expect("valid config")
+                .run();
             r.total_cycles
         };
         print!("{:16} base={:10}", app.name, base);
         for n in [8usize, 32, 64] {
             let cfg = SystemConfig::with_procs(n);
-            let r = Simulator::new(cfg, app.generate(n, 7)).run();
+            let r = Simulator::builder(cfg)
+                .programs(app.generate(n, 7))
+                .build()
+                .expect("valid config")
+                .run();
             print!(
                 "  p{:<2} speedup={:5.1} viol={:4} commit%={:4.1}",
                 n,

@@ -120,7 +120,11 @@ mod tests {
 
     #[test]
     fn contended_counter_serializes_increments() {
-        let r = Simulator::new(checked(4), contended_counter(4, 4)).run();
+        let r = Simulator::builder(checked(4))
+            .programs(contended_counter(4, 4))
+            .build()
+            .expect("valid config")
+            .run();
         assert_eq!(r.commits, 16);
         assert!(r.violations > 0, "a contended counter must conflict");
         r.assert_serializable();
@@ -128,7 +132,11 @@ mod tests {
 
     #[test]
     fn producer_consumer_forwards_without_conflicts() {
-        let r = Simulator::new(checked(4), producer_consumer(4, 16)).run();
+        let r = Simulator::builder(checked(4))
+            .programs(producer_consumer(4, 16))
+            .build()
+            .expect("valid config")
+            .run();
         assert_eq!(r.commits, 8);
         assert_eq!(r.violations, 0);
         r.assert_serializable();
@@ -136,7 +144,11 @@ mod tests {
 
     #[test]
     fn commit_storm_commits_everything() {
-        let r = Simulator::new(checked(8), commit_storm(8, 10)).run();
+        let r = Simulator::builder(checked(8))
+            .programs(commit_storm(8, 10))
+            .build()
+            .expect("valid config")
+            .run();
         assert_eq!(r.commits, 80);
         assert_eq!(r.violations, 0);
         r.assert_serializable();
@@ -144,12 +156,18 @@ mod tests {
 
     #[test]
     fn embarrassingly_parallel_scales() {
-        let t1 = Simulator::new(checked(1), embarrassingly_parallel(1, 32, 500))
+        let t1 = Simulator::builder(checked(1))
+            .programs(embarrassingly_parallel(1, 32, 500))
+            .build()
+            .expect("valid config")
             .run()
             .total_cycles;
         // Same per-proc work on 8 procs finishes in about the same time
         // (it is 8x the total work at 1x the makespan).
-        let t8 = Simulator::new(checked(8), embarrassingly_parallel(8, 32, 500))
+        let t8 = Simulator::builder(checked(8))
+            .programs(embarrassingly_parallel(8, 32, 500))
+            .build()
+            .expect("valid config")
             .run()
             .total_cycles;
         assert!(

@@ -9,7 +9,7 @@
 //! cargo run --release --example custom_app
 //! ```
 
-use scalable_tcc::core::{Simulator, SystemConfig};
+use scalable_tcc::prelude::*;
 use scalable_tcc::stats::table3::Table3Row;
 use scalable_tcc::workloads::AppProfile;
 
@@ -38,7 +38,11 @@ fn main() {
     for n in [1usize, 8, 32] {
         let mut cfg = SystemConfig::with_procs(n);
         cfg.check_serializability = n <= 8; // oracle on where it is cheap
-        let result = Simulator::new(cfg, kv.generate(n, 1)).run();
+        let result = Simulator::builder(cfg)
+            .programs(kv.generate(n, 1))
+            .build()
+            .expect("valid config")
+            .run();
         if n <= 8 {
             result.assert_serializable();
         }

@@ -7,10 +7,8 @@
 //! cargo run --release --example protocol_comparison [--full]
 //! ```
 
-use scalable_tcc::core::baseline::BaselineSimulator;
-use scalable_tcc::core::{Simulator, SystemConfig};
+use scalable_tcc::prelude::*;
 use scalable_tcc::stats::render::TextTable;
-use scalable_tcc::workloads::{apps, Scale};
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
@@ -29,10 +27,16 @@ fn main() {
     ]);
     for n in [1usize, 2, 4, 8, 16] {
         let programs = app.generate_scaled(n, 42, scale);
-        let scalable = Simulator::new(SystemConfig::with_procs(n), programs.clone())
+        let scalable = Simulator::builder(SystemConfig::with_procs(n))
+            .programs(programs.clone())
+            .build()
+            .expect("valid config")
             .run()
             .total_cycles;
-        let serialized = BaselineSimulator::new(SystemConfig::with_procs(n), programs)
+        let serialized = Simulator::builder(SystemConfig::with_procs(n))
+            .programs(programs)
+            .build_baseline()
+            .expect("valid config")
             .run()
             .total_cycles;
         t.row(vec![

@@ -9,8 +9,7 @@
 //! Set `TCC_TRACE=1` to additionally dump the raw message trace the
 //! simulator emits (every `Deliver` event, on stderr).
 
-use scalable_tcc::core::{Simulator, SystemConfig, ThreadProgram, Transaction, TxOp, WorkItem};
-use scalable_tcc::types::Addr;
+use scalable_tcc::prelude::*;
 
 fn main() {
     // The line both processors touch, homed at node 0 (line 8 % 2 == 0).
@@ -33,7 +32,11 @@ fn main() {
 
     let mut cfg = SystemConfig::with_procs(2);
     cfg.check_serializability = true;
-    let result = Simulator::new(cfg, programs).run();
+    let result = Simulator::builder(cfg)
+        .programs(programs)
+        .build()
+        .expect("valid config")
+        .run();
     result.assert_serializable();
 
     println!("Figure 2 walkthrough — one committer, one violated reader");

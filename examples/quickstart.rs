@@ -5,9 +5,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use scalable_tcc::core::{Simulator, SystemConfig, ThreadProgram, Transaction, TxOp, WorkItem};
+use scalable_tcc::prelude::*;
 use scalable_tcc::stats::breakdown::BreakdownPct;
-use scalable_tcc::types::Addr;
 
 fn main() {
     // Four processors repeatedly increment a shared counter (a
@@ -39,7 +38,11 @@ fn main() {
     let mut cfg = SystemConfig::with_procs(n);
     cfg.check_serializability = true;
 
-    let result = Simulator::new(cfg, programs).run();
+    let result = Simulator::builder(cfg)
+        .programs(programs)
+        .build()
+        .expect("valid config")
+        .run();
     result.assert_serializable();
 
     println!("Scalable TCC quickstart — 4 processors, 1 contended counter");

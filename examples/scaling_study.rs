@@ -9,10 +9,9 @@
 //! (e.g. `volrend`, `swim`) to study another, and `--full` for the full
 //! calibrated run lengths.
 
-use scalable_tcc::core::{Simulator, SystemConfig};
+use scalable_tcc::prelude::*;
 use scalable_tcc::stats::breakdown::scaling_curve;
 use scalable_tcc::stats::render::{stacked_bar, TextTable};
-use scalable_tcc::workloads::{apps, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -36,7 +35,11 @@ fn main() {
         .iter()
         .map(|&n| {
             let programs = app.generate_scaled(n, 42, scale);
-            let r = Simulator::new(SystemConfig::with_procs(n), programs).run();
+            let r = Simulator::builder(SystemConfig::with_procs(n))
+                .programs(programs)
+                .build()
+                .expect("valid config")
+                .run();
             eprintln!("  p={n}: {} cycles", r.total_cycles);
             r
         })

@@ -9,8 +9,7 @@
 //! cargo run --release --example tape_profiling
 //! ```
 
-use scalable_tcc::core::{Simulator, SystemConfig};
-use scalable_tcc::workloads::{apps, Scale};
+use scalable_tcc::prelude::*;
 
 fn main() {
     let n = 16;
@@ -19,7 +18,11 @@ fn main() {
     cfg.profile = true;
 
     let programs = app.generate_scaled(n, 42, Scale::Smoke);
-    let result = Simulator::new(cfg, programs).run();
+    let result = Simulator::builder(cfg)
+        .programs(programs)
+        .build()
+        .expect("valid config")
+        .run();
 
     println!(
         "{} on {n} CPUs: {} commits, {} violations, {} cycles\n",

@@ -21,16 +21,26 @@
 //!
 //! ## Quick start
 //!
+//! Simulators are constructed through the validating builder and run
+//! with [`try_run`](core::Simulator::try_run), which reports stalls
+//! (deadlock, cycle limit, watchdog, transport retry exhaustion) as
+//! typed [`RunError`](core::RunError) values. The panicking
+//! [`run`](core::Simulator::run) remains as a convenience where a stall
+//! simply means "bug".
+//!
 //! ```
-//! use scalable_tcc::core::{Simulator, SystemConfig};
-//! use scalable_tcc::workloads::{apps, Scale};
+//! use scalable_tcc::prelude::*;
 //!
 //! let app = apps::specjbb();
 //! let cfg = SystemConfig::with_procs(8);
 //! let programs = app.generate_scaled(8, 42, Scale::Smoke);
-//! let result = Simulator::new(cfg, programs).run();
+//! let result = Simulator::builder(cfg)
+//!     .programs(programs)
+//!     .build()?
+//!     .try_run()?;
 //! assert!(result.commits > 0);
 //! println!("{} commits in {} cycles", result.commits, result.total_cycles);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
 //! See `README.md` for the experiment index and `DESIGN.md` for the
@@ -45,3 +55,32 @@ pub use tcc_stats as stats;
 pub use tcc_trace as trace;
 pub use tcc_types as types;
 pub use tcc_workloads as workloads;
+
+/// The names nearly every experiment, example, and test imports —
+/// construction ([`Simulator`], [`SystemConfig`], [`SimulatorBuilder`],
+/// [`ConfigError`]), results ([`SimResult`], [`RunError`]), workloads
+/// ([`apps`], [`Scale`], program-building types), the serialized-commit
+/// baseline ([`BaselineSimulator`], [`OccCondition`]), and tracing
+/// ([`Tracer`], [`TraceConfig`]).
+///
+/// ```
+/// use scalable_tcc::prelude::*;
+///
+/// let cfg = SystemConfig::with_procs(2);
+/// let sim = Simulator::builder(cfg)
+///     .programs(apps::radix().generate(2, 1))
+///     .build()?;
+/// let result = sim.try_run()?;
+/// assert!(result.commits > 0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub mod prelude {
+    pub use tcc_core::baseline::{BaselineResult, BaselineSimulator, OccCondition};
+    pub use tcc_core::{
+        ConfigError, RunError, SimResult, Simulator, SimulatorBuilder, SystemConfig, ThreadProgram,
+        Transaction, TxOp, WorkItem,
+    };
+    pub use tcc_trace::{TraceConfig, Tracer};
+    pub use tcc_types::Addr;
+    pub use tcc_workloads::{apps, Scale};
+}

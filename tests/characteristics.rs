@@ -2,13 +2,16 @@
 //! per-application properties must hold for what the simulator
 //! *measures*, not just for the generator parameters.
 
-use scalable_tcc::core::{SimResult, Simulator, SystemConfig};
+use scalable_tcc::prelude::*;
 use scalable_tcc::stats::table3::Table3Row;
-use scalable_tcc::workloads::{apps, Scale};
 
 fn run(app: &scalable_tcc::workloads::AppProfile, n: usize) -> SimResult {
     let programs = app.generate_scaled(n, 11, Scale::Smoke);
-    Simulator::new(SystemConfig::with_procs(n), programs).run()
+    Simulator::builder(SystemConfig::with_procs(n))
+        .programs(programs)
+        .build()
+        .expect("valid config")
+        .run()
 }
 
 fn rows(n: usize) -> Vec<Table3Row> {

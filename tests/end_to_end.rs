@@ -1,9 +1,7 @@
 //! Cross-crate integration tests: real application workloads through
 //! the full simulator, with the serializability oracle on.
 
-use scalable_tcc::core::baseline::BaselineSimulator;
-use scalable_tcc::core::{Simulator, SystemConfig};
-use scalable_tcc::workloads::{apps, Scale};
+use scalable_tcc::prelude::*;
 
 fn checked(n: usize) -> SystemConfig {
     SystemConfig {
@@ -17,7 +15,11 @@ fn every_application_runs_serializably_at_8_processors() {
     for app in apps::all() {
         let programs = app.generate_scaled(8, 1, Scale::Smoke);
         let expected: u64 = programs.iter().map(|p| p.transactions() as u64).sum();
-        let r = Simulator::new(checked(8), programs).run();
+        let r = Simulator::builder(checked(8))
+            .programs(programs)
+            .build()
+            .expect("valid config")
+            .run();
         assert_eq!(r.commits, expected, "{}: lost transactions", app.name);
         r.assert_serializable();
         assert!(r.instructions > 0, "{}: no instructions", app.name);
@@ -38,7 +40,11 @@ fn uniprocessor_runs_have_no_violations_and_tiny_commit_overhead() {
     // the only TCC overhead is the (small) commit component.
     for app in apps::all() {
         let programs = app.generate_scaled(1, 2, Scale::Smoke);
-        let r = Simulator::new(checked(1), programs).run();
+        let r = Simulator::builder(checked(1))
+            .programs(programs)
+            .build()
+            .expect("valid config")
+            .run();
         assert_eq!(r.violations, 0, "{}: uniprocessor violation?!", app.name);
         let agg = r.aggregate();
         let commit_frac = agg.commit as f64 / agg.total() as f64;
@@ -56,7 +62,11 @@ fn application_runs_are_deterministic() {
     let app = apps::water_spatial();
     let run = || {
         let programs = app.generate_scaled(4, 9, Scale::Smoke);
-        Simulator::new(checked(4), programs).run()
+        Simulator::builder(checked(4))
+            .programs(programs)
+            .build()
+            .expect("valid config")
+            .run()
     };
     let (a, b) = (run(), run());
     assert_eq!(a.total_cycles, b.total_cycles);
@@ -83,10 +93,16 @@ fn scalable_beats_the_serialized_baseline_on_commit_bound_work() {
     let app = apps::volrend();
     let n = 16;
     let programs = app.generate_scaled(n, 4, Scale::Smoke);
-    let scalable = Simulator::new(SystemConfig::with_procs(n), programs.clone())
+    let scalable = Simulator::builder(SystemConfig::with_procs(n))
+        .programs(programs.clone())
+        .build()
+        .expect("valid config")
         .run()
         .total_cycles;
-    let serialized = BaselineSimulator::new(SystemConfig::with_procs(n), programs)
+    let serialized = Simulator::builder(SystemConfig::with_procs(n))
+        .programs(programs)
+        .build_baseline()
+        .expect("valid config")
         .run()
         .total_cycles;
     assert!(
@@ -105,7 +121,10 @@ fn speedup_improves_with_processors_for_scalable_apps() {
         .iter()
         .map(|&n| {
             let programs = app.generate_scaled(n, 5, Scale::Smoke);
-            Simulator::new(SystemConfig::with_procs(n), programs)
+            Simulator::builder(SystemConfig::with_procs(n))
+                .programs(programs)
+                .build()
+                .expect("valid config")
                 .run()
                 .total_cycles
         })
@@ -125,7 +144,12 @@ fn link_latency_hurts_communication_bound_apps_more() {
             let mut cfg = SystemConfig::with_procs(16);
             cfg.network.link_latency = lat;
             let programs = app.generate_scaled(16, 6, Scale::Smoke);
-            Simulator::new(cfg, programs).run().total_cycles as f64
+            Simulator::builder(cfg)
+                .programs(programs)
+                .build()
+                .expect("valid config")
+                .run()
+                .total_cycles as f64
         };
         run(8) / run(1)
     };
@@ -143,7 +167,11 @@ fn radix_touches_every_directory_per_commit() {
     // Table 3's standout row: radix's write-set spans all directories.
     let n = 8;
     let programs = apps::radix().generate_scaled(n, 7, Scale::Smoke);
-    let r = Simulator::new(checked(n), programs).run();
+    let r = Simulator::builder(checked(n))
+        .programs(programs)
+        .build()
+        .expect("valid config")
+        .run();
     r.assert_serializable();
     let max_dirs = r.tx_chars.iter().map(|t| t.dirs_written).max().unwrap();
     assert_eq!(
@@ -159,7 +187,11 @@ fn remote_traffic_categories_are_populated() {
     // overhead, and (via producer-consumer lines) owner forwards.
     use scalable_tcc::types::TrafficCategory;
     let programs = apps::water_nsquared().generate_scaled(8, 8, Scale::Smoke);
-    let r = Simulator::new(checked(8), programs).run();
+    let r = Simulator::builder(checked(8))
+        .programs(programs)
+        .build()
+        .expect("valid config")
+        .run();
     for c in [
         TrafficCategory::Miss,
         TrafficCategory::Commit,

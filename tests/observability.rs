@@ -4,9 +4,7 @@
 //! collecting metrics, or capturing full event rings — and the
 //! collected metrics must agree with the simulator's own counters.
 
-use scalable_tcc::core::{SimResult, Simulator, SystemConfig};
-use scalable_tcc::trace::TraceConfig;
-use scalable_tcc::workloads::{apps, Scale};
+use scalable_tcc::prelude::*;
 
 fn run_with(trace: TraceConfig) -> SimResult {
     let app = apps::volrend();
@@ -16,25 +14,18 @@ fn run_with(trace: TraceConfig) -> SimResult {
         trace,
         ..SystemConfig::with_procs(4)
     };
-    Simulator::new(cfg, programs).run()
+    Simulator::builder(cfg)
+        .programs(programs)
+        .build()
+        .expect("valid config")
+        .run()
 }
 
 /// Everything a run produced except the trace itself, as one
-/// comparable string (all these types are plain data with derived
-/// `Debug`, so equal strings mean equal results).
+/// comparable string: the core plain-data digest
+/// ([`SimResult::fingerprint`]) plus the serializability verdict.
 fn fingerprint(r: &SimResult) -> String {
-    format!(
-        "{cycles} {brk:?} {ctr:?} {commits} {viols} {instr} {traffic} {events} {ser:?}",
-        cycles = r.total_cycles,
-        brk = r.breakdowns,
-        ctr = r.proc_counters,
-        commits = r.commits,
-        viols = r.violations,
-        instr = r.instructions,
-        traffic = r.traffic.total_bytes(),
-        events = r.events,
-        ser = r.serializability,
-    )
+    format!("{} {:?}", r.fingerprint(), r.serializability)
 }
 
 #[test]
