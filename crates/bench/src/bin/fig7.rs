@@ -28,7 +28,7 @@ fn main() {
             continue;
         }
         let results = par_map(&FIG7_SIZES, args.jobs(), |&n| {
-            let r = run_app_seeded(&app, n, args.scale(), seed, |_| {});
+            let r = run_app_seeded(&app, n, args.scale(), seed, |cfg| args.apply_workers(cfg));
             eprintln!("  {}: p={n} done ({} cycles)", app.name, r.total_cycles);
             maybe_write_chrome(&r, &format!("fig7_{}_p{n}", app.name));
             r

@@ -122,9 +122,10 @@ struct Measurement {
     commits: u64,
 }
 
-fn run_cell(cell: &Cell, reps: usize) -> Measurement {
+fn run_cell(cell: &Cell, reps: usize, args: &HarnessArgs) -> Measurement {
     let run_once = || -> (SimResult, f64, u64, u64) {
-        let cfg = SystemConfig::with_procs(cell.cpus);
+        let mut cfg = SystemConfig::with_procs(cell.cpus);
+        args.apply_workers(&mut cfg);
         let programs = cell
             .app
             .generate_scaled(cell.cpus, HARNESS_SEED, cell.scale);
@@ -277,6 +278,7 @@ fn main() {
     let mut reps = 3usize;
     let mut smoke = false;
     let mut filter: Option<String> = None;
+    let mut workers: Option<usize> = None;
     let mut iter = std::env::args().skip(1);
     while let Some(a) = iter.next() {
         match a.as_str() {
@@ -284,6 +286,7 @@ fn main() {
             "--write-golden" => write_golden = iter.next(),
             "--reps" => reps = iter.next().and_then(|v| v.parse().ok()).unwrap_or(3),
             "--smoke" => smoke = true,
+            "--workers" => workers = iter.next().and_then(|v| v.parse().ok()),
             other if !other.starts_with("--") => filter = Some(other.to_string()),
             _ => {}
         }
@@ -291,6 +294,7 @@ fn main() {
     let args = HarnessArgs {
         filter,
         smoke,
+        workers,
         ..HarnessArgs::default()
     };
 
@@ -305,7 +309,7 @@ fn main() {
         if !args.selects(cell.app.name) {
             continue;
         }
-        let m = run_cell(cell, reps);
+        let m = run_cell(cell, reps, &args);
         println!(
             "{:<18} {:>10.1} {:>12.0} {:>12} {:>12.1}  {}",
             m.label,
@@ -319,14 +323,17 @@ fn main() {
     }
 
     let mut report = RunReport::new("perf");
-    report.set(
-        "harness",
-        Json::obj(vec![
-            ("seed", HARNESS_SEED.into()),
-            ("scale", if args.smoke { "smoke" } else { "full" }.into()),
-            ("reps", (reps as u64).into()),
-        ]),
-    );
+    let mut harness = vec![
+        ("seed", Json::from(HARNESS_SEED)),
+        ("scale", if args.smoke { "smoke" } else { "full" }.into()),
+        ("reps", (reps as u64).into()),
+    ];
+    // Only recorded for parallel-engine runs, keeping the default
+    // (classic-engine) artifact byte-identical across versions.
+    if args.workers() > 1 {
+        harness.push(("workers", (args.workers() as u64).into()));
+    }
+    report.set("harness", Json::obj(harness));
     report.set(
         "cells",
         Json::Arr(

@@ -1,0 +1,144 @@
+//! Parallel-engine scaling study (`BENCH_scale.json`).
+//!
+//! Runs several applications on a 128-CPU simulated machine, sweeping
+//! the engine worker count: `workers == 1` is the classic sequential
+//! engine (the baseline), higher counts run the sharded parallel
+//! engine. Per cell it records wall-clock, simulator events per
+//! second, wall-clock speedup over the classic baseline, and the
+//! deterministic result fingerprint — and it *asserts* the fingerprint
+//! is byte-identical at every worker count, which is the parallel
+//! engine's core claim.
+//!
+//! Honest-measurement note: the parallel engine leases its threads
+//! from the shared worker budget, so on a host with fewer CPUs than
+//! requested workers the extra workers are simply not granted and the
+//! wall-clock columns measure windowing overhead, not speedup. The
+//! report records `host_cpus` so a reader can tell which regime a
+//! given artifact was generated in.
+
+use std::time::Instant;
+
+use tcc_bench::report::write_report;
+use tcc_bench::{HarnessArgs, HARNESS_SEED};
+use tcc_core::{ParallelConfig, Simulator, SystemConfig};
+use tcc_stats::render::TextTable;
+use tcc_trace::{Json, RunReport};
+use tcc_workloads::apps;
+
+/// The simulated machine size: past the paper's largest (64) to show
+/// the engine handles more shards than any evaluated configuration.
+const SCALE_CPUS: usize = 128;
+
+/// Engine worker counts swept per application.
+const WORKER_SWEEP: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// The swept cells: the radix @ 64 acceptance cell (the Figure 7
+/// machine size the speedup target is stated against) plus a
+/// 128-CPU sweep of four applications.
+fn cells() -> Vec<(tcc_workloads::AppProfile, usize)> {
+    vec![
+        (apps::radix(), 64),
+        (apps::radix(), SCALE_CPUS),
+        (apps::specjbb(), SCALE_CPUS),
+        (apps::volrend(), SCALE_CPUS),
+        (apps::equake(), SCALE_CPUS),
+    ]
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let seed = args.seed.unwrap_or(HARNESS_SEED);
+    let host_cpus = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let mut report = RunReport::new("scale");
+    report.set(
+        "harness",
+        Json::obj(vec![
+            ("seed", seed.into()),
+            ("scale", if args.smoke { "smoke" } else { "full" }.into()),
+            ("cpus", (SCALE_CPUS as u64).into()),
+            ("host_cpus", (host_cpus as u64).into()),
+            (
+                "workers",
+                Json::Arr(WORKER_SWEEP.iter().map(|&w| (w as u64).into()).collect()),
+            ),
+        ]),
+    );
+    let mut apps_json: Vec<Json> = Vec::new();
+    for (app, cpus) in cells() {
+        if !args.selects(app.name) {
+            continue;
+        }
+        println!("\n{} — {cpus}-CPU machine, engine worker sweep", app.name);
+        let mut t = TextTable::new(vec![
+            "Workers",
+            "Engine",
+            "Wall ms",
+            "Events/s",
+            "Speedup",
+            "Fingerprint",
+        ]);
+        let mut baseline: Option<(f64, String)> = None;
+        let mut points: Vec<Json> = Vec::new();
+        for &workers in &WORKER_SWEEP {
+            let mut cfg = SystemConfig::with_procs(cpus);
+            if workers > 1 {
+                cfg.parallel = Some(ParallelConfig::with_workers(workers));
+            }
+            let programs = app.generate_scaled(cpus, seed, args.scale());
+            let sim = Simulator::builder(cfg)
+                .programs(programs)
+                .build()
+                .expect("valid config");
+            let t0 = Instant::now();
+            let r = sim.run();
+            let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let fp = r.fingerprint();
+            let (base_wall, base_fp) = baseline.get_or_insert((wall_ms, fp.clone()));
+            assert_eq!(
+                *base_fp, fp,
+                "{}: parallel engine at {workers} workers diverged from classic",
+                app.name
+            );
+            let speedup = *base_wall / wall_ms;
+            let engine = if workers > 1 { "parallel" } else { "classic" };
+            eprintln!(
+                "  {}: workers={workers} done ({} cycles, {wall_ms:.0} ms)",
+                app.name, r.total_cycles
+            );
+            t.row(vec![
+                workers.to_string(),
+                engine.to_string(),
+                format!("{wall_ms:.1}"),
+                format!("{:.0}", r.events as f64 / (wall_ms / 1e3)),
+                format!("{speedup:.2}"),
+                fp.clone(),
+            ]);
+            points.push(Json::obj(vec![
+                ("workers", (workers as u64).into()),
+                ("engine", engine.into()),
+                ("wall_ms", Json::Num(wall_ms)),
+                ("events", r.events.into()),
+                ("speedup_vs_classic", Json::Num(speedup)),
+                ("fingerprint", fp.into()),
+                ("total_cycles", r.total_cycles.into()),
+                ("commits", r.commits.into()),
+            ]));
+        }
+        println!("{}", t.render());
+        apps_json.push(Json::obj(vec![
+            ("app", app.name.into()),
+            ("cpus", (cpus as u64).into()),
+            ("points", Json::Arr(points)),
+        ]));
+    }
+    report.set("apps", Json::Arr(apps_json));
+    write_report(&report);
+    println!("\nFingerprints are byte-identical across all worker counts (asserted).");
+    if host_cpus < *WORKER_SWEEP.last().expect("non-empty sweep") {
+        println!(
+            "Note: host has {host_cpus} CPU(s); worker counts above that are \
+             capped by the shared worker budget, so wall-clock columns \
+             measure engine overhead rather than speedup."
+        );
+    }
+}

@@ -46,6 +46,11 @@ pub struct HarnessArgs {
     /// deterministic, so the rendered output is byte-identical for any
     /// job count; only wall-clock changes. Defaults to 1.
     pub jobs: Option<usize>,
+    /// Worker threads *inside* each simulation (`--workers <n>`):
+    /// values above 1 run the sharded parallel engine, whose results
+    /// are byte-identical to the classic sequential engine at any
+    /// worker count. Defaults to 1 (classic engine).
+    pub workers: Option<usize>,
 }
 
 impl HarnessArgs {
@@ -64,6 +69,8 @@ impl HarnessArgs {
                 args.seed = iter.next().and_then(|v| v.parse().ok());
             } else if a == "--jobs" {
                 args.jobs = iter.next().and_then(|v| v.parse().ok());
+            } else if a == "--workers" {
+                args.workers = iter.next().and_then(|v| v.parse().ok());
             } else if !a.starts_with("--") {
                 args.filter = Some(a);
             }
@@ -107,6 +114,24 @@ impl HarnessArgs {
         self.jobs.unwrap_or(1).max(1)
     }
 
+    /// The in-simulation worker count selected by `--workers`.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers.unwrap_or(1).max(1)
+    }
+
+    /// Applies the `--workers` selection to a simulation config:
+    /// above 1, the run uses the sharded parallel engine (results are
+    /// byte-identical to the classic engine, only wall-clock differs).
+    /// The engine leases its threads from the shared [`WorkerBudget`],
+    /// so combining `--jobs` with `--workers` degrades gracefully
+    /// instead of oversubscribing the machine.
+    pub fn apply_workers(&self, cfg: &mut SystemConfig) {
+        if self.workers() > 1 {
+            cfg.parallel = Some(tcc_core::ParallelConfig::with_workers(self.workers()));
+        }
+    }
+
     /// Whether `name` passes the filter.
     #[must_use]
     pub fn selects(&self, name: &str) -> bool {
@@ -123,6 +148,11 @@ impl HarnessArgs {
 /// `--jobs` existed. Each simulation is deterministic and isolated, so
 /// the result vector — and anything rendered from it — is identical for
 /// every job count.
+///
+/// The fan-out is leased from the shared [`tcc_core::WorkerBudget`], so
+/// a `--jobs` sweep whose simulations themselves run the parallel
+/// engine (`--workers`) degrades the thread counts instead of
+/// oversubscribing the machine; a reduced grant never changes results.
 pub fn par_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
 where
     T: Sync,
@@ -130,6 +160,11 @@ where
     F: Fn(&T) -> R + Sync,
 {
     if jobs <= 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let lease = tcc_core::WorkerBudget::global().lease(jobs.min(items.len()));
+    let jobs = lease.workers();
+    if jobs <= 1 {
         return items.iter().map(f).collect();
     }
     use std::sync::atomic::{AtomicUsize, Ordering};

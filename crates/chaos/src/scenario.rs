@@ -239,7 +239,11 @@ impl Scenario {
         cfg
     }
 
-    fn to_programs(&self) -> Vec<ThreadProgram> {
+    /// The materialized per-thread programs this scenario executes.
+    /// Exposed so differential harnesses can re-run the same workload
+    /// under a modified config (e.g. the parallel engine).
+    #[must_use]
+    pub fn programs(&self) -> Vec<ThreadProgram> {
         self.threads
             .iter()
             .map(|txs| {
@@ -265,7 +269,7 @@ impl Scenario {
     pub fn run(&self) -> RunOutcome {
         let expected = self.transactions();
         let cfg = self.to_config();
-        let programs = self.to_programs();
+        let programs = self.programs();
         let result = catch_unwind(AssertUnwindSafe(move || {
             match Simulator::builder(cfg)
                 .programs(programs)

@@ -1,0 +1,140 @@
+//! Classic-vs-parallel differential replay of the chaos corpus.
+//!
+//! Every checked-in scenario — including the mutated-protocol bug
+//! witnesses — must reach the same outcome under the sharded parallel
+//! engine at every worker count as under the classic sequential
+//! engine: clean runs must produce byte-identical fingerprints, stalls
+//! must agree on reason/cycle/commits, and protocol-assert panics must
+//! reproduce as panics. Seeded (non-FIFO) tie-break cases use a
+//! different same-cycle ordering construction in the parallel engine,
+//! so for those the claim is worker-count invariance rather than
+//! classic equality.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use tcc_chaos::corpus::{corpus_dir, load_core_regression_corpus, load_scenarios};
+use tcc_chaos::progen::{chaos_profile, tie_break_for};
+use tcc_chaos::Scenario;
+use tcc_core::{ParallelConfig, RunError, Simulator, SystemConfig, ThreadProgram};
+
+const WORKER_COUNTS: &[usize] = &[1, 2, 4];
+
+/// Outcome classes coarse enough to be engine-independent:
+/// fingerprints for clean runs, (reason, cycle, commits) for stalls,
+/// and a bare marker for panics (panic payloads may embed
+/// engine-specific context such as worker indices).
+#[derive(Debug, PartialEq, Eq)]
+enum Outcome {
+    Finished {
+        fingerprint: String,
+        commits: u64,
+    },
+    Stalled {
+        reason: String,
+        at: u64,
+        commits: u64,
+    },
+    Panicked,
+}
+
+fn run_once(cfg: SystemConfig, programs: Vec<ThreadProgram>) -> Outcome {
+    let run = catch_unwind(AssertUnwindSafe(move || {
+        Simulator::builder(cfg)
+            .programs(programs)
+            .build()
+            .expect("valid config")
+            .try_run()
+    }));
+    match run {
+        Ok(Ok(r)) => Outcome::Finished {
+            fingerprint: r.fingerprint(),
+            commits: r.commits,
+        },
+        Ok(Err(RunError::Stalled(d))) => Outcome::Stalled {
+            reason: d.reason.kind().to_string(),
+            at: d.at,
+            commits: d.commits,
+        },
+        Err(_) => Outcome::Panicked,
+    }
+}
+
+fn parallel_outcome(s: &Scenario, workers: usize) -> Outcome {
+    let mut cfg = s.to_config();
+    cfg.parallel = Some(ParallelConfig {
+        workers,
+        oversubscribe: true,
+    });
+    run_once(cfg, s.programs())
+}
+
+/// FIFO scenarios: the parallel engine must match the classic engine
+/// exactly at every worker count.
+fn assert_matches_classic(s: &Scenario) {
+    assert!(
+        s.tie_break_seed.is_none(),
+        "classic-exact comparison only holds for FIFO tie-break"
+    );
+    let classic = run_once(s.to_config(), s.programs());
+    for &workers in WORKER_COUNTS {
+        let par = parallel_outcome(s, workers);
+        assert_eq!(
+            classic, par,
+            "scenario {} diverged from classic at workers={workers}",
+            s.name
+        );
+    }
+}
+
+/// Seeded scenarios: the parallel engine must reach the same outcome
+/// at every worker count (the seeded key construction differs from the
+/// classic engine's, so classic equality is not the contract).
+fn assert_worker_invariant(s: &Scenario) {
+    let base = parallel_outcome(s, WORKER_COUNTS[0]);
+    for &workers in &WORKER_COUNTS[1..] {
+        let par = parallel_outcome(s, workers);
+        assert_eq!(
+            base, par,
+            "scenario {} not worker-invariant at workers={workers}",
+            s.name
+        );
+    }
+}
+
+/// Every corpus artifact — all FIFO, most carrying a mutation knob —
+/// replays to the identical outcome under the parallel engine.
+#[test]
+fn chaos_corpus_replays_identically_under_parallel_engine() {
+    let scenarios = load_scenarios(&corpus_dir()).expect("corpus must load");
+    assert!(!scenarios.is_empty(), "corpus must not be empty");
+    for s in &scenarios {
+        if s.tie_break_seed.is_none() {
+            assert_matches_classic(s);
+        } else {
+            assert_worker_invariant(s);
+        }
+    }
+}
+
+/// The shared core regression corpus replays identically both benignly
+/// and under chaos perturbation, mirroring the classic corpus suite.
+#[test]
+fn core_regression_corpus_matches_under_parallel_engine() {
+    let cases = load_core_regression_corpus().expect("core corpus must load");
+    assert!(!cases.is_empty());
+    for case in &cases {
+        let n_procs = case.threads.len();
+        let benign = Scenario::new(case.name.clone(), case.threads.clone());
+        assert_matches_classic(&benign);
+        for chaos_seed in 0..2 {
+            let mut s = Scenario::new(format!("{}-c{chaos_seed}", case.name), case.threads.clone());
+            s.chaos = Some(chaos_profile(chaos_seed, n_procs));
+            s.tie_break_seed = tie_break_for(chaos_seed);
+            if s.tie_break_seed.is_none() {
+                assert_matches_classic(&s);
+            } else {
+                assert_worker_invariant(&s);
+            }
+        }
+    }
+}

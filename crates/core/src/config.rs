@@ -95,6 +95,52 @@ pub struct SystemConfig {
     /// only via `max_cycles`/deadlock; the watchdog is observation-only
     /// and never perturbs results.
     pub watchdog: Option<WatchdogConfig>,
+    /// Deterministic sharded parallel execution. `None` (the default)
+    /// runs the classic single-threaded event loop. `Some` partitions
+    /// the machine into one shard per node and advances shards
+    /// concurrently in conservative time windows bounded by the minimum
+    /// cross-node delivery latency; cross-shard effects are exchanged
+    /// only at window barriers, merged in a canonical order, so results
+    /// — including [`crate::SimResult::fingerprint`] — are
+    /// byte-identical at any worker count (and, under the default FIFO
+    /// tie-break, identical to the classic engine).
+    pub parallel: Option<ParallelConfig>,
+}
+
+/// Configuration of the windowed parallel execution engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Worker threads *requested* for shard execution (including the
+    /// calling thread). The engine leases from the process-wide
+    /// [`tcc_engine::WorkerBudget`], so the grant may be smaller; a
+    /// depleted budget degrades to one worker without changing any
+    /// result.
+    pub workers: usize,
+    /// Bypass the [`tcc_engine::WorkerBudget`] and spawn exactly
+    /// `workers` threads even on machines with fewer cores. Meant for
+    /// determinism tests that must exercise real concurrency on small
+    /// containers; production runs should leave this `false` so nested
+    /// parallelism (bench jobs × engine workers × chaos explorer)
+    /// cannot oversubscribe the machine. Results are identical either
+    /// way.
+    pub oversubscribe: bool,
+}
+
+impl ParallelConfig {
+    /// Parallel execution with `workers` requested worker threads.
+    #[must_use]
+    pub fn with_workers(workers: usize) -> ParallelConfig {
+        ParallelConfig {
+            workers,
+            oversubscribe: false,
+        }
+    }
+}
+
+impl Default for ParallelConfig {
+    fn default() -> ParallelConfig {
+        ParallelConfig::with_workers(1)
+    }
 }
 
 /// A rejected [`SystemConfig`] (or builder input), naming the offending
@@ -214,6 +260,26 @@ impl SystemConfig {
                 "choose line_bytes/word_bytes with 1..=64 words per line",
             ));
         }
+        if let Some(par) = &self.parallel {
+            if par.workers == 0 {
+                return Err(ConfigError::new(
+                    "parallel.workers",
+                    "zero workers cannot execute anything",
+                    "request workers >= 1 (the grant always includes the caller)",
+                ));
+            }
+            if self.chaos.is_some() && self.network.local_latency == 0 {
+                return Err(ConfigError::new(
+                    "network.local_latency",
+                    "chaos + parallel windows need local sends to take at \
+                     least one cycle: every send defers to the window join \
+                     (the injector's RNG is order-sensitive), so the window \
+                     width is bounded by the local latency",
+                    "set network.local_latency >= 1 (Table 2 uses 2), or \
+                     drop chaos or parallel",
+                ));
+            }
+        }
         if let Some(chaos) = &self.chaos {
             if chaos.has_wire_faults() && self.transport.is_none() {
                 return Err(ConfigError::new(
@@ -252,6 +318,7 @@ impl Default for SystemConfig {
             max_cycles: u64::MAX / 4,
             transport: None,
             watchdog: None,
+            parallel: None,
         }
     }
 }

@@ -62,6 +62,7 @@ pub mod baseline;
 mod breakdown;
 mod checker;
 mod config;
+mod par;
 mod processor;
 mod profiling;
 mod program;
@@ -81,14 +82,14 @@ pub(crate) fn tcc_trace_enabled() -> bool {
 
 pub use breakdown::{Breakdown, TxCharacteristics};
 pub use checker::{Checker, SerializabilityError, TxRecord};
-pub use config::{ConfigError, SystemConfig};
+pub use config::{ConfigError, ParallelConfig, SystemConfig};
 pub use processor::{Effects, ProcCounters, Processor};
 pub use profiling::{LineConflicts, ProfileReport, StarvationEvent, ViolationEvent};
 pub use program::{ThreadProgram, Transaction, TxOp, WorkItem};
 pub use sim::{SimResult, Simulator, SimulatorBuilder};
 pub use stall::{RunError, StallDiagnostic, StallReason};
-// Re-exported so downstream crates can enable the reliable transport
-// and the watchdog without depending on tcc-network/tcc-engine
-// directly.
-pub use tcc_engine::WatchdogConfig;
+// Re-exported so downstream crates can enable the reliable transport,
+// the watchdog, and the shared worker budget without depending on
+// tcc-network/tcc-engine directly.
+pub use tcc_engine::{WatchdogConfig, WorkerBudget, WorkerLease};
 pub use tcc_network::TransportConfig;

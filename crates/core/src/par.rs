@@ -1,0 +1,1753 @@
+//! Deterministic sharded parallel execution of the simulator.
+//!
+//! The classic engine in [`crate::sim`] pops one global event queue.
+//! This module runs the *same* simulation partitioned into one shard
+//! per node, advanced concurrently in conservative time windows, and
+//! produces **byte-identical results**: under FIFO tie-breaking the
+//! [`SimResult::fingerprint`](crate::SimResult::fingerprint) equals the
+//! classic engine's at any worker count.
+//!
+//! # How it works
+//!
+//! Every event has exactly one *owner* node (the node whose component
+//! state it mutates), so each shard holds the events, processor,
+//! directory, and per-node reliable-transport channel state of its
+//! node. Time is cut into windows `[W, W + B)` where `B` is the
+//! minimum cross-shard latency: any event a shard creates for another
+//! shard arrives at or after the window end, so within a window the
+//! shards are causally independent and run on plain `std::thread`
+//! workers (Phase A). Global resources — the mesh (link contention +
+//! traffic stats), the chaos injector's RNG, the serializability
+//! checker — are not touched in Phase A: operations against them are
+//! *deferred* and replayed at the window join (Phase B) in canonical
+//! order, so they evolve exactly as in the classic engine.
+//!
+//! # Canonical keys
+//!
+//! The classic FIFO tie-break pops same-cycle events in creation
+//! order. The parallel engine reproduces that order with `u128` keys
+//! packing causal coordinates (see [`pack`]): the creating pop's cycle
+//! and its global *rank* among that cycle's pops, plus a per-pop
+//! emission counter. Ranks are only known at joins, so in-window
+//! creations carry *provisional* keys naming the parent pop's
+//! shard-local index; provisional keys never outlive their window
+//! (anything arriving past the window end is staged and canonicalized
+//! at the join). Rank resolution runs in waves per cycle so same-cycle
+//! parent/child chains resolve without circularity; see
+//! `resolve_cycle` for the argument.
+//!
+//! # Windows that cannot run in parallel
+//!
+//! Barrier arrival/release mutates global state at arbitrary times, so
+//! any window in which a processor *could* reach a barrier (a
+//! conservative program lookahead, `barrier_depth`) — and any window
+//! with at most one shard holding events — is processed on the main
+//! thread in globally merged classic order instead. Both window modes
+//! assign the same canonical keys, so results are independent of which
+//! mode each window used and of the worker count.
+//!
+//! # Documented divergences from the classic engine
+//!
+//! Healthy runs are exactly identical. Three non-result observables
+//! may differ and are deliberately out of the fingerprint: the
+//! trace ring-buffer's event interleaving, the watchdog's observation
+//! cycle (checked at window starts rather than every pop in parallel
+//! windows), and the auxiliary fields of a [`StallDiagnostic`] for
+//! faults raised *inside* a parallel window (sibling shards finish
+//! their window before the join reports the earliest fault; the
+//! reason, kind, and cycle still match).
+
+use std::collections::BTreeMap;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use tcc_directory::{DirAction, Directory};
+use tcc_engine::{mix64, progress_signature, EventQueue, ProgressWatchdog, TieBreak, WorkerBudget};
+use tcc_network::{Network, Transport, TransportAction, TransportStats};
+use tcc_trace::{TraceEvent, Tracer};
+use tcc_types::hash::FxHashMap;
+use tcc_types::{Cycle, Frame, Message, NodeId, Payload, Tid};
+
+use crate::breakdown::TxCharacteristics;
+use crate::checker::{Checker, TxRecord};
+use crate::config::SystemConfig;
+use crate::processor::{Effects, Processor};
+use crate::sim::{DirCache, Event, SimResult, Simulator, VENDOR_SERVICE};
+use crate::stall::{RunError, StallDiagnostic, StallReason};
+
+/// Bits of the emission field (slot << SUB_BITS | sub).
+const EM_BITS: u32 = 28;
+/// Bits of the sub-emission field (copies of one deferred frame).
+const SUB_BITS: u32 = 12;
+/// Provisional-key marker in the low word. Never set on a canonical
+/// FIFO key (ranks stay far below 2^35) and irrelevant under seeded
+/// tie-breaking, where keys are complete at creation.
+const PROV: u64 = 1 << 63;
+const IDX_MASK: u64 = (1 << (63 - EM_BITS)) - 1;
+const EM_MASK: u64 = (1 << EM_BITS) - 1;
+
+/// Canonical key: `(creating cycle + 1, global rank of the creating
+/// pop within that cycle, emission index)`. Lexicographic key order
+/// equals classic FIFO creation order (see module docs).
+fn pack(hi: u64, rank: u64, em: u64) -> u128 {
+    debug_assert!(rank <= IDX_MASK && em <= EM_MASK);
+    (u128::from(hi) << 64) | u128::from((rank << EM_BITS) | em)
+}
+
+/// Recovers poison-free access to a shard: a worker panic is re-raised
+/// at the join, so an inner poisoned state is never silently used.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// A global-resource operation deferred from Phase A to the join.
+struct DeferredOp {
+    /// Cycle of the pop that issued it.
+    t: Cycle,
+    /// Shard that issued it.
+    shard: u16,
+    /// Shard-local index of the issuing pop within cycle `t`.
+    idx: u64,
+    /// Emission slot claimed at issue time (code order within the pop).
+    slot: u64,
+    kind: OpKind,
+}
+
+enum OpKind {
+    /// A message injection through the global mesh (timing, contention,
+    /// traffic accounting, chaos perturbation).
+    Route(Message),
+    /// A transport frame put on the (possibly faulty) wire.
+    Frame { frame: Frame, multicast: bool },
+}
+
+/// An in-window creation whose arrival falls past the window end; it
+/// is keyed canonically and scheduled at the join.
+struct Staged {
+    at: Cycle,
+    t_create: Cycle,
+    parent_idx: u64,
+    em: u64,
+    ev: Event,
+}
+
+/// One node's slice of the machine plus its per-window out-boxes.
+pub(crate) struct Shard {
+    node: NodeId,
+    cfg: Arc<SystemConfig>,
+    tracer: Tracer,
+    queue: EventQueue<Event>,
+    proc: Processor,
+    dir: Directory,
+    dir_busy: Cycle,
+    dir_cache: Option<DirCache>,
+    /// This node's end of every transport channel it touches: `tx`
+    /// state of channels it sends on, `rx` state of channels it
+    /// receives on. The union over shards is exactly the classic
+    /// engine's single [`Transport`].
+    transport: Option<Transport>,
+    /// TID vendor sequence; only the vendor node's shard advances it.
+    vendor_next: u64,
+    line_bytes: u32,
+    local_latency: u64,
+    chaos: bool,
+    seed: Option<u64>,
+    /// Seeded-mode creation counter (key material).
+    creations: u64,
+    // ---- per-window state ----
+    window_end: Cycle,
+    cur_cycle: Cycle,
+    cur_idx: u64,
+    next_slot: u64,
+    /// `(time, key)` of every pop this window, in pop order.
+    pops: Vec<(Cycle, u128)>,
+    staged: Vec<Staged>,
+    ops: Vec<DeferredOp>,
+    committed: Vec<(Cycle, u64, TxRecord, TxCharacteristics)>,
+    finished: u32,
+    fault: Option<(Cycle, StallReason)>,
+}
+
+impl Shard {
+    fn claim_slot(&mut self) -> u64 {
+        let s = self.next_slot;
+        self.next_slot += 1;
+        s
+    }
+
+    /// Mints a seeded-tie-break key: complete at creation, no
+    /// provisional machinery needed. The `(shard, counter)` input is
+    /// unique per creation and `mix64` is a bijection, so keys never
+    /// collide.
+    fn seeded_key(&mut self, salt: u64, hi: u64) -> u128 {
+        let c = self.creations;
+        self.creations += 1;
+        let low = mix64(((u64::from(self.node.0) << 48) | c) ^ salt);
+        (u128::from(hi) << 64) | u128::from(low)
+    }
+
+    /// Schedules an in-window creation of the current pop: provisional
+    /// key if it arrives inside the window, staged otherwise (FIFO);
+    /// seeded keys are complete and schedule directly either way.
+    fn sched(&mut self, at: Cycle, ev: Event) {
+        let slot = self.claim_slot();
+        let em = slot << SUB_BITS;
+        if let Some(salt) = self.seed {
+            let key = self.seeded_key(salt, self.cur_cycle.0 + 1);
+            self.queue.schedule_with_key(at, key, ev);
+        } else if at < self.window_end {
+            let low = PROV | (self.cur_idx << EM_BITS) | em;
+            let key = (u128::from(self.cur_cycle.0 + 1) << 64) | u128::from(low);
+            self.queue.schedule_with_key(at, key, ev);
+        } else {
+            self.staged.push(Staged {
+                at,
+                t_create: self.cur_cycle,
+                parent_idx: self.cur_idx,
+                em,
+                ev,
+            });
+        }
+    }
+
+    /// Defers a global-resource operation to the join, claiming its
+    /// emission slot now so the join replays creations in classic
+    /// code order.
+    fn defer(&mut self, kind: OpKind) {
+        let slot = self.claim_slot();
+        self.ops.push(DeferredOp {
+            t: self.cur_cycle,
+            shard: self.node.0,
+            idx: self.cur_idx,
+            slot,
+            kind,
+        });
+    }
+
+    fn set_fault(&mut self, at: Cycle, reason: StallReason) {
+        if self.fault.is_none() {
+            self.fault = Some((at, reason));
+        }
+    }
+
+    /// Phase A: drains this shard's events strictly before
+    /// `window_end`, including events it creates for itself along the
+    /// way. Stops early on a typed fault.
+    fn run_window(&mut self, window_end: Cycle) {
+        self.window_end = window_end;
+        loop {
+            if self.fault.is_some() {
+                return;
+            }
+            let (at, key, ev) = match self.queue.pop_before(window_end) {
+                Ok(Some(p)) => p,
+                Ok(None) => return,
+                Err(c) => {
+                    let now = self.queue.now();
+                    self.set_fault(
+                        now,
+                        StallReason::QueueCorrupt {
+                            detail: c.to_string(),
+                        },
+                    );
+                    return;
+                }
+            };
+            if self.pops.last().map(|&(t, _)| t) == Some(at) {
+                self.cur_idx += 1;
+            } else {
+                self.cur_idx = 0;
+            }
+            self.cur_cycle = at;
+            self.next_slot = 0;
+            self.pops.push((at, key));
+            self.handle(at, ev);
+        }
+    }
+
+    fn handle(&mut self, now: Cycle, ev: Event) {
+        match ev {
+            Event::ProcStep(n, seq) => {
+                debug_assert_eq!(n, self.node);
+                if self.proc.wake_seq() == seq {
+                    let fx = self.proc.step(now);
+                    self.apply(now, fx);
+                }
+            }
+            Event::Inject(msg) => self.dispatch_send(now, msg),
+            Event::Deliver(msg) => self.deliver(now, msg),
+            Event::Wire(frame) => {
+                let Some(t) = self.transport.as_mut() else {
+                    self.set_fault(now, StallReason::MissingTransport { event: "wire" });
+                    return;
+                };
+                let (delivered, actions) = t.on_frame(frame);
+                self.apply_transport_actions(now, actions);
+                for m in delivered {
+                    self.deliver(now, m);
+                }
+            }
+            Event::RetxTimer { src, dst, epoch } => {
+                let Some(t) = self.transport.as_mut() else {
+                    self.set_fault(
+                        now,
+                        StallReason::MissingTransport {
+                            event: "retx timer",
+                        },
+                    );
+                    return;
+                };
+                match t.on_retx_timer(now, src, dst, epoch) {
+                    Ok(actions) => self.apply_transport_actions(now, actions),
+                    Err(ex) => self.set_fault(
+                        now,
+                        StallReason::RetryExhausted {
+                            src: ex.src,
+                            dst: ex.dst,
+                            seq: ex.seq,
+                            kind: ex.kind,
+                            retries: ex.retries,
+                        },
+                    ),
+                }
+            }
+            Event::AckTimer { src, dst, epoch } => {
+                let Some(t) = self.transport.as_mut() else {
+                    self.set_fault(now, StallReason::MissingTransport { event: "ack timer" });
+                    return;
+                };
+                let actions = t.on_ack_timer(src, dst, epoch);
+                self.apply_transport_actions(now, actions);
+            }
+        }
+    }
+
+    /// Mirror of the classic `dispatch_send`. Transport sequencing is
+    /// node-local (this shard owns the channel state) and runs inline;
+    /// chaos-free local messages bypass the mesh with the fixed local
+    /// latency, also inline; everything that touches the mesh, the
+    /// traffic stats, or the chaos RNG defers.
+    fn dispatch_send(&mut self, now: Cycle, msg: Message) {
+        if self.transport.is_some() && msg.src != msg.dst {
+            let actions = self.transport.as_mut().expect("checked above").send(msg);
+            self.apply_transport_actions(now, actions);
+        } else if msg.src == msg.dst && !self.chaos {
+            // Inline replica of Network::send's local path (identical
+            // for send_multicast): trace accounting, no traffic stats,
+            // fixed local latency, no chaos.
+            let size = msg.size_bytes(self.line_bytes);
+            self.tracer.count("net.messages", 1);
+            self.tracer.count("net.bytes", u64::from(size));
+            self.tracer.record(now, || TraceEvent::MsgSend {
+                kind: msg.payload.kind_name(),
+                src: msg.src,
+                dst: msg.dst,
+                bytes: u64::from(size),
+            });
+            let arrival = now + self.local_latency;
+            self.sched(arrival, Event::Deliver(msg));
+        } else {
+            self.defer(OpKind::Route(msg));
+        }
+    }
+
+    fn apply_transport_actions(&mut self, now: Cycle, actions: Vec<TransportAction>) {
+        for a in actions {
+            match a {
+                TransportAction::Wire(frame) => {
+                    let multicast = matches!(
+                        &frame,
+                        Frame::Data { msg, .. } if matches!(
+                            msg.payload,
+                            Payload::Skip { .. } | Payload::Commit { .. } | Payload::Abort { .. }
+                        )
+                    );
+                    self.defer(OpKind::Frame { frame, multicast });
+                }
+                TransportAction::RetxTimer {
+                    src,
+                    dst,
+                    delay,
+                    epoch,
+                } => self.sched(now + delay, Event::RetxTimer { src, dst, epoch }),
+                TransportAction::AckTimer {
+                    src,
+                    dst,
+                    delay,
+                    epoch,
+                } => self.sched(now + delay, Event::AckTimer { src, dst, epoch }),
+            }
+        }
+    }
+
+    fn apply(&mut self, now: Cycle, fx: Effects) {
+        for (delay, msg) in fx.sends {
+            if delay == 0 {
+                self.dispatch_send(now, msg);
+            } else {
+                self.sched(now + delay, Event::Inject(msg));
+            }
+        }
+        if let Some(d) = fx.wake_in {
+            let seq = self.proc.wake_seq();
+            self.sched(now + d, Event::ProcStep(self.node, seq));
+        }
+        if let Some((record, chars)) = fx.committed {
+            self.committed
+                .push((self.cur_cycle, self.cur_idx, record, chars));
+        }
+        assert!(
+            !fx.reached_barrier,
+            "{} reached a barrier inside a parallel window: the barrier \
+             imminence lookahead is not conservative enough",
+            self.node
+        );
+        if fx.finished {
+            self.finished += 1;
+        }
+    }
+
+    fn deliver(&mut self, now: Cycle, msg: Message) {
+        if crate::tcc_trace_enabled() {
+            eprintln!("{} {} -> {}: {:?}", now, msg.src, msg.dst, msg.payload);
+        }
+        let dst = msg.dst;
+        debug_assert_eq!(dst, self.node, "event delivered to the wrong shard");
+        match msg.payload {
+            Payload::LoadRequest { .. }
+            | Payload::Skip { .. }
+            | Payload::Probe { .. }
+            | Payload::Mark { .. }
+            | Payload::Commit { .. }
+            | Payload::Abort { .. }
+            | Payload::WriteBack { .. }
+            | Payload::Flush { .. }
+            | Payload::InvAck { .. } => self.deliver_to_dir(now, msg),
+            Payload::TidRequest { requester } => {
+                debug_assert_eq!(dst, self.cfg.vendor_node());
+                self.tracer.count("vendor.tid_requests", 1);
+                let tid = Tid(self.vendor_next);
+                self.vendor_next += 1;
+                let reply = Message::new(dst, requester, Payload::TidReply { tid });
+                self.sched(now + VENDOR_SERVICE, Event::Inject(reply));
+            }
+            Payload::LoadReply {
+                line, values, req, ..
+            } => {
+                let fx = self.proc.on_load_reply(now, line, values, req);
+                self.apply(now, fx);
+            }
+            Payload::TidReply { tid } => {
+                let fx = self.proc.on_tid_reply(now, tid);
+                self.apply(now, fx);
+            }
+            Payload::ProbeReply {
+                dir,
+                now_serving,
+                probe_tid,
+                for_write,
+            } => {
+                let fx = self
+                    .proc
+                    .on_probe_reply(now, dir, now_serving, probe_tid, for_write);
+                self.apply(now, fx);
+            }
+            Payload::DataRequest { line } => {
+                let fx = self.proc.on_data_request(now, line);
+                self.apply(now, fx);
+            }
+            Payload::Invalidate {
+                line,
+                words,
+                committer_tid,
+                dir,
+            } => {
+                let fx = self
+                    .proc
+                    .on_invalidate(now, line, words, committer_tid, dir);
+                self.apply(now, fx);
+            }
+            Payload::TokenRequest { .. }
+            | Payload::TokenGrant
+            | Payload::TokenRelease
+            | Payload::BaselineCommit { .. }
+            | Payload::BaselineAck { .. } => {
+                unreachable!("baseline-only message in the scalable protocol")
+            }
+        }
+    }
+
+    /// Mirror of the classic `deliver_to_dir` against shard-local
+    /// directory state (controller occupancy, directory cache, state
+    /// machine). Output injections are self-owned and schedule
+    /// in-window.
+    fn deliver_to_dir(&mut self, now: Cycle, msg: Message) {
+        let mut service = match msg.payload {
+            Payload::LoadRequest { .. }
+            | Payload::Mark { .. }
+            | Payload::WriteBack { .. }
+            | Payload::Flush { .. } => self.cfg.dir_line_latency,
+            Payload::Commit { .. } => self.cfg.dir_line_latency,
+            _ => self.cfg.dir_ctrl_latency,
+        };
+        if let Some(cache) = &mut self.dir_cache {
+            let line = match &msg.payload {
+                Payload::LoadRequest { line, .. }
+                | Payload::Mark { line, .. }
+                | Payload::WriteBack { line, .. }
+                | Payload::Flush { line, .. } => Some(*line),
+                _ => None,
+            };
+            if let Some(line) = line {
+                if !cache.touch(line) {
+                    service += self.cfg.mem_latency;
+                }
+            }
+        }
+        let start = now.max(self.dir_busy);
+        let done = start + service;
+        self.dir_busy = done;
+        let trace_wb_line = if crate::tcc_trace_enabled() {
+            match &msg.payload {
+                Payload::WriteBack { line, .. } | Payload::Flush { line, .. } => Some(*line),
+                _ => None,
+            }
+        } else {
+            None
+        };
+        let actions: Vec<DirAction> = match msg.payload {
+            Payload::LoadRequest {
+                line,
+                requester,
+                req,
+            } => self.dir.handle_load(done, line, requester, req),
+            Payload::Skip { tid } => self.dir.handle_skip(done, tid),
+            Payload::Probe {
+                tid,
+                requester,
+                for_write,
+            } => self.dir.handle_probe(done, tid, requester, for_write),
+            Payload::Mark {
+                tid,
+                line,
+                words,
+                committer,
+            } => self.dir.handle_mark(done, tid, line, words, committer),
+            Payload::Commit {
+                tid,
+                committer,
+                marks,
+            } => self.dir.handle_commit(done, tid, committer, marks),
+            Payload::Abort { tid } => self.dir.handle_abort(done, tid),
+            Payload::WriteBack {
+                line,
+                tid,
+                values,
+                valid,
+                writer,
+            } => self
+                .dir
+                .handle_writeback(line, tid, values, valid, writer, false),
+            Payload::Flush {
+                line,
+                tid,
+                values,
+                valid,
+                writer,
+                dropped: _,
+            } => self
+                .dir
+                .handle_writeback(line, tid, values, valid, writer, true),
+            Payload::InvAck {
+                tid,
+                line,
+                from,
+                retained,
+            } => self.dir.handle_inv_ack(done, tid, line, from, retained),
+            _ => unreachable!("non-directory payload routed to directory"),
+        };
+        if let Some(r) = self.dir.skip_refusal() {
+            self.set_fault(
+                now,
+                StallReason::SkipRefused {
+                    dir: msg.dst,
+                    tid: r.tid,
+                    now_serving: r.now_serving,
+                    window: r.window,
+                },
+            );
+        }
+        if let Some(line) = trace_wb_line {
+            let e = self.dir.entry(line);
+            eprintln!(
+                "  DIRSTATE after wb {}: {:?}",
+                line,
+                e.map(|e| (e.owner, e.tid_tag, e.owner_words, e.memory.words.clone()))
+            );
+        }
+        let src = msg.dst;
+        let mut actions = actions;
+        for a in actions.drain(..) {
+            let extra = match &a.payload {
+                Payload::LoadReply {
+                    source: tcc_types::DataSource::Memory,
+                    ..
+                } => self.cfg.mem_latency,
+                _ => 0,
+            };
+            let out = Message::new(src, a.to, a.payload);
+            self.sched(done + extra, Event::Inject(out));
+        }
+        self.dir.recycle_actions(actions);
+    }
+}
+
+/// Main-thread state: the global resources Phase A never touches.
+struct Engine {
+    cfg: SystemConfig,
+    tracer: Tracer,
+    net: Network,
+    checker: Option<Checker>,
+    tx_chars: Vec<TxCharacteristics>,
+    barrier_waiting: Vec<NodeId>,
+    active: usize,
+    watchdog: Option<ProgressWatchdog>,
+    /// Per-window map from `(cycle, shard, local pop index)` to the
+    /// pop's global rank within that cycle.
+    rank_map: FxHashMap<(u64, u16, u64), u64>,
+    /// Sticky fault raised mid-delivery on the sequential path.
+    fault: Option<StallReason>,
+    // ---- sequential-merge key context (also used for init) ----
+    seq_cycle: Cycle,
+    seq_hi: u64,
+    seq_rank: u64,
+    seq_slot: u64,
+    seq_shard: usize,
+}
+
+/// Owner shard of an event: the node whose state handling it mutates.
+fn owner(ev: &Event) -> usize {
+    match ev {
+        Event::Deliver(m) => m.dst.index(),
+        Event::Inject(m) => m.src.index(),
+        Event::ProcStep(n, _) => n.index(),
+        Event::Wire(f) => f.dst().index(),
+        Event::RetxTimer { src, .. } => src.index(),
+        Event::AckTimer { dst, .. } => dst.index(),
+    }
+}
+
+impl Engine {
+    /// Mints the canonical key for a creation of the current
+    /// sequential-context pop and advances the emission slot.
+    fn seq_key(&mut self, shards: &[Mutex<Shard>]) -> u128 {
+        let slot = self.seq_slot;
+        self.seq_slot += 1;
+        match self.cfg.tie_break_seed {
+            Some(salt) => lock(&shards[self.seq_shard]).seeded_key(salt, self.seq_hi),
+            None => pack(self.seq_hi, self.seq_rank, slot << SUB_BITS),
+        }
+    }
+
+    /// Schedules a creation of the current sequential-context pop into
+    /// its owner shard. Never called with any shard guard held.
+    fn seq_sched(&mut self, shards: &[Mutex<Shard>], at: Cycle, ev: Event) {
+        let key = self.seq_key(shards);
+        let own = owner(&ev);
+        lock(&shards[own]).queue.schedule_with_key(at, key, ev);
+    }
+
+    /// Classic `route`: multicast timing for Skip/Commit/Abort.
+    fn route(&mut self, now: Cycle, msg: &Message) -> Cycle {
+        match msg.payload {
+            Payload::Skip { .. } | Payload::Commit { .. } | Payload::Abort { .. } => {
+                self.net.send_multicast(now, msg)
+            }
+            _ => self.net.send(now, msg),
+        }
+    }
+
+    fn dispatch_send_seq(&mut self, shards: &[Mutex<Shard>], now: Cycle, msg: Message) {
+        if self.cfg.transport.is_some() && msg.src != msg.dst {
+            let actions = lock(&shards[msg.src.index()])
+                .transport
+                .as_mut()
+                .expect("transport configured")
+                .send(msg);
+            self.apply_transport_actions_seq(shards, now, actions);
+        } else {
+            let arrival = self.route(now, &msg);
+            self.seq_sched(shards, arrival, Event::Deliver(msg));
+        }
+    }
+
+    fn apply_transport_actions_seq(
+        &mut self,
+        shards: &[Mutex<Shard>],
+        now: Cycle,
+        actions: Vec<TransportAction>,
+    ) {
+        for a in actions {
+            match a {
+                TransportAction::Wire(frame) => {
+                    let multicast = matches!(
+                        &frame,
+                        Frame::Data { msg, .. } if matches!(
+                            msg.payload,
+                            Payload::Skip { .. } | Payload::Commit { .. } | Payload::Abort { .. }
+                        )
+                    );
+                    for at in self.net.send_frame(now, &frame, multicast) {
+                        self.seq_sched(shards, at, Event::Wire(frame.clone()));
+                    }
+                }
+                TransportAction::RetxTimer {
+                    src,
+                    dst,
+                    delay,
+                    epoch,
+                } => self.seq_sched(shards, now + delay, Event::RetxTimer { src, dst, epoch }),
+                TransportAction::AckTimer {
+                    src,
+                    dst,
+                    delay,
+                    epoch,
+                } => self.seq_sched(shards, now + delay, Event::AckTimer { src, dst, epoch }),
+            }
+        }
+    }
+
+    fn apply_seq(&mut self, shards: &[Mutex<Shard>], now: Cycle, node: NodeId, fx: Effects) {
+        for (delay, msg) in fx.sends {
+            if delay == 0 {
+                self.dispatch_send_seq(shards, now, msg);
+            } else {
+                self.seq_sched(shards, now + delay, Event::Inject(msg));
+            }
+        }
+        if let Some(d) = fx.wake_in {
+            let seq = lock(&shards[node.index()]).proc.wake_seq();
+            self.seq_sched(shards, now + d, Event::ProcStep(node, seq));
+        }
+        if let Some((record, chars)) = fx.committed {
+            if let Some(c) = &mut self.checker {
+                c.record(record);
+            }
+            self.tx_chars.push(chars);
+        }
+        if fx.reached_barrier {
+            self.barrier_arrive_seq(shards, now, node);
+        }
+        if fx.finished {
+            self.active -= 1;
+        }
+    }
+
+    fn barrier_arrive_seq(&mut self, shards: &[Mutex<Shard>], now: Cycle, node: NodeId) {
+        self.barrier_waiting.push(node);
+        if self.barrier_waiting.len() == self.cfg.n_procs {
+            let waiting = std::mem::take(&mut self.barrier_waiting);
+            for n in waiting {
+                let fx = lock(&shards[n.index()]).proc.release_barrier(now);
+                self.apply_seq(shards, now, n, fx);
+            }
+        }
+    }
+
+    fn deliver_seq(&mut self, shards: &[Mutex<Shard>], now: Cycle, msg: Message) {
+        if crate::tcc_trace_enabled() {
+            eprintln!("{} {} -> {}: {:?}", now, msg.src, msg.dst, msg.payload);
+        }
+        let dst = msg.dst;
+        match msg.payload {
+            Payload::LoadRequest { .. }
+            | Payload::Skip { .. }
+            | Payload::Probe { .. }
+            | Payload::Mark { .. }
+            | Payload::Commit { .. }
+            | Payload::Abort { .. }
+            | Payload::WriteBack { .. }
+            | Payload::Flush { .. }
+            | Payload::InvAck { .. } => self.deliver_to_dir_seq(shards, now, msg),
+            Payload::TidRequest { requester } => {
+                debug_assert_eq!(dst, self.cfg.vendor_node());
+                self.tracer.count("vendor.tid_requests", 1);
+                let tid = {
+                    let mut g = lock(&shards[dst.index()]);
+                    let t = Tid(g.vendor_next);
+                    g.vendor_next += 1;
+                    t
+                };
+                let reply = Message::new(dst, requester, Payload::TidReply { tid });
+                self.seq_sched(shards, now + VENDOR_SERVICE, Event::Inject(reply));
+            }
+            Payload::LoadReply {
+                line, values, req, ..
+            } => {
+                let fx = lock(&shards[dst.index()])
+                    .proc
+                    .on_load_reply(now, line, values, req);
+                self.apply_seq(shards, now, dst, fx);
+            }
+            Payload::TidReply { tid } => {
+                let fx = lock(&shards[dst.index()]).proc.on_tid_reply(now, tid);
+                self.apply_seq(shards, now, dst, fx);
+            }
+            Payload::ProbeReply {
+                dir,
+                now_serving,
+                probe_tid,
+                for_write,
+            } => {
+                let fx = lock(&shards[dst.index()]).proc.on_probe_reply(
+                    now,
+                    dir,
+                    now_serving,
+                    probe_tid,
+                    for_write,
+                );
+                self.apply_seq(shards, now, dst, fx);
+            }
+            Payload::DataRequest { line } => {
+                let fx = lock(&shards[dst.index()]).proc.on_data_request(now, line);
+                self.apply_seq(shards, now, dst, fx);
+            }
+            Payload::Invalidate {
+                line,
+                words,
+                committer_tid,
+                dir,
+            } => {
+                let fx = lock(&shards[dst.index()]).proc.on_invalidate(
+                    now,
+                    line,
+                    words,
+                    committer_tid,
+                    dir,
+                );
+                self.apply_seq(shards, now, dst, fx);
+            }
+            Payload::TokenRequest { .. }
+            | Payload::TokenGrant
+            | Payload::TokenRelease
+            | Payload::BaselineCommit { .. }
+            | Payload::BaselineAck { .. } => {
+                unreachable!("baseline-only message in the scalable protocol")
+            }
+        }
+    }
+
+    fn deliver_to_dir_seq(&mut self, shards: &[Mutex<Shard>], now: Cycle, msg: Message) {
+        let dst = msg.dst;
+        // The whole directory step runs under the owner shard's guard;
+        // outputs are collected and scheduled after it drops.
+        let outs: Vec<(Cycle, Message)> = {
+            let mut g = lock(&shards[dst.index()]);
+            let mut service = match msg.payload {
+                Payload::LoadRequest { .. }
+                | Payload::Mark { .. }
+                | Payload::WriteBack { .. }
+                | Payload::Flush { .. } => g.cfg.dir_line_latency,
+                Payload::Commit { .. } => g.cfg.dir_line_latency,
+                _ => g.cfg.dir_ctrl_latency,
+            };
+            let mem_latency = g.cfg.mem_latency;
+            if let Some(cache) = &mut g.dir_cache {
+                let line = match &msg.payload {
+                    Payload::LoadRequest { line, .. }
+                    | Payload::Mark { line, .. }
+                    | Payload::WriteBack { line, .. }
+                    | Payload::Flush { line, .. } => Some(*line),
+                    _ => None,
+                };
+                if let Some(line) = line {
+                    if !cache.touch(line) {
+                        service += mem_latency;
+                    }
+                }
+            }
+            let start = now.max(g.dir_busy);
+            let done = start + service;
+            g.dir_busy = done;
+            let trace_wb_line = if crate::tcc_trace_enabled() {
+                match &msg.payload {
+                    Payload::WriteBack { line, .. } | Payload::Flush { line, .. } => Some(*line),
+                    _ => None,
+                }
+            } else {
+                None
+            };
+            let actions: Vec<DirAction> = match msg.payload {
+                Payload::LoadRequest {
+                    line,
+                    requester,
+                    req,
+                } => g.dir.handle_load(done, line, requester, req),
+                Payload::Skip { tid } => g.dir.handle_skip(done, tid),
+                Payload::Probe {
+                    tid,
+                    requester,
+                    for_write,
+                } => g.dir.handle_probe(done, tid, requester, for_write),
+                Payload::Mark {
+                    tid,
+                    line,
+                    words,
+                    committer,
+                } => g.dir.handle_mark(done, tid, line, words, committer),
+                Payload::Commit {
+                    tid,
+                    committer,
+                    marks,
+                } => g.dir.handle_commit(done, tid, committer, marks),
+                Payload::Abort { tid } => g.dir.handle_abort(done, tid),
+                Payload::WriteBack {
+                    line,
+                    tid,
+                    values,
+                    valid,
+                    writer,
+                } => g
+                    .dir
+                    .handle_writeback(line, tid, values, valid, writer, false),
+                Payload::Flush {
+                    line,
+                    tid,
+                    values,
+                    valid,
+                    writer,
+                    dropped: _,
+                } => g
+                    .dir
+                    .handle_writeback(line, tid, values, valid, writer, true),
+                Payload::InvAck {
+                    tid,
+                    line,
+                    from,
+                    retained,
+                } => g.dir.handle_inv_ack(done, tid, line, from, retained),
+                _ => unreachable!("non-directory payload routed to directory"),
+            };
+            if let Some(r) = g.dir.skip_refusal() {
+                self.fault.get_or_insert(StallReason::SkipRefused {
+                    dir: dst,
+                    tid: r.tid,
+                    now_serving: r.now_serving,
+                    window: r.window,
+                });
+            }
+            if let Some(line) = trace_wb_line {
+                let e = g.dir.entry(line);
+                eprintln!(
+                    "  DIRSTATE after wb {}: {:?}",
+                    line,
+                    e.map(|e| (e.owner, e.tid_tag, e.owner_words, e.memory.words.clone()))
+                );
+            }
+            let mut actions = actions;
+            let mut outs = Vec::with_capacity(actions.len());
+            for a in actions.drain(..) {
+                let extra = match &a.payload {
+                    Payload::LoadReply {
+                        source: tcc_types::DataSource::Memory,
+                        ..
+                    } => mem_latency,
+                    _ => 0,
+                };
+                outs.push((done + extra, Message::new(dst, a.to, a.payload)));
+            }
+            g.dir.recycle_actions(actions);
+            outs
+        };
+        for (at, out) in outs {
+            self.seq_sched(shards, at, Event::Inject(out));
+        }
+    }
+
+    /// Processes `[current, window_end)` in globally merged classic
+    /// order on the main thread: same pops, same key assignment, same
+    /// global-op interleaving as the classic engine.
+    fn run_seq_window(
+        &mut self,
+        shards: &[Mutex<Shard>],
+        window_end: Cycle,
+    ) -> Result<(), RunError> {
+        loop {
+            let mut best: Option<(Cycle, u128, usize)> = None;
+            for (i, s) in shards.iter().enumerate() {
+                if let Some((t, k)) = lock(s).queue.peek_key() {
+                    if t < window_end && best.map_or(true, |(bt, bk, _)| (t, k) < (bt, bk)) {
+                        best = Some((t, k, i));
+                    }
+                }
+            }
+            let Some((at, _key, i)) = best else {
+                return Ok(());
+            };
+            if self.watchdog.as_ref().is_some_and(|w| w.due(at)) {
+                let sig = self.progress_sig(shards);
+                let wd = self.watchdog.as_mut().expect("checked above");
+                if wd.observe(at, sig) {
+                    let window = wd.window();
+                    return Err(self.stalled(shards, at, StallReason::NoProgress { window }));
+                }
+            }
+            let popped = {
+                let mut g = lock(&shards[i]);
+                g.queue.try_pop_keyed()
+            };
+            let (at, _k, ev) = match popped {
+                Ok(Some(p)) => p,
+                Ok(None) => unreachable!("peeked event vanished"),
+                Err(c) => {
+                    let reason = StallReason::QueueCorrupt {
+                        detail: c.to_string(),
+                    };
+                    return Err(self.stalled(shards, at, reason));
+                }
+            };
+            if at != self.seq_cycle {
+                self.seq_cycle = at;
+                self.seq_rank = 0;
+            } else {
+                self.seq_rank += 1;
+            }
+            self.seq_hi = at.0 + 1;
+            self.seq_slot = 0;
+            self.seq_shard = i;
+            if let Err(e) = self.handle_seq(shards, at, i, ev) {
+                return Err(e);
+            }
+            if let Some(reason) = self.fault.take() {
+                return Err(self.stalled(shards, at, reason));
+            }
+        }
+    }
+
+    fn handle_seq(
+        &mut self,
+        shards: &[Mutex<Shard>],
+        now: Cycle,
+        i: usize,
+        ev: Event,
+    ) -> Result<(), RunError> {
+        match ev {
+            Event::ProcStep(n, seq) => {
+                let fx = {
+                    let mut g = lock(&shards[n.index()]);
+                    (g.proc.wake_seq() == seq).then(|| g.proc.step(now))
+                };
+                if let Some(fx) = fx {
+                    self.apply_seq(shards, now, n, fx);
+                }
+            }
+            Event::Inject(msg) => self.dispatch_send_seq(shards, now, msg),
+            Event::Deliver(msg) => self.deliver_seq(shards, now, msg),
+            Event::Wire(frame) => {
+                let res = {
+                    let mut g = lock(&shards[i]);
+                    g.transport.as_mut().map(|t| t.on_frame(frame))
+                };
+                let Some((delivered, actions)) = res else {
+                    let reason = StallReason::MissingTransport { event: "wire" };
+                    return Err(self.stalled(shards, now, reason));
+                };
+                self.apply_transport_actions_seq(shards, now, actions);
+                for m in delivered {
+                    self.deliver_seq(shards, now, m);
+                }
+            }
+            Event::RetxTimer { src, dst, epoch } => {
+                let res = {
+                    let mut g = lock(&shards[i]);
+                    g.transport
+                        .as_mut()
+                        .map(|t| t.on_retx_timer(now, src, dst, epoch))
+                };
+                let Some(res) = res else {
+                    let reason = StallReason::MissingTransport {
+                        event: "retx timer",
+                    };
+                    return Err(self.stalled(shards, now, reason));
+                };
+                match res {
+                    Ok(actions) => self.apply_transport_actions_seq(shards, now, actions),
+                    Err(ex) => {
+                        let reason = StallReason::RetryExhausted {
+                            src: ex.src,
+                            dst: ex.dst,
+                            seq: ex.seq,
+                            kind: ex.kind,
+                            retries: ex.retries,
+                        };
+                        return Err(self.stalled(shards, now, reason));
+                    }
+                }
+            }
+            Event::AckTimer { src, dst, epoch } => {
+                let res = {
+                    let mut g = lock(&shards[i]);
+                    g.transport
+                        .as_mut()
+                        .map(|t| t.on_ack_timer(src, dst, epoch))
+                };
+                let Some(actions) = res else {
+                    let reason = StallReason::MissingTransport { event: "ack timer" };
+                    return Err(self.stalled(shards, now, reason));
+                };
+                self.apply_transport_actions_seq(shards, now, actions);
+            }
+        }
+        Ok(())
+    }
+
+    /// Assembles the stall diagnostic across all shards — the parallel
+    /// mirror of the classic `Simulator::stalled`.
+    fn stalled(&mut self, shards: &[Mutex<Shard>], now: Cycle, reason: StallReason) -> RunError {
+        let mut commits = 0u64;
+        let mut proc_states = Vec::with_capacity(shards.len());
+        let mut dir_nstids = Vec::with_capacity(shards.len());
+        let mut queued_events = 0usize;
+        let mut in_flight_frames = 0u64;
+        let mut reorder_buffered = 0u64;
+        let mut in_flight_channels = Vec::new();
+        let mut transport: Option<TransportStats> = None;
+        for s in shards {
+            let g = lock(s);
+            commits += g.proc.counters().commits;
+            proc_states.push((g.proc.id(), g.proc.state_name().to_string()));
+            dir_nstids.push(g.dir.now_serving());
+            queued_events += g.queue.len();
+            if let Some(t) = &g.transport {
+                in_flight_frames += t.in_flight();
+                reorder_buffered += t.reorder_buffered();
+                in_flight_channels.extend(t.in_flight_channels());
+                add_stats(&mut transport, t.stats());
+            }
+        }
+        let diag = StallDiagnostic {
+            reason,
+            at: now.0,
+            commits,
+            active_procs: self.active,
+            proc_states,
+            dir_nstids,
+            queued_events,
+            in_flight_frames,
+            reorder_buffered,
+            in_flight_channels,
+            transport,
+        };
+        self.tracer.count("sim.stalls", 1);
+        RunError::Stalled(Box::new(diag))
+    }
+
+    /// Watchdog signature over sharded state, word-for-word the classic
+    /// `progress_signature`: per-proc commits, per-dir NSTIDs, vended
+    /// TIDs, active procs, barrier arrivals, transport deliveries.
+    fn progress_sig(&self, shards: &[Mutex<Shard>]) -> u64 {
+        let mut words = Vec::with_capacity(2 * shards.len() + 4);
+        let mut nstids = Vec::with_capacity(shards.len());
+        let mut vendor = 0u64;
+        let mut delivered = 0u64;
+        for s in shards {
+            let g = lock(s);
+            words.push(g.proc.counters().commits);
+            nstids.push(g.dir.now_serving().0);
+            vendor += g.vendor_next;
+            if let Some(t) = &g.transport {
+                delivered += t.stats().delivered;
+            }
+        }
+        words.extend(nstids);
+        words.push(vendor);
+        words.push(self.active as u64);
+        words.push(self.barrier_waiting.len() as u64);
+        words.push(delivered);
+        progress_signature(words)
+    }
+
+    /// Phase B: collects every shard's window products, resolves
+    /// provisional keys to canonical ranks, replays deferred
+    /// global-resource ops in classic chronological order, and merges
+    /// commit records. Returns the earliest typed fault, if any shard
+    /// raised one.
+    fn join(&mut self, shards: &[Mutex<Shard>], window_end: Cycle) -> Result<(), RunError> {
+        let n = shards.len();
+        let mut all_pops: Vec<Vec<(Cycle, u128)>> = Vec::with_capacity(n);
+        let mut all_staged: Vec<Vec<Staged>> = Vec::with_capacity(n);
+        let mut ops: Vec<DeferredOp> = Vec::new();
+        let mut committed: Vec<(u16, Cycle, u64, TxRecord, TxCharacteristics)> = Vec::new();
+        let mut finished = 0usize;
+        let mut fault: Option<(Cycle, u16, StallReason)> = None;
+        for (i, s) in shards.iter().enumerate() {
+            let mut g = lock(s);
+            all_pops.push(std::mem::take(&mut g.pops));
+            all_staged.push(std::mem::take(&mut g.staged));
+            ops.append(&mut g.ops);
+            for (t, idx, rec, ch) in std::mem::take(&mut g.committed) {
+                committed.push((i as u16, t, idx, rec, ch));
+            }
+            finished += g.finished as usize;
+            g.finished = 0;
+            if let Some((at, r)) = g.fault.take() {
+                if fault
+                    .as_ref()
+                    .is_none_or(|&(fat, fs, _)| (at, i as u16) < (fat, fs))
+                {
+                    fault = Some((at, i as u16, r));
+                }
+            }
+        }
+        if let Some((at, _, reason)) = fault {
+            // The window is abandoned mid-flight, exactly as the classic
+            // engine abandons its loop after the faulting event; only
+            // the diagnostic's auxiliary fields can differ (module
+            // docs).
+            self.rank_map.clear();
+            return Err(self.stalled(shards, at, reason));
+        }
+        self.resolve_ranks(&all_pops);
+        // Staged creations: in-window products arriving past the window
+        // end; canonicalize and schedule (always same-shard).
+        for (s, staged) in all_staged.into_iter().enumerate() {
+            for st in staged {
+                let rank = self.rank_map[&(st.t_create.0, s as u16, st.parent_idx)];
+                let key = pack(st.t_create.0 + 1, rank, st.em);
+                debug_assert_eq!(owner(&st.ev), s, "staged event crossed shards");
+                lock(&shards[s]).queue.schedule_with_key(st.at, key, st.ev);
+            }
+        }
+        self.replay_ops(shards, ops, window_end);
+        committed.sort_by_key(|&(s, t, idx, ..)| (t, self.rank_map[&(t.0, s, idx)]));
+        for (_, _, _, rec, ch) in committed {
+            if let Some(c) = &mut self.checker {
+                c.record(rec);
+            }
+            self.tx_chars.push(ch);
+        }
+        self.active -= finished;
+        self.rank_map.clear();
+        Ok(())
+    }
+
+    /// Assigns each pop of the window its global rank within its cycle,
+    /// in classic FIFO order. Canonical keys sort directly. Provisional
+    /// keys resolve in waves: a parent popped at an earlier cycle is
+    /// already ranked; a parent at the *same* cycle is ranked in an
+    /// earlier wave (its own key has a strictly smaller resolved value,
+    /// so wave ranks append monotonically and never interleave).
+    fn resolve_ranks(&mut self, all_pops: &[Vec<(Cycle, u128)>]) {
+        let seeded = self.cfg.tie_break_seed.is_some();
+        let mut by_cycle: BTreeMap<u64, Vec<(u128, u16, u64)>> = BTreeMap::new();
+        for (s, pops) in all_pops.iter().enumerate() {
+            let mut last: Option<Cycle> = None;
+            let mut idx = 0u64;
+            for &(t, key) in pops {
+                if last == Some(t) {
+                    idx += 1;
+                } else {
+                    last = Some(t);
+                    idx = 0;
+                }
+                by_cycle.entry(t.0).or_default().push((key, s as u16, idx));
+            }
+        }
+        for (&t, entries) in &by_cycle {
+            let mut next_rank = 0u64;
+            let mut wave: Vec<(u128, u16, u64)> = Vec::with_capacity(entries.len());
+            let mut pending: Vec<(u128, u16, u64)> = Vec::new();
+            for &(key, s, i) in entries {
+                let hi = (key >> 64) as u64;
+                let lo = key as u64;
+                // Seeded keys are complete at creation and may have the
+                // top low-word bit set by `mix64` — never treat them as
+                // provisional.
+                if seeded || lo & PROV == 0 {
+                    debug_assert!(seeded || hi <= t, "late canonical key at cycle {t}");
+                    wave.push((key, s, i));
+                } else if hi <= t {
+                    // Parent popped at an earlier cycle of this window:
+                    // already ranked.
+                    let prank = self.rank_map[&(hi - 1, s, (lo >> EM_BITS) & IDX_MASK)];
+                    wave.push((pack(hi, prank, lo & EM_MASK), s, i));
+                } else {
+                    debug_assert_eq!(hi, t + 1, "provisional key skipped a cycle");
+                    pending.push((key, s, i));
+                }
+            }
+            loop {
+                wave.sort_unstable();
+                for &(_, s, i) in &wave {
+                    self.rank_map.insert((t, s, i), next_rank);
+                    next_rank += 1;
+                }
+                if pending.is_empty() {
+                    break;
+                }
+                wave.clear();
+                let before = pending.len();
+                pending.retain(|&(key, s, i)| {
+                    let lo = key as u64;
+                    match self.rank_map.get(&(t, s, (lo >> EM_BITS) & IDX_MASK)) {
+                        Some(&prank) => {
+                            wave.push((pack(t + 1, prank, lo & EM_MASK), s, i));
+                            false
+                        }
+                        None => true,
+                    }
+                });
+                assert!(
+                    pending.len() < before,
+                    "cyclic provisional keys at cycle {t}"
+                );
+            }
+        }
+    }
+
+    /// Replays the window's deferred global-resource operations in
+    /// classic chronological order `(cycle, pop rank, emission slot)`,
+    /// so mesh contention, traffic statistics, and the chaos injector's
+    /// RNG draws evolve exactly as in the single-threaded engine.
+    fn replay_ops(&mut self, shards: &[Mutex<Shard>], mut ops: Vec<DeferredOp>, window_end: Cycle) {
+        ops.sort_by_key(|op| (op.t, self.rank_map[&(op.t.0, op.shard, op.idx)], op.slot));
+        for op in ops {
+            let hi = op.t.0 + 1;
+            let rank = self.rank_map[&(op.t.0, op.shard, op.idx)];
+            match op.kind {
+                OpKind::Route(msg) => {
+                    let arrival = self.route(op.t, &msg);
+                    debug_assert!(
+                        arrival >= window_end,
+                        "deferred delivery lands inside its own window"
+                    );
+                    let key = match self.cfg.tie_break_seed {
+                        Some(salt) => lock(&shards[op.shard as usize]).seeded_key(salt, hi),
+                        None => pack(hi, rank, op.slot << SUB_BITS),
+                    };
+                    lock(&shards[msg.dst.index()]).queue.schedule_with_key(
+                        arrival,
+                        key,
+                        Event::Deliver(msg),
+                    );
+                }
+                OpKind::Frame { frame, multicast } => {
+                    let dst = frame.dst().index();
+                    for (j, at) in self
+                        .net
+                        .send_frame(op.t, &frame, multicast)
+                        .into_iter()
+                        .enumerate()
+                    {
+                        debug_assert!(
+                            at >= window_end,
+                            "deferred frame lands inside its own window"
+                        );
+                        let key = match self.cfg.tie_break_seed {
+                            Some(salt) => lock(&shards[op.shard as usize]).seeded_key(salt, hi),
+                            None => pack(hi, rank, (op.slot << SUB_BITS) | j as u64),
+                        };
+                        lock(&shards[dst]).queue.schedule_with_key(
+                            at,
+                            key,
+                            Event::Wire(frame.clone()),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Accumulates per-node transport stats into the machine-wide total.
+fn add_stats(acc: &mut Option<TransportStats>, s: TransportStats) {
+    match acc {
+        None => *acc = Some(s),
+        Some(a) => {
+            a.data_frames += s.data_frames;
+            a.retransmits += s.retransmits;
+            a.dup_drops += s.dup_drops;
+            a.timeout_fires += s.timeout_fires;
+            a.acks += s.acks;
+            a.delivered += s.delivered;
+            a.buffered += s.buffered;
+        }
+    }
+}
+
+/// Shared state of the window worker pool. Workers park on `start`
+/// between windows; the main thread publishes the window plan, releases
+/// them, races them through the shard claim counter, and meets them at
+/// `done`. Panics inside a shard are parked in `panic_box` and
+/// re-raised on the main thread after the window.
+struct Pool<'a> {
+    shards: &'a [Mutex<Shard>],
+    start: std::sync::Barrier,
+    done: std::sync::Barrier,
+    plan_end: AtomicU64,
+    claim: AtomicUsize,
+    stop: AtomicBool,
+    panic_box: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl Pool<'_> {
+    fn worker(&self) {
+        loop {
+            self.start.wait();
+            if self.stop.load(Ordering::Acquire) {
+                return;
+            }
+            let end = Cycle(self.plan_end.load(Ordering::Acquire));
+            self.drain(end);
+            self.done.wait();
+        }
+    }
+
+    /// Claims and runs shards until none remain. Which thread runs
+    /// which shard is the *only* nondeterminism in a parallel window,
+    /// and it is invisible: shards share no state until the join.
+    fn drain(&self, end: Cycle) {
+        loop {
+            let i = self.claim.fetch_add(1, Ordering::Relaxed);
+            if i >= self.shards.len() {
+                return;
+            }
+            let r = panic::catch_unwind(AssertUnwindSafe(|| lock(&self.shards[i]).run_window(end)));
+            if let Err(p) = r {
+                let mut slot = lock(&self.panic_box);
+                if slot.is_none() {
+                    *slot = Some(p);
+                }
+            }
+        }
+    }
+
+    /// Runs one parallel window across the pool from the main thread.
+    fn run_window(&self, end: Cycle) {
+        self.plan_end.store(end.0, Ordering::Release);
+        self.claim.store(0, Ordering::Release);
+        self.start.wait();
+        self.drain(end);
+        self.done.wait();
+        if let Some(p) = lock(&self.panic_box).take() {
+            self.shutdown();
+            panic::resume_unwind(p);
+        }
+    }
+
+    /// Releases the workers into their exit path. Idempotent, so the
+    /// unwind path can call it after a normal shutdown already ran.
+    fn shutdown(&self) {
+        if !self.stop.swap(true, Ordering::AcqRel) {
+            self.start.wait();
+        }
+    }
+}
+
+/// The window planner: picks each window's horizon, decides between the
+/// parallel fast path and the merged sequential path, and turns global
+/// end conditions (cycle limit, watchdog, deadlock) into the same typed
+/// stalls as the classic loop.
+fn main_loop(
+    eng: &mut Engine,
+    shards: &[Mutex<Shard>],
+    pool: Option<&Pool<'_>>,
+    b: u64,
+    depth: usize,
+) -> Result<(), RunError> {
+    let max_cycles = eng.cfg.max_cycles;
+    loop {
+        let mut horizon: Option<Cycle> = None;
+        for s in shards {
+            if let Some(t) = lock(s).queue.peek_time() {
+                if horizon.is_none_or(|h| t < h) {
+                    horizon = Some(t);
+                }
+            }
+        }
+        let Some(w) = horizon else { break };
+        if w.0 > max_cycles {
+            // Classic parity: the offending event is popped before the
+            // stall is declared (it no longer counts as queued).
+            let mut best: Option<(Cycle, u128, usize)> = None;
+            for (i, s) in shards.iter().enumerate() {
+                if let Some((t, k)) = lock(s).queue.peek_key() {
+                    if best.is_none_or(|(bt, bk, _)| (t, k) < (bt, bk)) {
+                        best = Some((t, k, i));
+                    }
+                }
+            }
+            let (at, _, i) = best.expect("the horizon event exists");
+            let _ = lock(&shards[i]).queue.try_pop_keyed();
+            let limit = max_cycles;
+            return Err(eng.stalled(shards, at, StallReason::CycleLimit { limit }));
+        }
+        if eng.watchdog.as_ref().is_some_and(|wd| wd.due(w)) {
+            let sig = eng.progress_sig(shards);
+            let wd = eng.watchdog.as_mut().expect("checked above");
+            if wd.observe(w, sig) {
+                let window = wd.window();
+                return Err(eng.stalled(shards, w, StallReason::NoProgress { window }));
+            }
+        }
+        // Capping at max_cycles + 1 keeps every processed event within
+        // the limit, so a limit overrun stalls on exactly the same pop
+        // as the classic engine.
+        let window_end = Cycle((w.0 + b).min(max_cycles + 1));
+        let mut active_shards = 0usize;
+        let mut barrier = !eng.barrier_waiting.is_empty();
+        for s in shards {
+            let g = lock(s);
+            if g.queue.peek_time().is_some_and(|t| t < window_end) {
+                active_shards += 1;
+            }
+            if g.proc.barrier_within(depth) {
+                barrier = true;
+            }
+        }
+        if barrier || active_shards <= 1 {
+            eng.run_seq_window(shards, window_end)?;
+        } else {
+            match pool {
+                Some(p) => p.run_window(window_end),
+                None => {
+                    for s in shards {
+                        lock(s).run_window(window_end);
+                    }
+                }
+            }
+            eng.join(shards, window_end)?;
+        }
+    }
+    if eng.active > 0 {
+        let now = shards
+            .iter()
+            .map(|s| lock(s).queue.now())
+            .max()
+            .unwrap_or(Cycle::ZERO);
+        return Err(eng.stalled(shards, now, StallReason::Deadlock));
+    }
+    Ok(())
+}
+
+/// Entry point from [`Simulator::try_run`] when `cfg.parallel` is set:
+/// shards the built simulator, runs it in windows, and reassembles the
+/// classic `SimResult`.
+pub(crate) fn run(sim: Simulator) -> Result<SimResult, RunError> {
+    let Simulator {
+        cfg,
+        queue: spare_queue,
+        procs,
+        dirs,
+        net,
+        dir_busy,
+        dir_caches,
+        vendor_next,
+        barrier_waiting,
+        checker,
+        tx_chars,
+        active,
+        tracer,
+        transport: _,
+        watchdog,
+        fault,
+    } = sim;
+    debug_assert!(fault.is_none(), "fresh simulator carries a fault");
+    let pcfg = cfg.parallel.expect("try_run dispatched on parallel");
+    let n = procs.len();
+    let chaos = cfg.chaos.is_some();
+    // Window width: the minimum latency of any deferred-to-the-join
+    // creation. Remote mesh deliveries take at least one serialization
+    // cycle plus one link hop; with chaos on, node-local sends defer
+    // too (the injector's RNG is order-sensitive) and bound the window
+    // by the local latency. Config validation guarantees the result is
+    // nonzero.
+    let remote_min = 1 + cfg.network.link_latency;
+    let b = if chaos {
+        remote_min.min(cfg.network.local_latency)
+    } else {
+        remote_min
+    }
+    .max(1);
+    // A processor more than `depth` work items from a barrier cannot
+    // reach it within one window: arriving at a barrier requires
+    // committing every transaction in between, and each commit costs at
+    // least a vendor round trip.
+    let depth = (2 + b / VENDOR_SERVICE.max(1)) as usize;
+    let tie_break = match cfg.tie_break_seed {
+        Some(salt) => TieBreak::Seeded(salt),
+        None => TieBreak::Fifo,
+    };
+    let vendor = cfg.vendor_node();
+    let shared_cfg = Arc::new(cfg.clone());
+    let mut shards: Vec<Mutex<Shard>> = Vec::with_capacity(n);
+    for (i, (((proc_, dir), busy), cache)) in procs
+        .into_iter()
+        .zip(dirs)
+        .zip(dir_busy)
+        .zip(dir_caches)
+        .enumerate()
+    {
+        let node = NodeId(i as u16);
+        let mut queue = EventQueue::with_tie_break(tie_break);
+        queue.set_tracer(tracer.clone());
+        let transport = cfg.transport.as_ref().map(|tc| {
+            let mut t = Transport::new(tc.clone(), cfg.bugs);
+            t.set_tracer(tracer.clone());
+            t
+        });
+        shards.push(Mutex::new(Shard {
+            node,
+            cfg: Arc::clone(&shared_cfg),
+            tracer: tracer.clone(),
+            queue,
+            proc: proc_,
+            dir,
+            dir_busy: busy,
+            dir_cache: cache,
+            transport,
+            vendor_next: if node == vendor { vendor_next } else { 0 },
+            line_bytes: cfg.cache.geometry.line_bytes(),
+            local_latency: cfg.network.local_latency,
+            chaos,
+            seed: cfg.tie_break_seed,
+            creations: 0,
+            window_end: Cycle::ZERO,
+            cur_cycle: Cycle::ZERO,
+            cur_idx: 0,
+            next_slot: 0,
+            pops: Vec::new(),
+            staged: Vec::new(),
+            ops: Vec::new(),
+            committed: Vec::new(),
+            finished: 0,
+            fault: None,
+        }));
+    }
+    let mut eng = Engine {
+        cfg,
+        tracer,
+        net,
+        checker,
+        tx_chars,
+        barrier_waiting,
+        active,
+        watchdog,
+        rank_map: FxHashMap::default(),
+        fault: None,
+        seq_cycle: Cycle::ZERO,
+        seq_hi: 0,
+        seq_rank: 0,
+        seq_slot: 0,
+        seq_shard: 0,
+    };
+    // Program starts replay through the sequential-merge context so
+    // their creations get canonical keys in classic creation order
+    // (cycle 0 pseudo-pops, ranked by node).
+    for i in 0..n {
+        let fx = lock(&shards[i]).proc.start(Cycle::ZERO);
+        eng.seq_cycle = Cycle::ZERO;
+        eng.seq_hi = 0;
+        eng.seq_rank = i as u64;
+        eng.seq_slot = 0;
+        eng.seq_shard = i;
+        eng.apply_seq(&shards, Cycle::ZERO, NodeId(i as u16), fx);
+    }
+    // Worker-thread count: leased from the process-wide budget unless
+    // the config explicitly oversubscribes (determinism tests on small
+    // machines). More threads than shards is never useful.
+    let lease = (!pcfg.oversubscribe).then(|| WorkerBudget::global().lease(pcfg.workers));
+    let granted = lease.as_ref().map_or(pcfg.workers, |l| l.workers());
+    let n_threads = granted.min(n).max(1);
+    let outcome = if n_threads <= 1 {
+        main_loop(&mut eng, &shards, None, b, depth)
+    } else {
+        let pool = Pool {
+            shards: &shards,
+            start: std::sync::Barrier::new(n_threads),
+            done: std::sync::Barrier::new(n_threads),
+            plan_end: AtomicU64::new(0),
+            claim: AtomicUsize::new(0),
+            stop: AtomicBool::new(false),
+            panic_box: Mutex::new(None),
+        };
+        std::thread::scope(|scope| {
+            for _ in 1..n_threads {
+                scope.spawn(|| pool.worker());
+            }
+            let r = panic::catch_unwind(AssertUnwindSafe(|| {
+                main_loop(&mut eng, &shards, Some(&pool), b, depth)
+            }));
+            pool.shutdown();
+            match r {
+                Ok(v) => v,
+                Err(p) => panic::resume_unwind(p),
+            }
+        })
+    };
+    drop(lease);
+    outcome?;
+    // Quiesce and reassemble: the union of the shards is put back into
+    // a classic `Simulator` so result assembly (and its invariant
+    // asserts) is shared verbatim.
+    let mut transport_stats: Option<TransportStats> = None;
+    let mut procs = Vec::with_capacity(n);
+    let mut dirs = Vec::with_capacity(n);
+    let mut dir_busy = Vec::with_capacity(n);
+    let mut dir_caches = Vec::with_capacity(n);
+    let mut vendor_total = 0u64;
+    let mut events = 0u64;
+    for s in shards {
+        let g = s
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        debug_assert_eq!(g.queue.len(), 0, "drained shard still holds events");
+        events += g.queue.events_processed();
+        vendor_total += g.vendor_next;
+        if let Some(t) = g.transport {
+            assert!(
+                t.is_quiescent(),
+                "{}: transport channels not quiescent at end of run",
+                g.node
+            );
+            add_stats(&mut transport_stats, t.stats());
+        }
+        procs.push(g.proc);
+        dirs.push(g.dir);
+        dir_busy.push(g.dir_busy);
+        dir_caches.push(g.dir_cache);
+    }
+    let Engine {
+        cfg,
+        tracer,
+        net,
+        checker,
+        tx_chars,
+        barrier_waiting,
+        active,
+        watchdog,
+        ..
+    } = eng;
+    let reassembled = Simulator {
+        cfg,
+        queue: spare_queue,
+        procs,
+        dirs,
+        net,
+        dir_busy,
+        dir_caches,
+        vendor_next: vendor_total,
+        barrier_waiting,
+        checker,
+        tx_chars,
+        active,
+        tracer,
+        transport: None,
+        watchdog,
+        fault: None,
+    };
+    let mut result = reassembled.finish(events);
+    result.transport = transport_stats;
+    Ok(result)
+}

@@ -22,13 +22,13 @@ use crate::program::ThreadProgram;
 use crate::stall::{RunError, StallDiagnostic, StallReason};
 
 /// Vendor service time per TID request, in cycles.
-const VENDOR_SERVICE: u64 = 2;
+pub(crate) const VENDOR_SERVICE: u64 = 2;
 
 /// A FIFO directory cache: tracks which lines' directory state is
 /// resident. Misses cost an extra memory access (the sharers vector and
 /// state bits live in a dedicated DRAM region when they spill).
 #[derive(Debug)]
-struct DirCache {
+pub(crate) struct DirCache {
     cap: usize,
     resident: FxHashSet<LineAddr>,
     fifo: VecDeque<LineAddr>,
@@ -42,7 +42,7 @@ struct DirCache {
 }
 
 impl DirCache {
-    fn new(cap: usize) -> DirCache {
+    pub(crate) fn new(cap: usize) -> DirCache {
         DirCache {
             cap: cap.max(1),
             resident: FxHashSet::default(),
@@ -55,7 +55,7 @@ impl DirCache {
 
     /// Touches `line`'s entry; returns true unless the state must be
     /// fetched back from memory.
-    fn touch(&mut self, line: LineAddr) -> bool {
+    pub(crate) fn touch(&mut self, line: LineAddr) -> bool {
         if self.resident.contains(&line) {
             self.hits += 1;
             return true;
@@ -79,7 +79,7 @@ impl DirCache {
 }
 
 #[derive(Debug)]
-enum Event {
+pub(crate) enum Event {
     /// A message arrives at its destination node.
     Deliver(Message),
     /// A message is injected into the network now (used for sends that
@@ -260,26 +260,30 @@ impl std::fmt::Display for SimResult {
 /// ```
 #[derive(Debug)]
 pub struct Simulator {
-    cfg: SystemConfig,
-    queue: EventQueue<Event>,
-    procs: Vec<Processor>,
-    dirs: Vec<Directory>,
-    net: Network,
+    pub(crate) cfg: SystemConfig,
+    pub(crate) queue: EventQueue<Event>,
+    pub(crate) procs: Vec<Processor>,
+    pub(crate) dirs: Vec<Directory>,
+    pub(crate) net: Network,
     /// Earliest cycle each directory controller is free (occupancy).
-    dir_busy: Vec<Cycle>,
+    pub(crate) dir_busy: Vec<Cycle>,
     /// Per-node directory caches, when capacity-limited.
-    dir_caches: Vec<Option<DirCache>>,
-    vendor_next: u64,
-    barrier_waiting: Vec<NodeId>,
-    checker: Option<Checker>,
-    tx_chars: Vec<TxCharacteristics>,
-    active: usize,
-    tracer: Tracer,
+    pub(crate) dir_caches: Vec<Option<DirCache>>,
+    pub(crate) vendor_next: u64,
+    pub(crate) barrier_waiting: Vec<NodeId>,
+    pub(crate) checker: Option<Checker>,
+    pub(crate) tx_chars: Vec<TxCharacteristics>,
+    pub(crate) active: usize,
+    pub(crate) tracer: Tracer,
     /// Reliable transport over the unreliable wire; `None` keeps the
     /// mesh's native delivery guarantees (the pre-transport fast path).
-    transport: Option<Transport>,
+    pub(crate) transport: Option<Transport>,
     /// Commit-progress watchdog (observation-only).
-    watchdog: Option<ProgressWatchdog>,
+    pub(crate) watchdog: Option<ProgressWatchdog>,
+    /// Sticky fault raised by a component mid-delivery (e.g. a
+    /// directory's bounded skip-vector refusal); the event loop turns
+    /// it into a typed stall right after the current event.
+    pub(crate) fault: Option<StallReason>,
 }
 
 /// Fluent, validating constructor for [`Simulator`] (and the
@@ -514,6 +518,7 @@ impl Simulator {
             tracer,
             transport,
             watchdog,
+            fault: None,
         }
     }
 
@@ -539,11 +544,25 @@ impl Simulator {
     /// violations (broken asserts) still panic — those are bugs, not
     /// outcomes.
     pub fn try_run(mut self) -> Result<SimResult, RunError> {
+        if self.cfg.parallel.is_some() {
+            return crate::par::run(self);
+        }
         for i in 0..self.procs.len() {
             let fx = self.procs[i].start(Cycle::ZERO);
             self.apply(Cycle::ZERO, NodeId(i as u16), fx);
         }
-        while let Some((now, ev)) = self.queue.pop() {
+        loop {
+            let (now, ev) = match self.queue.try_pop() {
+                Ok(Some(popped)) => popped,
+                Ok(None) => break,
+                Err(c) => {
+                    let now = self.queue.now();
+                    let reason = StallReason::QueueCorrupt {
+                        detail: c.to_string(),
+                    };
+                    return Err(self.stalled(now, reason));
+                }
+            };
             if now.0 > self.cfg.max_cycles {
                 let limit = self.cfg.max_cycles;
                 return Err(self.stalled(now, StallReason::CycleLimit { limit }));
@@ -566,10 +585,10 @@ impl Simulator {
                 Event::Inject(msg) => self.dispatch_send(now, msg),
                 Event::Deliver(msg) => self.deliver(now, msg),
                 Event::Wire(frame) => {
-                    let t = self
-                        .transport
-                        .as_mut()
-                        .expect("wire event without transport");
+                    let Some(t) = self.transport.as_mut() else {
+                        let reason = StallReason::MissingTransport { event: "wire" };
+                        return Err(self.stalled(now, reason));
+                    };
                     let (delivered, actions) = t.on_frame(frame);
                     self.apply_transport_actions(now, actions);
                     for m in delivered {
@@ -577,10 +596,12 @@ impl Simulator {
                     }
                 }
                 Event::RetxTimer { src, dst, epoch } => {
-                    let t = self
-                        .transport
-                        .as_mut()
-                        .expect("retx timer without transport");
+                    let Some(t) = self.transport.as_mut() else {
+                        let reason = StallReason::MissingTransport {
+                            event: "retx timer",
+                        };
+                        return Err(self.stalled(now, reason));
+                    };
                     match t.on_retx_timer(now, src, dst, epoch) {
                         Ok(actions) => self.apply_transport_actions(now, actions),
                         Err(ex) => {
@@ -596,20 +617,24 @@ impl Simulator {
                     }
                 }
                 Event::AckTimer { src, dst, epoch } => {
-                    let t = self
-                        .transport
-                        .as_mut()
-                        .expect("ack timer without transport");
+                    let Some(t) = self.transport.as_mut() else {
+                        let reason = StallReason::MissingTransport { event: "ack timer" };
+                        return Err(self.stalled(now, reason));
+                    };
                     let actions = t.on_ack_timer(src, dst, epoch);
                     self.apply_transport_actions(now, actions);
                 }
+            }
+            if let Some(reason) = self.fault.take() {
+                return Err(self.stalled(now, reason));
             }
         }
         if self.active > 0 {
             let now = self.queue.now();
             return Err(self.stalled(now, StallReason::Deadlock));
         }
-        Ok(self.finish())
+        let events = self.queue.events_processed();
+        Ok(self.finish(events))
     }
 
     /// Assembles the stall diagnostic for a run that stopped making
@@ -947,6 +972,14 @@ impl Simulator {
             } => dir.handle_inv_ack(done, tid, line, from, retained),
             _ => unreachable!("non-directory payload routed to directory"),
         };
+        if let Some(r) = self.dirs[d].skip_refusal() {
+            self.fault.get_or_insert(StallReason::SkipRefused {
+                dir: msg.dst,
+                tid: r.tid,
+                now_serving: r.now_serving,
+                window: r.window,
+            });
+        }
         if let Some(line) = trace_wb_line {
             let e = self.dirs[d].entry(line);
             eprintln!(
@@ -1005,8 +1038,10 @@ impl Simulator {
         }
     }
 
-    /// Assembles the final [`SimResult`].
-    fn finish(mut self) -> SimResult {
+    /// Assembles the final [`SimResult`]. `events` is the total event
+    /// count for the run (the caller's queue counter — or, for the
+    /// windowed parallel engine, the sum over shard queues).
+    pub(crate) fn finish(mut self, events: u64) -> SimResult {
         self.assert_quiescent();
         let end = self
             .procs
@@ -1063,7 +1098,7 @@ impl Simulator {
             tx_chars: self.tx_chars,
             dir_occupancy,
             dir_working_set,
-            events: self.queue.events_processed(),
+            events,
             serializability,
             profile,
             trace,

@@ -40,6 +40,25 @@ pub enum StallReason {
     /// The event queue drained while processors were still blocked (the
     /// legacy protocol-deadlock check).
     Deadlock,
+    /// The event queue's internal structures disagreed (occupancy
+    /// bitmap vs. slot contents vs. payload slab). Formerly a hot-path
+    /// `expect` panic; surfaced as a run failure so chaos-oracle
+    /// reports record it.
+    QueueCorrupt { detail: String },
+    /// A transport-only event (`Wire`/`RetxTimer`/`AckTimer`) was
+    /// scheduled in a run with no transport configured. Formerly a
+    /// hot-path `expect` panic.
+    MissingTransport { event: &'static str },
+    /// A directory refused a skip/abort whose TID was further than
+    /// [`tcc_directory::SkipVector::MAX_WINDOW`] ahead of its
+    /// Now-Serving TID — the bounded-growth refusal that replaces
+    /// unbounded skip-vector allocation.
+    SkipRefused {
+        dir: NodeId,
+        tid: Tid,
+        now_serving: Tid,
+        window: u64,
+    },
 }
 
 impl std::fmt::Display for StallReason {
@@ -63,6 +82,21 @@ impl std::fmt::Display for StallReason {
                  {kind} seq {seq} unacked after {retries} retransmission timeouts"
             ),
             StallReason::Deadlock => write!(f, "protocol deadlock: event queue drained"),
+            StallReason::QueueCorrupt { detail } => write!(f, "{detail}"),
+            StallReason::MissingTransport { event } => {
+                write!(f, "{event} event scheduled without a transport configured")
+            }
+            StallReason::SkipRefused {
+                dir,
+                tid,
+                now_serving,
+                window,
+            } => write!(
+                f,
+                "directory {dir} refused skip for {tid}: {} TIDs ahead of \
+                 now-serving {now_serving} (window bound {window})",
+                tid.0.saturating_sub(now_serving.0)
+            ),
         }
     }
 }
@@ -76,6 +110,9 @@ impl StallReason {
             StallReason::NoProgress { .. } => "no_progress",
             StallReason::RetryExhausted { .. } => "retry_exhausted",
             StallReason::Deadlock => "deadlock",
+            StallReason::QueueCorrupt { .. } => "queue_corrupt",
+            StallReason::MissingTransport { .. } => "missing_transport",
+            StallReason::SkipRefused { .. } => "skip_refused",
         }
     }
 }

@@ -52,7 +52,7 @@ use tcc_types::{
 };
 
 use crate::entry::{DirEntry, MarkInfo};
-use crate::skip_vector::SkipVector;
+use crate::skip_vector::{SkipRefused, SkipVector};
 
 /// Directory configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -183,6 +183,11 @@ pub struct Directory {
     pending_commit: Option<PendingCommit>,
     ack_wait: Option<AckWait>,
     commit_span_start: Option<Cycle>,
+    /// Sticky record of a refused out-of-window skip (corrupt or
+    /// adversarial TID stream); the simulation layer polls this and
+    /// turns it into a typed run error instead of letting the skip
+    /// vector balloon or the process abort.
+    skip_refusal: Option<SkipRefused>,
     stats: DirStats,
     tracer: Tracer,
     /// Reusable output buffer: internal transition helpers push into
@@ -209,6 +214,7 @@ impl Directory {
             pending_commit: None,
             ack_wait: None,
             commit_span_start: None,
+            skip_refusal: None,
             stats: DirStats::default(),
             tracer: Tracer::disabled(),
             out: Vec::new(),
@@ -428,17 +434,35 @@ impl Directory {
         );
         self.out.clear();
         let before = self.now_serving();
-        if self.sv.buffer_skip(tid) {
-            self.note_advance(now, before);
-            self.post_advance(now);
-        } else {
-            let dir = self.cfg.id;
-            if tid > before {
-                self.tracer
-                    .record(now, || TraceEvent::SkipBuffered { dir, tid });
+        match self.sv.try_buffer_skip(tid) {
+            Ok(true) => {
+                self.note_advance(now, before);
+                self.post_advance(now);
             }
+            Ok(false) => {
+                let dir = self.cfg.id;
+                if tid > before {
+                    self.tracer
+                        .record(now, || TraceEvent::SkipBuffered { dir, tid });
+                }
+            }
+            Err(refused) => self.note_refusal(refused),
         }
         std::mem::take(&mut self.out)
+    }
+
+    /// Records a refused out-of-window skip for the simulation layer to
+    /// surface as a typed run error.
+    fn note_refusal(&mut self, refused: SkipRefused) {
+        self.tracer.count("dir.skip_refusals", 1);
+        self.skip_refusal.get_or_insert(refused);
+    }
+
+    /// The first out-of-window skip refusal this directory recorded, if
+    /// any — sticky until read, a poison flag for the run.
+    #[must_use]
+    pub fn skip_refusal(&self) -> Option<SkipRefused> {
+        self.skip_refusal
     }
 
     /// Records an NSTID advance (observation only).
@@ -734,8 +758,10 @@ impl Directory {
             let dir = self.cfg.id;
             self.tracer
                 .record(now, || TraceEvent::SkipBuffered { dir, tid });
-            let advanced = self.sv.buffer_skip(tid);
-            debug_assert!(!advanced);
+            match self.sv.try_buffer_skip(tid) {
+                Ok(advanced) => debug_assert!(!advanced),
+                Err(refused) => self.note_refusal(refused),
+            }
             return Vec::new();
         }
         // Serving this TID: clear its marks and move on. Every mark set

@@ -26,4 +26,4 @@ mod skip_vector;
 pub use controller::{DirAction, DirConfig, DirStats, Directory};
 pub use entry::DirEntry;
 pub use sharer_set::SharerSet;
-pub use skip_vector::SkipVector;
+pub use skip_vector::{SkipRefused, SkipVector};

@@ -1,6 +1,41 @@
 //! The Skip Vector: out-of-order skip buffering for in-order TID service.
 
+use std::fmt;
+
 use tcc_types::Tid;
+
+/// Typed refusal for a skip so far past the NSTID that buffering it
+/// would grow the vector beyond the outstanding-TID window.
+///
+/// The TID vendor hands out sequence numbers one at a time to at most
+/// `n_procs` concurrently-running transactions, so a *healthy* system
+/// can never produce a skip more than the number of outstanding TIDs
+/// ahead of the NSTID. A skip beyond [`SkipVector::MAX_WINDOW`] can
+/// only come from a corrupt or adversarial stream, and buffering it
+/// would resize the bit vector by `(tid − nstid)/64` words — an
+/// unbounded, attacker-controlled allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SkipRefused {
+    /// The TID whose skip was refused.
+    pub tid: Tid,
+    /// The NSTID at the time of refusal.
+    pub now_serving: Tid,
+    /// The window bound in force.
+    pub window: u64,
+}
+
+impl fmt::Display for SkipRefused {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "skip for {} refused: {} ahead of {} exceeds the {}-TID outstanding window",
+            self.tid,
+            self.tid.since(self.now_serving),
+            self.now_serving,
+            self.window
+        )
+    }
+}
 
 /// The directory's Skip Vector (Fig. 5 of the paper).
 ///
@@ -37,6 +72,13 @@ pub struct SkipVector {
 }
 
 impl SkipVector {
+    /// Maximum distance (in TIDs) a buffered skip may sit ahead of the
+    /// NSTID. Far larger than any reachable outstanding-TID window
+    /// (the vendor serves at most one TID per processor concurrently,
+    /// and `SharerSet` caps the machine at 128 CPUs), yet it bounds the
+    /// bit vector at 16 KiB instead of `(tid − nstid)/8` bytes.
+    pub const MAX_WINDOW: u64 = 1 << 17;
+
     /// A fresh vector serving TID 0.
     #[must_use]
     pub fn new() -> SkipVector {
@@ -57,17 +99,47 @@ impl SkipVector {
     ///
     /// # Panics
     ///
-    /// Panics in debug builds on a duplicate skip for a future TID:
-    /// every transaction skips a directory at most once.
+    /// Panics in debug builds on a duplicate skip for a future TID
+    /// (every transaction skips a directory at most once) or on a skip
+    /// past [`SkipVector::MAX_WINDOW`]. Release builds ignore an
+    /// out-of-window skip; callers that must surface the refusal use
+    /// [`SkipVector::try_buffer_skip`].
     pub fn buffer_skip(&mut self, tid: Tid) -> bool {
+        match self.try_buffer_skip(tid) {
+            Ok(advanced) => advanced,
+            Err(refused) => {
+                debug_assert!(false, "{refused}");
+                false
+            }
+        }
+    }
+
+    /// [`SkipVector::buffer_skip`] with a typed refusal instead of a
+    /// debug panic when `tid` lies beyond the outstanding-TID window.
+    /// The vector is left untouched on refusal — a pathological skip
+    /// allocates nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SkipRefused`] when `tid` is more than
+    /// [`SkipVector::MAX_WINDOW`] TIDs ahead of the NSTID.
+    pub fn try_buffer_skip(&mut self, tid: Tid) -> Result<bool, SkipRefused> {
         if tid < self.now_serving {
-            return false;
+            return Ok(false);
         }
         if tid == self.now_serving {
             self.complete_current();
-            return true;
+            return Ok(true);
         }
-        let j = tid.since(self.now_serving) as usize;
+        let j = tid.since(self.now_serving);
+        if j > Self::MAX_WINDOW {
+            return Err(SkipRefused {
+                tid,
+                now_serving: self.now_serving,
+                window: Self::MAX_WINDOW,
+            });
+        }
+        let j = j as usize;
         let (word, bit) = (j / 64, j % 64);
         if word >= self.bits.len() {
             self.bits.resize(word + 1, 0);
@@ -77,7 +149,7 @@ impl SkipVector {
             "duplicate skip for future {tid}"
         );
         self.bits[word] |= 1 << bit;
-        false
+        Ok(false)
     }
 
     /// Whether a skip is already buffered for `tid` (false for the
@@ -237,6 +309,28 @@ mod tests {
         }
         // TID 130 was buffered long ago; serving 129 jumps past it.
         assert_eq!(sv.now_serving(), Tid(131));
+    }
+
+    /// Regression: a skip for a pathologically far-future TID used to
+    /// resize `bits` by `(tid − nstid)/64` words — ~36 PiB for
+    /// `Tid(u64::MAX/2)`. It must now be refused with a typed error
+    /// and allocate nothing.
+    #[test]
+    fn pathological_far_future_skip_is_refused_without_allocating() {
+        let mut sv = SkipVector::new();
+        let far = Tid(u64::MAX / 2);
+        let refused = sv.try_buffer_skip(far).unwrap_err();
+        assert_eq!(refused.tid, far);
+        assert_eq!(refused.now_serving, Tid(0));
+        assert_eq!(refused.window, SkipVector::MAX_WINDOW);
+        assert_eq!(sv.bits.len(), 0, "refused skip must not grow the vector");
+        assert_eq!(sv.now_serving(), Tid(0));
+        // The boundary itself is still accepted and bounds the vector.
+        assert_eq!(sv.try_buffer_skip(Tid(SkipVector::MAX_WINDOW)), Ok(false));
+        assert!(sv.bits.len() <= (SkipVector::MAX_WINDOW as usize / 64) + 1);
+        // One past the boundary is refused.
+        assert!(sv.try_buffer_skip(Tid(SkipVector::MAX_WINDOW + 1)).is_err());
+        assert!(!refused.to_string().is_empty());
     }
 
     /// Feeding a random permutation of skips for TIDs 0..n always

@@ -59,9 +59,11 @@ use tcc_trace::Tracer;
 use tcc_types::slab::{Slab, SlabKey};
 use tcc_types::Cycle;
 
+pub mod budget;
 pub mod reference;
 pub mod watchdog;
 
+pub use budget::{WorkerBudget, WorkerLease};
 pub use reference::ReferenceQueue;
 pub use watchdog::{progress_signature, ProgressWatchdog, WatchdogConfig};
 
@@ -86,7 +88,7 @@ pub enum TieBreak {
 
 /// SplitMix64 finalizer: cheap, well-mixed 64-bit hash for tie keys.
 #[inline]
-pub(crate) fn mix64(mut z: u64) -> u64 {
+pub fn mix64(mut z: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^ (z >> 31)
@@ -99,12 +101,48 @@ pub const WHEEL_SLOTS: usize = 1 << 10;
 const WHEEL_MASK: u64 = WHEEL_SLOTS as u64 - 1;
 const OCC_WORDS: usize = WHEEL_SLOTS / 64;
 
+/// Typed report of an internally-inconsistent queue: an occupancy bit
+/// without entries, or a wheel entry whose interned payload is gone.
+/// Both states are unreachable through the safe API, but an embedding
+/// that replays corrupt or adversarial event streams wants them
+/// surfaced as a run failure rather than a process abort — see
+/// [`EventQueue::try_pop`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueCorruption {
+    /// The occupancy bitmap pointed at slot `slot`, but it held no
+    /// entries.
+    EmptySlot { slot: usize },
+    /// A popped wheel entry's payload was missing from the slab.
+    MissingPayload { at: Cycle },
+}
+
+impl std::fmt::Display for QueueCorruption {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueueCorruption::EmptySlot { slot } => {
+                write!(f, "event queue corrupt: occupied slot {slot} is empty")
+            }
+            QueueCorruption::MissingPayload { at } => {
+                write!(
+                    f,
+                    "event queue corrupt: wheel entry at {at} has no interned payload"
+                )
+            }
+        }
+    }
+}
+
 /// A wheel-slot entry. All entries in one slot share the same timestamp
 /// (see module docs), so ordering within a slot is `(key, seq)` only;
 /// the payload lives in the queue's slab behind `id`.
+///
+/// Keys are `u128`: the classic scheduler uses the insertion sequence
+/// (or its salted hash) and fits in 64 bits, while the windowed
+/// parallel mode packs causal `(create-cycle, rank, emission)`
+/// coordinates into the full width (see `tcc-core`'s parallel module).
 #[derive(Debug, Clone, Copy)]
 struct SlotEntry {
-    key: u64,
+    key: u128,
     seq: u64,
     id: SlabKey,
 }
@@ -131,11 +169,15 @@ fn slot_push(slot: &mut Vec<SlotEntry>, e: SlotEntry) {
     }
 }
 
-/// Pops the minimum `(key, seq)` entry from a non-empty slot heap.
-fn slot_pop(slot: &mut Vec<SlotEntry>) -> SlotEntry {
+/// Pops the minimum `(key, seq)` entry from a slot heap, or `None`
+/// when the slot is (corruptly) empty despite its occupancy bit.
+fn slot_pop(slot: &mut Vec<SlotEntry>) -> Option<SlotEntry> {
+    if slot.is_empty() {
+        return None;
+    }
     let last = slot.len() - 1;
     slot.swap(0, last);
-    let e = slot.pop().expect("slot_pop on empty slot");
+    let e = slot.pop()?;
     let n = slot.len();
     let mut i = 0;
     loop {
@@ -156,14 +198,14 @@ fn slot_pop(slot: &mut Vec<SlotEntry>) -> SlotEntry {
             break;
         }
     }
-    e
+    Some(e)
 }
 
 /// Far-heap entry: full `(at, key, seq)` ordering, payload in the slab.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct FarEntry {
     at: Cycle,
-    key: u64,
+    key: u128,
     seq: u64,
     id: SlabKey,
 }
@@ -281,9 +323,35 @@ impl<E> EventQueue<E> {
         );
         let at = at.max(self.now);
         let key = match self.tie_break {
-            TieBreak::Fifo => self.seq,
-            TieBreak::Seeded(salt) => mix64(self.seq ^ salt),
+            TieBreak::Fifo => u128::from(self.seq),
+            TieBreak::Seeded(salt) => u128::from(mix64(self.seq ^ salt)),
         };
+        self.insert(at, key, event);
+    }
+
+    /// Schedules `event` with a caller-supplied same-cycle ordering key
+    /// instead of the queue's tie-break policy. The windowed parallel
+    /// engine uses this to carry *causal* creation coordinates
+    /// (creation cycle, global pop rank, emission index) that are
+    /// identical whichever worker thread performs the insertion —
+    /// the foundation of its determinism guarantee. Insertion order
+    /// still breaks exact key ties.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `at` is before [`EventQueue::now`].
+    pub fn schedule_with_key(&mut self, at: Cycle, key: u128, event: E) {
+        debug_assert!(
+            at >= self.now,
+            "event scheduled in the past: {at} < now {}",
+            self.now
+        );
+        let at = at.max(self.now);
+        self.insert(at, key, event);
+    }
+
+    #[inline]
+    fn insert(&mut self, at: Cycle, key: u128, event: E) {
         let seq = self.seq;
         self.seq += 1;
         let id = self.events.insert(event);
@@ -353,14 +421,45 @@ impl<E> EventQueue<E> {
     /// Removes and returns the earliest event, advancing the clock to its
     /// timestamp. Events at equal timestamps pop in scheduling order
     /// (FIFO) or salted order (seeded) — identical to [`ReferenceQueue`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue's internal structures are inconsistent
+    /// (unreachable through this API); embeddings that must survive
+    /// that use [`EventQueue::try_pop`].
     pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        self.try_pop().expect("corrupt event queue")
+    }
+
+    /// [`EventQueue::pop`], but internal inconsistency comes back as a
+    /// typed [`QueueCorruption`] instead of a panic, so a simulation
+    /// driver can record the failure (e.g. in a chaos-oracle run
+    /// report) and unwind cleanly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueCorruption`] when the occupancy bitmap, a wheel
+    /// slot, and the payload slab disagree.
+    pub fn try_pop(&mut self) -> Result<Option<(Cycle, E)>, QueueCorruption> {
+        Ok(self.try_pop_keyed()?.map(|(at, _key, ev)| (at, ev)))
+    }
+
+    /// [`EventQueue::try_pop`], additionally returning the popped
+    /// event's ordering key. The windowed parallel engine records the
+    /// key of every pop to resolve provisional keys into canonical
+    /// global ranks at window joins.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueCorruption`] as for [`EventQueue::try_pop`].
+    pub fn try_pop_keyed(&mut self) -> Result<Option<(Cycle, u128, E)>, QueueCorruption> {
         // Window anchor: the wheel covers [base, base + WHEEL_SLOTS).
         // Normally base == now; if the wheel is empty, jump straight to
         // the earliest far event.
         let base = if self.wheel_len == 0 {
             match self.far.peek() {
                 Some(&Reverse(e)) => e.at,
-                None => return None,
+                None => return Ok(None),
             }
         } else {
             self.now
@@ -372,19 +471,59 @@ impl<E> EventQueue<E> {
         let slot = self.scan_from((base.0 & WHEEL_MASK) as usize);
         let dt = (slot as u64).wrapping_sub(base.0) & WHEEL_MASK;
         let at = Cycle(base.0 + dt);
-        let entry = slot_pop(&mut self.slots[slot]);
+        let Some(entry) = slot_pop(&mut self.slots[slot]) else {
+            return Err(QueueCorruption::EmptySlot { slot });
+        };
         if self.slots[slot].is_empty() {
             self.occupancy[slot / 64] &= !(1u64 << (slot % 64));
         }
         self.wheel_len -= 1;
-        let event = self
-            .events
-            .remove(entry.id)
-            .expect("wheel entry without interned payload");
+        let Some(event) = self.events.remove(entry.id) else {
+            return Err(QueueCorruption::MissingPayload { at });
+        };
         self.now = at;
         self.popped += 1;
         self.tracer.count("engine.events_dispatched", 1);
-        Some((at, event))
+        Ok(Some((at, entry.key, event)))
+    }
+
+    /// Pops the earliest event only if it fires strictly before
+    /// `limit`, returning it with its ordering key. The windowed
+    /// parallel engine drains each shard's queue up to the window
+    /// boundary with this.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueCorruption`] as for [`EventQueue::try_pop`].
+    pub fn pop_before(
+        &mut self,
+        limit: Cycle,
+    ) -> Result<Option<(Cycle, u128, E)>, QueueCorruption> {
+        match self.peek_time() {
+            Some(t) if t < limit => self.try_pop_keyed(),
+            _ => Ok(None),
+        }
+    }
+
+    /// The `(timestamp, key)` of the event [`EventQueue::pop`] would
+    /// return, if any. The windowed engine's sequential merge picks the
+    /// globally least `(time, key)` across shard queues with this.
+    #[must_use]
+    pub fn peek_key(&self) -> Option<(Cycle, u128)> {
+        let wheel = if self.wheel_len > 0 {
+            let slot = self.scan_from((self.now.0 & WHEEL_MASK) as usize);
+            let dt = (slot as u64).wrapping_sub(self.now.0) & WHEEL_MASK;
+            self.slots[slot]
+                .first()
+                .map(|e| (Cycle(self.now.0 + dt), e.key))
+        } else {
+            None
+        };
+        let far = self.far.peek().map(|&Reverse(e)| (e.at, e.key));
+        match (wheel, far) {
+            (Some(w), Some(f)) => Some(w.min(f)),
+            (w, f) => w.or(f),
+        }
     }
 
     /// The timestamp of the earliest pending event, if any.
@@ -537,6 +676,34 @@ mod tests {
             }
             assert!(seen.iter().all(|&b| b));
         }
+    }
+
+    #[test]
+    fn caller_keys_order_same_cycle_events() {
+        let mut q = EventQueue::new();
+        // Insert out of key order; pops must follow the keys, not
+        // insertion order — the property the windowed parallel engine
+        // builds its canonical causal ordering on.
+        q.schedule_with_key(Cycle(7), 30, "c");
+        q.schedule_with_key(Cycle(7), 10, "a");
+        q.schedule_with_key(Cycle(7), 20, "b");
+        q.schedule_with_key(Cycle(3), u128::MAX, "first-by-time");
+        assert_eq!(q.peek_key(), Some((Cycle(3), u128::MAX)));
+        assert_eq!(q.pop(), Some((Cycle(3), "first-by-time")));
+        assert_eq!(q.peek_key(), Some((Cycle(7), 10)));
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn pop_before_respects_the_limit() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle(5), "in-window");
+        q.schedule(Cycle(9), "at-limit");
+        assert_eq!(q.pop_before(Cycle(9)), Ok(Some((Cycle(5), 0, "in-window"))));
+        assert_eq!(q.pop_before(Cycle(9)), Ok(None), "limit is exclusive");
+        assert_eq!(q.pop_before(Cycle(10)), Ok(Some((Cycle(9), 1, "at-limit"))));
+        assert_eq!(q.pop_before(Cycle(u64::MAX)), Ok(None));
     }
 
     /// Every scheduled event is popped exactly once.

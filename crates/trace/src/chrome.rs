@@ -81,7 +81,7 @@ pub fn chrome_trace(records: &[TraceRecord]) -> Json {
                     "tid_wait",
                     PID_PROCS,
                     node.0 as u64,
-                    at - waited,
+                    at.saturating_sub(*waited),
                     *waited,
                     vec![("tid", tid.0.into())],
                 ));
@@ -96,7 +96,7 @@ pub fn chrome_trace(records: &[TraceRecord]) -> Json {
                     "commit",
                     PID_PROCS,
                     node.0 as u64,
-                    at - latency,
+                    at.saturating_sub(*latency),
                     *latency,
                     vec![("tid", tid.0.into()), ("marks", (*marks).into())],
                 ));
@@ -110,7 +110,7 @@ pub fn chrome_trace(records: &[TraceRecord]) -> Json {
                     "miss_stall",
                     PID_PROCS,
                     node.0 as u64,
-                    at - stalled_for,
+                    at.saturating_sub(*stalled_for),
                     *stalled_for,
                     vec![("line", format!("{line}").into())],
                 ));
@@ -129,7 +129,7 @@ pub fn chrome_trace(records: &[TraceRecord]) -> Json {
                     "dir_commit",
                     PID_DIRS,
                     dir.0 as u64,
-                    at - span,
+                    at.saturating_sub(*span),
                     *span,
                     vec![("tid", tid.0.into())],
                 ));
@@ -144,7 +144,7 @@ pub fn chrome_trace(records: &[TraceRecord]) -> Json {
                     "probe_deferred",
                     PID_DIRS,
                     dir.0 as u64,
-                    at - deferred_for,
+                    at.saturating_sub(*deferred_for),
                     *deferred_for,
                     vec![
                         ("tid", tid.0.into()),
@@ -157,7 +157,7 @@ pub fn chrome_trace(records: &[TraceRecord]) -> Json {
                     "inv_ack_window",
                     PID_DIRS,
                     dir.0 as u64,
-                    at - window,
+                    at.saturating_sub(*window),
                     *window,
                     vec![("tid", tid.0.into())],
                 ));
@@ -172,7 +172,7 @@ pub fn chrome_trace(records: &[TraceRecord]) -> Json {
                     "load_stall",
                     PID_DIRS,
                     dir.0 as u64,
-                    at - stalled_for,
+                    at.saturating_sub(*stalled_for),
                     *stalled_for,
                     vec![
                         ("line", format!("{line}").into()),

@@ -35,8 +35,7 @@ pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot};
 pub use report::RunReport;
 pub use ring::EventRing;
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use tcc_types::Cycle;
 
@@ -84,9 +83,12 @@ struct TraceCore {
 
 /// Shared tracing handle. Cloning shares the underlying sink; all
 /// instrumented components of one simulator hold clones of one tracer.
+/// The sink is behind a `Mutex` so components may live on different
+/// worker threads (parallel execution mode); the disabled path stays a
+/// `None` check and never touches the lock.
 #[derive(Debug, Clone, Default)]
 pub struct Tracer {
-    inner: Option<Rc<RefCell<TraceCore>>>,
+    inner: Option<Arc<Mutex<TraceCore>>>,
 }
 
 impl Tracer {
@@ -100,7 +102,7 @@ impl Tracer {
             return Self::disabled();
         }
         Tracer {
-            inner: Some(Rc::new(RefCell::new(TraceCore {
+            inner: Some(Arc::new(Mutex::new(TraceCore {
                 ring: EventRing::new(cfg.ring_capacity),
                 metrics: MetricsRegistry::default(),
             }))),
@@ -117,7 +119,8 @@ impl Tracer {
     #[inline]
     pub fn record(&self, at: Cycle, event: impl FnOnce() -> TraceEvent) {
         if let Some(core) = &self.inner {
-            core.borrow_mut()
+            core.lock()
+                .expect("trace sink poisoned")
                 .ring
                 .push(TraceRecord { at, event: event() });
         }
@@ -127,7 +130,10 @@ impl Tracer {
     #[inline]
     pub fn count(&self, name: &'static str, delta: u64) {
         if let Some(core) = &self.inner {
-            core.borrow_mut().metrics.inc(name, delta);
+            core.lock()
+                .expect("trace sink poisoned")
+                .metrics
+                .inc(name, delta);
         }
     }
 
@@ -135,7 +141,10 @@ impl Tracer {
     #[inline]
     pub fn observe(&self, name: &'static str, value: u64) {
         if let Some(core) = &self.inner {
-            core.borrow_mut().metrics.observe(name, value);
+            core.lock()
+                .expect("trace sink poisoned")
+                .metrics
+                .observe(name, value);
         }
     }
 
@@ -143,7 +152,7 @@ impl Tracer {
     /// (but still attached and enabled). Returns `None` when disabled.
     pub fn take_report(&self) -> Option<TraceReport> {
         self.inner.as_ref().map(|core| {
-            let mut core = core.borrow_mut();
+            let mut core = core.lock().expect("trace sink poisoned");
             let recorded = core.ring.recorded();
             let dropped = core.ring.dropped();
             TraceReport {

@@ -42,6 +42,18 @@ impl Cycle {
     pub fn since(self, earlier: Cycle) -> u64 {
         self.0.saturating_sub(earlier.0)
     }
+
+    /// Distance from `earlier` to `self`, or `None` when the interval
+    /// is negative (timestamps observed out of order).
+    ///
+    /// Latency-attribution call sites that cannot rule out reordering
+    /// (chaos-perturbed deliveries, retransmitted frames) should use
+    /// this or [`Cycle::since`] instead of `-`, which treats a negative
+    /// interval as a hard invariant violation.
+    #[must_use]
+    pub fn checked_since(self, earlier: Cycle) -> Option<u64> {
+        self.0.checked_sub(earlier.0)
+    }
 }
 
 impl Add<u64> for Cycle {
@@ -59,14 +71,19 @@ impl AddAssign<u64> for Cycle {
 
 impl Sub<Cycle> for Cycle {
     type Output = u64;
-    /// Distance between two instants.
+    /// Distance between two instants. Ordered operands are an invariant
+    /// at every `-` call site (use [`Cycle::since`] /
+    /// [`Cycle::checked_since`] when reordering is possible).
     ///
     /// # Panics
     ///
-    /// Panics in debug builds if `rhs` is later than `self`.
+    /// Panics in debug builds if `rhs` is later than `self`; release
+    /// builds saturate to zero rather than wrapping, so a violated
+    /// invariant cannot silently corrupt latency attribution with a
+    /// near-`u64::MAX` interval.
     fn sub(self, rhs: Cycle) -> u64 {
         debug_assert!(rhs <= self, "negative cycle interval: {rhs} > {self}");
-        self.0 - rhs.0
+        self.0.saturating_sub(rhs.0)
     }
 }
 
@@ -162,6 +179,13 @@ impl Tid {
     pub fn since(self, earlier: Tid) -> u64 {
         self.0.saturating_sub(earlier.0)
     }
+
+    /// Number of TIDs in `[earlier, self)`, or `None` when `earlier`
+    /// is ahead of `self` (a reordered or adversarial TID stream).
+    #[must_use]
+    pub fn checked_since(self, earlier: Tid) -> Option<u64> {
+        self.0.checked_sub(earlier.0)
+    }
 }
 
 impl fmt::Display for Tid {
@@ -187,6 +211,20 @@ mod tests {
     }
 
     #[test]
+    fn cycle_checked_since_detects_reordering() {
+        assert_eq!(Cycle(15).checked_since(Cycle(10)), Some(5));
+        assert_eq!(Cycle(10).checked_since(Cycle(10)), Some(0));
+        assert_eq!(Cycle(10).checked_since(Cycle(15)), None);
+    }
+
+    #[test]
+    fn tid_checked_since_detects_reordering() {
+        assert_eq!(Tid(10).checked_since(Tid(4)), Some(6));
+        assert_eq!(Tid(4).checked_since(Tid(4)), Some(0));
+        assert_eq!(Tid(4).checked_since(Tid(10)), None);
+    }
+
+    #[test]
     fn cycle_max() {
         assert_eq!(Cycle(3).max(Cycle(9)), Cycle(9));
         assert_eq!(Cycle(9).max(Cycle(3)), Cycle(9));
@@ -197,6 +235,12 @@ mod tests {
     #[should_panic(expected = "negative cycle interval")]
     fn cycle_sub_underflow_panics_in_debug() {
         let _ = Cycle(1) - Cycle(2);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn cycle_sub_underflow_saturates_in_release() {
+        assert_eq!(Cycle(1) - Cycle(2), 0);
     }
 
     #[test]
