@@ -11,6 +11,7 @@ use tcc_workloads::apps;
 fn main() {
     let args = HarnessArgs::parse();
     let mut report = RunReport::new("census");
+    report.set_workers(args.workers() as u64);
     report.set(
         "harness",
         harness_json(&args, args.seed.unwrap_or(HARNESS_SEED)),

@@ -16,6 +16,7 @@ fn main() {
     let mut summary: Vec<(String, f64, f64)> = Vec::new();
     let mut csv: Vec<Vec<String>> = Vec::new();
     let mut report = RunReport::new("fig7");
+    report.set_workers(args.workers() as u64);
     report.set("harness", harness_json(&args, seed));
     report.set(
         "sizes",

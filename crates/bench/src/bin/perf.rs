@@ -302,8 +302,8 @@ fn main() {
     let seed_ref = load_seed_reference();
     let mut measured = Vec::new();
     println!(
-        "{:<18} {:>10} {:>12} {:>12} {:>12}  {}",
-        "cell", "wall ms", "events/s", "allocs", "alloc MB", "fingerprint"
+        "{:<18} {:>10} {:>12} {:>12} {:>12}  fingerprint",
+        "cell", "wall ms", "events/s", "allocs", "alloc MB"
     );
     for cell in &cells {
         if !args.selects(cell.app.name) {
@@ -323,6 +323,7 @@ fn main() {
     }
 
     let mut report = RunReport::new("perf");
+    report.set_workers(args.workers() as u64);
     let mut harness = vec![
         ("seed", Json::from(HARNESS_SEED)),
         ("scale", if args.smoke { "smoke" } else { "full" }.into()),

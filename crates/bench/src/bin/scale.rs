@@ -48,8 +48,11 @@ fn cells() -> Vec<(tcc_workloads::AppProfile, usize)> {
 fn main() {
     let args = HarnessArgs::parse();
     let seed = args.seed.unwrap_or(HARNESS_SEED);
-    let host_cpus = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let host_cpus = tcc_trace::report::host_cpus() as usize;
     let mut report = RunReport::new("scale");
+    // This bin sweeps the engine worker count itself; the host block
+    // records the largest count the run actually spun up.
+    report.set_workers(*WORKER_SWEEP.iter().max().expect("non-empty sweep") as u64);
     report.set(
         "harness",
         Json::obj(vec![

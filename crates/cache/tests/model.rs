@@ -300,9 +300,8 @@ fn run_case(ops: Vec<Op>) {
             }
             // Invariants after every step.
             for (&l, e) in &model.lines {
-                assert_eq!(
+                assert!(
                     cache.contains(LineAddr(l)),
-                    true,
                     "model line {} missing from cache",
                     l
                 );

@@ -88,6 +88,42 @@ pub fn parse_regression_corpus(text: &str) -> Result<Vec<RegressionCase>, String
     Ok(out)
 }
 
+/// One shrunk witness program: a named machine-wide program of
+/// transactional threads (each thread a list of transactions, each
+/// transaction a list of [`POp`]s), stripped of chaos/schedule config.
+///
+/// This is the backend-agnostic view of the corpus: the programs were
+/// minimized against the *simulator*, but they only describe memory
+/// accesses, so any other implementation of the protocol (`tcc-stm`'s
+/// real-thread STM, future backends) can replay them and check the
+/// resulting history against the serializability oracle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Witness {
+    pub name: String,
+    pub threads: Vec<Vec<Vec<POp>>>,
+}
+
+/// Every shrunk witness program checked into the repo: the scenario
+/// corpus in `crates/chaos/corpus/` plus the shared regression-seed
+/// corpus, in stable order. Names are unique (scenario corpus names are
+/// file-derived, regression names are prefixed with `regression/`).
+pub fn witnesses() -> Result<Vec<Witness>, String> {
+    let mut out = Vec::new();
+    for scenario in load_scenarios(&corpus_dir())? {
+        out.push(Witness {
+            name: scenario.name.clone(),
+            threads: scenario.threads,
+        });
+    }
+    for case in load_core_regression_corpus()? {
+        out.push(Witness {
+            name: format!("regression/{}", case.name),
+            threads: case.threads,
+        });
+    }
+    Ok(out)
+}
+
 /// The shared regression-seed corpus converted from the old proptest
 /// artifact, also replayed by `crates/core/tests/random.rs`.
 pub fn load_core_regression_corpus() -> Result<Vec<RegressionCase>, String> {

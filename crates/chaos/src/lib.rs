@@ -33,6 +33,7 @@ pub mod progen;
 pub mod scenario;
 pub mod shrink;
 
+pub use corpus::{witnesses, Witness};
 pub use explorer::{run_scenarios, seeds_to_first_failure, ExploreReport, GridSpec, Variant};
 pub use progen::{chaos_profile, generate_programs, tie_break_for, ProgramSpec};
 pub use scenario::{ConfigTweaks, Failure, POp, RunOutcome, Scenario};

@@ -977,7 +977,7 @@ impl Engine {
             let mut best: Option<(Cycle, u128, usize)> = None;
             for (i, s) in shards.iter().enumerate() {
                 if let Some((t, k)) = lock(s).queue.peek_key() {
-                    if t < window_end && best.map_or(true, |(bt, bk, _)| (t, k) < (bt, bk)) {
+                    if t < window_end && best.is_none_or(|(bt, bk, _)| (t, k) < (bt, bk)) {
                         best = Some((t, k, i));
                     }
                 }
@@ -1016,9 +1016,7 @@ impl Engine {
             self.seq_hi = at.0 + 1;
             self.seq_slot = 0;
             self.seq_shard = i;
-            if let Err(e) = self.handle_seq(shards, at, i, ev) {
-                return Err(e);
-            }
+            self.handle_seq(shards, at, i, ev)?;
             if let Some(reason) = self.fault.take() {
                 return Err(self.stalled(shards, at, reason));
             }
@@ -1593,7 +1591,7 @@ pub(crate) fn run(sim: Simulator) -> Result<SimResult, RunError> {
         let mut queue = EventQueue::with_tie_break(tie_break);
         queue.set_tracer(tracer.clone());
         let transport = cfg.transport.as_ref().map(|tc| {
-            let mut t = Transport::new(tc.clone(), cfg.bugs);
+            let mut t = Transport::new(*tc, cfg.bugs);
             t.set_tracer(tracer.clone());
             t
         });

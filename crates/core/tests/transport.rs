@@ -83,7 +83,7 @@ fn lossy_wire_run_completes_exactly_once() {
             "seed {seed}: duplicates and retransmissions must be deduped"
         );
         assert_eq!(
-            t.delivered, t.data_frames as u64,
+            t.delivered, t.data_frames,
             "seed {seed}: exactly-once — every distinct frame delivered once"
         );
     }
@@ -177,5 +177,5 @@ fn clean_wire_with_transport_still_completes_exactly_once() {
     assert_eq!(r.commits, 24);
     r.assert_serializable();
     let t = r.transport.as_ref().unwrap();
-    assert_eq!(t.delivered, t.data_frames as u64);
+    assert_eq!(t.delivered, t.data_frames);
 }

@@ -27,14 +27,14 @@
 //!   state, and the handler's assert is deliberately kept as an
 //!   exactly-once-violation *detector* rather than being weakened to
 //!   tolerate duplicates:
-//!   - [`DirectoryController::handle_mark`]: `marks_received` counts
+//!   - [`DirectoryController::handle_mark`] — `marks_received` counts
 //!     deliveries, so a duplicate Mark can satisfy `marks_expected`
 //!     early and commit with a real mark still in flight (the straggler
 //!     is then dropped as stale — a lost write).
-//!   - [`DirectoryController::handle_commit`]: asserts
+//!   - [`DirectoryController::handle_commit`] — asserts
 //!     `tid == now_serving`; a duplicate arriving after the NSTID
 //!     advanced panics ("commit for X while serving Y").
-//!   - [`DirectoryController::handle_inv_ack`]: `acks_left` is a
+//!   - [`DirectoryController::handle_inv_ack`] — `acks_left` is a
 //!     countdown; a duplicate ack underflows it or arrives after the
 //!     window closed ("inv ack with no commit in flight" — the exact
 //!     failure the `transport_no_dedup` mutation witness replays).

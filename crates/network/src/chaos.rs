@@ -539,10 +539,12 @@ impl FaultInjector for SeededInjector {
         }
         let mut copies = Vec::new();
         for d in &self.cfg.dups {
-            if kind_matches(&d.kind, kind) && now.0 >= d.from && now.0 < d.until {
-                if self.rng.gen_bool(d.prob) {
-                    copies.push(Cycle(t + d.delay.max(1)));
-                }
+            if kind_matches(&d.kind, kind)
+                && now.0 >= d.from
+                && now.0 < d.until
+                && self.rng.gen_bool(d.prob)
+            {
+                copies.push(Cycle(t + d.delay.max(1)));
             }
         }
         if dropped {

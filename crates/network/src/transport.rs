@@ -680,7 +680,7 @@ mod tests {
             // Discrete event list: (time, order, frame).
             let mut queue: BTreeMap<(u64, u64), QEvent> = BTreeMap::new();
             let mut order = 0u64;
-            let mut push =
+            let push =
                 |queue: &mut BTreeMap<(u64, u64), QEvent>, order: &mut u64, at: u64, ev: QEvent| {
                     queue.insert((at, *order), ev);
                     *order += 1;

@@ -1,0 +1,152 @@
+//! TID-vendor edge cases: gap-freedom under contention and slot
+//! exhaustion, duplicate/skip-freedom across concurrent vendors, and
+//! wraparound refusal built on the underflow-safe `Tid` arithmetic.
+
+use std::sync::Arc;
+use tcc_stm::proto::{Vendor, MAX_TID, TID_NONE};
+use tcc_stm::shim::RealShim;
+use tcc_types::Tid;
+
+type RVendor = Vendor<RealShim>;
+
+/// Property: concurrent acquirers never observe a duplicate and never
+/// skip a value — the union of everything handed out is exactly
+/// `0..issued`.
+#[test]
+fn concurrent_acquires_are_duplicate_and_gap_free() {
+    let vendor = Arc::new(RVendor::new(4));
+    let threads = 4;
+    let per_thread = 500;
+    let handles: Vec<_> = (0..threads)
+        .map(|home| {
+            let vendor = Arc::clone(&vendor);
+            std::thread::spawn(move || {
+                (0..per_thread)
+                    .map(|_| vendor.acquire(home))
+                    .collect::<Vec<u64>>()
+            })
+        })
+        .collect();
+    let mut all: Vec<u64> = handles
+        .into_iter()
+        .flat_map(|h| h.join().unwrap())
+        .collect();
+    all.sort_unstable();
+    let expected: Vec<u64> = (0..(threads * per_thread) as u64).collect();
+    assert_eq!(all, expected, "no duplicates, no skipped TIDs");
+    assert_eq!(vendor.issued(), (threads * per_thread) as u64);
+}
+
+/// Property: recycling through the handoff slots keeps the sequence
+/// gap-free — at quiescence every issued TID is either held by a thread
+/// or parked in a slot, each exactly once.
+#[test]
+fn concurrent_recycling_preserves_gap_freedom() {
+    let slots = 4;
+    let vendor = Arc::new(RVendor::new(slots));
+    let threads = 4;
+    let rounds = 400;
+    let handles: Vec<_> = (0..threads)
+        .map(|home| {
+            let vendor = Arc::clone(&vendor);
+            std::thread::spawn(move || {
+                let mut held = Vec::new();
+                for i in 0..rounds {
+                    let t = vendor.acquire(home);
+                    // Park every third acquisition, imitating aborts;
+                    // when the slot is full the aborter keeps the TID
+                    // (standing in for "skip it everywhere").
+                    if i % 3 == 0 {
+                        if !vendor.recycle(home, t) {
+                            held.push(t);
+                        }
+                    } else {
+                        held.push(t);
+                    }
+                }
+                held
+            })
+        })
+        .collect();
+    let mut all: Vec<u64> = handles
+        .into_iter()
+        .flat_map(|h| h.join().unwrap())
+        .collect();
+    // Drain whatever is still parked in the handoff slots.
+    for t in 0..vendor.issued() {
+        if vendor.claim(t) {
+            all.push(t);
+        }
+    }
+    all.sort_unstable();
+    let expected: Vec<u64> = (0..vendor.issued()).collect();
+    assert_eq!(
+        all, expected,
+        "held ∪ parked must cover every issued TID exactly once"
+    );
+}
+
+/// Slot exhaustion: with a single handoff slot, a second park is
+/// refused rather than silently dropping a TID, and the parked TID
+/// comes back before any fresh one.
+#[test]
+fn slot_exhaustion_refuses_and_preserves_the_parked_tid() {
+    let vendor = RVendor::new(1);
+    let a = vendor.acquire(0);
+    let b = vendor.acquire(0);
+    let c = vendor.acquire(0);
+    assert_eq!((a, b, c), (0, 1, 2));
+    assert!(vendor.recycle(0, a));
+    assert!(!vendor.recycle(0, b), "slot already occupied");
+    assert!(!vendor.recycle(0, c), "still occupied");
+    assert_eq!(vendor.acquire(0), a, "parked TID is re-vended first");
+    assert_eq!(vendor.acquire(0), 3, "then the sequencer resumes");
+}
+
+/// A claimed TID leaves the slot atomically: exactly one claimer wins,
+/// and the loser sees the slot empty.
+#[test]
+fn concurrent_claims_have_exactly_one_winner() {
+    for _ in 0..50 {
+        let vendor = Arc::new(RVendor::new(2));
+        let t = vendor.acquire(0);
+        assert!(vendor.recycle(0, t));
+        let winners: usize = (0..4)
+            .map(|_| {
+                let vendor = Arc::clone(&vendor);
+                std::thread::spawn(move || usize::from(vendor.claim(t)))
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .sum();
+        assert_eq!(winners, 1, "claim must be exclusive");
+    }
+}
+
+/// Wraparound refusal: the vendor panics rather than wrapping, and the
+/// boundary is exactly `MAX_TID` (checked with the underflow-safe `Tid`
+/// arithmetic rather than raw subtraction).
+#[test]
+fn vendor_refuses_to_wrap_at_the_exact_boundary() {
+    let vendor = RVendor::with_base(1, MAX_TID - 2);
+    assert_eq!(vendor.acquire(0), MAX_TID - 2);
+    assert_eq!(vendor.acquire(0), MAX_TID - 1);
+    assert_eq!(vendor.acquire(0), MAX_TID, "MAX_TID itself is vendable");
+    let result = std::panic::catch_unwind(|| vendor.acquire(0));
+    let msg = match result {
+        Ok(t) => panic!("vendor wrapped: vended {t} past MAX_TID"),
+        Err(payload) => payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default(),
+    };
+    assert!(msg.contains("refusing to wrap"), "unexpected panic: {msg}");
+    // The Tid-level arithmetic the refusal is built on.
+    assert_eq!(Tid(MAX_TID).checked_since(Tid(MAX_TID)), Some(0));
+    assert_eq!(Tid(MAX_TID).checked_since(Tid(MAX_TID + 1)), None);
+    assert!(Tid(MAX_TID).checked_next().is_some());
+    assert!(Tid(u64::MAX).checked_next().is_none());
+    // And the slot sentinel can never collide with a vendable TID.
+    const { assert!(TID_NONE > MAX_TID) };
+}

@@ -40,21 +40,12 @@ use std::sync::{Arc, Mutex};
 use tcc_types::Cycle;
 
 /// How much tracing a simulation run performs.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct TraceConfig {
     /// Master switch; `false` makes every hook a no-op.
     pub enabled: bool,
     /// Event-ring capacity; 0 keeps metrics but retains no events.
     pub ring_capacity: usize,
-}
-
-impl Default for TraceConfig {
-    fn default() -> Self {
-        TraceConfig {
-            enabled: false,
-            ring_capacity: 0,
-        }
-    }
 }
 
 impl TraceConfig {

@@ -57,6 +57,19 @@ impl Histogram {
         self.buckets[Self::bucket_of(v)] += 1;
     }
 
+    /// Folds another histogram into this one, as if every value the
+    /// other observed had been [`record`](Histogram::record)ed here —
+    /// how per-thread histograms combine into a run-wide one.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (b, &o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+    }
+
     pub fn count(&self) -> u64 {
         self.count
     }
@@ -191,6 +204,29 @@ mod tests {
             h.nonzero_buckets(),
             vec![(0, 1), (1, 1), (3, 2), (127, 1), (1000, 1)]
         );
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_in_one() {
+        let values_a = [0u64, 3, 17, 900];
+        let values_b = [1u64, 17, 65_000];
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        let mut both = Histogram::default();
+        for v in values_a {
+            a.record(v);
+            both.record(v);
+        }
+        for v in values_b {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+        // Merging an empty histogram is a no-op (min stays correct).
+        let before = a.clone();
+        a.merge(&Histogram::default());
+        assert_eq!(a, before);
     }
 
     #[test]

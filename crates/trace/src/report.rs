@@ -24,9 +24,22 @@ use crate::metrics::{Histogram, MetricsSnapshot};
 
 pub const SCHEMA: &str = "tcc-run-report/v1";
 
+/// Logical CPUs available to this process, or 1 when undetectable.
+///
+/// Recorded in every report's `host` block: throughput and scaling
+/// artifacts are meaningless without knowing how much hardware
+/// parallelism the producing host actually had (a `--workers 8` sweep
+/// regenerated on a 1-CPU container measures time-slicing, not
+/// scaling).
+#[must_use]
+pub fn host_cpus() -> u64 {
+    std::thread::available_parallelism().map_or(1, |n| n.get() as u64)
+}
+
 #[derive(Debug, Clone)]
 pub struct RunReport {
     bench: String,
+    workers: u64,
     fields: Vec<(String, Json)>,
 }
 
@@ -34,12 +47,21 @@ impl RunReport {
     pub fn new(bench: &str) -> Self {
         RunReport {
             bench: bench.to_string(),
+            workers: 1,
             fields: Vec::new(),
         }
     }
 
     pub fn bench(&self) -> &str {
         &self.bench
+    }
+
+    /// Records how many OS threads the producing run actually used
+    /// (default 1). Serialized in the `host` block next to
+    /// [`host_cpus`], so artifacts self-describe oversubscription.
+    pub fn set_workers(&mut self, workers: u64) -> &mut Self {
+        self.workers = workers.max(1);
+        self
     }
 
     /// Append a top-level field (after the fixed header).
@@ -52,6 +74,13 @@ impl RunReport {
         let mut fields = vec![
             ("schema".to_string(), SCHEMA.into()),
             ("bench".to_string(), self.bench.clone().into()),
+            (
+                "host".to_string(),
+                Json::obj(vec![
+                    ("host_cpus", host_cpus().into()),
+                    ("workers", self.workers.into()),
+                ]),
+            ),
         ];
         fields.extend(self.fields.iter().cloned());
         Json::Obj(fields)
@@ -144,6 +173,9 @@ mod tests {
         let text = r.to_json().to_pretty();
         let parsed = RunReport::validate(&text).expect("must validate");
         assert_eq!(parsed.get("bench").unwrap().as_str(), Some("fig7"));
+        let host = parsed.get("host").expect("host block is always present");
+        assert_eq!(host.get("host_cpus").unwrap().as_u64(), Some(host_cpus()));
+        assert_eq!(host.get("workers").unwrap().as_u64(), Some(1));
         assert_eq!(
             parsed
                 .get("metrics")
@@ -159,6 +191,17 @@ mod tests {
             .unwrap();
         assert_eq!(h.get("count").unwrap().as_u64(), Some(4));
         assert_eq!(h.get("max").unwrap().as_u64(), Some(3000));
+    }
+
+    #[test]
+    fn set_workers_is_recorded_and_clamped() {
+        let mut r = RunReport::new("x");
+        r.set_workers(8);
+        let host = r.to_json().get("host").cloned().unwrap();
+        assert_eq!(host.get("workers").unwrap().as_u64(), Some(8));
+        r.set_workers(0);
+        let host = r.to_json().get("host").cloned().unwrap();
+        assert_eq!(host.get("workers").unwrap().as_u64(), Some(1));
     }
 
     #[test]

@@ -186,6 +186,16 @@ impl Tid {
     pub fn checked_since(self, earlier: Tid) -> Option<u64> {
         self.0.checked_sub(earlier.0)
     }
+
+    /// The successor TID, or `None` when the counter would wrap.
+    ///
+    /// Serial order would silently restart from zero on wraparound, so
+    /// TID vendors must *refuse* to vend past the end of the space;
+    /// this is the overflow-checked step they build that refusal on.
+    #[must_use]
+    pub fn checked_next(self) -> Option<Tid> {
+        self.0.checked_add(1).map(Tid)
+    }
 }
 
 impl fmt::Display for Tid {
@@ -259,6 +269,13 @@ mod tests {
         assert_eq!(Tid(3).next(), Tid(4));
         assert_eq!(Tid(10).since(Tid(4)), 6);
         assert_eq!(Tid(4).since(Tid(10)), 0);
+    }
+
+    #[test]
+    fn tid_checked_next_refuses_wraparound() {
+        assert_eq!(Tid(3).checked_next(), Some(Tid(4)));
+        assert_eq!(Tid(u64::MAX - 1).checked_next(), Some(Tid(u64::MAX)));
+        assert_eq!(Tid(u64::MAX).checked_next(), None);
     }
 
     #[test]

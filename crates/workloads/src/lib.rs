@@ -36,5 +36,6 @@
 pub mod apps;
 pub mod micro;
 mod profile;
+pub mod stm;
 
 pub use profile::{AppProfile, Scale};
