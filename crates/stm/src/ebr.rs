@@ -11,10 +11,14 @@
 //!   participant has observed the current value.
 //! * A thread [`pin`](Collector::pin)s before dereferencing any version
 //!   pointer and stays pinned for the whole transaction; retired
-//!   garbage is stamped with the retiring thread's epoch.
+//!   garbage is stamped with the **global** epoch at retirement time
+//!   (not the retiring thread's pinned epoch, which may lag the global
+//!   by one — see [`Guard::defer`]).
 //! * Garbage stamped `e` is freed once the global epoch reaches `e + 2`:
-//!   by then every participant pinned at retirement time has unpinned
-//!   at least once, so nobody can still hold the pointer.
+//!   any reader still holding the pointer pinned before the unlink, so
+//!   at an epoch `≤ e`, and a participant pinned at `e' < e + 1` blocks
+//!   every advance toward `e + 2` — by the time the global gets there,
+//!   all such readers have unpinned.
 //!
 //! Three bags per participant, indexed `epoch % 3`, make the stamp
 //! check implicit: when a bag is reused at epoch `e` its previous
@@ -217,7 +221,16 @@ impl Guard<'_> {
     /// `free` must be safe to call on it exactly once.
     pub unsafe fn defer(&self, ptr: *mut (), free: unsafe fn(*mut ())) {
         let p = unsafe { &*self.part };
-        let e = p.active.load(SeqCst) >> 1;
+        // Stamp with the *global* epoch, not our pinned epoch. Our pin
+        // may lag the global by one (pin at `e`, global advances to
+        // `e + 1`, then we unlink), and a reader pinned at `e + 1` can
+        // have loaded the pointer before the unlink. Stamping `e` would
+        // let a pin at `e + 2` free under that reader; stamping the
+        // global (`e + 1` here) makes the `stamp + 2` drain condition
+        // wait for it. The global is ≥ the pin epoch of every reader
+        // that pinned before the unlink, and monotone across successive
+        // defers, so bag reuse below stays ordered.
+        let e = self.collector.global.load(SeqCst);
         let bags = unsafe { &mut *p.bags.get() };
         let bag = &mut bags[(e % 3) as usize];
         if bag.epoch != e {
@@ -289,6 +302,42 @@ mod tests {
         drop(g1);
         c.try_advance();
         assert_eq!(c.epoch(), e0 + 2);
+    }
+
+    /// Regression: a retirer pinned at epoch `e` unlinks *after* the
+    /// global has advanced to `e + 1`. A reader pinned at `e + 1`
+    /// (which loaded the pointer before the unlink) does not block the
+    /// advance to `e + 2`, so garbage stamped with the retirer's pin
+    /// epoch `e` would be freed at `e + 2` under that reader. Stamping
+    /// with the global epoch (`e + 1`) keeps it alive.
+    #[test]
+    fn defer_after_global_advance_waits_for_lagging_epoch_reader() {
+        FREED.store(0, SeqCst);
+        let c = Collector::new();
+        let retirer = c.pin(); // pinned at epoch 0
+        c.try_advance();
+        assert_eq!(c.epoch(), 1, "retirer at 0 does not block 0 -> 1");
+        let reader = c.pin(); // pinned at epoch 1, "holds" the pointer
+        retire_one(&retirer); // unlink happens at global epoch 1
+        drop(retirer);
+        c.try_advance();
+        assert_eq!(c.epoch(), 2, "reader at 1 does not block 1 -> 2");
+        {
+            // A pin at epoch 2 drains stale bags in the retirer's
+            // recycled slot; the garbage is stamped 1, and 2 < 1 + 2,
+            // so it must survive while `reader` is still pinned.
+            let _g = c.pin();
+            assert_eq!(FREED.load(SeqCst), 0, "freed under a live reader");
+        }
+        drop(reader);
+        c.try_advance();
+        assert_eq!(c.epoch(), 3);
+        // Two concurrent pins: the first reuses the reader's released
+        // slot (registry head), the second the retirer's — whose bag is
+        // now two epochs stale and drains.
+        let _g1 = c.pin();
+        let _g2 = c.pin();
+        assert_eq!(FREED.load(SeqCst), 1, "freed once the reader unpins");
     }
 
     #[test]

@@ -281,43 +281,49 @@ impl Stm {
     /// plus the [`CommitReceipt`].
     ///
     /// `f` may be re-executed any number of times; side effects other
-    /// than `tx` operations must be idempotent, and `f` must not panic
-    /// (a panicking closure in starvation mode would strand its
-    /// early-acquired TID and stall the instance).
+    /// than `tx` operations must be idempotent. If `f` panics, the
+    /// panic propagates and the instance stays live: a starvation-mode
+    /// early TID held at that point is resolved at every shard on
+    /// unwind (see [`EarlyTidGuard`]), so other threads keep
+    /// committing.
     pub fn run<R>(&self, mut f: impl FnMut(&mut Tx<'_>) -> TxResult<R>) -> (R, CommitReceipt) {
         let inner = &*self.inner;
         let home = thread_home();
         let mut attempts: u32 = 0;
-        let mut early_tid: Option<u64> = None;
+        let mut early = EarlyTidGuard { inner, tid: None };
         loop {
             attempts += 1;
-            if early_tid.is_none() && attempts > inner.config.starvation_threshold {
+            if early.tid.is_none() && attempts > inner.config.starvation_threshold {
                 // Starvation escalation: take the TID *before*
                 // re-executing. Until we commit, no shard's NSTID can
                 // pass it, so the state we re-read stabilizes and the
                 // next validation is conflict-free.
-                early_tid = Some(inner.state.vendor.acquire(home));
+                early.tid = Some(inner.state.vendor.acquire(home));
             }
             let mut tx = Tx::new(inner);
             match f(&mut tx) {
                 Ok(r) => {
-                    let mode = match early_tid {
+                    let was_early = early.tid.is_some();
+                    let mode = match early.tid {
                         Some(t) => CommitMode::EarlyTid(t),
                         None => CommitMode::Normal { home },
                     };
                     match tx.commit(mode) {
                         CommitOutcome::Committed { tid } => {
+                            // The commit resolved the TID everywhere;
+                            // disarm the guard before returning.
+                            early.tid = None;
                             return (
                                 r,
                                 CommitReceipt {
                                     tid: Tid(tid),
                                     attempts,
-                                    early: early_tid.is_some(),
+                                    early: was_early,
                                 },
                             );
                         }
                         CommitOutcome::Conflict { kept_tid } => {
-                            early_tid = kept_tid;
+                            early.tid = kept_tid;
                         }
                     }
                 }
@@ -360,6 +366,32 @@ impl Stm {
 
     pub fn config(&self) -> StmConfig {
         self.inner.config
+    }
+}
+
+/// Owns a starvation-mode early TID across re-executions of the user
+/// closure in [`Stm::run`]. A gap in the TID sequence is fatal to the
+/// whole instance — no shard can ever serve past an unresolved TID —
+/// and user closures may panic (asserts, slice indexing are ordinary
+/// Rust). If the closure unwinds while a TID is held, the TID has
+/// touched no shard state (an early TID resolves nothing until its
+/// commit succeeds), so this guard's `Drop` resolves it at every shard
+/// and lets the panic propagate against a still-live instance. The run
+/// loop disarms the guard (`tid = None`) once a commit has resolved
+/// the TID itself.
+struct EarlyTidGuard<'s> {
+    inner: &'s Inner,
+    tid: Option<u64>,
+}
+
+impl Drop for EarlyTidGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(tid) = self.tid {
+            let helper = self.inner.state.helper();
+            for shard in self.inner.state.shards.iter() {
+                shard.resolve(tid, &helper);
+            }
+        }
     }
 }
 
@@ -691,6 +723,50 @@ mod tests {
         let stm2 = Stm::new();
         let foreign = stm2.new_tvar(0u8);
         stm1.atomically(|tx| tx.read(&foreign));
+    }
+
+    /// Regression: a user closure that panics while the transaction
+    /// holds a starvation-mode early TID must not strand it — a
+    /// stranded TID freezes every shard's NSTID and deadlocks the whole
+    /// instance for every other thread, forever.
+    #[test]
+    fn panic_in_starvation_mode_does_not_strand_the_early_tid() {
+        let stm = Stm::with_config(StmConfig {
+            starvation_threshold: 1,
+            ..StmConfig::default()
+        });
+        let a = stm.new_tvar(0u64);
+        let mut calls = 0u32;
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            stm.run(|tx| -> TxResult<()> {
+                tx.read(&a)?;
+                calls += 1;
+                if calls == 1 {
+                    // Fail the first attempt so the retry escalates to
+                    // early-TID acquisition...
+                    return Err(TxError::Conflict);
+                }
+                // ...and blow up while holding it.
+                panic!("user closure panicked in starvation mode");
+            })
+        }));
+        assert!(unwound.is_err());
+        assert_eq!(calls, 2, "the panic fired on the escalated attempt");
+
+        // The unwind resolved the early TID everywhere: later
+        // transactions still commit and the frontier stays gap-free.
+        let (_, receipt) = stm.run(|tx| {
+            let v = tx.read(&a)?;
+            tx.write(&a, v + 1)
+        });
+        assert!(!receipt.early);
+        assert_eq!(stm.atomically(|tx| tx.read(&a)), 1);
+        let (issued, nstids) = stm.frontier();
+        assert_eq!(issued, 3, "panicked TID + two commits");
+        assert!(
+            nstids.iter().all(|&n| n == issued),
+            "every TID resolved at every shard: {nstids:?}"
+        );
     }
 
     #[test]
