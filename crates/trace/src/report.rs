@@ -119,6 +119,7 @@ pub fn histogram_json(h: &Histogram) -> Json {
         ("p50", h.percentile(50.0).into()),
         ("p90", h.percentile(90.0).into()),
         ("p99", h.percentile(99.0).into()),
+        ("p999", h.percentile(99.9).into()),
         (
             "log2_buckets",
             Json::Arr(
@@ -191,6 +192,9 @@ mod tests {
             .unwrap();
         assert_eq!(h.get("count").unwrap().as_u64(), Some(4));
         assert_eq!(h.get("max").unwrap().as_u64(), Some(3000));
+        // Tail percentiles are part of the exported summary; with four
+        // samples p99 and p999 both land on the largest observation.
+        assert_eq!(h.get("p999").unwrap().as_u64(), Some(3000));
     }
 
     #[test]

@@ -1,0 +1,143 @@
+//! Key-popularity models: the contention skew of the traffic.
+//!
+//! Contention skew is exactly the regime where non-blocking TM designs
+//! differentiate from locking baselines, so it is a first-class axis
+//! here: uniform (no skew), Zipfian(θ) (static hot set), and hot-key
+//! *migration*, where the rank→key mapping rotates over time so the
+//! hot set walks through the key space and yesterday's placement
+//! decisions go stale.
+
+use tcc_types::rng::SmallRng;
+use tcc_workloads::sampling::Zipf;
+
+use crate::config::PopularityConfig;
+
+/// A sampling-ready popularity model (the Zipf CDF table is built
+/// once, not per draw).
+#[derive(Debug, Clone)]
+pub enum Popularity {
+    Uniform {
+        n_keys: usize,
+    },
+    Zipfian {
+        zipf: Zipf,
+    },
+    HotMigration {
+        zipf: Zipf,
+        n_keys: usize,
+        period_ticks: u64,
+        stride: usize,
+    },
+}
+
+impl Popularity {
+    /// Builds the model from a *validated* config.
+    #[must_use]
+    pub fn new(cfg: &PopularityConfig) -> Popularity {
+        match *cfg {
+            PopularityConfig::Uniform { n_keys } => Popularity::Uniform { n_keys },
+            PopularityConfig::Zipfian { n_keys, theta } => Popularity::Zipfian {
+                zipf: Zipf::new(n_keys, theta),
+            },
+            PopularityConfig::HotMigration {
+                n_keys,
+                theta,
+                period_ticks,
+                stride,
+            } => Popularity::HotMigration {
+                zipf: Zipf::new(n_keys, theta),
+                n_keys,
+                period_ticks,
+                stride,
+            },
+        }
+    }
+
+    /// Domain size.
+    #[must_use]
+    pub fn n_keys(&self) -> usize {
+        match self {
+            Popularity::Uniform { n_keys } | Popularity::HotMigration { n_keys, .. } => *n_keys,
+            Popularity::Zipfian { zipf } => zipf.len(),
+        }
+    }
+
+    /// Samples a key for an arrival at tick `at`. Time only matters to
+    /// the migrating model: rank `r` maps to key `(r + offset(at)) %
+    /// n`, where the offset advances by `stride` every `period_ticks`.
+    #[must_use]
+    pub fn pick(&self, at: u64, rng: &mut SmallRng) -> u64 {
+        match self {
+            Popularity::Uniform { n_keys } => rng.gen_range(0..*n_keys as u64),
+            Popularity::Zipfian { zipf } => zipf.sample(rng) as u64,
+            Popularity::HotMigration {
+                zipf,
+                n_keys,
+                period_ticks,
+                stride,
+            } => {
+                let rank = zipf.sample(rng) as u64;
+                let offset = (at / period_ticks).wrapping_mul(*stride as u64);
+                rank.wrapping_add(offset) % *n_keys as u64
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcc_workloads::sampling::stream_rng;
+
+    fn hottest_key(p: &Popularity, at: u64, seed: u64) -> u64 {
+        let mut rng = stream_rng(seed, 0);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..5_000 {
+            *counts.entry(p.pick(at, &mut rng)).or_insert(0u64) += 1;
+        }
+        counts.into_iter().max_by_key(|&(_, c)| c).unwrap().0
+    }
+
+    #[test]
+    fn migrating_hot_set_walks_with_time() {
+        let p = Popularity::new(&PopularityConfig::HotMigration {
+            n_keys: 1024,
+            theta: 1.2,
+            period_ticks: 1000,
+            stride: 64,
+        });
+        let k0 = hottest_key(&p, 0, 5);
+        let k1 = hottest_key(&p, 1000, 5);
+        let k5 = hottest_key(&p, 5000, 5);
+        assert_eq!(k0, 0, "rank 0 maps to key 0 in the first period");
+        assert_eq!(k1, 64, "one period later the hot set moved one stride");
+        assert_eq!(k5, 320, "five periods: five strides");
+    }
+
+    #[test]
+    fn migration_wraps_the_key_space() {
+        let p = Popularity::new(&PopularityConfig::HotMigration {
+            n_keys: 128,
+            theta: 1.2,
+            period_ticks: 10,
+            stride: 100,
+        });
+        let mut rng = stream_rng(6, 0);
+        for at in [0u64, 10, 50, 1000, u64::MAX / 2] {
+            for _ in 0..100 {
+                assert!(p.pick(at, &mut rng) < 128);
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_is_time_invariant_and_covers_the_space() {
+        let p = Popularity::new(&PopularityConfig::Uniform { n_keys: 8 });
+        let mut rng = stream_rng(8, 0);
+        let mut seen = [false; 8];
+        for i in 0..1000 {
+            seen[p.pick(i * 1_000_000, &mut rng) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

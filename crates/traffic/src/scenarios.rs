@@ -1,0 +1,123 @@
+//! The named scenario presets the traffic bench and CI sweep.
+//!
+//! Four scenarios cover the contention regimes the north star cares
+//! about; all are open-loop and deterministic from `(scenario, seed)`.
+
+use crate::config::{ArrivalConfig, PopularityConfig, ShapeConfig, TrafficConfig};
+
+/// Default scenario seed (distinct from the figure-harness seed so
+/// traffic artifacts are recognizably their own stream).
+pub const TRAFFIC_SEED: u64 = 0x7ca_ff1c_5eed;
+
+/// Steady Poisson arrivals over a static Zipfian hot set — the
+/// baseline skewed-KV regime (YCSB-style, θ = 0.9).
+#[must_use]
+pub fn zipfian_steady() -> TrafficConfig {
+    TrafficConfig {
+        scenario: "zipfian-steady".to_string(),
+        seed: TRAFFIC_SEED,
+        arrival: ArrivalConfig::Poisson {
+            mean_interarrival_ticks: 50.0,
+        },
+        popularity: PopularityConfig::Zipfian {
+            n_keys: 4096,
+            theta: 0.9,
+        },
+        shape: ShapeConfig::Kv {
+            reads_per_tx: 4,
+            writes_per_tx: 2,
+        },
+    }
+}
+
+/// Bursty (MMPP-2) arrivals with a *migrating* hot set: load spikes
+/// land while the hot keys walk, the adversarial combination for any
+/// placement or caching decision.
+#[must_use]
+pub fn bursty_hot_migration() -> TrafficConfig {
+    TrafficConfig {
+        scenario: "bursty-hot-migration".to_string(),
+        seed: TRAFFIC_SEED,
+        arrival: ArrivalConfig::Bursty {
+            calm_interarrival_ticks: 80.0,
+            burst_interarrival_ticks: 12.0,
+            mean_dwell_ticks: 25_000.0,
+        },
+        popularity: PopularityConfig::HotMigration {
+            n_keys: 8192,
+            theta: 1.1,
+            period_ticks: 50_000,
+            stride: 64,
+        },
+        shape: ShapeConfig::Kv {
+            reads_per_tx: 6,
+            writes_per_tx: 2,
+        },
+    }
+}
+
+/// Graph-traversal transactions: neighbor expansion from Zipfian
+/// start nodes with hot supernodes (the sombra graph-DB regime) —
+/// long read sets, write contention on visit counters.
+#[must_use]
+pub fn graph_traversal() -> TrafficConfig {
+    TrafficConfig {
+        scenario: "graph-traversal".to_string(),
+        seed: TRAFFIC_SEED,
+        arrival: ArrivalConfig::Poisson {
+            mean_interarrival_ticks: 60.0,
+        },
+        popularity: PopularityConfig::Zipfian {
+            n_keys: 16_384,
+            theta: 0.99,
+        },
+        shape: ShapeConfig::Graph {
+            fanout: 4,
+            depth: 2,
+            supernodes: 16,
+            supernode_bias: 0.25,
+        },
+    }
+}
+
+/// TPC-C-lite order/payment mix under a diurnal envelope: short
+/// write-heavy transactions with district counters as hot spots and
+/// Zipfian item demand.
+#[must_use]
+pub fn oltp_order_payment() -> TrafficConfig {
+    TrafficConfig {
+        scenario: "oltp-order-payment".to_string(),
+        seed: TRAFFIC_SEED,
+        arrival: ArrivalConfig::Diurnal {
+            mean_interarrival_ticks: 45.0,
+            period_ticks: 250_000,
+            amplitude: 0.6,
+        },
+        popularity: PopularityConfig::Zipfian {
+            n_keys: 8192,
+            theta: 0.8,
+        },
+        shape: ShapeConfig::Oltp {
+            warehouses: 4,
+            items: 8192,
+            new_order_frac: 0.55,
+        },
+    }
+}
+
+/// All preset scenarios, in sweep order.
+#[must_use]
+pub fn all() -> Vec<TrafficConfig> {
+    vec![
+        zipfian_steady(),
+        bursty_hot_migration(),
+        graph_traversal(),
+        oltp_order_payment(),
+    ]
+}
+
+/// Looks a preset up by its scenario name.
+#[must_use]
+pub fn by_name(name: &str) -> Option<TrafficConfig> {
+    all().into_iter().find(|c| c.scenario == name)
+}

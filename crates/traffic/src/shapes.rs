@@ -1,0 +1,331 @@
+//! Transaction shapes: what one arrival does to the key space.
+//!
+//! Three application families bracket the space the north star asks
+//! for:
+//!
+//! * **KV** — a read/write mix over popularity-sampled keys, the
+//!   YCSB-style cache/session-store workload.
+//! * **Graph** — neighbor expansion from a popularity-sampled start
+//!   node over an implicit hashed adjacency with hot supernodes
+//!   (celebrity vertices): read-heavy, long read sets, conflicts
+//!   concentrated on the supernodes' visit counters.
+//! * **OLTP** — TPC-C-lite new-order and payment transactions over a
+//!   warehouse/district/customer/stock layout: short, write-heavy,
+//!   with the per-district next-order counter as the natural hot spot.
+//!
+//! A shape emits [`TrafficOp`]s over *logical keys*; the backends remap
+//! keys to simulator addresses or STM cells (see [`crate::replay`]).
+
+use tcc_types::rng::SmallRng;
+
+use crate::config::{OltpLayout, ShapeConfig, OLTP_CUSTOMERS, OLTP_DISTRICTS, OLTP_ORDER_SLOTS};
+use crate::popularity::Popularity;
+
+/// One operation of a generated transaction, over a logical key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrafficOp {
+    Read(u64),
+    /// Writes are read-modify-writes at replay time: the replayers
+    /// read the key before writing it, the conflict shape the commit
+    /// protocol actually arbitrates.
+    Write(u64),
+}
+
+impl TrafficOp {
+    /// The key this operation touches.
+    #[must_use]
+    pub fn key(&self) -> u64 {
+        match *self {
+            TrafficOp::Read(k) | TrafficOp::Write(k) => k,
+        }
+    }
+
+    #[must_use]
+    pub fn is_write(&self) -> bool {
+        matches!(self, TrafficOp::Write(_))
+    }
+}
+
+/// One generated transaction request: arrival tick plus its ops.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrafficTx {
+    /// Arrival timestamp, in ticks.
+    pub at: u64,
+    pub ops: Vec<TrafficOp>,
+}
+
+/// A generation-ready shape (layout tables precomputed).
+#[derive(Debug, Clone)]
+pub enum Shape {
+    Kv {
+        reads_per_tx: usize,
+        writes_per_tx: usize,
+    },
+    Graph {
+        fanout: usize,
+        depth: usize,
+        supernodes: usize,
+        supernode_bias: f64,
+        n_nodes: usize,
+    },
+    Oltp {
+        layout: OltpLayout,
+        new_order_frac: f64,
+    },
+}
+
+/// SplitMix64-style finalizer: the implicit adjacency hash.
+#[inline]
+fn hash2(a: u64, b: u64) -> u64 {
+    let mut z = a
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(b)
+        .wrapping_add(0x2545_f491_4f6c_dd1d);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl Shape {
+    /// Builds the shape from a *validated* config; `n_keys` is the
+    /// popularity-domain size (nodes for graph shapes).
+    #[must_use]
+    pub fn new(cfg: &ShapeConfig, n_keys: usize) -> Shape {
+        match *cfg {
+            ShapeConfig::Kv {
+                reads_per_tx,
+                writes_per_tx,
+            } => Shape::Kv {
+                reads_per_tx,
+                writes_per_tx,
+            },
+            ShapeConfig::Graph {
+                fanout,
+                depth,
+                supernodes,
+                supernode_bias,
+            } => Shape::Graph {
+                fanout,
+                depth,
+                supernodes,
+                supernode_bias,
+                n_nodes: n_keys,
+            },
+            ShapeConfig::Oltp {
+                warehouses,
+                items,
+                new_order_frac,
+            } => Shape::Oltp {
+                layout: OltpLayout::new(warehouses, items),
+                new_order_frac,
+            },
+        }
+    }
+
+    /// Neighbor `j` of node `v` in the implicit graph, with supernode
+    /// bias applied by the caller.
+    fn neighbor(v: u64, j: u64, n_nodes: usize) -> u64 {
+        hash2(v, j) % n_nodes as u64
+    }
+
+    /// Generates the ops of one transaction arriving at tick `at`.
+    /// `pop` picks the contended keys; `rng` drives everything else
+    /// (shape-internal choices), so popularity and shape decisions
+    /// come from the same per-scenario stream and stay reproducible.
+    pub fn generate(
+        &self,
+        at: u64,
+        pop: &Popularity,
+        rng: &mut SmallRng,
+        ops: &mut Vec<TrafficOp>,
+    ) {
+        ops.clear();
+        match *self {
+            Shape::Kv {
+                reads_per_tx,
+                writes_per_tx,
+            } => {
+                for _ in 0..reads_per_tx {
+                    ops.push(TrafficOp::Read(pop.pick(at, rng)));
+                }
+                for _ in 0..writes_per_tx {
+                    ops.push(TrafficOp::Write(pop.pick(at, rng)));
+                }
+            }
+            Shape::Graph {
+                fanout,
+                depth,
+                supernodes,
+                supernode_bias,
+                n_nodes,
+            } => {
+                // Start at a popularity-sampled node (hot supernodes
+                // are the low ids, matching Zipfian rank order), then
+                // expand: read `fanout` neighbors per level, descend
+                // through the first one. Edges rewire to a supernode
+                // with probability `supernode_bias` — the celebrity
+                // hubs every walk funnels through.
+                let start = pop.pick(at, rng);
+                ops.push(TrafficOp::Read(start));
+                let mut cur = start;
+                for level in 0..depth {
+                    let mut next = cur;
+                    for j in 0..fanout {
+                        let neighbor = if rng.gen_bool(supernode_bias) {
+                            rng.gen_range(0..supernodes as u64)
+                        } else {
+                            Self::neighbor(cur, (level * fanout + j) as u64, n_nodes)
+                        };
+                        ops.push(TrafficOp::Read(neighbor));
+                        if j == 0 {
+                            next = neighbor;
+                        }
+                    }
+                    cur = next;
+                }
+                // Traversal bookkeeping: bump visit counters on the
+                // endpoints — the write-contention point of the shape.
+                ops.push(TrafficOp::Write(start));
+                ops.push(TrafficOp::Write(cur));
+            }
+            Shape::Oltp {
+                layout,
+                new_order_frac,
+            } => {
+                let w = rng.gen_range(0..layout.warehouses as u64) as usize;
+                let d = rng.gen_range(0..OLTP_DISTRICTS as u64) as usize;
+                if rng.gen_bool(new_order_frac) {
+                    // New-order: bump the district's next-order id,
+                    // update the ordered items' stock, append to the
+                    // order ring.
+                    ops.push(TrafficOp::Write(layout.district(w, d)));
+                    let lines = rng.gen_range(5u64..=15) as usize;
+                    for _ in 0..lines {
+                        let item = pop.pick(at, rng) as usize;
+                        ops.push(TrafficOp::Write(layout.stock(item)));
+                    }
+                    let slot = rng.gen_range(0..OLTP_ORDER_SLOTS as u64) as usize;
+                    ops.push(TrafficOp::Write(layout.order_slot(w, d, slot)));
+                } else {
+                    // Payment: cascade the amount into warehouse and
+                    // district YTD and the customer's balance.
+                    ops.push(TrafficOp::Write(layout.warehouse(w)));
+                    ops.push(TrafficOp::Write(layout.district(w, d)));
+                    let c = rng.gen_range(0..OLTP_CUSTOMERS as u64) as usize;
+                    ops.push(TrafficOp::Write(layout.customer(w, d, c)));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PopularityConfig;
+    use tcc_workloads::sampling::stream_rng;
+
+    fn gen_many(shape: &Shape, pop: &Popularity, n: usize) -> Vec<Vec<TrafficOp>> {
+        let mut rng = stream_rng(77, 0);
+        let mut out = Vec::new();
+        let mut ops = Vec::new();
+        for i in 0..n {
+            shape.generate(i as u64 * 37, pop, &mut rng, &mut ops);
+            out.push(ops.clone());
+        }
+        out
+    }
+
+    #[test]
+    fn kv_mix_is_exact() {
+        let shape = Shape::new(
+            &ShapeConfig::Kv {
+                reads_per_tx: 5,
+                writes_per_tx: 3,
+            },
+            64,
+        );
+        let pop = Popularity::new(&PopularityConfig::Uniform { n_keys: 64 });
+        for ops in gen_many(&shape, &pop, 200) {
+            assert_eq!(ops.iter().filter(|o| !o.is_write()).count(), 5);
+            assert_eq!(ops.iter().filter(|o| o.is_write()).count(), 3);
+            assert!(ops.iter().all(|o| o.key() < 64));
+        }
+    }
+
+    #[test]
+    fn graph_walks_funnel_through_supernodes() {
+        let n_nodes = 4096;
+        let shape = Shape::new(
+            &ShapeConfig::Graph {
+                fanout: 4,
+                depth: 2,
+                supernodes: 8,
+                supernode_bias: 0.3,
+            },
+            n_nodes,
+        );
+        let pop = Popularity::new(&PopularityConfig::Zipfian {
+            n_keys: n_nodes,
+            theta: 0.99,
+        });
+        let txs = gen_many(&shape, &pop, 500);
+        let mut super_reads = 0usize;
+        let mut total_reads = 0usize;
+        for ops in &txs {
+            // 1 start read + fanout*depth neighbor reads + 2 writes.
+            assert_eq!(ops.len(), 1 + 4 * 2 + 2);
+            assert_eq!(ops.iter().filter(|o| o.is_write()).count(), 2);
+            for o in ops {
+                assert!(o.key() < n_nodes as u64);
+                if !o.is_write() {
+                    total_reads += 1;
+                    if o.key() < 8 {
+                        super_reads += 1;
+                    }
+                }
+            }
+        }
+        // 8/4096 of the space drawing ≫ its uniform share proves the
+        // supernode funnel (bias 0.3 + Zipfian starts).
+        assert!(
+            super_reads * 2 > total_reads / 2,
+            "supernodes drew {super_reads}/{total_reads} reads"
+        );
+    }
+
+    #[test]
+    fn oltp_transactions_stay_in_their_regions_and_mix_converges() {
+        let layout = OltpLayout::new(4, 2048);
+        let shape = Shape::new(
+            &ShapeConfig::Oltp {
+                warehouses: 4,
+                items: 2048,
+                new_order_frac: 0.6,
+            },
+            2048,
+        );
+        let pop = Popularity::new(&PopularityConfig::Zipfian {
+            n_keys: 2048,
+            theta: 0.8,
+        });
+        let txs = gen_many(&shape, &pop, 2000);
+        let mut new_orders = 0usize;
+        for ops in &txs {
+            assert!(ops.iter().all(|o| o.key() < layout.total as u64));
+            // Payment = exactly 3 writes (warehouse, district,
+            // customer); new-order = district + 5..=15 stock + 1 slot.
+            if ops.len() == 3 {
+                assert!(ops[0].key() < layout.district_base as u64);
+            } else {
+                new_orders += 1;
+                assert!((7..=17).contains(&ops.len()));
+            }
+        }
+        let frac = new_orders as f64 / txs.len() as f64;
+        assert!(
+            (frac - 0.6).abs() < 0.05,
+            "new-order fraction {frac} vs configured 0.6"
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! The determinism suite: the contract that `(config, seed)` fully
+//! determines the trace bytes, and that replay fingerprints are
+//! invariant to sharding — across `--jobs`-style worker counts and
+//! across the simulator's parallel-engine worker counts.
+
+use tcc_core::{ParallelConfig, Simulator, SystemConfig};
+use tcc_trace::TraceConfig;
+use tcc_traffic::{replay, scenarios, synthesize, Trace};
+
+#[test]
+fn synthesis_is_byte_identical_across_runs() {
+    for cfg in scenarios::all() {
+        let a = synthesize(&cfg, 2_000).expect("valid");
+        let b = synthesize(&cfg, 2_000).expect("valid");
+        assert_eq!(
+            a.to_bytes(),
+            b.to_bytes(),
+            "scenario {} is not deterministic",
+            cfg.scenario
+        );
+    }
+}
+
+#[test]
+fn serialization_roundtrips_for_every_preset() {
+    for cfg in scenarios::all() {
+        let t = synthesize(&cfg, 1_000).expect("valid");
+        let back = Trace::from_bytes(&t.to_bytes()).expect("roundtrip");
+        assert_eq!(back, t);
+        assert_eq!(back.fingerprint(), t.fingerprint());
+    }
+}
+
+#[test]
+fn replay_fingerprint_is_worker_count_invariant() {
+    let cfg = scenarios::bursty_hot_migration();
+    let trace = synthesize(&cfg, 5_000).expect("valid");
+    let want = trace.fingerprint();
+    for workers in [1usize, 2, 3, 8] {
+        assert_eq!(
+            replay::replay_fingerprint(&trace, workers),
+            want,
+            "fingerprint diverged at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn seed_changes_the_trace() {
+    let a = scenarios::zipfian_steady();
+    let mut b = a.clone();
+    b.seed ^= 1;
+    let ta = synthesize(&a, 1_000).expect("valid");
+    let tb = synthesize(&b, 1_000).expect("valid");
+    assert_ne!(ta.fingerprint(), tb.fingerprint());
+}
+
+/// Lowered simulator replays commit the same transaction count and
+/// produce the same cycle count whether the engine runs classic
+/// (single-threaded) or parallel with any worker count — the existing
+/// engine-differential guarantee, now exercised through traffic
+/// lowering.
+#[test]
+fn sim_replay_is_engine_worker_invariant() {
+    let cfg = scenarios::zipfian_steady();
+    let trace = synthesize(&cfg, 400).expect("valid");
+    let run = |workers: Option<usize>| {
+        let programs = replay::sim_programs(&trace, 4, 2, 400);
+        let mut sys = SystemConfig::with_procs(4);
+        sys.trace = TraceConfig::metrics_only();
+        if let Some(w) = workers {
+            sys.parallel = Some(ParallelConfig::with_workers(w));
+        }
+        Simulator::builder(sys)
+            .programs(programs)
+            .build()
+            .expect("valid config")
+            .run()
+    };
+    let classic = run(None);
+    assert_eq!(classic.commits, 400);
+    for w in [1usize, 2, 4] {
+        let par = run(Some(w));
+        assert_eq!(
+            (par.total_cycles, par.commits),
+            (classic.total_cycles, classic.commits),
+            "parallel engine at {w} workers diverged from classic"
+        );
+    }
+}

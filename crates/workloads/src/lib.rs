@@ -36,6 +36,7 @@
 pub mod apps;
 pub mod micro;
 mod profile;
+pub mod sampling;
 pub mod stm;
 
 pub use profile::{AppProfile, Scale};

@@ -1,0 +1,148 @@
+//! Shared deterministic samplers for workload and traffic generation.
+//!
+//! Every generator in the workspace draws from the same two building
+//! blocks, so they live here exactly once:
+//!
+//! * [`Zipf`] — an exact Zipfian(θ) sampler over `0..n` via an explicit
+//!   cumulative table and binary search (no rejection, no
+//!   approximation). Used by the STM bench profiles and the
+//!   `tcc-traffic` popularity models.
+//! * [`stream_rng`] — the per-stream seed-derivation rule (`seed ⊕
+//!   (stream+1)·φ64`): independent deterministic substreams from one
+//!   run seed, so adding or removing a stream never perturbs the
+//!   others.
+
+use tcc_types::rng::SmallRng;
+
+/// The 64-bit golden-ratio constant used to split one seed into
+/// independent substreams.
+pub const STREAM_SALT: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Derives the RNG for substream `stream` of a run seeded with `seed`.
+///
+/// Streams are keyed `seed ^ (stream+1)·φ64`, the rule every generator
+/// in the workspace uses: per-thread scripts, per-shard traffic slices,
+/// and per-scenario synthesis all stay independent of how many sibling
+/// streams exist.
+#[must_use]
+pub fn stream_rng(seed: u64, stream: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed ^ stream.wrapping_add(1).wrapping_mul(STREAM_SALT))
+}
+
+/// Zipfian sampler over `0..n` with exponent `theta`, via an explicit
+/// cumulative table and binary search — exact (no rejection, no
+/// approximation), fine for the key-space sizes the benches and traffic
+/// generators use. Rank 0 is the hottest key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the cumulative table for `n` ranks with exponent `theta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `theta` is negative (`theta == 0` is
+    /// the uniform distribution, which is legal here; callers that
+    /// consider it degenerate reject it in their own validation).
+    #[must_use]
+    pub fn new(n: usize, theta: f64) -> Zipf {
+        assert!(n > 0, "Zipf over an empty domain");
+        assert!(theta >= 0.0, "negative skew is meaningless");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0f64;
+        for k in 1..=n {
+            total += (k as f64).powf(theta).recip();
+            cumulative.push(total);
+        }
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        Zipf { cumulative }
+    }
+
+    /// Number of ranks in the domain.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// `true` iff the domain is empty (never: `new` rejects `n == 0`).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Samples a rank in `0..len()`; rank 0 is the hottest.
+    #[must_use]
+    pub fn sample(&self, rng: &mut SmallRng) -> usize {
+        let u = rng.gen_range(0.0f64..1.0);
+        self.cumulative
+            .partition_point(|&c| c < u)
+            .min(self.cumulative.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_rngs_are_deterministic_and_independent() {
+        let mut a = stream_rng(42, 0);
+        let mut a2 = stream_rng(42, 0);
+        let mut b = stream_rng(42, 1);
+        let xs: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let xs2: Vec<u64> = (0..32).map(|_| a2.next_u64()).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, xs2, "same (seed, stream) must reproduce");
+        assert_ne!(xs, ys, "sibling streams must diverge");
+    }
+
+    #[test]
+    fn zipf_head_dominates() {
+        let z = Zipf::new(256, 0.9);
+        let mut rng = stream_rng(7, 0);
+        let mut counts = vec![0u64; 256];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        let total: u64 = counts.iter().sum();
+        let head: u64 = counts[..8].iter().sum();
+        assert!(
+            head * 5 > total,
+            "8 hottest ranks drew only {head}/{total} — not Zipfian"
+        );
+        // Rank order is frequency order for a Zipfian CDF.
+        assert!(counts[0] > counts[128]);
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_uniform() {
+        let z = Zipf::new(16, 0.0);
+        let mut rng = stream_rng(11, 3);
+        let mut counts = vec![0u64; 16];
+        for _ in 0..32_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            let share = c as f64 / 32_000.0;
+            assert!(
+                (share - 1.0 / 16.0).abs() < 0.02,
+                "uniform share off: {share}"
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_samples_stay_in_bounds() {
+        let z = Zipf::new(3, 2.0);
+        assert_eq!(z.len(), 3);
+        assert!(!z.is_empty());
+        let mut rng = stream_rng(5, 9);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 3);
+        }
+    }
+}

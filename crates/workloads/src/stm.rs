@@ -16,6 +16,7 @@
 //! seed)` triple always yields the same scripts, so baseline and STM
 //! runs measure identical work.
 
+use crate::sampling::{stream_rng, Zipf};
 use tcc_types::rng::SmallRng;
 
 /// One access inside an STM transaction, by cell index.
@@ -112,16 +113,14 @@ impl StmProfile {
     pub fn generate(&self, threads: usize, txs_per_thread: usize, seed: u64) -> Vec<Vec<StmTx>> {
         assert!(threads > 0, "need at least one thread");
         let zipf = match self.access {
-            Access::Zipfian { theta } => Some(ZipfCdf::new(self.n_cells, theta)),
+            Access::Zipfian { theta } => Some(Zipf::new(self.n_cells, theta)),
             Access::Disjoint { .. } => None,
         };
         (0..threads)
             .map(|t| {
                 // Per-thread stream: thread counts don't perturb each
                 // other's scripts.
-                let mut rng = SmallRng::seed_from_u64(
-                    seed ^ (t as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15),
-                );
+                let mut rng = stream_rng(seed, t as u64);
                 (0..txs_per_thread)
                     .map(|_| {
                         let pick = |rng: &mut SmallRng| match self.access {
@@ -147,35 +146,6 @@ impl StmProfile {
                     .collect()
             })
             .collect()
-    }
-}
-
-/// Zipfian sampler over `0..n` with exponent `theta`, via an explicit
-/// cumulative table and binary search — exact (no rejection, no
-/// approximation), fine for the cell counts benches use.
-struct ZipfCdf {
-    cumulative: Vec<f64>,
-}
-
-impl ZipfCdf {
-    fn new(n: usize, theta: f64) -> ZipfCdf {
-        let mut cumulative = Vec::with_capacity(n);
-        let mut total = 0.0f64;
-        for k in 1..=n {
-            total += (k as f64).powf(theta).recip();
-            cumulative.push(total);
-        }
-        for c in &mut cumulative {
-            *c /= total;
-        }
-        ZipfCdf { cumulative }
-    }
-
-    fn sample(&self, rng: &mut SmallRng) -> usize {
-        let u = rng.gen_range(0.0f64..1.0);
-        self.cumulative
-            .partition_point(|&c| c < u)
-            .min(self.cumulative.len() - 1)
     }
 }
 

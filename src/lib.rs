@@ -16,6 +16,9 @@
 //! * [`stats`] — figure/table reductions and text rendering.
 //! * [`trace`] — protocol event tracing, metrics, and the
 //!   `BENCH_*.json` run-report / Chrome-trace exporters.
+//! * [`traffic`] — production-traffic generation: open-loop arrival
+//!   processes, key-popularity models, compact binary traces, and
+//!   deterministic replay on both execution backends.
 //! * [`cache`], [`directory`], [`network`], [`engine`], [`types`] — the
 //!   hardware substrates.
 //!
@@ -53,6 +56,7 @@ pub use tcc_engine as engine;
 pub use tcc_network as network;
 pub use tcc_stats as stats;
 pub use tcc_trace as trace;
+pub use tcc_traffic as traffic;
 pub use tcc_types as types;
 pub use tcc_workloads as workloads;
 
