@@ -2,6 +2,10 @@
 
 use tcc_types::LineAddr;
 
+/// Checkpoint view of one array: per set, every way's
+/// `(line, stamp, payload)` in physical slot order.
+pub type ExportedWays<'a, T> = Vec<Vec<(LineAddr, u64, &'a T)>>;
+
 /// One way of a set: a tag plus caller-defined payload, stamped for LRU.
 #[derive(Debug, Clone)]
 struct Way<T> {
@@ -165,6 +169,42 @@ impl<T> SetArray<T> {
             .iter_mut()
             .flatten()
             .map(|w| (w.line, &mut w.data))
+    }
+
+    /// Checkpoint view: the LRU tick plus, per set, every way's
+    /// `(line, stamp, payload)` in physical slot order. Slot order is
+    /// preserved (not just the stamp order) so a restored array is
+    /// byte-identical in layout, not merely LRU-equivalent — eviction
+    /// scans and `iter()` order then replay exactly.
+    #[must_use]
+    pub fn export_ways(&self) -> (u64, ExportedWays<'_, T>) {
+        let sets = self
+            .sets
+            .iter()
+            .map(|set| set.iter().map(|w| (w.line, w.stamp, &w.data)).collect())
+            .collect();
+        (self.tick, sets)
+    }
+
+    /// Overwrites this array's contents with state captured by
+    /// [`SetArray::export_ways`] from an identically-dimensioned array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set count differs, a set exceeds the
+    /// associativity, or a stamp is ahead of `tick` (the snapshot does
+    /// not belong to this geometry).
+    pub fn restore_ways(&mut self, tick: u64, sets: Vec<Vec<(LineAddr, u64, T)>>) {
+        assert_eq!(sets.len(), self.sets.len(), "set count mismatch");
+        self.tick = tick;
+        for (dst, src) in self.sets.iter_mut().zip(sets) {
+            assert!(src.len() <= self.ways, "set exceeds associativity");
+            dst.clear();
+            for (line, stamp, data) in src {
+                assert!(stamp <= tick, "way stamp {stamp} ahead of tick {tick}");
+                dst.push(Way { line, stamp, data });
+            }
+        }
     }
 
     /// Removes every line for which `pred` holds, returning them.

@@ -136,6 +136,17 @@ fn main() -> ExitCode {
             if let Err(e) = std::fs::write(&path, small.to_json_string()) {
                 eprintln!("  write {}: {e}", path.display());
             }
+            if let Some(snap) = &failure.snapshot {
+                let spath = args.out.join(format!("{}.snap", failure.scenario.name));
+                match snap.write_atomic(&spath) {
+                    Ok(()) => println!(
+                        "  snapshot from cycle {} (pre-failure) -> {}",
+                        snap.at_cycle,
+                        spath.display()
+                    ),
+                    Err(e) => eprintln!("  write {}: {e}", spath.display()),
+                }
+            }
         }
     }
 

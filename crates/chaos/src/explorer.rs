@@ -88,6 +88,7 @@ impl GridSpec {
                         s.chaos = Some(chaos_profile(cs, self.program.n_procs));
                     }
                     s.tie_break_seed = tie_break_for(cs);
+                    s.program_seed = Some(ps);
                     (variant.apply)(&mut s);
                     out.push(s);
                 }
@@ -206,6 +207,11 @@ pub fn mutation_grid(
     grid
 }
 
+/// How far before the observed failure cycle the shipped snapshot is
+/// taken: resuming it replays the final approach into the failure
+/// without sitting through the whole run again.
+pub const SNAPSHOT_LOOKBACK: u64 = 500;
+
 /// One failing grid point.
 #[derive(Debug, Clone)]
 pub struct FailureRecord {
@@ -213,6 +219,11 @@ pub struct FailureRecord {
     pub index: usize,
     pub scenario: Scenario,
     pub outcome: RunOutcome,
+    /// Checkpoint from [`SNAPSHOT_LOOKBACK`] cycles before the failure,
+    /// produced by a deterministic partial re-run. `None` when the
+    /// failing cycle is unknowable (panics) or precedes the rewind
+    /// window.
+    pub snapshot: Option<tcc_core::Snapshot>,
 }
 
 /// The result of sweeping a grid.
@@ -298,10 +309,14 @@ pub fn run_scenarios(scenarios: &[Scenario], jobs: usize) -> ExploreReport {
             .expect("every grid point must have run");
         report.commits += outcome.commits;
         if outcome.failure.is_some() {
+            let snapshot = outcome
+                .fail_cycle
+                .and_then(|at| scenarios[i].checkpoint_before(at, SNAPSHOT_LOOKBACK));
             report.failures.push(FailureRecord {
                 index: i,
                 scenario: scenarios[i].clone(),
                 outcome,
+                snapshot,
             });
         }
     }
@@ -323,12 +338,16 @@ pub fn seeds_to_first_failure(scenarios: &[Scenario]) -> Option<(usize, FailureR
                 for (i, scenario) in scenarios.iter().enumerate() {
                     let outcome = scenario.run();
                     if outcome.failure.is_some() {
+                        let snapshot = outcome
+                            .fail_cycle
+                            .and_then(|at| scenario.checkpoint_before(at, SNAPSHOT_LOOKBACK));
                         *found.lock().unwrap() = Some((
                             i + 1,
                             FailureRecord {
                                 index: i,
                                 scenario: scenario.clone(),
                                 outcome,
+                                snapshot,
                             },
                         ));
                         return;

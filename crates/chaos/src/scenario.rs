@@ -9,12 +9,12 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use tcc_core::{
-    RunError, Simulator, SystemConfig, ThreadProgram, Transaction, TransportConfig, TxOp,
-    WatchdogConfig, WorkItem,
+    RunError, Simulator, Snapshot, Step, SystemConfig, ThreadProgram, Transaction, TransportConfig,
+    TxOp, WatchdogConfig, WorkItem,
 };
 use tcc_network::ChaosConfig;
 use tcc_trace::Json;
-use tcc_types::{Addr, ProtocolBugs};
+use tcc_types::{Addr, Cycle, ProtocolBugs};
 
 /// One portable program operation. Addresses are `(line, word)` pairs
 /// over 32-byte lines of 4-byte words, matching the random stress tests
@@ -157,6 +157,10 @@ pub struct RunOutcome {
     pub commits: u64,
     /// `None` means the run passed.
     pub failure: Option<Failure>,
+    /// Cycle at which the failure was observed (stall cycle for stalls,
+    /// end-of-run cycle for oracle failures). `None` for passes and for
+    /// panics, whose cycle is unknowable from outside.
+    pub fail_cycle: Option<u64>,
 }
 
 /// A complete, replayable adversarial test case.
@@ -170,6 +174,10 @@ pub struct Scenario {
     pub chaos: Option<ChaosConfig>,
     /// Same-cycle event-ordering salt; `None` is FIFO.
     pub tie_break_seed: Option<u64>,
+    /// Seed the program generator used to produce `threads`, carried as
+    /// provenance: it lands in stall diagnostics so a failure names the
+    /// exact grid coordinate that produced it.
+    pub program_seed: Option<u64>,
     /// Per-thread transaction programs: `threads[t][tx]` is an op list.
     pub threads: Vec<Vec<Vec<POp>>>,
 }
@@ -184,6 +192,7 @@ impl Scenario {
             bugs: ProtocolBugs::default(),
             chaos: None,
             tie_break_seed: None,
+            program_seed: None,
             threads,
         }
     }
@@ -268,37 +277,31 @@ impl Scenario {
     #[must_use]
     pub fn run(&self) -> RunOutcome {
         let expected = self.transactions();
-        let cfg = self.to_config();
-        let programs = self.programs();
-        let result = catch_unwind(AssertUnwindSafe(move || {
-            match Simulator::builder(cfg)
-                .programs(programs)
-                .build()
-                .expect("valid config")
-                .try_run()
-            {
-                Ok(r) => {
-                    let failure = match &r.serializability {
-                        Some(Err(e)) => Some(Failure::NotSerializable(e.to_string())),
-                        _ if r.commits != expected => Some(Failure::CommitShortfall {
-                            expected,
-                            got: r.commits,
-                        }),
-                        _ => None,
-                    };
-                    RunOutcome {
-                        commits: r.commits,
-                        failure,
-                    }
-                }
-                Err(RunError::Stalled(d)) => RunOutcome {
-                    commits: d.commits,
-                    failure: Some(Failure::Stalled {
-                        reason: d.reason.kind().to_string(),
-                        detail: d.to_string(),
+        let sim = self.build();
+        let result = catch_unwind(AssertUnwindSafe(move || match sim.try_run() {
+            Ok(r) => {
+                let failure = match &r.serializability {
+                    Some(Err(e)) => Some(Failure::NotSerializable(e.to_string())),
+                    _ if r.commits != expected => Some(Failure::CommitShortfall {
+                        expected,
+                        got: r.commits,
                     }),
-                },
+                    _ => None,
+                };
+                RunOutcome {
+                    commits: r.commits,
+                    fail_cycle: failure.as_ref().map(|_| r.total_cycles),
+                    failure,
+                }
             }
+            Err(RunError::Stalled(d)) => RunOutcome {
+                commits: d.commits,
+                fail_cycle: Some(d.at),
+                failure: Some(Failure::Stalled {
+                    reason: d.reason.kind().to_string(),
+                    detail: d.to_string(),
+                }),
+            },
         }));
         match result {
             Ok(outcome) => outcome,
@@ -313,9 +316,66 @@ impl Scenario {
                 RunOutcome {
                     commits: 0,
                     failure: Some(Failure::Panic(msg)),
+                    fail_cycle: None,
                 }
             }
         }
+    }
+
+    /// A simulator for this scenario with the provenance seeds stamped
+    /// on, ready to run.
+    fn build(&self) -> Simulator {
+        let mut sim = Simulator::builder(self.to_config())
+            .programs(self.programs())
+            .build()
+            .expect("valid config");
+        if let Some(ps) = self.program_seed {
+            sim.set_program_seed(ps);
+        }
+        sim
+    }
+
+    /// Like [`Scenario::run`], but when the run fails, deterministically
+    /// re-runs to `lookback` cycles before the failure and ships that
+    /// checkpoint: a [`Snapshot`] that replays straight into the failure
+    /// under [`Simulator::resume`].
+    ///
+    /// Panicking runs carry no snapshot (the failing cycle is
+    /// unknowable), and neither do failures observed before `lookback`
+    /// cycles have elapsed if the machine finishes before the rewind
+    /// point. The re-run relies on the simulator's determinism — the
+    /// same scenario replayed to the same cycle *is* the failing
+    /// machine's past.
+    #[must_use]
+    pub fn run_with_snapshot(&self, lookback: u64) -> (RunOutcome, Option<Snapshot>) {
+        let outcome = self.run();
+        let snap = outcome
+            .fail_cycle
+            .and_then(|at| self.checkpoint_before(at, lookback));
+        (outcome, snap)
+    }
+
+    /// Deterministically re-runs this scenario to `lookback` cycles
+    /// before `fail_cycle` and returns that machine's checkpoint. The
+    /// simulator's determinism makes the partial re-run *the* failing
+    /// machine's past, so resuming the returned snapshot replays the
+    /// final approach into the failure.
+    ///
+    /// `None` if the re-run finishes or wedges before the rewind point
+    /// (oracle failures observed at the very end of a short run), or if
+    /// it panics first (protocol asserts under mutation knobs).
+    #[must_use]
+    pub fn checkpoint_before(&self, fail_cycle: u64, lookback: u64) -> Option<Snapshot> {
+        let pause = fail_cycle.saturating_sub(lookback);
+        let sim = self.build();
+        catch_unwind(AssertUnwindSafe(move || {
+            match sim.try_run_until(Some(Cycle(pause))) {
+                Ok(Step::Paused(paused)) => Some(paused.checkpoint()),
+                _ => None,
+            }
+        }))
+        .ok()
+        .flatten()
     }
 
     pub fn to_json(&self) -> Json {
@@ -382,6 +442,13 @@ impl Scenario {
             (
                 "tie_break_seed",
                 match self.tie_break_seed {
+                    Some(s) => s.to_string().into(),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "program_seed",
+                match self.program_seed {
                     Some(s) => s.to_string().into(),
                     None => Json::Null,
                 },
@@ -469,6 +536,13 @@ impl Scenario {
             Some(Json::Str(s)) => Some(s.parse::<u64>().map_err(|e| format!("bad tie salt: {e}"))?),
             _ => None,
         };
+        let program_seed = match json.get("program_seed") {
+            Some(Json::Str(s)) => Some(
+                s.parse::<u64>()
+                    .map_err(|e| format!("bad program seed: {e}"))?,
+            ),
+            _ => None,
+        };
         let chaos = match json.get("chaos") {
             Some(Json::Null) | None => None,
             Some(c) => Some(ChaosConfig::from_json(c)?),
@@ -498,6 +572,7 @@ impl Scenario {
             bugs,
             chaos,
             tie_break_seed,
+            program_seed,
             threads,
         })
     }
@@ -537,6 +612,7 @@ mod tests {
         s.tweaks.small_caches = true;
         s.bugs.skip_ack_wait = true;
         s.tie_break_seed = Some(12345);
+        s.program_seed = Some(67890);
         s.chaos = Some(ChaosConfig {
             seed: 42,
             jitter: 10,

@@ -1,0 +1,102 @@
+//! Failing grid points ship a pre-failure snapshot.
+//!
+//! The contract: a [`FailureRecord`]'s snapshot, resumed through
+//! `Simulator::resume`, replays deterministically into the *same*
+//! failure at the *same* cycle — so a failure artifact is not just a
+//! description of what went wrong but a machine parked moments before
+//! it does.
+
+use tcc_chaos::explorer::{seeds_to_first_failure, SNAPSHOT_LOOKBACK};
+use tcc_chaos::scenario::{Failure, POp, Scenario};
+use tcc_core::{RunError, Simulator};
+use tcc_network::{ChaosConfig, DropRule};
+
+/// Two threads that must exchange lines over a wire that drops every
+/// frame: `to_config` auto-enables the reliable transport + watchdog
+/// for wire faults, and the run wedges deterministically.
+fn wedged() -> Scenario {
+    let mut s = Scenario::new(
+        "wedged",
+        vec![
+            vec![vec![POp::Load(1, 0), POp::Store(0, 0), POp::Compute(10)]],
+            vec![vec![POp::Load(0, 0), POp::Store(1, 0), POp::Compute(10)]],
+        ],
+    );
+    s.chaos = Some(ChaosConfig {
+        seed: 9,
+        drops: vec![DropRule {
+            kind: "*".to_string(),
+            prob: 1.0,
+            from: 0,
+            until: u64::MAX,
+        }],
+        ..ChaosConfig::default()
+    });
+    s.program_seed = Some(4242);
+    s
+}
+
+#[test]
+fn failed_run_ships_a_snapshot_that_replays_into_the_failure() {
+    let s = wedged();
+    let (outcome, snap) = s.run_with_snapshot(200);
+    let failure = outcome.failure.as_ref().expect("dead wire must fail");
+    let Failure::Stalled { reason, .. } = failure else {
+        panic!("expected a stall, got {failure}");
+    };
+    let fail_at = outcome.fail_cycle.expect("stalls know their cycle");
+    let snap = snap.expect("stall with a known cycle ships a snapshot");
+    assert!(
+        snap.at_cycle <= fail_at,
+        "snapshot at {} is after the failure at {fail_at}",
+        snap.at_cycle
+    );
+
+    // Resume the shipped snapshot on a fresh machine: it must hit the
+    // same stall, at the same cycle, carrying the scenario's program
+    // seed (restored from the snapshot, not re-stamped).
+    let resumed = Simulator::resume(s.to_config(), s.programs(), &snap).expect("resume");
+    let RunError::Stalled(diag) = resumed.try_run().expect_err("must re-fail");
+    assert_eq!(diag.at, fail_at, "resumed failure cycle diverged");
+    assert_eq!(diag.reason.kind(), reason, "resumed failure class diverged");
+    assert_eq!(diag.provenance.program_seed, Some(4242));
+}
+
+#[test]
+fn explorer_failure_records_carry_the_snapshot() {
+    let scenarios = vec![wedged()];
+    let (tried, record) = seeds_to_first_failure(&scenarios).expect("must fail");
+    assert_eq!(tried, 1);
+    let fail_at = record.outcome.fail_cycle.expect("stall cycle known");
+    let snap = record.snapshot.as_ref().expect("failure ships a snapshot");
+    // The pause point is `lookback` cycles before the failure; the
+    // machine checkpoints at its last event at or before that point.
+    assert!(
+        snap.at_cycle <= fail_at.saturating_sub(SNAPSHOT_LOOKBACK),
+        "snapshot at {} is inside the {SNAPSHOT_LOOKBACK}-cycle lookback window of {fail_at}",
+        snap.at_cycle
+    );
+    let resumed = Simulator::resume(
+        record.scenario.to_config(),
+        record.scenario.programs(),
+        snap,
+    )
+    .expect("resume");
+    let RunError::Stalled(diag) = resumed.try_run().expect_err("must re-fail");
+    assert_eq!(diag.at, fail_at);
+}
+
+#[test]
+fn passing_runs_ship_no_snapshot() {
+    let s = Scenario::new(
+        "benign",
+        vec![
+            vec![vec![POp::Store(0, 0)], vec![POp::Load(1, 0)]],
+            vec![vec![POp::Load(0, 0), POp::Store(1, 0)]],
+        ],
+    );
+    let (outcome, snap) = s.run_with_snapshot(200);
+    assert_eq!(outcome.failure, None);
+    assert_eq!(outcome.fail_cycle, None);
+    assert!(snap.is_none());
+}

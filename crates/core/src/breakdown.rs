@@ -1,5 +1,7 @@
 //! Execution-time breakdown and per-transaction characteristics.
 
+use tcc_types::snap::{Snap, SnapError, SnapReader, SnapWriter};
+
 /// The five-way cycle attribution used in Figures 6–8 of the paper.
 ///
 /// Every simulated cycle of a processor is attributed to exactly one
@@ -42,6 +44,25 @@ impl Breakdown {
     }
 }
 
+impl Snap for Breakdown {
+    fn save(&self, w: &mut SnapWriter) {
+        self.useful.save(w);
+        self.cache_miss.save(w);
+        self.commit.save(w);
+        self.violation.save(w);
+        self.idle.save(w);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Breakdown {
+            useful: r.get()?,
+            cache_miss: r.get()?,
+            commit: r.get()?,
+            violation: r.get()?,
+            idle: r.get()?,
+        })
+    }
+}
+
 /// Characteristics of one committed transaction, feeding the Table 3
 /// columns (90th-percentile size, read/write-set, ops per word written,
 /// directories per commit).
@@ -71,6 +92,27 @@ impl TxCharacteristics {
         } else {
             self.instructions as f64 / self.words_written as f64
         }
+    }
+}
+
+impl Snap for TxCharacteristics {
+    fn save(&self, w: &mut SnapWriter) {
+        self.instructions.save(w);
+        self.read_set_bytes.save(w);
+        self.write_set_bytes.save(w);
+        self.words_written.save(w);
+        self.dirs_written.save(w);
+        self.dirs_touched.save(w);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(TxCharacteristics {
+            instructions: r.get()?,
+            read_set_bytes: r.get()?,
+            write_set_bytes: r.get()?,
+            words_written: r.get()?,
+            dirs_written: r.get()?,
+            dirs_touched: r.get()?,
+        })
     }
 }
 

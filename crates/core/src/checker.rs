@@ -12,6 +12,7 @@
 
 use std::collections::HashMap;
 
+use tcc_types::snap::{Snap, SnapError, SnapReader, SnapWriter};
 use tcc_types::{LineAddr, Tid, WordMask};
 
 /// One committed transaction's externally-visible behaviour.
@@ -24,6 +25,21 @@ pub struct TxRecord {
     pub reads: Vec<(LineAddr, usize, Option<Tid>)>,
     /// Committed writes: `(line, words written)`.
     pub writes: Vec<(LineAddr, WordMask)>,
+}
+
+impl Snap for TxRecord {
+    fn save(&self, w: &mut SnapWriter) {
+        self.tid.save(w);
+        self.reads.save(w);
+        self.writes.save(w);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(TxRecord {
+            tid: r.get()?,
+            reads: r.get()?,
+            writes: r.get()?,
+        })
+    }
 }
 
 /// A serializability violation found by [`Checker::verify`].
@@ -76,6 +92,19 @@ impl Checker {
     #[must_use]
     pub fn len(&self) -> usize {
         self.records.len()
+    }
+
+    /// The accumulated records, for checkpointing. Commits before a
+    /// checkpoint must survive a resume, or the end-of-run
+    /// serializability verdict would silently cover only the tail.
+    #[must_use]
+    pub fn records(&self) -> &[TxRecord] {
+        &self.records
+    }
+
+    /// Replaces the record list with checkpointed state.
+    pub fn restore_records(&mut self, records: Vec<TxRecord>) {
+        self.records = records;
     }
 
     /// True if no commits were recorded.

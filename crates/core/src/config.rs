@@ -280,6 +280,17 @@ impl SystemConfig {
                 ));
             }
         }
+        if let Some(wd) = &self.watchdog {
+            if wd.interval == 0 {
+                return Err(ConfigError::new(
+                    "watchdog.interval",
+                    "a zero-cycle sampling interval would sample the \
+                     progress signature after every event",
+                    "set interval >= 1 (default 250_000); small intervals \
+                     are valid and only cost sampling overhead",
+                ));
+            }
+        }
         if let Some(chaos) = &self.chaos {
             if chaos.has_wire_faults() && self.transport.is_none() {
                 return Err(ConfigError::new(
@@ -293,6 +304,24 @@ impl SystemConfig {
             }
         }
         Ok(())
+    }
+
+    /// Deterministic digest of the whole configuration: FNV-1a over the
+    /// `Debug` rendering (every field, including nested chaos/transport/
+    /// watchdog/parallel settings, participates in `Debug`). Snapshots
+    /// store this in their container header so a checkpoint can never be
+    /// silently resumed under a different machine — the config itself is
+    /// *not* serialized, it is reconstructed by the resuming caller and
+    /// gated by this digest.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        let s = format!("{self:?}");
+        let mut h = 0xcbf2_9ce4_8422_2325_u64;
+        for &b in s.as_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
     }
 }
 
@@ -336,6 +365,35 @@ mod tests {
         assert_eq!(c.network.link_latency, 4);
         assert_eq!(c.cache.l1_bytes, 32 << 10);
         assert_eq!(c.cache.l2_bytes, 512 << 10);
+    }
+
+    #[test]
+    fn digest_separates_configs_and_is_stable() {
+        let a = SystemConfig::with_procs(4);
+        let b = SystemConfig::with_procs(4);
+        assert_eq!(a.digest(), b.digest());
+        let mut c = SystemConfig::with_procs(4);
+        c.mem_latency += 1;
+        assert_ne!(a.digest(), c.digest());
+        let mut d = SystemConfig::with_procs(4);
+        d.tie_break_seed = Some(7);
+        assert_ne!(a.digest(), d.digest());
+    }
+
+    #[test]
+    fn zero_watchdog_interval_is_refused() {
+        let mut c = SystemConfig::with_procs(2);
+        c.watchdog = Some(tcc_engine::WatchdogConfig {
+            interval: 0,
+            grace: 2,
+        });
+        let err = c.validate().unwrap_err();
+        assert_eq!(err.field, "watchdog.interval");
+        c.watchdog = Some(tcc_engine::WatchdogConfig {
+            interval: 1,
+            grace: 2,
+        });
+        assert!(c.validate().is_ok());
     }
 
     #[test]

@@ -86,10 +86,13 @@ pub use config::{ConfigError, ParallelConfig, SystemConfig};
 pub use processor::{Effects, ProcCounters, Processor};
 pub use profiling::{LineConflicts, ProfileReport, StarvationEvent, ViolationEvent};
 pub use program::{ThreadProgram, Transaction, TxOp, WorkItem};
-pub use sim::{SimResult, Simulator, SimulatorBuilder};
-pub use stall::{RunError, StallDiagnostic, StallReason};
+pub use sim::{ResumeError, SimResult, Simulator, SimulatorBuilder, Step};
+pub use stall::{RunError, RunProvenance, StallDiagnostic, StallReason};
 // Re-exported so downstream crates can enable the reliable transport,
 // the watchdog, and the shared worker budget without depending on
 // tcc-network/tcc-engine directly.
 pub use tcc_engine::{WatchdogConfig, WorkerBudget, WorkerLease};
 pub use tcc_network::TransportConfig;
+// Re-exported so checkpoint producers/consumers (bench soak harness,
+// chaos explorer) get the container and journal types from tcc-core.
+pub use tcc_snapshot::{Journal, JournalEntry, Snapshot, SnapshotError};

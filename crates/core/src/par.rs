@@ -74,7 +74,7 @@ use crate::checker::{Checker, TxRecord};
 use crate::config::SystemConfig;
 use crate::processor::{Effects, Processor};
 use crate::sim::{DirCache, Event, SimResult, Simulator, VENDOR_SERVICE};
-use crate::stall::{RunError, StallDiagnostic, StallReason};
+use crate::stall::{RunError, RunProvenance, StallDiagnostic, StallReason};
 
 /// Bits of the emission field (slot << SUB_BITS | sub).
 const EM_BITS: u32 = 28;
@@ -613,6 +613,9 @@ struct Engine {
     barrier_waiting: Vec<NodeId>,
     active: usize,
     watchdog: Option<ProgressWatchdog>,
+    /// Workload-generator seed, carried for stall-diagnostic
+    /// provenance (mirrors `Simulator::program_seed`).
+    program_seed: Option<u64>,
     /// Per-window map from `(cycle, shard, local pop index)` to the
     /// pop's global rank within that cycle.
     rank_map: FxHashMap<(u64, u16, u64), u64>,
@@ -1126,6 +1129,12 @@ impl Engine {
         }
         let diag = StallDiagnostic {
             reason,
+            provenance: RunProvenance {
+                program_seed: self.program_seed,
+                chaos_seed: self.cfg.chaos.as_ref().map(|c| c.seed),
+                tie_break_seed: self.cfg.tie_break_seed,
+                config_digest: self.cfg.digest(),
+            },
             at: now.0,
             commits,
             active_procs: self.active,
@@ -1550,8 +1559,12 @@ pub(crate) fn run(sim: Simulator) -> Result<SimResult, RunError> {
         transport: _,
         watchdog,
         fault,
+        started,
+        program_seed,
+        program_digest,
     } = sim;
     debug_assert!(fault.is_none(), "fresh simulator carries a fault");
+    debug_assert!(!started, "parallel engine cannot adopt a started simulator");
     let pcfg = cfg.parallel.expect("try_run dispatched on parallel");
     let n = procs.len();
     let chaos = cfg.chaos.is_some();
@@ -1632,6 +1645,7 @@ pub(crate) fn run(sim: Simulator) -> Result<SimResult, RunError> {
         barrier_waiting,
         active,
         watchdog,
+        program_seed,
         rank_map: FxHashMap::default(),
         fault: None,
         seq_cycle: Cycle::ZERO,
@@ -1725,6 +1739,7 @@ pub(crate) fn run(sim: Simulator) -> Result<SimResult, RunError> {
         barrier_waiting,
         active,
         watchdog,
+        program_seed,
         ..
     } = eng;
     let reassembled = Simulator {
@@ -1744,6 +1759,9 @@ pub(crate) fn run(sim: Simulator) -> Result<SimResult, RunError> {
         transport: None,
         watchdog,
         fault: None,
+        started: true,
+        program_seed,
+        program_digest,
     };
     let mut result = reassembled.finish(events);
     result.transport = transport_stats;

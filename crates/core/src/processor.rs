@@ -6,6 +6,7 @@ use tcc_types::hash::FxHashSet;
 
 use tcc_cache::{Eviction, HierCache, LineState, LoadOutcome, StoreOutcome};
 use tcc_trace::{TraceEvent, Tracer, ViolationCause};
+use tcc_types::snap::{Snap, SnapError, SnapReader, SnapWriter};
 use tcc_types::{
     Addr, Cycle, DirId, LineAddr, LineValues, Message, NodeId, Payload, Tid, WordMask,
 };
@@ -1532,6 +1533,222 @@ impl Processor {
         if let Some(done) = self.done_at {
             self.totals.idle += end.since(done);
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpoint/restore
+    // ------------------------------------------------------------------
+
+    /// Serializes every piece of mutable state, in field-declaration
+    /// order. The identity (`id`), config, program, and tracer are not
+    /// saved: they are construction inputs the resuming caller supplies
+    /// again (gated by the snapshot's config and program digests); only
+    /// the *position* within the program (`item`/`op`) travels.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        self.cache.save_state(w);
+        self.item.save(w);
+        self.op.save(w);
+        self.state.save(w);
+        self.val.save(w);
+        self.tx_start.save(w);
+        self.commit_start.save(w);
+        self.announce_at.save(w);
+        self.attempt_useful.save(w);
+        self.attempt_miss.save(w);
+        self.attempt_commit_extra.save(w);
+        self.tx_instr.save(w);
+        // Unordered set: sorted at save so snapshot bytes are a pure
+        // function of state.
+        let mut read_lines: Vec<LineAddr> = self.read_lines.iter().copied().collect();
+        read_lines.sort_unstable();
+        read_lines.save(w);
+        self.reads_log.save(w);
+        self.sharing_dirs.save(w);
+        self.writing_dirs.save(w);
+        self.fill_epoch.save(w);
+        self.violations_in_row.save(w);
+        self.serialize_mode.save(w);
+        self.early_tid.save(w);
+        self.spill.save(w);
+        self.last_tid.save(w);
+        self.orphaned_tid_requests.save(w);
+        self.wake_seq.save(w);
+        self.req_seq.save(w);
+        self.totals.save(w);
+        self.counters.save(w);
+        self.done_at.save(w);
+        self.profile_violations.save(w);
+        self.profile_starvation.save(w);
+    }
+
+    /// Overlays checkpointed state onto a freshly constructed processor
+    /// (same config and program as the capturing run).
+    ///
+    /// # Errors
+    ///
+    /// Any decode failure, or a program position outside the program
+    /// this processor was constructed with.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.cache.restore_state(r)?;
+        let item: usize = r.get()?;
+        let op: usize = r.get()?;
+        if item > self.program.items.len() {
+            return Err(SnapError::invalid(
+                "Processor.item",
+                format!(
+                    "snapshot at item {item}, program has {}",
+                    self.program.items.len()
+                ),
+            ));
+        }
+        self.item = item;
+        self.op = op;
+        self.state = r.get()?;
+        self.val = r.get()?;
+        self.tx_start = r.get()?;
+        self.commit_start = r.get()?;
+        self.announce_at = r.get()?;
+        self.attempt_useful = r.get()?;
+        self.attempt_miss = r.get()?;
+        self.attempt_commit_extra = r.get()?;
+        self.tx_instr = r.get()?;
+        let read_lines: Vec<LineAddr> = r.get()?;
+        self.read_lines = read_lines.into_iter().collect();
+        self.reads_log = r.get()?;
+        self.sharing_dirs = r.get()?;
+        self.writing_dirs = r.get()?;
+        self.fill_epoch = r.get()?;
+        self.violations_in_row = r.get()?;
+        self.serialize_mode = r.get()?;
+        self.early_tid = r.get()?;
+        self.spill = r.get()?;
+        self.last_tid = r.get()?;
+        self.orphaned_tid_requests = r.get()?;
+        self.wake_seq = r.get()?;
+        self.req_seq = r.get()?;
+        self.totals = r.get()?;
+        self.counters = r.get()?;
+        self.done_at = r.get()?;
+        self.profile_violations = r.get()?;
+        self.profile_starvation = r.get()?;
+        Ok(())
+    }
+}
+
+impl Snap for SpillEntry {
+    fn save(&self, w: &mut SnapWriter) {
+        self.sr.save(w);
+        self.sm.save(w);
+        self.valid.save(w);
+        self.dirty.save(w);
+        self.generation.save(w);
+        self.values.save(w);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(SpillEntry {
+            sr: r.get()?,
+            sm: r.get()?,
+            valid: r.get()?,
+            dirty: r.get()?,
+            generation: r.get()?,
+            values: r.get()?,
+        })
+    }
+}
+
+impl Snap for ValState {
+    fn save(&self, w: &mut SnapWriter) {
+        self.tid.save(w);
+        self.write_set.save(w);
+        self.wdirs.save(w);
+        self.sdirs_only.save(w);
+        self.pending.save(w);
+        self.marks_per_dir.save(w);
+        self.announced.save(w);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(ValState {
+            tid: r.get()?,
+            write_set: r.get()?,
+            wdirs: r.get()?,
+            sdirs_only: r.get()?,
+            pending: r.get()?,
+            marks_per_dir: r.get()?,
+            announced: r.get()?,
+        })
+    }
+}
+
+impl Snap for State {
+    fn save(&self, w: &mut SnapWriter) {
+        match *self {
+            State::Fresh => 0u8.save(w),
+            State::Running => 1u8.save(w),
+            State::WaitFill {
+                line,
+                word,
+                is_store,
+                req,
+                stall_start,
+            } => {
+                2u8.save(w);
+                line.save(w);
+                word.save(w);
+                is_store.save(w);
+                req.save(w);
+                stall_start.save(w);
+            }
+            State::WaitTid => 3u8.save(w),
+            State::WaitTidEarly => 4u8.save(w),
+            State::Validating => 5u8.save(w),
+            State::AtBarrier { since } => {
+                6u8.save(w);
+                since.save(w);
+            }
+            State::Done => 7u8.save(w),
+        }
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(match u8::load(r)? {
+            0 => State::Fresh,
+            1 => State::Running,
+            2 => State::WaitFill {
+                line: r.get()?,
+                word: r.get()?,
+                is_store: r.get()?,
+                req: r.get()?,
+                stall_start: r.get()?,
+            },
+            3 => State::WaitTid,
+            4 => State::WaitTidEarly,
+            5 => State::Validating,
+            6 => State::AtBarrier { since: r.get()? },
+            7 => State::Done,
+            t => return Err(SnapError::invalid("Processor.state", format!("tag {t}"))),
+        })
+    }
+}
+
+impl Snap for ProcCounters {
+    fn save(&self, w: &mut SnapWriter) {
+        self.commits.save(w);
+        self.violations.save(w);
+        self.overflows.save(w);
+        self.instructions.save(w);
+        self.serialized_retries.save(w);
+        self.tid_wait.save(w);
+        self.probe_wait.save(w);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(ProcCounters {
+            commits: r.get()?,
+            violations: r.get()?,
+            overflows: r.get()?,
+            instructions: r.get()?,
+            serialized_retries: r.get()?,
+            tid_wait: r.get()?,
+            probe_wait: r.get()?,
+        })
     }
 }
 

@@ -9,17 +9,19 @@ use tcc_engine::{progress_signature, EventQueue, ProgressWatchdog, TieBreak};
 use tcc_network::{
     Network, SeededInjector, TrafficStats, Transport, TransportAction, TransportStats,
 };
+use tcc_snapshot::{Snapshot, SnapshotError};
 use tcc_trace::{TraceReport, Tracer};
+use tcc_types::snap::{Snap, SnapError, SnapReader, SnapWriter};
 use tcc_types::{Cycle, DirId, Frame, LineAddr, Message, NodeId, Payload, Tid};
 
 use crate::baseline::BaselineSimulator;
 use crate::breakdown::{Breakdown, TxCharacteristics};
-use crate::checker::{Checker, SerializabilityError};
+use crate::checker::{Checker, SerializabilityError, TxRecord};
 use crate::config::{ConfigError, SystemConfig};
 use crate::processor::{Effects, ProcCounters, Processor};
 use crate::profiling::ProfileReport;
 use crate::program::ThreadProgram;
-use crate::stall::{RunError, StallDiagnostic, StallReason};
+use crate::stall::{RunError, RunProvenance, StallDiagnostic, StallReason};
 
 /// Vendor service time per TID request, in cycles.
 pub(crate) const VENDOR_SERVICE: u64 = 2;
@@ -76,6 +78,36 @@ impl DirCache {
         self.fifo.push_back(line);
         !refetch
     }
+
+    /// Serializes the cache's mutable state. `resident` is implied by
+    /// the FIFO (every inserted line enters both, every eviction leaves
+    /// both), so only the FIFO order is stored; the unordered spilled
+    /// set is sorted so the bytes are a pure function of state.
+    pub(crate) fn save_state(&self, w: &mut SnapWriter) {
+        self.fifo.save(w);
+        let mut spilled: Vec<LineAddr> = self.spilled.iter().copied().collect();
+        spilled.sort_unstable();
+        spilled.save(w);
+        self.hits.save(w);
+        self.misses.save(w);
+    }
+
+    pub(crate) fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let fifo: VecDeque<LineAddr> = r.get()?;
+        if fifo.len() > self.cap {
+            return Err(SnapError::invalid(
+                "DirCache.fifo",
+                format!("{} resident lines exceed capacity {}", fifo.len(), self.cap),
+            ));
+        }
+        self.resident = fifo.iter().copied().collect();
+        self.fifo = fifo;
+        let spilled: Vec<LineAddr> = r.get()?;
+        self.spilled = spilled.into_iter().collect();
+        self.hits = r.get()?;
+        self.misses = r.get()?;
+        Ok(())
+    }
 }
 
 #[derive(Debug)]
@@ -107,6 +139,61 @@ pub(crate) enum Event {
         dst: NodeId,
         epoch: u64,
     },
+}
+
+impl Snap for Event {
+    fn save(&self, w: &mut SnapWriter) {
+        match self {
+            Event::Deliver(m) => {
+                0u8.save(w);
+                m.save(w);
+            }
+            Event::Inject(m) => {
+                1u8.save(w);
+                m.save(w);
+            }
+            Event::ProcStep(n, seq) => {
+                2u8.save(w);
+                n.save(w);
+                seq.save(w);
+            }
+            Event::Wire(f) => {
+                3u8.save(w);
+                f.save(w);
+            }
+            Event::RetxTimer { src, dst, epoch } => {
+                4u8.save(w);
+                src.save(w);
+                dst.save(w);
+                epoch.save(w);
+            }
+            Event::AckTimer { src, dst, epoch } => {
+                5u8.save(w);
+                src.save(w);
+                dst.save(w);
+                epoch.save(w);
+            }
+        }
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(match u8::load(r)? {
+            0 => Event::Deliver(r.get()?),
+            1 => Event::Inject(r.get()?),
+            2 => Event::ProcStep(r.get()?, r.get()?),
+            3 => Event::Wire(r.get()?),
+            4 => Event::RetxTimer {
+                src: r.get()?,
+                dst: r.get()?,
+                epoch: r.get()?,
+            },
+            5 => Event::AckTimer {
+                src: r.get()?,
+                dst: r.get()?,
+                epoch: r.get()?,
+            },
+            t => return Err(SnapError::invalid("Event", format!("tag {t}"))),
+        })
+    }
 }
 
 /// Results of one complete simulation.
@@ -239,6 +326,92 @@ impl std::fmt::Display for SimResult {
     }
 }
 
+/// Outcome of [`Simulator::try_run_until`].
+///
+/// `Done` carries the full `SimResult` inline: a `Step` lives exactly
+/// long enough to be matched once per segment, so boxing the result
+/// would buy nothing but an extra allocation on the terminal step.
+#[derive(Debug)]
+#[allow(clippy::large_enum_variant)]
+pub enum Step {
+    /// The application completed; results as from
+    /// [`Simulator::try_run`].
+    Done(SimResult),
+    /// The next pending event lies beyond the pause cycle. The machine
+    /// is returned intact, frozen between events — ready for
+    /// [`Simulator::checkpoint`] or further
+    /// [`Simulator::try_run_until`] calls.
+    Paused(Box<Simulator>),
+}
+
+/// Why [`Simulator::resume`] refused to reconstruct a machine from a
+/// snapshot.
+#[derive(Debug)]
+pub enum ResumeError {
+    /// The snapshot container was damaged, truncated, from an
+    /// unsupported format version, or captured under a different
+    /// [`SystemConfig`] (digest mismatch).
+    Container(SnapshotError),
+    /// The supplied config or programs failed the normal construction
+    /// checks.
+    Config(ConfigError),
+    /// The snapshot body decoded inconsistently with the machine the
+    /// config describes.
+    State(SnapError),
+    /// The supplied programs are not the programs the checkpoint was
+    /// captured with (workload digests differ).
+    ProgramMismatch {
+        /// Digest recorded in the snapshot.
+        snapshot: u64,
+        /// Digest of the programs handed to `resume`.
+        current: u64,
+    },
+}
+
+impl std::fmt::Display for ResumeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResumeError::Container(e) => write!(f, "snapshot container: {e}"),
+            ResumeError::Config(e) => write!(f, "resume config: {e}"),
+            ResumeError::State(e) => write!(f, "snapshot state: {e}"),
+            ResumeError::ProgramMismatch { snapshot, current } => write!(
+                f,
+                "snapshot was captured with a different workload: \
+                 program digest {snapshot:016x} in snapshot, {current:016x} supplied"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ResumeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ResumeError::Container(e) => Some(e),
+            ResumeError::Config(e) => Some(e),
+            ResumeError::State(e) => Some(e),
+            ResumeError::ProgramMismatch { .. } => None,
+        }
+    }
+}
+
+impl From<SnapshotError> for ResumeError {
+    fn from(e: SnapshotError) -> ResumeError {
+        ResumeError::Container(e)
+    }
+}
+
+impl From<ConfigError> for ResumeError {
+    fn from(e: ConfigError) -> ResumeError {
+        ResumeError::Config(e)
+    }
+}
+
+impl From<SnapError> for ResumeError {
+    fn from(e: SnapError) -> ResumeError {
+        ResumeError::State(e)
+    }
+}
+
 /// The Scalable TCC full-system simulator.
 ///
 /// # Example
@@ -284,6 +457,16 @@ pub struct Simulator {
     /// directory's bounded skip-vector refusal); the event loop turns
     /// it into a typed stall right after the current event.
     pub(crate) fault: Option<StallReason>,
+    /// Whether the initial `start()` pass over the processors has run.
+    /// A paused or resumed simulator must not restart its programs.
+    pub(crate) started: bool,
+    /// Workload-generator seed registered by the caller (provenance
+    /// only; see [`Simulator::set_program_seed`]).
+    pub(crate) program_seed: Option<u64>,
+    /// FNV-1a digest of the programs this machine was built with;
+    /// [`Simulator::resume`] refuses a snapshot from a different
+    /// workload.
+    pub(crate) program_digest: u64,
 }
 
 /// Fluent, validating constructor for [`Simulator`] (and the
@@ -454,6 +637,18 @@ impl Simulator {
     ) -> Simulator {
         let words = cfg.cache.geometry.words_per_line() as usize;
         let tracer = tracer.unwrap_or_else(|| Tracer::new(&cfg.trace));
+        // Workload identity, for snapshot gating: resume() rebuilds the
+        // machine from caller-supplied programs, and this digest proves
+        // they are the programs the checkpoint came from.
+        let program_digest = {
+            let s = format!("{programs:?}");
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for &b in s.as_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            h
+        };
         let procs: Vec<Processor> = programs
             .into_iter()
             .enumerate()
@@ -519,6 +714,35 @@ impl Simulator {
             transport,
             watchdog,
             fault: None,
+            started: false,
+            program_seed: None,
+            program_digest,
+        }
+    }
+
+    /// Registers the seed the workload generator derived the programs
+    /// from. Pure provenance: it is embedded in stall diagnostics and
+    /// snapshots so a failure report is standalone-replayable, and is
+    /// never read by the protocol.
+    pub fn set_program_seed(&mut self, seed: u64) {
+        self.program_seed = Some(seed);
+    }
+
+    /// The event clock: the time of the last popped event (also the
+    /// snapshot header's `at_cycle`).
+    #[must_use]
+    pub fn queue_now(&self) -> Cycle {
+        self.queue.now()
+    }
+
+    /// The replay coordinates of this run (seeds + config digest).
+    #[must_use]
+    pub(crate) fn provenance(&self) -> RunProvenance {
+        RunProvenance {
+            program_seed: self.program_seed,
+            chaos_seed: self.cfg.chaos.as_ref().map(|c| c.seed),
+            tie_break_seed: self.cfg.tie_break_seed,
+            config_digest: self.cfg.digest(),
         }
     }
 
@@ -543,15 +767,54 @@ impl Simulator {
     /// [`StallDiagnostic`]) instead of panicking. Protocol-invariant
     /// violations (broken asserts) still panic — those are bugs, not
     /// outcomes.
-    pub fn try_run(mut self) -> Result<SimResult, RunError> {
+    pub fn try_run(self) -> Result<SimResult, RunError> {
         if self.cfg.parallel.is_some() {
             return crate::par::run(self);
         }
-        for i in 0..self.procs.len() {
-            let fx = self.procs[i].start(Cycle::ZERO);
-            self.apply(Cycle::ZERO, NodeId(i as u16), fx);
+        match self.try_run_until(None)? {
+            Step::Done(r) => Ok(r),
+            Step::Paused(_) => unreachable!("no pause cycle was given"),
+        }
+    }
+
+    /// Runs until the application completes or the event clock would
+    /// pass `pause_at`, whichever comes first.
+    ///
+    /// The pause check happens *before* popping: no event scheduled
+    /// after `pause_at` executes, so a [`Step::Paused`] simulator is
+    /// exactly the uninterrupted machine frozen at that boundary — it
+    /// can be [`checkpoint`](Simulator::checkpoint)ed, resumed in
+    /// place with another `try_run_until`, or both; the final
+    /// [`SimResult::fingerprint`] is identical either way. A run whose
+    /// queue drains before the pause cycle completes normally.
+    ///
+    /// # Errors
+    ///
+    /// The same typed stalls as [`Simulator::try_run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config selects the parallel engine — the sharded
+    /// run cannot pause at an exact event boundary; checkpoint from
+    /// the sequential engine instead.
+    pub fn try_run_until(mut self, pause_at: Option<Cycle>) -> Result<Step, RunError> {
+        assert!(
+            self.cfg.parallel.is_none(),
+            "try_run_until requires the sequential engine (cfg.parallel = None)"
+        );
+        if !self.started {
+            self.started = true;
+            for i in 0..self.procs.len() {
+                let fx = self.procs[i].start(Cycle::ZERO);
+                self.apply(Cycle::ZERO, NodeId(i as u16), fx);
+            }
         }
         loop {
+            if let Some(limit) = pause_at {
+                if self.queue.peek_time().is_some_and(|t| t > limit) {
+                    return Ok(Step::Paused(Box::new(self)));
+                }
+            }
             let (now, ev) = match self.queue.try_pop() {
                 Ok(Some(popped)) => popped,
                 Ok(None) => break,
@@ -634,7 +897,7 @@ impl Simulator {
             return Err(self.stalled(now, StallReason::Deadlock));
         }
         let events = self.queue.events_processed();
-        Ok(self.finish(events))
+        Ok(Step::Done(self.finish(events)))
     }
 
     /// Assembles the stall diagnostic for a run that stopped making
@@ -642,6 +905,7 @@ impl Simulator {
     fn stalled(&self, now: Cycle, reason: StallReason) -> RunError {
         let diag = StallDiagnostic {
             reason,
+            provenance: self.provenance(),
             at: now.0,
             commits: self.procs.iter().map(|p| p.counters().commits).sum(),
             active_procs: self.active,
@@ -1006,6 +1270,273 @@ impl Simulator {
         // Hand the buffer back so the next handler call reuses it
         // instead of allocating a fresh `Vec`.
         self.dirs[d].recycle_actions(actions);
+    }
+
+    /// Captures the machine's complete mutable state as a
+    /// `tcc-snapshot/v1` [`Snapshot`].
+    ///
+    /// Meant to be called between events — at a [`Step::Paused`]
+    /// boundary or before the run starts. The construction inputs
+    /// (config, programs, tracer) are *not* stored; the caller supplies
+    /// them again to [`Simulator::resume`], gated by the config and
+    /// program digests. Observation-only state (tracer rings, metric
+    /// counters) is deliberately excluded: it never feeds back into
+    /// protocol decisions, so resumed-run *results* are still
+    /// byte-identical (see DESIGN.md §14).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config selects the parallel engine (checkpoint
+    /// from the sequential engine) or a component fault is pending
+    /// (the run is about to stall; there is no consistent state to
+    /// save).
+    #[must_use]
+    pub fn checkpoint(&self) -> Snapshot {
+        assert!(
+            self.cfg.parallel.is_none(),
+            "checkpoint requires the sequential engine (cfg.parallel = None)"
+        );
+        assert!(
+            self.fault.is_none(),
+            "checkpoint with a component fault pending"
+        );
+        let mut w = SnapWriter::new();
+        self.save_body(&mut w);
+        Snapshot {
+            config_digest: self.cfg.digest(),
+            at_cycle: self.queue.now().0,
+            body: w.into_bytes(),
+        }
+    }
+
+    /// Reconstructs a machine from a checkpoint: builds a fresh
+    /// simulator from `cfg` and `programs` through the normal validated
+    /// path, then overlays the snapshotted state. Running the result
+    /// continues the captured run exactly — same events in the same
+    /// order, same final fingerprint as the uninterrupted run.
+    ///
+    /// # Errors
+    ///
+    /// [`ResumeError::Container`] if the snapshot's config digest does
+    /// not match `cfg`; [`ResumeError::Config`] on any normal
+    /// construction refusal (or a parallel config — resume targets the
+    /// sequential engine); [`ResumeError::ProgramMismatch`] if
+    /// `programs` differ from the capturing run's;
+    /// [`ResumeError::State`] on any body decode inconsistency.
+    pub fn resume(
+        cfg: SystemConfig,
+        programs: Vec<ThreadProgram>,
+        snapshot: &Snapshot,
+    ) -> Result<Simulator, ResumeError> {
+        snapshot.check_config(cfg.digest())?;
+        if cfg.parallel.is_some() {
+            return Err(ResumeError::Config(ConfigError {
+                field: "parallel",
+                problem: "resume targets the sequential engine".into(),
+                hint: "clear cfg.parallel before resuming a snapshot",
+            }));
+        }
+        let mut sim = Simulator::builder(cfg).programs(programs).build()?;
+        sim.restore_body(&snapshot.body)?;
+        Ok(sim)
+    }
+
+    /// Body layout (order is the format): program digest, started
+    /// flag, event queue (clock, counters, entries with original
+    /// ordering keys), processors, directories, network, directory
+    /// occupancy/caches, vendor, barrier, checker records, tx
+    /// characteristics, active count, transport, watchdog, program
+    /// seed.
+    fn save_body(&self, w: &mut SnapWriter) {
+        self.program_digest.save(w);
+        self.started.save(w);
+        self.queue.now().save(w);
+        self.queue.next_seq().save(w);
+        self.queue.events_processed().save(w);
+        let entries = self.queue.export_entries();
+        entries.len().save(w);
+        for (at, key, seq, ev) in entries {
+            at.save(w);
+            key.save(w);
+            seq.save(w);
+            ev.save(w);
+        }
+        for p in &self.procs {
+            p.save_state(w);
+        }
+        for d in &self.dirs {
+            d.save_state(w);
+        }
+        self.net.save_state(w);
+        self.dir_busy.save(w);
+        for c in &self.dir_caches {
+            match c {
+                Some(c) => {
+                    true.save(w);
+                    c.save_state(w);
+                }
+                None => false.save(w),
+            }
+        }
+        self.vendor_next.save(w);
+        self.barrier_waiting.save(w);
+        match &self.checker {
+            Some(c) => {
+                true.save(w);
+                c.records().len().save(w);
+                for rec in c.records() {
+                    rec.save(w);
+                }
+            }
+            None => false.save(w),
+        }
+        self.tx_chars.save(w);
+        self.active.save(w);
+        match &self.transport {
+            Some(t) => {
+                true.save(w);
+                t.save_state(w);
+            }
+            None => false.save(w),
+        }
+        match &self.watchdog {
+            Some(wd) => {
+                true.save(w);
+                let (next_check, last_sig, stale_samples) = wd.state();
+                next_check.save(w);
+                last_sig.save(w);
+                stale_samples.save(w);
+            }
+            None => false.save(w),
+        }
+        self.program_seed.save(w);
+    }
+
+    /// Overlays a snapshot body onto this freshly constructed machine.
+    fn restore_body(&mut self, body: &[u8]) -> Result<(), ResumeError> {
+        let mut r = SnapReader::new(body);
+        let program_digest: u64 = r.get().map_err(ResumeError::State)?;
+        if program_digest != self.program_digest {
+            return Err(ResumeError::ProgramMismatch {
+                snapshot: program_digest,
+                current: self.program_digest,
+            });
+        }
+        self.restore_state(&mut r)?;
+        if !r.is_done() {
+            return Err(ResumeError::State(SnapError::invalid(
+                "Simulator",
+                format!("{} trailing bytes after state", r.remaining()),
+            )));
+        }
+        Ok(())
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.started = r.get()?;
+        let now: Cycle = r.get()?;
+        let next_seq: u64 = r.get()?;
+        let popped: u64 = r.get()?;
+        // Smallest entry: 8 (at) + 16 (key) + 8 (seq) + 1 (event tag).
+        let n = r.get_len(33)?;
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            let at: Cycle = r.get()?;
+            let key: u128 = r.get()?;
+            let seq: u64 = r.get()?;
+            let ev: Event = r.get()?;
+            entries.push((at, key, seq, ev));
+        }
+        let tie_break = match self.cfg.tie_break_seed {
+            Some(salt) => TieBreak::Seeded(salt),
+            None => TieBreak::Fifo,
+        };
+        let mut queue = EventQueue::restore(tie_break, now, next_seq, popped, entries);
+        queue.set_tracer(self.tracer.clone());
+        self.queue = queue;
+        for p in &mut self.procs {
+            p.restore_state(r)?;
+        }
+        for d in &mut self.dirs {
+            d.restore_state(r)?;
+        }
+        self.net.restore_state(r)?;
+        let dir_busy: Vec<Cycle> = r.get()?;
+        if dir_busy.len() != self.dir_busy.len() {
+            return Err(SnapError::invalid(
+                "Simulator.dir_busy",
+                format!(
+                    "snapshot has {} directories, config {}",
+                    dir_busy.len(),
+                    self.dir_busy.len()
+                ),
+            ));
+        }
+        self.dir_busy = dir_busy;
+        for (i, c) in self.dir_caches.iter_mut().enumerate() {
+            let present: bool = r.get()?;
+            match (present, c.as_mut()) {
+                (true, Some(cache)) => cache.restore_state(r)?,
+                (false, None) => {}
+                (in_snap, _) => {
+                    return Err(SnapError::invalid(
+                        "Simulator.dir_caches",
+                        format!(
+                            "directory {i}: snapshot {} a directory cache, config {}",
+                            if in_snap { "has" } else { "lacks" },
+                            if in_snap { "lacks one" } else { "has one" },
+                        ),
+                    ));
+                }
+            }
+        }
+        self.vendor_next = r.get()?;
+        self.barrier_waiting = r.get()?;
+        let checker_present: bool = r.get()?;
+        match (checker_present, self.checker.as_mut()) {
+            (true, Some(c)) => {
+                let records: Vec<TxRecord> = r.get()?;
+                c.restore_records(records);
+            }
+            (false, None) => {}
+            _ => {
+                return Err(SnapError::invalid(
+                    "Simulator.checker",
+                    "snapshot and config disagree on the serializability checker".to_string(),
+                ));
+            }
+        }
+        self.tx_chars = r.get()?;
+        self.active = r.get()?;
+        let transport_present: bool = r.get()?;
+        match (transport_present, self.transport.as_mut()) {
+            (true, Some(t)) => t.restore_state(r)?,
+            (false, None) => {}
+            _ => {
+                return Err(SnapError::invalid(
+                    "Simulator.transport",
+                    "snapshot and config disagree on the reliable transport".to_string(),
+                ));
+            }
+        }
+        let watchdog_present: bool = r.get()?;
+        match (watchdog_present, self.watchdog.as_mut()) {
+            (true, Some(wd)) => {
+                let next_check: u64 = r.get()?;
+                let last_sig: Option<u64> = r.get()?;
+                let stale_samples: u32 = r.get()?;
+                wd.restore_state(next_check, last_sig, stale_samples);
+            }
+            (false, None) => {}
+            _ => {
+                return Err(SnapError::invalid(
+                    "Simulator.watchdog",
+                    "snapshot and config disagree on the progress watchdog".to_string(),
+                ));
+            }
+        }
+        self.program_seed = r.get()?;
+        Ok(())
     }
 
     /// End-of-run invariants: with the event queue drained, every

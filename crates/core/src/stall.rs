@@ -117,11 +117,38 @@ impl StallReason {
     }
 }
 
+/// Everything needed to re-create the stalled run from scratch,
+/// embedded in every [`StallDiagnostic`] so a stall report is
+/// standalone-replayable: the seeds pin the workload generator, the
+/// chaos injector, and the same-cycle tie-break, and the config digest
+/// proves the reconstructed machine matches the one that stalled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunProvenance {
+    /// Seed the workload generator derived the programs from, when the
+    /// caller registered one (see `Simulator::set_program_seed`).
+    pub program_seed: Option<u64>,
+    /// Seed of the chaos fault injector, when chaos was configured.
+    pub chaos_seed: Option<u64>,
+    /// Same-cycle tie-break salt, when seeded ordering was configured.
+    pub tie_break_seed: Option<u64>,
+    /// [`SystemConfig::digest`](crate::SystemConfig::digest) of the
+    /// stalled run's configuration.
+    pub config_digest: u64,
+}
+
+impl RunProvenance {
+    fn seed_json(seed: Option<u64>) -> Json {
+        seed.map_or(Json::Null, Json::from)
+    }
+}
+
 /// The last-progress snapshot assembled when a run stalls.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StallDiagnostic {
     /// What tripped.
     pub reason: StallReason,
+    /// Replay coordinates of the stalled run.
+    pub provenance: RunProvenance,
     /// Cycle at which the stall was declared.
     pub at: u64,
     /// Transactions committed machine-wide before the stall.
@@ -173,6 +200,29 @@ impl StallDiagnostic {
             ("queued_events", (self.queued_events as u64).into()),
             ("in_flight_frames", self.in_flight_frames.into()),
             ("reorder_buffered", self.reorder_buffered.into()),
+            (
+                "provenance",
+                Json::obj(vec![
+                    (
+                        "program_seed",
+                        RunProvenance::seed_json(self.provenance.program_seed),
+                    ),
+                    (
+                        "chaos_seed",
+                        RunProvenance::seed_json(self.provenance.chaos_seed),
+                    ),
+                    (
+                        "tie_break_seed",
+                        RunProvenance::seed_json(self.provenance.tie_break_seed),
+                    ),
+                    (
+                        "config_digest",
+                        format!("{:016x}", self.provenance.config_digest)
+                            .as_str()
+                            .into(),
+                    ),
+                ]),
+            ),
         ];
         if let Some(t) = &self.transport {
             fields.push((
@@ -205,6 +255,15 @@ impl std::fmt::Display for StallDiagnostic {
         writeln!(f, "  proc states: [{}]", states.join(", "))?;
         let nst: Vec<String> = self.dir_nstids.iter().map(|t| format!("{t}")).collect();
         writeln!(f, "  directory NSTIDs: [{}]", nst.join(", "))?;
+        let seed = |s: Option<u64>| s.map_or_else(|| "-".to_string(), |v| v.to_string());
+        writeln!(
+            f,
+            "  replay: program_seed={} chaos_seed={} tie_break_seed={} config_digest={:016x}",
+            seed(self.provenance.program_seed),
+            seed(self.provenance.chaos_seed),
+            seed(self.provenance.tie_break_seed),
+            self.provenance.config_digest
+        )?;
         if let Some(t) = &self.transport {
             writeln!(
                 f,

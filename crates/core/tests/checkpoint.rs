@@ -1,0 +1,311 @@
+//! Checkpoint/restore determinism.
+//!
+//! The contract under test: a run resumed from a checkpoint taken at
+//! *any* cycle produces a [`SimResult::fingerprint`] byte-identical to
+//! the uninterrupted run's. The matrix below drives checkpoints through
+//! mid-commit windows, mid-retransmission transport state, seeded
+//! tie-breaking, directory caches, and TAPE profiling, plus the refusal
+//! paths (wrong config, wrong workload, damaged bytes).
+
+use tcc_core::{
+    ResumeError, Simulator, Snapshot, Step, SystemConfig, ThreadProgram, Transaction,
+    TransportConfig, TxOp, WatchdogConfig, WorkItem,
+};
+use tcc_network::{ChaosConfig, DropRule, DupRule};
+use tcc_types::rng::SmallRng;
+use tcc_types::{Addr, Cycle};
+
+/// Seeded random programs over a hot address space (conflicts, owner
+/// transfers, and violations are frequent).
+fn random_programs(n_procs: usize, txs: usize, seed: u64) -> Vec<ThreadProgram> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n_procs)
+        .map(|_| {
+            let mut items = Vec::new();
+            for t in 0..txs {
+                let n_ops = rng.gen_range(1..=6);
+                let mut ops = Vec::with_capacity(n_ops);
+                for _ in 0..n_ops {
+                    let line = rng.gen_range(0..6u64);
+                    let word = rng.gen_range(0..8u64);
+                    let addr = Addr(line * 32 + word * 4);
+                    if rng.gen_bool(0.45) {
+                        ops.push(TxOp::Store(addr));
+                    } else {
+                        ops.push(TxOp::Load(addr));
+                    }
+                    if rng.gen_bool(0.5) {
+                        ops.push(TxOp::Compute(rng.gen_range(1..60)));
+                    }
+                }
+                items.push(WorkItem::Tx(Transaction::new(ops)));
+                if (t + 1) % 3 == 0 {
+                    items.push(WorkItem::Barrier);
+                }
+            }
+            ThreadProgram::new(items)
+        })
+        .collect()
+}
+
+fn lossy_chaos(seed: u64) -> ChaosConfig {
+    ChaosConfig {
+        seed,
+        drops: vec![DropRule {
+            kind: "*".to_string(),
+            prob: 0.08,
+            from: 0,
+            until: u64::MAX,
+        }],
+        dups: vec![DupRule {
+            kind: "*".to_string(),
+            prob: 0.15,
+            delay: 11,
+            from: 0,
+            until: u64::MAX,
+        }],
+        reorder: 40,
+        reorder_prob: 0.3,
+        ..ChaosConfig::default()
+    }
+}
+
+fn build(cfg: &SystemConfig, programs: &[ThreadProgram]) -> Simulator {
+    Simulator::builder(cfg.clone())
+        .programs(programs.to_vec())
+        .build()
+        .expect("valid config")
+}
+
+/// The configuration matrix: every distinct snapshotted subsystem
+/// combination (plain, seeded tie-break, chaos + transport + watchdog,
+/// directory cache, profiling).
+fn matrix() -> Vec<(&'static str, SystemConfig)> {
+    let mut base = SystemConfig::with_procs(4);
+    base.check_serializability = true;
+
+    let mut seeded = base.clone();
+    seeded.tie_break_seed = Some(0xfeed);
+
+    let mut chaotic = base.clone();
+    chaotic.chaos = Some(lossy_chaos(17));
+    chaotic.transport = Some(TransportConfig::default());
+    chaotic.watchdog = Some(WatchdogConfig::default());
+    chaotic.tie_break_seed = Some(7);
+
+    let mut dircache = base.clone();
+    dircache.dir_cache_entries = Some(3);
+
+    let mut profiled = base.clone();
+    profiled.profile = true;
+
+    vec![
+        ("plain", base),
+        ("seeded", seeded),
+        ("chaotic", chaotic),
+        ("dircache", dircache),
+        ("profiled", profiled),
+    ]
+}
+
+/// Pauses at `at`, round-trips the checkpoint through container bytes,
+/// resumes a fresh machine, and returns its end-of-run fingerprint.
+/// `None` if the run completed before the pause cycle.
+fn fingerprint_via_checkpoint(
+    cfg: &SystemConfig,
+    programs: &[ThreadProgram],
+    at: u64,
+) -> Option<String> {
+    let sim = build(cfg, programs);
+    match sim
+        .try_run_until(Some(Cycle(at)))
+        .expect("run must not stall")
+    {
+        Step::Done(_) => None,
+        Step::Paused(paused) => {
+            let snap = paused.checkpoint();
+            assert_eq!(snap.at_cycle, paused.queue_now().0);
+            let bytes = snap.to_bytes();
+            let reread = Snapshot::from_bytes(&bytes).expect("container round-trips");
+            let resumed =
+                Simulator::resume(cfg.clone(), programs.to_vec(), &reread).expect("resume");
+            // A freshly resumed machine must re-checkpoint to the very
+            // same bytes: resume is lossless, not merely
+            // behavior-preserving.
+            assert_eq!(
+                resumed.checkpoint().to_bytes(),
+                bytes,
+                "re-checkpoint after resume must be byte-identical"
+            );
+            let r = resumed.try_run().expect("resumed run must complete");
+            if cfg.check_serializability {
+                r.assert_serializable();
+            }
+            Some(r.fingerprint())
+        }
+    }
+}
+
+#[test]
+fn resumed_runs_fingerprint_identical_across_matrix() {
+    for (name, cfg) in matrix() {
+        let programs = random_programs(4, 6, 99);
+        let baseline = build(&cfg, &programs).try_run().expect("baseline");
+        let expect = baseline.fingerprint();
+        let total = baseline.total_cycles;
+        assert!(total > 8, "{name}: workload too small to checkpoint");
+        // Checkpoint cycles spread across the run, including very early
+        // (mid first commit window) and late.
+        for frac in [8, 3, 2] {
+            let at = total / frac;
+            let got = fingerprint_via_checkpoint(&cfg, &programs, at);
+            assert_eq!(
+                got.as_deref(),
+                Some(expect.as_str()),
+                "{name}: resume from cycle {at} of {total} diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn dense_checkpoint_sweep_on_chaotic_config() {
+    // Fine-grained sweep across the run most likely to have awkward
+    // mid-flight state (retransmission timers armed, frames in the
+    // reorder buffer, commits mid-mark).
+    let (_, cfg) = matrix().into_iter().find(|(n, _)| *n == "chaotic").unwrap();
+    let programs = random_programs(4, 4, 5);
+    let baseline = build(&cfg, &programs).try_run().expect("baseline");
+    let expect = baseline.fingerprint();
+    let total = baseline.total_cycles;
+    let step = (total / 12).max(1);
+    let mut tested = 0;
+    for at in (step..total).step_by(step as usize) {
+        if let Some(got) = fingerprint_via_checkpoint(&cfg, &programs, at) {
+            assert_eq!(got, expect, "resume from cycle {at} of {total} diverged");
+            tested += 1;
+        }
+    }
+    assert!(tested >= 8, "sweep only exercised {tested} checkpoints");
+}
+
+#[test]
+fn pause_and_continue_in_place_matches_uninterrupted() {
+    let mut cfg = SystemConfig::with_procs(4);
+    cfg.check_serializability = true;
+    let programs = random_programs(4, 6, 21);
+    let baseline = build(&cfg, &programs).try_run().expect("baseline");
+    // Run the same machine with a pause every 50 cycles, never
+    // serializing — pausing alone must not perturb anything.
+    let mut sim = build(&cfg, &programs);
+    let mut at = 50;
+    let result = loop {
+        match sim.try_run_until(Some(Cycle(at))).expect("paused run") {
+            Step::Done(r) => break r,
+            Step::Paused(p) => {
+                sim = *p;
+                at += 50;
+            }
+        }
+    };
+    assert_eq!(result.fingerprint(), baseline.fingerprint());
+}
+
+#[test]
+fn checkpoint_bytes_are_a_pure_function_of_state() {
+    let mut cfg = SystemConfig::with_procs(4);
+    cfg.check_serializability = true;
+    let programs = random_programs(4, 5, 3);
+    let sim = build(&cfg, &programs);
+    let Step::Paused(paused) = sim.try_run_until(Some(Cycle(120))).expect("run") else {
+        panic!("run finished before the pause cycle");
+    };
+    assert_eq!(
+        paused.checkpoint().to_bytes(),
+        paused.checkpoint().to_bytes()
+    );
+}
+
+#[test]
+fn resume_refuses_wrong_config() {
+    let mut cfg = SystemConfig::with_procs(4);
+    cfg.check_serializability = true;
+    let programs = random_programs(4, 5, 3);
+    let Step::Paused(paused) = build(&cfg, &programs)
+        .try_run_until(Some(Cycle(120)))
+        .expect("run")
+    else {
+        panic!("run finished before the pause cycle");
+    };
+    let snap = paused.checkpoint();
+    let mut other = cfg.clone();
+    other.dir_ctrl_latency += 1;
+    let err = Simulator::resume(other, programs, &snap).unwrap_err();
+    assert!(
+        matches!(err, ResumeError::Container(_)),
+        "expected a config-digest refusal, got: {err}"
+    );
+}
+
+#[test]
+fn resume_refuses_wrong_programs() {
+    let mut cfg = SystemConfig::with_procs(4);
+    cfg.check_serializability = true;
+    let programs = random_programs(4, 5, 3);
+    let Step::Paused(paused) = build(&cfg, &programs)
+        .try_run_until(Some(Cycle(120)))
+        .expect("run")
+    else {
+        panic!("run finished before the pause cycle");
+    };
+    let snap = paused.checkpoint();
+    let other = random_programs(4, 5, 4); // different workload seed
+    let err = Simulator::resume(cfg, other, &snap).unwrap_err();
+    assert!(
+        matches!(err, ResumeError::ProgramMismatch { .. }),
+        "expected a workload refusal, got: {err}"
+    );
+}
+
+#[test]
+fn resume_refuses_damaged_state() {
+    let mut cfg = SystemConfig::with_procs(4);
+    cfg.check_serializability = true;
+    let programs = random_programs(4, 5, 3);
+    let Step::Paused(paused) = build(&cfg, &programs)
+        .try_run_until(Some(Cycle(120)))
+        .expect("run")
+    else {
+        panic!("run finished before the pause cycle");
+    };
+    let snap = paused.checkpoint();
+    // Truncation at every eighth of the body must yield a typed error,
+    // never a panic or a silently short machine.
+    for cut in 1..8 {
+        let truncated = Snapshot {
+            config_digest: snap.config_digest,
+            at_cycle: snap.at_cycle,
+            body: snap.body[..snap.body.len() * cut / 8].to_vec(),
+        };
+        let err = Simulator::resume(cfg.clone(), programs.clone(), &truncated).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ResumeError::State(_) | ResumeError::ProgramMismatch { .. }
+            ),
+            "cut {cut}/8: expected a state refusal, got: {err}"
+        );
+    }
+}
+
+#[test]
+fn early_checkpoint_before_any_event_resumes() {
+    // Pause at cycle 0: only the start()-scheduled events exist. The
+    // resumed run must still match end to end.
+    let mut cfg = SystemConfig::with_procs(2);
+    cfg.check_serializability = true;
+    let programs = random_programs(2, 3, 11);
+    let baseline = build(&cfg, &programs).try_run().expect("baseline");
+    let got = fingerprint_via_checkpoint(&cfg, &programs, 0);
+    assert_eq!(got.as_deref(), Some(baseline.fingerprint().as_str()));
+}

@@ -1,0 +1,129 @@
+//! Watchdog stall detection at tiny progress-hash intervals, and the
+//! replay provenance embedded in every stall diagnostic.
+
+use tcc_core::{
+    RunError, Simulator, StallReason, SystemConfig, ThreadProgram, Transaction, TransportConfig,
+    TxOp, WatchdogConfig, WorkItem,
+};
+use tcc_network::{ChaosConfig, DropRule};
+use tcc_types::Addr;
+
+/// Two processors that must exchange a line: progress requires the
+/// wire, so a dead wire wedges the run.
+fn cross_traffic() -> Vec<ThreadProgram> {
+    (0..2u64)
+        .map(|p| {
+            let tx = Transaction::new(vec![
+                TxOp::Load(Addr((1 - p) * 256)),
+                TxOp::Store(Addr(p * 256)),
+                TxOp::Compute(10),
+            ]);
+            ThreadProgram::new(vec![WorkItem::Tx(tx)])
+        })
+        .collect()
+}
+
+fn dead_wire(seed: u64) -> ChaosConfig {
+    ChaosConfig {
+        seed,
+        drops: vec![DropRule {
+            kind: "*".to_string(),
+            prob: 1.0,
+            from: 0,
+            until: u64::MAX,
+        }],
+        ..ChaosConfig::default()
+    }
+}
+
+fn wedged_cfg(interval: u64, grace: u32) -> SystemConfig {
+    let mut cfg = SystemConfig::with_procs(2);
+    cfg.chaos = Some(dead_wire(42));
+    // A retry budget far beyond the watchdog window: the watchdog, not
+    // the transport, must be the one to call the stall.
+    cfg.transport = Some(TransportConfig {
+        max_retries: 1_000_000,
+        ..TransportConfig::default()
+    });
+    cfg.watchdog = Some(WatchdogConfig { interval, grace });
+    cfg
+}
+
+#[test]
+fn tiny_interval_watchdog_trips_fast_on_a_dead_wire() {
+    for interval in [1, 2, 5] {
+        let cfg = wedged_cfg(interval, 1);
+        let err = Simulator::builder(cfg)
+            .programs(cross_traffic())
+            .build()
+            .expect("valid config")
+            .try_run()
+            .expect_err("a fully dropped wire cannot make progress");
+        let RunError::Stalled(diag) = err;
+        assert!(
+            matches!(diag.reason, StallReason::NoProgress { .. }),
+            "interval {interval}: expected the watchdog, got {}",
+            diag.reason
+        );
+        // interval=1, grace=1 means the second unchanged 1-cycle sample
+        // already trips; even the loosest case here is bounded by a few
+        // retransmission timeouts, nowhere near the default 250k window.
+        assert!(
+            diag.at < 10_000,
+            "interval {interval}: watchdog took {} cycles to notice",
+            diag.at
+        );
+    }
+}
+
+#[test]
+fn stall_diagnostic_carries_replay_provenance() {
+    let cfg = wedged_cfg(1, 1);
+    let digest = cfg.digest();
+    let mut sim = Simulator::builder(cfg)
+        .programs(cross_traffic())
+        .build()
+        .expect("valid config");
+    sim.set_program_seed(777);
+    let RunError::Stalled(diag) = sim.try_run().expect_err("wedged");
+    assert_eq!(diag.provenance.program_seed, Some(777));
+    assert_eq!(diag.provenance.chaos_seed, Some(42));
+    assert_eq!(diag.provenance.tie_break_seed, None);
+    assert_eq!(diag.provenance.config_digest, digest);
+    // Both renderings must surface the coordinates.
+    let text = diag.to_string();
+    assert!(
+        text.contains("replay: program_seed=777 chaos_seed=42 tie_break_seed=-"),
+        "display missing replay line:\n{text}"
+    );
+    let json = diag.to_json().to_compact();
+    assert!(
+        json.contains("\"provenance\""),
+        "json missing provenance: {json}"
+    );
+    assert!(json.contains("\"program_seed\":777"), "json: {json}");
+    assert!(
+        json.contains(&format!("{digest:016x}")),
+        "json missing config digest: {json}"
+    );
+}
+
+#[test]
+fn provenance_defaults_are_null_without_seeds() {
+    // No chaos/tie-break/program seed: a plain deadlock-free config that
+    // exceeds max_cycles still reports (null) provenance coordinates.
+    let mut cfg = SystemConfig::with_procs(2);
+    cfg.max_cycles = 1; // everything takes longer than one cycle
+    let err = Simulator::builder(cfg)
+        .programs(cross_traffic())
+        .build()
+        .expect("valid config")
+        .try_run()
+        .expect_err("one-cycle budget");
+    let RunError::Stalled(diag) = err;
+    assert!(matches!(diag.reason, StallReason::CycleLimit { limit: 1 }));
+    assert_eq!(diag.provenance.program_seed, None);
+    assert_eq!(diag.provenance.chaos_seed, None);
+    let json = diag.to_json().to_compact();
+    assert!(json.contains("\"program_seed\":null"), "json: {json}");
+}

@@ -47,11 +47,13 @@ use std::collections::BTreeMap;
 
 use tcc_trace::{TraceEvent, Tracer};
 use tcc_types::hash::FxHashMap;
+use tcc_types::snap::{SnapError, SnapReader, SnapWriter};
 use tcc_types::{
     Cycle, DataSource, DirId, LineAddr, LineValues, NodeId, Payload, ProtocolBugs, Tid, WordMask,
 };
 
 use crate::entry::{DirEntry, MarkInfo};
+use crate::sharer_set::SharerSet;
 use crate::skip_vector::{SkipRefused, SkipVector};
 
 /// Directory configuration.
@@ -956,6 +958,201 @@ impl Directory {
             self.out = buf;
         }
     }
+
+    /// Serializes the directory's full protocol state for
+    /// checkpointing: NSTID + skip vector, the line table, every
+    /// deferred/pending structure (probes, stalled loads, data-request
+    /// waiters, marked lines, pending commit, ack window), the sticky
+    /// skip refusal, and the statistics. The config and tracer are not
+    /// written (reconstructed by the resuming caller); the action
+    /// buffer is empty between events by construction.
+    ///
+    /// Unordered containers are emitted in sorted key order so snapshot
+    /// bytes are a pure function of state.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        debug_assert!(self.out.is_empty(), "save_state mid-transition");
+        let (nstid, sv_bits) = self.sv.snapshot_parts();
+        w.put(&nstid);
+        w.put(&sv_bits);
+        w.put(&(self.entries.len() as u64));
+        for (line, e) in &self.entries {
+            w.put(line);
+            w.put(&e.sharers.bits());
+            w.put(&e.owner);
+            match &e.marked {
+                None => w.put(&false),
+                Some(m) => {
+                    w.put(&true);
+                    w.put(&m.tid);
+                    w.put(&m.by);
+                    w.put(&m.words);
+                }
+            }
+            w.put(&e.tid_tag);
+            w.put(&e.owner_words);
+            w.put(&e.memory);
+        }
+        w.put(&(self.pending_probes.len() as u64));
+        for p in &self.pending_probes {
+            w.put(&p.tid);
+            w.put(&p.requester);
+            w.put(&p.for_write);
+            w.put(&p.since);
+        }
+        w.put(&self.stalled_loads);
+        let mut waiters: Vec<(&LineAddr, &Waiters)> = self.data_req_waiters.iter().collect();
+        waiters.sort_by_key(|(l, _)| **l);
+        w.put(&(waiters.len() as u64));
+        for (line, wtr) in waiters {
+            w.put(line);
+            w.put(&wtr.target);
+            w.put(&wtr.queue);
+        }
+        w.put(&self.marked_lines);
+        w.put(&self.marks_received);
+        match &self.pending_commit {
+            None => w.put(&false),
+            Some(pc) => {
+                w.put(&true);
+                w.put(&pc.tid);
+                w.put(&pc.committer);
+                w.put(&pc.marks_expected);
+            }
+        }
+        match &self.ack_wait {
+            None => w.put(&false),
+            Some(aw) => {
+                w.put(&true);
+                w.put(&aw.tid);
+                w.put(&aw.acks_left);
+                w.put(&aw.opened_at);
+                w.put(&aw.locked);
+            }
+        }
+        w.put(&self.commit_span_start);
+        match &self.skip_refusal {
+            None => w.put(&false),
+            Some(sr) => {
+                w.put(&true);
+                w.put(&sr.tid);
+                w.put(&sr.now_serving);
+                w.put(&sr.window);
+            }
+        }
+        let s = &self.stats;
+        for v in [
+            s.commits,
+            s.skips,
+            s.aborts,
+            s.marks,
+            s.invalidations,
+            s.loads,
+            s.stalled_loads,
+            s.writebacks_accepted,
+            s.writebacks_dropped,
+        ] {
+            w.put(&v);
+        }
+        w.put(&s.occupancy);
+    }
+
+    /// Restores state captured by [`Directory::save_state`] into this
+    /// (identically-configured) directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapError`] on truncated or structurally invalid
+    /// input.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let nstid: Tid = r.get()?;
+        let sv_bits: Vec<u64> = r.get()?;
+        self.sv = SkipVector::from_parts(nstid, sv_bits);
+        self.entries.clear();
+        let n_entries = r.get_len(8)?;
+        for _ in 0..n_entries {
+            let line: LineAddr = r.get()?;
+            let mut e = DirEntry::new(self.cfg.words_per_line);
+            e.sharers = SharerSet::from_bits(r.get()?);
+            e.owner = r.get()?;
+            e.marked = if r.get::<bool>()? {
+                Some(MarkInfo {
+                    tid: r.get()?,
+                    by: r.get()?,
+                    words: r.get()?,
+                })
+            } else {
+                None
+            };
+            e.tid_tag = r.get()?;
+            e.owner_words = r.get()?;
+            e.memory = r.get()?;
+            self.entries.insert(line, e);
+        }
+        let n_probes = r.get_len(8)?;
+        self.pending_probes.clear();
+        for _ in 0..n_probes {
+            self.pending_probes.push(PendingProbe {
+                tid: r.get()?,
+                requester: r.get()?,
+                for_write: r.get()?,
+                since: r.get()?,
+            });
+        }
+        self.stalled_loads = r.get()?;
+        self.data_req_waiters.clear();
+        let n_waiters = r.get_len(8)?;
+        for _ in 0..n_waiters {
+            let line: LineAddr = r.get()?;
+            let target: NodeId = r.get()?;
+            let queue: Vec<(NodeId, u64)> = r.get()?;
+            self.data_req_waiters
+                .insert(line, Waiters { target, queue });
+        }
+        self.marked_lines = r.get()?;
+        self.marks_received = r.get()?;
+        self.pending_commit = if r.get::<bool>()? {
+            Some(PendingCommit {
+                tid: r.get()?,
+                committer: r.get()?,
+                marks_expected: r.get()?,
+            })
+        } else {
+            None
+        };
+        self.ack_wait = if r.get::<bool>()? {
+            Some(AckWait {
+                tid: r.get()?,
+                acks_left: r.get()?,
+                opened_at: r.get()?,
+                locked: r.get()?,
+            })
+        } else {
+            None
+        };
+        self.commit_span_start = r.get()?;
+        self.skip_refusal = if r.get::<bool>()? {
+            Some(SkipRefused {
+                tid: r.get()?,
+                now_serving: r.get()?,
+                window: r.get()?,
+            })
+        } else {
+            None
+        };
+        self.stats = DirStats {
+            commits: r.get()?,
+            skips: r.get()?,
+            aborts: r.get()?,
+            marks: r.get()?,
+            invalidations: r.get()?,
+            loads: r.get()?,
+            stalled_loads: r.get()?,
+            writebacks_accepted: r.get()?,
+            writebacks_dropped: r.get()?,
+            occupancy: r.get()?,
+        };
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -1326,5 +1523,55 @@ mod tests {
         assert_eq!(d.now_serving(), Tid(1));
         assert!(d.handle_abort(Cycle(1), Tid(0)).is_empty());
         assert_eq!(d.now_serving(), Tid(1));
+    }
+
+    /// Checkpointing a directory mid-commit (invalidation acks still
+    /// outstanding) and restoring it into a fresh controller must
+    /// reproduce both the serialized bytes and all subsequent protocol
+    /// behaviour exactly.
+    #[test]
+    fn save_restore_round_trips_mid_commit_state() {
+        let mut d = dir();
+        d.handle_load(Cycle(0), L, N1, 0);
+        d.handle_load(Cycle(0), L, N2, 0);
+        d.handle_load(Cycle(0), LineAddr(200), N0, 0);
+        d.handle_probe(Cycle(0), Tid(0), N1, true);
+        d.handle_mark(Cycle(10), Tid(0), L, WordMask::single(3), N1);
+        // Opens the ack window: N2 must still be invalidated.
+        d.handle_commit(Cycle(20), Tid(0), N1, 1);
+        // A skip for a far-future TID leaves a refusal pending too.
+        d.handle_skip(Cycle(21), Tid(5_000_000));
+        assert!(d.skip_refusal().is_some());
+
+        let mut w = SnapWriter::new();
+        d.save_state(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut r = dir();
+        let mut rd = SnapReader::new(&bytes);
+        r.restore_state(&mut rd).unwrap();
+        assert!(rd.is_done(), "restore must consume the whole snapshot");
+
+        // Re-saving the restored directory yields identical bytes.
+        let mut w2 = SnapWriter::new();
+        r.save_state(&mut w2);
+        assert_eq!(bytes, w2.into_bytes());
+
+        // Both copies finish the commit identically.
+        for d in [&mut d, &mut r] {
+            let acts = d.handle_inv_ack(Cycle(30), Tid(0), L, N2, false);
+            assert!(acts.is_empty());
+            assert_eq!(d.now_serving(), Tid(1));
+            assert_eq!(d.stats().commits, 1);
+            assert_eq!(d.stats().occupancy, vec![20]);
+            let e = d.entry(L).unwrap();
+            assert_eq!(e.owner, Some(N1));
+            assert!(e.sharers.contains(N1) && !e.sharers.contains(N2));
+        }
+
+        // Truncated snapshots are refused with a typed error.
+        let mut fresh = dir();
+        let mut short = SnapReader::new(&bytes[..bytes.len() - 1]);
+        assert!(fresh.restore_state(&mut short).is_err());
     }
 }

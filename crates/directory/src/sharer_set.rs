@@ -92,6 +92,18 @@ impl SharerSet {
     pub fn any_other_than(self, n: NodeId) -> bool {
         self.0 & !Self::bit(n) != 0
     }
+
+    /// The raw bit vector, for checkpointing.
+    #[must_use]
+    pub fn bits(self) -> u128 {
+        self.0
+    }
+
+    /// Rebuilds a set from its raw bit vector.
+    #[must_use]
+    pub fn from_bits(bits: u128) -> SharerSet {
+        SharerSet(bits)
+    }
 }
 
 impl FromIterator<NodeId> for SharerSet {

@@ -221,6 +221,28 @@ impl SkipVector {
     pub fn buffered(&self) -> u32 {
         self.bits.iter().map(|w| w.count_ones()).sum()
     }
+
+    /// Checkpoint view: `(now_serving, bit words)`.
+    #[must_use]
+    pub fn snapshot_parts(&self) -> (Tid, Vec<u64>) {
+        (self.now_serving, self.bits.clone())
+    }
+
+    /// Rebuilds a vector from [`SkipVector::snapshot_parts`] output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` exceeds the [`SkipVector::MAX_WINDOW`] bound —
+    /// a snapshot can never legitimately contain what the live vector
+    /// refuses to buffer.
+    #[must_use]
+    pub fn from_parts(now_serving: Tid, bits: Vec<u64>) -> SkipVector {
+        assert!(
+            bits.len() <= (Self::MAX_WINDOW as usize / 64) + 1,
+            "skip-vector snapshot exceeds the outstanding-TID window"
+        );
+        SkipVector { now_serving, bits }
+    }
 }
 
 #[cfg(test)]

@@ -526,6 +526,95 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// The same-cycle ordering policy this queue was built with.
+    #[must_use]
+    pub fn tie_break(&self) -> TieBreak {
+        self.tie_break
+    }
+
+    /// The next insertion sequence number. Part of the queue's
+    /// checkpointable state: future FIFO tie-break keys derive from it,
+    /// so a restored queue must resume the counter exactly.
+    #[must_use]
+    pub fn next_seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Every pending event as `(at, key, seq, payload)`, sorted by the
+    /// queue's total order `(at, key, seq)`. The deterministic ordering
+    /// makes snapshot bytes a pure function of queue *state*, not of
+    /// slab/heap layout history. Wheel timestamps are reconstructed
+    /// from slot position relative to the window anchor (`now`); all
+    /// wheel residents lie in `[now, now + WHEEL_SLOTS)` by
+    /// construction.
+    #[must_use]
+    pub fn export_entries(&self) -> Vec<(Cycle, u128, u64, &E)> {
+        let mut out = Vec::with_capacity(self.len());
+        for (slot, entries) in self.slots.iter().enumerate() {
+            let dt = (slot as u64).wrapping_sub(self.now.0) & WHEEL_MASK;
+            let at = Cycle(self.now.0 + dt);
+            for e in entries {
+                let ev = self
+                    .events
+                    .get(e.id)
+                    .expect("wheel entry payload missing from slab");
+                out.push((at, e.key, e.seq, ev));
+            }
+        }
+        for &Reverse(e) in &self.far {
+            let ev = self
+                .events
+                .get(e.id)
+                .expect("far entry payload missing from slab");
+            out.push((e.at, e.key, e.seq, ev));
+        }
+        out.sort_by_key(|a| (a.0, a.1, a.2));
+        out
+    }
+
+    /// Rebuilds a queue from checkpointed state: the clock, the
+    /// insertion/pop counters, and every pending entry with its
+    /// *original* `(key, seq)` — re-insertion must not re-key events,
+    /// or same-cycle ordering (and thus the resumed run's fingerprint)
+    /// would diverge from the uninterrupted run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an entry predates `now` or reuses a sequence number at
+    /// or beyond `seq` (either means the snapshot is inconsistent).
+    #[must_use]
+    pub fn restore(
+        tie_break: TieBreak,
+        now: Cycle,
+        seq: u64,
+        popped: u64,
+        entries: Vec<(Cycle, u128, u64, E)>,
+    ) -> EventQueue<E> {
+        let mut q = EventQueue::with_tie_break(tie_break);
+        q.now = now;
+        q.seq = seq;
+        q.popped = popped;
+        for (at, key, eseq, event) in entries {
+            assert!(at >= now, "restored event at {at} predates now {now}");
+            assert!(
+                eseq < seq,
+                "restored event seq {eseq} not below next seq {seq}"
+            );
+            let id = q.events.insert(event);
+            if at.0 - now.0 < WHEEL_SLOTS as u64 {
+                q.wheel_insert(at, SlotEntry { key, seq: eseq, id });
+            } else {
+                q.far.push(Reverse(FarEntry {
+                    at,
+                    key,
+                    seq: eseq,
+                    id,
+                }));
+            }
+        }
+        q
+    }
+
     /// The timestamp of the earliest pending event, if any.
     #[must_use]
     pub fn peek_time(&self) -> Option<Cycle> {
@@ -747,6 +836,63 @@ mod tests {
         assert_eq!(q.pop(), Some((Cycle(500_000), "far")));
         assert_eq!(q.now(), Cycle(500_000));
         assert!(q.is_empty());
+    }
+
+    /// Export + restore reproduces the exact pop sequence of the
+    /// original queue — including events scheduled *after* the restore
+    /// point, whose FIFO keys depend on the restored `seq` counter —
+    /// across tie-break policies and near/far placements.
+    #[test]
+    fn export_restore_round_trips_pending_events() {
+        for tb in [TieBreak::Fifo, TieBreak::Seeded(0xfeed)] {
+            let mut rng = SmallRng::seed_from_u64(0xe191_0004);
+            let mut q = EventQueue::with_tie_break(tb);
+            for i in 0..200usize {
+                // Mix of same-cycle ties, near events, and far events.
+                let at = match i % 5 {
+                    0 => 40,
+                    4 => WHEEL_SLOTS as u64 * 3 + rng.gen_range(0u64..100),
+                    _ => rng.gen_range(0u64..2000),
+                };
+                q.schedule(Cycle(at), i);
+            }
+            for _ in 0..37 {
+                q.pop();
+            }
+            let entries: Vec<(Cycle, u128, u64, usize)> = q
+                .export_entries()
+                .into_iter()
+                .map(|(at, key, seq, &ev)| (at, key, seq, ev))
+                .collect();
+            assert_eq!(entries.len(), q.len());
+            assert!(entries
+                .windows(2)
+                .all(|w| { (w[0].0, w[0].1, w[0].2) < (w[1].0, w[1].1, w[1].2) }));
+            let mut restored = EventQueue::restore(
+                q.tie_break(),
+                q.now(),
+                q.next_seq(),
+                q.events_processed(),
+                entries,
+            );
+            assert_eq!(restored.len(), q.len());
+            assert_eq!(restored.now(), q.now());
+            // Post-restore scheduling must continue the key stream.
+            for i in 500..520usize {
+                let at = q.now() + 10 + (i as u64 % 7);
+                q.schedule(at, i);
+                restored.schedule(at, i);
+            }
+            loop {
+                let a = q.pop();
+                let b = restored.pop();
+                assert_eq!(a, b);
+                if a.is_none() {
+                    break;
+                }
+            }
+            assert_eq!(q.events_processed(), restored.events_processed());
+        }
     }
 
     /// A far event whose deadline comes to undercut wheel-resident

@@ -90,6 +90,26 @@ impl ProgressWatchdog {
     pub fn window(&self) -> u64 {
         self.cfg.interval * u64::from(self.cfg.grace)
     }
+
+    /// Checkpointable state: `(next_check, last_sig, stale_samples)`.
+    /// The progress-signature history must survive a checkpoint —
+    /// otherwise a run resumed inside a stall window would restart the
+    /// grace count and detect the stall later than the uninterrupted
+    /// run.
+    #[must_use]
+    pub fn state(&self) -> (u64, Option<u64>, u32) {
+        (self.next_check, self.last_sig, self.stale_samples)
+    }
+
+    /// Overwrites the mutable state with values captured by
+    /// [`ProgressWatchdog::state`]. The config is not part of the
+    /// snapshot: the resuming caller reconstructs it from
+    /// `SystemConfig` (gated by the config digest).
+    pub fn restore_state(&mut self, next_check: u64, last_sig: Option<u64>, stale_samples: u32) {
+        self.next_check = next_check;
+        self.last_sig = last_sig;
+        self.stale_samples = stale_samples;
+    }
 }
 
 /// Folds an arbitrary stream of progress words into one signature with

@@ -59,6 +59,7 @@ use tcc_types::hash::FxHashMap;
 
 use tcc_trace::Json;
 use tcc_types::rng::SmallRng;
+use tcc_types::snap::{Snap, SnapError, SnapReader, SnapWriter};
 use tcc_types::{Cycle, Message, NodeId};
 
 /// Hook the [`Network`](crate::Network) calls for every message send.
@@ -88,6 +89,19 @@ pub trait FaultInjector: std::fmt::Debug {
         arrival: Cycle,
     ) -> Vec<Cycle> {
         vec![arrival]
+    }
+
+    /// Serializes the injector's mutable state (RNG position, FIFO
+    /// clamp watermarks, counters) for a checkpoint. Stateless
+    /// injectors need not override the default no-op.
+    fn save_state(&self, _w: &mut SnapWriter) {}
+
+    /// Restores state saved by
+    /// [`save_state`](FaultInjector::save_state). The injector must
+    /// already be configured identically to the one that saved (the
+    /// snapshot's config digest guarantees this for [`SeededInjector`]).
+    fn restore_state(&mut self, _r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        Ok(())
     }
 }
 
@@ -560,6 +574,33 @@ impl FaultInjector for SeededInjector {
         fates.extend(copies);
         fates
     }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        self.rng.save(w);
+        let mut clamp: Vec<((NodeId, NodeId), u64)> =
+            self.last_arrival.iter().map(|(&k, &v)| (k, v)).collect();
+        clamp.sort_unstable();
+        clamp.save(w);
+        self.stats.messages.save(w);
+        self.stats.perturbed.save(w);
+        self.stats.extra_cycles.save(w);
+        self.stats.dropped.save(w);
+        self.stats.duplicated.save(w);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.rng = r.get()?;
+        let clamp: Vec<((NodeId, NodeId), u64)> = r.get()?;
+        self.last_arrival = clamp.into_iter().collect();
+        self.stats = ChaosStats {
+            messages: r.get()?,
+            perturbed: r.get()?,
+            extra_cycles: r.get()?,
+            dropped: r.get()?,
+            duplicated: r.get()?,
+        };
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -771,6 +812,55 @@ mod tests {
             vec![Cycle(15), Cycle(45)]
         );
         assert_eq!(inj.stats().duplicated, 1);
+    }
+
+    /// A restored injector must continue the RNG stream and FIFO clamp
+    /// exactly where the saved one left off: the perturbation tails
+    /// match draw for draw.
+    #[test]
+    fn save_restore_continues_rng_and_clamp_tails_exactly() {
+        let cfg = ChaosConfig {
+            seed: 0xc4a0_5001,
+            jitter: 80,
+            jitter_prob: 0.6,
+            drops: vec![DropRule {
+                kind: "*".to_string(),
+                prob: 0.1,
+                from: 0,
+                until: u64::MAX,
+            }],
+            reorder: 50,
+            reorder_prob: 0.5,
+            ..ChaosConfig::default()
+        };
+        let mut inj = SeededInjector::new(cfg.clone());
+        for i in 0..300u64 {
+            inj.perturb(Cycle(i), &msg((i % 3) as u16, 1), Cycle(i + 10));
+            inj.wire_fate(Cycle(i), "Mark", NodeId(0), NodeId(2), Cycle(i + 10));
+        }
+
+        let mut w = SnapWriter::new();
+        inj.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut restored = SeededInjector::new(cfg);
+        let mut r = SnapReader::new(&bytes);
+        restored.restore_state(&mut r).unwrap();
+        assert!(r.is_done());
+        assert_eq!(restored.stats(), inj.stats());
+
+        for i in 300..600u64 {
+            let m = msg((i % 3) as u16, 1);
+            assert_eq!(
+                inj.perturb(Cycle(i), &m, Cycle(i + 10)),
+                restored.perturb(Cycle(i), &m, Cycle(i + 10)),
+                "perturbation tail diverged at step {i}"
+            );
+            assert_eq!(
+                inj.wire_fate(Cycle(i), "Mark", NodeId(0), NodeId(2), Cycle(i + 10)),
+                restored.wire_fate(Cycle(i), "Mark", NodeId(0), NodeId(2), Cycle(i + 10)),
+                "wire-fate tail diverged at step {i}"
+            );
+        }
     }
 
     #[test]

@@ -42,6 +42,7 @@ pub use stats::TrafficStats;
 pub use transport::{RetryExhausted, Transport, TransportAction, TransportConfig, TransportStats};
 
 use tcc_trace::{TraceEvent, Tracer};
+use tcc_types::snap::{Snap, SnapError, SnapReader, SnapWriter};
 use tcc_types::{Cycle, Frame, Message, NodeId};
 
 /// The interconnect facade: routes [`Message`]s over a [`Mesh2D`] and
@@ -211,6 +212,53 @@ impl Network {
         fates
     }
 
+    /// Serializes the network's mutable state: link occupancy, traffic
+    /// accounts, and — when an injector is attached — its RNG and
+    /// clamp state. Topology and line size come from config and are
+    /// covered by the snapshot's config digest.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        self.mesh.link_state().to_vec().save(w);
+        self.stats.save_state(w);
+        match self.injector.as_ref() {
+            None => false.save(w),
+            Some(inj) => {
+                true.save(w);
+                inj.save_state(w);
+            }
+        }
+    }
+
+    /// Restores state saved by [`Network::save_state`] into a network
+    /// built from the same configuration (same topology, and an
+    /// injector attached iff one was attached at save time).
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let links: Vec<Cycle> = r.get()?;
+        if links.len() != self.mesh.link_state().len() {
+            return Err(SnapError::invalid(
+                "Network.mesh",
+                "link state from a differently shaped mesh",
+            ));
+        }
+        self.mesh.restore_link_state(links);
+        self.stats.restore_state(r)?;
+        let had_injector: bool = r.get()?;
+        match (had_injector, self.injector.as_mut()) {
+            (true, Some(inj)) => inj.restore_state(r)?,
+            (false, None) => {}
+            (saved, _) => {
+                return Err(SnapError::invalid(
+                    "Network.injector",
+                    format!(
+                        "snapshot {} an injector but this network {} one",
+                        if saved { "carries" } else { "lacks" },
+                        if saved { "lacks" } else { "carries" },
+                    ),
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Number of mesh hops between two nodes.
     #[must_use]
     pub fn hops(&self, a: NodeId, b: NodeId) -> u64 {
@@ -257,5 +305,52 @@ mod tests {
         let t_local = net.send(Cycle(0), &local);
         let t_remote = net.send(Cycle(0), &remote);
         assert!(t_local < t_remote);
+    }
+
+    #[test]
+    fn save_restore_round_trips_links_stats_and_injector() {
+        let mk = || {
+            let mut net = Network::new(9, 32, NetworkConfig::default());
+            net.set_injector(Box::new(SeededInjector::new(ChaosConfig {
+                seed: 77,
+                jitter: 30,
+                jitter_prob: 0.5,
+                ..ChaosConfig::default()
+            })));
+            net
+        };
+        let mut net = mk();
+        for i in 0..40u64 {
+            let m = Message::new(
+                NodeId((i % 9) as u16),
+                NodeId(((i * 5 + 3) % 9) as u16),
+                Payload::Skip { tid: Tid(i) },
+            );
+            net.send(Cycle(i * 2), &m);
+        }
+        let mut w = SnapWriter::new();
+        net.save_state(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut restored = mk();
+        let mut r = SnapReader::new(&bytes);
+        restored.restore_state(&mut r).unwrap();
+        assert!(r.is_done());
+        let mut w2 = SnapWriter::new();
+        restored.save_state(&mut w2);
+        assert_eq!(bytes, w2.into_bytes());
+
+        // Post-restore sends see identical contention and chaos.
+        for i in 40..60u64 {
+            let m = Message::new(NodeId(0), NodeId(8), Payload::Skip { tid: Tid(i) });
+            assert_eq!(net.send(Cycle(i), &m), restored.send(Cycle(i), &m));
+        }
+        assert_eq!(net.stats().total_bytes(), restored.stats().total_bytes());
+
+        // A snapshot with an injector cannot restore into a network
+        // without one.
+        let mut plain = Network::new(9, 32, NetworkConfig::default());
+        let mut r = SnapReader::new(&bytes);
+        assert!(plain.restore_state(&mut r).is_err());
     }
 }

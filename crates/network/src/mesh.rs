@@ -195,6 +195,28 @@ impl Mesh2D {
     pub fn uncontended_latency(&self, hops: u64, size: u32) -> u64 {
         hops * (self.ser_cycles(size) + self.config.link_latency)
     }
+
+    /// The per-link next-free cycles — the mesh's only mutable state —
+    /// for checkpointing.
+    #[must_use]
+    pub fn link_state(&self) -> &[Cycle] {
+        &self.link_free
+    }
+
+    /// Overwrites the per-link occupancy with a checkpointed copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link_free` was captured from a differently shaped
+    /// mesh (the link count is fixed by the grid dimensions).
+    pub fn restore_link_state(&mut self, link_free: Vec<Cycle>) {
+        assert_eq!(
+            link_free.len(),
+            self.link_free.len(),
+            "link state from a differently shaped mesh"
+        );
+        self.link_free = link_free;
+    }
 }
 
 #[cfg(test)]

@@ -2,6 +2,7 @@
 
 use std::collections::BTreeMap;
 
+use tcc_types::snap::{Snap, SnapError, SnapReader, SnapWriter};
 use tcc_types::{NodeId, TrafficCategory};
 
 /// Number of traffic categories (see [`TrafficCategory::ALL`]).
@@ -111,6 +112,50 @@ impl TrafficStats {
             return 0.0;
         }
         self.bytes_in_category(cat) as f64 / self.received.len() as f64
+    }
+
+    /// Serializes the accumulated counters for a checkpoint. The
+    /// per-kind census stores owned kind names; restore re-interns them
+    /// against the protocol vocabulary.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        self.received.save(w);
+        self.messages.save(w);
+        (self.by_kind.len() as u64).save(w);
+        for (&kind, &count) in &self.by_kind {
+            kind.to_string().save(w);
+            count.save(w);
+        }
+        self.total_messages.save(w);
+    }
+
+    /// Restores counters from a checkpoint taken on a same-sized
+    /// machine.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let received: Vec<[u64; N_CATS]> = r.get()?;
+        if received.len() != self.received.len() {
+            return Err(SnapError::invalid(
+                "TrafficStats.received",
+                format!(
+                    "snapshot has {} nodes, machine has {}",
+                    received.len(),
+                    self.received.len()
+                ),
+            ));
+        }
+        self.received = received;
+        self.messages = r.get()?;
+        let n = r.get_len(2)?;
+        self.by_kind.clear();
+        for _ in 0..n {
+            let name: String = r.get()?;
+            let count: u64 = r.get()?;
+            let kind = tcc_types::msg::intern_kind_name(&name).ok_or_else(|| {
+                SnapError::invalid("TrafficStats.by_kind", format!("unknown kind {name:?}"))
+            })?;
+            self.by_kind.insert(kind, count);
+        }
+        self.total_messages = r.get()?;
+        Ok(())
     }
 }
 

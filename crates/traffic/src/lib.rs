@@ -55,7 +55,7 @@ pub use config::{ArrivalConfig, PopularityConfig, ShapeConfig, TrafficConfig};
 pub use popularity::Popularity;
 pub use replay::{replay_fingerprint, run_sim_replay, run_stm_replay, SimReplay, StmReplay};
 pub use shapes::{Shape, TrafficOp, TrafficTx};
-pub use trace::{Trace, TraceWriter, TRACE_SCHEMA};
+pub use trace::{Trace, TraceError, TraceWriter, TRACE_SCHEMA};
 
 use tcc_core::ConfigError;
 use tcc_workloads::sampling::stream_rng;

@@ -35,6 +35,86 @@ pub const TRACE_SCHEMA: &str = "tcc-traffic-trace/v1";
 const MAGIC: &[u8; 8] = b"TCCTRAF1";
 const VERSION: u16 = 1;
 
+/// Why a byte stream is not a valid `tcc-traffic-trace/v1`.
+///
+/// Every way a trace file can be damaged — truncation, bit flips,
+/// version skew, forged lengths — maps to a typed variant, so loaders
+/// can distinguish "wrong file" from "corrupted file" and report the
+/// exact corruption instead of panicking.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Reading the file itself failed.
+    Io(std::io::Error),
+    /// The magic bytes are not `TCCTRAF1`: not a trace at all.
+    BadMagic,
+    /// A trace, but from an unknown format revision.
+    UnsupportedVersion { found: u16 },
+    /// The stream ends mid-field; `what` names the field.
+    Truncated { what: &'static str },
+    /// The scenario-name field is not UTF-8.
+    ScenarioName(std::str::Utf8Error),
+    /// Stored vs computed header checksum disagree (header bit flip).
+    HeaderChecksum { computed: u64, stored: u64 },
+    /// Stored vs computed payload checksum disagree (payload bit flip).
+    PayloadChecksum { computed: u64, stored: u64 },
+    /// The header's payload length does not match the bytes present.
+    PayloadLength { header: u64, actual: u64 },
+    /// The header's record count does not match the decodable records.
+    RecordCount { header: u64, found: u64 },
+    /// A LEB128 varint ran past 64 bits.
+    VarintOverflow,
+    /// A record body decoded cleanly but left bytes over.
+    TrailingBytes,
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace io: {e}"),
+            TraceError::BadMagic => write!(f, "bad magic: not a tcc-traffic-trace"),
+            TraceError::UnsupportedVersion { found } => {
+                write!(f, "unsupported trace version {found} (want {VERSION})")
+            }
+            TraceError::Truncated { what } => write!(f, "truncated {what}"),
+            TraceError::ScenarioName(e) => write!(f, "scenario name is not utf-8: {e}"),
+            TraceError::HeaderChecksum { computed, stored } => write!(
+                f,
+                "header checksum mismatch: computed {computed:016x}, stored {stored:016x}"
+            ),
+            TraceError::PayloadChecksum { computed, stored } => write!(
+                f,
+                "payload checksum mismatch: computed {computed:016x}, stored {stored:016x}"
+            ),
+            TraceError::PayloadLength { header, actual } => write!(
+                f,
+                "payload length mismatch: header says {header}, file has {actual}"
+            ),
+            TraceError::RecordCount { header, found } => write!(
+                f,
+                "record count mismatch: header says {header}, payload holds {found}"
+            ),
+            TraceError::VarintOverflow => write!(f, "varint overflows u64"),
+            TraceError::TrailingBytes => write!(f, "trailing bytes in record body"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            TraceError::ScenarioName(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> TraceError {
+        TraceError::Io(e)
+    }
+}
+
 /// FNV-1a over a byte slice, the workspace's standard digest.
 #[must_use]
 pub fn fnv1a(bytes: &[u8]) -> u64 {
@@ -68,16 +148,16 @@ fn push_varint(out: &mut Vec<u8>, mut v: u64) {
     }
 }
 
-fn read_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, String> {
+fn read_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, TraceError> {
     let mut v = 0u64;
     let mut shift = 0u32;
     loop {
         let &b = bytes
             .get(*pos)
-            .ok_or_else(|| "truncated varint".to_string())?;
+            .ok_or(TraceError::Truncated { what: "varint" })?;
         *pos += 1;
         if shift >= 64 {
-            return Err("varint overflows u64".to_string());
+            return Err(TraceError::VarintOverflow);
         }
         v |= u64::from(b & 0x7f) << shift;
         if b & 0x80 == 0 {
@@ -211,61 +291,64 @@ impl Trace {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first corruption found.
-    pub fn from_bytes(bytes: &[u8]) -> Result<Trace, String> {
-        let take = |pos: &mut usize, n: usize| -> Result<&[u8], String> {
+    /// Returns the first corruption found as a typed [`TraceError`];
+    /// no input, however mangled, panics.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Trace, TraceError> {
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8], TraceError> {
             let s = bytes
-                .get(*pos..*pos + n)
-                .ok_or_else(|| "truncated header".to_string())?;
+                .get(
+                    *pos..pos
+                        .checked_add(n)
+                        .ok_or(TraceError::Truncated { what: "header" })?,
+                )
+                .ok_or(TraceError::Truncated { what: "header" })?;
             *pos += n;
             Ok(s)
         };
-        let read_u64 = |pos: &mut usize| -> Result<u64, String> {
+        let read_u64 = |pos: &mut usize| -> Result<u64, TraceError> {
             Ok(u64::from_le_bytes(
                 take(pos, 8)?.try_into().expect("8 bytes"),
             ))
         };
         let mut pos = 0usize;
         if take(&mut pos, 8)? != MAGIC {
-            return Err("bad magic: not a tcc-traffic-trace".to_string());
+            return Err(TraceError::BadMagic);
         }
         let version = u16::from_le_bytes(take(&mut pos, 2)?.try_into().expect("2 bytes"));
         if version != VERSION {
-            return Err(format!(
-                "unsupported trace version {version} (want {VERSION})"
-            ));
+            return Err(TraceError::UnsupportedVersion { found: version });
         }
         let name_len = u16::from_le_bytes(take(&mut pos, 2)?.try_into().expect("2 bytes")) as usize;
         let scenario = std::str::from_utf8(take(&mut pos, name_len)?)
-            .map_err(|e| format!("scenario name is not utf-8: {e}"))?
+            .map_err(TraceError::ScenarioName)?
             .to_string();
         let seed = read_u64(&mut pos)?;
         let n_keys = read_u64(&mut pos)?;
         let n_records = read_u64(&mut pos)?;
-        let payload_len = read_u64(&mut pos)? as usize;
+        let payload_len = read_u64(&mut pos)?;
         let header_checksum = fnv1a(&bytes[..pos]);
         let stored_header_checksum = read_u64(&mut pos)?;
         if header_checksum != stored_header_checksum {
-            return Err(format!(
-                "header checksum mismatch: computed {header_checksum:016x}, stored {stored_header_checksum:016x}"
-            ));
+            return Err(TraceError::HeaderChecksum {
+                computed: header_checksum,
+                stored: stored_header_checksum,
+            });
         }
         let payload_checksum = read_u64(&mut pos)?;
         let payload = bytes
             .get(pos..)
-            .filter(|p| p.len() == payload_len)
-            .ok_or_else(|| {
-                format!(
-                    "payload length mismatch: header says {payload_len}, file has {}",
-                    bytes.len().saturating_sub(pos)
-                )
+            .filter(|p| p.len() as u64 == payload_len)
+            .ok_or(TraceError::PayloadLength {
+                header: payload_len,
+                actual: bytes.len().saturating_sub(pos) as u64,
             })?
             .to_vec();
         let computed = fnv1a(&payload);
         if computed != payload_checksum {
-            return Err(format!(
-                "payload checksum mismatch: computed {computed:016x}, stored {payload_checksum:016x}"
-            ));
+            return Err(TraceError::PayloadChecksum {
+                computed,
+                stored: payload_checksum,
+            });
         }
         let trace = Trace {
             scenario,
@@ -283,15 +366,22 @@ impl Trace {
             count += 1;
         }
         if count != n_records {
-            return Err(format!(
-                "record count mismatch: header says {n_records}, payload holds {count}"
-            ));
+            return Err(TraceError::RecordCount {
+                header: n_records,
+                found: count,
+            });
         }
         Ok(trace)
     }
 
+    /// Reads and verifies a trace file. I/O failures and every form of
+    /// corruption come back as typed [`TraceError`] values.
+    pub fn read_file(path: &std::path::Path) -> Result<Trace, TraceError> {
+        Trace::from_bytes(&std::fs::read(path)?)
+    }
+
     /// Iterates raw record bodies as `(index, body_bytes)`.
-    pub fn raw_iter(&self) -> impl Iterator<Item = Result<(u64, &[u8]), String>> + '_ {
+    pub fn raw_iter(&self) -> impl Iterator<Item = Result<(u64, &[u8]), TraceError>> + '_ {
         RawIter {
             payload: &self.payload,
             pos: 0,
@@ -345,7 +435,7 @@ struct RawIter<'a> {
 }
 
 impl<'a> Iterator for RawIter<'a> {
-    type Item = Result<(u64, &'a [u8]), String>;
+    type Item = Result<(u64, &'a [u8]), TraceError>;
 
     fn next(&mut self) -> Option<Self::Item> {
         if self.pos >= self.payload.len() {
@@ -355,8 +445,14 @@ impl<'a> Iterator for RawIter<'a> {
             Ok(l) => l as usize,
             Err(e) => return Some(Err(e)),
         };
-        let Some(body) = self.payload.get(self.pos..self.pos + len) else {
-            return Some(Err("record body truncated".to_string()));
+        let Some(body) = self
+            .pos
+            .checked_add(len)
+            .and_then(|end| self.payload.get(self.pos..end))
+        else {
+            return Some(Err(TraceError::Truncated {
+                what: "record body",
+            }));
         };
         self.pos += len;
         let i = self.index;
@@ -366,11 +462,13 @@ impl<'a> Iterator for RawIter<'a> {
 }
 
 /// Decodes one record body to `(dt, ops)`.
-pub(crate) fn decode_body(body: &[u8]) -> Result<(u64, Vec<TrafficOp>), String> {
+pub(crate) fn decode_body(body: &[u8]) -> Result<(u64, Vec<TrafficOp>), TraceError> {
     let mut pos = 0usize;
     let dt = read_varint(body, &mut pos)?;
     let n_ops = read_varint(body, &mut pos)? as usize;
-    let mut ops = Vec::with_capacity(n_ops);
+    // Cap the preallocation by what the remaining bytes could possibly
+    // encode (≥1 byte per op), so a forged count cannot balloon memory.
+    let mut ops = Vec::with_capacity(n_ops.min(body.len().saturating_sub(pos)));
     for _ in 0..n_ops {
         let raw = read_varint(body, &mut pos)?;
         let key = raw >> 1;
@@ -381,7 +479,7 @@ pub(crate) fn decode_body(body: &[u8]) -> Result<(u64, Vec<TrafficOp>), String> 
         });
     }
     if pos != body.len() {
-        return Err("trailing bytes in record body".to_string());
+        return Err(TraceError::TrailingBytes);
     }
     Ok((dt, ops))
 }
@@ -427,28 +525,34 @@ mod tests {
         let mut bad = good.clone();
         let last = bad.len() - 1;
         bad[last] ^= 0x40;
-        assert!(Trace::from_bytes(&bad)
-            .unwrap_err()
-            .contains("payload checksum"));
+        assert!(matches!(
+            Trace::from_bytes(&bad).unwrap_err(),
+            TraceError::PayloadChecksum { .. }
+        ));
 
         // Flip a header byte (the seed): header checksum catches it.
         let mut bad = good.clone();
         bad[8 + 2 + 2 + 4] ^= 1; // inside the seed field of "unit"
-        assert!(Trace::from_bytes(&bad)
-            .unwrap_err()
-            .contains("header checksum"));
+        assert!(matches!(
+            Trace::from_bytes(&bad).unwrap_err(),
+            TraceError::HeaderChecksum { .. }
+        ));
 
         // Truncate the payload: length check catches it.
         let mut bad = good.clone();
         bad.truncate(bad.len() - 2);
-        assert!(Trace::from_bytes(&bad)
-            .unwrap_err()
-            .contains("length mismatch"));
+        assert!(matches!(
+            Trace::from_bytes(&bad).unwrap_err(),
+            TraceError::PayloadLength { .. }
+        ));
 
         // Wrong magic.
         let mut bad = good;
         bad[0] = b'X';
-        assert!(Trace::from_bytes(&bad).unwrap_err().contains("magic"));
+        assert!(matches!(
+            Trace::from_bytes(&bad).unwrap_err(),
+            TraceError::BadMagic
+        ));
     }
 
     #[test]

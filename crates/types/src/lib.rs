@@ -34,6 +34,7 @@ pub mod ids;
 pub mod msg;
 pub mod rng;
 pub mod slab;
+pub mod snap;
 pub mod wire;
 
 pub use addr::{Addr, LineAddr, LineGeometry, WordMask};

@@ -419,6 +419,41 @@ impl Payload {
     }
 }
 
+/// Maps a message-kind name back to its canonical `&'static str`.
+///
+/// Statistics tables key per-kind counters by the `&'static str` from
+/// [`Payload::kind_name`] (or `"Ack"` for standalone transport acks).
+/// Snapshot restore reads those names back as owned strings; this is
+/// the inverse mapping. Returns `None` for unknown names so a corrupt
+/// snapshot surfaces as a typed error instead of a bogus counter key.
+#[must_use]
+pub fn intern_kind_name(name: &str) -> Option<&'static str> {
+    Some(match name {
+        "LoadRequest" => "LoadRequest",
+        "LoadReply" => "LoadReply",
+        "TidRequest" => "TidRequest",
+        "TidReply" => "TidReply",
+        "Skip" => "Skip",
+        "Probe" => "Probe",
+        "ProbeReply" => "ProbeReply",
+        "Mark" => "Mark",
+        "Commit" => "Commit",
+        "Abort" => "Abort",
+        "WriteBack" => "WriteBack",
+        "Flush" => "Flush",
+        "DataRequest" => "DataRequest",
+        "Invalidate" => "Invalidate",
+        "InvAck" => "InvAck",
+        "TokenRequest" => "TokenRequest",
+        "TokenGrant" => "TokenGrant",
+        "TokenRelease" => "TokenRelease",
+        "BaselineCommit" => "BaselineCommit",
+        "BaselineAck" => "BaselineAck",
+        "Ack" => "Ack",
+        _ => return None,
+    })
+}
+
 /// A routed message: a [`Payload`] travelling from `src` to `dst`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Message {
@@ -535,6 +570,17 @@ mod tests {
             assert!(p.size_bytes(32) >= HEADER_BYTES, "{}", p.kind_name());
             assert!(!p.kind_name().is_empty());
         }
+    }
+
+    #[test]
+    fn kind_names_intern_back_to_themselves() {
+        for p in all_payloads() {
+            let name = p.kind_name();
+            assert_eq!(intern_kind_name(name), Some(name));
+        }
+        assert_eq!(intern_kind_name("Ack"), Some("Ack"));
+        assert_eq!(intern_kind_name("TokenGrant"), Some("TokenGrant"));
+        assert_eq!(intern_kind_name("NotAMessageKind"), None);
     }
 
     #[test]

@@ -136,6 +136,36 @@ mod tests {
     }
 
     #[test]
+    fn sampling_stream_resumes_identically_from_saved_state() {
+        // Checkpoint semantics for workload generation: capturing the
+        // xoshiro256** word state mid-stream and rebuilding with
+        // `from_state` must reproduce the identical sampling tail —
+        // both raw words and Zipf draws (which consume the stream
+        // through `gen_range(f64)`).
+        let z = Zipf::new(64, 0.8);
+        let mut live = stream_rng(13, 2);
+        for _ in 0..257 {
+            let _ = z.sample(&mut live);
+        }
+        let mut resumed = SmallRng::from_state(live.state());
+        for i in 0..1024 {
+            assert_eq!(
+                z.sample(&mut live),
+                z.sample(&mut resumed),
+                "Zipf tail diverged at draw {i}"
+            );
+        }
+        assert_eq!(live.state(), resumed.state(), "word state diverged");
+        for i in 0..256 {
+            assert_eq!(
+                live.next_u64(),
+                resumed.next_u64(),
+                "raw tail diverged at word {i}"
+            );
+        }
+    }
+
+    #[test]
     fn zipf_samples_stay_in_bounds() {
         let z = Zipf::new(3, 2.0);
         assert_eq!(z.len(), 3);
