@@ -12,6 +12,7 @@ use std::sync::{Mutex, Once};
 use crate::progen::{chaos_profile, generate_programs, loss_profile, tie_break_for, ProgramSpec};
 use crate::scenario::{RunOutcome, Scenario};
 use tcc_network::{DropRule, DupRule};
+use tcc_types::ProtocolKind;
 
 /// A named configuration variant applied on top of each generated
 /// scenario (e.g. torus topology, Fig. 2f flush mode).
@@ -36,6 +37,11 @@ pub struct GridSpec {
     pub program_seeds: std::ops::Range<u64>,
     pub chaos_seeds: std::ops::Range<u64>,
     pub variants: Vec<Variant>,
+    /// Coherence backends to sweep; each backend runs the full
+    /// (variant × program × chaos) sub-grid. Defaults to TCC only;
+    /// combinations a backend refuses (e.g. TCC-only mutation knobs)
+    /// surface as typed `rejected` outcomes, not panics.
+    pub protocols: Vec<ProtocolKind>,
     /// Draw chaos schedules from [`loss_profile`] (drop/dup/reorder wire
     /// faults, reliable transport on) instead of the latency-only
     /// [`chaos_profile`].
@@ -52,8 +58,21 @@ impl GridSpec {
             program_seeds,
             chaos_seeds,
             variants: vec![BASELINE],
+            protocols: vec![ProtocolKind::Tcc],
             lossy: false,
         }
+    }
+
+    /// A grid sweeping every coherence backend over the same programs
+    /// and chaos schedules: the cross-protocol differential surface.
+    #[must_use]
+    pub fn all_protocols(
+        program_seeds: std::ops::Range<u64>,
+        chaos_seeds: std::ops::Range<u64>,
+    ) -> GridSpec {
+        let mut g = GridSpec::new(program_seeds, chaos_seeds);
+        g.protocols = ProtocolKind::ALL.to_vec();
+        g
     }
 
     /// A grid whose chaos axis sweeps lossy wires: frame drops (≤10%),
@@ -71,26 +90,35 @@ impl GridSpec {
     }
 
     /// Materializes every scenario in the grid, in deterministic order
-    /// (variant-major, then program seed, then chaos seed).
+    /// (protocol-major, then variant, then program seed, then chaos
+    /// seed). Names carry the protocol only when it is not the default
+    /// TCC, so single-protocol grids keep their historical names.
     #[must_use]
     pub fn scenarios(&self) -> Vec<Scenario> {
         let mut out = Vec::new();
-        for variant in &self.variants {
-            for ps in self.program_seeds.clone() {
-                let threads = generate_programs(&self.program, ps);
-                for cs in self.chaos_seeds.clone() {
-                    let mut s =
-                        Scenario::new(format!("{}-p{ps}-c{cs}", variant.name), threads.clone());
-                    if self.lossy {
-                        s.chaos = Some(loss_profile(cs, self.program.n_procs));
-                        s.tweaks.transport = true;
-                    } else {
-                        s.chaos = Some(chaos_profile(cs, self.program.n_procs));
+        for &protocol in &self.protocols {
+            for variant in &self.variants {
+                for ps in self.program_seeds.clone() {
+                    let threads = generate_programs(&self.program, ps);
+                    for cs in self.chaos_seeds.clone() {
+                        let name = if protocol == ProtocolKind::Tcc {
+                            format!("{}-p{ps}-c{cs}", variant.name)
+                        } else {
+                            format!("{}-{protocol}-p{ps}-c{cs}", variant.name)
+                        };
+                        let mut s = Scenario::new(name, threads.clone());
+                        s.protocol = protocol;
+                        if self.lossy {
+                            s.chaos = Some(loss_profile(cs, self.program.n_procs));
+                            s.tweaks.transport = true;
+                        } else {
+                            s.chaos = Some(chaos_profile(cs, self.program.n_procs));
+                        }
+                        s.tie_break_seed = tie_break_for(cs);
+                        s.program_seed = Some(ps);
+                        (variant.apply)(&mut s);
+                        out.push(s);
                     }
-                    s.tie_break_seed = tie_break_for(cs);
-                    s.program_seed = Some(ps);
-                    (variant.apply)(&mut s);
-                    out.push(s);
                 }
             }
         }
@@ -375,5 +403,28 @@ mod tests {
         assert_eq!(serial.runs, parallel.runs);
         assert_eq!(serial.commits, parallel.commits);
         assert_eq!(serial.failures.len(), parallel.failures.len());
+    }
+
+    #[test]
+    fn protocol_axis_sweeps_every_backend() {
+        let grid = GridSpec::all_protocols(0..1, 0..1);
+        let scenarios = grid.scenarios();
+        assert_eq!(scenarios.len(), 3);
+        assert_eq!(scenarios[0].name, "base-p0-c0");
+        assert_eq!(scenarios[1].name, "base-serialized-p0-c0");
+        assert_eq!(scenarios[2].name, "base-tardis-p0-c0");
+        let report = run_scenarios(&scenarios, 3);
+        assert!(
+            report.passed(),
+            "cross-protocol grid failed: {:?}",
+            report
+                .failures
+                .iter()
+                .map(|f| (
+                    &f.scenario.name,
+                    f.outcome.failure.as_ref().map(|x| x.to_string())
+                ))
+                .collect::<Vec<_>>()
+        );
     }
 }

@@ -9,12 +9,12 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use tcc_core::{
-    RunError, Simulator, Snapshot, Step, SystemConfig, ThreadProgram, Transaction, TransportConfig,
-    TxOp, WatchdogConfig, WorkItem,
+    ConfigError, RunError, Simulator, Snapshot, Step, SystemConfig, ThreadProgram, Transaction,
+    TransportConfig, TxOp, WatchdogConfig, WorkItem,
 };
 use tcc_network::ChaosConfig;
 use tcc_trace::Json;
-use tcc_types::{Addr, Cycle, ProtocolBugs};
+use tcc_types::{Addr, Cycle, ProtocolBugs, ProtocolKind};
 
 /// One portable program operation. Addresses are `(line, word)` pairs
 /// over 32-byte lines of 4-byte words, matching the random stress tests
@@ -122,6 +122,11 @@ pub enum Failure {
     /// stable [`tcc_core::StallReason::kind`] tag; `detail` is the
     /// rendered diagnostic.
     Stalled { reason: String, detail: String },
+    /// `SystemConfig::validate` refused the scenario's configuration
+    /// before any cycle ran — e.g. a TCC-only mutation knob under a
+    /// non-TCC backend. A grid that mixes protocol and knob axes
+    /// records these as typed outcomes instead of panicking.
+    Rejected(String),
 }
 
 impl Failure {
@@ -133,6 +138,7 @@ impl Failure {
             Failure::CommitShortfall { .. } => "commit_shortfall",
             Failure::Panic(_) => "panic",
             Failure::Stalled { .. } => "stalled",
+            Failure::Rejected(_) => "rejected",
         }
     }
 }
@@ -146,6 +152,7 @@ impl std::fmt::Display for Failure {
             }
             Failure::Panic(msg) => write!(f, "panic: {msg}"),
             Failure::Stalled { reason, detail } => write!(f, "stalled ({reason}): {detail}"),
+            Failure::Rejected(e) => write!(f, "config rejected: {e}"),
         }
     }
 }
@@ -167,6 +174,10 @@ pub struct RunOutcome {
 #[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
     pub name: String,
+    /// Coherence/commit backend the scenario runs on. Defaults to the
+    /// paper's scalable TCC; artifacts only carry the field when it
+    /// differs, so pre-existing corpus JSON replays unchanged.
+    pub protocol: ProtocolKind,
     pub tweaks: ConfigTweaks,
     /// Mutation knobs (all-default outside the mutation self-test).
     pub bugs: ProtocolBugs,
@@ -188,6 +199,7 @@ impl Scenario {
     pub fn new(name: impl Into<String>, threads: Vec<Vec<Vec<POp>>>) -> Scenario {
         Scenario {
             name: name.into(),
+            protocol: ProtocolKind::Tcc,
             tweaks: ConfigTweaks::default(),
             bugs: ProtocolBugs::default(),
             chaos: None,
@@ -217,6 +229,7 @@ impl Scenario {
     #[must_use]
     pub fn to_config(&self) -> SystemConfig {
         let mut cfg = SystemConfig::with_procs(self.threads.len());
+        cfg.protocol = self.protocol;
         cfg.check_serializability = true;
         cfg.network.link_latency = self.tweaks.link_latency;
         cfg.network.torus = self.tweaks.torus;
@@ -277,7 +290,16 @@ impl Scenario {
     #[must_use]
     pub fn run(&self) -> RunOutcome {
         let expected = self.transactions();
-        let sim = self.build();
+        let sim = match self.build() {
+            Ok(sim) => sim,
+            Err(e) => {
+                return RunOutcome {
+                    commits: 0,
+                    failure: Some(Failure::Rejected(e.to_string())),
+                    fail_cycle: None,
+                }
+            }
+        };
         let result = catch_unwind(AssertUnwindSafe(move || match sim.try_run() {
             Ok(r) => {
                 let failure = match &r.serializability {
@@ -323,16 +345,16 @@ impl Scenario {
     }
 
     /// A simulator for this scenario with the provenance seeds stamped
-    /// on, ready to run.
-    fn build(&self) -> Simulator {
+    /// on, ready to run. `Err` when `SystemConfig::validate` refuses
+    /// the combination (see [`Failure::Rejected`]).
+    fn build(&self) -> Result<Simulator, ConfigError> {
         let mut sim = Simulator::builder(self.to_config())
             .programs(self.programs())
-            .build()
-            .expect("valid config");
+            .build()?;
         if let Some(ps) = self.program_seed {
             sim.set_program_seed(ps);
         }
-        sim
+        Ok(sim)
     }
 
     /// Like [`Scenario::run`], but when the run fails, deterministically
@@ -367,7 +389,7 @@ impl Scenario {
     #[must_use]
     pub fn checkpoint_before(&self, fail_cycle: u64, lookback: u64) -> Option<Snapshot> {
         let pause = fail_cycle.saturating_sub(lookback);
-        let sim = self.build();
+        let sim = self.build().ok()?;
         catch_unwind(AssertUnwindSafe(move || {
             match sim.try_run_until(Some(Cycle(pause))) {
                 Ok(Step::Paused(paused)) => Some(paused.checkpoint()),
@@ -424,6 +446,12 @@ impl Scenario {
         }
         if self.tweaks.transport != d.transport {
             config.push(("transport", self.tweaks.transport.into()));
+        }
+        // The protocol is only written when non-default, like the
+        // tweaks: every pre-existing v1 artifact stays valid and means
+        // what it always meant (TCC).
+        if self.protocol != ProtocolKind::Tcc {
+            config.push(("protocol", self.protocol.as_str().into()));
         }
         Json::obj(vec![
             ("schema", "tcc-chaos-scenario/v1".into()),
@@ -491,7 +519,11 @@ impl Scenario {
             .ok_or("scenario missing name")?
             .to_string();
         let mut tweaks = ConfigTweaks::default();
+        let mut protocol = ProtocolKind::Tcc;
         if let Some(cfg) = json.get("config") {
+            if let Some(p) = cfg.get("protocol").and_then(Json::as_str) {
+                protocol = p.parse::<ProtocolKind>()?;
+            }
             if let Some(v) = cfg.get("link_latency").and_then(Json::as_u64) {
                 tweaks.link_latency = v;
             }
@@ -568,6 +600,7 @@ impl Scenario {
         }
         Ok(Scenario {
             name,
+            protocol,
             tweaks,
             bugs,
             chaos,
@@ -607,6 +640,7 @@ mod tests {
                 vec![vec![POp::Load(0, 0), POp::Store(1, 2)]],
             ],
         );
+        s.protocol = ProtocolKind::Tardis;
         s.tweaks.link_latency = 9;
         s.tweaks.torus = true;
         s.tweaks.small_caches = true;
@@ -677,5 +711,47 @@ mod tests {
         let s = sample();
         assert_eq!(s.transactions(), 3);
         assert_eq!(s.ops(), 5);
+    }
+
+    #[test]
+    fn v1_artifacts_without_a_protocol_field_replay_as_tcc() {
+        let mut s = sample();
+        s.protocol = ProtocolKind::Tcc;
+        let text = s.to_json_string();
+        assert!(!text.contains("protocol"), "default must not be written");
+        let back = Scenario::from_json_str(&text).unwrap();
+        assert_eq!(back.protocol, ProtocolKind::Tcc);
+    }
+
+    #[test]
+    fn non_tcc_scenarios_pass_the_oracle() {
+        for protocol in [ProtocolKind::SerializedCommit, ProtocolKind::Tardis] {
+            let mut s = Scenario::new(
+                format!("benign-{protocol}"),
+                vec![
+                    vec![vec![POp::Store(0, 0)], vec![POp::Load(1, 0)]],
+                    vec![vec![POp::Load(0, 0), POp::Store(1, 0)]],
+                ],
+            );
+            s.protocol = protocol;
+            let out = s.run();
+            assert_eq!(out.failure, None, "{protocol}");
+            assert_eq!(out.commits, 3, "{protocol}");
+        }
+    }
+
+    /// A TCC-only mutation knob under a non-TCC backend is refused by
+    /// `SystemConfig::validate`; the oracle reports that as a typed
+    /// `rejected` outcome rather than panicking the sweep.
+    #[test]
+    fn refused_combinations_come_back_as_typed_rejections() {
+        let mut s = Scenario::new("bad", vec![vec![vec![POp::Store(0, 0)]]]);
+        s.protocol = ProtocolKind::Tardis;
+        s.bugs.skip_ack_wait = true;
+        let out = s.run();
+        let failure = out.failure.expect("combination must be refused");
+        assert_eq!(failure.kind(), "rejected");
+        assert!(failure.to_string().contains("tardis"), "{failure}");
+        assert_eq!(out.commits, 0);
     }
 }

@@ -4,7 +4,7 @@ use tcc_cache::CacheConfig;
 use tcc_engine::WatchdogConfig;
 use tcc_network::{ChaosConfig, NetworkConfig, TransportConfig};
 use tcc_trace::TraceConfig;
-use tcc_types::{NodeId, ProtocolBugs};
+use tcc_types::{NodeId, ProtocolBugs, ProtocolKind};
 
 /// Configuration of the simulated machine and protocol.
 ///
@@ -16,6 +16,11 @@ use tcc_types::{NodeId, ProtocolBugs};
 pub struct SystemConfig {
     /// Number of processors (= nodes = directories).
     pub n_procs: usize,
+    /// Which protocol machine drives the system: Scalable TCC (the
+    /// default), the serialized-commit baseline, or the Tardis
+    /// timestamp-ordered backend. Selected per run and validated
+    /// against the other knobs by [`SystemConfig::validate`].
+    pub protocol: ProtocolKind,
     /// Private cache hierarchy of each processor.
     pub cache: CacheConfig,
     /// Interconnect parameters (Figure 8 varies `link_latency`).
@@ -147,35 +152,122 @@ impl Default for ParallelConfig {
 /// field and how to fix it.
 ///
 /// Produced by [`SystemConfig::validate`] and
-/// [`crate::SimulatorBuilder::build`]. The `Display` rendering includes
-/// all three parts, so `?`-propagated errors are actionable as-is.
+/// [`crate::SimulatorBuilder::build`]. Every variant carries the same
+/// field + problem + hint shape (exposed uniformly through
+/// [`ConfigError::field`], [`ConfigError::problem`], and
+/// [`ConfigError::hint`]), and the `Display` rendering includes all
+/// three parts, so `?`-propagated errors are actionable as-is.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ConfigError {
-    /// Dotted path of the offending field (e.g. `"network.bytes_per_cycle"`).
-    pub field: &'static str,
-    /// What is wrong with the current value.
-    pub problem: String,
-    /// How to fix it.
-    pub hint: &'static str,
+pub enum ConfigError {
+    /// The value is wrong on its own terms (zero bandwidth, degenerate
+    /// geometry, ...), independent of the selected protocol backend.
+    Invalid {
+        /// Dotted path of the offending field (e.g. `"network.bytes_per_cycle"`).
+        field: &'static str,
+        /// What is wrong with the current value.
+        problem: String,
+        /// How to fix it.
+        hint: &'static str,
+    },
+    /// The value is coherent but the selected protocol backend cannot
+    /// honor it (e.g. TCC-only `ProtocolBugs` knobs under Tardis, the
+    /// sharded parallel engine under the serialized baseline). Refused
+    /// up front instead of silently no-opping.
+    UnsupportedByProtocol {
+        /// The backend that cannot honor the setting.
+        protocol: ProtocolKind,
+        /// Dotted path of the offending field.
+        field: &'static str,
+        /// Why this backend cannot honor the value.
+        problem: String,
+        /// How to fix it.
+        hint: &'static str,
+    },
 }
 
 impl ConfigError {
-    fn new(field: &'static str, problem: impl Into<String>, hint: &'static str) -> ConfigError {
-        ConfigError {
+    /// A protocol-independent refusal.
+    #[must_use]
+    pub fn invalid(
+        field: &'static str,
+        problem: impl Into<String>,
+        hint: &'static str,
+    ) -> ConfigError {
+        ConfigError::Invalid {
             field,
             problem: problem.into(),
             hint,
+        }
+    }
+
+    /// A refusal specific to the selected protocol backend.
+    #[must_use]
+    pub fn unsupported(
+        protocol: ProtocolKind,
+        field: &'static str,
+        problem: impl Into<String>,
+        hint: &'static str,
+    ) -> ConfigError {
+        ConfigError::UnsupportedByProtocol {
+            protocol,
+            field,
+            problem: problem.into(),
+            hint,
+        }
+    }
+
+    /// Dotted path of the offending field.
+    #[must_use]
+    pub fn field(&self) -> &'static str {
+        match self {
+            ConfigError::Invalid { field, .. }
+            | ConfigError::UnsupportedByProtocol { field, .. } => field,
+        }
+    }
+
+    /// What is wrong with the current value.
+    #[must_use]
+    pub fn problem(&self) -> &str {
+        match self {
+            ConfigError::Invalid { problem, .. }
+            | ConfigError::UnsupportedByProtocol { problem, .. } => problem,
+        }
+    }
+
+    /// How to fix it.
+    #[must_use]
+    pub fn hint(&self) -> &'static str {
+        match self {
+            ConfigError::Invalid { hint, .. } | ConfigError::UnsupportedByProtocol { hint, .. } => {
+                hint
+            }
         }
     }
 }
 
 impl std::fmt::Display for ConfigError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "invalid config `{}`: {} (fix: {})",
-            self.field, self.problem, self.hint
-        )
+        match self {
+            ConfigError::Invalid {
+                field,
+                problem,
+                hint,
+            } => {
+                write!(f, "invalid config `{field}`: {problem} (fix: {hint})")
+            }
+            ConfigError::UnsupportedByProtocol {
+                protocol,
+                field,
+                problem,
+                hint,
+            } => {
+                write!(
+                    f,
+                    "config `{field}` is unsupported by the {protocol} \
+                     protocol: {problem} (fix: {hint})"
+                )
+            }
+        }
     }
 }
 
@@ -218,35 +310,35 @@ impl SystemConfig {
     /// machine.
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.n_procs == 0 {
-            return Err(ConfigError::new(
+            return Err(ConfigError::invalid(
                 "n_procs",
                 "a machine needs at least one processor",
                 "use SystemConfig::with_procs(n) with n >= 1",
             ));
         }
         if self.network.bytes_per_cycle == 0 {
-            return Err(ConfigError::new(
+            return Err(ConfigError::invalid(
                 "network.bytes_per_cycle",
                 "zero link bandwidth: messages would never cross a link",
                 "set bytes_per_cycle >= 1 (Table 2 uses 8)",
             ));
         }
         if self.exec_chunk == 0 {
-            return Err(ConfigError::new(
+            return Err(ConfigError::invalid(
                 "exec_chunk",
                 "a processor executing 0 cycles per event never advances",
                 "set exec_chunk >= 1 (default 200)",
             ));
         }
         if self.max_cycles == 0 {
-            return Err(ConfigError::new(
+            return Err(ConfigError::invalid(
                 "max_cycles",
                 "every run would be declared stalled at cycle 0",
                 "set a generous cycle budget (the default is u64::MAX / 4)",
             ));
         }
         if self.dir_cache_entries == Some(0) {
-            return Err(ConfigError::new(
+            return Err(ConfigError::invalid(
                 "dir_cache_entries",
                 "a zero-entry directory cache misses on every operation",
                 "use None for an unbounded cache, or Some(n) with n >= 1",
@@ -254,7 +346,7 @@ impl SystemConfig {
         }
         let words = self.cache.geometry.words_per_line();
         if words == 0 || words > 64 {
-            return Err(ConfigError::new(
+            return Err(ConfigError::invalid(
                 "cache.geometry",
                 format!("{words} words per line; word masks are 64-bit"),
                 "choose line_bytes/word_bytes with 1..=64 words per line",
@@ -262,14 +354,14 @@ impl SystemConfig {
         }
         if let Some(par) = &self.parallel {
             if par.workers == 0 {
-                return Err(ConfigError::new(
+                return Err(ConfigError::invalid(
                     "parallel.workers",
                     "zero workers cannot execute anything",
                     "request workers >= 1 (the grant always includes the caller)",
                 ));
             }
             if self.chaos.is_some() && self.network.local_latency == 0 {
-                return Err(ConfigError::new(
+                return Err(ConfigError::invalid(
                     "network.local_latency",
                     "chaos + parallel windows need local sends to take at \
                      least one cycle: every send defers to the window join \
@@ -282,7 +374,7 @@ impl SystemConfig {
         }
         if let Some(wd) = &self.watchdog {
             if wd.interval == 0 {
-                return Err(ConfigError::new(
+                return Err(ConfigError::invalid(
                     "watchdog.interval",
                     "a zero-cycle sampling interval would sample the \
                      progress signature after every event",
@@ -293,7 +385,7 @@ impl SystemConfig {
         }
         if let Some(chaos) = &self.chaos {
             if chaos.has_wire_faults() && self.transport.is_none() {
-                return Err(ConfigError::new(
+                return Err(ConfigError::invalid(
                     "transport",
                     "chaos drop/dup/reorder wire faults without a \
                      retransmission layer lose messages outright — that \
@@ -302,6 +394,53 @@ impl SystemConfig {
                      or drop the wire faults from the chaos config",
                 ));
             }
+        }
+        if self.protocol != ProtocolKind::Tcc {
+            if self.parallel.is_some() {
+                return Err(ConfigError::unsupported(
+                    self.protocol,
+                    "parallel",
+                    "the sharded parallel engine mirrors the Scalable TCC \
+                     delivery paths only",
+                    "set cfg.parallel = None, or select ProtocolKind::Tcc",
+                ));
+            }
+            if self.profile {
+                return Err(ConfigError::unsupported(
+                    self.protocol,
+                    "profile",
+                    "TAPE-style profiling hooks (violation sites, \
+                     starvation events) live in the TCC processor",
+                    "set cfg.profile = false, or select ProtocolKind::Tcc",
+                ));
+            }
+            if let Some(&knob) = self.bugs.inapplicable_names(self.protocol).first() {
+                let field = match knob {
+                    "skip_ack_wait" => "bugs.skip_ack_wait",
+                    "writeback_latest_tid" => "bugs.writeback_latest_tid",
+                    "unlocked_window_loads" => "bugs.unlocked_window_loads",
+                    _ => "bugs.accept_stale_fills",
+                };
+                return Err(ConfigError::unsupported(
+                    self.protocol,
+                    field,
+                    format!(
+                        "the `{knob}` mutation disables a Scalable TCC \
+                         race-elimination rule this backend does not have; \
+                         running it would silently test nothing"
+                    ),
+                    "clear the knob, or select ProtocolKind::Tcc",
+                ));
+            }
+        }
+        if self.protocol == ProtocolKind::SerializedCommit && self.dir_cache_entries.is_some() {
+            return Err(ConfigError::unsupported(
+                self.protocol,
+                "dir_cache_entries",
+                "the serialized baseline keeps flat memory at the home \
+                 nodes — there is no directory cache to bound",
+                "set cfg.dir_cache_entries = None, or select another protocol",
+            ));
         }
         Ok(())
     }
@@ -329,6 +468,7 @@ impl Default for SystemConfig {
     fn default() -> SystemConfig {
         SystemConfig {
             n_procs: 32,
+            protocol: ProtocolKind::Tcc,
             cache: CacheConfig::default(),
             network: NetworkConfig::default(),
             dir_line_latency: 10,
@@ -388,12 +528,49 @@ mod tests {
             grace: 2,
         });
         let err = c.validate().unwrap_err();
-        assert_eq!(err.field, "watchdog.interval");
+        assert_eq!(err.field(), "watchdog.interval");
         c.watchdog = Some(tcc_engine::WatchdogConfig {
             interval: 1,
             grace: 2,
         });
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn protocol_incompatible_knobs_are_refused() {
+        // Parallel execution is a TCC-only engine.
+        let mut c = SystemConfig::with_procs(4);
+        c.protocol = ProtocolKind::Tardis;
+        c.parallel = Some(ParallelConfig::with_workers(2));
+        let err = c.validate().unwrap_err();
+        assert_eq!(err.field(), "parallel");
+        assert!(err.to_string().contains("tardis"), "{err}");
+
+        // TCC-only ProtocolBugs knobs must not silently no-op.
+        let mut c = SystemConfig::with_procs(4);
+        c.protocol = ProtocolKind::SerializedCommit;
+        c.bugs.skip_ack_wait = true;
+        let err = c.validate().unwrap_err();
+        assert_eq!(err.field(), "bugs.skip_ack_wait");
+        assert!(matches!(err, ConfigError::UnsupportedByProtocol { .. }));
+
+        // Transport knobs are protocol-agnostic and stay allowed.
+        let mut c = SystemConfig::with_procs(4);
+        c.protocol = ProtocolKind::Tardis;
+        c.bugs.transport_no_dedup = true;
+        assert!(c.validate().is_ok());
+
+        // The serialized baseline has no directory cache to bound.
+        let mut c = SystemConfig::with_procs(4);
+        c.protocol = ProtocolKind::SerializedCommit;
+        c.dir_cache_entries = Some(1024);
+        assert_eq!(c.validate().unwrap_err().field(), "dir_cache_entries");
+
+        // Profiling hooks live in the TCC processor.
+        let mut c = SystemConfig::with_procs(4);
+        c.protocol = ProtocolKind::Tardis;
+        c.profile = true;
+        assert_eq!(c.validate().unwrap_err().field(), "profile");
     }
 
     #[test]

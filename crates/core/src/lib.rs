@@ -66,8 +66,11 @@ mod par;
 mod processor;
 mod profiling;
 mod program;
+pub mod protocol;
+pub mod serialized;
 mod sim;
 mod stall;
+pub mod tardis;
 
 /// Cached check of the `TCC_TRACE` debug env var.
 ///
@@ -86,8 +89,13 @@ pub use config::{ConfigError, ParallelConfig, SystemConfig};
 pub use processor::{Effects, ProcCounters, Processor};
 pub use profiling::{LineConflicts, ProfileReport, StarvationEvent, ViolationEvent};
 pub use program::{ThreadProgram, Transaction, TxOp, WorkItem};
+pub use protocol::{HomeTiming, Machine, Protocol, TccMachine};
+pub use serialized::SerializedMachine;
 pub use sim::{ResumeError, SimResult, Simulator, SimulatorBuilder, Step};
+pub use tardis::TardisMachine;
+// Re-exported so backend selection does not require a tcc-types import.
 pub use stall::{RunError, RunProvenance, StallDiagnostic, StallReason};
+pub use tcc_types::ProtocolKind;
 // Re-exported so downstream crates can enable the reliable transport,
 // the watchdog, and the shared worker budget without depending on
 // tcc-network/tcc-engine directly.

@@ -73,6 +73,7 @@ use crate::breakdown::TxCharacteristics;
 use crate::checker::{Checker, TxRecord};
 use crate::config::SystemConfig;
 use crate::processor::{Effects, Processor};
+use crate::protocol::{Machine, TccMachine};
 use crate::sim::{DirCache, Event, SimResult, Simulator, VENDOR_SERVICE};
 use crate::stall::{RunError, RunProvenance, StallDiagnostic, StallReason};
 
@@ -472,8 +473,17 @@ impl Shard {
             | Payload::TokenGrant
             | Payload::TokenRelease
             | Payload::BaselineCommit { .. }
-            | Payload::BaselineAck { .. } => {
-                unreachable!("baseline-only message in the scalable protocol")
+            | Payload::BaselineAck { .. }
+            | Payload::TsLoadRequest { .. }
+            | Payload::TsLoadReply { .. }
+            | Payload::TsLock { .. }
+            | Payload::TsLockAck { .. }
+            | Payload::TsRenew { .. }
+            | Payload::TsRenewAck { .. }
+            | Payload::TsPublish { .. }
+            | Payload::TsPublishAck { .. }
+            | Payload::TsRelease { .. } => {
+                unreachable!("foreign-protocol message in the scalable protocol")
             }
         }
     }
@@ -835,8 +845,17 @@ impl Engine {
             | Payload::TokenGrant
             | Payload::TokenRelease
             | Payload::BaselineCommit { .. }
-            | Payload::BaselineAck { .. } => {
-                unreachable!("baseline-only message in the scalable protocol")
+            | Payload::BaselineAck { .. }
+            | Payload::TsLoadRequest { .. }
+            | Payload::TsLoadReply { .. }
+            | Payload::TsLock { .. }
+            | Payload::TsLockAck { .. }
+            | Payload::TsRenew { .. }
+            | Payload::TsRenewAck { .. }
+            | Payload::TsPublish { .. }
+            | Payload::TsPublishAck { .. }
+            | Payload::TsRelease { .. } => {
+                unreachable!("foreign-protocol message in the scalable protocol")
             }
         }
     }
@@ -1129,6 +1148,7 @@ impl Engine {
         }
         let diag = StallDiagnostic {
             reason,
+            protocol: self.cfg.protocol,
             provenance: RunProvenance {
                 program_seed: self.program_seed,
                 chaos_seed: self.cfg.chaos.as_ref().map(|c| c.seed),
@@ -1545,12 +1565,11 @@ pub(crate) fn run(sim: Simulator) -> Result<SimResult, RunError> {
     let Simulator {
         cfg,
         queue: spare_queue,
-        procs,
-        dirs,
+        machine,
         net,
         dir_busy,
         dir_caches,
-        vendor_next,
+        home_out: _,
         barrier_waiting,
         checker,
         tx_chars,
@@ -1565,6 +1584,17 @@ pub(crate) fn run(sim: Simulator) -> Result<SimResult, RunError> {
     } = sim;
     debug_assert!(fault.is_none(), "fresh simulator carries a fault");
     debug_assert!(!started, "parallel engine cannot adopt a started simulator");
+    // Config validation refuses `parallel` for every other backend, so
+    // the sharded engine stays specialized to the TCC machine.
+    let Machine::Tcc(tcc) = machine else {
+        unreachable!("SystemConfig::validate refuses parallel for non-TCC backends")
+    };
+    let TccMachine {
+        procs,
+        dirs,
+        vendor_next,
+        ..
+    } = tcc;
     let pcfg = cfg.parallel.expect("try_run dispatched on parallel");
     let n = procs.len();
     let chaos = cfg.chaos.is_some();
@@ -1745,12 +1775,17 @@ pub(crate) fn run(sim: Simulator) -> Result<SimResult, RunError> {
     let reassembled = Simulator {
         cfg,
         queue: spare_queue,
-        procs,
-        dirs,
+        machine: Machine::Tcc(TccMachine {
+            procs,
+            dirs,
+            vendor_next: vendor_total,
+            tracer: tracer.clone(),
+            fault: None,
+        }),
         net,
         dir_busy,
         dir_caches,
-        vendor_next: vendor_total,
+        home_out: Vec::new(),
         barrier_waiting,
         checker,
         tx_chars,

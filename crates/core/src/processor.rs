@@ -22,6 +22,14 @@ use crate::program::{ThreadProgram, Transaction, TxOp, WorkItem};
 pub struct Effects {
     /// Messages to inject, each after the given delay (cycles from now).
     pub sends: Vec<(u64, Message)>,
+    /// Messages put on the wire *now*, timestamped `now + offset`.
+    ///
+    /// Unlike [`Effects::sends`], these claim network links at apply
+    /// time, in emission order — the mesh sees the reservation before
+    /// any event scheduled between `now` and `now + offset` does. The
+    /// serialized baseline's mid-chunk sends work this way; TCC never
+    /// uses this channel.
+    pub immediate_sends: Vec<(u64, Message)>,
     /// Re-schedule this processor's execution after the given delay.
     pub wake_in: Option<u64>,
     /// The processor reached a barrier.
@@ -39,6 +47,7 @@ impl Effects {
 
     fn merge(&mut self, other: Effects) {
         self.sends.extend(other.sends);
+        self.immediate_sends.extend(other.immediate_sends);
         debug_assert!(self.wake_in.is_none() || other.wake_in.is_none());
         self.wake_in = self.wake_in.take().or(other.wake_in);
         self.reached_barrier |= other.reached_barrier;

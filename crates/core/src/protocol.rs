@@ -1,0 +1,661 @@
+//! The pluggable protocol boundary: every coherence/commit backend the
+//! simulator can run lives behind the [`Protocol`] trait.
+//!
+//! The event loop in [`sim`](crate::sim) owns everything protocols have
+//! in common — the event queue, the mesh network and its traffic
+//! accounting, the reliable transport and chaos wire, directory-
+//! controller occupancy and the capacity-limited directory caches,
+//! barriers, the serializability checker, watchdog, tracer, and
+//! snapshot plumbing. A [`Protocol`] implementation owns what differs:
+//! the per-processor transaction state machine, the per-line home/
+//! directory state, and the message vocabulary flowing between them.
+//!
+//! Because the split is behind the trait, every backend inherits the
+//! surrounding machinery for free: checkpoint/resume (via
+//! [`Protocol::save_state`]/[`Protocol::restore_state`]), the chaos
+//! fault injector and schedule explorer, `tcc-trace` observability,
+//! and the stall diagnostics — none of those layers know which backend
+//! is running.
+//!
+//! # Delivery contract
+//!
+//! Message delivery is split by [`Protocol::home_timing`]:
+//!
+//! * `Some(timing)` marks a *home* (directory-controller) message. The
+//!   simulator applies shared occupancy timing — serialize on the
+//!   controller (`dir_busy`), walk the directory cache if the payload
+//!   names a line, charge `mem_latency` on a miss — and then hands the
+//!   message to [`Protocol::on_home_message`] at the service-complete
+//!   cycle. Replies come back as `(extra_delay, message)` pairs and are
+//!   injected at `done + extra_delay`.
+//! * `None` marks a *node* message (processor replies, the TID vendor,
+//!   token arbitration): [`Protocol::on_node_message`] runs at the
+//!   arrival cycle and returns ordinary [`Effects`].
+//!
+//! The concrete backends are [`TccMachine`] (the paper's scalable
+//! non-blocking commit), [`SerializedMachine`](crate::serialized) (the
+//! §2.2 token-serialized baseline), and
+//! [`TardisMachine`](crate::tardis) (timestamp-ordered coherence with
+//! lease-based reads and no invalidation multicasts). [`Machine`] is
+//! the statically-dispatched sum the simulator stores.
+
+use tcc_directory::{DirAction, Directory};
+use tcc_trace::Tracer;
+use tcc_types::snap::{Snap, SnapError, SnapReader, SnapWriter};
+use tcc_types::{Cycle, LineAddr, Message, NodeId, Payload, ProtocolKind, Tid};
+
+use crate::config::SystemConfig;
+use crate::processor::{Effects, ProcCounters, Processor};
+use crate::profiling::ProfileReport;
+use crate::serialized::SerializedMachine;
+use crate::sim::VENDOR_SERVICE;
+use crate::stall::StallReason;
+use crate::tardis::TardisMachine;
+
+/// How long a home (directory-controller) message occupies the
+/// controller, as computed by [`Protocol::home_timing`].
+#[derive(Debug, Clone, Copy)]
+pub struct HomeTiming {
+    /// Controller service time in cycles (before any directory-cache
+    /// miss surcharge).
+    pub service: u64,
+    /// Line whose home state the message walks, if any: the simulator
+    /// touches the directory cache for it and adds `mem_latency` to the
+    /// service on a miss.
+    pub touch: Option<LineAddr>,
+}
+
+/// A coherence/commit protocol backend.
+///
+/// One value of an implementing type is the whole machine's protocol
+/// state: all per-processor transaction state machines plus all
+/// per-node home state. The simulator drives it through this interface
+/// and never matches on protocol-specific payloads itself.
+///
+/// Determinism contract: every method must be a pure function of the
+/// machine state and its arguments (no wall-clock, no ambient
+/// randomness), and [`save_state`](Protocol::save_state) /
+/// [`restore_state`](Protocol::restore_state) must round-trip exactly —
+/// a restored machine continues byte-identically. The chaos soak and
+/// checkpoint differential suites enforce this for every backend.
+pub trait Protocol {
+    /// The configuration-level name of this backend.
+    const KIND: ProtocolKind;
+
+    /// Per-processor transaction state exposed to tests and
+    /// diagnostics via [`proc_state`](Protocol::proc_state).
+    type ProcState;
+    /// Per-line home/directory state exposed to tests and diagnostics
+    /// via [`line_state`](Protocol::line_state).
+    type LineState;
+
+    /// The per-processor component for `node` (state peeking only).
+    fn proc_state(&self, node: NodeId) -> &Self::ProcState;
+
+    /// The home-side state `home` holds for `line`, if any.
+    fn line_state(&self, home: NodeId, line: LineAddr) -> Option<&Self::LineState>;
+
+    /// Starts `node`'s program at cycle `now` (called exactly once per
+    /// processor, before any event).
+    fn start(&mut self, now: Cycle, node: NodeId) -> Effects;
+
+    /// One execution step of `node` (a `ProcStep` event fired).
+    fn step(&mut self, now: Cycle, node: NodeId) -> Effects;
+
+    /// All processors reached the barrier; release `node`.
+    fn release_barrier(&mut self, now: Cycle, node: NodeId) -> Effects;
+
+    /// `node`'s wake-sequence number; a `ProcStep` event whose stamped
+    /// sequence differs is stale and dropped.
+    fn wake_seq(&self, node: NodeId) -> u64;
+
+    /// Human-readable protocol phase of `node` (stall diagnostics).
+    fn state_name(&self, node: NodeId) -> &'static str;
+
+    /// Classifies a payload: `Some` makes it a home message with the
+    /// given occupancy timing, `None` a node message.
+    fn home_timing(&self, cfg: &SystemConfig, payload: &Payload) -> Option<HomeTiming>;
+
+    /// Handles a home message at its service-complete cycle `done`.
+    /// Replies are pushed as `(extra_delay, message)` and injected at
+    /// `done + extra_delay`.
+    fn on_home_message(
+        &mut self,
+        done: Cycle,
+        cfg: &SystemConfig,
+        msg: Message,
+        out: &mut Vec<(u64, Message)>,
+    );
+
+    /// Handles a node message at its arrival cycle.
+    fn on_node_message(&mut self, now: Cycle, cfg: &SystemConfig, msg: Message) -> Effects;
+
+    /// Takes a component fault raised during a handler (e.g. the TCC
+    /// directory's bounded skip-vector refusal); the event loop turns
+    /// it into a typed stall.
+    fn take_fault(&mut self) -> Option<StallReason>;
+
+    /// Machine-wide committed-transaction count (stall diagnostics).
+    fn commits_total(&self) -> u64;
+
+    /// Per-directory Now-Serving TIDs, or the closest per-home notion
+    /// of commit progress (stall diagnostics).
+    fn dir_nstids(&self) -> Vec<Tid>;
+
+    /// Folds the backend's progress-relevant words (commit counts,
+    /// per-home serving state, vended identifiers) with the simulator's
+    /// `extra` words into one watchdog signature.
+    fn progress_signature(&self, extra: [u64; 3]) -> u64;
+
+    /// Cycle at which the last processor finished (the makespan).
+    fn done_at_max(&self) -> Cycle;
+
+    /// Pads every processor's breakdown with idle time up to `end`.
+    fn pad_idle_to(&mut self, end: Cycle);
+
+    /// Per-processor execution-time breakdowns.
+    fn breakdowns(&self) -> Vec<crate::breakdown::Breakdown>;
+
+    /// Per-processor protocol counters.
+    fn proc_counters(&self) -> Vec<ProcCounters>;
+
+    /// Drains per-processor TAPE profiling events into `report`.
+    fn take_profile(&mut self, report: &mut ProfileReport);
+
+    /// Per-commit home-occupancy samples across all homes (Table 3).
+    fn dir_occupancy(&self) -> Vec<u64>;
+
+    /// Per-home working-set size at end of run (Table 3).
+    fn dir_working_set(&self) -> Vec<usize>;
+
+    /// Serializes the backend's complete mutable state.
+    fn save_state(&self, w: &mut SnapWriter);
+
+    /// Overlays a snapshot captured by
+    /// [`save_state`](Protocol::save_state) onto this freshly built
+    /// machine.
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError>;
+
+    /// End-of-run invariants with the event queue drained; panics on
+    /// violation.
+    fn assert_quiescent(&self);
+}
+
+/// The paper's Scalable TCC backend: directory-based non-blocking
+/// commit with TID-vendor ordering, skip/probe arbitration, and
+/// invalidation multicasts. This is the protocol machinery that lived
+/// directly inside `Simulator` before the [`Protocol`] extraction; its
+/// behavior (and result fingerprints) are unchanged.
+#[derive(Debug)]
+pub struct TccMachine {
+    pub(crate) procs: Vec<Processor>,
+    pub(crate) dirs: Vec<Directory>,
+    /// Next TID the vendor (node 0) will hand out.
+    pub(crate) vendor_next: u64,
+    pub(crate) tracer: Tracer,
+    pub(crate) fault: Option<StallReason>,
+}
+
+impl TccMachine {
+    pub(crate) fn new(procs: Vec<Processor>, dirs: Vec<Directory>, tracer: Tracer) -> TccMachine {
+        TccMachine {
+            procs,
+            dirs,
+            vendor_next: 0,
+            tracer,
+            fault: None,
+        }
+    }
+}
+
+impl Protocol for TccMachine {
+    const KIND: ProtocolKind = ProtocolKind::Tcc;
+
+    type ProcState = Processor;
+    type LineState = tcc_directory::DirEntry;
+
+    fn proc_state(&self, node: NodeId) -> &Processor {
+        &self.procs[node.index()]
+    }
+
+    fn line_state(&self, home: NodeId, line: LineAddr) -> Option<&tcc_directory::DirEntry> {
+        self.dirs[home.index()].entry(line)
+    }
+
+    fn start(&mut self, now: Cycle, node: NodeId) -> Effects {
+        self.procs[node.index()].start(now)
+    }
+
+    fn step(&mut self, now: Cycle, node: NodeId) -> Effects {
+        self.procs[node.index()].step(now)
+    }
+
+    fn release_barrier(&mut self, now: Cycle, node: NodeId) -> Effects {
+        self.procs[node.index()].release_barrier(now)
+    }
+
+    fn wake_seq(&self, node: NodeId) -> u64 {
+        self.procs[node.index()].wake_seq()
+    }
+
+    fn state_name(&self, node: NodeId) -> &'static str {
+        self.procs[node.index()].state_name()
+    }
+
+    fn home_timing(&self, cfg: &SystemConfig, payload: &Payload) -> Option<HomeTiming> {
+        match payload {
+            // Line-state operations walk the directory cache.
+            Payload::LoadRequest { line, .. }
+            | Payload::Mark { line, .. }
+            | Payload::WriteBack { line, .. }
+            | Payload::Flush { line, .. } => Some(HomeTiming {
+                service: cfg.dir_line_latency,
+                touch: Some(*line),
+            }),
+            Payload::Commit { .. } => Some(HomeTiming {
+                service: cfg.dir_line_latency,
+                touch: None,
+            }),
+            // Register-only operations are cheap.
+            Payload::Skip { .. }
+            | Payload::Probe { .. }
+            | Payload::Abort { .. }
+            | Payload::InvAck { .. } => Some(HomeTiming {
+                service: cfg.dir_ctrl_latency,
+                touch: None,
+            }),
+            _ => None,
+        }
+    }
+
+    fn on_home_message(
+        &mut self,
+        done: Cycle,
+        cfg: &SystemConfig,
+        msg: Message,
+        out: &mut Vec<(u64, Message)>,
+    ) {
+        let d = msg.dst.index();
+        let trace_wb_line = if crate::tcc_trace_enabled() {
+            match &msg.payload {
+                Payload::WriteBack { line, .. } | Payload::Flush { line, .. } => Some(*line),
+                _ => None,
+            }
+        } else {
+            None
+        };
+        let dir = &mut self.dirs[d];
+        let actions: Vec<DirAction> = match msg.payload {
+            Payload::LoadRequest {
+                line,
+                requester,
+                req,
+            } => dir.handle_load(done, line, requester, req),
+            Payload::Skip { tid } => dir.handle_skip(done, tid),
+            Payload::Probe {
+                tid,
+                requester,
+                for_write,
+            } => dir.handle_probe(done, tid, requester, for_write),
+            Payload::Mark {
+                tid,
+                line,
+                words,
+                committer,
+            } => dir.handle_mark(done, tid, line, words, committer),
+            Payload::Commit {
+                tid,
+                committer,
+                marks,
+            } => dir.handle_commit(done, tid, committer, marks),
+            Payload::Abort { tid } => dir.handle_abort(done, tid),
+            Payload::WriteBack {
+                line,
+                tid,
+                values,
+                valid,
+                writer,
+            } => dir.handle_writeback(line, tid, values, valid, writer, false),
+            Payload::Flush {
+                line,
+                tid,
+                values,
+                valid,
+                writer,
+                dropped: _,
+            } => {
+                // Flushes never prune the sharers list — even when the
+                // owner dropped its copy (Fig. 2f mode). A load reply
+                // for the same line may be in flight to the flusher, so
+                // eager pruning could leave it caching the line
+                // unlisted. Stale sharers are pruned self-healingly by
+                // the `retained = false` invalidation acks.
+                dir.handle_writeback(line, tid, values, valid, writer, true)
+            }
+            Payload::InvAck {
+                tid,
+                line,
+                from,
+                retained,
+            } => dir.handle_inv_ack(done, tid, line, from, retained),
+            _ => unreachable!("non-directory payload routed to directory"),
+        };
+        if let Some(r) = self.dirs[d].skip_refusal() {
+            self.fault.get_or_insert(StallReason::SkipRefused {
+                dir: msg.dst,
+                tid: r.tid,
+                now_serving: r.now_serving,
+                window: r.window,
+            });
+        }
+        if let Some(line) = trace_wb_line {
+            let e = self.dirs[d].entry(line);
+            eprintln!(
+                "  DIRSTATE after wb {}: {:?}",
+                line,
+                e.map(|e| (e.owner, e.tid_tag, e.owner_words, e.memory.words.clone()))
+            );
+        }
+        let src = msg.dst;
+        let mut actions = actions;
+        for a in actions.drain(..) {
+            // Memory fills pay main-memory latency on top of the
+            // directory lookup; everything else leaves at `done`.
+            let extra = match &a.payload {
+                Payload::LoadReply {
+                    source: tcc_types::DataSource::Memory,
+                    ..
+                } => cfg.mem_latency,
+                _ => 0,
+            };
+            out.push((extra, Message::new(src, a.to, a.payload)));
+        }
+        // Hand the buffer back so the next handler call reuses it
+        // instead of allocating a fresh `Vec`.
+        self.dirs[d].recycle_actions(actions);
+    }
+
+    fn on_node_message(&mut self, now: Cycle, cfg: &SystemConfig, msg: Message) -> Effects {
+        let dst = msg.dst;
+        match msg.payload {
+            // ---- vendor ----
+            Payload::TidRequest { requester } => {
+                debug_assert_eq!(dst, cfg.vendor_node());
+                self.tracer.count("vendor.tid_requests", 1);
+                let tid = Tid(self.vendor_next);
+                self.vendor_next += 1;
+                let reply = Message::new(dst, requester, Payload::TidReply { tid });
+                Effects {
+                    sends: vec![(VENDOR_SERVICE, reply)],
+                    ..Effects::default()
+                }
+            }
+            // ---- processor messages ----
+            Payload::LoadReply {
+                line, values, req, ..
+            } => self.procs[dst.index()].on_load_reply(now, line, values, req),
+            Payload::TidReply { tid } => self.procs[dst.index()].on_tid_reply(now, tid),
+            Payload::ProbeReply {
+                dir,
+                now_serving,
+                probe_tid,
+                for_write,
+            } => {
+                self.procs[dst.index()].on_probe_reply(now, dir, now_serving, probe_tid, for_write)
+            }
+            Payload::DataRequest { line } => self.procs[dst.index()].on_data_request(now, line),
+            Payload::Invalidate {
+                line,
+                words,
+                committer_tid,
+                dir,
+            } => self.procs[dst.index()].on_invalidate(now, line, words, committer_tid, dir),
+            _ => unreachable!("foreign-protocol message in the scalable TCC protocol"),
+        }
+    }
+
+    fn take_fault(&mut self) -> Option<StallReason> {
+        self.fault.take()
+    }
+
+    fn commits_total(&self) -> u64 {
+        self.procs.iter().map(|p| p.counters().commits).sum()
+    }
+
+    fn dir_nstids(&self) -> Vec<Tid> {
+        self.dirs.iter().map(Directory::now_serving).collect()
+    }
+
+    fn progress_signature(&self, extra: [u64; 3]) -> u64 {
+        let words = self
+            .procs
+            .iter()
+            .map(|p| p.counters().commits)
+            .chain(self.dirs.iter().map(|d| d.now_serving().0))
+            .chain([self.vendor_next])
+            .chain(extra);
+        tcc_engine::progress_signature(words)
+    }
+
+    fn done_at_max(&self) -> Cycle {
+        self.procs
+            .iter()
+            .filter_map(Processor::done_at)
+            .max()
+            .unwrap_or(Cycle::ZERO)
+    }
+
+    fn pad_idle_to(&mut self, end: Cycle) {
+        for p in &mut self.procs {
+            p.pad_idle_to(end);
+        }
+    }
+
+    fn breakdowns(&self) -> Vec<crate::breakdown::Breakdown> {
+        self.procs.iter().map(|p| p.breakdown()).collect()
+    }
+
+    fn proc_counters(&self) -> Vec<ProcCounters> {
+        self.procs.iter().map(|p| p.counters()).collect()
+    }
+
+    fn take_profile(&mut self, report: &mut ProfileReport) {
+        for p in &mut self.procs {
+            let (v, s) = p.take_profile();
+            report.violations.extend(v);
+            report.starvation.extend(s);
+        }
+    }
+
+    fn dir_occupancy(&self) -> Vec<u64> {
+        let mut occupancy = Vec::new();
+        for d in &self.dirs {
+            occupancy.extend_from_slice(&d.stats().occupancy);
+        }
+        occupancy
+    }
+
+    fn dir_working_set(&self) -> Vec<usize> {
+        self.dirs
+            .iter()
+            .map(Directory::working_set_entries)
+            .collect()
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        for p in &self.procs {
+            p.save_state(w);
+        }
+        for d in &self.dirs {
+            d.save_state(w);
+        }
+        self.vendor_next.save(w);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        for p in &mut self.procs {
+            p.restore_state(r)?;
+        }
+        for d in &mut self.dirs {
+            d.restore_state(r)?;
+        }
+        self.vendor_next = r.get()?;
+        Ok(())
+    }
+
+    /// With the queue drained, every directory must be quiescent with
+    /// its NSTID at the end of the vended sequence, and every ownership
+    /// record must point at a processor actually holding the line dirty
+    /// (no data can be lost in flight once nothing is in flight).
+    fn assert_quiescent(&self) {
+        let expected = Tid(self.vendor_next);
+        for d in &self.dirs {
+            d.assert_quiescent(expected);
+            for (line, entry) in d.entries() {
+                if let Some(owner) = entry.owner {
+                    let p = &self.procs[owner.index()];
+                    assert!(
+                        p.cache().is_dirty(line) || p.has_dirty_spill(line),
+                        "{owner} is recorded as owner of {line} but holds no dirty copy"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The statically-dispatched sum of all protocol backends. The
+/// simulator stores one of these; every trait call is a `match` on the
+/// variant, so there is no boxing or vtable in the event loop.
+#[derive(Debug)]
+pub enum Machine {
+    /// Scalable TCC (the paper's protocol).
+    Tcc(TccMachine),
+    /// The §2.2 serialized-commit (small-scale TCC) baseline.
+    Serialized(SerializedMachine),
+    /// Timestamp-ordered coherence (Tardis-style): lease-based reads,
+    /// logical-time commits, zero invalidation traffic.
+    Tardis(TardisMachine),
+}
+
+/// Delegates a `Machine` method to the active backend.
+macro_rules! dispatch {
+    ($self:expr, $m:pat => $body:expr) => {
+        match $self {
+            Machine::Tcc($m) => $body,
+            Machine::Serialized($m) => $body,
+            Machine::Tardis($m) => $body,
+        }
+    };
+}
+
+impl Machine {
+    /// The active backend's configuration-level name.
+    #[must_use]
+    pub fn kind(&self) -> ProtocolKind {
+        match self {
+            Machine::Tcc(_) => ProtocolKind::Tcc,
+            Machine::Serialized(_) => ProtocolKind::SerializedCommit,
+            Machine::Tardis(_) => ProtocolKind::Tardis,
+        }
+    }
+
+    pub(crate) fn start(&mut self, now: Cycle, node: NodeId) -> Effects {
+        dispatch!(self, m => m.start(now, node))
+    }
+
+    pub(crate) fn step(&mut self, now: Cycle, node: NodeId) -> Effects {
+        dispatch!(self, m => m.step(now, node))
+    }
+
+    pub(crate) fn release_barrier(&mut self, now: Cycle, node: NodeId) -> Effects {
+        dispatch!(self, m => m.release_barrier(now, node))
+    }
+
+    pub(crate) fn wake_seq(&self, node: NodeId) -> u64 {
+        dispatch!(self, m => m.wake_seq(node))
+    }
+
+    pub(crate) fn state_name(&self, node: NodeId) -> &'static str {
+        dispatch!(self, m => m.state_name(node))
+    }
+
+    pub(crate) fn home_timing(&self, cfg: &SystemConfig, payload: &Payload) -> Option<HomeTiming> {
+        dispatch!(self, m => m.home_timing(cfg, payload))
+    }
+
+    pub(crate) fn on_home_message(
+        &mut self,
+        done: Cycle,
+        cfg: &SystemConfig,
+        msg: Message,
+        out: &mut Vec<(u64, Message)>,
+    ) {
+        dispatch!(self, m => m.on_home_message(done, cfg, msg, out));
+    }
+
+    pub(crate) fn on_node_message(
+        &mut self,
+        now: Cycle,
+        cfg: &SystemConfig,
+        msg: Message,
+    ) -> Effects {
+        dispatch!(self, m => m.on_node_message(now, cfg, msg))
+    }
+
+    pub(crate) fn take_fault(&mut self) -> Option<StallReason> {
+        dispatch!(self, m => m.take_fault())
+    }
+
+    pub(crate) fn commits_total(&self) -> u64 {
+        dispatch!(self, m => m.commits_total())
+    }
+
+    pub(crate) fn dir_nstids(&self) -> Vec<Tid> {
+        dispatch!(self, m => m.dir_nstids())
+    }
+
+    pub(crate) fn progress_signature(&self, extra: [u64; 3]) -> u64 {
+        dispatch!(self, m => m.progress_signature(extra))
+    }
+
+    pub(crate) fn done_at_max(&self) -> Cycle {
+        dispatch!(self, m => m.done_at_max())
+    }
+
+    pub(crate) fn pad_idle_to(&mut self, end: Cycle) {
+        dispatch!(self, m => m.pad_idle_to(end));
+    }
+
+    pub(crate) fn breakdowns(&self) -> Vec<crate::breakdown::Breakdown> {
+        dispatch!(self, m => m.breakdowns())
+    }
+
+    pub(crate) fn proc_counters(&self) -> Vec<ProcCounters> {
+        dispatch!(self, m => m.proc_counters())
+    }
+
+    pub(crate) fn take_profile(&mut self, report: &mut ProfileReport) {
+        dispatch!(self, m => m.take_profile(report));
+    }
+
+    pub(crate) fn dir_occupancy(&self) -> Vec<u64> {
+        dispatch!(self, m => m.dir_occupancy())
+    }
+
+    pub(crate) fn dir_working_set(&self) -> Vec<usize> {
+        dispatch!(self, m => m.dir_working_set())
+    }
+
+    pub(crate) fn save_state(&self, w: &mut SnapWriter) {
+        dispatch!(self, m => m.save_state(w));
+    }
+
+    pub(crate) fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        dispatch!(self, m => m.restore_state(r))
+    }
+
+    pub(crate) fn assert_quiescent(&self) {
+        dispatch!(self, m => m.assert_quiescent());
+    }
+}

@@ -1,0 +1,1138 @@
+//! The serialized-commit baseline as a [`Protocol`] backend.
+//!
+//! This is the §2.2 small-scale TCC machine — a single global commit
+//! token arbitrated FIFO on node 0, write-through broadcast commits,
+//! flat memory at the home nodes — ported method-for-method from
+//! [`crate::baseline`] onto the [`Protocol`] trait so it runs inside
+//! the full [`Simulator`](crate::Simulator) event loop and inherits
+//! checkpointing, chaos, transport, tracing, and stall diagnostics.
+//!
+//! The standalone [`BaselineSimulator`](crate::baseline) remains as an
+//! independent implementation of the same machine; the differential
+//! tests at the bottom of this module drive both on identical
+//! workloads and require identical makespans, breakdowns, commit and
+//! violation counts, and traffic — two codebases, one protocol.
+//!
+//! Only OCC condition 2 (execution overlaps, commits serialize) lives
+//! behind the trait; condition 1 (serial execution) is a baseline-only
+//! ablation.
+
+use std::collections::HashMap;
+
+use tcc_cache::{HierCache, LoadOutcome, StoreOutcome};
+use tcc_types::snap::{Snap, SnapError, SnapReader, SnapWriter};
+use tcc_types::{
+    Cycle, DataSource, LineAddr, LineValues, Message, NodeId, Payload, ProtocolKind, Tid, WordMask,
+};
+
+use crate::breakdown::{Breakdown, TxCharacteristics};
+use crate::checker::TxRecord;
+use crate::config::SystemConfig;
+use crate::processor::{Effects, ProcCounters};
+use crate::profiling::ProfileReport;
+use crate::program::{ThreadProgram, TxOp, WorkItem};
+use crate::protocol::{HomeTiming, Protocol};
+use crate::stall::StallReason;
+
+/// Memory service time at the home node, in cycles (symmetric with the
+/// scalable protocol's directory-cache lookup).
+const HOME_SERVICE: u64 = 10;
+/// Token arbiter service time, in cycles.
+const ARBITER_SERVICE: u64 = 2;
+
+/// Protocol phase of one serialized-baseline processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Fresh,
+    Running,
+    WaitFill {
+        line: LineAddr,
+        stall_start: Cycle,
+        req: u64,
+    },
+    WaitToken,
+    Broadcasting {
+        acks_left: u32,
+    },
+    AtBarrier {
+        since: Cycle,
+    },
+    Done,
+}
+
+impl Snap for State {
+    fn save(&self, w: &mut SnapWriter) {
+        match self {
+            State::Fresh => 0u8.save(w),
+            State::Running => 1u8.save(w),
+            State::WaitFill {
+                line,
+                stall_start,
+                req,
+            } => {
+                2u8.save(w);
+                line.save(w);
+                stall_start.save(w);
+                req.save(w);
+            }
+            State::WaitToken => 3u8.save(w),
+            State::Broadcasting { acks_left } => {
+                4u8.save(w);
+                acks_left.save(w);
+            }
+            State::AtBarrier { since } => {
+                5u8.save(w);
+                since.save(w);
+            }
+            State::Done => 6u8.save(w),
+        }
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(match u8::load(r)? {
+            0 => State::Fresh,
+            1 => State::Running,
+            2 => State::WaitFill {
+                line: r.get()?,
+                stall_start: r.get()?,
+                req: r.get()?,
+            },
+            3 => State::WaitToken,
+            4 => State::Broadcasting {
+                acks_left: r.get()?,
+            },
+            5 => State::AtBarrier { since: r.get()? },
+            6 => State::Done,
+            t => return Err(SnapError::invalid("serialized State", format!("tag {t}"))),
+        })
+    }
+}
+
+/// One processor of the serialized-commit machine (the trait port of
+/// the baseline's `BaseProc`).
+#[derive(Debug)]
+pub struct SerializedProc {
+    cache: HierCache,
+    program: ThreadProgram,
+    item: usize,
+    op: usize,
+    state: State,
+    has_token: bool,
+    token_requested: bool,
+    tx_start: Cycle,
+    commit_start: Cycle,
+    attempt_useful: u64,
+    attempt_miss: u64,
+    tx_instr: u64,
+    reads_log: Vec<(LineAddr, usize, Option<Tid>)>,
+    req_seq: u64,
+    wake_seq: u64,
+    totals: Breakdown,
+    commits: u64,
+    violations: u64,
+    instructions: u64,
+    done_at: Option<Cycle>,
+}
+
+impl SerializedProc {
+    fn save_state(&self, w: &mut SnapWriter) {
+        self.cache.save_state(w);
+        self.item.save(w);
+        self.op.save(w);
+        self.state.save(w);
+        self.has_token.save(w);
+        self.token_requested.save(w);
+        self.tx_start.save(w);
+        self.commit_start.save(w);
+        self.attempt_useful.save(w);
+        self.attempt_miss.save(w);
+        self.tx_instr.save(w);
+        self.reads_log.save(w);
+        self.req_seq.save(w);
+        self.wake_seq.save(w);
+        self.totals.save(w);
+        self.commits.save(w);
+        self.violations.save(w);
+        self.instructions.save(w);
+        self.done_at.save(w);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.cache.restore_state(r)?;
+        self.item = r.get()?;
+        self.op = r.get()?;
+        self.state = r.get()?;
+        self.has_token = r.get()?;
+        self.token_requested = r.get()?;
+        self.tx_start = r.get()?;
+        self.commit_start = r.get()?;
+        self.attempt_useful = r.get()?;
+        self.attempt_miss = r.get()?;
+        self.tx_instr = r.get()?;
+        self.reads_log = r.get()?;
+        self.req_seq = r.get()?;
+        self.wake_seq = r.get()?;
+        self.totals = r.get()?;
+        self.commits = r.get()?;
+        self.violations = r.get()?;
+        self.instructions = r.get()?;
+        self.done_at = r.get()?;
+        Ok(())
+    }
+}
+
+/// The serialized-commit (small-scale TCC) backend.
+#[derive(Debug)]
+pub struct SerializedMachine {
+    cfg: SystemConfig,
+    procs: Vec<SerializedProc>,
+    /// Flat global memory at the home nodes; write-through commits keep
+    /// it always current.
+    memory: HashMap<LineAddr, LineValues>,
+    /// The commit token: holder, FIFO wait queue (arbiter on node 0).
+    token_holder: Option<NodeId>,
+    token_queue: Vec<NodeId>,
+    /// Commit (token-grant) order; doubles as the TID sequence.
+    commit_seq: u64,
+}
+
+impl SerializedMachine {
+    pub(crate) fn new(cfg: SystemConfig, programs: Vec<ThreadProgram>) -> SerializedMachine {
+        let procs: Vec<SerializedProc> = programs
+            .into_iter()
+            .map(|p| SerializedProc {
+                cache: HierCache::new(cfg.cache.clone()),
+                program: p,
+                item: 0,
+                op: 0,
+                state: State::Fresh,
+                has_token: false,
+                token_requested: false,
+                tx_start: Cycle::ZERO,
+                commit_start: Cycle::ZERO,
+                attempt_useful: 0,
+                attempt_miss: 0,
+                tx_instr: 0,
+                reads_log: Vec::new(),
+                req_seq: 0,
+                wake_seq: 0,
+                totals: Breakdown::default(),
+                commits: 0,
+                violations: 0,
+                instructions: 0,
+                done_at: None,
+            })
+            .collect();
+        SerializedMachine {
+            cfg,
+            procs,
+            memory: HashMap::new(),
+            token_holder: None,
+            token_queue: Vec::new(),
+            commit_seq: 0,
+        }
+    }
+
+    fn home_node(&self, line: LineAddr) -> NodeId {
+        self.cfg
+            .cache
+            .geometry
+            .home_of(line, self.cfg.n_procs)
+            .node()
+    }
+
+    /// Supersedes any earlier wake and schedules the next continuation
+    /// `delay` cycles out.
+    fn wake(&mut self, n: NodeId, delay: u64, fx: &mut Effects) {
+        self.procs[n.index()].wake_seq += 1;
+        fx.wake_in = Some(delay);
+    }
+
+    // ------------------------------------------------------------------
+    // Program advancement
+    // ------------------------------------------------------------------
+
+    /// `now` is the absolute cycle the transition logically happens at;
+    /// `delay` is its offset from the event being handled (effects are
+    /// applied by the simulator at event time, so scheduling must carry
+    /// the offset explicitly — mirrors the scalable processor's
+    /// `begin_validation(now, elapsed)`).
+    fn enter_item(&mut self, now: Cycle, delay: u64, n: NodeId, fx: &mut Effects) {
+        let p = &mut self.procs[n.index()];
+        match p.program.items.get(p.item) {
+            Some(WorkItem::Tx(_)) => {
+                p.op = 0;
+                p.tx_start = now;
+                p.attempt_useful = 0;
+                p.attempt_miss = 0;
+                p.tx_instr = 0;
+                p.reads_log.clear();
+                p.state = State::Running;
+                self.wake(n, delay, fx);
+            }
+            Some(WorkItem::Barrier) => {
+                p.state = State::AtBarrier { since: now };
+                fx.reached_barrier = true;
+            }
+            None => {
+                p.state = State::Done;
+                p.done_at = Some(now);
+                fx.finished = true;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Execution
+    // ------------------------------------------------------------------
+
+    fn run_chunk(&mut self, now: Cycle, n: NodeId, fx: &mut Effects) {
+        let chunk = self.cfg.exec_chunk;
+        let geom = self.cfg.cache.geometry;
+        let mut elapsed = 0u64;
+        loop {
+            let p = &mut self.procs[n.index()];
+            if p.state != State::Running {
+                return; // a violation mid-event restarted us elsewhere
+            }
+            if elapsed >= chunk {
+                self.wake(n, elapsed, fx);
+                return;
+            }
+            let Some(WorkItem::Tx(tx)) = p.program.items.get(p.item) else {
+                unreachable!("running outside a transaction")
+            };
+            let Some(&op) = tx.ops.get(p.op) else {
+                // Body complete: arbitrate for the commit token.
+                self.tx_end(now + elapsed, elapsed, n, fx);
+                return;
+            };
+            match op {
+                TxOp::Compute(c) => {
+                    elapsed += u64::from(c);
+                    p.attempt_useful += u64::from(c);
+                    p.tx_instr += u64::from(c);
+                    p.op += 1;
+                }
+                TxOp::Load(a) => {
+                    let line = geom.line_of(a);
+                    let word = geom.word_index(a);
+                    match p.cache.load(line, word) {
+                        LoadOutcome::Hit {
+                            level,
+                            value,
+                            own_speculative,
+                            first_read,
+                        } => {
+                            let lat = self.cfg.cache.latency(level);
+                            elapsed += lat;
+                            p.attempt_useful += lat;
+                            p.tx_instr += 1;
+                            if !own_speculative && first_read {
+                                p.reads_log.push((line, word, value));
+                            }
+                            p.op += 1;
+                        }
+                        LoadOutcome::Miss => {
+                            self.fill_miss(n, line, now + elapsed, elapsed, fx);
+                            return;
+                        }
+                    }
+                }
+                TxOp::Store(a) => {
+                    let line = geom.line_of(a);
+                    let word = geom.word_index(a);
+                    match p.cache.store(line, word) {
+                        StoreOutcome::Hit { level, .. } => {
+                            // Write-through: no pre-write-back needed.
+                            let lat = self.cfg.cache.latency(level);
+                            elapsed += lat;
+                            p.attempt_useful += lat;
+                            p.tx_instr += 1;
+                            p.op += 1;
+                        }
+                        StoreOutcome::Miss => {
+                            self.fill_miss(n, line, now + elapsed, elapsed, fx);
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// A load/store missed: stall in `WaitFill` and request the line
+    /// from its home, departing when the miss logically occurred.
+    fn fill_miss(
+        &mut self,
+        n: NodeId,
+        line: LineAddr,
+        stall_start: Cycle,
+        delay: u64,
+        fx: &mut Effects,
+    ) {
+        let home = self.home_node(line);
+        let p = &mut self.procs[n.index()];
+        p.req_seq += 1;
+        p.state = State::WaitFill {
+            line,
+            stall_start,
+            req: p.req_seq,
+        };
+        let msg = Message::new(
+            n,
+            home,
+            Payload::LoadRequest {
+                line,
+                requester: n,
+                req: p.req_seq,
+            },
+        );
+        Self::emit(fx, 0, delay, msg);
+    }
+
+    /// Mirrors `BaselineSimulator::send` faithfully enough for
+    /// message-for-message identical mesh contention: the baseline puts
+    /// zero-delay messages on the wire at *call* time (stamped
+    /// `now + offset`, claiming links in emission order, even when the
+    /// stamp is in the future of other queued events), while delayed
+    /// messages are injected later in time order.
+    fn emit(fx: &mut Effects, offset: u64, delay: u64, msg: Message) {
+        if delay == 0 {
+            fx.immediate_sends.push((offset, msg));
+        } else {
+            fx.sends.push((offset + delay, msg));
+        }
+    }
+
+    fn tx_end(&mut self, now: Cycle, delay: u64, n: NodeId, fx: &mut Effects) {
+        let p = &mut self.procs[n.index()];
+        p.commit_start = now;
+        if p.has_token {
+            self.broadcast_commit(now, delay, n, fx);
+            return;
+        }
+        p.state = State::WaitToken;
+        if !p.token_requested {
+            p.token_requested = true;
+            let msg = Message::new(n, NodeId(0), Payload::TokenRequest { requester: n });
+            Self::emit(fx, delay, 0, msg);
+        }
+    }
+
+    /// Token-holder commits: push the write-set to every other node.
+    fn broadcast_commit(&mut self, now: Cycle, delay: u64, n: NodeId, fx: &mut Effects) {
+        let seq = Tid(self.commit_seq);
+        self.commit_seq += 1;
+        let geom = self.cfg.cache.geometry;
+        let n_procs = self.cfg.n_procs;
+        let p = &mut self.procs[n.index()];
+        let write_set = p.cache.write_set();
+        // Stamp values locally (commit order = token order).
+        p.cache.commit_tx(seq);
+        p.cache.clear_dirty_bits(); // write-through: memory is current
+        let reads = std::mem::take(&mut p.reads_log);
+        fx.committed = Some((
+            TxRecord {
+                tid: seq,
+                reads: reads.clone(),
+                writes: write_set.clone(),
+            },
+            characteristics(p.tx_instr, &reads, &write_set, geom, n_procs),
+        ));
+        // Gather the committed data to broadcast.
+        let words = geom.words_per_line() as usize;
+        let mut writes = Vec::with_capacity(write_set.len());
+        for (line, mask) in &write_set {
+            let mem = self
+                .memory
+                .entry(*line)
+                .or_insert_with(|| LineValues::fresh(words));
+            mem.apply_write(*mask, seq);
+            writes.push((*line, *mask, mem.clone()));
+        }
+        let p = &mut self.procs[n.index()];
+        p.commits += 1;
+        p.instructions += p.tx_instr;
+        p.totals.useful += p.attempt_useful;
+        p.totals.cache_miss += p.attempt_miss;
+        let n_others = (n_procs - 1) as u32;
+        if n_others == 0 {
+            self.finish_commit(now, delay, n, fx);
+            return;
+        }
+        p.state = State::Broadcasting {
+            acks_left: n_others,
+        };
+        for i in 0..n_procs {
+            let dst = NodeId(i as u16);
+            if dst == n {
+                continue;
+            }
+            let msg = Message::new(
+                n,
+                dst,
+                Payload::BaselineCommit {
+                    writes: writes.clone(),
+                    committer: n,
+                    seq,
+                },
+            );
+            Self::emit(fx, delay, 0, msg);
+        }
+    }
+
+    /// All acks in: release the token and move on.
+    fn finish_commit(&mut self, now: Cycle, delay: u64, n: NodeId, fx: &mut Effects) {
+        let p = &mut self.procs[n.index()];
+        p.totals.commit += now.since(p.commit_start);
+        p.has_token = false;
+        p.token_requested = false;
+        p.item += 1;
+        let msg = Message::new(n, NodeId(0), Payload::TokenRelease);
+        Self::emit(fx, delay, 0, msg);
+        self.enter_item(now, delay, n, fx);
+    }
+
+    fn violate(&mut self, now: Cycle, n: NodeId, fx: &mut Effects) {
+        let p = &mut self.procs[n.index()];
+        debug_assert!(!p.has_token, "token holder cannot be violated");
+        p.violations += 1;
+        p.cache.abort_tx();
+        p.totals.violation += now.since(p.tx_start);
+        p.op = 0;
+        p.tx_start = now;
+        p.attempt_useful = 0;
+        p.attempt_miss = 0;
+        p.tx_instr = 0;
+        p.reads_log.clear();
+        // Keep the token-queue position (token_requested stays set);
+        // resume execution immediately.
+        p.state = State::Running;
+        self.wake(n, 0, fx);
+    }
+
+    fn on_fill(
+        &mut self,
+        now: Cycle,
+        n: NodeId,
+        line: LineAddr,
+        values: LineValues,
+        req: u64,
+        fx: &mut Effects,
+    ) {
+        let p = &mut self.procs[n.index()];
+        let State::WaitFill {
+            line: expected,
+            stall_start,
+            req: want,
+        } = p.state
+        else {
+            return; // stale fill after a violation restart: drop it
+        };
+        if req != want {
+            return; // reply to a superseded request: drop it
+        }
+        debug_assert_eq!(line, expected);
+        let r = p.cache.fill(line, values, false);
+        assert!(
+            !r.overflow,
+            "serialized-baseline overflow: size workloads within the L2"
+        );
+        p.attempt_miss += now.since(stall_start);
+        p.state = State::Running;
+        self.wake(n, 0, fx);
+    }
+}
+
+/// Table 3 characteristics of one committed transaction, derived from
+/// the read log and write-set at commit time (shared with the Tardis
+/// backend).
+pub(crate) fn characteristics(
+    instructions: u64,
+    reads: &[(LineAddr, usize, Option<Tid>)],
+    writes: &[(LineAddr, WordMask)],
+    geom: tcc_types::LineGeometry,
+    n_procs: usize,
+) -> TxCharacteristics {
+    let line_bytes = geom.line_bytes() as u64;
+    let mut read_lines: Vec<LineAddr> = reads.iter().map(|&(l, _, _)| l).collect();
+    read_lines.sort_unstable();
+    read_lines.dedup();
+    let words_written: u64 = writes.iter().map(|&(_, m)| u64::from(m.count())).sum();
+    let mut touched: Vec<u16> = read_lines
+        .iter()
+        .chain(writes.iter().map(|(l, _)| l))
+        .map(|&l| geom.home_of(l, n_procs).0)
+        .collect();
+    touched.sort_unstable();
+    touched.dedup();
+    let mut written: Vec<u16> = writes
+        .iter()
+        .map(|&(l, _)| geom.home_of(l, n_procs).0)
+        .collect();
+    written.sort_unstable();
+    written.dedup();
+    TxCharacteristics {
+        instructions,
+        read_set_bytes: read_lines.len() as u64 * line_bytes,
+        write_set_bytes: writes.len() as u64 * line_bytes,
+        words_written,
+        dirs_written: written.len() as u32,
+        dirs_touched: touched.len() as u32,
+    }
+}
+
+impl Protocol for SerializedMachine {
+    const KIND: ProtocolKind = ProtocolKind::SerializedCommit;
+
+    type ProcState = SerializedProc;
+    type LineState = LineValues;
+
+    fn proc_state(&self, node: NodeId) -> &SerializedProc {
+        &self.procs[node.index()]
+    }
+
+    /// Home state is the flat memory image; `home` is implied by the
+    /// line's address interleaving.
+    fn line_state(&self, _home: NodeId, line: LineAddr) -> Option<&LineValues> {
+        self.memory.get(&line)
+    }
+
+    fn start(&mut self, now: Cycle, node: NodeId) -> Effects {
+        let mut fx = Effects::default();
+        self.enter_item(now, 0, node, &mut fx);
+        fx
+    }
+
+    fn step(&mut self, now: Cycle, node: NodeId) -> Effects {
+        let mut fx = Effects::default();
+        self.run_chunk(now, node, &mut fx);
+        fx
+    }
+
+    fn release_barrier(&mut self, now: Cycle, node: NodeId) -> Effects {
+        let mut fx = Effects::default();
+        let p = &mut self.procs[node.index()];
+        let State::AtBarrier { since } = p.state else {
+            unreachable!("releasing a processor not at the barrier")
+        };
+        // A single-processor machine can arrive mid-chunk, `since`
+        // cycles into the event being handled; the release then happens
+        // at the arrival instant, not the (earlier) event time.
+        let at = now.max(since);
+        p.totals.idle += at.since(since);
+        p.item += 1;
+        self.enter_item(at, at.since(now), node, &mut fx);
+        fx
+    }
+
+    fn wake_seq(&self, node: NodeId) -> u64 {
+        self.procs[node.index()].wake_seq
+    }
+
+    fn state_name(&self, node: NodeId) -> &'static str {
+        match self.procs[node.index()].state {
+            State::Fresh => "fresh",
+            State::Running => "running",
+            State::WaitFill { .. } => "wait-fill",
+            State::WaitToken => "wait-token",
+            State::Broadcasting { .. } => "broadcasting",
+            State::AtBarrier { .. } => "at-barrier",
+            State::Done => "done",
+        }
+    }
+
+    fn home_timing(&self, _cfg: &SystemConfig, payload: &Payload) -> Option<HomeTiming> {
+        match payload {
+            // Home nodes service loads from flat memory; no directory
+            // cache exists (validate refuses `dir_cache_entries`), so no
+            // line is touched.
+            Payload::LoadRequest { .. } => Some(HomeTiming {
+                service: HOME_SERVICE,
+                touch: None,
+            }),
+            _ => None,
+        }
+    }
+
+    fn on_home_message(
+        &mut self,
+        _done: Cycle,
+        cfg: &SystemConfig,
+        msg: Message,
+        out: &mut Vec<(u64, Message)>,
+    ) {
+        let Payload::LoadRequest {
+            line,
+            requester,
+            req,
+        } = msg.payload
+        else {
+            unreachable!("non-load payload routed to a serialized home node")
+        };
+        let words = cfg.cache.geometry.words_per_line() as usize;
+        let values = self
+            .memory
+            .entry(line)
+            .or_insert_with(|| LineValues::fresh(words))
+            .clone();
+        let reply = Message::new(
+            msg.dst,
+            requester,
+            Payload::LoadReply {
+                line,
+                source: DataSource::Memory,
+                values,
+                req,
+            },
+        );
+        out.push((cfg.mem_latency, reply));
+    }
+
+    fn on_node_message(&mut self, now: Cycle, _cfg: &SystemConfig, msg: Message) -> Effects {
+        let mut fx = Effects::default();
+        let dst = msg.dst;
+        match msg.payload {
+            Payload::LoadReply {
+                line, values, req, ..
+            } => self.on_fill(now, dst, line, values, req, &mut fx),
+            Payload::TokenRequest { requester } => {
+                debug_assert_eq!(dst, NodeId(0));
+                if self.token_holder.is_none() {
+                    self.token_holder = Some(requester);
+                    let msg = Message::new(dst, requester, Payload::TokenGrant);
+                    fx.sends.push((ARBITER_SERVICE, msg));
+                } else {
+                    self.token_queue.push(requester);
+                }
+            }
+            Payload::TokenGrant => {
+                let p = &mut self.procs[dst.index()];
+                p.has_token = true;
+                // If a violation restarted the transaction while queued,
+                // the token is held and the commit happens at the next
+                // tx_end.
+                if p.state == State::WaitToken {
+                    self.broadcast_commit(now, 0, dst, &mut fx);
+                }
+            }
+            Payload::TokenRelease => {
+                debug_assert_eq!(dst, NodeId(0));
+                self.token_holder = None;
+                if !self.token_queue.is_empty() {
+                    let next = self.token_queue.remove(0);
+                    self.token_holder = Some(next);
+                    let msg = Message::new(dst, next, Payload::TokenGrant);
+                    fx.sends.push((ARBITER_SERVICE, msg));
+                }
+            }
+            Payload::BaselineCommit {
+                writes, committer, ..
+            } => {
+                let mut conflict = false;
+                let mut rerequests = Vec::new();
+                {
+                    let p = &mut self.procs[dst.index()];
+                    for (line, mask, _) in &writes {
+                        conflict |= p.cache.invalidate(*line, *mask).conflict;
+                        // Supersede an in-flight fill of an invalidated
+                        // line: its data predates this commit. The
+                        // replacement departs no earlier than the
+                        // original request's logical issue time (see the
+                        // scalable processor's on_invalidate).
+                        if let State::WaitFill {
+                            line: l,
+                            req,
+                            stall_start,
+                        } = &mut p.state
+                        {
+                            if l == line {
+                                p.req_seq += 1;
+                                *req = p.req_seq;
+                                rerequests.push((*line, p.req_seq, stall_start.since(now)));
+                            }
+                        }
+                    }
+                }
+                for (line, req, delay) in rerequests {
+                    let m = Message::new(
+                        dst,
+                        self.home_node(line),
+                        Payload::LoadRequest {
+                            line,
+                            requester: dst,
+                            req,
+                        },
+                    );
+                    Self::emit(&mut fx, 0, delay, m);
+                }
+                let ack = Message::new(dst, committer, Payload::BaselineAck { from: dst });
+                fx.sends.push((1, ack));
+                if conflict {
+                    self.violate(now, dst, &mut fx);
+                }
+            }
+            Payload::BaselineAck { .. } => {
+                let p = &mut self.procs[dst.index()];
+                let State::Broadcasting { acks_left } = &mut p.state else {
+                    panic!("ack while not broadcasting");
+                };
+                *acks_left -= 1;
+                if *acks_left == 0 {
+                    self.finish_commit(now, 0, dst, &mut fx);
+                }
+            }
+            other => unreachable!(
+                "foreign-protocol message {:?} in the serialized baseline",
+                other.kind_name()
+            ),
+        }
+        fx
+    }
+
+    fn take_fault(&mut self) -> Option<StallReason> {
+        None // no component of this backend raises faults
+    }
+
+    fn commits_total(&self) -> u64 {
+        self.procs.iter().map(|p| p.commits).sum()
+    }
+
+    /// There are no directories; the token-grant sequence is the
+    /// machine-wide notion of commit progress.
+    fn dir_nstids(&self) -> Vec<Tid> {
+        vec![Tid(self.commit_seq)]
+    }
+
+    fn progress_signature(&self, extra: [u64; 3]) -> u64 {
+        let words = self
+            .procs
+            .iter()
+            .map(|p| p.commits)
+            .chain(self.procs.iter().map(|p| p.item as u64))
+            .chain([self.commit_seq])
+            .chain(extra);
+        tcc_engine::progress_signature(words)
+    }
+
+    fn done_at_max(&self) -> Cycle {
+        self.procs
+            .iter()
+            .filter_map(|p| p.done_at)
+            .max()
+            .unwrap_or(Cycle::ZERO)
+    }
+
+    fn pad_idle_to(&mut self, end: Cycle) {
+        for p in &mut self.procs {
+            if let Some(done) = p.done_at {
+                p.totals.idle += end.since(done);
+            }
+        }
+    }
+
+    fn breakdowns(&self) -> Vec<Breakdown> {
+        self.procs.iter().map(|p| p.totals).collect()
+    }
+
+    fn proc_counters(&self) -> Vec<ProcCounters> {
+        self.procs
+            .iter()
+            .map(|p| ProcCounters {
+                commits: p.commits,
+                violations: p.violations,
+                overflows: 0,
+                instructions: p.instructions,
+                serialized_retries: 0,
+                tid_wait: 0,
+                probe_wait: 0,
+            })
+            .collect()
+    }
+
+    fn take_profile(&mut self, _report: &mut ProfileReport) {
+        // TAPE profiling hooks live in the TCC processor only;
+        // `SystemConfig::validate` refuses `profile` for this backend.
+    }
+
+    fn dir_occupancy(&self) -> Vec<u64> {
+        Vec::new()
+    }
+
+    fn dir_working_set(&self) -> Vec<usize> {
+        Vec::new()
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        for p in &self.procs {
+            p.save_state(w);
+        }
+        // The unordered memory image is sorted so the bytes are a pure
+        // function of state.
+        let mut mem: Vec<(LineAddr, LineValues)> =
+            self.memory.iter().map(|(&l, v)| (l, v.clone())).collect();
+        mem.sort_unstable_by_key(|&(l, _)| l);
+        mem.save(w);
+        self.token_holder.save(w);
+        self.token_queue.save(w);
+        self.commit_seq.save(w);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        for p in &mut self.procs {
+            p.restore_state(r)?;
+        }
+        let mem: Vec<(LineAddr, LineValues)> = r.get()?;
+        self.memory = mem.into_iter().collect();
+        self.token_holder = r.get()?;
+        self.token_queue = r.get()?;
+        self.commit_seq = r.get()?;
+        Ok(())
+    }
+
+    /// With the queue drained, the token must be free with nobody
+    /// queued, and every processor must have finished its program.
+    fn assert_quiescent(&self) {
+        assert!(
+            self.token_holder.is_none(),
+            "token still held at quiescence by {:?}",
+            self.token_holder
+        );
+        assert!(
+            self.token_queue.is_empty(),
+            "processors still queued for the token at quiescence: {:?}",
+            self.token_queue
+        );
+        for (i, p) in self.procs.iter().enumerate() {
+            assert!(
+                p.state == State::Done && p.done_at.is_some(),
+                "P{i} in state {:?} at quiescence",
+                p.state
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::BaselineSimulator;
+    use crate::program::Transaction;
+    use crate::sim::Simulator;
+    use tcc_types::Addr;
+
+    fn tx(ops: Vec<TxOp>) -> WorkItem {
+        WorkItem::Tx(Transaction::new(ops))
+    }
+
+    fn cfg(n: usize) -> SystemConfig {
+        SystemConfig {
+            check_serializability: true,
+            protocol: ProtocolKind::SerializedCommit,
+            ..SystemConfig::with_procs(n)
+        }
+    }
+
+    /// Runs the same workload through the standalone baseline simulator
+    /// and the trait-hosted backend and requires identical results —
+    /// makespan, per-processor breakdowns, commit/violation/instruction
+    /// counts, and traffic, down to the byte.
+    fn differential(cfg_: SystemConfig, programs: Vec<ThreadProgram>) {
+        let base = BaselineSimulator::new(
+            SystemConfig {
+                protocol: ProtocolKind::Tcc,
+                ..cfg_.clone()
+            },
+            programs.clone(),
+        )
+        .run();
+        let ported = Simulator::builder(cfg_)
+            .programs(programs)
+            .build()
+            .expect("valid serialized config")
+            .run();
+        assert_eq!(ported.total_cycles, base.total_cycles, "makespan differs");
+        assert_eq!(ported.breakdowns, base.breakdowns, "breakdowns differ");
+        assert_eq!(ported.commits, base.commits, "commits differ");
+        assert_eq!(ported.violations, base.violations, "violations differ");
+        assert_eq!(
+            ported.instructions, base.instructions,
+            "instructions differ"
+        );
+        assert_eq!(
+            ported.traffic.total_bytes(),
+            base.traffic.total_bytes(),
+            "traffic bytes differ"
+        );
+        assert_eq!(
+            ported.traffic.total_messages(),
+            base.traffic.total_messages(),
+            "traffic messages differ"
+        );
+        assert!(base.serializability.unwrap().is_ok());
+        ported.assert_serializable();
+    }
+
+    #[test]
+    fn differential_single_processor() {
+        let programs = vec![ThreadProgram::new(vec![tx(vec![
+            TxOp::Load(Addr(0x100)),
+            TxOp::Compute(50),
+            TxOp::Store(Addr(0x100)),
+        ])])];
+        differential(cfg(1), programs);
+    }
+
+    #[test]
+    fn differential_disjoint_writers() {
+        let programs: Vec<ThreadProgram> = (0..4u64)
+            .map(|p| {
+                ThreadProgram::new(vec![tx(vec![
+                    TxOp::Store(Addr(0x1000 * (p + 1))),
+                    TxOp::Compute(10),
+                ])])
+            })
+            .collect();
+        differential(cfg(4), programs);
+    }
+
+    #[test]
+    fn differential_conflicting_writer_violates_reader() {
+        let x = Addr(0x40);
+        let programs = vec![
+            ThreadProgram::new(vec![tx(vec![TxOp::Load(x), TxOp::Compute(20_000)])]),
+            ThreadProgram::new(vec![tx(vec![TxOp::Store(x), TxOp::Compute(10)])]),
+        ];
+        differential(cfg(2), programs);
+    }
+
+    #[test]
+    fn differential_hot_line_contention() {
+        // Every processor loads and stores the same line with skewed
+        // compute times — maximal token contention plus the baseline's
+        // call-order link reservations (a mid-chunk token request claims
+        // the mesh ahead of an already-injected reply).
+        let programs: Vec<ThreadProgram> = (0..4u64)
+            .map(|p| {
+                ThreadProgram::new(vec![tx(vec![
+                    TxOp::Load(Addr(0x40)),
+                    TxOp::Compute(40 + 13 * p as u32),
+                    TxOp::Store(Addr(0x40)),
+                ])])
+            })
+            .collect();
+        differential(cfg(4), programs);
+    }
+
+    #[test]
+    fn differential_barriers_and_shared_lines() {
+        // Mixed phases: shared-counter contention, a barrier, then a
+        // shuffle over neighbor lines — exercises violations, fill
+        // rerequests, token queueing, and barrier release in both
+        // implementations.
+        let programs: Vec<ThreadProgram> = (0..4u64)
+            .map(|p| {
+                ThreadProgram::new(vec![
+                    tx(vec![
+                        TxOp::Load(Addr(0x40)),
+                        TxOp::Compute(40 + 13 * p as u32),
+                        TxOp::Store(Addr(0x40)),
+                    ]),
+                    WorkItem::Barrier,
+                    tx(vec![
+                        TxOp::Load(Addr(0x200 * ((p + 1) % 4 + 1))),
+                        TxOp::Compute(25),
+                        TxOp::Store(Addr(0x200 * (p + 1))),
+                    ]),
+                ])
+            })
+            .collect();
+        differential(cfg(4), programs);
+    }
+
+    #[test]
+    fn serialized_commits_never_overlap() {
+        // The trait-hosted backend preserves the defining property:
+        // exactly one committer at a time, FIFO through the token.
+        let programs: Vec<ThreadProgram> = (0..8u64)
+            .map(|p| {
+                ThreadProgram::new(vec![tx(vec![
+                    TxOp::Store(Addr(0x800 * (p + 1))),
+                    TxOp::Compute(30),
+                ])])
+            })
+            .collect();
+        let r = Simulator::builder(cfg(8))
+            .programs(programs)
+            .build()
+            .expect("valid config")
+            .run();
+        assert_eq!(r.commits, 8);
+        assert_eq!(r.violations, 0);
+        r.assert_serializable();
+    }
+
+    #[test]
+    fn serialized_checkpoint_round_trips() {
+        // Pause mid-run, checkpoint, resume in a fresh machine: the
+        // final results must be identical to the uninterrupted run.
+        let mk_programs = || -> Vec<ThreadProgram> {
+            (0..4u64)
+                .map(|p| {
+                    ThreadProgram::new(vec![
+                        tx(vec![
+                            TxOp::Load(Addr(0x40)),
+                            TxOp::Compute(50 + 7 * p as u32),
+                            TxOp::Store(Addr(0x40)),
+                        ]),
+                        tx(vec![TxOp::Store(Addr(0x900 * (p + 1))), TxOp::Compute(20)]),
+                    ])
+                })
+                .collect()
+        };
+        let uninterrupted = Simulator::builder(cfg(4))
+            .programs(mk_programs())
+            .build()
+            .expect("valid config")
+            .run();
+        let stepped = Simulator::builder(cfg(4))
+            .programs(mk_programs())
+            .build()
+            .expect("valid config")
+            .try_run_until(Some(Cycle(300)))
+            .expect("no stall");
+        let resumed = match stepped {
+            crate::sim::Step::Paused(sim) => {
+                let snap = sim.checkpoint();
+                Simulator::resume(cfg(4), mk_programs(), &snap)
+                    .expect("resume accepts its own checkpoint")
+                    .run()
+            }
+            crate::sim::Step::Done(_) => panic!("run finished before the pause cycle"),
+        };
+        assert_eq!(resumed.total_cycles, uninterrupted.total_cycles);
+        assert_eq!(resumed.commits, uninterrupted.commits);
+        assert_eq!(resumed.violations, uninterrupted.violations);
+        assert_eq!(resumed.breakdowns, uninterrupted.breakdowns);
+        resumed.assert_serializable();
+    }
+
+    #[test]
+    fn snapshot_protocol_tag_is_gated() {
+        // A snapshot captured under the serialized backend must be
+        // refused by a TCC-configured resume (and the refusal must name
+        // both protocols).
+        let programs = vec![ThreadProgram::new(vec![tx(vec![TxOp::Compute(10_000)])])];
+        let sim = Simulator::builder(cfg(1))
+            .programs(programs.clone())
+            .build()
+            .expect("valid config");
+        let snap = sim.checkpoint();
+        let tcc_cfg = SystemConfig {
+            protocol: ProtocolKind::Tcc,
+            ..cfg(1)
+        };
+        let err = Simulator::resume(tcc_cfg, programs, &snap);
+        assert!(err.is_err(), "cross-protocol resume must be refused");
+    }
+}

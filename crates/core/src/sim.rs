@@ -4,15 +4,15 @@
 use std::collections::VecDeque;
 use tcc_types::hash::FxHashSet;
 
-use tcc_directory::{DirAction, DirConfig, Directory};
-use tcc_engine::{progress_signature, EventQueue, ProgressWatchdog, TieBreak};
+use tcc_directory::{DirConfig, Directory};
+use tcc_engine::{EventQueue, ProgressWatchdog, TieBreak};
 use tcc_network::{
     Network, SeededInjector, TrafficStats, Transport, TransportAction, TransportStats,
 };
 use tcc_snapshot::{Snapshot, SnapshotError};
 use tcc_trace::{TraceReport, Tracer};
 use tcc_types::snap::{Snap, SnapError, SnapReader, SnapWriter};
-use tcc_types::{Cycle, DirId, Frame, LineAddr, Message, NodeId, Payload, Tid};
+use tcc_types::{Cycle, DirId, Frame, LineAddr, Message, NodeId, Payload};
 
 use crate::baseline::BaselineSimulator;
 use crate::breakdown::{Breakdown, TxCharacteristics};
@@ -21,6 +21,7 @@ use crate::config::{ConfigError, SystemConfig};
 use crate::processor::{Effects, ProcCounters, Processor};
 use crate::profiling::ProfileReport;
 use crate::program::ThreadProgram;
+use crate::protocol::{HomeTiming, Machine, TccMachine};
 use crate::stall::{RunError, RunProvenance, StallDiagnostic, StallReason};
 
 /// Vendor service time per TID request, in cycles.
@@ -412,7 +413,8 @@ impl From<SnapError> for ResumeError {
     }
 }
 
-/// The Scalable TCC full-system simulator.
+/// The full-system simulator: one of the protocol backends behind the
+/// [`Protocol`](crate::Protocol) trait, driven by a shared event loop.
 ///
 /// # Example
 ///
@@ -427,7 +429,11 @@ impl From<SnapError> for ResumeError {
 ///     ThreadProgram::new(vec![WorkItem::Tx(tx.clone())]),
 ///     ThreadProgram::new(vec![WorkItem::Tx(tx)]),
 /// ];
-/// let result = Simulator::new(cfg, programs).run();
+/// let result = Simulator::builder(cfg)
+///     .programs(programs)
+///     .build()
+///     .expect("valid config")
+///     .run();
 /// assert_eq!(result.commits, 2);
 /// result.assert_serializable();
 /// ```
@@ -435,14 +441,17 @@ impl From<SnapError> for ResumeError {
 pub struct Simulator {
     pub(crate) cfg: SystemConfig,
     pub(crate) queue: EventQueue<Event>,
-    pub(crate) procs: Vec<Processor>,
-    pub(crate) dirs: Vec<Directory>,
+    /// The active protocol backend: all per-processor and per-home
+    /// protocol state, selected by `cfg.protocol`.
+    pub(crate) machine: Machine,
     pub(crate) net: Network,
     /// Earliest cycle each directory controller is free (occupancy).
     pub(crate) dir_busy: Vec<Cycle>,
     /// Per-node directory caches, when capacity-limited.
     pub(crate) dir_caches: Vec<Option<DirCache>>,
-    pub(crate) vendor_next: u64,
+    /// Reusable scratch buffer for home-message replies (always empty
+    /// between events; never snapshotted).
+    pub(crate) home_out: Vec<(u64, Message)>,
     pub(crate) barrier_waiting: Vec<NodeId>,
     pub(crate) checker: Option<Checker>,
     pub(crate) tx_chars: Vec<TxCharacteristics>,
@@ -512,6 +521,15 @@ impl SimulatorBuilder {
         self
     }
 
+    /// Select the coherence/commit backend, overriding
+    /// `cfg.protocol`. Equivalent to setting the field before calling
+    /// [`Simulator::builder`]; provided so sweeps can share one base
+    /// config and vary only the protocol axis.
+    pub fn protocol(mut self, kind: tcc_types::ProtocolKind) -> SimulatorBuilder {
+        self.cfg.protocol = kind;
+        self
+    }
+
     /// Use an externally-created [`Tracer`] instead of the one derived
     /// from `cfg.trace` — e.g. to share one metrics registry across
     /// several runs, or to keep a handle for inspection after `run`.
@@ -533,24 +551,24 @@ impl SimulatorBuilder {
     fn check(&self) -> Result<(), ConfigError> {
         self.cfg.validate()?;
         if self.programs.len() != self.cfg.n_procs {
-            return Err(ConfigError {
-                field: "programs",
-                problem: format!(
+            return Err(ConfigError::invalid(
+                "programs",
+                format!(
                     "{} programs for {} processors",
                     self.programs.len(),
                     self.cfg.n_procs
                 ),
-                hint: "pass exactly one ThreadProgram per processor",
-            });
+                "pass exactly one ThreadProgram per processor",
+            ));
         }
         let counts: Vec<usize> = self.programs.iter().map(ThreadProgram::barriers).collect();
         if !counts.windows(2).all(|w| w[0] == w[1]) {
-            return Err(ConfigError {
-                field: "programs",
-                problem: format!("programs disagree on barrier counts: {counts:?}"),
-                hint: "give every thread the same number of barriers, \
-                       or the barrier protocol deadlocks",
-            });
+            return Err(ConfigError::invalid(
+                "programs",
+                format!("programs disagree on barrier counts: {counts:?}"),
+                "give every thread the same number of barriers, \
+                 or the barrier protocol deadlocks",
+            ));
         }
         Ok(())
     }
@@ -566,11 +584,11 @@ impl SimulatorBuilder {
     pub fn build(self) -> Result<Simulator, ConfigError> {
         self.check()?;
         if self.baseline.is_some() {
-            return Err(ConfigError {
-                field: "baseline",
-                problem: "builder was pointed at the baseline machine".into(),
-                hint: "finish with .build_baseline(), or drop .baseline(..)",
-            });
+            return Err(ConfigError::invalid(
+                "baseline",
+                "builder was pointed at the baseline machine",
+                "finish with .build_baseline(), or drop .baseline(..)",
+            ));
         }
         let SimulatorBuilder {
             cfg,
@@ -612,23 +630,6 @@ impl Simulator {
         }
     }
 
-    /// Builds a simulator for `cfg.n_procs` processors, one program per
-    /// processor.
-    ///
-    /// # Panics
-    ///
-    /// Panics on any input [`Simulator::builder`] would refuse with a
-    /// typed [`ConfigError`] (program/processor count mismatch,
-    /// mismatched barrier counts, invalid config).
-    #[deprecated(note = "use Simulator::builder(cfg).programs(p).build()")]
-    #[must_use]
-    pub fn new(cfg: SystemConfig, programs: Vec<ThreadProgram>) -> Simulator {
-        match Simulator::builder(cfg).programs(programs).build() {
-            Ok(sim) => sim,
-            Err(e) => panic!("{e}"),
-        }
-    }
-
     /// The validated construction path shared by the builder.
     fn construct(
         cfg: SystemConfig,
@@ -649,26 +650,37 @@ impl Simulator {
             }
             h
         };
-        let procs: Vec<Processor> = programs
-            .into_iter()
-            .enumerate()
-            .map(|(i, p)| {
-                let mut proc = Processor::new(NodeId(i as u16), cfg.clone(), p);
-                proc.set_tracer(tracer.clone());
-                proc
-            })
-            .collect();
-        let dirs: Vec<Directory> = (0..cfg.n_procs)
-            .map(|i| {
-                let mut d = Directory::new(DirConfig {
-                    id: DirId(i as u16),
-                    words_per_line: words,
-                    bugs: cfg.bugs,
-                });
-                d.set_tracer(tracer.clone());
-                d
-            })
-            .collect();
+        let machine = match cfg.protocol {
+            tcc_types::ProtocolKind::Tcc => {
+                let procs: Vec<Processor> = programs
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, p)| {
+                        let mut proc = Processor::new(NodeId(i as u16), cfg.clone(), p);
+                        proc.set_tracer(tracer.clone());
+                        proc
+                    })
+                    .collect();
+                let dirs: Vec<Directory> = (0..cfg.n_procs)
+                    .map(|i| {
+                        let mut d = Directory::new(DirConfig {
+                            id: DirId(i as u16),
+                            words_per_line: words,
+                            bugs: cfg.bugs,
+                        });
+                        d.set_tracer(tracer.clone());
+                        d
+                    })
+                    .collect();
+                Machine::Tcc(TccMachine::new(procs, dirs, tracer.clone()))
+            }
+            tcc_types::ProtocolKind::SerializedCommit => Machine::Serialized(
+                crate::serialized::SerializedMachine::new(cfg.clone(), programs),
+            ),
+            tcc_types::ProtocolKind::Tardis => {
+                Machine::Tardis(crate::tardis::TardisMachine::new(cfg.clone(), programs))
+            }
+        };
         let mut net = Network::new(
             cfg.n_procs,
             cfg.cache.geometry.line_bytes(),
@@ -700,12 +712,11 @@ impl Simulator {
         Simulator {
             dir_busy: vec![Cycle::ZERO; cfg.n_procs],
             dir_caches,
+            home_out: Vec::new(),
             cfg,
             queue,
-            procs,
-            dirs,
+            machine,
             net,
-            vendor_next: 0,
             barrier_waiting: Vec::new(),
             checker,
             tx_chars: Vec::new(),
@@ -804,9 +815,10 @@ impl Simulator {
         );
         if !self.started {
             self.started = true;
-            for i in 0..self.procs.len() {
-                let fx = self.procs[i].start(Cycle::ZERO);
-                self.apply(Cycle::ZERO, NodeId(i as u16), fx);
+            for i in 0..self.cfg.n_procs {
+                let n = NodeId(i as u16);
+                let fx = self.machine.start(Cycle::ZERO, n);
+                self.apply(Cycle::ZERO, n, fx);
             }
         }
         loop {
@@ -840,8 +852,8 @@ impl Simulator {
             }
             match ev {
                 Event::ProcStep(n, seq) => {
-                    if self.procs[n.index()].wake_seq() == seq {
-                        let fx = self.procs[n.index()].step(now);
+                    if self.machine.wake_seq(n) == seq {
+                        let fx = self.machine.step(now, n);
                         self.apply(now, n, fx);
                     }
                 }
@@ -905,16 +917,18 @@ impl Simulator {
     fn stalled(&self, now: Cycle, reason: StallReason) -> RunError {
         let diag = StallDiagnostic {
             reason,
+            protocol: self.cfg.protocol,
             provenance: self.provenance(),
             at: now.0,
-            commits: self.procs.iter().map(|p| p.counters().commits).sum(),
+            commits: self.machine.commits_total(),
             active_procs: self.active,
-            proc_states: self
-                .procs
-                .iter()
-                .map(|p| (p.id(), p.state_name().to_string()))
+            proc_states: (0..self.cfg.n_procs)
+                .map(|i| {
+                    let n = NodeId(i as u16);
+                    (n, self.machine.state_name(n).to_string())
+                })
                 .collect(),
-            dir_nstids: self.dirs.iter().map(Directory::now_serving).collect(),
+            dir_nstids: self.machine.dir_nstids(),
             queued_events: self.queue.len(),
             in_flight_frames: self.transport.as_ref().map_or(0, Transport::in_flight),
             reorder_buffered: self
@@ -938,18 +952,11 @@ impl Simulator {
     /// deliberately excluded — they advance even while the system spins
     /// in place.
     fn progress_signature(&self) -> u64 {
-        let words = self
-            .procs
-            .iter()
-            .map(|p| p.counters().commits)
-            .chain(self.dirs.iter().map(|d| d.now_serving().0))
-            .chain([
-                self.vendor_next,
-                self.active as u64,
-                self.barrier_waiting.len() as u64,
-                self.transport.as_ref().map_or(0, |t| t.stats().delivered),
-            ]);
-        progress_signature(words)
+        self.machine.progress_signature([
+            self.active as u64,
+            self.barrier_waiting.len() as u64,
+            self.transport.as_ref().map_or(0, |t| t.stats().delivered),
+        ])
     }
 
     /// The single choke point for putting a message in flight: with the
@@ -1025,6 +1032,9 @@ impl Simulator {
 
     /// Applies a processor's [`Effects`].
     fn apply(&mut self, now: Cycle, node: NodeId, fx: Effects) {
+        for (offset, msg) in fx.immediate_sends {
+            self.dispatch_send(now + offset, msg);
+        }
         for (delay, msg) in fx.sends {
             if delay == 0 {
                 self.dispatch_send(now, msg);
@@ -1033,7 +1043,7 @@ impl Simulator {
             }
         }
         if let Some(d) = fx.wake_in {
-            let seq = self.procs[node.index()].wake_seq();
+            let seq = self.machine.wake_seq(node);
             self.queue.schedule(now + d, Event::ProcStep(node, seq));
         }
         if let Some((record, chars)) = fx.committed {
@@ -1056,114 +1066,42 @@ impl Simulator {
         if self.barrier_waiting.len() == self.cfg.n_procs {
             let waiting = std::mem::take(&mut self.barrier_waiting);
             for n in waiting {
-                let fx = self.procs[n.index()].release_barrier(now);
+                let fx = self.machine.release_barrier(now, n);
                 self.apply(now, n, fx);
             }
         }
     }
 
-    /// Routes a delivered message to the right component model.
+    /// Routes a delivered message to the active protocol backend: home
+    /// (directory-controller) messages go through the shared occupancy
+    /// model, node messages run at arrival.
     fn deliver(&mut self, now: Cycle, msg: Message) {
         if crate::tcc_trace_enabled() {
             eprintln!("{} {} -> {}: {:?}", now, msg.src, msg.dst, msg.payload);
         }
-        let dst = msg.dst;
-        match msg.payload {
-            // ---- directory-controller messages ----
-            Payload::LoadRequest { .. }
-            | Payload::Skip { .. }
-            | Payload::Probe { .. }
-            | Payload::Mark { .. }
-            | Payload::Commit { .. }
-            | Payload::Abort { .. }
-            | Payload::WriteBack { .. }
-            | Payload::Flush { .. }
-            | Payload::InvAck { .. } => self.deliver_to_dir(now, msg),
-            // ---- vendor ----
-            Payload::TidRequest { requester } => {
-                debug_assert_eq!(dst, self.cfg.vendor_node());
-                self.tracer.count("vendor.tid_requests", 1);
-                let tid = Tid(self.vendor_next);
-                self.vendor_next += 1;
-                let reply = Message::new(dst, requester, Payload::TidReply { tid });
-                self.queue
-                    .schedule(now + VENDOR_SERVICE, Event::Inject(reply));
-            }
-            // ---- processor messages ----
-            Payload::LoadReply {
-                line, values, req, ..
-            } => {
-                let fx = self.procs[dst.index()].on_load_reply(now, line, values, req);
+        match self.machine.home_timing(&self.cfg, &msg.payload) {
+            Some(timing) => self.deliver_home(now, msg, timing),
+            None => {
+                let dst = msg.dst;
+                let fx = self.machine.on_node_message(now, &self.cfg, msg);
                 self.apply(now, dst, fx);
-            }
-            Payload::TidReply { tid } => {
-                let fx = self.procs[dst.index()].on_tid_reply(now, tid);
-                self.apply(now, dst, fx);
-            }
-            Payload::ProbeReply {
-                dir,
-                now_serving,
-                probe_tid,
-                for_write,
-            } => {
-                let fx = self.procs[dst.index()].on_probe_reply(
-                    now,
-                    dir,
-                    now_serving,
-                    probe_tid,
-                    for_write,
-                );
-                self.apply(now, dst, fx);
-            }
-            Payload::DataRequest { line } => {
-                let fx = self.procs[dst.index()].on_data_request(now, line);
-                self.apply(now, dst, fx);
-            }
-            Payload::Invalidate {
-                line,
-                words,
-                committer_tid,
-                dir,
-            } => {
-                let fx =
-                    self.procs[dst.index()].on_invalidate(now, line, words, committer_tid, dir);
-                self.apply(now, dst, fx);
-            }
-            Payload::TokenRequest { .. }
-            | Payload::TokenGrant
-            | Payload::TokenRelease
-            | Payload::BaselineCommit { .. }
-            | Payload::BaselineAck { .. } => {
-                unreachable!("baseline-only message in the scalable protocol")
+                if let Some(f) = self.machine.take_fault() {
+                    self.fault.get_or_insert(f);
+                }
             }
         }
     }
 
-    /// Directory-side delivery: models controller occupancy and
-    /// directory-cache/memory latency, then applies the state machine.
-    fn deliver_to_dir(&mut self, now: Cycle, msg: Message) {
+    /// Home-side delivery, shared by every backend: models controller
+    /// occupancy and directory-cache/memory latency, then applies the
+    /// backend's home state machine and injects its replies.
+    fn deliver_home(&mut self, now: Cycle, msg: Message, timing: HomeTiming) {
         let d = msg.dst.index();
-        let mut service = match msg.payload {
-            // Line-state operations walk the directory cache.
-            Payload::LoadRequest { .. }
-            | Payload::Mark { .. }
-            | Payload::WriteBack { .. }
-            | Payload::Flush { .. } => self.cfg.dir_line_latency,
-            Payload::Commit { .. } => self.cfg.dir_line_latency,
-            // Register-only operations are cheap.
-            _ => self.cfg.dir_ctrl_latency,
-        };
+        let mut service = timing.service;
         // Capacity-limited directory cache: a miss fetches the entry's
         // state from memory first.
         if let Some(cache) = &mut self.dir_caches[d] {
-            let line = match &msg.payload {
-                Payload::LoadRequest { line, .. }
-                | Payload::Mark { line, .. }
-                | Payload::WriteBack { line, .. }
-                | Payload::Flush { line, .. } => Some(*line),
-                _ => None,
-            };
-            if let Some(line) = line {
+            if let Some(line) = timing.touch {
                 if !cache.touch(line) {
                     service += self.cfg.mem_latency;
                 }
@@ -1172,104 +1110,15 @@ impl Simulator {
         let start = now.max(self.dir_busy[d]);
         let done = start + service;
         self.dir_busy[d] = done;
-        let trace_wb_line = if crate::tcc_trace_enabled() {
-            match &msg.payload {
-                Payload::WriteBack { line, .. } | Payload::Flush { line, .. } => Some(*line),
-                _ => None,
-            }
-        } else {
-            None
-        };
-        let dir = &mut self.dirs[d];
-        let actions: Vec<DirAction> = match msg.payload {
-            Payload::LoadRequest {
-                line,
-                requester,
-                req,
-            } => dir.handle_load(done, line, requester, req),
-            Payload::Skip { tid } => dir.handle_skip(done, tid),
-            Payload::Probe {
-                tid,
-                requester,
-                for_write,
-            } => dir.handle_probe(done, tid, requester, for_write),
-            Payload::Mark {
-                tid,
-                line,
-                words,
-                committer,
-            } => dir.handle_mark(done, tid, line, words, committer),
-            Payload::Commit {
-                tid,
-                committer,
-                marks,
-            } => dir.handle_commit(done, tid, committer, marks),
-            Payload::Abort { tid } => dir.handle_abort(done, tid),
-            Payload::WriteBack {
-                line,
-                tid,
-                values,
-                valid,
-                writer,
-            } => dir.handle_writeback(line, tid, values, valid, writer, false),
-            Payload::Flush {
-                line,
-                tid,
-                values,
-                valid,
-                writer,
-                dropped: _,
-            } => {
-                // Flushes never prune the sharers list — even when the
-                // owner dropped its copy (Fig. 2f mode). A load reply
-                // for the same line may be in flight to the flusher, so
-                // eager pruning could leave it caching the line
-                // unlisted. Stale sharers are pruned self-healingly by
-                // the `retained = false` invalidation acks.
-                dir.handle_writeback(line, tid, values, valid, writer, true)
-            }
-            Payload::InvAck {
-                tid,
-                line,
-                from,
-                retained,
-            } => dir.handle_inv_ack(done, tid, line, from, retained),
-            _ => unreachable!("non-directory payload routed to directory"),
-        };
-        if let Some(r) = self.dirs[d].skip_refusal() {
-            self.fault.get_or_insert(StallReason::SkipRefused {
-                dir: msg.dst,
-                tid: r.tid,
-                now_serving: r.now_serving,
-                window: r.window,
-            });
+        let mut out = std::mem::take(&mut self.home_out);
+        self.machine.on_home_message(done, &self.cfg, msg, &mut out);
+        for (extra, reply) in out.drain(..) {
+            self.queue.schedule(done + extra, Event::Inject(reply));
         }
-        if let Some(line) = trace_wb_line {
-            let e = self.dirs[d].entry(line);
-            eprintln!(
-                "  DIRSTATE after wb {}: {:?}",
-                line,
-                e.map(|e| (e.owner, e.tid_tag, e.owner_words, e.memory.words.clone()))
-            );
+        self.home_out = out;
+        if let Some(f) = self.machine.take_fault() {
+            self.fault.get_or_insert(f);
         }
-        let src = msg.dst;
-        let mut actions = actions;
-        for a in actions.drain(..) {
-            // Memory fills pay main-memory latency on top of the
-            // directory lookup; everything else leaves at `done`.
-            let extra = match &a.payload {
-                Payload::LoadReply {
-                    source: tcc_types::DataSource::Memory,
-                    ..
-                } => self.cfg.mem_latency,
-                _ => 0,
-            };
-            let out = Message::new(src, a.to, a.payload);
-            self.queue.schedule(done + extra, Event::Inject(out));
-        }
-        // Hand the buffer back so the next handler call reuses it
-        // instead of allocating a fresh `Vec`.
-        self.dirs[d].recycle_actions(actions);
     }
 
     /// Captures the machine's complete mutable state as a
@@ -1330,25 +1179,26 @@ impl Simulator {
     ) -> Result<Simulator, ResumeError> {
         snapshot.check_config(cfg.digest())?;
         if cfg.parallel.is_some() {
-            return Err(ResumeError::Config(ConfigError {
-                field: "parallel",
-                problem: "resume targets the sequential engine".into(),
-                hint: "clear cfg.parallel before resuming a snapshot",
-            }));
+            return Err(ResumeError::Config(ConfigError::invalid(
+                "parallel",
+                "resume targets the sequential engine",
+                "clear cfg.parallel before resuming a snapshot",
+            )));
         }
         let mut sim = Simulator::builder(cfg).programs(programs).build()?;
         sim.restore_body(&snapshot.body)?;
         Ok(sim)
     }
 
-    /// Body layout (order is the format): program digest, started
-    /// flag, event queue (clock, counters, entries with original
-    /// ordering keys), processors, directories, network, directory
-    /// occupancy/caches, vendor, barrier, checker records, tx
+    /// Body layout (order is the format): program digest, protocol
+    /// tag, started flag, event queue (clock, counters, entries with
+    /// original ordering keys), the protocol backend's state, network,
+    /// directory occupancy/caches, barrier, checker records, tx
     /// characteristics, active count, transport, watchdog, program
     /// seed.
     fn save_body(&self, w: &mut SnapWriter) {
         self.program_digest.save(w);
+        self.cfg.protocol.save(w);
         self.started.save(w);
         self.queue.now().save(w);
         self.queue.next_seq().save(w);
@@ -1361,12 +1211,7 @@ impl Simulator {
             seq.save(w);
             ev.save(w);
         }
-        for p in &self.procs {
-            p.save_state(w);
-        }
-        for d in &self.dirs {
-            d.save_state(w);
-        }
+        self.machine.save_state(w);
         self.net.save_state(w);
         self.dir_busy.save(w);
         for c in &self.dir_caches {
@@ -1378,7 +1223,6 @@ impl Simulator {
                 None => false.save(w),
             }
         }
-        self.vendor_next.save(w);
         self.barrier_waiting.save(w);
         match &self.checker {
             Some(c) => {
@@ -1422,6 +1266,19 @@ impl Simulator {
                 current: self.program_digest,
             });
         }
+        // Backend-tagged state: a snapshot only restores onto the
+        // protocol machine that captured it.
+        let protocol: tcc_types::ProtocolKind = r.get().map_err(ResumeError::State)?;
+        if protocol != self.cfg.protocol {
+            return Err(ResumeError::State(SnapError::invalid(
+                "Simulator.protocol",
+                format!(
+                    "snapshot was captured under the {protocol} protocol, \
+                     config selects {}",
+                    self.cfg.protocol
+                ),
+            )));
+        }
         self.restore_state(&mut r)?;
         if !r.is_done() {
             return Err(ResumeError::State(SnapError::invalid(
@@ -1454,12 +1311,7 @@ impl Simulator {
         let mut queue = EventQueue::restore(tie_break, now, next_seq, popped, entries);
         queue.set_tracer(self.tracer.clone());
         self.queue = queue;
-        for p in &mut self.procs {
-            p.restore_state(r)?;
-        }
-        for d in &mut self.dirs {
-            d.restore_state(r)?;
-        }
+        self.machine.restore_state(r)?;
         self.net.restore_state(r)?;
         let dir_busy: Vec<Cycle> = r.get()?;
         if dir_busy.len() != self.dir_busy.len() {
@@ -1490,7 +1342,6 @@ impl Simulator {
                 }
             }
         }
-        self.vendor_next = r.get()?;
         self.barrier_waiting = r.get()?;
         let checker_present: bool = r.get()?;
         match (checker_present, self.checker.as_mut()) {
@@ -1539,11 +1390,10 @@ impl Simulator {
         Ok(())
     }
 
-    /// End-of-run invariants: with the event queue drained, every
-    /// directory must be quiescent with its NSTID at the end of the
-    /// vended sequence, and every ownership record must point at a
-    /// processor actually holding the line dirty (no data can be lost
-    /// in flight once nothing is in flight).
+    /// End-of-run invariants: with the event queue drained, the
+    /// transport must have nothing in flight and the protocol backend's
+    /// own quiescence invariants must hold (no data can be lost in
+    /// flight once nothing is in flight).
     fn assert_quiescent(&self) {
         if let Some(t) = &self.transport {
             assert!(
@@ -1554,19 +1404,7 @@ impl Simulator {
                 t.reorder_buffered()
             );
         }
-        let expected = Tid(self.vendor_next);
-        for d in &self.dirs {
-            d.assert_quiescent(expected);
-            for (line, entry) in d.entries() {
-                if let Some(owner) = entry.owner {
-                    let p = &self.procs[owner.index()];
-                    assert!(
-                        p.cache().is_dirty(line) || p.has_dirty_spill(line),
-                        "{owner} is recorded as owner of {line} but holds no dirty copy"
-                    );
-                }
-            }
-        }
+        self.machine.assert_quiescent();
     }
 
     /// Assembles the final [`SimResult`]. `events` is the total event
@@ -1574,16 +1412,9 @@ impl Simulator {
     /// windowed parallel engine, the sum over shard queues).
     pub(crate) fn finish(mut self, events: u64) -> SimResult {
         self.assert_quiescent();
-        let end = self
-            .procs
-            .iter()
-            .filter_map(Processor::done_at)
-            .max()
-            .unwrap_or(Cycle::ZERO);
-        for p in &mut self.procs {
-            p.pad_idle_to(end);
-        }
-        let breakdowns: Vec<Breakdown> = self.procs.iter().map(|p| p.breakdown()).collect();
+        let end = self.machine.done_at_max();
+        self.machine.pad_idle_to(end);
+        let breakdowns: Vec<Breakdown> = self.machine.breakdowns();
         // Accounting invariant: every cycle of every processor is
         // attributed to exactly one breakdown component, so each row
         // sums to the makespan.
@@ -1594,24 +1425,16 @@ impl Simulator {
                 "P{i}: breakdown {b:?} does not sum to the makespan {end}"
             );
         }
-        let proc_counters: Vec<ProcCounters> = self.procs.iter().map(|p| p.counters()).collect();
+        let proc_counters: Vec<ProcCounters> = self.machine.proc_counters();
         let commits = proc_counters.iter().map(|c| c.commits).sum();
         let violations = proc_counters.iter().map(|c| c.violations).sum();
         let instructions = proc_counters.iter().map(|c| c.instructions).sum();
-        let mut dir_occupancy = Vec::new();
-        let mut dir_working_set = Vec::new();
-        for d in &self.dirs {
-            dir_occupancy.extend_from_slice(&d.stats().occupancy);
-            dir_working_set.push(d.working_set_entries());
-        }
+        let dir_occupancy = self.machine.dir_occupancy();
+        let dir_working_set = self.machine.dir_working_set();
         let serializability = self.checker.as_ref().map(Checker::verify);
         let profile = self.cfg.profile.then(|| {
             let mut report = ProfileReport::default();
-            for p in &mut self.procs {
-                let (v, s) = p.take_profile();
-                report.violations.extend(v);
-                report.starvation.extend(s);
-            }
+            self.machine.take_profile(&mut report);
             report.violations.sort_by_key(|v| v.at);
             report.starvation.sort_by_key(|s| s.at);
             report

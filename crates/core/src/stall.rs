@@ -17,7 +17,7 @@
 
 use tcc_network::TransportStats;
 use tcc_trace::Json;
-use tcc_types::{NodeId, Tid};
+use tcc_types::{NodeId, ProtocolKind, Tid};
 
 /// Why the simulator declared the run stuck.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -147,6 +147,10 @@ impl RunProvenance {
 pub struct StallDiagnostic {
     /// What tripped.
     pub reason: StallReason,
+    /// The protocol backend that was running when the stall tripped;
+    /// named in the rendered diagnostic so a report from a protocol
+    /// sweep identifies its cell without external context.
+    pub protocol: ProtocolKind,
     /// Replay coordinates of the stalled run.
     pub provenance: RunProvenance,
     /// Cycle at which the stall was declared.
@@ -180,6 +184,7 @@ impl StallDiagnostic {
     pub fn to_json(&self) -> Json {
         let mut fields = vec![
             ("reason", self.reason.kind().into()),
+            ("protocol", self.protocol.as_str().into()),
             ("detail", self.reason.to_string().as_str().into()),
             ("at", self.at.into()),
             ("commits", self.commits.into()),
@@ -241,7 +246,11 @@ impl StallDiagnostic {
 
 impl std::fmt::Display for StallDiagnostic {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "{} (at cycle {})", self.reason, self.at)?;
+        writeln!(
+            f,
+            "[{} protocol] {} (at cycle {})",
+            self.protocol, self.reason, self.at
+        )?;
         writeln!(
             f,
             "  commits: {}, active processors: {}, queued events: {}",

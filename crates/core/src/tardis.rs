@@ -1,0 +1,1248 @@
+//! The Tardis timestamp-ordered backend as a [`Protocol`].
+//!
+//! Where TCC chases stale copies with invalidation multicasts and the
+//! serialized baseline broadcasts whole write-sets, Tardis orders
+//! commits on a *logical* timeline: each home keeps, per line, the
+//! last-write time `wts` and a read lease `rts`; a fill hands the
+//! reader that interval; a committer picks a commit time inside every
+//! lease it read under and above every lease on the lines it writes. A
+//! processor holding a stale copy is not told about the new version —
+//! it just commits *earlier in logical time* than the writer, which is
+//! exactly as serializable and costs **zero invalidation traffic** (the
+//! property the protocol-comparison experiments measure).
+//!
+//! The commit protocol, per transaction:
+//!
+//! 1. **Lock** — written lines are locked at their homes one at a time
+//!    in ascending line order (total order ⇒ deadlock-free); each grant
+//!    returns the line's current `(wts, rts)`.
+//! 2. **Choose** — `ts = max(pts + 1, read wts + 1, write rts + 1)`
+//!    where `pts` is the processor's last commit time (strictly above
+//!    every observed write so equal-time transactions are independent
+//!    and any tie-break order serializes).
+//! 3. **Renew** — reads whose lease ends before `ts` are renewed at
+//!    their homes: OK iff `wts` is unchanged and the line is unlocked
+//!    (a locked line nacks — the renewer may hold locks of its own, and
+//!    waiting could close a cycle). Any nack aborts the attempt: locks
+//!    release, the stale line is refetched, the transaction re-executes.
+//!    A transaction whose reads are all still under lease — every
+//!    read-only transaction young enough — commits **with no commit
+//!    traffic at all**.
+//! 4. **Publish** — written lines go home write-through (`wts = ts`),
+//!    releasing the locks and draining deferred fills.
+//!
+//! Home-side state lives in [`tcc_directory::TardisHome`]; this module
+//! owns the processor side and the [`Protocol`] plumbing. TIDs are
+//! `ts * n_procs + node`, so TID order — what the serializability
+//! checker replays — is exactly logical-time order.
+
+use std::collections::HashMap;
+
+use tcc_cache::{HierCache, LoadOutcome, StoreOutcome};
+use tcc_directory::TardisHome;
+use tcc_types::snap::{Snap, SnapError, SnapReader, SnapWriter};
+use tcc_types::{
+    Cycle, LineAddr, LineValues, Message, NodeId, Payload, ProtocolKind, Tid, WordMask,
+};
+
+use crate::breakdown::Breakdown;
+use crate::checker::TxRecord;
+use crate::config::SystemConfig;
+use crate::processor::{Effects, ProcCounters};
+use crate::profiling::ProfileReport;
+use crate::program::{ThreadProgram, TxOp, WorkItem};
+use crate::protocol::{HomeTiming, Protocol};
+use crate::serialized::characteristics;
+use crate::stall::StallReason;
+
+/// Logical lease length granted per fill: a load extends the line's
+/// `rts` to `wts + LEASE`. Short leases renew often; long leases make
+/// writers skip further ahead in logical time. The Tardis paper's
+/// self-tuning lease is out of scope — a fixed small lease exhibits
+/// every protocol behavior the experiments compare.
+const LEASE: u64 = 10;
+
+/// Protocol phase of one Tardis processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Fresh,
+    Running,
+    WaitFill {
+        line: LineAddr,
+        stall_start: Cycle,
+        req: u64,
+    },
+    /// Acquiring write locks, ascending; `idx` is the next unlocked
+    /// write-set index.
+    Locking {
+        idx: usize,
+    },
+    /// Waiting for lease-renewal verdicts.
+    Renewing {
+        pending: u32,
+    },
+    /// Waiting for publish acks.
+    Publishing {
+        pending: u32,
+    },
+    AtBarrier {
+        since: Cycle,
+    },
+    Done,
+}
+
+impl Snap for State {
+    fn save(&self, w: &mut SnapWriter) {
+        match self {
+            State::Fresh => 0u8.save(w),
+            State::Running => 1u8.save(w),
+            State::WaitFill {
+                line,
+                stall_start,
+                req,
+            } => {
+                2u8.save(w);
+                line.save(w);
+                stall_start.save(w);
+                req.save(w);
+            }
+            State::Locking { idx } => {
+                3u8.save(w);
+                idx.save(w);
+            }
+            State::Renewing { pending } => {
+                4u8.save(w);
+                pending.save(w);
+            }
+            State::Publishing { pending } => {
+                5u8.save(w);
+                pending.save(w);
+            }
+            State::AtBarrier { since } => {
+                6u8.save(w);
+                since.save(w);
+            }
+            State::Done => 7u8.save(w),
+        }
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(match u8::load(r)? {
+            0 => State::Fresh,
+            1 => State::Running,
+            2 => State::WaitFill {
+                line: r.get()?,
+                stall_start: r.get()?,
+                req: r.get()?,
+            },
+            3 => State::Locking { idx: r.get()? },
+            4 => State::Renewing { pending: r.get()? },
+            5 => State::Publishing { pending: r.get()? },
+            6 => State::AtBarrier { since: r.get()? },
+            7 => State::Done,
+            t => return Err(SnapError::invalid("tardis State", format!("tag {t}"))),
+        })
+    }
+}
+
+/// One processor of the Tardis machine.
+#[derive(Debug)]
+pub struct TardisProc {
+    cache: HierCache,
+    program: ThreadProgram,
+    item: usize,
+    op: usize,
+    state: State,
+    /// The processor's logical clock: its last commit time. Commit
+    /// times are strictly increasing per processor, which makes the
+    /// packed TIDs unique.
+    pts: u64,
+    /// Observed `(wts, rts)` per locally cached line, recorded at fill
+    /// time (and refreshed by own publishes); consulted at commit to
+    /// decide which reads need renewal.
+    lease: HashMap<LineAddr, (u64, u64)>,
+    tx_start: Cycle,
+    commit_start: Cycle,
+    attempt_useful: u64,
+    attempt_miss: u64,
+    tx_instr: u64,
+    reads_log: Vec<(LineAddr, usize, Option<Tid>)>,
+    req_seq: u64,
+    wake_seq: u64,
+    /// Commit-attempt id echoed in renew verdicts; bumped on abort so
+    /// straggling verdicts drop.
+    attempt: u64,
+    /// Write-set captured at validation start, ascending by line.
+    write_lines: Vec<(LineAddr, WordMask)>,
+    /// `(wts, rts)` returned by each lock grant, parallel to
+    /// `write_lines`.
+    lock_ts: Vec<(u64, u64)>,
+    /// Chosen commit time of the in-flight attempt.
+    commit_ts: u64,
+    totals: Breakdown,
+    commits: u64,
+    violations: u64,
+    instructions: u64,
+    done_at: Option<Cycle>,
+}
+
+impl TardisProc {
+    fn save_state(&self, w: &mut SnapWriter) {
+        self.cache.save_state(w);
+        self.item.save(w);
+        self.op.save(w);
+        self.state.save(w);
+        self.pts.save(w);
+        // The unordered lease table is sorted so the bytes are a pure
+        // function of state.
+        let mut lease: Vec<(LineAddr, (u64, u64))> =
+            self.lease.iter().map(|(&l, &ts)| (l, ts)).collect();
+        lease.sort_unstable_by_key(|&(l, _)| l);
+        lease.save(w);
+        self.tx_start.save(w);
+        self.commit_start.save(w);
+        self.attempt_useful.save(w);
+        self.attempt_miss.save(w);
+        self.tx_instr.save(w);
+        self.reads_log.save(w);
+        self.req_seq.save(w);
+        self.wake_seq.save(w);
+        self.attempt.save(w);
+        self.write_lines.save(w);
+        self.lock_ts.save(w);
+        self.commit_ts.save(w);
+        self.totals.save(w);
+        self.commits.save(w);
+        self.violations.save(w);
+        self.instructions.save(w);
+        self.done_at.save(w);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.cache.restore_state(r)?;
+        self.item = r.get()?;
+        self.op = r.get()?;
+        self.state = r.get()?;
+        self.pts = r.get()?;
+        let lease: Vec<(LineAddr, (u64, u64))> = r.get()?;
+        self.lease = lease.into_iter().collect();
+        self.tx_start = r.get()?;
+        self.commit_start = r.get()?;
+        self.attempt_useful = r.get()?;
+        self.attempt_miss = r.get()?;
+        self.tx_instr = r.get()?;
+        self.reads_log = r.get()?;
+        self.req_seq = r.get()?;
+        self.wake_seq = r.get()?;
+        self.attempt = r.get()?;
+        self.write_lines = r.get()?;
+        self.lock_ts = r.get()?;
+        self.commit_ts = r.get()?;
+        self.totals = r.get()?;
+        self.commits = r.get()?;
+        self.violations = r.get()?;
+        self.instructions = r.get()?;
+        self.done_at = r.get()?;
+        Ok(())
+    }
+
+    /// Distinct lines in the read log, ascending.
+    fn read_lines(&self) -> Vec<LineAddr> {
+        let mut lines: Vec<LineAddr> = self.reads_log.iter().map(|&(l, _, _)| l).collect();
+        lines.sort_unstable();
+        lines.dedup();
+        lines
+    }
+}
+
+/// The Tardis timestamp-ordered backend.
+#[derive(Debug)]
+pub struct TardisMachine {
+    cfg: SystemConfig,
+    procs: Vec<TardisProc>,
+    /// One timestamp-home slice per node.
+    homes: Vec<TardisHome>,
+}
+
+impl TardisMachine {
+    pub(crate) fn new(cfg: SystemConfig, programs: Vec<ThreadProgram>) -> TardisMachine {
+        let words = cfg.cache.geometry.words_per_line() as usize;
+        let homes = (0..cfg.n_procs)
+            .map(|_| TardisHome::new(LEASE, words, cfg.mem_latency))
+            .collect();
+        let procs: Vec<TardisProc> = programs
+            .into_iter()
+            .map(|p| TardisProc {
+                cache: HierCache::new(cfg.cache.clone()),
+                program: p,
+                item: 0,
+                op: 0,
+                state: State::Fresh,
+                pts: 0,
+                lease: HashMap::new(),
+                tx_start: Cycle::ZERO,
+                commit_start: Cycle::ZERO,
+                attempt_useful: 0,
+                attempt_miss: 0,
+                tx_instr: 0,
+                reads_log: Vec::new(),
+                req_seq: 0,
+                wake_seq: 0,
+                attempt: 0,
+                write_lines: Vec::new(),
+                lock_ts: Vec::new(),
+                commit_ts: 0,
+                totals: Breakdown::default(),
+                commits: 0,
+                violations: 0,
+                instructions: 0,
+                done_at: None,
+            })
+            .collect();
+        TardisMachine { cfg, procs, homes }
+    }
+
+    fn home_node(&self, line: LineAddr) -> NodeId {
+        self.cfg
+            .cache
+            .geometry
+            .home_of(line, self.cfg.n_procs)
+            .node()
+    }
+
+    /// Supersedes any earlier wake and schedules the next continuation
+    /// `delay` cycles out.
+    fn wake(&mut self, n: NodeId, delay: u64, fx: &mut Effects) {
+        self.procs[n.index()].wake_seq += 1;
+        fx.wake_in = Some(delay);
+    }
+
+    // ------------------------------------------------------------------
+    // Program advancement
+    // ------------------------------------------------------------------
+
+    /// `now` is the absolute cycle the transition logically happens at;
+    /// `delay` is its offset from the event being handled (effects are
+    /// applied by the simulator at event time, so scheduling must carry
+    /// the offset explicitly).
+    fn enter_item(&mut self, now: Cycle, delay: u64, n: NodeId, fx: &mut Effects) {
+        let p = &mut self.procs[n.index()];
+        match p.program.items.get(p.item) {
+            Some(WorkItem::Tx(_)) => {
+                p.op = 0;
+                p.tx_start = now;
+                p.attempt_useful = 0;
+                p.attempt_miss = 0;
+                p.tx_instr = 0;
+                p.reads_log.clear();
+                p.state = State::Running;
+                self.wake(n, delay, fx);
+            }
+            Some(WorkItem::Barrier) => {
+                p.state = State::AtBarrier { since: now };
+                fx.reached_barrier = true;
+            }
+            None => {
+                p.state = State::Done;
+                p.done_at = Some(now);
+                fx.finished = true;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Execution
+    // ------------------------------------------------------------------
+
+    fn run_chunk(&mut self, now: Cycle, n: NodeId, fx: &mut Effects) {
+        let chunk = self.cfg.exec_chunk;
+        let geom = self.cfg.cache.geometry;
+        let mut elapsed = 0u64;
+        loop {
+            let p = &mut self.procs[n.index()];
+            if p.state != State::Running {
+                return; // an abort mid-event restarted us elsewhere
+            }
+            if elapsed >= chunk {
+                self.wake(n, elapsed, fx);
+                return;
+            }
+            let Some(WorkItem::Tx(tx)) = p.program.items.get(p.item) else {
+                unreachable!("running outside a transaction")
+            };
+            let Some(&op) = tx.ops.get(p.op) else {
+                // Body complete: start the timestamped commit.
+                self.begin_commit(now + elapsed, elapsed, n, fx);
+                return;
+            };
+            match op {
+                TxOp::Compute(c) => {
+                    elapsed += u64::from(c);
+                    p.attempt_useful += u64::from(c);
+                    p.tx_instr += u64::from(c);
+                    p.op += 1;
+                }
+                TxOp::Load(a) => {
+                    let line = geom.line_of(a);
+                    let word = geom.word_index(a);
+                    match p.cache.load(line, word) {
+                        LoadOutcome::Hit {
+                            level,
+                            value,
+                            own_speculative,
+                            first_read,
+                        } => {
+                            let lat = self.cfg.cache.latency(level);
+                            elapsed += lat;
+                            p.attempt_useful += lat;
+                            p.tx_instr += 1;
+                            if !own_speculative && first_read {
+                                p.reads_log.push((line, word, value));
+                            }
+                            p.op += 1;
+                        }
+                        LoadOutcome::Miss => {
+                            self.fill_miss(n, line, now + elapsed, elapsed, fx);
+                            return;
+                        }
+                    }
+                }
+                TxOp::Store(a) => {
+                    let line = geom.line_of(a);
+                    let word = geom.word_index(a);
+                    match p.cache.store(line, word) {
+                        StoreOutcome::Hit { level, .. } => {
+                            let lat = self.cfg.cache.latency(level);
+                            elapsed += lat;
+                            p.attempt_useful += lat;
+                            p.tx_instr += 1;
+                            p.op += 1;
+                        }
+                        StoreOutcome::Miss => {
+                            self.fill_miss(n, line, now + elapsed, elapsed, fx);
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// A load/store missed: stall in `WaitFill` and request the line
+    /// (with its timestamp interval) from its home.
+    fn fill_miss(
+        &mut self,
+        n: NodeId,
+        line: LineAddr,
+        stall_start: Cycle,
+        delay: u64,
+        fx: &mut Effects,
+    ) {
+        let home = self.home_node(line);
+        let p = &mut self.procs[n.index()];
+        p.req_seq += 1;
+        p.state = State::WaitFill {
+            line,
+            stall_start,
+            req: p.req_seq,
+        };
+        let msg = Message::new(
+            n,
+            home,
+            Payload::TsLoadRequest {
+                line,
+                requester: n,
+                req: p.req_seq,
+            },
+        );
+        fx.sends.push((delay, msg));
+    }
+
+    fn on_fill(
+        &mut self,
+        now: Cycle,
+        n: NodeId,
+        fill: (LineAddr, LineValues),
+        stamps: (u64, u64),
+        req: u64,
+        fx: &mut Effects,
+    ) {
+        let (line, values) = fill;
+        let p = &mut self.procs[n.index()];
+        let State::WaitFill {
+            line: expected,
+            stall_start,
+            req: want,
+        } = p.state
+        else {
+            return; // stale fill after an abort restart: drop it
+        };
+        if req != want {
+            return; // reply to a superseded request: drop it
+        }
+        debug_assert_eq!(line, expected);
+        let r = p.cache.fill(line, values, false);
+        assert!(!r.overflow, "tardis overflow: size workloads within the L2");
+        p.lease.insert(line, stamps);
+        p.attempt_miss += now.since(stall_start);
+        p.state = State::Running;
+        self.wake(n, 0, fx);
+    }
+
+    // ------------------------------------------------------------------
+    // Commit
+    // ------------------------------------------------------------------
+
+    /// Body complete: capture the write-set and start locking (writers)
+    /// or go straight to lease validation (read-only).
+    fn begin_commit(&mut self, now: Cycle, delay: u64, n: NodeId, fx: &mut Effects) {
+        let p = &mut self.procs[n.index()];
+        p.commit_start = now;
+        let mut writes = p.cache.write_set();
+        writes.sort_unstable_by_key(|&(l, _)| l);
+        p.write_lines = writes;
+        p.lock_ts.clear();
+        if p.write_lines.is_empty() {
+            self.validate_reads(now, delay, n, fx);
+        } else {
+            p.state = State::Locking { idx: 0 };
+            let line = p.write_lines[0].0;
+            let msg = Message::new(
+                n,
+                self.home_node(line),
+                Payload::TsLock { line, requester: n },
+            );
+            fx.sends.push((delay, msg));
+        }
+    }
+
+    fn on_lock_ack(
+        &mut self,
+        now: Cycle,
+        n: NodeId,
+        line: LineAddr,
+        wts: u64,
+        rts: u64,
+        fx: &mut Effects,
+    ) {
+        let p = &mut self.procs[n.index()];
+        let State::Locking { idx } = p.state else {
+            panic!("lock grant while not locking");
+        };
+        debug_assert_eq!(line, p.write_lines[idx].0, "locks grant in request order");
+        // A line both read and written validates here: if its `wts`
+        // moved since our fill, our read observed a superseded version
+        // and no renewal can save it (we are about to overwrite `wts`
+        // ourselves).
+        let stale_read = p.reads_log.iter().any(|&(l, _, _)| l == line)
+            && p.lease.get(&line).is_some_and(|&(w, _)| w != wts);
+        if stale_read {
+            self.abort_commit(now, n, idx + 1, Some(line), fx);
+            return;
+        }
+        p.lock_ts.push((wts, rts));
+        let next = idx + 1;
+        if next < p.write_lines.len() {
+            p.state = State::Locking { idx: next };
+            let line = p.write_lines[next].0;
+            let msg = Message::new(
+                n,
+                self.home_node(line),
+                Payload::TsLock { line, requester: n },
+            );
+            fx.sends.push((0, msg));
+        } else {
+            self.validate_reads(now, 0, n, fx);
+        }
+    }
+
+    /// All locks held (or none needed): choose the commit time and
+    /// renew the reads whose lease falls short. No renewals needed —
+    /// the common case for read-mostly work — commits immediately.
+    fn validate_reads(&mut self, now: Cycle, delay: u64, n: NodeId, fx: &mut Effects) {
+        let p = &mut self.procs[n.index()];
+        let mut ts = p.pts + 1;
+        for &(l, _, _) in &p.reads_log {
+            if let Some(&(wts, _)) = p.lease.get(&l) {
+                ts = ts.max(wts + 1);
+            }
+        }
+        for &(wts, rts) in &p.lock_ts {
+            ts = ts.max(wts + 1).max(rts + 1);
+        }
+        p.commit_ts = ts;
+        let written: Vec<LineAddr> = p.write_lines.iter().map(|&(l, _)| l).collect();
+        let renew: Vec<(LineAddr, u64)> = p
+            .read_lines()
+            .into_iter()
+            .filter(|l| !written.contains(l))
+            .filter_map(|l| {
+                let &(wts, rts) = p.lease.get(&l)?;
+                (rts < ts).then_some((l, wts))
+            })
+            .collect();
+        if renew.is_empty() {
+            self.commit_point(now, delay, n, fx);
+            return;
+        }
+        p.attempt += 1;
+        let attempt = p.attempt;
+        p.state = State::Renewing {
+            pending: renew.len() as u32,
+        };
+        for (line, wts) in renew {
+            let msg = Message::new(
+                n,
+                self.home_node(line),
+                Payload::TsRenew {
+                    line,
+                    requester: n,
+                    wts,
+                    ts,
+                    req: attempt,
+                },
+            );
+            fx.sends.push((delay, msg));
+        }
+    }
+
+    fn on_renew_ack(
+        &mut self,
+        now: Cycle,
+        n: NodeId,
+        line: LineAddr,
+        ok: bool,
+        req: u64,
+        fx: &mut Effects,
+    ) {
+        let p = &mut self.procs[n.index()];
+        if req != p.attempt {
+            return; // verdict for an aborted attempt: drop it
+        }
+        let State::Renewing { pending } = &mut p.state else {
+            return; // stale verdict after state moved on
+        };
+        if !ok {
+            let locks = p.write_lines.len();
+            self.abort_commit(now, n, locks, Some(line), fx);
+            return;
+        }
+        *pending -= 1;
+        if *pending == 0 {
+            self.commit_point(now, 0, n, fx);
+        }
+    }
+
+    /// Every read validated and every written line locked: the
+    /// transaction logically commits *now*. Read-only transactions
+    /// finish on the spot; writers publish and wait for acks.
+    fn commit_point(&mut self, now: Cycle, delay: u64, n: NodeId, fx: &mut Effects) {
+        let geom = self.cfg.cache.geometry;
+        let n_procs = self.cfg.n_procs;
+        let p = &mut self.procs[n.index()];
+        let tid = Tid(p.commit_ts * n_procs as u64 + u64::from(n.0));
+        p.cache.commit_tx(tid);
+        p.cache.clear_dirty_bits(); // write-through: homes stay current
+        let reads = std::mem::take(&mut p.reads_log);
+        let writes = p.write_lines.clone();
+        fx.committed = Some((
+            TxRecord {
+                tid,
+                reads: reads.clone(),
+                writes: writes.clone(),
+            },
+            characteristics(p.tx_instr, &reads, &writes, geom, n_procs),
+        ));
+        p.commits += 1;
+        p.instructions += p.tx_instr;
+        p.totals.useful += p.attempt_useful;
+        p.totals.cache_miss += p.attempt_miss;
+        // Own publishes refresh the local lease view: our copy *is* the
+        // `commit_ts` version, valid exactly at its write time.
+        for &(l, _) in &p.write_lines {
+            p.lease.insert(l, (p.commit_ts, p.commit_ts));
+        }
+        if p.write_lines.is_empty() {
+            self.finish_commit(now, delay, n, fx);
+            return;
+        }
+        p.state = State::Publishing {
+            pending: p.write_lines.len() as u32,
+        };
+        let ts = p.commit_ts;
+        let publishes: Vec<(LineAddr, WordMask)> = p.write_lines.clone();
+        for (line, words) in publishes {
+            let msg = Message::new(
+                n,
+                self.home_node(line),
+                Payload::TsPublish {
+                    line,
+                    words,
+                    tid,
+                    ts,
+                    committer: n,
+                },
+            );
+            fx.sends.push((delay, msg));
+        }
+    }
+
+    fn on_publish_ack(&mut self, now: Cycle, n: NodeId, fx: &mut Effects) {
+        let p = &mut self.procs[n.index()];
+        let State::Publishing { pending } = &mut p.state else {
+            panic!("publish ack while not publishing");
+        };
+        *pending -= 1;
+        if *pending == 0 {
+            self.finish_commit(now, 0, n, fx);
+        }
+    }
+
+    fn finish_commit(&mut self, now: Cycle, delay: u64, n: NodeId, fx: &mut Effects) {
+        let p = &mut self.procs[n.index()];
+        p.pts = p.commit_ts;
+        p.totals.commit += now.since(p.commit_start);
+        p.write_lines.clear();
+        p.lock_ts.clear();
+        p.item += 1;
+        self.enter_item(now, delay, n, fx);
+    }
+
+    /// A commit attempt failed (stale read or refused renewal): release
+    /// the `locks_held` locks already granted, drop the stale line so
+    /// the retry refetches it, and re-execute the transaction.
+    fn abort_commit(
+        &mut self,
+        now: Cycle,
+        n: NodeId,
+        locks_held: usize,
+        stale: Option<LineAddr>,
+        fx: &mut Effects,
+    ) {
+        let releases: Vec<LineAddr> = self.procs[n.index()]
+            .write_lines
+            .iter()
+            .take(locks_held)
+            .map(|&(l, _)| l)
+            .collect();
+        for line in releases {
+            let msg = Message::new(
+                n,
+                self.home_node(line),
+                Payload::TsRelease { line, requester: n },
+            );
+            fx.sends.push((0, msg));
+        }
+        let p = &mut self.procs[n.index()];
+        p.violations += 1;
+        p.attempt += 1; // straggling renew verdicts drop
+        p.cache.abort_tx();
+        if let Some(line) = stale {
+            p.cache.invalidate(line, WordMask::ALL);
+            p.lease.remove(&line);
+        }
+        p.totals.violation += now.since(p.tx_start);
+        p.op = 0;
+        p.tx_start = now;
+        p.attempt_useful = 0;
+        p.attempt_miss = 0;
+        p.tx_instr = 0;
+        p.reads_log.clear();
+        p.write_lines.clear();
+        p.lock_ts.clear();
+        p.state = State::Running;
+        self.wake(n, 0, fx);
+    }
+}
+
+impl Protocol for TardisMachine {
+    const KIND: ProtocolKind = ProtocolKind::Tardis;
+
+    type ProcState = TardisProc;
+    type LineState = tcc_directory::TardisLine;
+
+    fn proc_state(&self, node: NodeId) -> &TardisProc {
+        &self.procs[node.index()]
+    }
+
+    fn line_state(&self, home: NodeId, line: LineAddr) -> Option<&tcc_directory::TardisLine> {
+        self.homes[home.index()].line_state(line)
+    }
+
+    fn start(&mut self, now: Cycle, node: NodeId) -> Effects {
+        let mut fx = Effects::default();
+        self.enter_item(now, 0, node, &mut fx);
+        fx
+    }
+
+    fn step(&mut self, now: Cycle, node: NodeId) -> Effects {
+        let mut fx = Effects::default();
+        self.run_chunk(now, node, &mut fx);
+        fx
+    }
+
+    fn release_barrier(&mut self, now: Cycle, node: NodeId) -> Effects {
+        let mut fx = Effects::default();
+        let p = &mut self.procs[node.index()];
+        let State::AtBarrier { since } = p.state else {
+            unreachable!("releasing a processor not at the barrier")
+        };
+        // A single-processor machine can arrive mid-chunk, `since`
+        // cycles into the event being handled; the release then happens
+        // at the arrival instant, not the (earlier) event time.
+        let at = now.max(since);
+        p.totals.idle += at.since(since);
+        p.item += 1;
+        self.enter_item(at, at.since(now), node, &mut fx);
+        fx
+    }
+
+    fn wake_seq(&self, node: NodeId) -> u64 {
+        self.procs[node.index()].wake_seq
+    }
+
+    fn state_name(&self, node: NodeId) -> &'static str {
+        match self.procs[node.index()].state {
+            State::Fresh => "fresh",
+            State::Running => "running",
+            State::WaitFill { .. } => "wait-fill",
+            State::Locking { .. } => "locking",
+            State::Renewing { .. } => "renewing",
+            State::Publishing { .. } => "publishing",
+            State::AtBarrier { .. } => "at-barrier",
+            State::Done => "done",
+        }
+    }
+
+    fn home_timing(&self, cfg: &SystemConfig, payload: &Payload) -> Option<HomeTiming> {
+        match payload {
+            // Data-path operations: a fill reads the line (and its
+            // interval); a publish merges words into it.
+            Payload::TsLoadRequest { line, .. } | Payload::TsPublish { line, .. } => {
+                Some(HomeTiming {
+                    service: cfg.dir_line_latency,
+                    touch: Some(*line),
+                })
+            }
+            // Timestamp-register operations still walk the per-line
+            // state, but touch no data words.
+            Payload::TsLock { line, .. }
+            | Payload::TsRenew { line, .. }
+            | Payload::TsRelease { line, .. } => Some(HomeTiming {
+                service: cfg.dir_ctrl_latency,
+                touch: Some(*line),
+            }),
+            _ => None,
+        }
+    }
+
+    fn on_home_message(
+        &mut self,
+        _done: Cycle,
+        _cfg: &SystemConfig,
+        msg: Message,
+        out: &mut Vec<(u64, Message)>,
+    ) {
+        let home = msg.dst;
+        let h = &mut self.homes[home.index()];
+        let mut actions = Vec::new();
+        match msg.payload {
+            Payload::TsLoadRequest {
+                line,
+                requester,
+                req,
+            } => h.handle_load(line, requester, req, &mut actions),
+            Payload::TsLock { line, requester } => h.handle_lock(line, requester, &mut actions),
+            Payload::TsRenew {
+                line,
+                requester,
+                wts,
+                ts,
+                req,
+            } => h.handle_renew(line, requester, wts, ts, req, &mut actions),
+            Payload::TsPublish {
+                line,
+                words,
+                tid,
+                ts,
+                committer,
+            } => h.handle_publish(line, words, tid, ts, committer, &mut actions),
+            Payload::TsRelease { line, requester } => {
+                h.handle_release(line, requester, &mut actions);
+            }
+            other => unreachable!(
+                "foreign-protocol message {:?} at a tardis home",
+                other.kind_name()
+            ),
+        }
+        for (extra, a) in actions {
+            out.push((extra, Message::new(home, a.to, a.payload)));
+        }
+    }
+
+    fn on_node_message(&mut self, now: Cycle, _cfg: &SystemConfig, msg: Message) -> Effects {
+        let mut fx = Effects::default();
+        let dst = msg.dst;
+        match msg.payload {
+            Payload::TsLoadReply {
+                line,
+                values,
+                wts,
+                rts,
+                req,
+            } => self.on_fill(now, dst, (line, values), (wts, rts), req, &mut fx),
+            Payload::TsLockAck { line, wts, rts } => {
+                self.on_lock_ack(now, dst, line, wts, rts, &mut fx);
+            }
+            Payload::TsRenewAck { line, ok, req } => {
+                self.on_renew_ack(now, dst, line, ok, req, &mut fx);
+            }
+            Payload::TsPublishAck { .. } => self.on_publish_ack(now, dst, &mut fx),
+            other => unreachable!(
+                "foreign-protocol message {:?} at a tardis processor",
+                other.kind_name()
+            ),
+        }
+        fx
+    }
+
+    fn take_fault(&mut self) -> Option<StallReason> {
+        None // no component of this backend raises faults
+    }
+
+    fn commits_total(&self) -> u64 {
+        self.procs.iter().map(|p| p.commits).sum()
+    }
+
+    /// The per-home notion of commit progress is the highest published
+    /// commit time.
+    fn dir_nstids(&self) -> Vec<Tid> {
+        self.homes.iter().map(|h| Tid(h.max_ts())).collect()
+    }
+
+    fn progress_signature(&self, extra: [u64; 3]) -> u64 {
+        let words = self
+            .procs
+            .iter()
+            .map(|p| p.commits)
+            .chain(self.procs.iter().map(|p| p.item as u64))
+            .chain(self.procs.iter().map(|p| p.pts))
+            .chain(self.homes.iter().map(TardisHome::max_ts))
+            .chain(extra);
+        tcc_engine::progress_signature(words)
+    }
+
+    fn done_at_max(&self) -> Cycle {
+        self.procs
+            .iter()
+            .filter_map(|p| p.done_at)
+            .max()
+            .unwrap_or(Cycle::ZERO)
+    }
+
+    fn pad_idle_to(&mut self, end: Cycle) {
+        for p in &mut self.procs {
+            if let Some(done) = p.done_at {
+                p.totals.idle += end.since(done);
+            }
+        }
+    }
+
+    fn breakdowns(&self) -> Vec<Breakdown> {
+        self.procs.iter().map(|p| p.totals).collect()
+    }
+
+    fn proc_counters(&self) -> Vec<ProcCounters> {
+        self.procs
+            .iter()
+            .map(|p| ProcCounters {
+                commits: p.commits,
+                violations: p.violations,
+                overflows: 0,
+                instructions: p.instructions,
+                serialized_retries: 0,
+                tid_wait: 0,
+                probe_wait: 0,
+            })
+            .collect()
+    }
+
+    fn take_profile(&mut self, _report: &mut ProfileReport) {
+        // TAPE profiling hooks live in the TCC processor only;
+        // `SystemConfig::validate` refuses `profile` for this backend.
+    }
+
+    fn dir_occupancy(&self) -> Vec<u64> {
+        self.homes.iter().map(|h| h.stats.loads).collect()
+    }
+
+    fn dir_working_set(&self) -> Vec<usize> {
+        self.homes.iter().map(TardisHome::working_set).collect()
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        for p in &self.procs {
+            p.save_state(w);
+        }
+        for h in &self.homes {
+            h.save_state(w);
+        }
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        for p in &mut self.procs {
+            p.restore_state(r)?;
+        }
+        for h in &mut self.homes {
+            h.restore_state(r)?;
+        }
+        Ok(())
+    }
+
+    /// With the queue drained, no lock or deferred request may survive
+    /// and every processor must have finished its program.
+    fn assert_quiescent(&self) {
+        for h in &self.homes {
+            h.assert_quiescent();
+        }
+        for (i, p) in self.procs.iter().enumerate() {
+            assert!(
+                p.state == State::Done && p.done_at.is_some(),
+                "P{i} in state {:?} at quiescence",
+                p.state
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Transaction;
+    use crate::sim::Simulator;
+    use tcc_network::{ChaosConfig, DropRule, TransportConfig};
+    use tcc_types::Addr;
+
+    fn tx(ops: Vec<TxOp>) -> WorkItem {
+        WorkItem::Tx(Transaction::new(ops))
+    }
+
+    fn cfg(n: usize) -> SystemConfig {
+        SystemConfig {
+            check_serializability: true,
+            protocol: ProtocolKind::Tardis,
+            ..SystemConfig::with_procs(n)
+        }
+    }
+
+    fn census_count(census: &[(&'static str, u64)], kind: &str) -> u64 {
+        census
+            .iter()
+            .find(|&&(k, _)| k == kind)
+            .map_or(0, |&(_, v)| v)
+    }
+
+    /// The headline Tardis property: a sharer-heavy workload — one
+    /// writer repeatedly updating lines cached by every other node —
+    /// commits serializably with **zero invalidation messages** (and
+    /// none of the baseline's write-set broadcasts either). Stale
+    /// sharers simply commit earlier in logical time.
+    #[test]
+    fn sharer_heavy_workload_has_zero_invalidations() {
+        let n = 8usize;
+        let hot: Vec<Addr> = (0..4u64).map(|i| Addr(0x40 * (i + 1))).collect();
+        let programs: Vec<ThreadProgram> = (0..n as u64)
+            .map(|p| {
+                let items: Vec<WorkItem> = (0..6)
+                    .map(|_| {
+                        if p == 0 {
+                            tx(hot.iter().map(|&a| TxOp::Store(a)).collect())
+                        } else {
+                            let mut ops: Vec<TxOp> = hot.iter().map(|&a| TxOp::Load(a)).collect();
+                            ops.push(TxOp::Compute(20 + 7 * p as u32));
+                            tx(ops)
+                        }
+                    })
+                    .collect();
+                ThreadProgram::new(items)
+            })
+            .collect();
+        let result = Simulator::builder(cfg(n))
+            .programs(programs)
+            .build()
+            .expect("valid tardis config")
+            .run();
+        result.assert_serializable();
+        assert_eq!(result.commits, 6 * n as u64);
+        let census = result.traffic.message_census();
+        assert_eq!(census_count(&census, "Invalidate"), 0);
+        assert_eq!(census_count(&census, "BaselineCommit"), 0);
+        assert!(census_count(&census, "TsLoadReply") > 0, "{census:?}");
+        assert!(census_count(&census, "TsPublish") > 0, "{census:?}");
+    }
+
+    /// Read-only transactions whose leases still cover their commit
+    /// time finish with no commit traffic at all.
+    #[test]
+    fn read_only_commits_are_message_free_under_lease() {
+        let programs = vec![ThreadProgram::new(
+            (0..3)
+                .map(|_| tx(vec![TxOp::Load(Addr(0x100)), TxOp::Compute(30)]))
+                .collect(),
+        )];
+        let result = Simulator::builder(cfg(1))
+            .programs(programs)
+            .build()
+            .expect("valid tardis config")
+            .run();
+        result.assert_serializable();
+        assert_eq!(result.commits, 3);
+        let census = result.traffic.message_census();
+        // One fill round-trip; commits 1–3 sit inside the lease
+        // (commit times 1, 2, 3 ≤ rts = 10): no renew, lock, or publish.
+        assert_eq!(census_count(&census, "TsRenew"), 0, "{census:?}");
+        assert_eq!(census_count(&census, "TsLock"), 0, "{census:?}");
+        assert_eq!(census_count(&census, "TsPublish"), 0, "{census:?}");
+    }
+
+    /// Two writers hammering one line must serialize through the write
+    /// lock and produce a serializable history.
+    #[test]
+    fn conflicting_writers_serialize() {
+        let programs: Vec<ThreadProgram> = (0..2u64)
+            .map(|p| {
+                ThreadProgram::new(
+                    (0..4)
+                        .map(|_| {
+                            tx(vec![
+                                TxOp::Load(Addr(0x40)),
+                                TxOp::Compute(15 + 9 * p as u32),
+                                TxOp::Store(Addr(0x40)),
+                            ])
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        let result = Simulator::builder(cfg(2))
+            .programs(programs)
+            .build()
+            .expect("valid tardis config")
+            .run();
+        result.assert_serializable();
+        assert_eq!(result.commits, 8);
+    }
+
+    /// Barrier phases release correctly under the tardis backend.
+    #[test]
+    fn barrier_phases_complete() {
+        let programs: Vec<ThreadProgram> = (0..4u64)
+            .map(|p| {
+                ThreadProgram::new(vec![
+                    tx(vec![TxOp::Store(Addr(0x1000 * (p + 1))), TxOp::Compute(10)]),
+                    WorkItem::Barrier,
+                    tx(vec![
+                        TxOp::Load(Addr(0x1000 * ((p + 1) % 4 + 1))),
+                        TxOp::Compute(25),
+                    ]),
+                ])
+            })
+            .collect();
+        let result = Simulator::builder(cfg(4))
+            .programs(programs)
+            .build()
+            .expect("valid tardis config")
+            .run();
+        result.assert_serializable();
+        assert_eq!(result.commits, 8);
+    }
+
+    /// The commit protocol survives a lossy wire behind the reliable
+    /// transport: every transaction commits exactly once (no lock
+    /// double-grants, no double publishes) and the history stays
+    /// serializable.
+    #[test]
+    fn lossy_wire_commits_exactly_once() {
+        let mut c = cfg(4);
+        c.transport = Some(TransportConfig::default());
+        c.chaos = Some(ChaosConfig {
+            seed: 7,
+            drops: vec![DropRule {
+                kind: "*".to_string(),
+                prob: 0.2,
+                from: 0,
+                until: u64::MAX,
+            }],
+            ..ChaosConfig::default()
+        });
+        let programs: Vec<ThreadProgram> = (0..4u64)
+            .map(|p| {
+                ThreadProgram::new(
+                    (0..3)
+                        .map(|_| {
+                            tx(vec![
+                                TxOp::Load(Addr(0x40)),
+                                TxOp::Compute(10 + 3 * p as u32),
+                                TxOp::Store(Addr(0x40 + 0x200 * p)),
+                            ])
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        let result = Simulator::builder(c)
+            .programs(programs)
+            .build()
+            .expect("valid tardis config")
+            .run();
+        result.assert_serializable();
+        assert_eq!(result.commits, 12);
+    }
+
+    /// Pause mid-run, checkpoint, resume in a fresh machine: the final
+    /// results must be identical to the uninterrupted run.
+    #[test]
+    fn tardis_checkpoint_round_trips() {
+        let mk_programs = || -> Vec<ThreadProgram> {
+            (0..4u64)
+                .map(|p| {
+                    ThreadProgram::new(vec![
+                        tx(vec![
+                            TxOp::Load(Addr(0x40)),
+                            TxOp::Compute(50 + 7 * p as u32),
+                            TxOp::Store(Addr(0x40)),
+                        ]),
+                        tx(vec![TxOp::Store(Addr(0x900 * (p + 1))), TxOp::Compute(20)]),
+                    ])
+                })
+                .collect()
+        };
+        let uninterrupted = Simulator::builder(cfg(4))
+            .programs(mk_programs())
+            .build()
+            .expect("valid config")
+            .run();
+        let stepped = Simulator::builder(cfg(4))
+            .programs(mk_programs())
+            .build()
+            .expect("valid config")
+            .try_run_until(Some(Cycle(300)))
+            .expect("no stall");
+        let resumed = match stepped {
+            crate::sim::Step::Paused(sim) => {
+                let snap = sim.checkpoint();
+                Simulator::resume(cfg(4), mk_programs(), &snap)
+                    .expect("resume accepts its own checkpoint")
+                    .run()
+            }
+            crate::sim::Step::Done(_) => panic!("run finished before the pause cycle"),
+        };
+        assert_eq!(resumed.total_cycles, uninterrupted.total_cycles);
+        assert_eq!(resumed.commits, uninterrupted.commits);
+        assert_eq!(resumed.violations, uninterrupted.violations);
+        assert_eq!(resumed.breakdowns, uninterrupted.breakdowns);
+        assert_eq!(
+            resumed.traffic.total_bytes(),
+            uninterrupted.traffic.total_bytes()
+        );
+    }
+}

@@ -22,8 +22,10 @@ mod controller;
 mod entry;
 mod sharer_set;
 mod skip_vector;
+pub mod tardis;
 
 pub use controller::{DirAction, DirConfig, DirStats, Directory};
 pub use entry::DirEntry;
 pub use sharer_set::SharerSet;
 pub use skip_vector::{SkipRefused, SkipVector};
+pub use tardis::{TardisHome, TardisHomeStats, TardisLine};

@@ -136,11 +136,7 @@ pub struct TrafficConfig {
 }
 
 fn err(field: &'static str, problem: impl Into<String>, hint: &'static str) -> ConfigError {
-    ConfigError {
-        field,
-        problem: problem.into(),
-        hint,
-    }
+    ConfigError::invalid(field, problem, hint)
 }
 
 fn check_interarrival(field: &'static str, v: f64) -> Result<(), ConfigError> {
@@ -456,24 +452,24 @@ mod tests {
             mean_interarrival_ticks: 0.0,
         };
         let e = c.validate().unwrap_err();
-        assert_eq!(e.field, "arrival.mean_interarrival_ticks");
-        assert!(!e.hint.is_empty());
+        assert_eq!(e.field(), "arrival.mean_interarrival_ticks");
+        assert!(!e.hint().is_empty());
 
         let mut c = base.clone();
         c.popularity = PopularityConfig::Zipfian {
             n_keys: 1024,
             theta: 0.0,
         };
-        assert_eq!(c.validate().unwrap_err().field, "popularity.theta");
+        assert_eq!(c.validate().unwrap_err().field(), "popularity.theta");
         c.popularity = PopularityConfig::Zipfian {
             n_keys: 1024,
             theta: -0.5,
         };
-        assert_eq!(c.validate().unwrap_err().field, "popularity.theta");
+        assert_eq!(c.validate().unwrap_err().field(), "popularity.theta");
 
         let mut c = base.clone();
         c.popularity = PopularityConfig::Uniform { n_keys: 0 };
-        assert_eq!(c.validate().unwrap_err().field, "popularity.n_keys");
+        assert_eq!(c.validate().unwrap_err().field(), "popularity.n_keys");
 
         let mut c = base.clone();
         c.popularity = PopularityConfig::HotMigration {
@@ -482,21 +478,21 @@ mod tests {
             period_ticks: 0,
             stride: 8,
         };
-        assert_eq!(c.validate().unwrap_err().field, "popularity.period_ticks");
+        assert_eq!(c.validate().unwrap_err().field(), "popularity.period_ticks");
         c.popularity = PopularityConfig::HotMigration {
             n_keys: 1024,
             theta: 1.0,
             period_ticks: 1000,
             stride: 0,
         };
-        assert_eq!(c.validate().unwrap_err().field, "popularity.stride");
+        assert_eq!(c.validate().unwrap_err().field(), "popularity.stride");
 
         let mut c = base.clone();
         c.shape = ShapeConfig::Kv {
             reads_per_tx: 0,
             writes_per_tx: 0,
         };
-        assert_eq!(c.validate().unwrap_err().field, "shape.reads_per_tx");
+        assert_eq!(c.validate().unwrap_err().field(), "shape.reads_per_tx");
 
         let mut c = base;
         c.arrival = ArrivalConfig::Diurnal {
@@ -504,13 +500,13 @@ mod tests {
             period_ticks: 0,
             amplitude: 0.5,
         };
-        assert_eq!(c.validate().unwrap_err().field, "arrival.period_ticks");
+        assert_eq!(c.validate().unwrap_err().field(), "arrival.period_ticks");
         c.arrival = ArrivalConfig::Diurnal {
             mean_interarrival_ticks: 50.0,
             period_ticks: 1000,
             amplitude: 1.0,
         };
-        assert_eq!(c.validate().unwrap_err().field, "arrival.amplitude");
+        assert_eq!(c.validate().unwrap_err().field(), "arrival.amplitude");
     }
 
     #[test]
@@ -546,6 +542,6 @@ mod tests {
         if let PopularityConfig::Zipfian { n_keys, .. } = &mut c.popularity {
             *n_keys += 1;
         }
-        assert_eq!(c.validate().unwrap_err().field, "popularity.n_keys");
+        assert_eq!(c.validate().unwrap_err().field(), "popularity.n_keys");
     }
 }

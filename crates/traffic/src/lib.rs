@@ -108,7 +108,7 @@ mod tests {
             theta: 0.9,
         };
         let e = synthesize(&cfg, 10).unwrap_err();
-        assert_eq!(e.field, "popularity.n_keys");
+        assert_eq!(e.field(), "popularity.n_keys");
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //! seed budget. Production configurations always use
 //! [`ProtocolBugs::default()`] — all rules enforced.
 
+use crate::protocol::ProtocolKind;
+
 /// Switches that individually disable known race-elimination rules.
 ///
 /// All `false` (the default) means the protocol is correct. Setting any
@@ -131,6 +133,39 @@ impl ProtocolBugs {
             _ => return false,
         }
         true
+    }
+
+    /// Names of the set knobs that do **not** apply to the given
+    /// protocol backend, in catalog order.
+    ///
+    /// The first four knobs each disable a race-elimination rule of the
+    /// Scalable TCC commit protocol (skip/ack windows, TID-tagged
+    /// write-backs, commit-locked loads, request-id supersede); the
+    /// serialized-commit and Tardis machines have no such rules, so
+    /// those knobs would silently no-op there. The two `transport_*`
+    /// knobs mutate the protocol-agnostic reliable transport and apply
+    /// everywhere. `SystemConfig::validate` refuses any name returned
+    /// here instead of letting a chaos-grid cell run a mutant that
+    /// cannot bite.
+    #[must_use]
+    pub fn inapplicable_names(&self, protocol: ProtocolKind) -> Vec<&'static str> {
+        if protocol == ProtocolKind::Tcc {
+            return Vec::new();
+        }
+        let mut names = Vec::new();
+        if self.skip_ack_wait {
+            names.push("skip_ack_wait");
+        }
+        if self.writeback_latest_tid {
+            names.push("writeback_latest_tid");
+        }
+        if self.unlocked_window_loads {
+            names.push("unlocked_window_loads");
+        }
+        if self.accept_stale_fills {
+            names.push("accept_stale_fills");
+        }
+        names
     }
 
     /// Names of the knobs that are set, in catalog order.

@@ -32,6 +32,7 @@ pub mod bugs;
 pub mod hash;
 pub mod ids;
 pub mod msg;
+pub mod protocol;
 pub mod rng;
 pub mod slab;
 pub mod snap;
@@ -43,4 +44,5 @@ pub use ids::{Cycle, DirId, NodeId, Tid};
 pub use msg::{
     DataSource, LineValues, Message, Payload, TrafficCategory, ADDR_BYTES, HEADER_BYTES,
 };
+pub use protocol::ProtocolKind;
 pub use wire::{Frame, ACK_BYTES, SEQ_BYTES};

@@ -332,6 +332,106 @@ pub enum Payload {
         /// Acknowledging processor.
         from: NodeId,
     },
+    /// *(Tardis)* Processor → home: timestamped read request. The home
+    /// extends the line's read lease and replies with data plus the
+    /// current `(wts, rts)` interval.
+    TsLoadRequest {
+        /// Line being requested.
+        line: LineAddr,
+        /// Requesting processor (also the reply destination).
+        requester: NodeId,
+        /// Request id; replies to superseded requests are dropped.
+        req: u64,
+    },
+    /// *(Tardis)* Home → processor: timestamped fill. The value is
+    /// guaranteed current for logical times in `[wts, rts]`.
+    TsLoadReply {
+        /// Line being filled.
+        line: LineAddr,
+        /// Simulated contents (writer stamps) for the checker.
+        values: LineValues,
+        /// Logical time of the last committed write to the line.
+        wts: u64,
+        /// End of the read lease granted with this fill.
+        rts: u64,
+        /// Echo of the request's `req` id.
+        req: u64,
+    },
+    /// *(Tardis)* Processor → home: commit-time exclusive lock request
+    /// for one written line. Locks are requested one at a time in
+    /// ascending line order, so the global acquisition order is total
+    /// and deadlock-free.
+    TsLock {
+        /// Line being locked.
+        line: LineAddr,
+        /// Requesting committer (reply destination).
+        requester: NodeId,
+    },
+    /// *(Tardis)* Home → processor: write lock granted, carrying the
+    /// line's current timestamps so the committer can pick a commit
+    /// time above every outstanding lease.
+    TsLockAck {
+        /// The locked line.
+        line: LineAddr,
+        /// Logical time of the last committed write.
+        wts: u64,
+        /// End of the newest read lease.
+        rts: u64,
+    },
+    /// *(Tardis)* Processor → home: lease renewal. Validates a read of
+    /// `line` at commit time `ts`: succeeds iff the line's `wts` still
+    /// equals the `wts` observed at fill time (no intervening write),
+    /// in which case the home extends `rts` to at least `ts`.
+    TsRenew {
+        /// Line whose lease is being renewed.
+        line: LineAddr,
+        /// Renewing processor (reply destination).
+        requester: NodeId,
+        /// The `wts` observed when the line was filled.
+        wts: u64,
+        /// Proposed commit time; the lease must cover it.
+        ts: u64,
+        /// Commit-attempt id; stale verdicts are dropped.
+        req: u64,
+    },
+    /// *(Tardis)* Home → processor: lease renewal verdict.
+    TsRenewAck {
+        /// The line whose renewal was requested.
+        line: LineAddr,
+        /// `true` if the lease now covers the proposed commit time.
+        ok: bool,
+        /// Echo of the renewal's attempt id.
+        req: u64,
+    },
+    /// *(Tardis)* Processor → home: write-through publish of one
+    /// committed line. The home merges the flagged words, advances
+    /// `wts = rts = ts`, releases the committer's lock, and serves any
+    /// deferred requests.
+    TsPublish {
+        /// Line being published.
+        line: LineAddr,
+        /// Words written by the committed transaction.
+        words: WordMask,
+        /// Writer stamp recorded into memory (the committer's TID).
+        tid: Tid,
+        /// The transaction's commit time.
+        ts: u64,
+        /// The committing processor (ack destination).
+        committer: NodeId,
+    },
+    /// *(Tardis)* Home → processor: publish applied and lock released.
+    TsPublishAck {
+        /// The published line.
+        line: LineAddr,
+    },
+    /// *(Tardis)* Processor → home: release a write lock without
+    /// publishing (commit-attempt abort path).
+    TsRelease {
+        /// Line whose lock is released.
+        line: LineAddr,
+        /// The aborting lock holder.
+        requester: NodeId,
+    },
 }
 
 impl Payload {
@@ -361,6 +461,17 @@ impl Payload {
                 HEADER_BYTES + writes.len() as u32 * (ADDR_BYTES + MASK_BYTES + line_bytes)
             }
             Payload::BaselineAck { .. } => HEADER_BYTES,
+            Payload::TsLoadRequest { .. } => HEADER_BYTES + ADDR_BYTES,
+            Payload::TsLoadReply { .. } => HEADER_BYTES + ADDR_BYTES + 2 * TID_BYTES + line_bytes,
+            Payload::TsLock { .. } => HEADER_BYTES + ADDR_BYTES,
+            Payload::TsLockAck { .. } => HEADER_BYTES + ADDR_BYTES + 2 * TID_BYTES,
+            Payload::TsRenew { .. } => HEADER_BYTES + ADDR_BYTES + 2 * TID_BYTES,
+            Payload::TsRenewAck { .. } => HEADER_BYTES + ADDR_BYTES,
+            Payload::TsPublish { .. } => {
+                HEADER_BYTES + ADDR_BYTES + MASK_BYTES + TID_BYTES + line_bytes
+            }
+            Payload::TsPublishAck { .. } => HEADER_BYTES + ADDR_BYTES,
+            Payload::TsRelease { .. } => HEADER_BYTES + ADDR_BYTES,
         }
     }
 
@@ -388,6 +499,15 @@ impl Payload {
             | Payload::TokenRelease
             | Payload::BaselineCommit { .. } => TrafficCategory::Commit,
             Payload::BaselineAck { .. } => TrafficCategory::Overhead,
+            Payload::TsLoadRequest { .. } => TrafficCategory::Overhead,
+            Payload::TsLoadReply { .. } => TrafficCategory::Miss,
+            Payload::TsLock { .. }
+            | Payload::TsLockAck { .. }
+            | Payload::TsRenew { .. }
+            | Payload::TsRenewAck { .. }
+            | Payload::TsPublishAck { .. }
+            | Payload::TsRelease { .. } => TrafficCategory::Commit,
+            Payload::TsPublish { .. } => TrafficCategory::WriteBack,
         }
     }
 
@@ -415,6 +535,15 @@ impl Payload {
             Payload::TokenRelease => "TokenRelease",
             Payload::BaselineCommit { .. } => "BaselineCommit",
             Payload::BaselineAck { .. } => "BaselineAck",
+            Payload::TsLoadRequest { .. } => "TsLoadRequest",
+            Payload::TsLoadReply { .. } => "TsLoadReply",
+            Payload::TsLock { .. } => "TsLock",
+            Payload::TsLockAck { .. } => "TsLockAck",
+            Payload::TsRenew { .. } => "TsRenew",
+            Payload::TsRenewAck { .. } => "TsRenewAck",
+            Payload::TsPublish { .. } => "TsPublish",
+            Payload::TsPublishAck { .. } => "TsPublishAck",
+            Payload::TsRelease { .. } => "TsRelease",
         }
     }
 }
@@ -449,6 +578,15 @@ pub fn intern_kind_name(name: &str) -> Option<&'static str> {
         "TokenRelease" => "TokenRelease",
         "BaselineCommit" => "BaselineCommit",
         "BaselineAck" => "BaselineAck",
+        "TsLoadRequest" => "TsLoadRequest",
+        "TsLoadReply" => "TsLoadReply",
+        "TsLock" => "TsLock",
+        "TsLockAck" => "TsLockAck",
+        "TsRenew" => "TsRenew",
+        "TsRenewAck" => "TsRenewAck",
+        "TsPublish" => "TsPublish",
+        "TsPublishAck" => "TsPublishAck",
+        "TsRelease" => "TsRelease",
         "Ack" => "Ack",
         _ => return None,
     })

@@ -637,6 +637,84 @@ impl Snap for Payload {
                 19u8.save(w);
                 from.save(w);
             }
+            Payload::TsLoadRequest {
+                line,
+                requester,
+                req,
+            } => {
+                20u8.save(w);
+                line.save(w);
+                requester.save(w);
+                req.save(w);
+            }
+            Payload::TsLoadReply {
+                line,
+                values,
+                wts,
+                rts,
+                req,
+            } => {
+                21u8.save(w);
+                line.save(w);
+                values.save(w);
+                wts.save(w);
+                rts.save(w);
+                req.save(w);
+            }
+            Payload::TsLock { line, requester } => {
+                22u8.save(w);
+                line.save(w);
+                requester.save(w);
+            }
+            Payload::TsLockAck { line, wts, rts } => {
+                23u8.save(w);
+                line.save(w);
+                wts.save(w);
+                rts.save(w);
+            }
+            Payload::TsRenew {
+                line,
+                requester,
+                wts,
+                ts,
+                req,
+            } => {
+                24u8.save(w);
+                line.save(w);
+                requester.save(w);
+                wts.save(w);
+                ts.save(w);
+                req.save(w);
+            }
+            Payload::TsRenewAck { line, ok, req } => {
+                25u8.save(w);
+                line.save(w);
+                ok.save(w);
+                req.save(w);
+            }
+            Payload::TsPublish {
+                line,
+                words,
+                tid,
+                ts,
+                committer,
+            } => {
+                26u8.save(w);
+                line.save(w);
+                words.save(w);
+                tid.save(w);
+                ts.save(w);
+                committer.save(w);
+            }
+            Payload::TsPublishAck { line } => {
+                27u8.save(w);
+                line.save(w);
+            }
+            Payload::TsRelease { line, requester } => {
+                28u8.save(w);
+                line.save(w);
+                requester.save(w);
+            }
         }
     }
 
@@ -720,6 +798,51 @@ impl Snap for Payload {
                 seq: r.get()?,
             },
             19 => Payload::BaselineAck { from: r.get()? },
+            20 => Payload::TsLoadRequest {
+                line: r.get()?,
+                requester: r.get()?,
+                req: r.get()?,
+            },
+            21 => Payload::TsLoadReply {
+                line: r.get()?,
+                values: r.get()?,
+                wts: r.get()?,
+                rts: r.get()?,
+                req: r.get()?,
+            },
+            22 => Payload::TsLock {
+                line: r.get()?,
+                requester: r.get()?,
+            },
+            23 => Payload::TsLockAck {
+                line: r.get()?,
+                wts: r.get()?,
+                rts: r.get()?,
+            },
+            24 => Payload::TsRenew {
+                line: r.get()?,
+                requester: r.get()?,
+                wts: r.get()?,
+                ts: r.get()?,
+                req: r.get()?,
+            },
+            25 => Payload::TsRenewAck {
+                line: r.get()?,
+                ok: r.get()?,
+                req: r.get()?,
+            },
+            26 => Payload::TsPublish {
+                line: r.get()?,
+                words: r.get()?,
+                tid: r.get()?,
+                ts: r.get()?,
+                committer: r.get()?,
+            },
+            27 => Payload::TsPublishAck { line: r.get()? },
+            28 => Payload::TsRelease {
+                line: r.get()?,
+                requester: r.get()?,
+            },
             t => return Err(SnapError::invalid("Payload", format!("tag {t}"))),
         })
     }

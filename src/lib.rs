@@ -46,6 +46,33 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
+//! ## Choosing a coherence backend
+//!
+//! The simulator's event loop is protocol-agnostic: every commit/
+//! coherence state machine lives behind the
+//! [`Protocol`](core::Protocol) trait, selected per run with
+//! [`ProtocolKind`](types::ProtocolKind) — `Tcc` (the paper's scalable
+//! non-blocking commit), `SerializedCommit` (the §2.2 token-serialized
+//! baseline), or `Tardis` (timestamp-ordered coherence with lease-based
+//! reads and zero invalidation traffic). All backends share the mesh,
+//! transport, chaos injection, checkpointing, and the serializability
+//! checker.
+//!
+//! ```
+//! use scalable_tcc::prelude::*;
+//!
+//! let mut cfg = SystemConfig::with_procs(4);
+//! cfg.check_serializability = true;
+//! let programs = apps::radix().generate(4, 7);
+//! let result = Simulator::builder(cfg)
+//!     .protocol(ProtocolKind::Tardis)
+//!     .programs(programs)
+//!     .build()?
+//!     .try_run()?;
+//! result.assert_serializable();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
 //! See `README.md` for the experiment index and `DESIGN.md` for the
 //! system inventory and the documented deviations from the paper.
 
@@ -62,10 +89,11 @@ pub use tcc_workloads as workloads;
 
 /// The names nearly every experiment, example, and test imports —
 /// construction ([`Simulator`], [`SystemConfig`], [`SimulatorBuilder`],
-/// [`ConfigError`]), results ([`SimResult`], [`RunError`]), workloads
-/// ([`apps`], [`Scale`], program-building types), the serialized-commit
-/// baseline ([`BaselineSimulator`], [`OccCondition`]), and tracing
-/// ([`Tracer`], [`TraceConfig`]).
+/// [`ConfigError`]), backend selection ([`Protocol`], [`ProtocolKind`]),
+/// results ([`SimResult`], [`RunError`]), workloads ([`apps`],
+/// [`Scale`], program-building types), the serialized-commit baseline
+/// ([`BaselineSimulator`], [`OccCondition`]), and tracing ([`Tracer`],
+/// [`TraceConfig`]).
 ///
 /// ```
 /// use scalable_tcc::prelude::*;
@@ -81,8 +109,8 @@ pub use tcc_workloads as workloads;
 pub mod prelude {
     pub use tcc_core::baseline::{BaselineResult, BaselineSimulator, OccCondition};
     pub use tcc_core::{
-        ConfigError, RunError, SimResult, Simulator, SimulatorBuilder, SystemConfig, ThreadProgram,
-        Transaction, TxOp, WorkItem,
+        ConfigError, Protocol, ProtocolKind, RunError, SimResult, Simulator, SimulatorBuilder,
+        SystemConfig, ThreadProgram, Transaction, TxOp, WorkItem,
     };
     pub use tcc_trace::{TraceConfig, Tracer};
     pub use tcc_types::Addr;
