@@ -93,6 +93,10 @@ fn tracked_cells(smoke: bool) -> Vec<Cell> {
         vec![
             mk(apps::radix(), 4, Scale::Smoke),
             mk(apps::radix(), 16, Scale::Smoke),
+            // The radix @ 64 machine is the acceptance cell for the
+            // allocation gate (`LineValues` interning); tracking it at
+            // smoke scale keeps the regression visible in CI.
+            mk(apps::radix(), 64, Scale::Smoke),
             mk(apps::specjbb(), 8, Scale::Smoke),
             mk(apps::volrend(), 8, Scale::Smoke),
         ]

@@ -1,13 +1,16 @@
 //! Parallel-engine scaling study (`BENCH_scale.json`).
 //!
-//! Runs several applications on a 128-CPU simulated machine, sweeping
-//! the engine worker count: `workers == 1` is the classic sequential
-//! engine (the baseline), higher counts run the sharded parallel
-//! engine. Per cell it records wall-clock, simulator events per
-//! second, wall-clock speedup over the classic baseline, and the
+//! Per cell (application @ CPU count) this harness first runs the
+//! classic sequential engine as the baseline row, then sweeps the
+//! sharded parallel engine across worker counts — *including*
+//! `workers == 1`, which isolates the pure windowing overhead the
+//! adaptive-lookahead planner exists to eliminate. Per row it records
+//! wall-clock, simulator events per second, heap allocations (count
+//! and bytes, via a counting global allocator compiled into this
+//! binary only), wall-clock speedup over the classic baseline, and the
 //! deterministic result fingerprint — and it *asserts* the fingerprint
-//! is byte-identical at every worker count, which is the parallel
-//! engine's core claim.
+//! is byte-identical to the classic baseline at every worker count,
+//! which is the parallel engine's core claim.
 //!
 //! Honest-measurement note: the parallel engine leases its threads
 //! from the shared worker budget, so on a host with fewer CPUs than
@@ -15,117 +18,340 @@
 //! wall-clock columns measure windowing overhead, not speedup. The
 //! report records `host_cpus` so a reader can tell which regime a
 //! given artifact was generated in.
+//!
+//! Modes:
+//!
+//! * `scale` — the full 64/128-CPU cells; writes `BENCH_scale.json`.
+//! * `scale --smoke` — small 16-CPU cells with a reduced sweep, for CI.
+//! * `scale --smoke --check <golden.json>` — assert per-cell
+//!   fingerprint identity and classic-row allocation counts within
+//!   tolerance against a checked-in golden; exits non-zero on any
+//!   regression.
+//! * `scale --smoke --write-golden <golden.json>` — regenerate the
+//!   golden after an intentional behaviour change.
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use tcc_bench::report::write_report;
 use tcc_bench::{HarnessArgs, HARNESS_SEED};
-use tcc_core::{ParallelConfig, Simulator, SystemConfig};
+use tcc_core::{ParallelConfig, SimResult, Simulator, SystemConfig};
 use tcc_stats::render::TextTable;
 use tcc_trace::{Json, RunReport};
-use tcc_workloads::apps;
+use tcc_workloads::{apps, AppProfile, Scale};
+
+/// Counting allocator: defers to the system allocator, tallying every
+/// allocation. Lives only in this binary.
+struct CountingAlloc;
+
+static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> (u64, u64) {
+    (
+        ALLOC_COUNT.load(Ordering::Relaxed),
+        ALLOC_BYTES.load(Ordering::Relaxed),
+    )
+}
 
 /// The simulated machine size: past the paper's largest (64) to show
 /// the engine handles more shards than any evaluated configuration.
 const SCALE_CPUS: usize = 128;
 
-/// Engine worker counts swept per application.
+/// Engine worker counts swept per application (full mode). The sweep
+/// starts at 1: a `workers == 1` *parallel* row is the windowing
+/// overhead a reader should compare against the classic baseline row.
 const WORKER_SWEEP: [usize; 5] = [1, 2, 4, 8, 16];
 
-/// The swept cells: the radix @ 64 acceptance cell (the Figure 7
-/// machine size the speedup target is stated against) plus a
-/// 128-CPU sweep of four applications.
-fn cells() -> Vec<(tcc_workloads::AppProfile, usize)> {
-    vec![
-        (apps::radix(), 64),
-        (apps::radix(), SCALE_CPUS),
-        (apps::specjbb(), SCALE_CPUS),
-        (apps::volrend(), SCALE_CPUS),
-        (apps::equake(), SCALE_CPUS),
-    ]
+/// Reduced sweep for `--smoke` (CI).
+const SMOKE_SWEEP: [usize; 3] = [1, 2, 4];
+
+/// The swept cells. Full: the radix @ 64 acceptance cell (the Figure 7
+/// machine size the speedup target is stated against) plus a 128-CPU
+/// sweep of four applications. Smoke: three 16-CPU cells small enough
+/// for a CI gate.
+fn cells(smoke: bool) -> Vec<(AppProfile, usize)> {
+    if smoke {
+        vec![
+            (apps::radix(), 16),
+            (apps::volrend(), 16),
+            (apps::equake(), 16),
+        ]
+    } else {
+        vec![
+            (apps::radix(), 64),
+            (apps::radix(), SCALE_CPUS),
+            (apps::specjbb(), SCALE_CPUS),
+            (apps::volrend(), SCALE_CPUS),
+            (apps::equake(), SCALE_CPUS),
+        ]
+    }
+}
+
+/// One measured row: the classic baseline (`workers == None`) or a
+/// parallel-engine run at a worker count.
+struct Row {
+    workers: Option<usize>,
+    wall_ms: f64,
+    events: u64,
+    alloc_count: u64,
+    alloc_bytes: u64,
+    fingerprint: String,
+    total_cycles: u64,
+    commits: u64,
+}
+
+fn run_row(app: &AppProfile, cpus: usize, workers: Option<usize>, seed: u64, scale: Scale) -> Row {
+    let mut cfg = SystemConfig::with_procs(cpus);
+    if let Some(w) = workers {
+        cfg.parallel = Some(ParallelConfig::with_workers(w));
+    }
+    let programs = app.generate_scaled(cpus, seed, scale);
+    let sim = Simulator::builder(cfg)
+        .programs(programs)
+        .build()
+        .expect("valid config");
+    let (a0, b0) = allocs();
+    let t0 = Instant::now();
+    let r: SimResult = sim.run();
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let (a1, b1) = allocs();
+    Row {
+        workers,
+        wall_ms,
+        events: r.events,
+        alloc_count: a1 - a0,
+        alloc_bytes: b1 - b0,
+        fingerprint: r.fingerprint(),
+        total_cycles: r.total_cycles,
+        commits: r.commits,
+    }
+}
+
+/// One fully-measured cell: the classic row plus the parallel sweep.
+struct CellResult {
+    label: String,
+    rows: Vec<Row>,
+}
+
+/// Allowed relative allocation-count growth before `--check` fails.
+/// Only the classic row is gated: the parallel engine's thread-local
+/// message pools make parallel-row counts scheduling-dependent.
+const ALLOC_TOLERANCE: f64 = 0.10;
+
+fn check_golden(path: &str, cells: &[CellResult]) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let golden = Json::parse(&text).map_err(|e| format!("parse {path}: {e}"))?;
+    let Some(Json::Arr(want)) = golden.get("cells") else {
+        return Err(format!("{path}: no cells array"));
+    };
+    if want.len() != cells.len() {
+        return Err(format!(
+            "{path}: golden has {} cells, run produced {}",
+            want.len(),
+            cells.len()
+        ));
+    }
+    for (w, got) in want.iter().zip(cells) {
+        let cell = w.get("cell").and_then(Json::as_str).unwrap_or("?");
+        if cell != got.label {
+            return Err(format!(
+                "cell order mismatch: golden {cell}, run {}",
+                got.label
+            ));
+        }
+        let classic = got.rows.first().expect("classic row always measured");
+        let want_fp = w.get("fingerprint").and_then(Json::as_str).unwrap_or("?");
+        if want_fp != classic.fingerprint {
+            return Err(format!(
+                "{cell}: result fingerprint changed: golden {want_fp}, run {} \
+                 (simulation results must be byte-identical)",
+                classic.fingerprint
+            ));
+        }
+        let want_allocs = w
+            .get("classic_alloc_count")
+            .and_then(Json::as_f64)
+            .unwrap_or(f64::MAX);
+        let limit = want_allocs * (1.0 + ALLOC_TOLERANCE);
+        if classic.alloc_count as f64 > limit {
+            return Err(format!(
+                "{cell}: allocation regression: {} allocs > {:.0} \
+                 (golden {want_allocs:.0} + {:.0}% tolerance)",
+                classic.alloc_count,
+                limit,
+                ALLOC_TOLERANCE * 100.0
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn golden_json(cells: &[CellResult]) -> Json {
+    Json::obj(vec![
+        ("schema", "tcc-scale-golden/v1".into()),
+        (
+            "cells",
+            Json::Arr(
+                cells
+                    .iter()
+                    .map(|c| {
+                        let classic = c.rows.first().expect("classic row always measured");
+                        Json::obj(vec![
+                            ("cell", Json::from(c.label.clone())),
+                            ("fingerprint", classic.fingerprint.clone().into()),
+                            ("classic_alloc_count", classic.alloc_count.into()),
+                            ("total_cycles", classic.total_cycles.into()),
+                            ("commits", classic.commits.into()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
 }
 
 fn main() {
-    let args = HarnessArgs::parse();
-    let seed = args.seed.unwrap_or(HARNESS_SEED);
+    // One parse loop for everything: the shared `HarnessArgs` grammar
+    // treats any free token as the app filter, which would swallow the
+    // value of `--check`/`--write-golden`/`--seed`.
+    let mut check: Option<String> = None;
+    let mut write_golden: Option<String> = None;
+    let mut smoke = false;
+    let mut filter: Option<String> = None;
+    let mut seed: Option<u64> = None;
+    let mut iter = std::env::args().skip(1);
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--check" => check = iter.next(),
+            "--write-golden" => write_golden = iter.next(),
+            "--smoke" => smoke = true,
+            "--seed" => seed = iter.next().and_then(|v| v.parse().ok()),
+            other if !other.starts_with("--") => filter = Some(other.to_string()),
+            _ => {}
+        }
+    }
+    let args = HarnessArgs {
+        filter,
+        smoke,
+        ..HarnessArgs::default()
+    };
+    let seed = seed.unwrap_or(HARNESS_SEED);
+    let sweep: &[usize] = if smoke { &SMOKE_SWEEP } else { &WORKER_SWEEP };
     let host_cpus = tcc_trace::report::host_cpus() as usize;
     let mut report = RunReport::new("scale");
     // This bin sweeps the engine worker count itself; the host block
     // records the largest count the run actually spun up.
-    report.set_workers(*WORKER_SWEEP.iter().max().expect("non-empty sweep") as u64);
+    report.set_workers(*sweep.iter().max().expect("non-empty sweep") as u64);
     report.set(
         "harness",
         Json::obj(vec![
             ("seed", seed.into()),
-            ("scale", if args.smoke { "smoke" } else { "full" }.into()),
-            ("cpus", (SCALE_CPUS as u64).into()),
+            ("scale", if smoke { "smoke" } else { "full" }.into()),
             ("host_cpus", (host_cpus as u64).into()),
             (
                 "workers",
-                Json::Arr(WORKER_SWEEP.iter().map(|&w| (w as u64).into()).collect()),
+                Json::Arr(sweep.iter().map(|&w| (w as u64).into()).collect()),
             ),
         ]),
     );
+    let mut measured: Vec<CellResult> = Vec::new();
     let mut apps_json: Vec<Json> = Vec::new();
-    for (app, cpus) in cells() {
+    for (app, cpus) in cells(smoke) {
         if !args.selects(app.name) {
             continue;
         }
-        println!("\n{} — {cpus}-CPU machine, engine worker sweep", app.name);
+        println!(
+            "\n{} — {cpus}-CPU machine, classic baseline + engine worker sweep",
+            app.name
+        );
         let mut t = TextTable::new(vec![
             "Workers",
             "Engine",
             "Wall ms",
             "Events/s",
+            "Allocs",
             "Speedup",
             "Fingerprint",
         ]);
-        let mut baseline: Option<(f64, String)> = None;
+        let mut rows: Vec<Row> = Vec::new();
+        // The classic sequential engine is the baseline row; every
+        // parallel row (including workers == 1) is compared to it.
+        rows.push(run_row(&app, cpus, None, seed, args.scale()));
+        for &workers in sweep {
+            rows.push(run_row(&app, cpus, Some(workers), seed, args.scale()));
+        }
+        let base_wall = rows[0].wall_ms;
+        let base_fp = rows[0].fingerprint.clone();
         let mut points: Vec<Json> = Vec::new();
-        for &workers in &WORKER_SWEEP {
-            let mut cfg = SystemConfig::with_procs(cpus);
-            if workers > 1 {
-                cfg.parallel = Some(ParallelConfig::with_workers(workers));
-            }
-            let programs = app.generate_scaled(cpus, seed, args.scale());
-            let sim = Simulator::builder(cfg)
-                .programs(programs)
-                .build()
-                .expect("valid config");
-            let t0 = Instant::now();
-            let r = sim.run();
-            let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
-            let fp = r.fingerprint();
-            let (base_wall, base_fp) = baseline.get_or_insert((wall_ms, fp.clone()));
+        for row in &rows {
             assert_eq!(
-                *base_fp, fp,
-                "{}: parallel engine at {workers} workers diverged from classic",
-                app.name
+                base_fp, row.fingerprint,
+                "{}: parallel engine at {:?} workers diverged from classic",
+                app.name, row.workers
             );
-            let speedup = *base_wall / wall_ms;
-            let engine = if workers > 1 { "parallel" } else { "classic" };
+            let speedup = base_wall / row.wall_ms;
+            let engine = if row.workers.is_some() {
+                "parallel"
+            } else {
+                "classic"
+            };
             eprintln!(
-                "  {}: workers={workers} done ({} cycles, {wall_ms:.0} ms)",
-                app.name, r.total_cycles
+                "  {}: {engine} workers={} done ({} cycles, {:.0} ms)",
+                app.name,
+                row.workers.map_or_else(|| "-".into(), |w| w.to_string()),
+                row.total_cycles,
+                row.wall_ms
             );
             t.row(vec![
-                workers.to_string(),
+                row.workers.map_or_else(|| "-".into(), |w| w.to_string()),
                 engine.to_string(),
-                format!("{wall_ms:.1}"),
-                format!("{:.0}", r.events as f64 / (wall_ms / 1e3)),
+                format!("{:.1}", row.wall_ms),
+                format!("{:.0}", row.events as f64 / (row.wall_ms / 1e3)),
+                row.alloc_count.to_string(),
                 format!("{speedup:.2}"),
-                fp.clone(),
+                row.fingerprint.clone(),
             ]);
-            points.push(Json::obj(vec![
-                ("workers", (workers as u64).into()),
-                ("engine", engine.into()),
-                ("wall_ms", Json::Num(wall_ms)),
-                ("events", r.events.into()),
+            let mut fields = vec![
+                ("engine", Json::from(engine)),
+                ("wall_ms", Json::Num(row.wall_ms)),
+                ("events", row.events.into()),
+                ("alloc_count", row.alloc_count.into()),
+                ("alloc_bytes", row.alloc_bytes.into()),
                 ("speedup_vs_classic", Json::Num(speedup)),
-                ("fingerprint", fp.into()),
-                ("total_cycles", r.total_cycles.into()),
-                ("commits", r.commits.into()),
-            ]));
+                ("fingerprint", row.fingerprint.clone().into()),
+                ("total_cycles", row.total_cycles.into()),
+                ("commits", row.commits.into()),
+            ];
+            if let Some(w) = row.workers {
+                fields.insert(0, ("workers", (w as u64).into()));
+                // Overhead is the honest 1-CPU-host reading of the
+                // wall-clock column: parallel wall over classic wall.
+                fields.push(("overhead_vs_classic", Json::Num(row.wall_ms / base_wall)));
+            }
+            points.push(Json::obj(fields));
         }
         println!("{}", t.render());
         apps_json.push(Json::obj(vec![
@@ -133,15 +359,33 @@ fn main() {
             ("cpus", (cpus as u64).into()),
             ("points", Json::Arr(points)),
         ]));
+        measured.push(CellResult {
+            label: format!("{}@{cpus}", app.name),
+            rows,
+        });
     }
     report.set("apps", Json::Arr(apps_json));
     write_report(&report);
     println!("\nFingerprints are byte-identical across all worker counts (asserted).");
-    if host_cpus < *WORKER_SWEEP.last().expect("non-empty sweep") {
+    if host_cpus < *sweep.last().expect("non-empty sweep") {
         println!(
             "Note: host has {host_cpus} CPU(s); worker counts above that are \
              capped by the shared worker budget, so wall-clock columns \
              measure engine overhead rather than speedup."
         );
+    }
+
+    if let Some(path) = write_golden {
+        std::fs::write(&path, golden_json(&measured).to_pretty()).expect("write golden");
+        eprintln!("  wrote {path}");
+    }
+    if let Some(path) = check {
+        match check_golden(&path, &measured) {
+            Ok(()) => println!("scale-smoke: OK ({} cells match {path})", measured.len()),
+            Err(e) => {
+                eprintln!("scale-smoke FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 }

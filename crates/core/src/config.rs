@@ -395,16 +395,12 @@ impl SystemConfig {
                 ));
             }
         }
+        // `parallel` is accepted for every backend: the TCC machine
+        // runs on the sharded window engine, while the serialized
+        // baseline and Tardis run the classic loop (a degenerate
+        // single merged window) — results are identical either way,
+        // so the knob is honored rather than refused.
         if self.protocol != ProtocolKind::Tcc {
-            if self.parallel.is_some() {
-                return Err(ConfigError::unsupported(
-                    self.protocol,
-                    "parallel",
-                    "the sharded parallel engine mirrors the Scalable TCC \
-                     delivery paths only",
-                    "set cfg.parallel = None, or select ProtocolKind::Tcc",
-                ));
-            }
             if self.profile {
                 return Err(ConfigError::unsupported(
                     self.protocol,
@@ -538,13 +534,12 @@ mod tests {
 
     #[test]
     fn protocol_incompatible_knobs_are_refused() {
-        // Parallel execution is a TCC-only engine.
+        // `parallel` is accepted for every backend (non-TCC backends
+        // run the classic loop under it).
         let mut c = SystemConfig::with_procs(4);
         c.protocol = ProtocolKind::Tardis;
         c.parallel = Some(ParallelConfig::with_workers(2));
-        let err = c.validate().unwrap_err();
-        assert_eq!(err.field(), "parallel");
-        assert!(err.to_string().contains("tardis"), "{err}");
+        c.validate().expect("parallel is backend-agnostic");
 
         // TCC-only ProtocolBugs knobs must not silently no-op.
         let mut c = SystemConfig::with_procs(4);

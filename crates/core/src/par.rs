@@ -36,15 +36,45 @@
 //! parent/child chains resolve without circularity; see
 //! `resolve_cycle` for the argument.
 //!
-//! # Windows that cannot run in parallel
+//! # Adaptive windows
 //!
 //! Barrier arrival/release mutates global state at arbitrary times, so
 //! any window in which a processor *could* reach a barrier (a
 //! conservative program lookahead, `barrier_depth`) — and any window
-//! with at most one shard holding events — is processed on the main
-//! thread in globally merged classic order instead. Both window modes
-//! assign the same canonical keys, so results are independent of which
-//! mode each window used and of the worker count.
+//! with at most one worker *unit* holding events — is processed on the
+//! main thread in globally merged classic order instead. Both window
+//! modes assign the same canonical keys, so results are independent of
+//! which mode each window used and of the worker count.
+//!
+//! The merged sequential path is the classic engine running over the
+//! union of the shard queues: it pops in global `(cycle, key)` order,
+//! mints canonical keys at creation, and touches the mesh, chaos RNG,
+//! and barriers inline. It is therefore correct at *any* window end —
+//! which is what makes the window economics adaptive:
+//!
+//! * with one effective worker there is nothing to join, so the whole
+//!   run is a single merged window (no window setup, no rank
+//!   resolution, no deferred-op replay);
+//! * a merged window entered because only one unit holds work extends
+//!   to the earliest event owned by any *other* unit — quiet periods
+//!   cost one window instead of `span / B` of them;
+//! * shards whose deferred cross-traffic is exclusively mutual (a
+//!   closed component of the traffic graph observed at joins) *fuse*
+//!   into one worker unit, so phases where only that clique is active
+//!   run merged-and-extended instead of joining every `B` cycles.
+//!   Counters reset at every fusion decision, so fission is automatic
+//!   when the pattern shifts.
+//!
+//! Parallel (Phase A) windows deliberately stay at the conservative
+//! width `B`. Extending a shard's Phase A horizon past its siblings'
+//! is unsound: ranks are assigned per window, so a staged arrival that
+//! lands on a cycle some shard already popped in would restart that
+//! cycle's shard-local indices (rank collisions), and deferred mesh
+//! ops from two windows would replay out of chronological order,
+//! diverging link contention and the chaos RNG from the classic
+//! engine. All lookahead adaptivity therefore lives on the merged
+//! path, where the classic-order argument above applies; see
+//! DESIGN.md §11.
 //!
 //! # Documented divergences from the classic engine
 //!
@@ -55,9 +85,11 @@
 //! windows), and the auxiliary fields of a [`StallDiagnostic`] for
 //! faults raised *inside* a parallel window (sibling shards finish
 //! their window before the join reports the earliest fault; the
-//! reason, kind, and cycle still match).
+//! reason, kind, and cycle still match, and the diagnostic stamps the
+//! true fault cycle plus the active window bounds so a long adaptive
+//! window cannot hide where the fault actually happened).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -88,12 +120,46 @@ const PROV: u64 = 1 << 63;
 const IDX_MASK: u64 = (1 << (63 - EM_BITS)) - 1;
 const EM_MASK: u64 = (1 << EM_BITS) - 1;
 
-/// Canonical key: `(creating cycle + 1, global rank of the creating
-/// pop within that cycle, emission index)`. Lexicographic key order
-/// equals classic FIFO creation order (see module docs).
-fn pack(hi: u64, rank: u64, em: u64) -> u128 {
-    debug_assert!(rank <= IDX_MASK && em <= EM_MASK);
-    (u128::from(hi) << 64) | u128::from((rank << EM_BITS) | em)
+/// Rebalance the shard→unit assignment every this many parallel
+/// windows (fusion decisions are made from the traffic observed at
+/// the joins in between).
+const FUSE_INTERVAL: u32 = 32;
+/// Largest closed traffic component that fuses into one worker unit;
+/// bigger cliques stay sharded so one hub topology cannot collapse
+/// the whole machine into a single unit.
+const FUSE_MAX: usize = 4;
+
+/// Emission field of a canonical key: `slot << SUB_BITS | sub`,
+/// saturating to `u64::MAX` — which [`try_pack`] rejects — when
+/// either component leaves its bit field.
+fn em_of(slot: u64, sub: u64) -> u64 {
+    if slot > (EM_MASK >> SUB_BITS) || sub > ((1 << SUB_BITS) - 1) {
+        u64::MAX
+    } else {
+        (slot << SUB_BITS) | sub
+    }
+}
+
+/// Checked canonical-key construction: `(creating cycle + 1, global
+/// rank of the creating pop within that cycle, emission index)`.
+/// Lexicographic key order equals classic FIFO creation order (see
+/// module docs). A rank or emission index that does not fit its bit
+/// field would silently corrupt that order in release builds, so
+/// overflow is a typed stall, never a wrapped key.
+fn try_pack(hi: u64, rank: u64, em: u64) -> Result<u128, StallReason> {
+    if rank > IDX_MASK || em > EM_MASK {
+        return Err(StallReason::KeyOverflow { rank, em });
+    }
+    Ok((u128::from(hi) << 64) | u128::from((rank << EM_BITS) | em))
+}
+
+/// Undirected traffic-graph edge between two shards.
+fn edge(a: u16, b: u16) -> (u16, u16) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
 }
 
 /// Recovers poison-free access to a shard: a worker panic is re-raised
@@ -193,15 +259,29 @@ impl Shard {
     /// seeded keys are complete and schedule directly either way.
     fn sched(&mut self, at: Cycle, ev: Event) {
         let slot = self.claim_slot();
-        let em = slot << SUB_BITS;
         if let Some(salt) = self.seed {
             let key = self.seeded_key(salt, self.cur_cycle.0 + 1);
             self.queue.schedule_with_key(at, key, ev);
-        } else if at < self.window_end {
+            return;
+        }
+        let em = em_of(slot, 0);
+        if at < self.window_end {
+            if self.cur_idx > IDX_MASK || em > EM_MASK {
+                self.set_fault(
+                    self.cur_cycle,
+                    StallReason::KeyOverflow {
+                        rank: self.cur_idx,
+                        em,
+                    },
+                );
+                return;
+            }
             let low = PROV | (self.cur_idx << EM_BITS) | em;
             let key = (u128::from(self.cur_cycle.0 + 1) << 64) | u128::from(low);
             self.queue.schedule_with_key(at, key, ev);
         } else {
+            // A saturated `em` is rejected by `try_pack` when the join
+            // canonicalizes this entry.
             self.staged.push(Staged {
                 at,
                 t_create: self.cur_cycle,
@@ -383,6 +463,11 @@ impl Shard {
     }
 
     fn apply(&mut self, now: Cycle, fx: Effects) {
+        debug_assert!(
+            fx.immediate_sends.is_empty(),
+            "immediate sends are a serialized-baseline channel; the TCC \
+             shard engine never emits them"
+        );
         for (delay, msg) in fx.sends {
             if delay == 0 {
                 self.dispatch_send(now, msg);
@@ -627,10 +712,41 @@ struct Engine {
     /// provenance (mirrors `Simulator::program_seed`).
     program_seed: Option<u64>,
     /// Per-window map from `(cycle, shard, local pop index)` to the
-    /// pop's global rank within that cycle.
+    /// pop's global rank within that cycle. Lookup-only by
+    /// construction — its iteration order never reaches scheduling,
+    /// message emission, or fingerprints — so the unordered map is
+    /// exempt from the `tcc-types::hash` iteration-order caveat.
     rank_map: FxHashMap<(u64, u16, u64), u64>,
     /// Sticky fault raised mid-delivery on the sequential path.
     fault: Option<StallReason>,
+    /// Bounds `[start, end)` of the window being processed, stamped
+    /// into stall diagnostics so an adaptive long window cannot hide
+    /// the faulting cycle behind a much later window end.
+    cur_window: Option<(u64, u64)>,
+    // ---- head index over the shard queues ----
+    /// `(head cycle, head key, shard)` of every non-empty shard queue:
+    /// the merged path pops `heads.first()` in O(log n) instead of
+    /// lock-and-peek scanning every shard per event.
+    heads: BTreeSet<(Cycle, u128, u16)>,
+    /// Last head published into `heads` per shard; `fix_head` diffs
+    /// against it so untouched shards cost nothing.
+    head_cache: Vec<Option<(Cycle, u128)>>,
+    // ---- shard fusion ----
+    /// Shard → worker-unit index (rebuilt by `rebalance`).
+    unit_of: Vec<u16>,
+    /// Current worker units (each a set of shards claimed together).
+    units: Arc<Vec<Vec<u16>>>,
+    /// Cross-shard deferred-op counts since the last fusion decision,
+    /// keyed by undirected shard pair.
+    traffic: BTreeMap<(u16, u16), u64>,
+    windows_since_fuse: u32,
+    /// Per-window scratch for distinct-active-unit counting.
+    unit_seen: Vec<bool>,
+    // ---- reusable join buffers (batched cross-shard handoff) ----
+    jpops: Vec<Vec<(Cycle, u128)>>,
+    jstaged: Vec<Vec<Staged>>,
+    jops: Vec<DeferredOp>,
+    jcommitted: Vec<(u16, Cycle, u64, TxRecord, TxCharacteristics)>,
     // ---- sequential-merge key context (also used for init) ----
     seq_cycle: Cycle,
     seq_hi: u64,
@@ -652,23 +768,50 @@ fn owner(ev: &Event) -> usize {
 }
 
 impl Engine {
+    /// Syncs shard `i`'s entry in the head index with its queue's
+    /// actual head. Idempotent; cheap when nothing changed.
+    fn fix_head(&mut self, shards: &mut [&mut Shard], i: usize) {
+        let new = shards[i].queue.peek_key();
+        let old = self.head_cache[i];
+        if new == old {
+            return;
+        }
+        if let Some((t, k)) = old {
+            self.heads.remove(&(t, k, i as u16));
+        }
+        if let Some((t, k)) = new {
+            self.heads.insert((t, k, i as u16));
+        }
+        self.head_cache[i] = new;
+    }
+
     /// Mints the canonical key for a creation of the current
-    /// sequential-context pop and advances the emission slot.
-    fn seq_key(&mut self, shards: &[Mutex<Shard>]) -> u128 {
+    /// sequential-context pop and advances the emission slot. On
+    /// bit-field overflow the typed fault is recorded and a saturated
+    /// placeholder returned: the run aborts with the stall before the
+    /// placeholder's order can matter.
+    fn seq_key(&mut self, shards: &mut [&mut Shard]) -> u128 {
         let slot = self.seq_slot;
         self.seq_slot += 1;
         match self.cfg.tie_break_seed {
-            Some(salt) => lock(&shards[self.seq_shard]).seeded_key(salt, self.seq_hi),
-            None => pack(self.seq_hi, self.seq_rank, slot << SUB_BITS),
+            Some(salt) => shards[self.seq_shard].seeded_key(salt, self.seq_hi),
+            None => match try_pack(self.seq_hi, self.seq_rank, em_of(slot, 0)) {
+                Ok(k) => k,
+                Err(r) => {
+                    self.fault.get_or_insert(r);
+                    (u128::from(self.seq_hi) << 64) | u128::from(u64::MAX >> 1)
+                }
+            },
         }
     }
 
     /// Schedules a creation of the current sequential-context pop into
-    /// its owner shard. Never called with any shard guard held.
-    fn seq_sched(&mut self, shards: &[Mutex<Shard>], at: Cycle, ev: Event) {
+    /// its owner shard and keeps the head index in sync.
+    fn seq_sched(&mut self, shards: &mut [&mut Shard], at: Cycle, ev: Event) {
         let key = self.seq_key(shards);
         let own = owner(&ev);
-        lock(&shards[own]).queue.schedule_with_key(at, key, ev);
+        shards[own].queue.schedule_with_key(at, key, ev);
+        self.fix_head(shards, own);
     }
 
     /// Classic `route`: multicast timing for Skip/Commit/Abort.
@@ -681,9 +824,9 @@ impl Engine {
         }
     }
 
-    fn dispatch_send_seq(&mut self, shards: &[Mutex<Shard>], now: Cycle, msg: Message) {
+    fn dispatch_send_seq(&mut self, shards: &mut [&mut Shard], now: Cycle, msg: Message) {
         if self.cfg.transport.is_some() && msg.src != msg.dst {
-            let actions = lock(&shards[msg.src.index()])
+            let actions = shards[msg.src.index()]
                 .transport
                 .as_mut()
                 .expect("transport configured")
@@ -697,7 +840,7 @@ impl Engine {
 
     fn apply_transport_actions_seq(
         &mut self,
-        shards: &[Mutex<Shard>],
+        shards: &mut [&mut Shard],
         now: Cycle,
         actions: Vec<TransportAction>,
     ) {
@@ -731,7 +874,12 @@ impl Engine {
         }
     }
 
-    fn apply_seq(&mut self, shards: &[Mutex<Shard>], now: Cycle, node: NodeId, fx: Effects) {
+    fn apply_seq(&mut self, shards: &mut [&mut Shard], now: Cycle, node: NodeId, fx: Effects) {
+        debug_assert!(
+            fx.immediate_sends.is_empty(),
+            "immediate sends are a serialized-baseline channel; the TCC \
+             shard engine never emits them"
+        );
         for (delay, msg) in fx.sends {
             if delay == 0 {
                 self.dispatch_send_seq(shards, now, msg);
@@ -740,7 +888,7 @@ impl Engine {
             }
         }
         if let Some(d) = fx.wake_in {
-            let seq = lock(&shards[node.index()]).proc.wake_seq();
+            let seq = shards[node.index()].proc.wake_seq();
             self.seq_sched(shards, now + d, Event::ProcStep(node, seq));
         }
         if let Some((record, chars)) = fx.committed {
@@ -757,18 +905,18 @@ impl Engine {
         }
     }
 
-    fn barrier_arrive_seq(&mut self, shards: &[Mutex<Shard>], now: Cycle, node: NodeId) {
+    fn barrier_arrive_seq(&mut self, shards: &mut [&mut Shard], now: Cycle, node: NodeId) {
         self.barrier_waiting.push(node);
         if self.barrier_waiting.len() == self.cfg.n_procs {
             let waiting = std::mem::take(&mut self.barrier_waiting);
             for n in waiting {
-                let fx = lock(&shards[n.index()]).proc.release_barrier(now);
+                let fx = shards[n.index()].proc.release_barrier(now);
                 self.apply_seq(shards, now, n, fx);
             }
         }
     }
 
-    fn deliver_seq(&mut self, shards: &[Mutex<Shard>], now: Cycle, msg: Message) {
+    fn deliver_seq(&mut self, shards: &mut [&mut Shard], now: Cycle, msg: Message) {
         if crate::tcc_trace_enabled() {
             eprintln!("{} {} -> {}: {:?}", now, msg.src, msg.dst, msg.payload);
         }
@@ -787,7 +935,7 @@ impl Engine {
                 debug_assert_eq!(dst, self.cfg.vendor_node());
                 self.tracer.count("vendor.tid_requests", 1);
                 let tid = {
-                    let mut g = lock(&shards[dst.index()]);
+                    let g = &mut *shards[dst.index()];
                     let t = Tid(g.vendor_next);
                     g.vendor_next += 1;
                     t
@@ -798,13 +946,13 @@ impl Engine {
             Payload::LoadReply {
                 line, values, req, ..
             } => {
-                let fx = lock(&shards[dst.index()])
+                let fx = shards[dst.index()]
                     .proc
                     .on_load_reply(now, line, values, req);
                 self.apply_seq(shards, now, dst, fx);
             }
             Payload::TidReply { tid } => {
-                let fx = lock(&shards[dst.index()]).proc.on_tid_reply(now, tid);
+                let fx = shards[dst.index()].proc.on_tid_reply(now, tid);
                 self.apply_seq(shards, now, dst, fx);
             }
             Payload::ProbeReply {
@@ -813,7 +961,7 @@ impl Engine {
                 probe_tid,
                 for_write,
             } => {
-                let fx = lock(&shards[dst.index()]).proc.on_probe_reply(
+                let fx = shards[dst.index()].proc.on_probe_reply(
                     now,
                     dir,
                     now_serving,
@@ -823,7 +971,7 @@ impl Engine {
                 self.apply_seq(shards, now, dst, fx);
             }
             Payload::DataRequest { line } => {
-                let fx = lock(&shards[dst.index()]).proc.on_data_request(now, line);
+                let fx = shards[dst.index()].proc.on_data_request(now, line);
                 self.apply_seq(shards, now, dst, fx);
             }
             Payload::Invalidate {
@@ -832,13 +980,10 @@ impl Engine {
                 committer_tid,
                 dir,
             } => {
-                let fx = lock(&shards[dst.index()]).proc.on_invalidate(
-                    now,
-                    line,
-                    words,
-                    committer_tid,
-                    dir,
-                );
+                let fx =
+                    shards[dst.index()]
+                        .proc
+                        .on_invalidate(now, line, words, committer_tid, dir);
                 self.apply_seq(shards, now, dst, fx);
             }
             Payload::TokenRequest { .. }
@@ -860,12 +1005,13 @@ impl Engine {
         }
     }
 
-    fn deliver_to_dir_seq(&mut self, shards: &[Mutex<Shard>], now: Cycle, msg: Message) {
+    fn deliver_to_dir_seq(&mut self, shards: &mut [&mut Shard], now: Cycle, msg: Message) {
         let dst = msg.dst;
-        // The whole directory step runs under the owner shard's guard;
-        // outputs are collected and scheduled after it drops.
+        // The whole directory step runs against the owner shard;
+        // outputs are collected first, then scheduled (scheduling
+        // needs the full slice for ownership routing).
         let outs: Vec<(Cycle, Message)> = {
-            let mut g = lock(&shards[dst.index()]);
+            let g = &mut *shards[dst.index()];
             let mut service = match msg.payload {
                 Payload::LoadRequest { .. }
                 | Payload::Mark { .. }
@@ -989,24 +1135,22 @@ impl Engine {
 
     /// Processes `[current, window_end)` in globally merged classic
     /// order on the main thread: same pops, same key assignment, same
-    /// global-op interleaving as the classic engine.
+    /// global-op interleaving as the classic engine. The head index
+    /// makes each pop O(log shards) instead of a peek scan over every
+    /// shard — the lever that closes the workers=1 overhead gap.
     fn run_seq_window(
         &mut self,
-        shards: &[Mutex<Shard>],
+        shards: &mut [&mut Shard],
         window_end: Cycle,
     ) -> Result<(), RunError> {
         loop {
-            let mut best: Option<(Cycle, u128, usize)> = None;
-            for (i, s) in shards.iter().enumerate() {
-                if let Some((t, k)) = lock(s).queue.peek_key() {
-                    if t < window_end && best.is_none_or(|(bt, bk, _)| (t, k) < (bt, bk)) {
-                        best = Some((t, k, i));
-                    }
-                }
-            }
-            let Some((at, _key, i)) = best else {
+            let Some(&(at, _key, si)) = self.heads.first() else {
                 return Ok(());
             };
+            if at >= window_end {
+                return Ok(());
+            }
+            let i = si as usize;
             if self.watchdog.as_ref().is_some_and(|w| w.due(at)) {
                 let sig = self.progress_sig(shards);
                 let wd = self.watchdog.as_mut().expect("checked above");
@@ -1015,13 +1159,10 @@ impl Engine {
                     return Err(self.stalled(shards, at, StallReason::NoProgress { window }));
                 }
             }
-            let popped = {
-                let mut g = lock(&shards[i]);
-                g.queue.try_pop_keyed()
-            };
+            let popped = shards[i].queue.try_pop_keyed();
             let (at, _k, ev) = match popped {
                 Ok(Some(p)) => p,
-                Ok(None) => unreachable!("peeked event vanished"),
+                Ok(None) => unreachable!("indexed head vanished"),
                 Err(c) => {
                     let reason = StallReason::QueueCorrupt {
                         detail: c.to_string(),
@@ -1039,6 +1180,7 @@ impl Engine {
             self.seq_slot = 0;
             self.seq_shard = i;
             self.handle_seq(shards, at, i, ev)?;
+            self.fix_head(shards, i);
             if let Some(reason) = self.fault.take() {
                 return Err(self.stalled(shards, at, reason));
             }
@@ -1047,7 +1189,7 @@ impl Engine {
 
     fn handle_seq(
         &mut self,
-        shards: &[Mutex<Shard>],
+        shards: &mut [&mut Shard],
         now: Cycle,
         i: usize,
         ev: Event,
@@ -1055,7 +1197,7 @@ impl Engine {
         match ev {
             Event::ProcStep(n, seq) => {
                 let fx = {
-                    let mut g = lock(&shards[n.index()]);
+                    let g = &mut *shards[n.index()];
                     (g.proc.wake_seq() == seq).then(|| g.proc.step(now))
                 };
                 if let Some(fx) = fx {
@@ -1065,10 +1207,7 @@ impl Engine {
             Event::Inject(msg) => self.dispatch_send_seq(shards, now, msg),
             Event::Deliver(msg) => self.deliver_seq(shards, now, msg),
             Event::Wire(frame) => {
-                let res = {
-                    let mut g = lock(&shards[i]);
-                    g.transport.as_mut().map(|t| t.on_frame(frame))
-                };
+                let res = shards[i].transport.as_mut().map(|t| t.on_frame(frame));
                 let Some((delivered, actions)) = res else {
                     let reason = StallReason::MissingTransport { event: "wire" };
                     return Err(self.stalled(shards, now, reason));
@@ -1079,12 +1218,10 @@ impl Engine {
                 }
             }
             Event::RetxTimer { src, dst, epoch } => {
-                let res = {
-                    let mut g = lock(&shards[i]);
-                    g.transport
-                        .as_mut()
-                        .map(|t| t.on_retx_timer(now, src, dst, epoch))
-                };
+                let res = shards[i]
+                    .transport
+                    .as_mut()
+                    .map(|t| t.on_retx_timer(now, src, dst, epoch));
                 let Some(res) = res else {
                     let reason = StallReason::MissingTransport {
                         event: "retx timer",
@@ -1106,12 +1243,10 @@ impl Engine {
                 }
             }
             Event::AckTimer { src, dst, epoch } => {
-                let res = {
-                    let mut g = lock(&shards[i]);
-                    g.transport
-                        .as_mut()
-                        .map(|t| t.on_ack_timer(src, dst, epoch))
-                };
+                let res = shards[i]
+                    .transport
+                    .as_mut()
+                    .map(|t| t.on_ack_timer(src, dst, epoch));
                 let Some(actions) = res else {
                     let reason = StallReason::MissingTransport { event: "ack timer" };
                     return Err(self.stalled(shards, now, reason));
@@ -1123,8 +1258,10 @@ impl Engine {
     }
 
     /// Assembles the stall diagnostic across all shards — the parallel
-    /// mirror of the classic `Simulator::stalled`.
-    fn stalled(&mut self, shards: &[Mutex<Shard>], now: Cycle, reason: StallReason) -> RunError {
+    /// mirror of the classic `Simulator::stalled`. `now` is the true
+    /// fault cycle (the cycle of the faulting pop, not the window
+    /// end), and the active window bounds are stamped alongside it.
+    fn stalled(&mut self, shards: &mut [&mut Shard], now: Cycle, reason: StallReason) -> RunError {
         let mut commits = 0u64;
         let mut proc_states = Vec::with_capacity(shards.len());
         let mut dir_nstids = Vec::with_capacity(shards.len());
@@ -1133,8 +1270,7 @@ impl Engine {
         let mut reorder_buffered = 0u64;
         let mut in_flight_channels = Vec::new();
         let mut transport: Option<TransportStats> = None;
-        for s in shards {
-            let g = lock(s);
+        for g in shards.iter() {
             commits += g.proc.counters().commits;
             proc_states.push((g.proc.id(), g.proc.state_name().to_string()));
             dir_nstids.push(g.dir.now_serving());
@@ -1156,6 +1292,7 @@ impl Engine {
                 config_digest: self.cfg.digest(),
             },
             at: now.0,
+            window_bounds: self.cur_window,
             commits,
             active_procs: self.active,
             proc_states,
@@ -1173,13 +1310,12 @@ impl Engine {
     /// Watchdog signature over sharded state, word-for-word the classic
     /// `progress_signature`: per-proc commits, per-dir NSTIDs, vended
     /// TIDs, active procs, barrier arrivals, transport deliveries.
-    fn progress_sig(&self, shards: &[Mutex<Shard>]) -> u64 {
+    fn progress_sig(&self, shards: &[&mut Shard]) -> u64 {
         let mut words = Vec::with_capacity(2 * shards.len() + 4);
         let mut nstids = Vec::with_capacity(shards.len());
         let mut vendor = 0u64;
         let mut delivered = 0u64;
-        for s in shards {
-            let g = lock(s);
+        for g in shards {
             words.push(g.proc.counters().commits);
             nstids.push(g.dir.now_serving().0);
             vendor += g.vendor_next;
@@ -1200,20 +1336,23 @@ impl Engine {
     /// global-resource ops in classic chronological order, and merges
     /// commit records. Returns the earliest typed fault, if any shard
     /// raised one.
-    fn join(&mut self, shards: &[Mutex<Shard>], window_end: Cycle) -> Result<(), RunError> {
+    ///
+    /// The per-shard products move through the engine's reusable
+    /// buffers (`jpops`/`jstaged`/`jops`/`jcommitted`) in one batch
+    /// per shard — steady-state joins allocate nothing. On the error
+    /// paths the buffers are simply abandoned; a stalled run never
+    /// joins again.
+    fn join(&mut self, shards: &mut [&mut Shard], window_end: Cycle) -> Result<(), RunError> {
         let n = shards.len();
-        let mut all_pops: Vec<Vec<(Cycle, u128)>> = Vec::with_capacity(n);
-        let mut all_staged: Vec<Vec<Staged>> = Vec::with_capacity(n);
-        let mut ops: Vec<DeferredOp> = Vec::new();
-        let mut committed: Vec<(u16, Cycle, u64, TxRecord, TxCharacteristics)> = Vec::new();
+        let mut ops = std::mem::take(&mut self.jops);
+        let mut committed = std::mem::take(&mut self.jcommitted);
         let mut finished = 0usize;
         let mut fault: Option<(Cycle, u16, StallReason)> = None;
-        for (i, s) in shards.iter().enumerate() {
-            let mut g = lock(s);
-            all_pops.push(std::mem::take(&mut g.pops));
-            all_staged.push(std::mem::take(&mut g.staged));
+        for (i, g) in shards.iter_mut().enumerate() {
+            std::mem::swap(&mut g.pops, &mut self.jpops[i]);
+            std::mem::swap(&mut g.staged, &mut self.jstaged[i]);
             ops.append(&mut g.ops);
-            for (t, idx, rec, ch) in std::mem::take(&mut g.committed) {
+            for (t, idx, rec, ch) in g.committed.drain(..) {
                 committed.push((i as u16, t, idx, rec, ch));
             }
             finished += g.finished as usize;
@@ -1227,6 +1366,11 @@ impl Engine {
                 }
             }
         }
+        // Phase A advanced the shard queues wholesale; resync the head
+        // index before anything consults it again.
+        for i in 0..n {
+            self.fix_head(shards, i);
+        }
         if let Some((at, _, reason)) = fault {
             // The window is abandoned mid-flight, exactly as the classic
             // engine abandons its loop after the faulting event; only
@@ -1235,28 +1379,112 @@ impl Engine {
             self.rank_map.clear();
             return Err(self.stalled(shards, at, reason));
         }
-        self.resolve_ranks(&all_pops);
+        let all_pops = std::mem::take(&mut self.jpops);
+        let resolved = self.resolve_ranks(&all_pops);
+        self.jpops = all_pops;
+        if let Err((t, reason)) = resolved {
+            self.rank_map.clear();
+            return Err(self.stalled(shards, Cycle(t), reason));
+        }
         // Staged creations: in-window products arriving past the window
         // end; canonicalize and schedule (always same-shard).
-        for (s, staged) in all_staged.into_iter().enumerate() {
-            for st in staged {
+        let mut all_staged = std::mem::take(&mut self.jstaged);
+        for (s, staged) in all_staged.iter_mut().enumerate() {
+            for st in staged.drain(..) {
                 let rank = self.rank_map[&(st.t_create.0, s as u16, st.parent_idx)];
-                let key = pack(st.t_create.0 + 1, rank, st.em);
+                let key = match try_pack(st.t_create.0 + 1, rank, st.em) {
+                    Ok(k) => k,
+                    Err(reason) => {
+                        self.rank_map.clear();
+                        return Err(self.stalled(shards, st.t_create, reason));
+                    }
+                };
                 debug_assert_eq!(owner(&st.ev), s, "staged event crossed shards");
-                lock(&shards[s]).queue.schedule_with_key(st.at, key, st.ev);
+                shards[s].queue.schedule_with_key(st.at, key, st.ev);
+                self.fix_head(shards, s);
             }
         }
-        self.replay_ops(shards, ops, window_end);
+        self.jstaged = all_staged;
+        self.replay_ops(shards, &mut ops, window_end)?;
+        ops.clear();
+        self.jops = ops;
         committed.sort_by_key(|&(s, t, idx, ..)| (t, self.rank_map[&(t.0, s, idx)]));
-        for (_, _, _, rec, ch) in committed {
+        for (_, _, _, rec, ch) in committed.drain(..) {
             if let Some(c) = &mut self.checker {
                 c.record(rec);
             }
             self.tx_chars.push(ch);
         }
+        self.jcommitted = committed;
         self.active -= finished;
         self.rank_map.clear();
+        for v in &mut self.jpops {
+            v.clear();
+        }
+        self.rebalance(n);
         Ok(())
+    }
+
+    /// Re-derives the worker units from the cross-shard deferred
+    /// traffic observed at joins since the last decision: shards whose
+    /// traffic is exclusively mutual (a closed component of the
+    /// undirected traffic graph, up to [`FUSE_MAX`] members) fuse into
+    /// one unit. The counters reset on every decision, so fission is
+    /// automatic when the pattern shifts. Units only change *which*
+    /// shards a worker claims together and when the merged path is
+    /// chosen — both window modes assign identical canonical keys, so
+    /// fusion never affects results.
+    fn rebalance(&mut self, n: usize) {
+        self.windows_since_fuse += 1;
+        if self.windows_since_fuse < FUSE_INTERVAL {
+            return;
+        }
+        self.windows_since_fuse = 0;
+        fn find(parent: &mut [u16], mut x: u16) -> u16 {
+            while parent[x as usize] != x {
+                parent[x as usize] = parent[parent[x as usize] as usize];
+                x = parent[x as usize];
+            }
+            x
+        }
+        let mut parent: Vec<u16> = (0..n as u16).collect();
+        for &(a, b) in self.traffic.keys() {
+            let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+            if ra != rb {
+                parent[rb as usize] = ra;
+            }
+        }
+        self.traffic.clear();
+        let mut members: BTreeMap<u16, Vec<u16>> = BTreeMap::new();
+        for i in 0..n as u16 {
+            let root = find(&mut parent, i);
+            members.entry(root).or_default().push(i);
+        }
+        let mut units: Vec<Vec<u16>> = Vec::with_capacity(n);
+        for (_, m) in members {
+            if (2..=FUSE_MAX).contains(&m.len()) {
+                units.push(m);
+            } else {
+                for s in m {
+                    units.push(vec![s]);
+                }
+            }
+        }
+        if units.len() < 2 {
+            // Fusing the whole machine into one unit would make every
+            // window sequential and — since fission decisions happen at
+            // joins — irreversible. The single-active-unit window
+            // extension already captures that case dynamically, so keep
+            // shards unfused instead of committing to it.
+            units = (0..n as u16).map(|i| vec![i]).collect();
+        }
+        self.unit_of = vec![0; n];
+        for (u, us) in units.iter().enumerate() {
+            for &s in us {
+                self.unit_of[s as usize] = u as u16;
+            }
+        }
+        self.units = Arc::new(units);
     }
 
     /// Assigns each pop of the window its global rank within its cycle,
@@ -1265,7 +1493,9 @@ impl Engine {
     /// already ranked; a parent at the *same* cycle is ranked in an
     /// earlier wave (its own key has a strictly smaller resolved value,
     /// so wave ranks append monotonically and never interleave).
-    fn resolve_ranks(&mut self, all_pops: &[Vec<(Cycle, u128)>]) {
+    /// A resolved rank that overflows its key bit field surfaces as
+    /// `Err((cycle, KeyOverflow))` instead of a wrapped sort key.
+    fn resolve_ranks(&mut self, all_pops: &[Vec<(Cycle, u128)>]) -> Result<(), (u64, StallReason)> {
         let seeded = self.cfg.tie_break_seed.is_some();
         let mut by_cycle: BTreeMap<u64, Vec<(u128, u16, u64)>> = BTreeMap::new();
         for (s, pops) in all_pops.iter().enumerate() {
@@ -1298,7 +1528,10 @@ impl Engine {
                     // Parent popped at an earlier cycle of this window:
                     // already ranked.
                     let prank = self.rank_map[&(hi - 1, s, (lo >> EM_BITS) & IDX_MASK)];
-                    wave.push((pack(hi, prank, lo & EM_MASK), s, i));
+                    match try_pack(hi, prank, lo & EM_MASK) {
+                        Ok(k) => wave.push((k, s, i)),
+                        Err(r) => return Err((t, r)),
+                    }
                 } else {
                     debug_assert_eq!(hi, t + 1, "provisional key skipped a cycle");
                     pending.push((key, s, i));
@@ -1315,52 +1548,81 @@ impl Engine {
                 }
                 wave.clear();
                 let before = pending.len();
+                let mut overflow: Option<StallReason> = None;
                 pending.retain(|&(key, s, i)| {
                     let lo = key as u64;
                     match self.rank_map.get(&(t, s, (lo >> EM_BITS) & IDX_MASK)) {
                         Some(&prank) => {
-                            wave.push((pack(t + 1, prank, lo & EM_MASK), s, i));
+                            match try_pack(t + 1, prank, lo & EM_MASK) {
+                                Ok(k) => wave.push((k, s, i)),
+                                Err(r) => {
+                                    overflow.get_or_insert(r);
+                                }
+                            }
                             false
                         }
                         None => true,
                     }
                 });
+                if let Some(r) = overflow {
+                    return Err((t, r));
+                }
                 assert!(
                     pending.len() < before,
                     "cyclic provisional keys at cycle {t}"
                 );
             }
         }
+        Ok(())
     }
 
     /// Replays the window's deferred global-resource operations in
     /// classic chronological order `(cycle, pop rank, emission slot)`,
     /// so mesh contention, traffic statistics, and the chaos injector's
-    /// RNG draws evolve exactly as in the single-threaded engine.
-    fn replay_ops(&mut self, shards: &[Mutex<Shard>], mut ops: Vec<DeferredOp>, window_end: Cycle) {
+    /// RNG draws evolve exactly as in the single-threaded engine. Also
+    /// feeds the fusion traffic counters: each cross-shard op is an
+    /// edge of the observed traffic graph.
+    fn replay_ops(
+        &mut self,
+        shards: &mut [&mut Shard],
+        ops: &mut Vec<DeferredOp>,
+        window_end: Cycle,
+    ) -> Result<(), RunError> {
         ops.sort_by_key(|op| (op.t, self.rank_map[&(op.t.0, op.shard, op.idx)], op.slot));
-        for op in ops {
+        for op in ops.drain(..) {
             let hi = op.t.0 + 1;
             let rank = self.rank_map[&(op.t.0, op.shard, op.idx)];
             match op.kind {
                 OpKind::Route(msg) => {
+                    if op.shard != msg.dst.0 {
+                        *self.traffic.entry(edge(op.shard, msg.dst.0)).or_insert(0) += 1;
+                    }
                     let arrival = self.route(op.t, &msg);
                     debug_assert!(
                         arrival >= window_end,
                         "deferred delivery lands inside its own window"
                     );
                     let key = match self.cfg.tie_break_seed {
-                        Some(salt) => lock(&shards[op.shard as usize]).seeded_key(salt, hi),
-                        None => pack(hi, rank, op.slot << SUB_BITS),
+                        Some(salt) => shards[op.shard as usize].seeded_key(salt, hi),
+                        None => match try_pack(hi, rank, em_of(op.slot, 0)) {
+                            Ok(k) => k,
+                            Err(r) => return Err(self.stalled(shards, op.t, r)),
+                        },
                     };
-                    lock(&shards[msg.dst.index()]).queue.schedule_with_key(
-                        arrival,
-                        key,
-                        Event::Deliver(msg),
-                    );
+                    let dst = msg.dst.index();
+                    shards[dst]
+                        .queue
+                        .schedule_with_key(arrival, key, Event::Deliver(msg));
+                    self.fix_head(shards, dst);
                 }
                 OpKind::Frame { frame, multicast } => {
                     let dst = frame.dst().index();
+                    if op.shard != frame.dst().0 {
+                        *self
+                            .traffic
+                            .entry(edge(op.shard, frame.dst().0))
+                            .or_insert(0) += 1;
+                    }
                     for (j, at) in self
                         .net
                         .send_frame(op.t, &frame, multicast)
@@ -1372,18 +1634,21 @@ impl Engine {
                             "deferred frame lands inside its own window"
                         );
                         let key = match self.cfg.tie_break_seed {
-                            Some(salt) => lock(&shards[op.shard as usize]).seeded_key(salt, hi),
-                            None => pack(hi, rank, (op.slot << SUB_BITS) | j as u64),
+                            Some(salt) => shards[op.shard as usize].seeded_key(salt, hi),
+                            None => match try_pack(hi, rank, em_of(op.slot, j as u64)) {
+                                Ok(k) => k,
+                                Err(r) => return Err(self.stalled(shards, op.t, r)),
+                            },
                         };
-                        lock(&shards[dst]).queue.schedule_with_key(
-                            at,
-                            key,
-                            Event::Wire(frame.clone()),
-                        );
+                        shards[dst]
+                            .queue
+                            .schedule_with_key(at, key, Event::Wire(frame.clone()));
+                        self.fix_head(shards, dst);
                     }
                 }
             }
         }
+        Ok(())
     }
 }
 
@@ -1404,10 +1669,11 @@ fn add_stats(acc: &mut Option<TransportStats>, s: TransportStats) {
 }
 
 /// Shared state of the window worker pool. Workers park on `start`
-/// between windows; the main thread publishes the window plan, releases
-/// them, races them through the shard claim counter, and meets them at
-/// `done`. Panics inside a shard are parked in `panic_box` and
-/// re-raised on the main thread after the window.
+/// between windows; the main thread publishes the window plan (end
+/// cycle + current worker units), releases them, races them through
+/// the unit claim counter, and meets them at `done`. Panics inside a
+/// shard are parked in `panic_box` and re-raised on the main thread
+/// after the window.
 struct Pool<'a> {
     shards: &'a [Mutex<Shard>],
     start: std::sync::Barrier,
@@ -1415,6 +1681,9 @@ struct Pool<'a> {
     plan_end: AtomicU64,
     claim: AtomicUsize,
     stop: AtomicBool,
+    /// Fused worker units for the upcoming window; workers clone the
+    /// `Arc` once per window after the start barrier.
+    units: Mutex<Arc<Vec<Vec<u16>>>>,
     panic_box: Mutex<Option<Box<dyn std::any::Any + Send>>>,
 }
 
@@ -1426,25 +1695,35 @@ impl Pool<'_> {
                 return;
             }
             let end = Cycle(self.plan_end.load(Ordering::Acquire));
-            self.drain(end);
+            let units = Arc::clone(&lock(&self.units));
+            self.drain(end, &units);
             self.done.wait();
         }
     }
 
-    /// Claims and runs shards until none remain. Which thread runs
-    /// which shard is the *only* nondeterminism in a parallel window,
-    /// and it is invisible: shards share no state until the join.
-    fn drain(&self, end: Cycle) {
+    /// Publishes the fused units for the next window. Called by the
+    /// main thread only, between windows.
+    fn set_units(&self, units: &Arc<Vec<Vec<u16>>>) {
+        *lock(&self.units) = Arc::clone(units);
+    }
+
+    /// Claims and runs worker units until none remain. Which thread
+    /// runs which unit is the *only* nondeterminism in a parallel
+    /// window, and it is invisible: shards share no state until the
+    /// join.
+    fn drain(&self, end: Cycle, units: &[Vec<u16>]) {
         loop {
-            let i = self.claim.fetch_add(1, Ordering::Relaxed);
-            if i >= self.shards.len() {
-                return;
-            }
-            let r = panic::catch_unwind(AssertUnwindSafe(|| lock(&self.shards[i]).run_window(end)));
-            if let Err(p) = r {
-                let mut slot = lock(&self.panic_box);
-                if slot.is_none() {
-                    *slot = Some(p);
+            let u = self.claim.fetch_add(1, Ordering::Relaxed);
+            let Some(unit) = units.get(u) else { return };
+            for &s in unit {
+                let r = panic::catch_unwind(AssertUnwindSafe(|| {
+                    lock(&self.shards[s as usize]).run_window(end)
+                }));
+                if let Err(p) = r {
+                    let mut slot = lock(&self.panic_box);
+                    if slot.is_none() {
+                        *slot = Some(p);
+                    }
                 }
             }
         }
@@ -1455,7 +1734,8 @@ impl Pool<'_> {
         self.plan_end.store(end.0, Ordering::Release);
         self.claim.store(0, Ordering::Release);
         self.start.wait();
-        self.drain(end);
+        let units = Arc::clone(&lock(&self.units));
+        self.drain(end, &units);
         self.done.wait();
         if let Some(p) = lock(&self.panic_box).take() {
             self.shutdown();
@@ -1478,79 +1758,131 @@ impl Pool<'_> {
 /// stalls as the classic loop.
 fn main_loop(
     eng: &mut Engine,
-    shards: &[Mutex<Shard>],
+    mxs: &[Mutex<Shard>],
     pool: Option<&Pool<'_>>,
     b: u64,
     depth: usize,
 ) -> Result<(), RunError> {
     let max_cycles = eng.cfg.max_cycles;
-    loop {
-        let mut horizon: Option<Cycle> = None;
-        for s in shards {
-            if let Some(t) = lock(s).queue.peek_time() {
-                if horizon.is_none_or(|h| t < h) {
-                    horizon = Some(t);
+    'run: loop {
+        // Plan the next window with every shard locked exactly once;
+        // the guards are released only around the parallel drain.
+        let par_end = 'plan: {
+            let mut guards: Vec<_> = mxs.iter().map(lock).collect();
+            let mut sv: Vec<&mut Shard> = guards.iter_mut().map(|g| &mut **g).collect();
+            let shards = &mut sv[..];
+            // Stalls declared by the planner itself (cycle limit,
+            // watchdog, deadlock) are not in-window faults; only a
+            // window that actually runs stamps bounds.
+            eng.cur_window = None;
+            let Some(&(w, _, _)) = eng.heads.first() else {
+                break 'run;
+            };
+            if w.0 > max_cycles {
+                // Classic parity: the offending event is popped before
+                // the stall is declared (it no longer counts as
+                // queued).
+                let &(at, _, si) = eng.heads.first().expect("the horizon event exists");
+                let i = si as usize;
+                let _ = shards[i].queue.try_pop_keyed();
+                eng.fix_head(shards, i);
+                let limit = max_cycles;
+                return Err(eng.stalled(shards, at, StallReason::CycleLimit { limit }));
+            }
+            if eng.watchdog.as_ref().is_some_and(|wd| wd.due(w)) {
+                let sig = eng.progress_sig(shards);
+                let wd = eng.watchdog.as_mut().expect("checked above");
+                if wd.observe(w, sig) {
+                    let window = wd.window();
+                    return Err(eng.stalled(shards, w, StallReason::NoProgress { window }));
                 }
             }
-        }
-        let Some(w) = horizon else { break };
-        if w.0 > max_cycles {
-            // Classic parity: the offending event is popped before the
-            // stall is declared (it no longer counts as queued).
-            let mut best: Option<(Cycle, u128, usize)> = None;
-            for (i, s) in shards.iter().enumerate() {
-                if let Some((t, k)) = lock(s).queue.peek_key() {
-                    if best.is_none_or(|(bt, bk, _)| (t, k) < (bt, bk)) {
-                        best = Some((t, k, i));
+            if pool.is_none() {
+                // One worker thread: no join to amortize, so the whole
+                // run is a single merged sequential mega-window. This
+                // is the workers=1 overhead lever — the merged path is
+                // classic-correct at any horizon (see module docs).
+                let window_end = Cycle(max_cycles + 1);
+                eng.cur_window = Some((w.0, window_end.0));
+                eng.run_seq_window(shards, window_end)?;
+                continue 'run;
+            }
+            // Capping at max_cycles + 1 keeps every processed event
+            // within the limit, so a limit overrun stalls on exactly
+            // the same pop as the classic engine.
+            let base_end = Cycle((w.0 + b).min(max_cycles + 1));
+            let mut barrier = !eng.barrier_waiting.is_empty();
+            for s in shards.iter() {
+                if s.proc.barrier_within(depth) {
+                    barrier = true;
+                    break;
+                }
+            }
+            // Count distinct worker units with work inside the base
+            // window, off the head index (no queue locks or scans).
+            eng.unit_seen.clear();
+            eng.unit_seen.resize(eng.units.len(), false);
+            let mut active_units = 0usize;
+            let mut active_unit: Option<u16> = None;
+            for (i, hc) in eng.head_cache.iter().enumerate() {
+                if let Some((t, _)) = hc {
+                    if *t < base_end {
+                        let u = eng.unit_of[i];
+                        if !eng.unit_seen[u as usize] {
+                            eng.unit_seen[u as usize] = true;
+                            active_units += 1;
+                            active_unit = Some(u);
+                        }
                     }
                 }
             }
-            let (at, _, i) = best.expect("the horizon event exists");
-            let _ = lock(&shards[i]).queue.try_pop_keyed();
-            let limit = max_cycles;
-            return Err(eng.stalled(shards, at, StallReason::CycleLimit { limit }));
-        }
-        if eng.watchdog.as_ref().is_some_and(|wd| wd.due(w)) {
-            let sig = eng.progress_sig(shards);
-            let wd = eng.watchdog.as_mut().expect("checked above");
-            if wd.observe(w, sig) {
-                let window = wd.window();
-                return Err(eng.stalled(shards, w, StallReason::NoProgress { window }));
+            if barrier {
+                eng.cur_window = Some((w.0, base_end.0));
+                eng.run_seq_window(shards, base_end)?;
+                continue 'run;
             }
-        }
-        // Capping at max_cycles + 1 keeps every processed event within
-        // the limit, so a limit overrun stalls on exactly the same pop
-        // as the classic engine.
-        let window_end = Cycle((w.0 + b).min(max_cycles + 1));
-        let mut active_shards = 0usize;
-        let mut barrier = !eng.barrier_waiting.is_empty();
-        for s in shards {
-            let g = lock(s);
-            if g.queue.peek_time().is_some_and(|t| t < window_end) {
-                active_shards += 1;
-            }
-            if g.proc.barrier_within(depth) {
-                barrier = true;
-            }
-        }
-        if barrier || active_shards <= 1 {
-            eng.run_seq_window(shards, window_end)?;
-        } else {
-            match pool {
-                Some(p) => p.run_window(window_end),
-                None => {
-                    for s in shards {
-                        lock(s).run_window(window_end);
+            if active_units <= 1 {
+                // Adaptive lookahead: only one unit has work in the
+                // base window, so extend the merged window to the
+                // earliest event owned by any *other* unit — the first
+                // point where parallelism could resume.
+                let mut ext = Cycle(max_cycles + 1);
+                if let Some(au) = active_unit {
+                    for (i, hc) in eng.head_cache.iter().enumerate() {
+                        if eng.unit_of[i] != au {
+                            if let Some((t, _)) = hc {
+                                if *t < ext {
+                                    ext = *t;
+                                }
+                            }
+                        }
                     }
                 }
+                let window_end = Cycle(base_end.0.max(ext.0).min(max_cycles + 1));
+                eng.cur_window = Some((w.0, window_end.0));
+                eng.run_seq_window(shards, window_end)?;
+                continue 'run;
             }
-            eng.join(shards, window_end)?;
-        }
+            eng.cur_window = Some((w.0, base_end.0));
+            if let Some(p) = pool {
+                p.set_units(&eng.units);
+            }
+            break 'plan base_end;
+            // Guards drop here: shards are unlocked for the drain.
+        };
+        let p = pool.expect("pool-less runs use merged mega-windows");
+        p.run_window(par_end);
+        let mut guards: Vec<_> = mxs.iter().map(lock).collect();
+        let mut sv: Vec<&mut Shard> = guards.iter_mut().map(|g| &mut **g).collect();
+        eng.join(&mut sv[..], par_end)?;
     }
     if eng.active > 0 {
+        let mut guards: Vec<_> = mxs.iter().map(lock).collect();
+        let mut sv: Vec<&mut Shard> = guards.iter_mut().map(|g| &mut **g).collect();
+        let shards = &mut sv[..];
         let now = shards
             .iter()
-            .map(|s| lock(s).queue.now())
+            .map(|s| s.queue.now())
             .max()
             .unwrap_or(Cycle::ZERO);
         return Err(eng.stalled(shards, now, StallReason::Deadlock));
@@ -1564,7 +1896,7 @@ fn main_loop(
 pub(crate) fn run(sim: Simulator) -> Result<SimResult, RunError> {
     let Simulator {
         cfg,
-        queue: spare_queue,
+        queue: restored_queue,
         machine,
         net,
         dir_busy,
@@ -1575,19 +1907,18 @@ pub(crate) fn run(sim: Simulator) -> Result<SimResult, RunError> {
         tx_chars,
         active,
         tracer,
-        transport: _,
+        transport,
         watchdog,
         fault,
         started,
         program_seed,
         program_digest,
     } = sim;
-    debug_assert!(fault.is_none(), "fresh simulator carries a fault");
-    debug_assert!(!started, "parallel engine cannot adopt a started simulator");
-    // Config validation refuses `parallel` for every other backend, so
-    // the sharded engine stays specialized to the TCC machine.
+    debug_assert!(fault.is_none(), "adopted simulator carries a fault");
+    // `try_run` keeps non-TCC backends on the classic loop, so the
+    // sharded engine stays specialized to the TCC machine.
     let Machine::Tcc(tcc) = machine else {
-        unreachable!("SystemConfig::validate refuses parallel for non-TCC backends")
+        unreachable!("Simulator::try_run keeps non-TCC backends on the classic loop")
     };
     let TccMachine {
         procs,
@@ -1622,7 +1953,18 @@ pub(crate) fn run(sim: Simulator) -> Result<SimResult, RunError> {
     };
     let vendor = cfg.vendor_node();
     let shared_cfg = Arc::new(cfg.clone());
-    let mut shards: Vec<Mutex<Shard>> = Vec::with_capacity(n);
+    // Number of events the adopted simulator already processed before
+    // the pause; the reassembled total picks up where it left off.
+    let base_events = restored_queue.events_processed();
+    // Partition the machine-wide transport into per-node parts (each
+    // node owns the channels it sends on plus the ones it receives
+    // on). A fresh simulator's transport is empty, so partitioning it
+    // is identical to building per-shard transports from scratch.
+    let mut tparts: Vec<Option<Transport>> = match transport {
+        Some(t) => t.into_node_parts(n).into_iter().map(Some).collect(),
+        None => (0..n).map(|_| None).collect(),
+    };
+    let mut shard_vec: Vec<Shard> = Vec::with_capacity(n);
     for (i, (((proc_, dir), busy), cache)) in procs
         .into_iter()
         .zip(dirs)
@@ -1633,12 +1975,7 @@ pub(crate) fn run(sim: Simulator) -> Result<SimResult, RunError> {
         let node = NodeId(i as u16);
         let mut queue = EventQueue::with_tie_break(tie_break);
         queue.set_tracer(tracer.clone());
-        let transport = cfg.transport.as_ref().map(|tc| {
-            let mut t = Transport::new(*tc, cfg.bugs);
-            t.set_tracer(tracer.clone());
-            t
-        });
-        shards.push(Mutex::new(Shard {
+        shard_vec.push(Shard {
             node,
             cfg: Arc::clone(&shared_cfg),
             tracer: tracer.clone(),
@@ -1647,7 +1984,7 @@ pub(crate) fn run(sim: Simulator) -> Result<SimResult, RunError> {
             dir,
             dir_busy: busy,
             dir_cache: cache,
-            transport,
+            transport: tparts[i].take(),
             vendor_next: if node == vendor { vendor_next } else { 0 },
             line_bytes: cfg.cache.geometry.line_bytes(),
             local_latency: cfg.network.local_latency,
@@ -1664,7 +2001,7 @@ pub(crate) fn run(sim: Simulator) -> Result<SimResult, RunError> {
             committed: Vec::new(),
             finished: 0,
             fault: None,
-        }));
+        });
     }
     let mut eng = Engine {
         cfg,
@@ -1678,24 +2015,74 @@ pub(crate) fn run(sim: Simulator) -> Result<SimResult, RunError> {
         program_seed,
         rank_map: FxHashMap::default(),
         fault: None,
+        cur_window: None,
+        heads: BTreeSet::new(),
+        head_cache: vec![None; n],
+        unit_of: (0..n as u16).collect(),
+        units: Arc::new((0..n as u16).map(|i| vec![i]).collect()),
+        traffic: BTreeMap::new(),
+        windows_since_fuse: 0,
+        unit_seen: Vec::new(),
+        jpops: (0..n).map(|_| Vec::new()).collect(),
+        jstaged: (0..n).map(|_| Vec::new()).collect(),
+        jops: Vec::new(),
+        jcommitted: Vec::new(),
         seq_cycle: Cycle::ZERO,
         seq_hi: 0,
         seq_rank: 0,
         seq_slot: 0,
         seq_shard: 0,
     };
-    // Program starts replay through the sequential-merge context so
-    // their creations get canonical keys in classic creation order
-    // (cycle 0 pseudo-pops, ranked by node).
-    for i in 0..n {
-        let fx = lock(&shards[i]).proc.start(Cycle::ZERO);
-        eng.seq_cycle = Cycle::ZERO;
-        eng.seq_hi = 0;
-        eng.seq_rank = i as u64;
-        eng.seq_slot = 0;
-        eng.seq_shard = i;
-        eng.apply_seq(&shards, Cycle::ZERO, NodeId(i as u16), fx);
+    {
+        let mut sv: Vec<&mut Shard> = shard_vec.iter_mut().collect();
+        let shards = &mut sv[..];
+        if started {
+            // Adopting a paused (checkpoint-restored) simulator: the
+            // program starts already ran before the pause, so instead
+            // of replaying them we distribute the restored queue's
+            // pending events to their owner shards. The export order
+            // is the classic pop order `(at, key, seq)`; re-keying by
+            // export index with `hi = 0` preserves it exactly (every
+            // in-window key mints with `hi ≥ 1`, and `PROV` is clear,
+            // so restored keys sort first and are already canonical).
+            debug_assert!(
+                shared_cfg.tie_break_seed.is_none(),
+                "resume refuses seeded parallel configs"
+            );
+            for (idx, (at, _key, _seq, ev)) in
+                restored_queue.export_entries().into_iter().enumerate()
+            {
+                let key = match try_pack(0, idx as u64, 0) {
+                    Ok(k) => k,
+                    Err(r) => return Err(eng.stalled(shards, at, r)),
+                };
+                let ev = ev.clone();
+                let dst = owner(&ev);
+                shards[dst].queue.schedule_with_key(at, key, ev);
+            }
+        } else {
+            // Program starts replay through the sequential-merge
+            // context so their creations get canonical keys in classic
+            // creation order (cycle 0 pseudo-pops, ranked by node).
+            for i in 0..n {
+                let fx = shards[i].proc.start(Cycle::ZERO);
+                eng.seq_cycle = Cycle::ZERO;
+                eng.seq_hi = 0;
+                eng.seq_rank = i as u64;
+                eng.seq_slot = 0;
+                eng.seq_shard = i;
+                eng.apply_seq(shards, Cycle::ZERO, NodeId(i as u16), fx);
+            }
+        }
+        for i in 0..n {
+            eng.fix_head(shards, i);
+        }
+        if let Some(reason) = eng.fault.take() {
+            return Err(eng.stalled(shards, Cycle::ZERO, reason));
+        }
     }
+    drop(restored_queue);
+    let shards: Vec<Mutex<Shard>> = shard_vec.into_iter().map(Mutex::new).collect();
     // Worker-thread count: leased from the process-wide budget unless
     // the config explicitly oversubscribes (determinism tests on small
     // machines). More threads than shards is never useful.
@@ -1712,6 +2099,7 @@ pub(crate) fn run(sim: Simulator) -> Result<SimResult, RunError> {
             plan_end: AtomicU64::new(0),
             claim: AtomicUsize::new(0),
             stop: AtomicBool::new(false),
+            units: Mutex::new(Arc::clone(&eng.units)),
             panic_box: Mutex::new(None),
         };
         std::thread::scope(|scope| {
@@ -1739,7 +2127,7 @@ pub(crate) fn run(sim: Simulator) -> Result<SimResult, RunError> {
     let mut dir_busy = Vec::with_capacity(n);
     let mut dir_caches = Vec::with_capacity(n);
     let mut vendor_total = 0u64;
-    let mut events = 0u64;
+    let mut events = base_events;
     for s in shards {
         let g = s
             .into_inner()
@@ -1774,7 +2162,10 @@ pub(crate) fn run(sim: Simulator) -> Result<SimResult, RunError> {
     } = eng;
     let reassembled = Simulator {
         cfg,
-        queue: spare_queue,
+        // The restored queue (if any) was consumed into the shards; a
+        // fresh queue is fine here because `finish`/`assert_quiescent`
+        // never read it.
+        queue: EventQueue::with_tie_break(tie_break),
         machine: Machine::Tcc(TccMachine {
             procs,
             dirs,
@@ -1801,4 +2192,56 @@ pub(crate) fn run(sim: Simulator) -> Result<SimResult, RunError> {
     let mut result = reassembled.finish(events);
     result.transport = transport_stats;
     Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn try_pack_accepts_field_maxima() {
+        let k = try_pack(3, IDX_MASK, EM_MASK).expect("maxima fit");
+        assert_eq!(k & u128::from(EM_MASK), u128::from(EM_MASK));
+        // A larger hi with smaller rank still sorts above: hi dominates.
+        let k2 = try_pack(4, 0, 0).expect("fits");
+        assert!(k2 > k);
+    }
+
+    #[test]
+    fn try_pack_rejects_rank_overflow() {
+        match try_pack(1, IDX_MASK + 1, 0) {
+            Err(StallReason::KeyOverflow { rank, em }) => {
+                assert_eq!(rank, IDX_MASK + 1);
+                assert_eq!(em, 0);
+            }
+            other => panic!("expected KeyOverflow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_pack_rejects_em_overflow() {
+        assert!(matches!(
+            try_pack(1, 0, EM_MASK + 1),
+            Err(StallReason::KeyOverflow { .. })
+        ));
+        // em_of saturates on sub-slot overflow so the saturated value
+        // is caught here rather than silently wrapping into the slot
+        // bits.
+        let em = em_of(0, 1 << SUB_BITS);
+        assert_eq!(em, u64::MAX);
+        assert!(matches!(
+            try_pack(1, 0, em),
+            Err(StallReason::KeyOverflow { .. })
+        ));
+        // Boundary: the largest representable (slot, sub) pair packs.
+        let ok = em_of(EM_MASK >> SUB_BITS, (1 << SUB_BITS) - 1);
+        assert_eq!(ok, EM_MASK);
+        assert!(try_pack(1, 0, ok).is_ok());
+    }
+
+    #[test]
+    fn edge_is_undirected() {
+        assert_eq!(edge(3, 7), edge(7, 3));
+        assert_eq!(edge(3, 7), (3, 7));
+    }
 }

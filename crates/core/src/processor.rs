@@ -60,7 +60,7 @@ impl Effects {
 }
 
 /// Lifetime counters of one processor.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ProcCounters {
     /// Transactions committed.
     pub commits: u64,

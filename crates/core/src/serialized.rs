@@ -17,7 +17,7 @@
 //! behind the trait; condition 1 (serial execution) is a baseline-only
 //! ablation.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use tcc_cache::{HierCache, LoadOutcome, StoreOutcome};
 use tcc_types::snap::{Snap, SnapError, SnapReader, SnapWriter};
@@ -187,7 +187,7 @@ pub struct SerializedMachine {
     procs: Vec<SerializedProc>,
     /// Flat global memory at the home nodes; write-through commits keep
     /// it always current.
-    memory: HashMap<LineAddr, LineValues>,
+    memory: BTreeMap<LineAddr, LineValues>,
     /// The commit token: holder, FIFO wait queue (arbiter on node 0).
     token_holder: Option<NodeId>,
     token_queue: Vec<NodeId>,
@@ -225,7 +225,7 @@ impl SerializedMachine {
         SerializedMachine {
             cfg,
             procs,
-            memory: HashMap::new(),
+            memory: BTreeMap::new(),
             token_holder: None,
             token_queue: Vec::new(),
             commit_seq: 0,
@@ -867,11 +867,10 @@ impl Protocol for SerializedMachine {
         for p in &self.procs {
             p.save_state(w);
         }
-        // The unordered memory image is sorted so the bytes are a pure
-        // function of state.
-        let mut mem: Vec<(LineAddr, LineValues)> =
+        // Ordered map: iteration is already sorted by address, so the
+        // bytes are a pure function of state.
+        let mem: Vec<(LineAddr, LineValues)> =
             self.memory.iter().map(|(&l, v)| (l, v.clone())).collect();
-        mem.sort_unstable_by_key(|&(l, _)| l);
         mem.save(w);
         self.token_holder.save(w);
         self.token_queue.save(w);

@@ -111,7 +111,7 @@ impl DirCache {
     }
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) enum Event {
     /// A message arrives at its destination node.
     Deliver(Message),
@@ -779,7 +779,14 @@ impl Simulator {
     /// violations (broken asserts) still panic — those are bugs, not
     /// outcomes.
     pub fn try_run(self) -> Result<SimResult, RunError> {
-        if self.cfg.parallel.is_some() {
+        // Central-mode dispatch: only the TCC machine runs on the
+        // sharded window engine. The serialized baseline broadcasts
+        // every commit through one global memory image (it cannot
+        // shard), and the Tardis backend stays on the classic loop for
+        // now; both run any `parallel` config as a degenerate single
+        // merged window — the classic loop — so fingerprints are
+        // trivially identical at every worker count.
+        if self.cfg.parallel.is_some() && matches!(self.machine, Machine::Tcc(_)) {
             return crate::par::run(self);
         }
         match self.try_run_until(None)? {
@@ -805,12 +812,15 @@ impl Simulator {
     ///
     /// # Panics
     ///
-    /// Panics if the config selects the parallel engine — the sharded
-    /// run cannot pause at an exact event boundary; checkpoint from
-    /// the sequential engine instead.
+    /// Panics if the config selects the sharded engine (`parallel` set
+    /// on the TCC machine) — the sharded run cannot pause at an exact
+    /// event boundary; checkpoint from the sequential engine instead
+    /// (the checkpoint *resumes* fine under `parallel`). Non-TCC
+    /// backends always run the classic loop, so they pause normally
+    /// whatever `parallel` says.
     pub fn try_run_until(mut self, pause_at: Option<Cycle>) -> Result<Step, RunError> {
         assert!(
-            self.cfg.parallel.is_none(),
+            self.cfg.parallel.is_none() || !matches!(self.machine, Machine::Tcc(_)),
             "try_run_until requires the sequential engine (cfg.parallel = None)"
         );
         if !self.started {
@@ -920,6 +930,7 @@ impl Simulator {
             protocol: self.cfg.protocol,
             provenance: self.provenance(),
             at: now.0,
+            window_bounds: None,
             commits: self.machine.commits_total(),
             active_procs: self.active,
             proc_states: (0..self.cfg.n_procs)
@@ -1135,14 +1146,15 @@ impl Simulator {
     ///
     /// # Panics
     ///
-    /// Panics if the config selects the parallel engine (checkpoint
-    /// from the sequential engine) or a component fault is pending
-    /// (the run is about to stall; there is no consistent state to
-    /// save).
+    /// Panics if the config selects the sharded engine (`parallel` on
+    /// the TCC machine — checkpoint from the sequential engine; the
+    /// snapshot can still be *resumed* under `parallel`) or a
+    /// component fault is pending (the run is about to stall; there is
+    /// no consistent state to save).
     #[must_use]
     pub fn checkpoint(&self) -> Snapshot {
         assert!(
-            self.cfg.parallel.is_none(),
+            self.cfg.parallel.is_none() || !matches!(self.machine, Machine::Tcc(_)),
             "checkpoint requires the sequential engine (cfg.parallel = None)"
         );
         assert!(
@@ -1152,10 +1164,24 @@ impl Simulator {
         let mut w = SnapWriter::new();
         self.save_body(&mut w);
         Snapshot {
-            config_digest: self.cfg.digest(),
+            config_digest: Self::resume_digest(&self.cfg),
             at_cycle: self.queue.now().0,
             body: w.into_bytes(),
         }
+    }
+
+    /// Config digest used to gate resume, normalized with
+    /// `parallel = None`: a snapshot captured by the sequential engine
+    /// may be resumed under any worker count (the run is
+    /// engine-invariant), so the engine choice is not part of the
+    /// captured machine's identity.
+    fn resume_digest(cfg: &SystemConfig) -> u64 {
+        if cfg.parallel.is_none() {
+            return cfg.digest();
+        }
+        let mut norm = cfg.clone();
+        norm.parallel = None;
+        norm.digest()
     }
 
     /// Reconstructs a machine from a checkpoint: builds a fresh
@@ -1167,22 +1193,29 @@ impl Simulator {
     /// # Errors
     ///
     /// [`ResumeError::Container`] if the snapshot's config digest does
-    /// not match `cfg`; [`ResumeError::Config`] on any normal
-    /// construction refusal (or a parallel config — resume targets the
-    /// sequential engine); [`ResumeError::ProgramMismatch`] if
-    /// `programs` differ from the capturing run's;
+    /// not match `cfg` (the digest is normalized with
+    /// `parallel = None`, so resuming a sequential snapshot under a
+    /// parallel config is allowed — the sharded engine adopts the
+    /// restored queue); [`ResumeError::Config`] on any normal
+    /// construction refusal, or on a *seeded* parallel resume — the
+    /// seeded tie-break mints keys from per-shard creation counters
+    /// that the snapshot does not capture; [`ResumeError::ProgramMismatch`]
+    /// if `programs` differ from the capturing run's;
     /// [`ResumeError::State`] on any body decode inconsistency.
     pub fn resume(
         cfg: SystemConfig,
         programs: Vec<ThreadProgram>,
         snapshot: &Snapshot,
     ) -> Result<Simulator, ResumeError> {
-        snapshot.check_config(cfg.digest())?;
-        if cfg.parallel.is_some() {
+        snapshot.check_config(Self::resume_digest(&cfg))?;
+        if cfg.parallel.is_some()
+            && cfg.tie_break_seed.is_some()
+            && matches!(cfg.protocol, tcc_types::ProtocolKind::Tcc)
+        {
             return Err(ResumeError::Config(ConfigError::invalid(
                 "parallel",
-                "resume targets the sequential engine",
-                "clear cfg.parallel before resuming a snapshot",
+                "seeded tie-breaking cannot resume on the sharded engine",
+                "clear cfg.parallel or cfg.tie_break_seed before resuming",
             )));
         }
         let mut sim = Simulator::builder(cfg).programs(programs).build()?;

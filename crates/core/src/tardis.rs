@@ -36,7 +36,7 @@
 //! `ts * n_procs + node`, so TID order — what the serializability
 //! checker replays — is exactly logical-time order.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use tcc_cache::{HierCache, LoadOutcome, StoreOutcome};
 use tcc_directory::TardisHome;
@@ -159,7 +159,7 @@ pub struct TardisProc {
     /// Observed `(wts, rts)` per locally cached line, recorded at fill
     /// time (and refreshed by own publishes); consulted at commit to
     /// decide which reads need renewal.
-    lease: HashMap<LineAddr, (u64, u64)>,
+    lease: BTreeMap<LineAddr, (u64, u64)>,
     tx_start: Cycle,
     commit_start: Cycle,
     attempt_useful: u64,
@@ -192,11 +192,10 @@ impl TardisProc {
         self.op.save(w);
         self.state.save(w);
         self.pts.save(w);
-        // The unordered lease table is sorted so the bytes are a pure
-        // function of state.
-        let mut lease: Vec<(LineAddr, (u64, u64))> =
+        // Ordered map: iteration is already sorted by address, so the
+        // bytes are a pure function of state.
+        let lease: Vec<(LineAddr, (u64, u64))> =
             self.lease.iter().map(|(&l, &ts)| (l, ts)).collect();
-        lease.sort_unstable_by_key(|&(l, _)| l);
         lease.save(w);
         self.tx_start.save(w);
         self.commit_start.save(w);
@@ -278,7 +277,7 @@ impl TardisMachine {
                 op: 0,
                 state: State::Fresh,
                 pts: 0,
-                lease: HashMap::new(),
+                lease: BTreeMap::new(),
                 tx_start: Cycle::ZERO,
                 commit_start: Cycle::ZERO,
                 attempt_useful: 0,

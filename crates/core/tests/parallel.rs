@@ -489,3 +489,117 @@ fn depleted_budget_degrades_without_changing_results() {
         "a budget-starved parallel run must still be exact"
     );
 }
+
+// ---------------------------------------------------------------------
+// Non-TCC backends under `parallel` (central-mode dispatch).
+// ---------------------------------------------------------------------
+
+#[test]
+fn non_tcc_backends_match_classic_under_parallel() {
+    // The serialized baseline and Tardis run the classic loop under any
+    // `parallel` config (central-mode dispatch in `try_run`): the knob
+    // must be accepted by validation and the result byte-identical at
+    // every worker count.
+    let spec = Spec {
+        n_procs: 4,
+        txs_per_proc: 5,
+        max_ops: 8,
+        n_lines: 6,
+        store_fraction: 0.5,
+        barrier_every: Some(2),
+    };
+    let programs = random_programs(&spec, 13);
+    for kind in [
+        tcc_core::ProtocolKind::SerializedCommit,
+        tcc_core::ProtocolKind::Tardis,
+    ] {
+        let mut cfg = checked_cfg(4);
+        cfg.protocol = kind;
+        assert_differential(&cfg, &programs, &format!("backend/{}", kind.as_str()));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shard fusion: sustained pairwise traffic drives the fusion/fission
+// rebalancer through many parallel windows.
+// ---------------------------------------------------------------------
+
+#[test]
+fn fusion_under_sustained_pairwise_traffic_matches_classic() {
+    // Eight shards whose cross-traffic is exclusively mutual within
+    // disjoint pairs (2i <-> 2i+1): the traffic graph decomposes into
+    // two-shard components, exactly the shape the fusion rebalancer
+    // merges into worker units. Enough transactions to cross several
+    // FUSE_INTERVAL rebalances; fingerprints must stay classic-exact
+    // through fusion and fission alike.
+    let n = 8u64;
+    let programs: Vec<ThreadProgram> = (0..n)
+        .map(|p| {
+            let partner = p ^ 1;
+            let items = (0..40)
+                .map(|i| {
+                    WorkItem::Tx(Transaction::new(vec![
+                        TxOp::Load(Addr((if i % 2 == 0 { p } else { partner }) * 32)),
+                        TxOp::Store(Addr(partner * 32 + 4)),
+                        TxOp::Compute(20),
+                    ]))
+                })
+                .collect();
+            ThreadProgram::new(items)
+        })
+        .collect();
+    assert_differential(&checked_cfg(n as usize), &programs, "fusion/pairs");
+}
+
+// ---------------------------------------------------------------------
+// Stall diagnostics carry the active window bounds (adaptive windows
+// must not hide the faulting cycle behind a later window end).
+// ---------------------------------------------------------------------
+
+#[test]
+fn lossy_wire_stall_reports_true_fault_cycle_and_window_bounds() {
+    let mut base = checked_cfg(4);
+    base.chaos = Some(lossy_chaos(1, 1.0)); // every frame dropped
+    base.transport = Some(TransportConfig {
+        max_retries: 3,
+        ..TransportConfig::default()
+    });
+    base.watchdog = Some(WatchdogConfig::default());
+    let programs = contended_programs(4, 6);
+    let classic = Simulator::builder(base.clone())
+        .programs(programs.clone())
+        .build()
+        .unwrap()
+        .try_run()
+        .expect_err("a fully lossy wire must stall");
+    let RunError::Stalled(cdiag) = classic;
+    assert!(
+        cdiag.window_bounds.is_none(),
+        "the classic engine has no windows to report"
+    );
+    for workers in WORKER_COUNTS {
+        let err = Simulator::builder(parallel_cfg(&base, workers))
+            .programs(programs.clone())
+            .build()
+            .unwrap()
+            .try_run()
+            .expect_err("parallel must stall identically");
+        let RunError::Stalled(diag) = err;
+        // True fault cycle: identical to the classic engine's, however
+        // wide the window that contained it was.
+        assert_eq!(diag.at, cdiag.at, "workers {workers}: fault cycle");
+        let (lo, hi) = diag
+            .window_bounds
+            .unwrap_or_else(|| panic!("workers {workers}: stall lacks window bounds"));
+        assert!(
+            lo <= diag.at && diag.at < hi,
+            "workers {workers}: fault cycle {} outside window [{lo}, {hi})",
+            diag.at
+        );
+        let json = diag.to_json().to_compact();
+        assert!(
+            json.contains("window_bounds"),
+            "workers {workers}: bounds missing from JSON: {json}"
+        );
+    }
+}

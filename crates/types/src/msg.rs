@@ -90,19 +90,83 @@ pub enum DataSource {
 /// forwards), any coherence bug — a stale line surviving an invalidation,
 /// a dropped write-back, a mis-ordered commit — becomes a visible value
 /// anachronism at commit-check time.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+#[derive(Debug, PartialEq, Eq, Hash, Default)]
 pub struct LineValues {
     /// Last committed writer per word, index = word index within line.
     pub words: Vec<Option<Tid>>,
+}
+
+/// Thread-local free list for the word buffers behind [`LineValues`].
+///
+/// Line payloads are the dominant steady-state allocation of the
+/// simulator: every directory load reply and write-back clones a line,
+/// uses it for a few hundred cycles, and drops it. Interning the
+/// backing `Vec` through a per-thread pool makes those clones
+/// allocation-free in steady state while leaving the `LineValues` API
+/// (and its snapshot format) completely unchanged. A slab-handle
+/// representation was rejected: payload handles would have to resolve
+/// against thread-local slabs across the sharded parallel engine's
+/// worker threads and inside serialized snapshots, neither of which a
+/// generational key can survive.
+///
+/// The pool is bounded so a pathological run cannot hoard memory, and
+/// `Drop` uses `try_with` so buffers released during thread teardown
+/// (after TLS destruction) fall back to a plain deallocation.
+const LINE_POOL_MAX: usize = 256;
+
+thread_local! {
+    static LINE_POOL: std::cell::RefCell<Vec<Vec<Option<Tid>>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Takes a cleared buffer from the pool (empty, arbitrary capacity) or
+/// returns a fresh one.
+fn line_buf() -> Vec<Option<Tid>> {
+    LINE_POOL
+        .try_with(|p| p.borrow_mut().pop())
+        .ok()
+        .flatten()
+        .unwrap_or_default()
+}
+
+impl Drop for LineValues {
+    fn drop(&mut self) {
+        let mut v = std::mem::take(&mut self.words);
+        if v.capacity() == 0 {
+            return;
+        }
+        v.clear();
+        // Ignore both TLS-teardown errors and a full pool: the buffer
+        // just deallocates normally.
+        let _ = LINE_POOL.try_with(|p| {
+            let mut p = p.borrow_mut();
+            if p.len() < LINE_POOL_MAX {
+                p.push(v);
+            }
+        });
+    }
+}
+
+impl Clone for LineValues {
+    fn clone(&self) -> LineValues {
+        let mut words = line_buf();
+        words.extend_from_slice(&self.words);
+        LineValues { words }
+    }
+
+    fn clone_from(&mut self, source: &LineValues) {
+        self.words.clear();
+        self.words.extend_from_slice(&source.words);
+    }
 }
 
 impl LineValues {
     /// A line of `n` never-written words.
     #[must_use]
     pub fn fresh(n: usize) -> LineValues {
-        LineValues {
-            words: vec![None; n],
-        }
+        let mut words = line_buf();
+        words.resize(n, None);
+        LineValues { words }
     }
 
     /// Overwrites the words selected by `mask` with writer `tid`.
